@@ -1,0 +1,70 @@
+"""Ablation: find_cut strategy — Algorithm 3's Prim growth vs the
+MST-subtree refinement suggested in the paper's conclusions (after
+Karger [7]), vs taking the best of both (our FLOW default).
+
+DESIGN.md calls this the pivotal implementation choice: with a plain
+Prim prefix growth the constructive quality trails the FM baselines;
+MST-subtree cuts close that gap.
+"""
+
+import random
+
+import pytest
+from conftest import emit
+
+from repro.analysis.tables import Table
+from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.core.spreading_metric import SpreadingMetricConfig
+from repro.htp.hierarchy import binary_hierarchy
+from repro.hypergraph.expansion import to_graph
+from repro.hypergraph.generators import iscas85_surrogate
+
+STRATEGIES = ("prim", "mst", "both")
+_results = {}
+
+
+@pytest.fixture(scope="module")
+def instance(experiment_config):
+    netlist = iscas85_surrogate("c1355", scale=experiment_config.scale)
+    spec = binary_hierarchy(netlist.total_size(), height=4)
+    graph = to_graph(netlist)
+    return netlist, spec, graph
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_find_cut_strategy(benchmark, instance, strategy):
+    netlist, spec, graph = instance
+    config = FlowHTPConfig(
+        iterations=2,
+        constructions_per_metric=4,
+        find_cut_restarts=2,
+        find_cut_strategy=strategy,
+        seed=1,
+        metric=SpreadingMetricConfig(
+            alpha=0.3, delta=0.03, epsilon=0.1, max_rounds=1000
+        ),
+    )
+    result = benchmark.pedantic(
+        flow_htp,
+        args=(netlist, spec),
+        kwargs={"config": config, "graph": graph},
+        rounds=1,
+        iterations=1,
+    )
+    _results[strategy] = result.cost
+
+
+def test_report(benchmark, results_dir):
+    table = Table(
+        title="ABLATION - find_cut strategy on c1355 (FLOW cost)",
+        headers=["strategy", "cost"],
+    )
+    for strategy in STRATEGIES:
+        if strategy in _results:
+            table.add_row(strategy, _results[strategy])
+    rendered = benchmark.pedantic(table.render, rounds=1, iterations=1)
+    emit(results_dir, "ablation_find_cut.txt", rendered)
+    if all(s in _results for s in STRATEGIES):
+        # the refinement should not be materially worse than Prim growth
+        # (random streams differ between runs, so allow slack)
+        assert _results["both"] <= _results["prim"] * 1.2

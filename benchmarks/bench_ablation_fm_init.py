@@ -1,0 +1,57 @@
+"""Ablation: FM initial-partition style in the baselines.
+
+The DAC'96-era baselines start FM from random partitions; BFS-grown seed
+regions are an hMETIS-era improvement.  This bench quantifies how much
+the baselines gain from the modern seeding (context for Table 2's
+era-faithful defaults, documented in DESIGN.md).
+"""
+
+import random
+
+import pytest
+from conftest import emit
+
+from repro.analysis.tables import Table
+from repro.htp.cost import total_cost
+from repro.htp.hierarchy import binary_hierarchy
+from repro.hypergraph.generators import iscas85_surrogate
+from repro.partitioning.fm import FMConfig
+from repro.partitioning.rfm import rfm_partition
+
+INITS = ("random", "bfs")
+_results = {}
+
+
+@pytest.fixture(scope="module")
+def instance(experiment_config):
+    netlist = iscas85_surrogate("c1355", scale=experiment_config.scale)
+    spec = binary_hierarchy(netlist.total_size(), height=4)
+    return netlist, spec
+
+
+@pytest.mark.parametrize("init", INITS)
+def test_rfm_with_init(benchmark, instance, init):
+    netlist, spec = instance
+
+    def run():
+        return rfm_partition(
+            netlist,
+            spec,
+            rng=random.Random(0),
+            fm_config=FMConfig(init=init),
+        )
+
+    tree = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results[init] = total_cost(netlist, tree, spec)
+
+
+def test_report(benchmark, results_dir):
+    table = Table(
+        title="ABLATION - FM initial partition style (RFM on c1355)",
+        headers=["init", "RFM cost"],
+    )
+    for init in INITS:
+        if init in _results:
+            table.add_row(init, _results[init])
+    rendered = benchmark.pedantic(table.render, rounds=1, iterations=1)
+    emit(results_dir, "ablation_fm_init.txt", rendered)

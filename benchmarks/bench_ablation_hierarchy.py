@@ -1,0 +1,78 @@
+"""Ablation: hierarchy shape (tree height) and balance slack.
+
+The paper fixes the experimental hierarchy to a full binary tree of
+height 4; the HTP formulation itself asks for the *best* hierarchy.
+This bench sweeps tree heights (via :func:`search_hierarchies`) and
+balance slacks, recording how the FLOW/RFM costs respond.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.tables import Table
+from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.core.spreading_metric import SpreadingMetricConfig
+from repro.htp.hierarchy import binary_hierarchy
+from repro.htp.hierarchy_search import search_hierarchies
+from repro.hypergraph.generators import iscas85_surrogate
+
+_height_results = {}
+_slack_results = {}
+
+
+@pytest.fixture(scope="module")
+def netlist(experiment_config):
+    return iscas85_surrogate("c1355", scale=experiment_config.scale)
+
+
+def test_height_sweep(benchmark, netlist, results_dir):
+    candidates = benchmark.pedantic(
+        search_hierarchies,
+        args=(netlist,),
+        kwargs={"heights": (2, 3, 4, 5), "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    for candidate in candidates:
+        _height_results[candidate.height] = (
+            candidate.cost,
+            candidate.valid,
+        )
+    table = Table(
+        title="ABLATION - hierarchy height sweep on c1355 (RFM cost)",
+        headers=["height", "leaves", "cost", "valid"],
+    )
+    for height in sorted(_height_results):
+        cost, valid = _height_results[height]
+        table.add_row(height, 2**height, cost, str(valid))
+    emit(results_dir, "ablation_height.txt", table.render())
+    assert all(valid for _cost, valid in _height_results.values())
+
+
+@pytest.mark.parametrize("slack", [0.05, 0.10, 0.25])
+def test_slack_sweep(benchmark, netlist, slack):
+    spec = binary_hierarchy(netlist.total_size(), height=4, slack=slack)
+    config = FlowHTPConfig(
+        iterations=1,
+        constructions_per_metric=4,
+        seed=1,
+        metric=SpreadingMetricConfig(
+            alpha=0.3, delta=0.03, epsilon=0.1, max_rounds=1000
+        ),
+    )
+    result = benchmark.pedantic(
+        flow_htp, args=(netlist, spec), kwargs={"config": config},
+        rounds=1, iterations=1,
+    )
+    _slack_results[slack] = result.cost
+
+
+def test_slack_report(benchmark, results_dir):
+    table = Table(
+        title="ABLATION - balance slack on c1355 (FLOW cost)",
+        headers=["slack", "FLOW cost"],
+    )
+    for slack in sorted(_slack_results):
+        table.add_row(slack, _slack_results[slack])
+    rendered = benchmark.pedantic(table.render, rounds=1, iterations=1)
+    emit(results_dir, "ablation_slack.txt", rendered)

@@ -1,0 +1,66 @@
+"""Ablation: multiple partitions per spreading metric.
+
+The paper's conclusions: "we may improve the results from constructing
+multiple partitions for the same spreading metric without a significant
+increase on the run time" — the metric computation dominates, so extra
+constructions are nearly free.  This bench measures cost and runtime for
+M in {1, 4, 8} constructions per metric.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.tables import Table
+from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.core.spreading_metric import SpreadingMetricConfig
+from repro.htp.hierarchy import binary_hierarchy
+from repro.hypergraph.expansion import to_graph
+from repro.hypergraph.generators import iscas85_surrogate
+
+COUNTS = (1, 4, 8)
+_results = {}
+
+
+@pytest.fixture(scope="module")
+def instance(experiment_config):
+    netlist = iscas85_surrogate("c1355", scale=experiment_config.scale)
+    spec = binary_hierarchy(netlist.total_size(), height=4)
+    graph = to_graph(netlist)
+    return netlist, spec, graph
+
+
+@pytest.mark.parametrize("constructions", COUNTS)
+def test_constructions_per_metric(benchmark, instance, constructions):
+    netlist, spec, graph = instance
+    config = FlowHTPConfig(
+        iterations=1,
+        constructions_per_metric=constructions,
+        seed=1,
+        metric=SpreadingMetricConfig(
+            alpha=0.3, delta=0.03, epsilon=0.1, max_rounds=1000
+        ),
+    )
+    result = benchmark.pedantic(
+        flow_htp,
+        args=(netlist, spec),
+        kwargs={"config": config, "graph": graph},
+        rounds=1,
+        iterations=1,
+    )
+    _results[constructions] = (result.cost, result.runtime_seconds)
+
+
+def test_report(benchmark, results_dir):
+    table = Table(
+        title="ABLATION - constructions per metric (paper conclusion)",
+        headers=["M", "FLOW cost", "seconds"],
+    )
+    for count in COUNTS:
+        if count in _results:
+            cost, seconds = _results[count]
+            table.add_row(count, cost, round(seconds, 2))
+    rendered = benchmark.pedantic(table.render, rounds=1, iterations=1)
+    emit(results_dir, "ablation_multi_construct.txt", rendered)
+    if all(c in _results for c in COUNTS):
+        # best-of-M with the same seed can only improve on M = 1
+        assert _results[8][0] <= _results[1][0] + 1e-9

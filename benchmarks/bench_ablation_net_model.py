@@ -1,0 +1,56 @@
+"""Ablation: net model for the metric graph (clique vs cycle expansion).
+
+DESIGN.md: the clique model's ``c(e)/(|e|-1)`` capacities keep cut costs
+faithful; the cycle model is linear-size but distorts congestion.  This
+bench compares the end-to-end FLOW cost under each.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.tables import Table
+from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.core.spreading_metric import SpreadingMetricConfig
+from repro.htp.hierarchy import binary_hierarchy
+from repro.hypergraph.generators import iscas85_surrogate
+
+MODELS = ("clique", "cycle")
+_results = {}
+
+
+@pytest.fixture(scope="module")
+def instance(experiment_config):
+    netlist = iscas85_surrogate("c1355", scale=experiment_config.scale)
+    spec = binary_hierarchy(netlist.total_size(), height=4)
+    return netlist, spec
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_net_model(benchmark, instance, model):
+    netlist, spec = instance
+    config = FlowHTPConfig(
+        iterations=1,
+        constructions_per_metric=4,
+        net_model=model,
+        seed=1,
+        metric=SpreadingMetricConfig(
+            alpha=0.3, delta=0.03, epsilon=0.1, max_rounds=1000
+        ),
+    )
+    result = benchmark.pedantic(
+        flow_htp, args=(netlist, spec), kwargs={"config": config},
+        rounds=1, iterations=1,
+    )
+    _results[model] = result.cost
+
+
+def test_report(benchmark, results_dir):
+    table = Table(
+        title="ABLATION - net model for the metric graph on c1355",
+        headers=["model", "FLOW cost"],
+    )
+    for model in MODELS:
+        if model in _results:
+            table.add_row(model, _results[model])
+    rendered = benchmark.pedantic(table.render, rounds=1, iterations=1)
+    emit(results_dir, "ablation_net_model.txt", rendered)

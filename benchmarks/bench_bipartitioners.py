@@ -1,0 +1,116 @@
+"""Bipartitioner shoot-out: every min-cut engine in the library.
+
+One balanced bipartition task (c1355 surrogate, 45..55% window), solved
+by FM (random and BFS init), KL, spectral sweep, flow-based FBB, and the
+modern multilevel V-cycle.  Context for DESIGN.md's baseline-strength
+discussion and for the novelty band's hMETIS/KaHyPar comparison.
+"""
+
+import math
+import random
+
+import pytest
+from conftest import emit
+
+from repro.analysis.tables import Table
+from repro.hypergraph.generators import iscas85_surrogate
+from repro.partitioning.fbb import fbb_bipartition
+from repro.partitioning.fm import FMConfig, fm_bipartition
+from repro.partitioning.kl import kl_bipartition
+from repro.partitioning.multilevel import MultilevelConfig, multilevel_bipartition
+from repro.partitioning.spectral import spectral_bipartition
+
+_results = {}
+
+
+@pytest.fixture(scope="module")
+def task(experiment_config):
+    netlist = iscas85_surrogate("c1355", scale=experiment_config.scale)
+    n = netlist.total_size()
+    return netlist, math.floor(0.45 * n), math.ceil(0.55 * n)
+
+
+def test_fm_random(benchmark, task):
+    netlist, lower, upper = task
+    _sides, cut = benchmark.pedantic(
+        fm_bipartition,
+        args=(netlist, lower, upper),
+        kwargs={"rng": random.Random(0), "config": FMConfig(init="random")},
+        rounds=1,
+        iterations=1,
+    )
+    _results["FM (random init)"] = cut
+
+
+def test_fm_bfs(benchmark, task):
+    netlist, lower, upper = task
+    _sides, cut = benchmark.pedantic(
+        fm_bipartition,
+        args=(netlist, lower, upper),
+        kwargs={"rng": random.Random(0), "config": FMConfig(init="bfs")},
+        rounds=1,
+        iterations=1,
+    )
+    _results["FM (BFS init)"] = cut
+
+
+def test_kl(benchmark, task):
+    netlist, _lower, _upper = task
+
+    def run():
+        return kl_bipartition(netlist, rng=random.Random(0))
+
+    _sides, cut = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results["KL (exact balance)"] = cut
+
+
+def test_spectral(benchmark, task):
+    netlist, lower, upper = task
+    _side0, cut = benchmark.pedantic(
+        spectral_bipartition,
+        args=(netlist, lower, upper),
+        rounds=1,
+        iterations=1,
+    )
+    _results["spectral sweep"] = cut
+
+
+def test_fbb(benchmark, task):
+    netlist, lower, upper = task
+
+    def run():
+        return fbb_bipartition(
+            netlist, lower, upper, rng=random.Random(0)
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results["FBB (max-flow)"] = result.cut_capacity
+
+
+def test_multilevel(benchmark, task):
+    netlist, lower, upper = task
+    _sides, cut = benchmark.pedantic(
+        multilevel_bipartition,
+        args=(netlist, lower, upper),
+        kwargs={"config": MultilevelConfig(seed=0)},
+        rounds=1,
+        iterations=1,
+    )
+    _results["multilevel (hMETIS-style)"] = cut
+
+
+def test_report(benchmark, results_dir):
+    table = Table(
+        title="BIPARTITIONER SHOOT-OUT on c1355 (45-55% window, cut nets)",
+        headers=["engine", "cut"],
+    )
+    for engine in sorted(_results, key=_results.get):
+        table.add_row(engine, _results[engine])
+    rendered = benchmark.pedantic(table.render, rounds=1, iterations=1)
+    emit(results_dir, "bipartitioners.txt", rendered)
+    # the multilevel engine should be at least competitive with flat FM
+    if "multilevel (hMETIS-style)" in _results and "FM (random init)" in _results:
+        assert (
+            _results["multilevel (hMETIS-style)"]
+            <= _results["FM (random init)"] * 1.5
+        )

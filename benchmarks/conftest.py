@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Set ``REPRO_BENCH_SCALE`` (e.g. ``0.25``) to shrink the surrogate
+circuits for a quick smoke run; the default ``1.0`` reproduces the
+paper-sized instances.  Reproduced tables are written to
+``benchmarks/results/`` and printed.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """Experiment parameters shared by every table benchmark."""
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return ExperimentConfig(scale=scale)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory collecting the regenerated tables."""
+    directory = Path(__file__).parent / "results"
+    directory.mkdir(exist_ok=True)
+    return directory
+
+
+@pytest.fixture(scope="session")
+def partition_store() -> dict:
+    """Cross-benchmark store: Table 2's partitions feed Table 3."""
+    return {}
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Write a reproduced table to disk and echo it."""
+    (results_dir / name).write_text(text + "\n")
+    print(f"\n{text}\n[written to benchmarks/results/{name}]")

@@ -1,0 +1,37 @@
+"""Classic graph-algorithm substrate.
+
+Everything the paper's algorithms lean on is implemented here from scratch:
+an indexed priority queue, disjoint sets, Dijkstra (with a k-nearest
+iterator used by Algorithm 2), Prim region growing, Kruskal spanning trees,
+Dinic max-flow and min-cut routines (the network-flow duality substrate the
+paper's Section 1 builds on).
+"""
+
+from repro.algorithms.heap import IndexedHeap
+from repro.algorithms.union_find import UnionFind
+from repro.algorithms.dijkstra import (
+    dijkstra,
+    dijkstra_expansion,
+    shortest_path_tree,
+)
+from repro.algorithms.prim import prim_growth, prim_mst
+from repro.algorithms.bfs import bfs_order, components
+from repro.algorithms.spanning import kruskal_mst
+from repro.algorithms.maxflow import dinic_max_flow, min_cut_partition
+from repro.algorithms.mincut import stoer_wagner_min_cut
+
+__all__ = [
+    "IndexedHeap",
+    "UnionFind",
+    "dijkstra",
+    "dijkstra_expansion",
+    "shortest_path_tree",
+    "prim_growth",
+    "prim_mst",
+    "bfs_order",
+    "components",
+    "kruskal_mst",
+    "dinic_max_flow",
+    "min_cut_partition",
+    "stoer_wagner_min_cut",
+]

@@ -1,0 +1,38 @@
+"""Breadth-first search utilities."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from repro.hypergraph.graph import Graph
+
+
+def bfs_order(graph: Graph, source: int) -> List[int]:
+    """Nodes reachable from ``source`` in BFS order."""
+    seen = [False] * graph.num_nodes
+    seen[source] = True
+    order = [source]
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor, _edge_id in graph.neighbors(node):
+            if not seen[neighbor]:
+                seen[neighbor] = True
+                order.append(neighbor)
+                queue.append(neighbor)
+    return order
+
+
+def components(graph: Graph) -> List[List[int]]:
+    """Connected components, each sorted, ordered by smallest member."""
+    seen = [False] * graph.num_nodes
+    result: List[List[int]] = []
+    for start in graph.nodes():
+        if seen[start]:
+            continue
+        component = bfs_order(graph, start)
+        for v in component:
+            seen[v] = True
+        result.append(sorted(component))
+    return result

@@ -1,0 +1,107 @@
+"""Dijkstra shortest paths with a k-nearest expansion iterator.
+
+Algorithm 2 of the paper grows shortest-path trees ``S(v, k)`` for
+``k = 1, 2, ...`` and stops at the first ``k`` whose spreading constraint is
+violated.  :func:`dijkstra_expansion` supports exactly that access pattern:
+it yields settled nodes one at a time, in nondecreasing distance order,
+together with the tree edge that attached them — so the caller can stop the
+search as early as it likes.
+
+Edge lengths are supplied externally (indexed by edge id) because the
+spreading metric mutates them between runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.algorithms.heap import IndexedHeap
+from repro.hypergraph.graph import Graph
+
+#: Yielded by :func:`dijkstra_expansion`: (node, distance, tree_edge_id,
+#: predecessor).  The source has tree_edge_id = -1 and predecessor = -1.
+ExpansionStep = Tuple[int, float, int, int]
+
+
+def dijkstra_expansion(
+    graph: Graph,
+    source: int,
+    lengths: Sequence[float],
+) -> Iterator[ExpansionStep]:
+    """Yield nodes in nondecreasing shortest-path distance from ``source``.
+
+    Each step is ``(node, dist, tree_edge_id, predecessor)`` where
+    ``tree_edge_id`` is the edge through which the node was settled (-1 for
+    the source).  Unreachable nodes are never yielded.
+    """
+    dist: List[float] = [math.inf] * graph.num_nodes
+    pred_edge: List[int] = [-1] * graph.num_nodes
+    pred_node: List[int] = [-1] * graph.num_nodes
+    settled = [False] * graph.num_nodes
+    heap = IndexedHeap()
+    dist[source] = 0.0
+    heap.push(source, 0.0)
+    while heap:
+        node, node_dist = heap.pop()
+        node = int(node)
+        settled[node] = True
+        yield node, node_dist, pred_edge[node], pred_node[node]
+        for neighbor, edge_id in graph.neighbors(node):
+            if settled[neighbor]:
+                continue
+            candidate = node_dist + lengths[edge_id]
+            if candidate < dist[neighbor]:
+                dist[neighbor] = candidate
+                pred_edge[neighbor] = edge_id
+                pred_node[neighbor] = node
+                heap.push(neighbor, candidate)
+
+
+def dijkstra(
+    graph: Graph,
+    source: int,
+    lengths: Sequence[float],
+) -> Tuple[List[float], List[int], List[int]]:
+    """Full single-source shortest paths.
+
+    Returns ``(dist, pred_node, pred_edge)`` lists indexed by node id;
+    unreachable nodes have ``dist = inf`` and predecessors -1.
+    """
+    dist: List[float] = [math.inf] * graph.num_nodes
+    pred_node: List[int] = [-1] * graph.num_nodes
+    pred_edge: List[int] = [-1] * graph.num_nodes
+    for node, node_dist, edge_id, parent in dijkstra_expansion(
+        graph, source, lengths
+    ):
+        dist[node] = node_dist
+        pred_node[node] = parent
+        pred_edge[node] = edge_id
+    return dist, pred_node, pred_edge
+
+
+def shortest_path_tree(
+    graph: Graph,
+    source: int,
+    lengths: Sequence[float],
+    k: Optional[int] = None,
+) -> Tuple[List[int], List[float], List[int]]:
+    """The shortest-path tree ``S(source, k)`` of the paper.
+
+    Returns ``(nodes, dists, tree_edges)``: the ``k`` nearest reachable
+    nodes (all reachable nodes if ``k`` is None) in settle order, their
+    distances, and the ``len(nodes) - 1`` tree edge ids connecting them.
+    """
+    nodes: List[int] = []
+    dists: List[float] = []
+    tree_edges: List[int] = []
+    for node, node_dist, edge_id, _parent in dijkstra_expansion(
+        graph, source, lengths
+    ):
+        nodes.append(node)
+        dists.append(node_dist)
+        if edge_id >= 0:
+            tree_edges.append(edge_id)
+        if k is not None and len(nodes) >= k:
+            break
+    return nodes, dists, tree_edges

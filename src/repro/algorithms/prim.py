@@ -1,0 +1,85 @@
+"""Prim's algorithm: minimum spanning trees and region growing.
+
+``find_cut`` (Algorithm 3) grows a region from a seed node, always
+attaching the node with minimum metric distance to the region — exactly
+Prim's attachment rule.  :func:`prim_growth` exposes that growth order;
+:func:`prim_mst` is the classic spanning-tree variant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.algorithms.heap import IndexedHeap
+from repro.hypergraph.graph import Graph
+
+#: Yielded by :func:`prim_growth`: (node, attachment_cost, attachment_edge).
+#: Seeds have cost inf and edge -1 (a fresh-component jump).
+GrowthStep = Tuple[int, float, int]
+
+
+def prim_growth(
+    graph: Graph,
+    seeds: Iterable[int],
+    lengths: Sequence[float],
+    restart_order: Optional[Iterable[int]] = None,
+) -> Iterator[GrowthStep]:
+    """Grow a region from ``seeds`` by minimum attachment cost.
+
+    Yields every node of the graph exactly once.  When the frontier
+    empties before all nodes are covered (disconnected graph), growth
+    restarts from the next unvisited node of ``restart_order`` (node-id
+    order by default); such jump nodes are yielded with cost ``inf``.
+    """
+    visited = [False] * graph.num_nodes
+    heap = IndexedHeap()
+    attach_edge = {}
+    for seed in seeds:
+        if not visited[seed] and seed not in heap:
+            heap.push(seed, -math.inf)  # ensure seeds pop first
+            attach_edge[seed] = -1
+    restarts = iter(
+        restart_order if restart_order is not None else range(graph.num_nodes)
+    )
+    yielded = 0
+    while yielded < graph.num_nodes:
+        if not heap:
+            jump = next(
+                (v for v in restarts if not visited[v]),
+                None,
+            )
+            if jump is None:
+                # restart_order was partial; fall back to node-id scan
+                jump = next(v for v in range(graph.num_nodes) if not visited[v])
+            heap.push(jump, -math.inf)
+            attach_edge[jump] = -1
+        node, cost = heap.pop()
+        node = int(node)
+        if visited[node]:
+            continue
+        visited[node] = True
+        yielded += 1
+        yield node, (math.inf if cost == -math.inf else cost), attach_edge[node]
+        for neighbor, edge_id in graph.neighbors(node):
+            if visited[neighbor]:
+                continue
+            weight = lengths[edge_id]
+            if neighbor not in heap or weight < heap.priority(neighbor):
+                heap.push(neighbor, weight)
+                attach_edge[neighbor] = edge_id
+
+
+def prim_mst(
+    graph: Graph, lengths: Optional[Sequence[float]] = None
+) -> List[int]:
+    """Edge ids of a minimum spanning forest under ``lengths``.
+
+    Defaults to the graph's capacities as weights when ``lengths`` is None.
+    """
+    weights = graph.capacities() if lengths is None else lengths
+    tree_edges: List[int] = []
+    for _node, cost, edge_id in prim_growth(graph, [0], weights):
+        if edge_id >= 0 and not math.isinf(cost):
+            tree_edges.append(edge_id)
+    return tree_edges

@@ -1,0 +1,28 @@
+"""Kruskal minimum spanning forest (cross-check for Prim)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.algorithms.union_find import UnionFind
+from repro.hypergraph.graph import Graph
+
+
+def kruskal_mst(
+    graph: Graph, lengths: Optional[Sequence[float]] = None
+) -> List[int]:
+    """Edge ids of a minimum spanning forest under ``lengths``.
+
+    Defaults to the graph's capacities as weights when ``lengths`` is None.
+    """
+    weights = graph.capacities() if lengths is None else lengths
+    order = sorted(range(graph.num_edges), key=lambda e: weights[e])
+    dsu = UnionFind(graph.num_nodes)
+    tree_edges: List[int] = []
+    for edge_id in order:
+        u, v = graph.edge(edge_id)
+        if dsu.union(u, v):
+            tree_edges.append(edge_id)
+            if dsu.num_sets == 1:
+                break
+    return tree_edges

@@ -1,0 +1,55 @@
+"""Disjoint-set union with path compression and union by size."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class UnionFind:
+    """Classic DSU over ``0..n-1``."""
+
+    def __init__(self, n: int) -> None:
+        self._parent = list(range(n))
+        self._size = [1] * n
+        self._num_sets = n
+
+    @property
+    def num_sets(self) -> int:
+        """Current number of disjoint sets."""
+        return self._num_sets
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set (with path compression)."""
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, x: int, y: int) -> bool:
+        """Merge the sets of ``x`` and ``y``; False if already merged."""
+        root_x, root_y = self.find(x), self.find(y)
+        if root_x == root_y:
+            return False
+        if self._size[root_x] < self._size[root_y]:
+            root_x, root_y = root_y, root_x
+        self._parent[root_y] = root_x
+        self._size[root_x] += self._size[root_y]
+        self._num_sets -= 1
+        return True
+
+    def connected(self, x: int, y: int) -> bool:
+        """True when ``x`` and ``y`` are in the same set."""
+        return self.find(x) == self.find(y)
+
+    def set_size(self, x: int) -> int:
+        """Number of elements in ``x``'s set."""
+        return self._size[self.find(x)]
+
+    def sets(self) -> List[List[int]]:
+        """All sets as sorted lists, ordered by representative."""
+        groups = {}
+        for x in range(len(self._parent)):
+            groups.setdefault(self.find(x), []).append(x)
+        return [sorted(groups[r]) for r in sorted(groups)]

@@ -1,0 +1,22 @@
+"""Experiment drivers and reporting (Tables 1-3, ablations)."""
+
+from repro.analysis.tables import Table, format_table
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    Table2Row,
+    Table3Row,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+__all__ = [
+    "Table",
+    "format_table",
+    "ExperimentConfig",
+    "Table2Row",
+    "Table3Row",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+]

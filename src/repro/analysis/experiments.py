@@ -1,0 +1,283 @@
+"""Drivers that regenerate the paper's experiments (Tables 1-3).
+
+Every experiment uses the same setup as the paper: full binary tree of
+height 4 (``K_l = 2``, five levels), per-circuit capacities derived from
+the circuit size, unit weights, on the five ISCAS85 surrogate circuits.
+``scale`` shrinks the instances proportionally for smoke runs.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.tables import Table
+from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.core.spreading_metric import SpreadingMetricConfig
+from repro.htp.cost import total_cost
+from repro.htp.hierarchy import HierarchySpec, binary_hierarchy
+from repro.htp.validate import check_partition
+from repro.hypergraph.generators import ISCAS85_SIZES, iscas85_surrogate
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.metrics import netlist_stats
+from repro.partitioning.fm import FMConfig
+from repro.partitioning.gfm import gfm_partition
+from repro.partitioning.htp_fm import HTPFMConfig, htp_fm_improve
+from repro.partitioning.rfm import rfm_partition
+
+#: The circuits of Table 1, in paper order.
+CIRCUITS = ("c1355", "c2670", "c3540", "c6288", "c7552")
+
+
+@dataclass
+class ExperimentConfig:
+    """Shared experiment parameters.
+
+    ``scale`` < 1 shrinks the surrogate circuits; ``height`` is the tree
+    height (the paper uses 4); ``seed`` drives all randomness.
+    """
+
+    scale: float = 1.0
+    height: int = 4
+    slack: float = 0.10
+    seed: int = 0
+    circuits: Sequence[str] = CIRCUITS
+    flow: Optional[FlowHTPConfig] = None
+    fm: Optional[FMConfig] = None
+    improve: Optional[HTPFMConfig] = None
+
+    def flow_config(self) -> FlowHTPConfig:
+        """The FLOW configuration (default tuned for the surrogates)."""
+        if self.flow is not None:
+            return self.flow
+        return FlowHTPConfig(
+            iterations=3,
+            constructions_per_metric=8,
+            find_cut_restarts=3,
+            metric=SpreadingMetricConfig(
+                alpha=0.3, delta=0.03, epsilon=0.1, max_rounds=1000
+            ),
+            seed=self.seed,
+        )
+
+    def load(self, circuit: str) -> Hypergraph:
+        """The surrogate netlist for ``circuit``."""
+        return iscas85_surrogate(circuit, seed=self.seed, scale=self.scale)
+
+    def spec_for(self, hypergraph: Hypergraph) -> HierarchySpec:
+        """The binary hierarchy spec for a netlist."""
+        return binary_hierarchy(
+            hypergraph.total_size(), height=self.height, slack=self.slack
+        )
+
+
+# ----------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------
+def run_table1(config: Optional[ExperimentConfig] = None) -> Table:
+    """Table 1: sizes of the (surrogate) ISCAS85 test cases."""
+    config = config or ExperimentConfig()
+    table = Table(
+        title="TABLE 1 - THE SIZES OF THE ISCAS85 TEST CASES (surrogates)",
+        headers=[
+            "circuit",
+            "#nodes",
+            "#nets",
+            "#pins",
+            "paper #nodes",
+            "paper #nets",
+            "paper #pins",
+        ],
+    )
+    for circuit in config.circuits:
+        stats = netlist_stats(config.load(circuit))
+        paper_nodes, paper_nets, paper_pins = ISCAS85_SIZES[circuit]
+        table.add_row(
+            circuit,
+            stats.num_nodes,
+            stats.num_nets,
+            stats.num_pins,
+            paper_nodes,
+            paper_nets,
+            paper_pins,
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Table 2
+# ----------------------------------------------------------------------
+@dataclass
+class Table2Row:
+    """One circuit's constructive results (costs + FLOW CPU seconds)."""
+
+    circuit: str
+    gfm_cost: float
+    rfm_cost: float
+    flow_cost: float
+    gfm_seconds: float
+    rfm_seconds: float
+    flow_seconds: float
+
+
+def run_table2(
+    config: Optional[ExperimentConfig] = None,
+    collect_partitions: Optional[Dict] = None,
+) -> List[Table2Row]:
+    """Table 2: GFM vs RFM vs FLOW constructive costs.
+
+    ``collect_partitions``, when given a dict, receives
+    ``(circuit, algorithm) -> (hypergraph, spec, partition)`` so Table 3
+    can improve the same partitions.
+    """
+    config = config or ExperimentConfig()
+    rows: List[Table2Row] = []
+    for circuit in config.circuits:
+        hypergraph = config.load(circuit)
+        spec = config.spec_for(hypergraph)
+
+        start = time.perf_counter()
+        gfm_tree = gfm_partition(
+            hypergraph, spec, rng=random.Random(config.seed), fm_config=config.fm
+        )
+        gfm_seconds = time.perf_counter() - start
+        check_partition(hypergraph, gfm_tree, spec)
+
+        start = time.perf_counter()
+        rfm_tree = rfm_partition(
+            hypergraph, spec, rng=random.Random(config.seed), fm_config=config.fm
+        )
+        rfm_seconds = time.perf_counter() - start
+        check_partition(hypergraph, rfm_tree, spec)
+
+        flow_result = flow_htp(hypergraph, spec, config.flow_config())
+        check_partition(hypergraph, flow_result.partition, spec)
+
+        rows.append(
+            Table2Row(
+                circuit=circuit,
+                gfm_cost=total_cost(hypergraph, gfm_tree, spec),
+                rfm_cost=total_cost(hypergraph, rfm_tree, spec),
+                flow_cost=flow_result.cost,
+                gfm_seconds=gfm_seconds,
+                rfm_seconds=rfm_seconds,
+                flow_seconds=flow_result.runtime_seconds,
+            )
+        )
+        if collect_partitions is not None:
+            collect_partitions[(circuit, "GFM")] = (hypergraph, spec, gfm_tree)
+            collect_partitions[(circuit, "RFM")] = (hypergraph, spec, rfm_tree)
+            collect_partitions[(circuit, "FLOW")] = (
+                hypergraph,
+                spec,
+                flow_result.partition,
+            )
+    return rows
+
+
+def table2_to_table(rows: Sequence[Table2Row]) -> Table:
+    """Render Table 2 rows in the paper's layout."""
+    table = Table(
+        title="TABLE 2 - PARTITIONING RESULTS OF THREE ALGORITHMS",
+        headers=[
+            "circuit",
+            "GFM cost",
+            "RFM cost",
+            "FLOW cost",
+            "FLOW CPU (s)",
+        ],
+    )
+    for row in rows:
+        table.add_row(
+            row.circuit,
+            row.gfm_cost,
+            row.rfm_cost,
+            row.flow_cost,
+            round(row.flow_seconds, 1),
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Table 3
+# ----------------------------------------------------------------------
+@dataclass
+class Table3Row:
+    """One circuit's FM-improved results (the '+' algorithms)."""
+
+    circuit: str
+    gfm_plus_cost: float
+    gfm_improvement: float
+    rfm_plus_cost: float
+    rfm_improvement: float
+    flow_plus_cost: float
+    flow_improvement: float
+
+
+def run_table3(
+    config: Optional[ExperimentConfig] = None,
+    partitions: Optional[Dict] = None,
+) -> List[Table3Row]:
+    """Table 3: GFM+/RFM+/FLOW+ — FM improvement on Table 2's partitions.
+
+    ``partitions`` may carry the dict filled by :func:`run_table2`; when
+    absent, Table 2 is re-run internally.
+    """
+    config = config or ExperimentConfig()
+    if partitions is None:
+        partitions = {}
+        run_table2(config, collect_partitions=partitions)
+    improve_config = config.improve or HTPFMConfig(seed=config.seed)
+
+    rows: List[Table3Row] = []
+    for circuit in config.circuits:
+        improved = {}
+        for algorithm in ("GFM", "RFM", "FLOW"):
+            hypergraph, spec, tree = partitions[(circuit, algorithm)]
+            result = htp_fm_improve(hypergraph, tree, spec, improve_config)
+            check_partition(hypergraph, result.partition, spec)
+            improved[algorithm] = result
+        rows.append(
+            Table3Row(
+                circuit=circuit,
+                gfm_plus_cost=improved["GFM"].final_cost,
+                gfm_improvement=improved["GFM"].improvement,
+                rfm_plus_cost=improved["RFM"].final_cost,
+                rfm_improvement=improved["RFM"].improvement,
+                flow_plus_cost=improved["FLOW"].final_cost,
+                flow_improvement=improved["FLOW"].improvement,
+            )
+        )
+    return rows
+
+
+def table3_to_table(rows: Sequence[Table3Row]) -> Table:
+    """Render Table 3 rows in the paper's layout."""
+    table = Table(
+        title=(
+            "TABLE 3 - PARTITIONING RESULTS OF THREE ALGORITHMS COMBINED "
+            "WITH ITERATIVE IMPROVEMENT"
+        ),
+        headers=[
+            "circuit",
+            "GFM+ cost",
+            "GFM+ improv.",
+            "RFM+ cost",
+            "RFM+ improv.",
+            "FLOW+ cost",
+            "FLOW+ improv.",
+        ],
+    )
+    for row in rows:
+        table.add_row(
+            row.circuit,
+            row.gfm_plus_cost,
+            f"{row.gfm_improvement:.1%}",
+            row.rfm_plus_cost,
+            f"{row.rfm_improvement:.1%}",
+            row.flow_plus_cost,
+            f"{row.flow_improvement:.1%}",
+        )
+    return table

@@ -1,0 +1,107 @@
+"""Phase-level profiling of the FLOW algorithm.
+
+Section 3.3 of the paper argues the spreading-metric computation
+(Algorithm 2) dominates the construction (Algorithm 3):
+``O((b_c log b_d) m (n+p) log n)`` vs ``O((n+p) log^2 n)``.  This module
+measures the actual wall-clock split so EXPERIMENTS.md can check the
+claim empirically.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.construct import construct_partition
+from repro.core.flow_htp import FlowHTPConfig
+from repro.core.spreading_metric import compute_spreading_metric
+from repro.htp.cost import total_cost
+from repro.htp.hierarchy import HierarchySpec
+from repro.hypergraph.expansion import to_graph
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+@dataclass
+class FlowProfile:
+    """Wall-clock split of one FLOW run."""
+
+    metric_seconds: float
+    construct_seconds: float
+    evaluate_seconds: float
+    total_seconds: float
+    best_cost: float
+
+    @property
+    def metric_fraction(self) -> float:
+        """Share of the runtime spent in Algorithm 2."""
+        if self.total_seconds == 0:
+            return 0.0
+        return self.metric_seconds / self.total_seconds
+
+
+def profile_flow(
+    hypergraph: Hypergraph,
+    spec: HierarchySpec,
+    config: Optional[FlowHTPConfig] = None,
+) -> FlowProfile:
+    """Run FLOW with per-phase timing (same semantics as flow_htp)."""
+    config = config or FlowHTPConfig()
+    rng = random.Random(config.seed)
+    start_total = time.perf_counter()
+    graph = to_graph(
+        hypergraph, model=config.net_model, rng=random.Random(config.seed)
+    )
+
+    metric_seconds = 0.0
+    construct_seconds = 0.0
+    evaluate_seconds = 0.0
+    best_cost = float("inf")
+
+    for _iteration in range(config.iterations):
+        metric_config = config.metric
+        start = time.perf_counter()
+        metric = compute_spreading_metric(
+            graph,
+            spec,
+            metric_config,
+            rng=random.Random(rng.randrange(2**31)),
+        )
+        metric_seconds += time.perf_counter() - start
+        for _construction in range(config.constructions_per_metric):
+            start = time.perf_counter()
+            partition = construct_partition(
+                hypergraph,
+                graph,
+                spec,
+                metric.lengths,
+                rng=rng,
+                find_cut_restarts=config.find_cut_restarts,
+                strategy=config.find_cut_strategy,
+            )
+            construct_seconds += time.perf_counter() - start
+            start = time.perf_counter()
+            cost = total_cost(hypergraph, partition, spec)
+            evaluate_seconds += time.perf_counter() - start
+            best_cost = min(best_cost, cost)
+
+    return FlowProfile(
+        metric_seconds=metric_seconds,
+        construct_seconds=construct_seconds,
+        evaluate_seconds=evaluate_seconds,
+        total_seconds=time.perf_counter() - start_total,
+        best_cost=best_cost,
+    )
+
+
+def scaling_profile(
+    circuits: List[Hypergraph],
+    spec_for,
+    config: Optional[FlowHTPConfig] = None,
+) -> List[FlowProfile]:
+    """Profiles across instances (the runtime-scaling experiment)."""
+    return [
+        profile_flow(hypergraph, spec_for(hypergraph), config)
+        for hypergraph in circuits
+    ]

@@ -1,0 +1,121 @@
+"""One-shot experiment report: everything the paper measures, as markdown.
+
+``generate_report`` runs Tables 1-3 (at a configurable scale) plus the
+Figure 2 checks and renders a self-contained markdown document — the
+programmatic counterpart of EXPERIMENTS.md, usable for regression
+tracking across machines::
+
+    from repro.analysis.report import generate_report
+    print(generate_report(scale=0.25))
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    run_table1,
+    run_table2,
+    run_table3,
+    table2_to_table,
+    table3_to_table,
+)
+from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.core.lp import solve_spreading_lp
+from repro.htp.cost import induced_metric, total_cost
+from repro.htp.hierarchy import figure2_hierarchy
+from repro.htp.partition import PartitionTree
+from repro.hypergraph.generators import (
+    figure2_graph,
+    figure2_hypergraph,
+    figure2_optimal_blocks,
+)
+
+
+def _figure2_section() -> List[str]:
+    graph = figure2_graph()
+    netlist = figure2_hypergraph()
+    spec = figure2_hierarchy()
+    blocks = figure2_optimal_blocks()
+    optimal = PartitionTree.from_nested(
+        [[blocks[0], blocks[1]], [blocks[2], blocks[3]]], 16
+    )
+    cost = total_cost(netlist, optimal, spec)
+    metric_values = sorted(set(induced_metric(netlist, optimal, spec)))
+    lp = solve_spreading_lp(graph, spec)
+    flow = flow_htp(
+        netlist,
+        spec,
+        FlowHTPConfig(iterations=2, constructions_per_metric=4, seed=1),
+        graph=graph,
+    )
+    lines = ["## Figure 2 (worked example)", ""]
+    lines.append(f"* optimal cost: **{cost:g}** (paper: 20)")
+    lines.append(
+        f"* induced metric values: **{metric_values}** (paper: 0, 2, 6)"
+    )
+    lines.append(
+        f"* LP (P1) optimum: **{lp.lower_bound:.3f}** "
+        f"(converged: {lp.converged})"
+    )
+    lines.append(f"* FLOW recovered cost: **{flow.cost:g}**")
+    lines.append("")
+    return lines
+
+
+def generate_report(
+    scale: float = 1.0,
+    seed: int = 0,
+    config: Optional[ExperimentConfig] = None,
+    include_figure2: bool = True,
+) -> str:
+    """Run the full experiment battery and return a markdown report."""
+    config = config or ExperimentConfig(scale=scale, seed=seed)
+    started = time.perf_counter()
+    lines: List[str] = [
+        "# HTP reproduction report",
+        "",
+        f"scale = {config.scale}, seed = {config.seed}, "
+        f"circuits = {', '.join(config.circuits)}",
+        "",
+    ]
+
+    lines += ["## Table 1", "", "```", run_table1(config).render(), "```", ""]
+
+    store: dict = {}
+    rows2 = run_table2(config, collect_partitions=store)
+    lines += [
+        "## Table 2",
+        "",
+        "```",
+        table2_to_table(rows2).render(),
+        "```",
+        "",
+    ]
+    flow_wins = [
+        row.circuit
+        for row in rows2
+        if row.flow_cost < min(row.gfm_cost, row.rfm_cost)
+    ]
+    lines.append(f"FLOW wins on: {', '.join(flow_wins) or 'none'}")
+    lines.append("")
+
+    rows3 = run_table3(config, partitions=store)
+    lines += [
+        "## Table 3",
+        "",
+        "```",
+        table3_to_table(rows3).render(),
+        "```",
+        "",
+    ]
+
+    if include_figure2:
+        lines += _figure2_section()
+
+    lines.append(
+        f"_generated in {time.perf_counter() - started:.1f}s_"
+    )
+    return "\n".join(lines)

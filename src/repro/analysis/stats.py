@@ -1,0 +1,38 @@
+"""Small statistics helpers for experiment reporting."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+
+def summary(values: Sequence[float]) -> Dict[str, float]:
+    """min / max / mean / stdev of a non-empty sample."""
+    if not values:
+        raise ValueError("summary of an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return {
+        "n": float(n),
+        "min": min(values),
+        "max": max(values),
+        "mean": mean,
+        "stdev": math.sqrt(variance),
+    }
+
+
+def improvement(before: float, after: float) -> float:
+    """Fractional improvement from ``before`` to ``after`` (0 when before=0)."""
+    if before == 0:
+        return 0.0
+    return (before - after) / before
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    if not values:
+        raise ValueError("geometric mean of an empty sample")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

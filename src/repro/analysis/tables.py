@@ -1,0 +1,58 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+@dataclass
+class Table:
+    """A simple column-aligned table with a title."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append a row (must match the header count)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        """The table as aligned plain text."""
+        return format_table(self.title, self.headers, self.rows)
+
+
+def _format_cell(cell: Cell) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        if abs(cell - round(cell)) < 1e-9 and abs(cell) < 1e15:
+            return str(int(round(cell)))
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[Cell]]
+) -> str:
+    """Render a title, header row, separator, and aligned data rows."""
+    text_rows = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(widths[i]) for i, c in enumerate(cells))
+
+    parts = [title, line(list(headers)), line(["-" * w for w in widths])]
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)

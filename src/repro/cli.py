@@ -1,0 +1,262 @@
+"""Command-line interface: ``htp <command>``.
+
+Commands
+--------
+``htp generate``   write a surrogate/synthetic netlist to an .hgr file
+``htp partition``  partition a netlist (flow | gfm | rfm) and report cost
+``htp lowerbound`` compute the LP lower bound of an instance
+``htp table``      regenerate a paper table (1, 2 or 3)
+``htp search``     sweep tree heights and report the best hierarchy
+``htp separator``  compute a rho-separator of a netlist
+
+Netlists are read from hMETIS ``.hgr`` files, or from ISCAS ``.bench``
+files when the path ends in ``.bench``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    run_table1,
+    run_table2,
+    run_table3,
+    table2_to_table,
+    table3_to_table,
+)
+from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.core.lp import solve_spreading_lp
+from repro.core.spreading_metric import SpreadingMetricConfig
+from repro.htp.cost import total_cost
+from repro.htp.hierarchy import binary_hierarchy
+from repro.htp.validate import partition_violations
+from repro.hypergraph import io as hio
+from repro.hypergraph.expansion import to_graph
+from repro.hypergraph.generators import (
+    ISCAS85_SIZES,
+    iscas85_surrogate,
+    planted_hierarchy_hypergraph,
+    random_hypergraph,
+)
+from repro.partitioning.gfm import gfm_partition
+from repro.partitioning.htp_fm import htp_fm_improve
+from repro.partitioning.rfm import rfm_partition
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="htp",
+        description=(
+            "Hierarchical tree partitioning (Kuo & Cheng, DAC 1997 "
+            "reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic netlist (.hgr)")
+    gen.add_argument("output", help="output .hgr path")
+    gen.add_argument(
+        "--kind",
+        choices=sorted(ISCAS85_SIZES) + ["planted", "random"],
+        default="planted",
+    )
+    gen.add_argument("--nodes", type=int, default=256)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--scale", type=float, default=1.0)
+
+    part = sub.add_parser("partition", help="partition a netlist")
+    part.add_argument("input", help="input .hgr path")
+    part.add_argument(
+        "--algorithm", choices=["flow", "gfm", "rfm"], default="flow"
+    )
+    part.add_argument("--height", type=int, default=4)
+    part.add_argument("--seed", type=int, default=0)
+    part.add_argument("--iterations", type=int, default=2)
+    part.add_argument(
+        "--improve", action="store_true", help="run FM improvement afterwards"
+    )
+
+    lower = sub.add_parser("lowerbound", help="LP lower bound (small inputs)")
+    lower.add_argument("input", help="input .hgr path")
+    lower.add_argument("--height", type=int, default=4)
+    lower.add_argument("--max-iterations", type=int, default=200)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int, choices=[1, 2, 3])
+    table.add_argument("--scale", type=float, default=1.0)
+    table.add_argument("--seed", type=int, default=0)
+
+    search = sub.add_parser("search", help="sweep candidate hierarchies")
+    search.add_argument("input", help="input netlist path")
+    search.add_argument("--heights", type=int, nargs="+", default=[2, 3, 4])
+    search.add_argument(
+        "--algorithm", choices=["rfm", "flow"], default="rfm"
+    )
+    search.add_argument("--seed", type=int, default=0)
+
+    separator = sub.add_parser("separator", help="compute a rho-separator")
+    separator.add_argument("input", help="input netlist path")
+    separator.add_argument("--rho", type=float, default=0.25)
+    separator.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _load_netlist(path: str):
+    """Read a netlist by extension (.bench or hMETIS .hgr)."""
+    if str(path).endswith(".bench"):
+        from repro.hypergraph.bench_format import read_bench
+
+        return read_bench(path)
+    return hio.read_hgr(path)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "partition":
+        return _cmd_partition(args)
+    if args.command == "lowerbound":
+        return _cmd_lowerbound(args)
+    if args.command == "table":
+        return _cmd_table(args)
+    if args.command == "search":
+        return _cmd_search(args)
+    if args.command == "separator":
+        return _cmd_separator(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind in ISCAS85_SIZES:
+        netlist = iscas85_surrogate(args.kind, seed=args.seed, scale=args.scale)
+    elif args.kind == "planted":
+        netlist = planted_hierarchy_hypergraph(args.nodes, seed=args.seed)
+    else:
+        netlist = random_hypergraph(
+            args.nodes, round(args.nodes * 1.2), seed=args.seed
+        )
+    hio.write_hgr(netlist, args.output)
+    print(
+        f"wrote {netlist.num_nodes} nodes / {netlist.num_nets} nets / "
+        f"{netlist.num_pins} pins to {args.output}"
+    )
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    netlist = _load_netlist(args.input)
+    spec = binary_hierarchy(netlist.total_size(), height=args.height)
+    if args.algorithm == "flow":
+        config = FlowHTPConfig(
+            iterations=args.iterations,
+            seed=args.seed,
+            metric=SpreadingMetricConfig(delta=0.05, max_rounds=200),
+        )
+        result = flow_htp(netlist, spec, config)
+        tree, cost = result.partition, result.cost
+        print(f"FLOW cost: {cost:g}  ({result.runtime_seconds:.1f}s)")
+    elif args.algorithm == "gfm":
+        tree = gfm_partition(netlist, spec, rng=random.Random(args.seed))
+        cost = total_cost(netlist, tree, spec)
+        print(f"GFM cost: {cost:g}")
+    else:
+        tree = rfm_partition(netlist, spec, rng=random.Random(args.seed))
+        cost = total_cost(netlist, tree, spec)
+        print(f"RFM cost: {cost:g}")
+    problems = partition_violations(netlist, tree, spec)
+    if problems:
+        print("WARNING: constraint violations:")
+        for problem in problems:
+            print(" ", problem)
+    if args.improve:
+        improved = htp_fm_improve(netlist, tree, spec)
+        print(
+            f"after FM improvement: {improved.final_cost:g} "
+            f"({improved.improvement:.1%} better)"
+        )
+    return 0
+
+
+def _cmd_lowerbound(args: argparse.Namespace) -> int:
+    netlist = _load_netlist(args.input)
+    spec = binary_hierarchy(netlist.total_size(), height=args.height)
+    graph = to_graph(netlist)
+    result = solve_spreading_lp(
+        graph, spec, max_iterations=args.max_iterations
+    )
+    print(
+        f"LP lower bound: {result.lower_bound:.3f} "
+        f"(iterations={result.iterations}, "
+        f"constraints={result.num_constraints}, "
+        f"converged={result.converged})"
+    )
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.htp.hierarchy_search import search_hierarchies
+
+    netlist = _load_netlist(args.input)
+    candidates = search_hierarchies(
+        netlist,
+        heights=tuple(args.heights),
+        algorithm=args.algorithm,
+        seed=args.seed,
+    )
+    for candidate in candidates:
+        flag = "" if candidate.valid else "  (INVALID)"
+        print(
+            f"height {candidate.height}: cost {candidate.cost:g} "
+            f"({candidate.seconds:.2f}s){flag}"
+        )
+    if candidates:
+        best = min(
+            (c for c in candidates if c.valid),
+            key=lambda c: c.cost,
+            default=None,
+        )
+        if best is not None:
+            print(f"best: height {best.height} with cost {best.cost:g}")
+    return 0
+
+
+def _cmd_separator(args: argparse.Namespace) -> int:
+    from repro.core.separator import rho_separator
+
+    netlist = _load_netlist(args.input)
+    result = rho_separator(
+        netlist, rho=args.rho, rng=random.Random(args.seed)
+    )
+    sizes = sorted(
+        (round(netlist.total_size(piece), 3) for piece in result.pieces),
+        reverse=True,
+    )
+    print(
+        f"rho = {args.rho}: {len(result.pieces)} pieces, cut capacity "
+        f"{result.cut_capacity:g}"
+    )
+    print(f"piece sizes: {sizes}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    if args.number == 1:
+        print(run_table1(config).render())
+    elif args.number == 2:
+        print(table2_to_table(run_table2(config)).render())
+    else:
+        print(table3_to_table(run_table3(config)).render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

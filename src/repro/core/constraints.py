@@ -1,0 +1,302 @@
+"""The spreading-constraint oracle (Constraint (5) of the paper).
+
+(P1) has a constraint for every node set; Claim 4 of Even et al. reduces
+this to the O(n^2) family over shortest-path trees: for every node ``v``
+and every ``k``,
+
+    sum_{u in S(v,k)} s(u) * dist(v, u)  >=  g(s(S(v,k)))
+
+where ``S(v, k)`` is the tree of the ``k`` nearest nodes to ``v`` under the
+current metric.  (With unit sizes this is exactly the paper's form; the
+size weighting generalises it via Equation (6).)
+
+:class:`SpreadingOracle` answers, for a given metric: is everything
+satisfied?  Which tree is the first / the most violated for a node?  And
+what are the tree-cut coefficients ``delta(S(v,k), e)`` — the total node
+size hanging below each tree edge — needed both for flow injection
+(Algorithm 2) and for LP cutting planes (Equation (7)).
+
+Two engines are provided: a vectorised ``scipy`` engine (CSR Dijkstra from
+C, numpy prefix sums) and a pure-Python reference engine that grows the
+tree incrementally and stops at the first violation.  They are
+cross-checked in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.dijkstra import dijkstra_expansion
+from repro.core.gfunc import spreading_bound_array
+from repro.errors import InfeasibleError
+from repro.htp.hierarchy import HierarchySpec
+from repro.hypergraph.graph import Graph
+
+#: Numerical slack when comparing constraint sides.
+DEFAULT_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violated spreading constraint.
+
+    Attributes
+    ----------
+    source:
+        The node ``v`` anchoring the shortest-path tree.
+    k:
+        Number of nodes in the violated tree ``S(v, k)``.
+    nodes:
+        The tree's nodes in settle order (``nodes[0] == source``).
+    tree_edges:
+        The ``k - 1`` edge ids of the shortest-path tree.
+    lhs:
+        ``sum s(u) dist(v, u)`` over the tree.
+    rhs:
+        ``g(s(S(v, k)))``.
+    """
+
+    source: int
+    k: int
+    nodes: Tuple[int, ...]
+    tree_edges: Tuple[int, ...]
+    lhs: float
+    rhs: float
+
+    @property
+    def gap(self) -> float:
+        """Violation magnitude ``rhs - lhs`` (> 0 for true violations)."""
+        return self.rhs - self.lhs
+
+
+class SpreadingOracle:
+    """Spreading-constraint queries for one graph and hierarchy spec."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        spec: HierarchySpec,
+        engine: str = "scipy",
+        tol: float = DEFAULT_TOL,
+    ) -> None:
+        if engine not in ("scipy", "python"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self._graph = graph
+        self._spec = spec
+        self._engine = engine
+        self._tol = tol
+        self._lengths = np.zeros(graph.num_edges, dtype=float)
+        self._sizes = graph.node_sizes()
+        oversized = [
+            v
+            for v in graph.nodes()
+            if graph.node_size(v) > spec.capacity(0) + tol
+        ]
+        if oversized:
+            raise InfeasibleError(
+                f"nodes {oversized[:5]} are larger than the leaf capacity "
+                f"C_0 = {spec.capacity(0)}; constraint (5) at k = 1 can "
+                f"never be satisfied"
+            )
+        if engine == "scipy":
+            # Materialise the CSR cache once.
+            graph.csr_structure()
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The underlying graph."""
+        return self._graph
+
+    @property
+    def spec(self) -> HierarchySpec:
+        """The hierarchy spec providing ``g``."""
+        return self._spec
+
+    def set_lengths(self, lengths: Sequence[float]) -> None:
+        """Install a metric (copied); lengths are indexed by edge id."""
+        arr = np.asarray(lengths, dtype=float)
+        if arr.shape != (self._graph.num_edges,):
+            raise ValueError(
+                f"expected {self._graph.num_edges} edge lengths, got "
+                f"{arr.shape}"
+            )
+        self._lengths = arr.copy()
+
+    def lengths(self) -> np.ndarray:
+        """The currently installed metric (copy)."""
+        return self._lengths.copy()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def violation_for(
+        self, source: int, mode: str = "first"
+    ) -> Optional[Violation]:
+        """The first (or most) violated tree anchored at ``source``.
+
+        ``mode='first'`` returns the smallest violated ``k`` (what
+        Algorithm 2 injects on); ``mode='max'`` returns the ``k`` with the
+        largest gap (what the LP cutting plane wants).  None when all
+        constraints at ``source`` hold.
+        """
+        if mode not in ("first", "max"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if self._engine == "python" and mode == "first":
+            return self._python_first_violation(source)
+        return self._scipy_violation(source, mode)
+
+    def all_violations(
+        self, sources: Optional[Sequence[int]] = None, mode: str = "max"
+    ) -> List[Violation]:
+        """Violations over ``sources`` (all nodes by default), one per node."""
+        result = []
+        nodes = sources if sources is not None else range(self._graph.num_nodes)
+        for v in nodes:
+            violation = self.violation_for(v, mode=mode)
+            if violation is not None:
+                result.append(violation)
+        return result
+
+    def is_feasible(self, sources: Optional[Sequence[int]] = None) -> bool:
+        """True when no spreading constraint is violated."""
+        nodes = sources if sources is not None else range(self._graph.num_nodes)
+        return all(self.violation_for(v) is None for v in nodes)
+
+    def tree_cut_coefficients(
+        self, violation: Violation
+    ) -> List[Tuple[int, float]]:
+        """``(edge_id, delta(S, e))`` pairs for a violated tree.
+
+        ``delta(S, e)`` is the total node size of the subtree hanging below
+        edge ``e`` (Equation (6)): removing ``e`` disconnects exactly those
+        nodes from the source.  Satisfies the identity
+        ``sum_e d(e) * delta(S, e) == lhs``.
+        """
+        nodes = violation.nodes
+        tree_edges = violation.tree_edges
+        index_of = {node: i for i, node in enumerate(nodes)}
+        # parent_of[i] = index of the parent of nodes[i] in the tree.
+        subtree = [float(self._sizes[node]) for node in nodes]
+        coeffs: List[Tuple[int, float]] = []
+        # Each tree edge connects nodes[i] (i >= 1, in settle order) to its
+        # parent; accumulate subtree sizes from the farthest node inward.
+        parent_index: List[int] = [0] * len(nodes)
+        for i, edge_id in enumerate(tree_edges, start=1):
+            u, w = self._graph.edge(edge_id)
+            child = nodes[i]
+            parent = w if u == child else u
+            parent_index[i] = index_of[parent]
+        for i in range(len(nodes) - 1, 0, -1):
+            subtree[parent_index[i]] += subtree[i]
+        for i, edge_id in enumerate(tree_edges, start=1):
+            coeffs.append((edge_id, subtree[i]))
+        return coeffs
+
+    # ------------------------------------------------------------------
+    # scipy engine
+    # ------------------------------------------------------------------
+    def _scipy_violation(self, source: int, mode: str) -> Optional[Violation]:
+        from scipy.sparse.csgraph import dijkstra as csgraph_dijkstra
+
+        # Floor at a tiny positive value: scipy's csgraph drops stored
+        # zeros from sparse inputs, which would disconnect zero-length
+        # edges (the LP starts from the all-zero metric).
+        weights = np.maximum(self._lengths, 1e-15)
+        matrix = self._graph.set_csr_weights(weights)
+        dist, predecessors = csgraph_dijkstra(
+            matrix,
+            directed=False,
+            indices=source,
+            return_predecessors=True,
+        )
+        reachable = np.flatnonzero(np.isfinite(dist))
+        order = reachable[np.argsort(dist[reachable], kind="stable")]
+        return self._violation_from_profile(
+            source, order, dist, predecessors, mode
+        )
+
+    def _violation_from_profile(
+        self,
+        source: int,
+        order: np.ndarray,
+        dist: np.ndarray,
+        predecessors: Optional[np.ndarray],
+        mode: str,
+    ) -> Optional[Violation]:
+        sizes_ordered = self._sizes[order]
+        cum_sizes = np.cumsum(sizes_ordered)
+        cum_weighted_dist = np.cumsum(sizes_ordered * dist[order])
+        bounds = spreading_bound_array(self._spec, cum_sizes)
+        gaps = bounds - cum_weighted_dist
+        violated = np.flatnonzero(gaps > self._tol)
+        if violated.size == 0:
+            return None
+        if mode == "first":
+            pick = int(violated[0])
+        else:
+            pick = int(violated[np.argmax(gaps[violated])])
+        k = pick + 1
+        nodes = tuple(int(v) for v in order[:k])
+        tree_edges = self._tree_edges_from_predecessors(
+            nodes, predecessors
+        )
+        return Violation(
+            source=source,
+            k=k,
+            nodes=nodes,
+            tree_edges=tree_edges,
+            lhs=float(cum_weighted_dist[pick]),
+            rhs=float(bounds[pick]),
+        )
+
+    def _tree_edges_from_predecessors(
+        self, nodes: Tuple[int, ...], predecessors: Optional[np.ndarray]
+    ) -> Tuple[int, ...]:
+        tree_edges: List[int] = []
+        for node in nodes[1:]:
+            parent = int(predecessors[node])
+            edge_id = self._graph.edge_id(parent, node)
+            if edge_id is None:  # pragma: no cover - structural invariant
+                raise RuntimeError(
+                    f"predecessor edge ({parent},{node}) missing from graph"
+                )
+            tree_edges.append(edge_id)
+        return tuple(tree_edges)
+
+    # ------------------------------------------------------------------
+    # pure-Python engine (reference; stops at the first violation)
+    # ------------------------------------------------------------------
+    def _python_first_violation(self, source: int) -> Optional[Violation]:
+        capacities = self._spec.capacities
+        nodes: List[int] = []
+        tree_edges: List[int] = []
+        cum_size = 0.0
+        lhs = 0.0
+        for node, node_dist, edge_id, _parent in dijkstra_expansion(
+            self._graph, source, self._lengths
+        ):
+            nodes.append(node)
+            if edge_id >= 0:
+                tree_edges.append(edge_id)
+            size = float(self._sizes[node])
+            cum_size += size
+            lhs += size * node_dist
+            if cum_size <= capacities[0]:
+                continue  # g = 0: trivially satisfied
+            rhs = float(
+                spreading_bound_array(self._spec, np.array([cum_size]))[0]
+            )
+            if rhs - lhs > self._tol:
+                return Violation(
+                    source=source,
+                    k=len(nodes),
+                    nodes=tuple(nodes),
+                    tree_edges=tuple(tree_edges),
+                    lhs=lhs,
+                    rhs=rhs,
+                )
+        return None

@@ -1,0 +1,416 @@
+"""Algorithm 3: constructing a partition from a spreading metric.
+
+Two ``find_cut`` strategies are provided:
+
+* ``'prim'`` — the paper's Algorithm 3 verbatim: grow a region from a
+  random seed by Prim's minimum-attachment rule under the metric lengths,
+  record the hypergraph cut of every prefix, return the best prefix whose
+  size lies in ``[LB, UB]``.
+* ``'mst'`` — the refinement the paper's conclusions propose (after
+  Karger [7]: "find a minimum cut from a minimum spanning tree"): build
+  the minimum spanning forest of the block under the metric, consider
+  every subtree whose size lands in the window as a candidate region, and
+  return the one with minimum hypergraph cut.  Subtrees of the metric MST
+  are exactly the clusters the metric separates, so this dominates greedy
+  prefix growth in practice.
+
+``'both'`` (the default used by FLOW) evaluates the two and keeps the
+better cut.  Cut quality is always evaluated on the *original hypergraph*
+(a net is cut when it has pins both inside and outside the region), while
+distances come from the graph the metric was computed on — the two share
+node ids.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.algorithms.heap import IndexedHeap
+from repro.algorithms.union_find import UnionFind
+from repro.errors import InfeasibleError, PartitionError
+from repro.htp.hierarchy import HierarchySpec
+from repro.htp.partition import PartitionTree
+from repro.hypergraph.graph import Graph
+from repro.hypergraph.hypergraph import Hypergraph
+
+#: Cap on the number of MST subtree candidates whose cut is evaluated.
+DEFAULT_MAX_CUT_EVALS = 64
+
+_STRATEGIES = ("prim", "mst", "both")
+
+
+class _BlockCutCounter:
+    """Hypergraph cut bookkeeping for one block's nets."""
+
+    def __init__(self, hypergraph: Hypergraph, candidate_set: Set[int]) -> None:
+        self._hypergraph = hypergraph
+        self._candidate_set = candidate_set
+        self.block_pins: Dict[int, int] = {}
+        for v in candidate_set:
+            for net_id in hypergraph.incident_nets(v):
+                self.block_pins[net_id] = self.block_pins.get(net_id, 0) + 1
+
+    def cut_of(self, region: Sequence[int]) -> float:
+        """Capacity of block nets cut by (region, block - region)."""
+        inside: Dict[int, int] = {}
+        for v in region:
+            for net_id in self._hypergraph.incident_nets(v):
+                total = self.block_pins.get(net_id, 0)
+                if total > 1:
+                    inside[net_id] = inside.get(net_id, 0) + 1
+        cut = 0.0
+        for net_id, count in inside.items():
+            if count < self.block_pins[net_id]:
+                cut += self._hypergraph.net_capacity(net_id)
+        return cut
+
+
+def find_cut(
+    hypergraph: Hypergraph,
+    graph: Graph,
+    lengths: Sequence[float],
+    candidates: Sequence[int],
+    lower: float,
+    upper: float,
+    rng: random.Random,
+    restarts: int = 1,
+    strategy: str = "both",
+    max_cut_evals: int = DEFAULT_MAX_CUT_EVALS,
+) -> List[int]:
+    """Carve a low-cut node subset of size in ``[lower, upper]``.
+
+    ``candidates`` is the current block's node set (global ids); growth,
+    spanning trees and cut counting are restricted to it.  ``restarts``
+    independent attempts (seeds / jittered MSTs) are tried per strategy.
+
+    Falls back to the best under-``upper`` prefix when no region lands in
+    the window (possible with non-unit node sizes); raises
+    :class:`InfeasibleError` when even a single node exceeds ``upper``.
+    """
+    if strategy not in _STRATEGIES:
+        raise PartitionError(f"unknown find_cut strategy {strategy!r}")
+    candidate_set = set(candidates)
+    if not candidate_set:
+        raise PartitionError("find_cut called with no candidate nodes")
+    sizes = graph.node_sizes()
+    counter = _BlockCutCounter(hypergraph, candidate_set)
+
+    best_cut = math.inf
+    best_region: Optional[List[int]] = None
+    fallback_cut = math.inf
+    fallback_region: Optional[List[int]] = None
+
+    attempts = max(1, restarts)
+    if strategy in ("mst", "both"):
+        for _attempt in range(attempts):
+            region, cut = _mst_subtree_cut(
+                hypergraph,
+                graph,
+                lengths,
+                candidate_set,
+                lower,
+                upper,
+                sizes,
+                counter,
+                rng,
+                max_cut_evals,
+            )
+            if region is not None and cut < best_cut:
+                best_cut = cut
+                best_region = region
+    if strategy in ("prim", "both"):
+        for _attempt in range(attempts):
+            seed = rng.choice(tuple(candidate_set))
+            region, cut, in_window = _prim_window_cut(
+                hypergraph,
+                graph,
+                lengths,
+                candidate_set,
+                lower,
+                upper,
+                seed,
+                sizes,
+                counter,
+                rng,
+            )
+            if region is None:
+                continue
+            if in_window:
+                if cut < best_cut:
+                    best_cut = cut
+                    best_region = region
+            elif cut < fallback_cut:
+                fallback_cut = cut
+                fallback_region = region
+
+    if best_region is not None:
+        return best_region
+    if fallback_region is not None:
+        return fallback_region
+    # Last resort for non-unit sizes: a single largest-fitting node.
+    fitting = [v for v in candidate_set if sizes[v] <= upper + 1e-9]
+    if not fitting:
+        raise InfeasibleError(
+            f"no node of the block fits under the size bound {upper}"
+        )
+    return [max(fitting, key=lambda v: sizes[v])]
+
+
+# ----------------------------------------------------------------------
+# Strategy 1: Prim prefix growth (Algorithm 3 verbatim)
+# ----------------------------------------------------------------------
+def _prim_window_cut(
+    hypergraph: Hypergraph,
+    graph: Graph,
+    lengths: Sequence[float],
+    candidate_set: Set[int],
+    lower: float,
+    upper: float,
+    seed: int,
+    sizes,
+    counter: _BlockCutCounter,
+    rng: random.Random,
+) -> Tuple[Optional[List[int]], float, bool]:
+    """One Prim growth from ``seed``; returns (best prefix, cut, in window)."""
+    inside_count: Dict[int, int] = {}
+    cut_capacity = 0.0
+    region: List[int] = []
+    region_size = 0.0
+
+    best_cut = math.inf
+    best_len = 0
+    found_in_window = False
+    fallback_cut = math.inf
+    fallback_len = 0
+
+    restart_order = list(candidate_set)
+    rng.shuffle(restart_order)
+
+    for node, _cost, _edge in _restricted_prim(
+        graph, seed, lengths, candidate_set, restart_order
+    ):
+        node_size = float(sizes[node])
+        if region and region_size + node_size > upper:
+            # Adding this node overshoots; with non-unit sizes a later,
+            # smaller node could still fit, but Prim order is the paper's
+            # growth rule — stop here.
+            break
+        region.append(node)
+        region_size += node_size
+        for net_id in hypergraph.incident_nets(node):
+            total = counter.block_pins.get(net_id, 0)
+            if total <= 1:
+                continue
+            inside_count[net_id] = inside_count.get(net_id, 0) + 1
+            count = inside_count[net_id]
+            if count == 1:
+                cut_capacity += hypergraph.net_capacity(net_id)
+            elif count == total:
+                cut_capacity -= hypergraph.net_capacity(net_id)
+        if len(region) == len(candidate_set):
+            break  # the full block is never a useful cut
+        if lower <= region_size <= upper:
+            if cut_capacity < best_cut:
+                best_cut = cut_capacity
+                best_len = len(region)
+            found_in_window = True
+        elif region_size <= upper:
+            fallback_cut = cut_capacity
+            fallback_len = len(region)
+
+    if found_in_window:
+        return region[:best_len], best_cut, True
+    if fallback_len:
+        return region[:fallback_len], fallback_cut, False
+    return None, math.inf, False
+
+
+def _restricted_prim(
+    graph: Graph,
+    seed: int,
+    lengths: Sequence[float],
+    candidate_set: Set[int],
+    restart_order: List[int],
+):
+    """Prim growth over the candidate subset only (yields every member)."""
+    visited = {v: False for v in candidate_set}
+    heap = IndexedHeap()
+    heap.push(seed, -math.inf)
+    attach_edge = {seed: -1}
+    restarts = iter(restart_order)
+    yielded = 0
+    target = len(candidate_set)
+    while yielded < target:
+        if not heap:
+            jump = next((v for v in restarts if not visited[v]), None)
+            if jump is None:
+                jump = next(v for v in candidate_set if not visited[v])
+            heap.push(jump, -math.inf)
+            attach_edge[jump] = -1
+        node, cost = heap.pop()
+        node = int(node)
+        if visited[node]:
+            continue
+        visited[node] = True
+        yielded += 1
+        yield node, (
+            math.inf if cost == -math.inf else cost
+        ), attach_edge[node]
+        for neighbor, edge_id in graph.neighbors(node):
+            if neighbor not in visited or visited[neighbor]:
+                continue
+            weight = lengths[edge_id]
+            if neighbor not in heap or weight < heap.priority(neighbor):
+                heap.push(neighbor, weight)
+                attach_edge[neighbor] = edge_id
+
+
+# ----------------------------------------------------------------------
+# Strategy 2: MST subtree cuts (the conclusions' Karger-style refinement)
+# ----------------------------------------------------------------------
+def _mst_subtree_cut(
+    hypergraph: Hypergraph,
+    graph: Graph,
+    lengths: Sequence[float],
+    candidate_set: Set[int],
+    lower: float,
+    upper: float,
+    sizes,
+    counter: _BlockCutCounter,
+    rng: random.Random,
+    max_cut_evals: int,
+) -> Tuple[Optional[List[int]], float]:
+    """Best window-sized MST-subtree cut, or (None, inf)."""
+    nodes = sorted(candidate_set)
+    index_of = {v: i for i, v in enumerate(nodes)}
+
+    # Kruskal over the block with random tie-jitter (each attempt sees a
+    # different spanning tree among metric ties).
+    block_edges = [
+        (float(lengths[edge_id]) * (1.0 + 1e-9 * rng.random()), edge_id)
+        for edge_id, (u, v) in enumerate(graph.edges())
+        if u in candidate_set and v in candidate_set
+    ]
+    block_edges.sort()
+    dsu = UnionFind(len(nodes))
+    adjacency: Dict[int, List[int]] = {v: [] for v in nodes}
+    for _weight, edge_id in block_edges:
+        u, v = graph.edge(edge_id)
+        if dsu.union(index_of[u], index_of[v]):
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+
+    # Root the forest; iterative DFS gives parents and an order whose
+    # reverse accumulates subtree sizes.
+    parent: Dict[int, Optional[int]] = {}
+    order: List[int] = []
+    for root in nodes:
+        if root in parent:
+            continue
+        parent[root] = None
+        stack = [root]
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            for u in adjacency[v]:
+                if u not in parent:
+                    parent[u] = v
+                    stack.append(u)
+    subtree_size: Dict[int, float] = {v: float(sizes[v]) for v in nodes}
+    children: Dict[int, List[int]] = {v: [] for v in nodes}
+    for v in reversed(order):
+        p = parent[v]
+        if p is not None:
+            subtree_size[p] += subtree_size[v]
+            children[p].append(v)
+
+    candidates = [
+        v
+        for v in nodes
+        if parent[v] is not None and lower <= subtree_size[v] <= upper
+    ]
+    if not candidates:
+        return None, math.inf
+    if len(candidates) > max_cut_evals:
+        candidates = rng.sample(candidates, max_cut_evals)
+
+    best_cut = math.inf
+    best_region: Optional[List[int]] = None
+    for head in candidates:
+        region: List[int] = []
+        stack = [head]
+        while stack:
+            v = stack.pop()
+            region.append(v)
+            stack.extend(children[v])
+        cut = counter.cut_of(region)
+        if cut < best_cut:
+            best_cut = cut
+            best_region = region
+    return best_region, best_cut
+
+
+# ----------------------------------------------------------------------
+# Algorithm 3 recursion
+# ----------------------------------------------------------------------
+def construct_partition(
+    hypergraph: Hypergraph,
+    graph: Graph,
+    spec: HierarchySpec,
+    lengths: Sequence[float],
+    rng: Optional[random.Random] = None,
+    find_cut_restarts: int = 1,
+    strategy: str = "both",
+) -> PartitionTree:
+    """Algorithm 3: top-down recursive construction of a partition.
+
+    ``graph`` must share node ids with ``hypergraph`` (clique or cycle net
+    model); ``lengths`` is the spreading metric on the graph's edges.
+    """
+    if graph.num_nodes != hypergraph.num_nodes:
+        raise PartitionError(
+            "graph and hypergraph disagree on the node set (star-expanded "
+            "graphs cannot drive construction)"
+        )
+    rng = rng or random.Random(0)
+    tree = PartitionTree(
+        num_nodes=hypergraph.num_nodes, num_levels=spec.num_levels
+    )
+
+    def carve(nodes: List[int], vertex: int, level: int) -> None:
+        if level == 0:
+            for node in nodes:
+                tree.assign(node, vertex)
+            return
+        block_size = sum(graph.node_size(v) for v in nodes)
+        lower, upper = spec.child_bounds(level, block_size)
+        remaining = list(nodes)
+        remaining_size = block_size
+        pieces: List[List[int]] = []
+        while remaining:
+            if remaining_size <= upper:
+                pieces.append(remaining)
+                break
+            piece = find_cut(
+                hypergraph,
+                graph,
+                lengths,
+                remaining,
+                lower,
+                upper,
+                rng,
+                restarts=find_cut_restarts,
+                strategy=strategy,
+            )
+            pieces.append(piece)
+            piece_set = set(piece)
+            remaining = [v for v in remaining if v not in piece_set]
+            remaining_size -= sum(graph.node_size(v) for v in piece)
+        for piece in pieces:
+            child = tree.add_vertex(level=level - 1, parent=vertex)
+            carve(piece, child, level - 1)
+
+    carve(list(hypergraph.nodes()), tree.root, spec.num_levels)
+    return tree.freeze()

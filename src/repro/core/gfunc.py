@@ -1,0 +1,48 @@
+"""The spreading lower-bound function ``g`` of linear program (P1).
+
+For a hierarchy with size bounds ``C_0 < C_1 < ... < C_L`` and weights
+``w_0 .. w_{L-1}``::
+
+    g(x) = 0                                   if x <= C_0
+    g(x) = 2 * sum_{i=0}^{l} (x - C_i) * w_i   if C_l < x <= C_{l+1}
+
+Intuition: any node set of total size ``x > C_l`` must be split across at
+least two blocks at every level up to ``l``, so its members must be spread
+apart — the constraint charges each level's weight on the overshoot.
+``g`` is continuous and nondecreasing (each piece adds a nonnegative term
+that vanishes at the breakpoint).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.htp.hierarchy import HierarchySpec
+
+
+def spreading_bound(spec: HierarchySpec, size: float) -> float:
+    """``g(size)`` for a single value."""
+    return float(spreading_bound_array(spec, np.array([size]))[0])
+
+
+def spreading_bound_array(
+    spec: HierarchySpec, sizes: Union[Sequence[float], np.ndarray]
+) -> np.ndarray:
+    """Vectorised ``g`` over an array of sizes.
+
+    Sizes above ``C_L`` are allowed (the root bound only matters for
+    feasibility of the partition itself, not for ``g``); they keep
+    accumulating every level's term.
+    """
+    x = np.asarray(sizes, dtype=float)
+    capacities = np.asarray(spec.capacities, dtype=float)
+    weights = np.asarray(spec.weights, dtype=float)
+    result = np.zeros_like(x)
+    # Term i contributes 2 * (x - C_i) * w_i whenever x > C_i, for
+    # i = 0 .. L-1 (level L has no weight).
+    for i in range(spec.num_levels):
+        overshoot = x - capacities[i]
+        result += np.where(overshoot > 0, 2.0 * overshoot * weights[i], 0.0)
+    return result

@@ -1,0 +1,160 @@
+"""ρ-separators and separator-derived multiway partitions.
+
+Section 2.2 of the paper builds on Even, Naor, Rao & Schieber's
+ρ-separator problem: partition a graph into connected pieces of total
+node size at most ``ρ * s(V)`` while minimising the cut.  The paper also
+notes that the branching bounds ``K_l`` can be ignored in the LP because
+"we can induce a multiway partition with at most K_l parts from a
+ρ-separator" — that induction (first-fit-decreasing packing of separator
+pieces into K bins) is implemented here too.
+
+The separator uses the same machinery as Algorithm 3: compute a spreading
+metric for the single-level hierarchy ``C = (rho * s(V), s(V))`` and
+repeatedly carve low-cut pieces within the size bound.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.construct import find_cut
+from repro.core.spreading_metric import (
+    SpreadingMetricConfig,
+    compute_spreading_metric,
+)
+from repro.errors import InfeasibleError, PartitionError
+from repro.htp.hierarchy import HierarchySpec
+from repro.hypergraph.expansion import to_graph
+from repro.hypergraph.graph import Graph
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+@dataclass
+class SeparatorResult:
+    """Pieces of a ρ-separator plus its cut capacity.
+
+    ``pieces`` are sorted global node-id lists, each of total size at
+    most ``rho * s(V)``; ``cut_capacity`` counts each net crossing any
+    piece boundary once (by capacity).
+    """
+
+    pieces: List[List[int]]
+    cut_capacity: float
+    rho: float
+
+
+def separator_spec(total_size: float, rho: float) -> HierarchySpec:
+    """The single-level hierarchy encoding the ρ-separator size bound."""
+    if not 0 < rho < 1:
+        raise PartitionError("rho must be in (0, 1)")
+    cap = rho * total_size
+    if cap < 1:
+        raise InfeasibleError(
+            f"rho = {rho} allows pieces of size {cap:g} < 1"
+        )
+    return HierarchySpec(
+        capacities=(float(cap), float(total_size)),
+        branching=(max(2, -(-int(total_size) // max(1, int(cap)))),),
+        weights=(1.0,),
+    )
+
+
+def rho_separator(
+    hypergraph: Hypergraph,
+    rho: float,
+    graph: Optional[Graph] = None,
+    lengths: Optional[Sequence[float]] = None,
+    rng: Optional[random.Random] = None,
+    metric_config: Optional[SpreadingMetricConfig] = None,
+    find_cut_restarts: int = 2,
+) -> SeparatorResult:
+    """Compute a ρ-separator of a netlist.
+
+    A spreading metric for the single-level bound is computed when
+    ``lengths`` is not supplied; pieces are then carved greedily with
+    :func:`repro.core.construct.find_cut` (MST-subtree + Prim, window
+    ``[rho s(V) / 2, rho s(V)]``) until everything is placed.
+    """
+    rng = rng or random.Random(0)
+    if graph is None:
+        graph = to_graph(hypergraph)
+    total = hypergraph.total_size()
+    spec = separator_spec(total, rho)
+    if lengths is None:
+        metric = compute_spreading_metric(
+            graph, spec, metric_config or SpreadingMetricConfig(), rng=rng
+        )
+        lengths = metric.lengths
+
+    upper = rho * total
+    lower = upper / 2.0
+    remaining = list(hypergraph.nodes())
+    remaining_size = total
+    pieces: List[List[int]] = []
+    while remaining:
+        if remaining_size <= upper:
+            pieces.append(sorted(remaining))
+            break
+        piece = find_cut(
+            hypergraph,
+            graph,
+            lengths,
+            remaining,
+            lower,
+            upper,
+            rng,
+            restarts=find_cut_restarts,
+        )
+        pieces.append(sorted(piece))
+        piece_set = set(piece)
+        remaining = [v for v in remaining if v not in piece_set]
+        remaining_size -= sum(hypergraph.node_size(v) for v in piece)
+
+    piece_of = {}
+    for index, piece in enumerate(pieces):
+        for v in piece:
+            piece_of[v] = index
+    cut = 0.0
+    for net_id, pins in enumerate(hypergraph.nets()):
+        first = piece_of[pins[0]]
+        if any(piece_of[v] != first for v in pins[1:]):
+            cut += hypergraph.net_capacity(net_id)
+    return SeparatorResult(pieces=pieces, cut_capacity=cut, rho=rho)
+
+
+def multiway_from_separator(
+    hypergraph: Hypergraph,
+    separator: SeparatorResult,
+    num_parts: int,
+    capacity: float,
+) -> List[List[int]]:
+    """Pack separator pieces into at most ``num_parts`` blocks.
+
+    First-fit-decreasing by piece size; this is the induction the paper
+    invokes to drop the ``K_l`` bounds from the LP.  Raises
+    :class:`InfeasibleError` when the pieces do not fit.
+    """
+    order = sorted(
+        range(len(separator.pieces)),
+        key=lambda i: -hypergraph.total_size(separator.pieces[i]),
+    )
+    bins: List[List[int]] = [[] for _ in range(num_parts)]
+    bin_sizes = [0.0] * num_parts
+    for index in order:
+        piece = separator.pieces[index]
+        size = hypergraph.total_size(piece)
+        placed = False
+        for b in range(num_parts):
+            if bin_sizes[b] + size <= capacity + 1e-9:
+                bins[b].extend(piece)
+                bin_sizes[b] += size
+                placed = True
+                break
+        if not placed:
+            raise InfeasibleError(
+                f"piece of size {size:g} does not fit into any of "
+                f"{num_parts} bins of capacity {capacity:g}"
+            )
+    return [sorted(b) for b in bins if b]

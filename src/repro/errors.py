@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so a
+caller can catch any library failure with a single ``except ReproError``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class HypergraphError(ReproError):
+    """Malformed hypergraph or graph input (bad node ids, empty nets, ...)."""
+
+
+class HierarchyError(ReproError):
+    """Inconsistent hierarchy specification (non-monotone bounds, ...)."""
+
+
+class InfeasibleError(ReproError):
+    """A partitioning request that cannot be satisfied.
+
+    Raised when no partition can satisfy the size/branch constraints, e.g.
+    when a single node is larger than the leaf capacity ``C_0``, or when
+    ``ceil(s(V) / K_l) > C_{l-1}`` so a block cannot be split into at most
+    ``K_l`` children within the child capacity.
+    """
+
+
+class PartitionError(ReproError):
+    """An invalid partition was constructed or supplied."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver exceeded its iteration budget without converging."""

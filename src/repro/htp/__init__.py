@@ -1,0 +1,42 @@
+"""The Hierarchical Tree Partitioning (HTP) problem domain.
+
+Definitions follow Section 2.1 of the paper: a hierarchy specification
+(per-level size bounds ``C_l``, branching bounds ``K_l`` and cost weights
+``w_l``), partitions as rooted trees with all leaves at level 0, the
+hierarchical interconnection cost of Equation (1), and validators.
+"""
+
+from repro.htp.hierarchy import HierarchySpec, binary_hierarchy
+from repro.htp.partition import PartitionTree
+from repro.htp.cost import (
+    IncrementalCost,
+    net_cost,
+    net_span,
+    total_cost,
+)
+from repro.htp.validate import check_partition, partition_violations
+from repro.htp.flat import FlatMetrics, blocks_at_level, flat_metrics, level_profile
+from repro.htp.hierarchy_search import (
+    HierarchyCandidate,
+    best_hierarchy,
+    search_hierarchies,
+)
+
+__all__ = [
+    "HierarchySpec",
+    "binary_hierarchy",
+    "PartitionTree",
+    "IncrementalCost",
+    "net_cost",
+    "net_span",
+    "total_cost",
+    "check_partition",
+    "partition_violations",
+    "FlatMetrics",
+    "blocks_at_level",
+    "flat_metrics",
+    "level_profile",
+    "HierarchyCandidate",
+    "best_hierarchy",
+    "search_hierarchies",
+]

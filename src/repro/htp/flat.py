@@ -1,0 +1,86 @@
+"""Flat views of hierarchical partitions and classic partition metrics.
+
+Hierarchical tree partitions subsume ordinary K-way partitions: the
+blocks at any level form a flat multiway partition.  This module extracts
+those views and evaluates the classic quality metrics of the partitioning
+literature (cut nets, sum of external degrees, the (K-1) metric) so the
+HTP algorithms can be compared against flat-partitioning expectations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.htp.partition import PartitionTree
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+@dataclass(frozen=True)
+class FlatMetrics:
+    """Classic multiway partition quality numbers at one level.
+
+    ``cut_nets``: number of nets spanning >= 2 blocks.
+    ``cut_capacity``: their total capacity.
+    ``soed``: sum over cut nets of (blocks spanned) * capacity — the
+    "sum of external degrees" metric.
+    ``k_minus_1``: sum over cut nets of (blocks spanned - 1) * capacity —
+    the hMETIS (K-1) objective.
+    ``num_blocks``: number of non-empty blocks at the level.
+    """
+
+    cut_nets: int
+    cut_capacity: float
+    soed: float
+    k_minus_1: float
+    num_blocks: int
+
+
+def blocks_at_level(
+    partition: PartitionTree, level: int
+) -> Dict[int, List[int]]:
+    """Mapping level-``level`` vertex id -> sorted member node list."""
+    blocks: Dict[int, List[int]] = {}
+    for node in range(partition.num_nodes):
+        vertex = partition.block_at_level(node, level)
+        blocks.setdefault(vertex, []).append(node)
+    return {vertex: sorted(nodes) for vertex, nodes in blocks.items()}
+
+
+def flat_metrics(
+    hypergraph: Hypergraph, partition: PartitionTree, level: int
+) -> FlatMetrics:
+    """Evaluate the classic flat-partition metrics at ``level``."""
+    cut_nets = 0
+    cut_capacity = 0.0
+    soed = 0.0
+    k_minus_1 = 0.0
+    seen_blocks = set()
+    for node in range(partition.num_nodes):
+        seen_blocks.add(partition.block_at_level(node, level))
+    for net_id, pins in enumerate(hypergraph.nets()):
+        spanned = {partition.block_at_level(v, level) for v in pins}
+        if len(spanned) <= 1:
+            continue
+        capacity = hypergraph.net_capacity(net_id)
+        cut_nets += 1
+        cut_capacity += capacity
+        soed += len(spanned) * capacity
+        k_minus_1 += (len(spanned) - 1) * capacity
+    return FlatMetrics(
+        cut_nets=cut_nets,
+        cut_capacity=cut_capacity,
+        soed=soed,
+        k_minus_1=k_minus_1,
+        num_blocks=len(seen_blocks),
+    )
+
+
+def level_profile(
+    hypergraph: Hypergraph, partition: PartitionTree
+) -> List[FlatMetrics]:
+    """Flat metrics for every level 0..L-1 (root level omitted)."""
+    return [
+        flat_metrics(hypergraph, partition, level)
+        for level in range(partition.num_levels)
+    ]

@@ -1,0 +1,197 @@
+"""Hierarchy specifications: the (K_l, C_l, w_l) triples of the paper.
+
+A :class:`HierarchySpec` describes a *family* of admissible tree
+hierarchies: a vertex at level ``l`` may hold nodes of total size at most
+``C_l`` and have at most ``K_l`` children; a net cut at level ``l``
+contributes with weight ``w_l``.  Levels run from 0 (leaves) to
+``num_levels`` (root).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import HierarchyError
+
+
+@dataclass(frozen=True)
+class HierarchySpec:
+    """Per-level bounds and weights of an HTP instance.
+
+    Attributes
+    ----------
+    capacities:
+        ``(C_0, ..., C_L)`` — size upper bound of a block at each level.
+        Must be strictly increasing; ``C_L`` must hold the whole netlist.
+    branching:
+        ``(K_1, ..., K_L)`` — maximum children of a vertex at levels
+        1..L (leaves have no children).
+    weights:
+        ``(w_0, ..., w_{L-1})`` — cost weight of a cut at each level;
+        Equation (1) sums over levels 0..L-1.
+    """
+
+    capacities: Tuple[float, ...]
+    branching: Tuple[int, ...]
+    weights: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        capacities = tuple(float(c) for c in self.capacities)
+        branching = tuple(int(k) for k in self.branching)
+        weights = tuple(float(w) for w in self.weights)
+        object.__setattr__(self, "capacities", capacities)
+        object.__setattr__(self, "branching", branching)
+        object.__setattr__(self, "weights", weights)
+        levels = len(capacities) - 1
+        if levels < 1:
+            raise HierarchyError("need at least two levels (leaf and root)")
+        if len(branching) != levels:
+            raise HierarchyError(
+                f"branching must have {levels} entries (levels 1..{levels})"
+            )
+        if len(weights) != levels:
+            raise HierarchyError(
+                f"weights must have {levels} entries (levels 0..{levels - 1})"
+            )
+        if any(c <= 0 for c in capacities):
+            raise HierarchyError("capacities must be positive")
+        if any(
+            capacities[i] >= capacities[i + 1] for i in range(levels)
+        ):
+            raise HierarchyError("capacities must be strictly increasing")
+        if any(k < 2 for k in branching):
+            raise HierarchyError("branching bounds must be at least 2")
+        if any(w < 0 for w in weights):
+            raise HierarchyError("weights must be nonnegative")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_levels(self) -> int:
+        """The root level ``L``; levels are ``0..L``."""
+        return len(self.capacities) - 1
+
+    def capacity(self, level: int) -> float:
+        """Size bound ``C_level``."""
+        return self.capacities[level]
+
+    def branch_bound(self, level: int) -> int:
+        """Branching bound ``K_level`` (levels 1..L)."""
+        if level < 1 or level > self.num_levels:
+            raise HierarchyError(
+                f"K_l is defined for levels 1..{self.num_levels}, got {level}"
+            )
+        return self.branching[level - 1]
+
+    def weight(self, level: int) -> float:
+        """Cut weight ``w_level`` (levels 0..L-1)."""
+        if level < 0 or level >= self.num_levels:
+            raise HierarchyError(
+                f"w_l is defined for levels 0..{self.num_levels - 1}, got {level}"
+            )
+        return self.weights[level]
+
+    def level_of_size(self, size: float) -> int:
+        """The level a block of total size ``size`` must live at.
+
+        Step 2 of Algorithm 3: level 0 if ``size <= C_0``, otherwise the
+        smallest ``l`` with ``C_{l-1} < size <= C_l``.
+        """
+        if size <= self.capacities[0]:
+            return 0
+        for level in range(1, self.num_levels + 1):
+            if size <= self.capacities[level]:
+                return level
+        raise HierarchyError(
+            f"size {size} exceeds the root capacity C_L = {self.capacities[-1]}"
+        )
+
+    def child_bounds(self, level: int, size: float) -> Tuple[float, float]:
+        """``(LB, UB)`` for carving children of a level-``level`` block.
+
+        ``LB = ceil(size / K_l)`` guarantees at most ``K_l`` children;
+        ``UB = C_{l-1}``.  Raises when infeasible (LB > UB).
+        """
+        k = self.branch_bound(level)
+        lower = math.ceil(size / k)
+        upper = self.capacities[level - 1]
+        if lower > upper:
+            raise HierarchyError(
+                f"block of size {size} at level {level} cannot be split into "
+                f"at most K_{level}={k} children of size <= C_{level - 1}="
+                f"{upper}"
+            )
+        return float(lower), float(upper)
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering (Figure 1 style)."""
+        lines = []
+        for level in range(self.num_levels, -1, -1):
+            parts = [f"level {level}:", f"C={self.capacities[level]:g}"]
+            if level >= 1:
+                parts.append(f"K={self.branch_bound(level)}")
+            if level < self.num_levels:
+                parts.append(f"w={self.weight(level):g}")
+            lines.append("  " + " ".join(parts))
+        return "\n".join(lines)
+
+
+def binary_hierarchy(
+    total_size: float,
+    height: int = 4,
+    slack: float = 0.10,
+    weights: Optional[Sequence[float]] = None,
+) -> HierarchySpec:
+    """A full-binary-tree hierarchy as used in the paper's experiments.
+
+    ``K_l = 2`` at every level; ``C_l`` is the balanced share
+    ``total_size / 2^(height - l)`` inflated by ``slack`` (the root gets
+    exactly ``total_size``).  Equal unit weights by default.
+
+    Parameters
+    ----------
+    total_size:
+        Total node size of the netlist to be partitioned.
+    height:
+        Tree height ``L`` (the paper uses 4, i.e. 16 leaves).
+    slack:
+        Fractional allowance above the perfectly balanced share.
+    weights:
+        Optional per-level weights ``(w_0..w_{L-1})``; unit by default.
+    """
+    if height < 1:
+        raise HierarchyError("height must be at least 1")
+    if total_size < 2**height:
+        raise HierarchyError(
+            f"total size {total_size} too small for 2^{height} leaves"
+        )
+    capacities: List[float] = []
+    for level in range(height):
+        share = total_size / 2 ** (height - level)
+        capacities.append(float(math.ceil(share * (1.0 + slack))))
+    capacities.append(float(total_size))
+    # Enforce strict monotonicity for tiny instances where rounding collides.
+    for level in range(1, height + 1):
+        if capacities[level] <= capacities[level - 1]:
+            capacities[level] = capacities[level - 1] + 1
+    capacities[height] = max(
+        capacities[height], float(total_size), capacities[height - 1] + 1
+    )
+    level_weights = (
+        tuple(float(w) for w in weights)
+        if weights is not None
+        else tuple(1.0 for _ in range(height))
+    )
+    return HierarchySpec(
+        capacities=tuple(capacities),
+        branching=tuple(2 for _ in range(height)),
+        weights=level_weights,
+    )
+
+
+def figure2_hierarchy() -> HierarchySpec:
+    """The hierarchy of the paper's Figure 2: C=(4, 8, 16), w=(1, 2)."""
+    return HierarchySpec(
+        capacities=(4.0, 8.0, 16.0), branching=(2, 2), weights=(1.0, 2.0)
+    )

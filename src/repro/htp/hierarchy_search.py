@@ -1,0 +1,111 @@
+"""Searching over hierarchies: the full HTP problem.
+
+The paper frames HTP as finding *both* a hierarchy and a partition:
+"Practically, there are many hierarchies into which we can partition a
+circuit.  The problem is how to find a hierarchy and a partition so that
+the interconnection cost is minimized."  This module enumerates a family
+of candidate hierarchies (binary trees over a height range, with a slack
+range) and partitions the netlist into each, returning the ranked
+outcomes.
+
+Costs across different hierarchies are only comparable when the weights
+express a consistent technology; by default each level's weight is 1, so
+deeper hierarchies price more cut layers — callers modelling hardware
+should pass ``weights_for(height)`` reflecting their actual I/O costs.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.errors import HierarchyError
+from repro.htp.cost import total_cost
+from repro.htp.hierarchy import HierarchySpec, binary_hierarchy
+from repro.htp.partition import PartitionTree
+from repro.htp.validate import partition_violations
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partitioning.rfm import rfm_partition
+
+
+@dataclass
+class HierarchyCandidate:
+    """One evaluated hierarchy: spec, partition, cost and runtime."""
+
+    spec: HierarchySpec
+    partition: PartitionTree
+    cost: float
+    height: int
+    slack: float
+    seconds: float
+    valid: bool
+
+
+def search_hierarchies(
+    hypergraph: Hypergraph,
+    heights: Sequence[int] = (2, 3, 4),
+    slacks: Sequence[float] = (0.10,),
+    algorithm: str = "rfm",
+    weights_for: Optional[Callable[[int], Sequence[float]]] = None,
+    flow_config: Optional[FlowHTPConfig] = None,
+    seed: int = 0,
+) -> List[HierarchyCandidate]:
+    """Partition into every candidate hierarchy; return results by cost.
+
+    ``algorithm`` is ``'rfm'`` (fast, default for sweeps) or ``'flow'``.
+    Hierarchies that are infeasible for the netlist (e.g. too few nodes
+    for the leaf count) are skipped.
+    """
+    if algorithm not in ("rfm", "flow"):
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    total = hypergraph.total_size()
+    candidates: List[HierarchyCandidate] = []
+    for height in heights:
+        for slack in slacks:
+            weights = weights_for(height) if weights_for else None
+            try:
+                spec = binary_hierarchy(
+                    total, height=height, slack=slack, weights=weights
+                )
+            except HierarchyError:
+                continue
+            start = time.perf_counter()
+            if algorithm == "flow":
+                config = flow_config or FlowHTPConfig(
+                    iterations=1, constructions_per_metric=4, seed=seed
+                )
+                partition = flow_htp(hypergraph, spec, config).partition
+            else:
+                partition = rfm_partition(
+                    hypergraph, spec, rng=random.Random(seed)
+                )
+            seconds = time.perf_counter() - start
+            cost = total_cost(hypergraph, partition, spec)
+            valid = not partition_violations(hypergraph, partition, spec)
+            candidates.append(
+                HierarchyCandidate(
+                    spec=spec,
+                    partition=partition,
+                    cost=cost,
+                    height=height,
+                    slack=slack,
+                    seconds=seconds,
+                    valid=valid,
+                )
+            )
+    candidates.sort(key=lambda c: (not c.valid, c.cost))
+    return candidates
+
+
+def best_hierarchy(
+    hypergraph: Hypergraph, **kwargs
+) -> HierarchyCandidate:
+    """The lowest-cost valid candidate of :func:`search_hierarchies`."""
+    candidates = search_hierarchies(hypergraph, **kwargs)
+    for candidate in candidates:
+        if candidate.valid:
+            return candidate
+    raise HierarchyError("no candidate hierarchy produced a valid partition")

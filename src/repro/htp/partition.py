@@ -1,0 +1,383 @@
+"""Hierarchical tree partitions ``P = (T, {V_q})``.
+
+A :class:`PartitionTree` is a rooted tree whose vertices are partition
+blocks; all leaves sit at level 0 and every netlist node is assigned to
+exactly one leaf (and implicitly to all of that leaf's ancestors).  The
+class supports incremental construction (Algorithm 3 builds it top-down),
+bottom-up construction from nested block lists (GFM), and node moves
+between leaves (the FM improvement phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import PartitionError
+
+Nested = Union[Sequence[int], Sequence["Nested"]]
+
+
+@dataclass
+class _Vertex:
+    """One tree vertex (partition block)."""
+
+    vertex_id: int
+    level: int
+    parent: int  # -1 for the root
+    children: List[int] = field(default_factory=list)
+
+
+class PartitionTree:
+    """A rooted partition hierarchy over netlist nodes ``0..n-1``.
+
+    Build with :meth:`add_vertex` / :meth:`assign`, or use
+    :meth:`from_nested` / :meth:`from_leaf_blocks`.  Call :meth:`freeze`
+    (idempotent) before cost evaluation so ancestor tables exist; node
+    moves between leaves keep the tables valid.
+    """
+
+    def __init__(self, num_nodes: int, num_levels: int) -> None:
+        if num_nodes <= 0:
+            raise PartitionError("partition needs at least one netlist node")
+        if num_levels < 1:
+            raise PartitionError("partition needs at least two tree levels")
+        self._num_nodes = num_nodes
+        self._num_levels = num_levels
+        self._vertices: List[_Vertex] = []
+        self._root = self.add_vertex(level=num_levels, parent=-1)
+        self._leaf_of: List[int] = [-1] * num_nodes
+        # ancestor_at[leaf][level] for level in 0..num_levels
+        self._ancestors: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, level: int, parent: int) -> int:
+        """Create a tree vertex at ``level`` under ``parent``; returns its id."""
+        if parent == -1:
+            if self._vertices:
+                raise PartitionError("the root already exists")
+        else:
+            parent_vertex = self._vertices[parent]
+            if parent_vertex.level != level + 1:
+                raise PartitionError(
+                    f"vertex at level {level} must hang under a level "
+                    f"{level + 1} parent (got level {parent_vertex.level})"
+                )
+        if not (0 <= level <= self._num_levels):
+            raise PartitionError(f"level {level} outside 0..{self._num_levels}")
+        vertex_id = len(self._vertices)
+        self._vertices.append(_Vertex(vertex_id, level, parent))
+        if parent != -1:
+            self._vertices[parent].children.append(vertex_id)
+        self._ancestors = {}
+        return vertex_id
+
+    def add_leaf_chain(self, parent: int) -> int:
+        """Add a chain of single-child vertices from ``parent`` down to level 0.
+
+        Used when a block is already small enough to be a leaf but its
+        parent sits more than one level up; returns the level-0 leaf id.
+        """
+        current = parent
+        level = self._vertices[parent].level - 1
+        while level >= 0:
+            current = self.add_vertex(level=level, parent=current)
+            level -= 1
+        return current
+
+    def assign(self, node: int, leaf: int) -> None:
+        """Assign netlist node ``node`` to leaf vertex ``leaf``."""
+        if self._vertices[leaf].level != 0:
+            raise PartitionError(
+                f"nodes may only be assigned to level-0 leaves, vertex "
+                f"{leaf} is at level {self._vertices[leaf].level}"
+            )
+        self._leaf_of[node] = leaf
+
+    def freeze(self) -> "PartitionTree":
+        """Validate shape, build ancestor tables; returns self."""
+        unassigned = [v for v in range(self._num_nodes) if self._leaf_of[v] < 0]
+        if unassigned:
+            raise PartitionError(
+                f"{len(unassigned)} nodes are unassigned (first: "
+                f"{unassigned[:5]})"
+            )
+        self._build_ancestors()
+        return self
+
+    def _build_ancestors(self) -> None:
+        self._ancestors = {}
+        for vertex in self._vertices:
+            if vertex.level == 0:
+                chain = [0] * (self._num_levels + 1)
+                current = vertex.vertex_id
+                for level in range(0, self._num_levels + 1):
+                    if current == -1:
+                        raise PartitionError(
+                            f"leaf {vertex.vertex_id} does not reach the root"
+                        )
+                    if self._vertices[current].level != level:
+                        raise PartitionError(
+                            f"ancestor chain of leaf {vertex.vertex_id} skips "
+                            f"level {level}"
+                        )
+                    chain[level] = current
+                    current = self._vertices[current].parent
+                self._ancestors[vertex.vertex_id] = chain
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_nested(cls, nested: Nested, num_nodes: int) -> "PartitionTree":
+        """Build from a nested list structure.
+
+        A leaf block is a (possibly empty) list of ints; an internal block
+        is a list of child structures.  All leaves must end up at the same
+        depth, which becomes level 0.
+        """
+        depth = _uniform_depth(nested)
+        tree = cls(num_nodes=num_nodes, num_levels=depth)
+
+        def build(structure: Nested, parent: int, level: int) -> None:
+            if level == 0:
+                for node in structure:  # type: ignore[union-attr]
+                    if not isinstance(node, int):
+                        raise PartitionError(
+                            "leaf blocks must contain node ids"
+                        )
+                    tree.assign(node, parent)
+                return
+            for child in structure:  # type: ignore[union-attr]
+                child_id = tree.add_vertex(level=level - 1, parent=parent)
+                build(child, child_id, level - 1)
+
+        build(nested, tree.root, depth)
+        return tree.freeze()
+
+    @classmethod
+    def from_leaf_blocks(
+        cls,
+        blocks: Sequence[Sequence[int]],
+        num_nodes: int,
+        grouping: Optional[Sequence[Sequence[int]]] = None,
+        num_levels: Optional[int] = None,
+    ) -> "PartitionTree":
+        """Build a two-level (or deeper, via ``grouping``) partition.
+
+        Without ``grouping``: all ``blocks`` hang directly under the root
+        (``num_levels`` defaults to 1).  With ``grouping``: GFM's bottom-up
+        construction — ``grouping[i]`` is a list of groups, one group per
+        level-``i+1`` parent, each containing the indices of the level-``i``
+        vertices placed under it.  Level-0 indices refer to positions in
+        ``blocks``; higher-level indices refer to the group order of the
+        previous entry.  ``grouping[-1]`` must be a single group (the root's
+        children), so ``num_levels == len(grouping)``.
+        """
+        if grouping is None:
+            levels = num_levels if num_levels is not None else 1
+            tree = cls(num_nodes=num_nodes, num_levels=levels)
+            for block in blocks:
+                # Each block hangs under the root via a chain of
+                # single-child vertices ending in a level-0 leaf.
+                leaf = tree.add_leaf_chain(tree.root)
+                for node in block:
+                    tree.assign(node, leaf)
+            return tree.freeze()
+        num_levels_actual = len(grouping)
+        if len(grouping[-1]) != 1:
+            raise PartitionError(
+                "grouping[-1] must be a single group (the root's children)"
+            )
+        tree = cls(num_nodes=num_nodes, num_levels=num_levels_actual)
+        # Build top-down: at each level, create child vertices in index
+        # order under their parents from the level above.
+        parent_vertices: List[int] = [tree.root]
+        for level in range(num_levels_actual - 1, -1, -1):
+            level_grouping = grouping[level]
+            if len(level_grouping) != len(parent_vertices):
+                raise PartitionError(
+                    f"grouping[{level}] has {len(level_grouping)} groups but "
+                    f"level {level + 1} has {len(parent_vertices)} vertices"
+                )
+            flat: List[Tuple[int, int]] = []  # (child_index, parent_vertex)
+            for parent_index, group in enumerate(level_grouping):
+                for child_index in group:
+                    flat.append((child_index, parent_vertices[parent_index]))
+            flat.sort()
+            if [c for c, _p in flat] != list(range(len(flat))):
+                raise PartitionError(
+                    f"grouping[{level}] must cover child indices "
+                    f"0..{len(flat) - 1} exactly once"
+                )
+            parent_vertices = [
+                tree.add_vertex(level=level, parent=parent_vertex)
+                for _child_index, parent_vertex in flat
+            ]
+        if len(parent_vertices) != len(blocks):
+            raise PartitionError(
+                f"grouping yields {len(parent_vertices)} leaves but "
+                f"{len(blocks)} blocks were given"
+            )
+        for block, leaf in zip(blocks, parent_vertices):
+            for node in block:
+                tree.assign(node, leaf)
+        return tree.freeze()
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of netlist nodes."""
+        return self._num_nodes
+
+    @property
+    def num_levels(self) -> int:
+        """Root level ``L``."""
+        return self._num_levels
+
+    @property
+    def root(self) -> int:
+        """Root vertex id."""
+        return self._root
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of tree vertices."""
+        return len(self._vertices)
+
+    def level(self, vertex: int) -> int:
+        """Level of tree vertex ``vertex``."""
+        return self._vertices[vertex].level
+
+    def parent(self, vertex: int) -> int:
+        """Parent vertex id (-1 for the root)."""
+        return self._vertices[vertex].parent
+
+    def children(self, vertex: int) -> Tuple[int, ...]:
+        """Child vertex ids."""
+        return tuple(self._vertices[vertex].children)
+
+    def leaves(self) -> List[int]:
+        """All level-0 vertex ids, ascending."""
+        return [v.vertex_id for v in self._vertices if v.level == 0]
+
+    def vertices_at_level(self, level: int) -> List[int]:
+        """All vertex ids at ``level``, ascending."""
+        return [v.vertex_id for v in self._vertices if v.level == level]
+
+    def leaf_of(self, node: int) -> int:
+        """Leaf vertex holding netlist node ``node``."""
+        leaf = self._leaf_of[node]
+        if leaf < 0:
+            raise PartitionError(f"node {node} is unassigned")
+        return leaf
+
+    def block_at_level(self, node: int, level: int) -> int:
+        """The level-``level`` tree vertex containing netlist node ``node``."""
+        if not self._ancestors:
+            self._build_ancestors()
+        return self._ancestors[self.leaf_of(node)][level]
+
+    def ancestor_chain(self, leaf: int) -> List[int]:
+        """Vertex ids from ``leaf`` (level 0) up to the root (do not mutate)."""
+        if not self._ancestors:
+            self._build_ancestors()
+        return self._ancestors[leaf]
+
+    def members(self, vertex: int) -> List[int]:
+        """Netlist nodes assigned to ``vertex`` (directly or via descendants)."""
+        if not self._ancestors:
+            self._build_ancestors()
+        level = self._vertices[vertex].level
+        return sorted(
+            node
+            for node in range(self._num_nodes)
+            if self._ancestors[self._leaf_of[node]][level] == vertex
+        )
+
+    def leaf_blocks(self) -> Dict[int, List[int]]:
+        """Mapping leaf id -> sorted list of its nodes."""
+        blocks: Dict[int, List[int]] = {leaf: [] for leaf in self.leaves()}
+        for node in range(self._num_nodes):
+            if self._leaf_of[node] >= 0:
+                blocks[self._leaf_of[node]].append(node)
+        return blocks
+
+    def block_sizes(self, node_sizes: Sequence[float]) -> Dict[int, float]:
+        """Mapping vertex id -> total node size under it."""
+        if not self._ancestors:
+            self._build_ancestors()
+        sizes = {v.vertex_id: 0.0 for v in self._vertices}
+        for node in range(self._num_nodes):
+            chain = self._ancestors[self._leaf_of[node]]
+            for vertex in chain:
+                sizes[vertex] += node_sizes[node]
+        return sizes
+
+    # ------------------------------------------------------------------
+    # Mutation (FM improvement)
+    # ------------------------------------------------------------------
+    def move(self, node: int, target_leaf: int) -> int:
+        """Move ``node`` to ``target_leaf``; returns the previous leaf."""
+        if self._vertices[target_leaf].level != 0:
+            raise PartitionError(
+                f"target vertex {target_leaf} is not a level-0 leaf"
+            )
+        previous = self.leaf_of(node)
+        self._leaf_of[node] = target_leaf
+        return previous
+
+    def copy(self) -> "PartitionTree":
+        """A deep copy (shared nothing)."""
+        clone = PartitionTree.__new__(PartitionTree)
+        clone._num_nodes = self._num_nodes
+        clone._num_levels = self._num_levels
+        clone._vertices = [
+            _Vertex(v.vertex_id, v.level, v.parent, list(v.children))
+            for v in self._vertices
+        ]
+        clone._root = self._root
+        clone._leaf_of = list(self._leaf_of)
+        clone._ancestors = {
+            leaf: list(chain) for leaf, chain in self._ancestors.items()
+        }
+        return clone
+
+    def render(self, node_sizes: Optional[Sequence[float]] = None) -> str:
+        """ASCII rendering of the tree (Figure 1 style)."""
+        sizes = (
+            self.block_sizes(node_sizes) if node_sizes is not None else None
+        )
+        lines: List[str] = []
+
+        def walk(vertex: int, indent: int) -> None:
+            info = f"v{vertex} (level {self._vertices[vertex].level}"
+            if sizes is not None:
+                info += f", size {sizes[vertex]:g}"
+            info += ")"
+            lines.append("  " * indent + info)
+            for child in self._vertices[vertex].children:
+                walk(child, indent + 1)
+
+        walk(self._root, 0)
+        return "\n".join(lines)
+
+
+def _uniform_depth(nested: Nested) -> int:
+    """Depth of a nested structure, checking leaf-depth uniformity."""
+    if all(isinstance(item, int) for item in nested):
+        return 0
+    if any(isinstance(item, int) for item in nested):
+        raise PartitionError(
+            "nested structure mixes node ids and sub-blocks at one level"
+        )
+    depths = {(_uniform_depth(child)) for child in nested}
+    if len(depths) != 1:
+        raise PartitionError(
+            f"nested structure has leaves at different depths: {depths}"
+        )
+    return depths.pop() + 1

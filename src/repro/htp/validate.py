@@ -1,0 +1,67 @@
+"""Validation of hierarchical tree partitions against a spec."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import PartitionError
+from repro.htp.hierarchy import HierarchySpec
+from repro.htp.partition import PartitionTree
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def partition_violations(
+    hypergraph: Hypergraph,
+    partition: PartitionTree,
+    spec: HierarchySpec,
+) -> List[str]:
+    """All constraint violations of a partition, as human-readable strings.
+
+    Checks: node count, level consistency, size bounds ``C_l`` and
+    branching bounds ``K_l`` at every tree vertex.  Empty list = valid.
+    """
+    problems: List[str] = []
+    if partition.num_nodes != hypergraph.num_nodes:
+        problems.append(
+            f"partition covers {partition.num_nodes} nodes, netlist has "
+            f"{hypergraph.num_nodes}"
+        )
+        return problems
+    if partition.num_levels != spec.num_levels:
+        problems.append(
+            f"partition has {partition.num_levels} levels, spec has "
+            f"{spec.num_levels}"
+        )
+
+    sizes = partition.block_sizes(hypergraph.node_sizes())
+    max_level = min(partition.num_levels, spec.num_levels)
+    for level in range(0, max_level + 1):
+        bound = spec.capacity(level) if level <= spec.num_levels else None
+        for vertex in partition.vertices_at_level(level):
+            if bound is not None and sizes[vertex] > bound + 1e-9:
+                problems.append(
+                    f"vertex {vertex} at level {level} has size "
+                    f"{sizes[vertex]:g} > C_{level} = {bound:g}"
+                )
+            if level >= 1:
+                children = partition.children(vertex)
+                k_bound = spec.branch_bound(level)
+                if len(children) > k_bound:
+                    problems.append(
+                        f"vertex {vertex} at level {level} has "
+                        f"{len(children)} children > K_{level} = {k_bound}"
+                    )
+    return problems
+
+
+def check_partition(
+    hypergraph: Hypergraph,
+    partition: PartitionTree,
+    spec: HierarchySpec,
+) -> None:
+    """Raise :class:`PartitionError` when the partition violates the spec."""
+    problems = partition_violations(hypergraph, partition, spec)
+    if problems:
+        raise PartitionError(
+            "invalid partition:\n  " + "\n  ".join(problems)
+        )

@@ -1,0 +1,50 @@
+"""Hypergraph (netlist) and graph substrate.
+
+This package models circuits the way the paper does: a netlist is a
+hypergraph ``H = (V, E)`` whose nodes carry sizes ``s(v)`` and whose nets
+(hyperedges) carry capacities ``c(e)``.  Weighted graphs (used by the
+spreading-metric machinery) live in :mod:`repro.hypergraph.graph`, and the
+net models that turn a netlist into a graph live in
+:mod:`repro.hypergraph.expansion`.
+"""
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.graph import Graph
+from repro.hypergraph.expansion import (
+    clique_expansion,
+    cycle_expansion,
+    star_expansion,
+    to_graph,
+)
+from repro.hypergraph.bench_format import read_bench, write_bench
+from repro.hypergraph.generators import (
+    datapath_hypergraph,
+    figure2_graph,
+    figure2_hypergraph,
+    grid_hypergraph,
+    iscas85_surrogate,
+    ISCAS85_SIZES,
+    multiplier_array_hypergraph,
+    planted_hierarchy_hypergraph,
+    random_hypergraph,
+)
+
+__all__ = [
+    "Hypergraph",
+    "Graph",
+    "clique_expansion",
+    "cycle_expansion",
+    "star_expansion",
+    "to_graph",
+    "read_bench",
+    "write_bench",
+    "datapath_hypergraph",
+    "figure2_graph",
+    "figure2_hypergraph",
+    "grid_hypergraph",
+    "iscas85_surrogate",
+    "ISCAS85_SIZES",
+    "multiplier_array_hypergraph",
+    "planted_hierarchy_hypergraph",
+    "random_hypergraph",
+]

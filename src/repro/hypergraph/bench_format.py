@@ -1,0 +1,164 @@
+"""ISCAS ``.bench`` netlist format.
+
+The ISCAS85 circuits the paper evaluates on are distributed as
+``.bench`` files::
+
+    # comment
+    INPUT(G1)
+    OUTPUT(G22)
+    G10 = NAND(G1, G3)
+    G22 = NOT(G10)
+
+Reading builds a :class:`Hypergraph` with one node per gate or primary
+input and one net per *signal*: the driver plus every gate that reads it
+(single-fanout-to-nowhere signals produce no net).  Writing emits a
+``.bench`` file from a netlist whose nets are interpreted as
+driver-plus-loads (the first pin of each net is taken as the driver);
+round-tripping a parsed file reproduces the connectivity exactly.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.errors import HypergraphError
+from repro.hypergraph.hypergraph import Hypergraph
+
+PathLike = Union[str, Path]
+
+_GATE_RE = re.compile(
+    r"^(?P<out>[\w.\[\]]+)\s*=\s*(?P<func>\w+)\s*\((?P<ins>[^)]*)\)\s*$"
+)
+_IO_RE = re.compile(r"^(?P<kind>INPUT|OUTPUT)\s*\((?P<sig>[\w.\[\]]+)\)\s*$")
+
+#: Gate functions accepted when parsing (anything else raises).
+KNOWN_FUNCTIONS = {
+    "AND",
+    "NAND",
+    "OR",
+    "NOR",
+    "XOR",
+    "XNOR",
+    "NOT",
+    "BUF",
+    "BUFF",
+    "DFF",
+}
+
+
+def read_bench(path: PathLike, name: str = "") -> Hypergraph:
+    """Parse a ``.bench`` file into a netlist.
+
+    Nodes are primary inputs and gates; nets connect each signal's driver
+    to its readers.  Gate functions are validated against
+    :data:`KNOWN_FUNCTIONS` but otherwise ignored (partitioning does not
+    care about logic).
+    """
+    text = Path(path).read_text()
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[Tuple[str, str, List[str]]] = []  # (out, func, ins)
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            if io_match.group("kind") == "INPUT":
+                inputs.append(io_match.group("sig"))
+            else:
+                outputs.append(io_match.group("sig"))
+            continue
+        gate_match = _GATE_RE.match(line)
+        if gate_match:
+            func = gate_match.group("func").upper()
+            if func not in KNOWN_FUNCTIONS:
+                raise HypergraphError(
+                    f"{path}:{line_number}: unknown gate function {func!r}"
+                )
+            ins = [
+                token.strip()
+                for token in gate_match.group("ins").split(",")
+                if token.strip()
+            ]
+            if not ins:
+                raise HypergraphError(
+                    f"{path}:{line_number}: gate with no inputs"
+                )
+            gates.append((gate_match.group("out"), func, ins))
+            continue
+        raise HypergraphError(f"{path}:{line_number}: cannot parse {raw!r}")
+
+    if not inputs and not gates:
+        raise HypergraphError(f"{path}: no inputs or gates found")
+
+    # Node ids: primary inputs first, then gates, in file order.
+    node_of: Dict[str, int] = {}
+    node_names: List[str] = []
+    for signal in inputs:
+        if signal in node_of:
+            raise HypergraphError(f"{path}: duplicate INPUT({signal})")
+        node_of[signal] = len(node_names)
+        node_names.append(signal)
+    for out, _func, _ins in gates:
+        if out in node_of:
+            raise HypergraphError(f"{path}: signal {out} driven twice")
+        node_of[out] = len(node_names)
+        node_names.append(out)
+
+    # Nets: driver + readers per signal.
+    readers: Dict[str, List[int]] = {}
+    for out, _func, ins in gates:
+        for signal in ins:
+            if signal not in node_of:
+                raise HypergraphError(
+                    f"{path}: gate {out} reads undriven signal {signal}"
+                )
+            readers.setdefault(signal, []).append(node_of[out])
+    nets: List[Tuple[int, ...]] = []
+    for signal, loads in readers.items():
+        pins = sorted({node_of[signal], *loads})
+        if len(pins) >= 2:
+            nets.append(tuple(pins))
+    nets.sort()
+    return Hypergraph(
+        num_nodes=len(node_names),
+        nets=nets,
+        node_names=node_names,
+        name=name or Path(path).stem,
+    )
+
+
+def write_bench(hypergraph: Hypergraph, path: PathLike) -> None:
+    """Write a netlist as a ``.bench`` file.
+
+    Nodes without any net where they appear as the first pin become
+    primary inputs; every other node becomes a pseudo-gate whose inputs
+    are the drivers of the nets it loads.  Logic functions are emitted as
+    ``NAND`` (partition-equivalent placeholder); nodes driving nothing
+    are declared as OUTPUTs so the file is well-formed.
+    """
+    driver_of_net: List[int] = [pins[0] for pins in hypergraph.nets()]
+    inputs_of_node: Dict[int, List[str]] = {}
+    for net_id, pins in enumerate(hypergraph.nets()):
+        driver = driver_of_net[net_id]
+        for v in pins:
+            if v != driver:
+                inputs_of_node.setdefault(v, []).append(
+                    hypergraph.node_name(driver)
+                )
+    lines: List[str] = [f"# generated by repro: {hypergraph.name or 'netlist'}"]
+    gate_nodes = sorted(inputs_of_node)
+    input_nodes = [v for v in hypergraph.nodes() if v not in inputs_of_node]
+    for v in input_nodes:
+        lines.append(f"INPUT({hypergraph.node_name(v)})")
+    driven = {driver_of_net[e] for e in range(hypergraph.num_nets)}
+    for v in hypergraph.nodes():
+        if v not in driven and v in inputs_of_node:
+            lines.append(f"OUTPUT({hypergraph.node_name(v)})")
+    for v in gate_nodes:
+        ins = ", ".join(inputs_of_node[v])
+        lines.append(f"{hypergraph.node_name(v)} = NAND({ins})")
+    Path(path).write_text("\n".join(lines) + "\n")

@@ -1,0 +1,141 @@
+"""Net models: turning a netlist (hypergraph) into a weighted graph.
+
+The paper formulates the LP and the flow computation on graphs and notes the
+algorithm "can be easily extended for the general HTP problem on
+hypergraphs".  The standard way to do that in partitioning practice is a
+*net model*: each net is replaced by a set of graph edges whose total
+capacity approximates the net's contribution to any cut.
+
+Three models are provided:
+
+* ``clique`` — every pin pair gets an edge of capacity ``c(e) / (|e| - 1)``,
+  the classic normalisation that makes any bipartition of the net cost at
+  least ``c(e)``.  Quadratic in net size, so large nets fall back to the
+  cycle model (threshold configurable).
+* ``cycle`` — pins are connected in a random cycle with capacity ``c(e)``
+  per edge; linear in net size.
+* ``star`` — a virtual star-centre node of zero-ish size is added per net
+  with spokes of capacity ``c(e)``; exact for cut counting but changes the
+  node set, so it is used for analysis rather than partition construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.errors import HypergraphError
+from repro.hypergraph.graph import Graph
+from repro.hypergraph.hypergraph import Hypergraph
+
+#: Nets with more pins than this use the cycle model inside clique expansion.
+DEFAULT_CLIQUE_THRESHOLD = 8
+
+#: Size given to virtual star-centre nodes (must be positive for the size
+#: machinery; small enough not to disturb block size accounting noticeably).
+STAR_CENTER_SIZE = 1e-9
+
+
+def clique_expansion(
+    hypergraph: Hypergraph,
+    clique_threshold: int = DEFAULT_CLIQUE_THRESHOLD,
+    rng: Optional[random.Random] = None,
+) -> Graph:
+    """Clique net model with a cycle fallback for large nets.
+
+    Each net ``e`` with ``|e| <= clique_threshold`` contributes edges
+    ``(u, v, c(e) / (|e| - 1))`` for every pin pair; larger nets contribute
+    a random cycle over their pins with per-edge capacity ``c(e)``.
+    Parallel contributions between the same node pair are merged by the
+    :class:`Graph` constructor.
+    """
+    rng = rng or random.Random(0)
+    edges: List[Tuple[int, int, float]] = []
+    for net_id, pins in enumerate(hypergraph.nets()):
+        cap = hypergraph.net_capacity(net_id)
+        k = len(pins)
+        if k <= clique_threshold:
+            weight = cap / (k - 1)
+            for i in range(k):
+                for j in range(i + 1, k):
+                    edges.append((pins[i], pins[j], weight))
+        else:
+            order = list(pins)
+            rng.shuffle(order)
+            for i in range(k):
+                edges.append((order[i], order[(i + 1) % k], cap))
+    return Graph(
+        num_nodes=hypergraph.num_nodes,
+        edges=edges,
+        node_sizes=hypergraph.node_sizes(),
+        name=hypergraph.name + "#clique" if hypergraph.name else "",
+    )
+
+
+def cycle_expansion(
+    hypergraph: Hypergraph, rng: Optional[random.Random] = None
+) -> Graph:
+    """Pure cycle net model: every net becomes a random cycle over its pins."""
+    rng = rng or random.Random(0)
+    edges: List[Tuple[int, int, float]] = []
+    for net_id, pins in enumerate(hypergraph.nets()):
+        cap = hypergraph.net_capacity(net_id)
+        k = len(pins)
+        if k == 2:
+            edges.append((pins[0], pins[1], cap))
+            continue
+        order = list(pins)
+        rng.shuffle(order)
+        for i in range(k):
+            edges.append((order[i], order[(i + 1) % k], cap))
+    return Graph(
+        num_nodes=hypergraph.num_nodes,
+        edges=edges,
+        node_sizes=hypergraph.node_sizes(),
+        name=hypergraph.name + "#cycle" if hypergraph.name else "",
+    )
+
+
+def star_expansion(hypergraph: Hypergraph) -> Tuple[Graph, List[int]]:
+    """Star net model.
+
+    Each net gets a virtual centre node (appended after the real nodes) and
+    spokes of capacity ``c(e)``.  Returns the graph and the list of centre
+    node ids (one per net, in net order).
+    """
+    num_real = hypergraph.num_nodes
+    edges: List[Tuple[int, int, float]] = []
+    centers: List[int] = []
+    for net_id, pins in enumerate(hypergraph.nets()):
+        center = num_real + net_id
+        centers.append(center)
+        cap = hypergraph.net_capacity(net_id)
+        for v in pins:
+            edges.append((v, center, cap))
+    sizes = list(hypergraph.node_sizes()) + [STAR_CENTER_SIZE] * hypergraph.num_nets
+    graph = Graph(
+        num_nodes=num_real + hypergraph.num_nets,
+        edges=edges,
+        node_sizes=sizes,
+        name=hypergraph.name + "#star" if hypergraph.name else "",
+    )
+    return graph, centers
+
+
+def to_graph(
+    hypergraph: Hypergraph,
+    model: str = "clique",
+    clique_threshold: int = DEFAULT_CLIQUE_THRESHOLD,
+    rng: Optional[random.Random] = None,
+) -> Graph:
+    """Dispatch by net-model name (``clique`` | ``cycle``).
+
+    The star model changes the node set, so it is deliberately not reachable
+    from this convenience dispatcher; call :func:`star_expansion` directly
+    when the centre bookkeeping is wanted.
+    """
+    if model == "clique":
+        return clique_expansion(hypergraph, clique_threshold, rng)
+    if model == "cycle":
+        return cycle_expansion(hypergraph, rng)
+    raise HypergraphError(f"unknown net model {model!r} (use 'clique' or 'cycle')")

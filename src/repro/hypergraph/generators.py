@@ -1,0 +1,409 @@
+"""Synthetic netlist generators.
+
+The paper evaluates on five MCNC/ISCAS85 circuits (Table 1) that we do not
+have offline, so :func:`iscas85_surrogate` builds synthetic stand-ins whose
+node/net/pin counts match the published sizes and whose *structure* carries
+the property that drives the paper's result shape:
+
+* the four random-logic circuits (c1355, c2670, c3540, c7552) get a planted
+  recursive cluster hierarchy — the structure a global spreading-metric
+  method is designed to discover;
+* c6288 (a 16x16 combinational multiplier) gets a regular 2-D
+  multiplier-array structure with *no* cluster hierarchy — the known hard
+  case for the paper's method (FLOW loses on c6288 in Table 2).
+
+The module also provides the canonical Figure 2 instance (16 nodes,
+30 edges) with its optimal partition, plus generic random/grid generators
+used by tests and examples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import HypergraphError
+from repro.hypergraph.graph import Graph
+from repro.hypergraph.hypergraph import Hypergraph
+
+#: Published (#nodes, #nets, #pins) of the ISCAS85 test cases of Table 1.
+ISCAS85_SIZES: Dict[str, Tuple[int, int, int]] = {
+    "c1355": (546, 579, 1417),
+    "c2670": (1193, 1350, 3029),
+    "c3540": (1669, 1719, 4184),
+    "c6288": (2416, 2448, 7216),
+    "c7552": (3512, 3719, 9099),
+}
+
+#: Net-size distribution matched to the ISCAS85 pins/nets ratio (~2.43).
+_NET_SIZE_CHOICES: Sequence[int] = (2, 3, 4, 5)
+_NET_SIZE_WEIGHTS: Sequence[float] = (0.70, 0.21, 0.06, 0.03)
+
+
+# ----------------------------------------------------------------------
+# Figure 2: the worked example of the paper
+# ----------------------------------------------------------------------
+def figure2_graph() -> Graph:
+    """The 16-node, 30-edge graph of Figure 2 (unit sizes and capacities).
+
+    Nodes 0..15 form four 4-cliques {0-3}, {4-7}, {8-11}, {12-15}.  Inside
+    each level-1 block, the two cliques are joined by two edges (cut only at
+    level 0, cost 2 each under ``C = (4, 8)``, ``w = (1, 2)``); the two
+    level-1 blocks are joined by two edges (cut at levels 0 and 1, cost 6
+    each).  Total edge count 4*6 + 4 + 2 = 30; optimal HTP cost
+    4*2 + 2*6 = 20.
+    """
+    edges: List[Tuple[int, int]] = []
+    for base in (0, 4, 8, 12):
+        for i in range(4):
+            for j in range(i + 1, 4):
+                edges.append((base + i, base + j))
+    # Level-0-only cuts: two edges between cliques {0-3} and {4-7}, and two
+    # between cliques {8-11} and {12-15}.
+    edges += [(0, 4), (3, 7), (8, 12), (11, 15)]
+    # Level-1 cuts: two edges between block {0-7} and block {8-15}.
+    edges += [(1, 9), (6, 14)]
+    return Graph(num_nodes=16, edges=edges, name="figure2")
+
+
+def figure2_hypergraph() -> Hypergraph:
+    """Figure 2 as a hypergraph (every edge is a 2-pin net)."""
+    graph = figure2_graph()
+    return Hypergraph(
+        num_nodes=graph.num_nodes,
+        nets=[(u, v) for u, v in graph.edges()],
+        name="figure2",
+    )
+
+
+def figure2_optimal_blocks() -> List[List[int]]:
+    """The four optimal level-0 blocks of the Figure 2 instance."""
+    return [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11], [12, 13, 14, 15]]
+
+
+# ----------------------------------------------------------------------
+# Planted-hierarchy netlists (random-logic surrogates)
+# ----------------------------------------------------------------------
+def planted_hierarchy_hypergraph(
+    num_nodes: int,
+    num_nets: Optional[int] = None,
+    height: int = 4,
+    branching: int = 2,
+    locality: Optional[Sequence[float]] = None,
+    seed: int = 0,
+    name: str = "",
+    intra_span: Optional[int] = None,
+) -> Hypergraph:
+    """A netlist with a planted recursive cluster hierarchy.
+
+    Nodes are assigned to the ``branching**height`` leaves of a complete
+    tree.  Each net is anchored at a random driver node; its remaining pins
+    are sampled from clusters at a tree distance drawn from ``locality``
+    (index 0 = same leaf cluster, index ``h`` = clusters whose lowest common
+    ancestor is ``h`` levels up).  Steeply decaying locality plants a strong
+    hierarchy for partitioners to find.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes (unit sizes).
+    num_nets:
+        Number of nets (default: ``round(1.06 * num_nodes)`` to match the
+        ISCAS85 nets/nodes ratio).
+    height, branching:
+        Shape of the planted tree (default: binary of height 4, 16 leaves).
+    locality:
+        Probability of each tree distance 0..height (normalised internally).
+        Default ``(0.75, 0.14, 0.06, 0.03, 0.02, ...)``.
+    seed:
+        Random seed (generation is deterministic given the seed).
+    intra_span:
+        When given, intra-cluster pins are drawn within ``±intra_span``
+        index positions of the driver instead of uniformly over the
+        cluster: clusters become sparse logic *chains* (the dominant
+        texture of real combinational netlists, whose pins/net ratio is
+        only ~2.4) rather than dense blobs.  None keeps blob clusters.
+    """
+    if num_nodes < branching**height:
+        raise HypergraphError(
+            f"need at least {branching ** height} nodes for a "
+            f"{branching}-ary planted tree of height {height}"
+        )
+    rng = random.Random(seed)
+    if num_nets is None:
+        num_nets = round(1.06 * num_nodes)
+    if locality is None:
+        base = [0.75, 0.14, 0.06, 0.03]
+        while len(base) < height + 1:
+            base.append(base[-1] * 0.6)
+        locality = base[: height + 1]
+    weights = list(locality)
+    total_weight = sum(weights)
+    weights = [w / total_weight for w in weights]
+
+    num_leaves = branching**height
+    # Balanced node -> leaf-cluster assignment.
+    cluster_of = [v * num_leaves // num_nodes for v in range(num_nodes)]
+    members: List[List[int]] = [[] for _ in range(num_leaves)]
+    for v, cluster in enumerate(cluster_of):
+        members[cluster].append(v)
+
+    def sample_cluster_at_distance(cluster: int, distance: int) -> int:
+        """A leaf cluster whose LCA with ``cluster`` is ``distance`` levels up."""
+        if distance == 0:
+            return cluster
+        block = branching**distance
+        ancestor_base = (cluster // block) * block
+        inner = branching ** (distance - 1)
+        own_child = (cluster - ancestor_base) // inner
+        other_children = [c for c in range(branching) if c != own_child]
+        child = rng.choice(other_children)
+        return ancestor_base + child * inner + rng.randrange(inner)
+
+    position_in_cluster = {}
+    for cluster_members in members:
+        for position, v in enumerate(cluster_members):
+            position_in_cluster[v] = position
+
+    nets: List[Tuple[int, ...]] = []
+    for net_index in range(num_nets):
+        if net_index < num_nodes:
+            driver = net_index  # every node drives one net first
+        else:
+            driver = rng.randrange(num_nodes)
+        size = rng.choices(_NET_SIZE_CHOICES, weights=_NET_SIZE_WEIGHTS)[0]
+        pins = {driver}
+        guard = 0
+        while len(pins) < size and guard < 50:
+            guard += 1
+            distance = rng.choices(range(len(weights)), weights=weights)[0]
+            target_cluster = sample_cluster_at_distance(
+                cluster_of[driver], distance
+            )
+            candidates = members[target_cluster]
+            if not candidates:
+                continue
+            if distance == 0 and intra_span is not None:
+                center = position_in_cluster[driver]
+                offset = rng.randint(-intra_span, intra_span)
+                position = max(0, min(len(candidates) - 1, center + offset))
+                pins.add(candidates[position])
+            else:
+                pins.add(rng.choice(candidates))
+        if len(pins) >= 2:
+            nets.append(tuple(sorted(pins)))
+    return Hypergraph(num_nodes=num_nodes, nets=nets, name=name or "planted")
+
+
+# ----------------------------------------------------------------------
+# Multiplier-array netlists (c6288 surrogate)
+# ----------------------------------------------------------------------
+def multiplier_array_hypergraph(
+    num_nodes: int,
+    width: int = 16,
+    seed: int = 0,
+    name: str = "",
+) -> Hypergraph:
+    """A regular 2-D array netlist shaped like a combinational multiplier.
+
+    Cells are laid out in a ``rows x width`` array.  Each cell's output net
+    feeds its right neighbour (carry) and the cell below (sum) — a 3-pin
+    net — mirroring the carry-save adder array of c6288.  Operand
+    distribution nets run along array diagonals.  The structure is
+    deliberately regular with no cluster hierarchy.
+    """
+    if num_nodes < 2 * width:
+        raise HypergraphError("multiplier array needs at least two rows")
+    rng = random.Random(seed)
+    rows = (num_nodes + width - 1) // width
+
+    def cell(r: int, c: int) -> Optional[int]:
+        v = r * width + c
+        return v if v < num_nodes else None
+
+    nets: List[Tuple[int, ...]] = []
+    for r in range(rows):
+        for c in range(width):
+            source = cell(r, c)
+            if source is None:
+                continue
+            pins = {source}
+            right = cell(r, c + 1) if c + 1 < width else None
+            below = cell(r + 1, c)
+            if right is not None:
+                pins.add(right)
+            if below is not None:
+                pins.add(below)
+            if len(pins) >= 2:
+                nets.append(tuple(sorted(pins)))
+    # Operand-bit distribution nets along diagonals (multiplicand bits).
+    for c in range(width):
+        diagonal = [
+            cell(r, (c + r) % width) for r in range(0, rows, max(1, rows // 3))
+        ]
+        pins_list = [p for p in diagonal if p is not None]
+        if len(pins_list) >= 2:
+            nets.append(tuple(sorted(set(pins_list))))
+    rng.shuffle(nets)
+    return Hypergraph(num_nodes=num_nodes, nets=nets, name=name or "multarray")
+
+
+# ----------------------------------------------------------------------
+# Bit-sliced datapath netlists
+# ----------------------------------------------------------------------
+def datapath_hypergraph(
+    num_nodes: int,
+    num_units: int = 16,
+    width: int = 8,
+    bus_fraction: float = 0.18,
+    seed: int = 0,
+    name: str = "",
+) -> Hypergraph:
+    """A bit-sliced datapath: functional units of slices joined by buses.
+
+    Each of the ``num_units`` functional units holds a ``width``-wide
+    grid of cells (bit-slices with carry chains), and inter-unit *bus*
+    nets connect random cells of paired units, with counts decaying by
+    the units' tree distance in a binary grouping (pair > quad > octave
+    > global).  ``bus_fraction`` sets the bus share of the net budget.
+
+    This is the structure the HTP problem is motivated by: the natural
+    hierarchy (units, unit pairs, ...) conflicts with the cheap cuts a
+    greedy min-cut method sees along the slice direction.
+    """
+    if num_nodes < num_units * 2:
+        raise HypergraphError("need at least two cells per unit")
+    rng = random.Random(seed)
+    per_unit = num_nodes // num_units
+
+    def unit_nodes(unit: int) -> List[int]:
+        start = unit * per_unit
+        end = (unit + 1) * per_unit if unit < num_units - 1 else num_nodes
+        return list(range(start, end))
+
+    nets: List[Tuple[int, ...]] = []
+    for unit in range(num_units):
+        members = unit_nodes(unit)
+        count = len(members)
+        for i, v in enumerate(members):
+            if (i + 1) % width and i + 1 < count:
+                nets.append((v, members[i + 1]))  # carry chain
+            if i + width < count and rng.random() < 0.5:
+                nets.append((v, members[i + width]))  # inter-slice
+    num_buses = max(1, round(bus_fraction * len(nets)))
+    for _bus in range(num_buses):
+        unit = rng.randrange(num_units)
+        draw = rng.random()
+        if draw < 0.5:
+            partner = unit ^ 1
+        elif draw < 0.75:
+            partner = (unit & ~3) | rng.randrange(4)
+        elif draw < 0.9:
+            partner = (unit & ~7) | rng.randrange(min(8, num_units))
+        else:
+            partner = rng.randrange(num_units)
+        if partner == unit:
+            partner = unit ^ 1
+        partner %= num_units
+        a = rng.choice(unit_nodes(unit))
+        b = rng.choice(unit_nodes(partner))
+        if a != b:
+            nets.append(tuple(sorted((a, b))))
+    return Hypergraph(num_nodes=num_nodes, nets=nets, name=name or "datapath")
+
+
+# ----------------------------------------------------------------------
+# Generic generators for tests and examples
+# ----------------------------------------------------------------------
+def random_hypergraph(
+    num_nodes: int,
+    num_nets: int,
+    max_net_size: int = 4,
+    seed: int = 0,
+    name: str = "random",
+) -> Hypergraph:
+    """A uniformly random netlist (no planted structure).
+
+    The union of all nets is forced to be connected by first threading a
+    random spanning chain of 2-pin nets, so partitioning instances are
+    non-degenerate.
+    """
+    if num_nets < num_nodes - 1:
+        raise HypergraphError(
+            "need at least num_nodes - 1 nets to keep the netlist connected"
+        )
+    rng = random.Random(seed)
+    order = list(range(num_nodes))
+    rng.shuffle(order)
+    nets: List[Tuple[int, ...]] = [
+        tuple(sorted((order[i], order[i + 1]))) for i in range(num_nodes - 1)
+    ]
+    while len(nets) < num_nets:
+        size = rng.randint(2, max(2, max_net_size))
+        pins = rng.sample(range(num_nodes), min(size, num_nodes))
+        if len(pins) >= 2:
+            nets.append(tuple(sorted(pins)))
+    return Hypergraph(num_nodes=num_nodes, nets=nets, name=name)
+
+
+def grid_hypergraph(rows: int, cols: int, name: str = "grid") -> Hypergraph:
+    """A ``rows x cols`` grid of 2-pin nets (deterministic)."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise HypergraphError("grid needs at least two cells")
+    nets: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                nets.append((v, v + 1))
+            if r + 1 < rows:
+                nets.append((v, v + cols))
+    return Hypergraph(num_nodes=rows * cols, nets=nets, name=name)
+
+
+# ----------------------------------------------------------------------
+# ISCAS85 surrogates (Table 1)
+# ----------------------------------------------------------------------
+#: Chain-locality span of each random-logic surrogate.  c2670 and c7552
+#: (the circuits where the paper reports FLOW's biggest wins) are the
+#: most chain-like: long reconvergent cone/parity structure with sparse
+#: cluster interiors that greedy local refinement reads poorly.
+_SURROGATE_INTRA_SPAN: Dict[str, int] = {
+    "c1355": 6,
+    "c2670": 6,
+    "c3540": 12,
+    "c7552": 6,
+}
+
+#: Array width of the c6288 surrogate (a 2-D carry-save multiplier array;
+#: near-square so the array has no cheap narrow dimension).
+_C6288_WIDTH = 60
+
+
+def iscas85_surrogate(
+    circuit: str, seed: int = 0, scale: float = 1.0
+) -> Hypergraph:
+    """A synthetic surrogate for an ISCAS85 circuit of Table 1.
+
+    ``scale`` < 1 shrinks the instance proportionally (useful for quick
+    smoke runs); ``scale = 1`` matches the published node count exactly and
+    the net/pin counts approximately.
+    """
+    if circuit not in ISCAS85_SIZES:
+        known = ", ".join(sorted(ISCAS85_SIZES))
+        raise HypergraphError(f"unknown circuit {circuit!r} (known: {known})")
+    nodes, nets, _pins = ISCAS85_SIZES[circuit]
+    num_nodes = max(32, round(nodes * scale))
+    num_nets = max(num_nodes, round(nets * scale))
+    if circuit == "c6288":
+        width = max(4, round(_C6288_WIDTH * scale**0.5))
+        return multiplier_array_hypergraph(
+            num_nodes, width=width, seed=seed, name=circuit
+        )
+    return planted_hierarchy_hypergraph(
+        num_nodes,
+        num_nets=num_nets,
+        seed=seed,
+        name=circuit,
+        intra_span=_SURROGATE_INTRA_SPAN[circuit],
+    )

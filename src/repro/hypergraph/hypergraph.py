@@ -1,0 +1,211 @@
+"""The hypergraph (netlist) model.
+
+A :class:`Hypergraph` is the paper's ``H = (V, E)``: nodes ``0..n-1`` with
+positive sizes ``s(v)`` and nets (hyperedges) that are node subsets of
+cardinality at least 2 with positive capacities ``c(e)``.  The *pin count*
+is the total cardinality of all nets — the ``#pins`` column of Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import HypergraphError
+
+
+class Hypergraph:
+    """An immutable-shape netlist with node sizes and net capacities.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; nodes are identified by integers ``0..num_nodes-1``.
+    nets:
+        Iterable of node-id collections.  Each net must contain at least two
+        distinct nodes.  Duplicated pins within a net are collapsed.
+    node_sizes:
+        Optional per-node sizes ``s(v)`` (default: unit sizes).
+    net_capacities:
+        Optional per-net capacities ``c(e)`` (default: unit capacities).
+    node_names:
+        Optional human-readable node names (for I/O round-tripping).
+    name:
+        Optional instance name (e.g. ``"c2670"``).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        nets: Iterable[Sequence[int]],
+        node_sizes: Optional[Sequence[float]] = None,
+        net_capacities: Optional[Sequence[float]] = None,
+        node_names: Optional[Sequence[str]] = None,
+        name: str = "",
+    ) -> None:
+        if num_nodes <= 0:
+            raise HypergraphError("a hypergraph needs at least one node")
+        self._num_nodes = int(num_nodes)
+        self.name = name
+
+        self._nets: List[Tuple[int, ...]] = []
+        for raw_net in nets:
+            pins = tuple(sorted(set(int(v) for v in raw_net)))
+            if len(pins) < 2:
+                raise HypergraphError(
+                    f"net {raw_net!r} has fewer than 2 distinct pins"
+                )
+            if pins[0] < 0 or pins[-1] >= self._num_nodes:
+                raise HypergraphError(
+                    f"net {raw_net!r} references a node outside 0..{num_nodes - 1}"
+                )
+            self._nets.append(pins)
+
+        if node_sizes is None:
+            self._node_sizes = [1.0] * self._num_nodes
+        else:
+            self._node_sizes = [float(s) for s in node_sizes]
+            if len(self._node_sizes) != self._num_nodes:
+                raise HypergraphError("node_sizes length != num_nodes")
+            if any(s <= 0 for s in self._node_sizes):
+                raise HypergraphError("node sizes must be positive")
+
+        if net_capacities is None:
+            self._net_capacities = [1.0] * len(self._nets)
+        else:
+            self._net_capacities = [float(c) for c in net_capacities]
+            if len(self._net_capacities) != len(self._nets):
+                raise HypergraphError("net_capacities length != number of nets")
+            if any(c <= 0 for c in self._net_capacities):
+                raise HypergraphError("net capacities must be positive")
+
+        if node_names is None:
+            self._node_names = [f"n{v}" for v in range(self._num_nodes)]
+        else:
+            self._node_names = [str(s) for s in node_names]
+            if len(self._node_names) != self._num_nodes:
+                raise HypergraphError("node_names length != num_nodes")
+
+        # Incidence: node -> tuple of net ids, built once.
+        incident: List[List[int]] = [[] for _ in range(self._num_nodes)]
+        for net_id, pins in enumerate(self._nets):
+            for v in pins:
+                incident[v].append(net_id)
+        self._incident: List[Tuple[int, ...]] = [tuple(lst) for lst in incident]
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``|V|`` (the ``#nodes`` column of Table 1)."""
+        return self._num_nodes
+
+    @property
+    def num_nets(self) -> int:
+        """Number of nets ``|E|`` (the ``#nets`` column of Table 1)."""
+        return len(self._nets)
+
+    @property
+    def num_pins(self) -> int:
+        """Total pin count ``sum_e |e|`` (the ``#pins`` column of Table 1)."""
+        return sum(len(pins) for pins in self._nets)
+
+    def nodes(self) -> range:
+        """All node ids."""
+        return range(self._num_nodes)
+
+    def net(self, net_id: int) -> Tuple[int, ...]:
+        """The sorted pin tuple of net ``net_id``."""
+        return self._nets[net_id]
+
+    def nets(self) -> List[Tuple[int, ...]]:
+        """All nets as a list of pin tuples (do not mutate)."""
+        return self._nets
+
+    def node_size(self, v: int) -> float:
+        """Size ``s(v)`` of node ``v``."""
+        return self._node_sizes[v]
+
+    def node_sizes(self) -> List[float]:
+        """All node sizes (do not mutate)."""
+        return self._node_sizes
+
+    def net_capacity(self, net_id: int) -> float:
+        """Capacity ``c(e)`` of net ``net_id``."""
+        return self._net_capacities[net_id]
+
+    def net_capacities(self) -> List[float]:
+        """All net capacities (do not mutate)."""
+        return self._net_capacities
+
+    def node_name(self, v: int) -> str:
+        """Human-readable name of node ``v``."""
+        return self._node_names[v]
+
+    def incident_nets(self, v: int) -> Tuple[int, ...]:
+        """Ids of nets containing node ``v``."""
+        return self._incident[v]
+
+    def degree(self, v: int) -> int:
+        """Number of nets incident to ``v``."""
+        return len(self._incident[v])
+
+    def total_size(self, subset: Optional[Iterable[int]] = None) -> float:
+        """Total node size ``s(V')`` of ``subset`` (whole node set if None)."""
+        if subset is None:
+            return sum(self._node_sizes)
+        return sum(self._node_sizes[v] for v in subset)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def subhypergraph(
+        self, nodes: Iterable[int]
+    ) -> Tuple["Hypergraph", Dict[int, int]]:
+        """The sub-netlist induced by ``nodes``.
+
+        Nets are restricted to the kept pins; restricted nets with fewer
+        than two pins are dropped (they can never be cut).  Returns the new
+        hypergraph and the old-id -> new-id node mapping.
+        """
+        kept = sorted(set(int(v) for v in nodes))
+        if not kept:
+            raise HypergraphError("cannot induce a subhypergraph on no nodes")
+        old_to_new = {old: new for new, old in enumerate(kept)}
+        sub_nets: List[Tuple[int, ...]] = []
+        sub_caps: List[float] = []
+        for net_id, pins in enumerate(self._nets):
+            restricted = [old_to_new[v] for v in pins if v in old_to_new]
+            if len(restricted) >= 2:
+                sub_nets.append(tuple(restricted))
+                sub_caps.append(self._net_capacities[net_id])
+        sub = Hypergraph(
+            num_nodes=len(kept),
+            nets=sub_nets,
+            node_sizes=[self._node_sizes[v] for v in kept],
+            net_capacities=sub_caps,
+            node_names=[self._node_names[v] for v in kept],
+            name=self.name + "#sub" if self.name else "",
+        )
+        return sub, old_to_new
+
+    def cut_nets(self, side: Iterable[int]) -> List[int]:
+        """Ids of nets with pins both inside and outside ``side``."""
+        inside = set(side)
+        cut = []
+        for net_id, pins in enumerate(self._nets):
+            count = sum(1 for v in pins if v in inside)
+            if 0 < count < len(pins):
+                cut.append(net_id)
+        return cut
+
+    def cut_capacity(self, side: Iterable[int]) -> float:
+        """Total capacity of nets cut by the bipartition (side, rest)."""
+        return sum(self._net_capacities[e] for e in self.cut_nets(side))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "Hypergraph"
+        return (
+            f"<{label}: {self.num_nodes} nodes, {self.num_nets} nets, "
+            f"{self.num_pins} pins>"
+        )

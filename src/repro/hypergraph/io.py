@@ -1,0 +1,116 @@
+"""Netlist I/O: hMETIS ``.hgr`` format and a JSON container.
+
+The hMETIS format is the lingua franca of circuit-partitioning tools:
+
+* first line: ``<#nets> <#nodes> [fmt]`` where ``fmt`` is 1 (net weights),
+  10 (node weights) or 11 (both);
+* one line per net: ``[weight] pin pin ...`` with 1-based node ids;
+* if node weights are present, one trailing line per node.
+
+Comment lines starting with ``%`` are ignored.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.errors import HypergraphError
+from repro.hypergraph.hypergraph import Hypergraph
+
+PathLike = Union[str, Path]
+
+
+def write_hgr(hypergraph: Hypergraph, path: PathLike) -> None:
+    """Write ``hypergraph`` in hMETIS format (weights included when non-unit)."""
+    has_net_weights = any(c != 1.0 for c in hypergraph.net_capacities())
+    has_node_weights = any(s != 1.0 for s in hypergraph.node_sizes())
+    fmt = (1 if has_net_weights else 0) + (10 if has_node_weights else 0)
+    lines: List[str] = []
+    header = f"{hypergraph.num_nets} {hypergraph.num_nodes}"
+    if fmt:
+        header += f" {fmt}"
+    lines.append(header)
+    for net_id, pins in enumerate(hypergraph.nets()):
+        parts: List[str] = []
+        if has_net_weights:
+            parts.append(_format_weight(hypergraph.net_capacity(net_id)))
+        parts.extend(str(v + 1) for v in pins)
+        lines.append(" ".join(parts))
+    if has_node_weights:
+        for v in hypergraph.nodes():
+            lines.append(_format_weight(hypergraph.node_size(v)))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_hgr(path: PathLike, name: str = "") -> Hypergraph:
+    """Read an hMETIS-format netlist."""
+    raw_lines = Path(path).read_text().splitlines()
+    lines = [ln.strip() for ln in raw_lines if ln.strip() and not ln.startswith("%")]
+    if not lines:
+        raise HypergraphError(f"{path}: empty hMETIS file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise HypergraphError(f"{path}: malformed header {lines[0]!r}")
+    num_nets, num_nodes = int(header[0]), int(header[1])
+    fmt = int(header[2]) if len(header) > 2 else 0
+    has_net_weights = fmt in (1, 11)
+    has_node_weights = fmt in (10, 11)
+    expected = 1 + num_nets + (num_nodes if has_node_weights else 0)
+    if len(lines) < expected:
+        raise HypergraphError(
+            f"{path}: expected {expected} non-comment lines, got {len(lines)}"
+        )
+    nets: List[List[int]] = []
+    capacities: List[float] = []
+    for line in lines[1 : 1 + num_nets]:
+        tokens = line.split()
+        if has_net_weights:
+            capacities.append(float(tokens[0]))
+            tokens = tokens[1:]
+        nets.append([int(tok) - 1 for tok in tokens])
+    sizes = None
+    if has_node_weights:
+        sizes = [float(lines[1 + num_nets + v]) for v in range(num_nodes)]
+    return Hypergraph(
+        num_nodes=num_nodes,
+        nets=nets,
+        node_sizes=sizes,
+        net_capacities=capacities if has_net_weights else None,
+        name=name or Path(path).stem,
+    )
+
+
+def write_json(hypergraph: Hypergraph, path: PathLike) -> None:
+    """Write the netlist as a self-describing JSON document."""
+    doc = {
+        "name": hypergraph.name,
+        "num_nodes": hypergraph.num_nodes,
+        "node_sizes": list(hypergraph.node_sizes()),
+        "node_names": [hypergraph.node_name(v) for v in hypergraph.nodes()],
+        "nets": [list(pins) for pins in hypergraph.nets()],
+        "net_capacities": list(hypergraph.net_capacities()),
+    }
+    Path(path).write_text(json.dumps(doc, indent=1))
+
+
+def read_json(path: PathLike) -> Hypergraph:
+    """Read a netlist written by :func:`write_json`."""
+    doc = json.loads(Path(path).read_text())
+    try:
+        return Hypergraph(
+            num_nodes=doc["num_nodes"],
+            nets=doc["nets"],
+            node_sizes=doc.get("node_sizes"),
+            net_capacities=doc.get("net_capacities"),
+            node_names=doc.get("node_names"),
+            name=doc.get("name", ""),
+        )
+    except KeyError as exc:
+        raise HypergraphError(f"{path}: missing field {exc}") from exc
+
+
+def _format_weight(value: float) -> str:
+    """Render a weight as an int when it is integral (hMETIS style)."""
+    return str(int(value)) if float(value).is_integer() else repr(value)

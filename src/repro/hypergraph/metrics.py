@@ -1,0 +1,67 @@
+"""Summary statistics of netlists and graphs (Table 1 support)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.hypergraph.graph import Graph
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """The size statistics reported in Table 1, plus a few extras."""
+
+    name: str
+    num_nodes: int
+    num_nets: int
+    num_pins: int
+    total_size: float
+    max_net_size: int
+    avg_net_size: float
+    max_degree: int
+    avg_degree: float
+
+
+def netlist_stats(hypergraph: Hypergraph) -> NetlistStats:
+    """Compute :class:`NetlistStats` for a netlist."""
+    net_sizes = [len(pins) for pins in hypergraph.nets()]
+    degrees = [hypergraph.degree(v) for v in hypergraph.nodes()]
+    return NetlistStats(
+        name=hypergraph.name or "netlist",
+        num_nodes=hypergraph.num_nodes,
+        num_nets=hypergraph.num_nets,
+        num_pins=hypergraph.num_pins,
+        total_size=hypergraph.total_size(),
+        max_net_size=max(net_sizes) if net_sizes else 0,
+        avg_net_size=(sum(net_sizes) / len(net_sizes)) if net_sizes else 0.0,
+        max_degree=max(degrees) if degrees else 0,
+        avg_degree=(sum(degrees) / len(degrees)) if degrees else 0.0,
+    )
+
+
+def connected_components(graph: Graph) -> List[List[int]]:
+    """Connected components of a graph (iterative DFS; no recursion limit)."""
+    seen = [False] * graph.num_nodes
+    components: List[List[int]] = []
+    for start in graph.nodes():
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        component = []
+        while stack:
+            v = stack.pop()
+            component.append(v)
+            for neighbor, _edge_id in graph.neighbors(v):
+                if not seen[neighbor]:
+                    seen[neighbor] = True
+                    stack.append(neighbor)
+        components.append(sorted(component))
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """True when the graph has a single connected component."""
+    return len(connected_components(graph)) == 1

@@ -1,0 +1,44 @@
+"""Baseline partitioning algorithms.
+
+The paper compares FLOW against the two constructive algorithms of
+Kuo, Liu & Cheng (DAC'96): **GFM** (bottom-up — multiway partition at the
+bottom level, then level-by-level grouping) and **RFM** (top-down
+recursive FM min-cut carving), and improves all three with an FM-based
+iterative-improvement phase for the HTP cost (the ``+`` rows of Table 3).
+All of these are implemented here, on top of a classic Fiduccia–Mattheyses
+bipartitioner with gain tracking.
+"""
+
+from repro.partitioning.fm import FMConfig, fm_bipartition, fm_refine
+from repro.partitioning.multiway import recursive_bisection
+from repro.partitioning.gfm import gfm_partition
+from repro.partitioning.rfm import rfm_partition
+from repro.partitioning.htp_fm import HTPFMConfig, htp_fm_improve
+from repro.partitioning.random_init import random_partition
+from repro.partitioning.kl import KLConfig, kl_bipartition
+from repro.partitioning.fbb import FBBResult, fbb_bipartition
+from repro.partitioning.spectral import fiedler_vector, spectral_bipartition
+from repro.partitioning.multilevel import (
+    MultilevelConfig,
+    multilevel_bipartition,
+)
+
+__all__ = [
+    "FMConfig",
+    "fm_bipartition",
+    "fm_refine",
+    "recursive_bisection",
+    "gfm_partition",
+    "rfm_partition",
+    "HTPFMConfig",
+    "htp_fm_improve",
+    "random_partition",
+    "KLConfig",
+    "kl_bipartition",
+    "FBBResult",
+    "fbb_bipartition",
+    "fiedler_vector",
+    "spectral_bipartition",
+    "MultilevelConfig",
+    "multilevel_bipartition",
+]

@@ -1,0 +1,189 @@
+"""Flow-based min-cut balanced bipartitioning (FBB).
+
+The max-flow min-cut school of circuit partitioning the paper's
+introduction builds on (Yang & Wong's FBB): model the netlist as a flow
+network whose minimum s-t cut counts exactly the cut *nets*, then repair
+the balance by collapsing the too-small side into its terminal and
+recomputing, until the cut side lands in the size window.
+
+Net model: each net ``e`` becomes a pair of bridge nodes ``n1 -> n2``
+with arc capacity ``c(e)``; every pin ``v`` gets infinite-capacity arcs
+``v -> n1`` and ``n2 -> v``.  Any s-t cut then severs exactly the bridge
+arcs of nets with pins on both sides, so min cut = min net cut.
+
+Used as another constructive baseline and as an alternative ``find_cut``
+engine in the ablation benches.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.algorithms.maxflow import FlowNetwork
+from repro.errors import PartitionError
+from repro.hypergraph.hypergraph import Hypergraph
+
+_INF = 1e18
+
+
+@dataclass
+class FBBResult:
+    """Outcome of :func:`fbb_bipartition`.
+
+    ``side0`` is the source-side node list (within the size window),
+    ``cut_capacity`` the capacity of nets crossing the bipartition, and
+    ``flow_rounds`` how many max-flow computations were needed.
+    """
+
+    side0: List[int]
+    cut_capacity: float
+    flow_rounds: int
+
+
+def _build_network(
+    hypergraph: Hypergraph,
+    merged_s: Set[int],
+    merged_t: Set[int],
+) -> Tuple[FlowNetwork, int, int]:
+    """The FBB flow network with collapsed terminal groups.
+
+    Layout: 0 = super-source, 1 = super-sink, then one node per free
+    netlist node, then two bridge nodes per net.
+    """
+    n = hypergraph.num_nodes
+    node_index = {}
+    next_index = 2
+    for v in range(n):
+        if v in merged_s:
+            node_index[v] = 0
+        elif v in merged_t:
+            node_index[v] = 1
+        else:
+            node_index[v] = next_index
+            next_index += 1
+    bridge_base = next_index
+    network = FlowNetwork(bridge_base + 2 * hypergraph.num_nets)
+    for net_id, pins in enumerate(hypergraph.nets()):
+        n1 = bridge_base + 2 * net_id
+        n2 = n1 + 1
+        network.add_edge(n1, n2, hypergraph.net_capacity(net_id))
+        for v in pins:
+            index = node_index[v]
+            network.add_edge(index, n1, _INF)
+            network.add_edge(n2, index, _INF)
+    return network, 0, 1
+
+
+def fbb_bipartition(
+    hypergraph: Hypergraph,
+    min_size0: float,
+    max_size0: float,
+    seed_s: Optional[int] = None,
+    seed_t: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    max_rounds: Optional[int] = None,
+) -> FBBResult:
+    """Balanced min-net-cut bipartition by repeated max-flow.
+
+    ``side0`` grows from ``seed_s`` (random if omitted); the complement
+    holds ``seed_t``.  After each max-flow, if the source side is smaller
+    than ``min_size0`` it is collapsed into the source together with one
+    boundary node (the FBB repair move); symmetrically for an oversized
+    source side.  Terminates when the side lands in the window or the
+    round budget is exhausted (then raises :class:`PartitionError`).
+    """
+    rng = rng or random.Random(0)
+    n = hypergraph.num_nodes
+    if n < 2:
+        raise PartitionError("FBB needs at least two nodes")
+    total = hypergraph.total_size()
+    if max_size0 >= total:
+        raise PartitionError("side-0 bound swallows the whole netlist")
+    if seed_s is None or seed_t is None:
+        candidates = list(range(n))
+        rng.shuffle(candidates)
+        seed_s = candidates[0] if seed_s is None else seed_s
+        seed_t = next(v for v in candidates if v != seed_s) \
+            if seed_t is None else seed_t
+    if seed_s == seed_t:
+        raise PartitionError("source and sink seeds must differ")
+
+    merged_s: Set[int] = {seed_s}
+    merged_t: Set[int] = {seed_t}
+    rounds = 0
+    budget = max_rounds if max_rounds is not None else 2 * n
+
+    while rounds < budget:
+        rounds += 1
+        network, source, sink = _build_network(hypergraph, merged_s, merged_t)
+        network.max_flow(source, sink)
+        reachable = network.min_cut_side(source)
+        # Real nodes on the source side of the min cut.
+        node_index = {}
+        next_index = 2
+        for v in range(n):
+            if v in merged_s:
+                node_index[v] = 0
+            elif v in merged_t:
+                node_index[v] = 1
+            else:
+                node_index[v] = next_index
+                next_index += 1
+        side0 = {
+            v
+            for v in range(n)
+            if node_index[v] == 0 or node_index[v] in reachable
+        }
+        size0 = hypergraph.total_size(side0)
+
+        if min_size0 - 1e-9 <= size0 <= max_size0 + 1e-9:
+            cut = hypergraph.cut_capacity(side0)
+            return FBBResult(
+                side0=sorted(side0), cut_capacity=cut, flow_rounds=rounds
+            )
+        if size0 < min_size0:
+            # Collapse the whole side into the source plus one boundary
+            # node from across the cut (FBB's repair move).
+            merged_s = set(side0)
+            extra = _boundary_node(hypergraph, side0, exclude=merged_t, rng=rng)
+            if extra is None:
+                break
+            merged_s.add(extra)
+        else:
+            complement = set(range(n)) - side0
+            merged_t = set(complement)
+            extra = _boundary_node(
+                hypergraph, complement, exclude=merged_s, rng=rng
+            )
+            if extra is None:
+                break
+            merged_t.add(extra)
+        if merged_s & merged_t:
+            break
+    raise PartitionError(
+        f"FBB could not reach the window [{min_size0:g}, {max_size0:g}] "
+        f"in {rounds} flow rounds"
+    )
+
+
+def _boundary_node(
+    hypergraph: Hypergraph,
+    side: Set[int],
+    exclude: Set[int],
+    rng: random.Random,
+) -> Optional[int]:
+    """A node just outside ``side`` (not excluded), random among nearest."""
+    candidates = set()
+    for v in side:
+        for net_id in hypergraph.incident_nets(v):
+            for u in hypergraph.net(net_id):
+                if u not in side and u not in exclude:
+                    candidates.add(u)
+    if not candidates:
+        remaining = set(hypergraph.nodes()) - side - exclude
+        if not remaining:
+            return None
+        return rng.choice(sorted(remaining))
+    return rng.choice(sorted(candidates))

@@ -1,0 +1,352 @@
+"""Fiduccia–Mattheyses bipartitioning on hypergraphs.
+
+The classic iterative-improvement bipartitioner: repeatedly move the
+highest-gain unlocked node across the cut (respecting size bounds on side
+0), lock it, and at the end of the pass roll back to the best prefix.
+Gains use the standard FM rules — moving ``v`` from side A to side B
+uncuts every net whose A-count is 1 and cuts every net whose B-count
+is 0, weighted by net capacity.
+
+Used by RFM (min-cut carving) and by GFM's bottom-level multiway
+partitioning.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.algorithms.heap import IndexedHeap
+from repro.errors import PartitionError
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+@dataclass
+class FMConfig:
+    """FM tuning knobs.
+
+    ``max_passes`` bounds the outer repeat-until-no-improvement loop;
+    ``stall_limit`` aborts a pass after that many consecutive moves
+    without improving the pass best (0 disables early abort).
+    ``init`` selects the initial partition of :func:`fm_bipartition`:
+    ``'random'`` is the era-faithful choice (the original FM and the
+    DAC'96 baselines start from random partitions); ``'bfs'`` grows a
+    connected seed region first (an hMETIS-era improvement, kept for the
+    ablation benches).  ``restarts`` runs that many independent
+    init+refine attempts and keeps the best cut (best-of-k FM, standard
+    practice in the 1990s literature).
+    """
+
+    max_passes: int = 10
+    stall_limit: int = 0
+    seed: int = 0
+    init: str = "random"
+    restarts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.init not in ("random", "bfs"):
+            raise ValueError(f"unknown init style {self.init!r}")
+        if self.restarts < 1:
+            raise ValueError("restarts must be at least 1")
+
+
+def cut_capacity(hypergraph: Hypergraph, sides: Sequence[int]) -> float:
+    """Total capacity of nets with pins on both sides."""
+    total = 0.0
+    for net_id, pins in enumerate(hypergraph.nets()):
+        first = sides[pins[0]]
+        if any(sides[v] != first for v in pins[1:]):
+            total += hypergraph.net_capacity(net_id)
+    return total
+
+
+def fm_refine(
+    hypergraph: Hypergraph,
+    sides: List[int],
+    min_size0: float,
+    max_size0: float,
+    config: Optional[FMConfig] = None,
+) -> Tuple[List[int], float]:
+    """Refine a bipartition in place; returns ``(sides, cut)``.
+
+    ``sides[v]`` is 0 or 1; side 0's total node size is kept within
+    ``[min_size0, max_size0]`` after every accepted move.
+    """
+    config = config or FMConfig()
+    size0 = sum(
+        hypergraph.node_size(v)
+        for v in hypergraph.nodes()
+        if sides[v] == 0
+    )
+    if not min_size0 - 1e-9 <= size0 <= max_size0 + 1e-9:
+        raise PartitionError(
+            f"initial side-0 size {size0:g} outside "
+            f"[{min_size0:g}, {max_size0:g}]"
+        )
+
+    for _pass in range(config.max_passes):
+        improvement = _fm_pass(
+            hypergraph, sides, min_size0, max_size0, config
+        )
+        if improvement <= 1e-12:
+            break
+    return sides, cut_capacity(hypergraph, sides)
+
+
+def _fm_pass(
+    hypergraph: Hypergraph,
+    sides: List[int],
+    min_size0: float,
+    max_size0: float,
+    config: FMConfig,
+) -> float:
+    """One FM pass with rollback; returns the realised gain (>= 0)."""
+    n = hypergraph.num_nodes
+    counts = _side_counts(hypergraph, sides)
+    locked = [False] * n
+    size0 = sum(
+        hypergraph.node_size(v) for v in hypergraph.nodes() if sides[v] == 0
+    )
+    # Transient-imbalance allowance: with a tight window (e.g. an exact
+    # bisection, LB == UB) no single move stays in bounds, so FM could
+    # never swap nodes.  Moves may overshoot by one maximum node size;
+    # only prefixes whose balance is strictly feasible are kept.
+    relax = max(hypergraph.node_size(v) for v in hypergraph.nodes())
+
+    heap = IndexedHeap()
+    for v in range(n):
+        heap.push(v, -_gain(hypergraph, sides, counts, v))
+
+    moves: List[int] = []
+    cumulative = 0.0
+    best_cumulative = 0.0
+    best_prefix = 0
+    stall = 0
+    deferred: List[Tuple[int, float]] = []
+
+    while heap:
+        node, neg_gain = heap.pop()
+        node = int(node)
+        if locked[node]:
+            continue
+        # Lazy revalidation: stored priorities may be stale (gains can
+        # rise or fall after neighbours move); re-queue when optimistic.
+        actual = -_gain(hypergraph, sides, counts, node)
+        if actual > neg_gain + 1e-12:
+            heap.push(node, actual)
+            continue
+        neg_gain = actual
+        node_size = hypergraph.node_size(node)
+        new_size0 = size0 - node_size if sides[node] == 0 else size0 + node_size
+        if not min_size0 - relax - 1e-9 <= new_size0 <= max_size0 + relax + 1e-9:
+            deferred.append((node, neg_gain))
+            # Re-queue once the balance changes; to avoid livelock, only
+            # re-add deferred nodes after an actual move (below).
+            continue
+        gain = -neg_gain
+        _apply_move(hypergraph, sides, counts, node)
+        size0 = new_size0
+        locked[node] = True
+        moves.append(node)
+        cumulative += gain
+        feasible_here = min_size0 - 1e-9 <= size0 <= max_size0 + 1e-9
+        if feasible_here and cumulative > best_cumulative + 1e-12:
+            best_cumulative = cumulative
+            best_prefix = len(moves)
+            stall = 0
+        else:
+            stall += 1
+            if config.stall_limit and stall >= config.stall_limit:
+                break
+        # Refresh gains of unlocked neighbours (nets touched by the move).
+        touched = set()
+        for net_id in hypergraph.incident_nets(node):
+            for u in hypergraph.net(net_id):
+                if not locked[u]:
+                    touched.add(u)
+        for u in touched:
+            # push() lowers the stored priority when the new gain is
+            # better; worsened gains are caught by pop-time revalidation.
+            heap.push(u, -_gain(hypergraph, sides, counts, u))
+        for deferred_node, _old in deferred:
+            if not locked[deferred_node] and deferred_node not in heap:
+                heap.push(
+                    deferred_node,
+                    -_gain(hypergraph, sides, counts, deferred_node),
+                )
+        deferred.clear()
+
+    # Roll back moves after the best prefix.
+    for node in reversed(moves[best_prefix:]):
+        _apply_move(hypergraph, sides, counts, node)
+    return best_cumulative
+
+
+def fm_bipartition(
+    hypergraph: Hypergraph,
+    min_size0: float,
+    max_size0: float,
+    rng: Optional[random.Random] = None,
+    config: Optional[FMConfig] = None,
+    seed_node: Optional[int] = None,
+) -> Tuple[List[int], float]:
+    """Construct and refine a bipartition with side-0 size in bounds.
+
+    The initial side 0 is either a random node subset of about the window
+    midpoint size (``config.init == 'random'``, the default and the
+    era-faithful behaviour of the DAC'96 baselines) or a BFS-style region
+    grown from ``seed_node`` (``'bfs'``); FM refinement follows.
+    ``config.restarts`` independent attempts are made and the best cut is
+    returned.
+    """
+    config = config or FMConfig()
+    rng = rng or random.Random(config.seed)
+    n = hypergraph.num_nodes
+    total = hypergraph.total_size()
+    if max_size0 >= total:
+        raise PartitionError(
+            "side-0 upper bound swallows the whole netlist; nothing to cut"
+        )
+    target = min(max_size0, max(min_size0, (min_size0 + max_size0) / 2.0))
+
+    best_sides: Optional[List[int]] = None
+    best_cut = float("inf")
+    for _attempt in range(config.restarts):
+        if config.init == "random":
+            sides = _random_initial_sides(
+                hypergraph, target, max_size0, rng, seed_node
+            )
+        else:
+            sides = _bfs_initial_sides(
+                hypergraph, target, max_size0, rng, seed_node
+            )
+        size0 = sum(
+            hypergraph.node_size(v)
+            for v in hypergraph.nodes()
+            if sides[v] == 0
+        )
+        if size0 < min_size0 - 1e-9:
+            continue
+        sides, cut = fm_refine(hypergraph, sides, min_size0, max_size0, config)
+        if cut < best_cut:
+            best_cut = cut
+            best_sides = sides
+    if best_sides is None:
+        raise PartitionError(
+            f"could not build an initial region of size >= {min_size0:g}"
+        )
+    return best_sides, best_cut
+
+
+def _random_initial_sides(
+    hypergraph: Hypergraph,
+    target: float,
+    max_size0: float,
+    rng: random.Random,
+    seed_node: Optional[int],
+) -> List[int]:
+    """A random node subset of about ``target`` total size as side 0."""
+    n = hypergraph.num_nodes
+    order = list(range(n))
+    rng.shuffle(order)
+    if seed_node is not None:
+        order.remove(seed_node)
+        order.insert(0, seed_node)
+    sides = [1] * n
+    size0 = 0.0
+    for node in order:
+        node_size = hypergraph.node_size(node)
+        if size0 + node_size > max_size0:
+            continue
+        sides[node] = 0
+        size0 += node_size
+        if size0 >= target:
+            break
+    return sides
+
+
+def _bfs_initial_sides(
+    hypergraph: Hypergraph,
+    target: float,
+    max_size0: float,
+    rng: random.Random,
+    seed_node: Optional[int],
+) -> List[int]:
+    """A connected region grown from a seed as side 0 (modern seeding)."""
+    n = hypergraph.num_nodes
+    start = seed_node if seed_node is not None else rng.randrange(n)
+    sides = [1] * n
+    size0 = 0.0
+    frontier = [start]
+    visited = {start}
+    while frontier and size0 < target:
+        node = frontier.pop()
+        if size0 + hypergraph.node_size(node) > max_size0:
+            continue
+        sides[node] = 0
+        size0 += hypergraph.node_size(node)
+        neighbors = []
+        for net_id in hypergraph.incident_nets(node):
+            for u in hypergraph.net(net_id):
+                if u not in visited:
+                    visited.add(u)
+                    neighbors.append(u)
+        rng.shuffle(neighbors)
+        frontier.extend(neighbors)
+        if not frontier:
+            # Disconnected: jump to any unvisited node.
+            rest = [v for v in range(n) if v not in visited]
+            if rest:
+                jump = rng.choice(rest)
+                visited.add(jump)
+                frontier.append(jump)
+    return sides
+
+
+# ----------------------------------------------------------------------
+# Gain bookkeeping
+# ----------------------------------------------------------------------
+def _side_counts(
+    hypergraph: Hypergraph, sides: Sequence[int]
+) -> List[List[int]]:
+    """Per-net pin counts on each side: ``counts[net] == [n0, n1]``."""
+    counts = []
+    for pins in hypergraph.nets():
+        n0 = sum(1 for v in pins if sides[v] == 0)
+        counts.append([n0, len(pins) - n0])
+    return counts
+
+
+def _gain(
+    hypergraph: Hypergraph,
+    sides: Sequence[int],
+    counts: List[List[int]],
+    node: int,
+) -> float:
+    """FM gain of moving ``node`` to the opposite side."""
+    from_side = sides[node]
+    to_side = 1 - from_side
+    gain = 0.0
+    for net_id in hypergraph.incident_nets(node):
+        capacity = hypergraph.net_capacity(net_id)
+        if counts[net_id][from_side] == 1:
+            gain += capacity
+        if counts[net_id][to_side] == 0:
+            gain -= capacity
+    return gain
+
+
+def _apply_move(
+    hypergraph: Hypergraph,
+    sides: List[int],
+    counts: List[List[int]],
+    node: int,
+) -> None:
+    """Flip ``node``'s side and update net counts."""
+    from_side = sides[node]
+    to_side = 1 - from_side
+    for net_id in hypergraph.incident_nets(node):
+        counts[net_id][from_side] -= 1
+        counts[net_id][to_side] += 1
+    sides[node] = to_side

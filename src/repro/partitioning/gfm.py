@@ -1,0 +1,179 @@
+"""GFM: bottom-up constructive hierarchical tree partitioning.
+
+The GFM baseline of Kuo, Liu & Cheng (DAC'96) first builds a multiway
+partition at the bottom level (here: recursive FM bisection into the
+maximum number of leaves, each within ``C_0``), then assembles the
+hierarchy level by level: at each level, current blocks are grouped into
+parents (at most ``K_l`` children, parent size at most ``C_l``) so as to
+maximise the connectivity captured *inside* parents — for ``K_l = 2`` this
+is a maximum-weight matching on the block-connectivity graph (solved with
+networkx), for larger ``K_l`` a greedy merge.
+
+Each level is optimised on its own, without regard to the global HTP
+cost — the weakness the paper's FLOW algorithm addresses.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PartitionError
+from repro.htp.hierarchy import HierarchySpec
+from repro.htp.partition import PartitionTree
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partitioning.fm import FMConfig
+from repro.partitioning.multiway import recursive_bisection
+
+
+def gfm_partition(
+    hypergraph: Hypergraph,
+    spec: HierarchySpec,
+    rng: Optional[random.Random] = None,
+    fm_config: Optional[FMConfig] = None,
+) -> PartitionTree:
+    """Run GFM; returns a frozen partition tree for ``spec``."""
+    rng = rng or random.Random(0)
+    num_leaves = 1
+    for level in range(1, spec.num_levels + 1):
+        num_leaves *= spec.branch_bound(level)
+    # Power-of-two leaves are required by recursive bisection; the
+    # experiments use binary hierarchies where this always holds.
+    blocks = recursive_bisection(
+        hypergraph,
+        num_parts=num_leaves,
+        capacity=spec.capacity(0),
+        rng=rng,
+        config=fm_config,
+    )
+
+    # Bottom-up grouping.  group_members[i] = node ids of current block i.
+    group_members: List[List[int]] = [list(b) for b in blocks]
+    grouping: List[List[List[int]]] = []
+    for level in range(1, spec.num_levels + 1):
+        k = spec.branch_bound(level)
+        capacity = spec.capacity(level)
+        if level == spec.num_levels:
+            groups = [list(range(len(group_members)))]
+        elif k == 2:
+            groups = _match_pairs(
+                hypergraph, group_members, capacity
+            )
+        else:
+            groups = _greedy_groups(
+                hypergraph, group_members, k, capacity
+            )
+        grouping.append(groups)
+        group_members = [
+            sorted(v for i in group for v in group_members[i])
+            for group in groups
+        ]
+    if len(group_members) != 1:
+        raise PartitionError(
+            f"grouping ended with {len(group_members)} top blocks, not 1"
+        )
+    return PartitionTree.from_leaf_blocks(
+        blocks, hypergraph.num_nodes, grouping=grouping
+    )
+
+
+# ----------------------------------------------------------------------
+def _connectivity(
+    hypergraph: Hypergraph, group_members: Sequence[Sequence[int]]
+) -> Dict[Tuple[int, int], float]:
+    """Pairwise block connectivity: capacity of nets touching both blocks."""
+    block_of: Dict[int, int] = {}
+    for index, members in enumerate(group_members):
+        for v in members:
+            block_of[v] = index
+    weights: Dict[Tuple[int, int], float] = {}
+    for net_id, pins in enumerate(hypergraph.nets()):
+        touched = sorted({block_of[v] for v in pins})
+        capacity = hypergraph.net_capacity(net_id)
+        for i in range(len(touched)):
+            for j in range(i + 1, len(touched)):
+                key = (touched[i], touched[j])
+                weights[key] = weights.get(key, 0.0) + capacity
+    return weights
+
+
+def _match_pairs(
+    hypergraph: Hypergraph,
+    group_members: Sequence[Sequence[int]],
+    capacity: float,
+) -> List[List[int]]:
+    """Pair blocks by maximum-weight matching under the size capacity."""
+    import networkx as nx
+
+    count = len(group_members)
+    if count % 2:
+        raise PartitionError("pair matching needs an even block count")
+    sizes = [hypergraph.total_size(m) for m in group_members]
+    weights = _connectivity(hypergraph, group_members)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(count))
+    for i in range(count):
+        for j in range(i + 1, count):
+            if sizes[i] + sizes[j] > capacity + 1e-9:
+                continue
+            # Small positive floor keeps zero-connectivity pairs matchable
+            # so a perfect matching exists.
+            graph.add_edge(i, j, weight=weights.get((i, j), 0.0) + 1e-6)
+    matching = nx.max_weight_matching(graph, maxcardinality=True)
+    matched = sorted(sorted(pair) for pair in matching)
+    used = {i for pair in matched for i in pair}
+    leftovers = [i for i in range(count) if i not in used]
+    if leftovers:
+        # Capacity pruning can strand blocks; pair leftovers greedily.
+        while len(leftovers) >= 2:
+            matched.append([leftovers.pop(0), leftovers.pop(0)])
+        if leftovers:
+            raise PartitionError(
+                f"block {leftovers[0]} cannot be paired under capacity "
+                f"{capacity:g}"
+            )
+    return [list(pair) for pair in matched]
+
+
+def _greedy_groups(
+    hypergraph: Hypergraph,
+    group_members: Sequence[Sequence[int]],
+    k: int,
+    capacity: float,
+) -> List[List[int]]:
+    """Greedy grouping for K_l > 2: repeatedly merge the heaviest pair."""
+    sizes = [hypergraph.total_size(m) for m in group_members]
+    weights = _connectivity(hypergraph, group_members)
+    groups: List[List[int]] = [[i] for i in range(len(group_members))]
+    group_size = list(sizes)
+    import math
+
+    target_groups = math.ceil(len(group_members) / k)
+    while len(groups) > target_groups:
+        best = None
+        best_weight = -1.0
+        for a in range(len(groups)):
+            for b in range(a + 1, len(groups)):
+                if len(groups[a]) + len(groups[b]) > k:
+                    continue
+                if group_size[a] + group_size[b] > capacity + 1e-9:
+                    continue
+                weight = sum(
+                    weights.get((min(i, j), max(i, j)), 0.0)
+                    for i in groups[a]
+                    for j in groups[b]
+                )
+                if weight > best_weight:
+                    best_weight = weight
+                    best = (a, b)
+        if best is None:
+            raise PartitionError(
+                f"cannot reach {target_groups} groups of <= {k} blocks "
+                f"within capacity {capacity:g}"
+            )
+        a, b = best
+        groups[a].extend(groups[b])
+        group_size[a] += group_size[b]
+        del groups[b]
+        del group_size[b]
+    return groups

@@ -1,0 +1,267 @@
+"""FM-based iterative improvement for the hierarchical cost (Table 3).
+
+The ``+`` phase of the paper: given any initial hierarchical tree
+partition, run Fiduccia–Mattheyses-style passes that move single nodes
+between *leaf blocks* (possibly under different ancestors), pricing each
+move with the full hierarchical cost of Equation (1) and respecting the
+size bound ``C_l`` at every level of the target's ancestor chain.
+
+Like classic FM, a pass permits *transient* capacity overflow of up to
+one maximum node size — without it, a partition with full blocks (the
+common case: ``C_0`` equals the balanced share) would admit no moves at
+all.  Only prefixes of the move sequence at which every block is back
+within its bound are eligible as the pass result; the pass rolls back to
+the best such prefix.  Passes repeat until no improvement.
+
+Candidate targets for a node are restricted to *connected leaves* — leaves
+holding at least one of the node's net neighbours — which preserves all
+cost-improving moves (a move to an unconnected leaf can only increase
+every incident net's span at every level where the blocks differ).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.algorithms.heap import IndexedHeap
+from repro.htp.cost import IncrementalCost
+from repro.htp.hierarchy import HierarchySpec
+from repro.htp.partition import PartitionTree
+from repro.hypergraph.hypergraph import Hypergraph
+
+_TOL = 1e-9
+
+
+@dataclass
+class HTPFMConfig:
+    """Improvement-phase knobs.
+
+    ``max_passes`` bounds the outer loop; ``stall_limit`` ends a pass
+    after that many consecutive non-improving moves (0: move every node,
+    the classic full pass).
+    """
+
+    max_passes: int = 8
+    stall_limit: int = 200
+    seed: int = 0
+
+
+@dataclass
+class HTPFMResult:
+    """Improved partition with before/after costs and pass statistics."""
+
+    partition: PartitionTree
+    initial_cost: float
+    final_cost: float
+    passes: int
+    moves_applied: int
+
+    @property
+    def improvement(self) -> float:
+        """Fractional improvement over the initial cost (0 when already 0)."""
+        if self.initial_cost == 0:
+            return 0.0
+        return (self.initial_cost - self.final_cost) / self.initial_cost
+
+
+class _MoveEngine:
+    """Shared state of one improvement run: sizes, overflow, cost."""
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        partition: PartitionTree,
+        spec: HierarchySpec,
+    ) -> None:
+        self.hypergraph = hypergraph
+        self.partition = partition
+        self.spec = spec
+        self.tracker = IncrementalCost(hypergraph, partition, spec)
+        self.node_sizes = hypergraph.node_sizes()
+        self.relax = max(
+            hypergraph.node_size(v) for v in hypergraph.nodes()
+        )
+        self.block_sizes: Dict[int, float] = partition.block_sizes(
+            self.node_sizes
+        )
+        self.capacity_of: Dict[int, float] = {}
+        for vertex in range(partition.num_vertices):
+            self.capacity_of[vertex] = spec.capacity(partition.level(vertex))
+        self.overfull = sum(
+            1
+            for vertex, size in self.block_sizes.items()
+            if size > self.capacity_of[vertex] + _TOL
+        )
+
+    # ------------------------------------------------------------------
+    def feasible(self) -> bool:
+        """True when no block exceeds its capacity."""
+        return self.overfull == 0
+
+    def connected_leaves(self, node: int) -> List[int]:
+        """Leaves (other than the node's own) holding a net neighbour."""
+        own = self.partition.leaf_of(node)
+        leaves = set()
+        for net_id in self.hypergraph.incident_nets(node):
+            for u in self.hypergraph.net(net_id):
+                if u != node:
+                    leaves.add(self.partition.leaf_of(u))
+        leaves.discard(own)
+        return sorted(leaves)
+
+    def best_move(self, node: int) -> Optional[Tuple[float, int]]:
+        """Best ``(gain, target_leaf)`` for ``node``.
+
+        Strictly feasible targets are preferred; the transient-overflow
+        allowance is used only when no feasible target exists (the
+        zero-slack escape that lets nodes swap between full blocks).
+        """
+        size = float(self.node_sizes[node])
+        source_chain = self.partition.ancestor_chain(
+            self.partition.leaf_of(node)
+        )
+        best_feasible: Optional[Tuple[float, int]] = None
+        best_relaxed: Optional[Tuple[float, int]] = None
+        for leaf in self.connected_leaves(node):
+            target_chain = self.partition.ancestor_chain(leaf)
+            feasible = True
+            admissible = True
+            for level, vertex in enumerate(target_chain[:-1]):
+                if vertex == source_chain[level]:
+                    continue
+                new_size = self.block_sizes[vertex] + size
+                if new_size > self.capacity_of[vertex] + _TOL:
+                    feasible = False
+                    if new_size > self.capacity_of[vertex] + self.relax + _TOL:
+                        admissible = False
+                        break
+            if not admissible:
+                continue
+            gain = self.tracker.gain(node, leaf)
+            if feasible:
+                if best_feasible is None or gain > best_feasible[0]:
+                    best_feasible = (gain, leaf)
+            elif best_relaxed is None or gain > best_relaxed[0]:
+                best_relaxed = (gain, leaf)
+        return best_feasible if best_feasible is not None else best_relaxed
+
+    def apply(self, node: int, target_leaf: int) -> float:
+        """Apply a move, maintaining sizes and overflow; returns the gain."""
+        size = float(self.node_sizes[node])
+        source_chain = list(
+            self.partition.ancestor_chain(self.partition.leaf_of(node))
+        )
+        target_chain = self.partition.ancestor_chain(target_leaf)
+        gain = self.tracker.apply(node, target_leaf)
+        for vertex in source_chain:
+            before = self.block_sizes[vertex]
+            after = before - size
+            self.block_sizes[vertex] = after
+            limit = self.capacity_of[vertex] + _TOL
+            if before > limit >= after:
+                self.overfull -= 1
+        for vertex in target_chain:
+            before = self.block_sizes[vertex]
+            after = before + size
+            self.block_sizes[vertex] = after
+            limit = self.capacity_of[vertex] + _TOL
+            if after > limit >= before:
+                self.overfull += 1
+        return gain
+
+
+def htp_fm_improve(
+    hypergraph: Hypergraph,
+    partition: PartitionTree,
+    spec: HierarchySpec,
+    config: Optional[HTPFMConfig] = None,
+) -> HTPFMResult:
+    """Improve ``partition`` (copied, not mutated) under the HTP cost."""
+    config = config or HTPFMConfig()
+    rng = random.Random(config.seed)
+    engine = _MoveEngine(hypergraph, partition.copy(), spec)
+    initial_cost = engine.tracker.cost
+
+    passes = 0
+    total_moves = 0
+    for _pass in range(config.max_passes):
+        passes += 1
+        gained, kept = _one_pass(engine, config, rng)
+        total_moves += kept
+        if gained <= 1e-9:
+            break
+    return HTPFMResult(
+        partition=engine.partition,
+        initial_cost=initial_cost,
+        final_cost=engine.tracker.cost,
+        passes=passes,
+        moves_applied=total_moves,
+    )
+
+
+def _one_pass(
+    engine: _MoveEngine, config: HTPFMConfig, rng: random.Random
+) -> Tuple[float, int]:
+    """One FM pass with rollback; returns (realised gain, kept moves)."""
+    n = engine.hypergraph.num_nodes
+    locked = [False] * n
+    heap = IndexedHeap()
+
+    order = list(range(n))
+    rng.shuffle(order)
+    for node in order:
+        move = engine.best_move(node)
+        if move is not None:
+            heap.push(node, -move[0])
+
+    moves: List[Tuple[int, int]] = []  # (node, previous_leaf)
+    cumulative = 0.0
+    best_cumulative = 0.0
+    best_prefix = 0
+    stall = 0
+
+    while heap:
+        node, neg_gain = heap.pop()
+        node = int(node)
+        if locked[node]:
+            continue
+        # Revalidate: the stored best move may be stale or inadmissible.
+        move = engine.best_move(node)
+        if move is None:
+            continue
+        if -move[0] > neg_gain + 1e-12:
+            heap.push(node, -move[0])
+            continue
+        previous = engine.partition.leaf_of(node)
+        gain = engine.apply(node, move[1])
+        locked[node] = True
+        moves.append((node, previous))
+        cumulative += gain
+        if (
+            engine.feasible()
+            and cumulative > best_cumulative + 1e-12
+        ):
+            best_cumulative = cumulative
+            best_prefix = len(moves)
+            stall = 0
+        else:
+            stall += 1
+            if config.stall_limit and stall >= config.stall_limit:
+                break
+        # Refresh unlocked net neighbours.
+        touched = set()
+        for net_id in engine.hypergraph.incident_nets(node):
+            for u in engine.hypergraph.net(net_id):
+                if not locked[u]:
+                    touched.add(u)
+        for u in touched:
+            refreshed = engine.best_move(u)
+            if refreshed is not None:
+                heap.push(u, -refreshed[0])
+
+    # Roll back the tail after the best feasible prefix.
+    for node, previous in reversed(moves[best_prefix:]):
+        engine.apply(node, previous)
+    return best_cumulative, best_prefix

@@ -1,0 +1,74 @@
+"""Multiway partitioning by recursive FM bisection.
+
+Splits a netlist into ``num_parts`` blocks, each within a size capacity,
+by recursively bisecting with the FM bipartitioner.  Used by GFM to build
+its bottom-level multiway partition.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from repro.errors import PartitionError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partitioning.fm import FMConfig, fm_bipartition
+
+
+def recursive_bisection(
+    hypergraph: Hypergraph,
+    num_parts: int,
+    capacity: float,
+    rng: Optional[random.Random] = None,
+    config: Optional[FMConfig] = None,
+    slack: float = 0.10,
+) -> List[List[int]]:
+    """Partition into ``num_parts`` blocks of size <= ``capacity``.
+
+    ``num_parts`` must be a power of two (the experiments use full binary
+    hierarchies).  Returns blocks as sorted global node-id lists.
+    """
+    if num_parts < 1 or num_parts & (num_parts - 1):
+        raise PartitionError("num_parts must be a positive power of two")
+    if hypergraph.total_size() > num_parts * capacity + 1e-9:
+        raise PartitionError(
+            f"total size {hypergraph.total_size():g} cannot fit in "
+            f"{num_parts} blocks of capacity {capacity:g}"
+        )
+    rng = rng or random.Random(config.seed if config else 0)
+
+    def split(nodes: List[int], parts: int) -> List[List[int]]:
+        if parts == 1:
+            return [sorted(nodes)]
+        sub, old_to_new = hypergraph.subhypergraph(nodes)
+        new_to_old = {new: old for old, new in old_to_new.items()}
+        total = sub.total_size()
+        half = parts // 2
+        # Side 0 takes `half` of the parts; it must fit them and leave a
+        # feasible residue for the other half.
+        min0 = max(0.0, total - half * capacity)
+        max0 = min(half * capacity, total)
+        balanced = total / 2.0
+        window = slack * total / 2.0
+        # Keep the floor/ceil of the balanced point inside the window so
+        # unit-size netlists always have an achievable region size.
+        lower = max(min0, min(balanced - window, math.floor(balanced)))
+        upper = min(max0, max(balanced + window, math.ceil(balanced)))
+        if lower > upper:
+            lower, upper = min0, max0
+        sides, _cut = fm_bipartition(sub, lower, upper, rng=rng, config=config)
+        side0 = [new_to_old[v] for v in range(sub.num_nodes) if sides[v] == 0]
+        side1 = [new_to_old[v] for v in range(sub.num_nodes) if sides[v] == 1]
+        if not side0 or not side1:
+            raise PartitionError("bisection produced an empty side")
+        return split(side0, half) + split(side1, parts - half)
+
+    blocks = split(list(hypergraph.nodes()), num_parts)
+    oversize = [i for i, b in enumerate(blocks)
+                if hypergraph.total_size(b) > capacity + 1e-9]
+    if oversize:
+        raise PartitionError(
+            f"recursive bisection left oversized blocks: {oversize}"
+        )
+    return blocks

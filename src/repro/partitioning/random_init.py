@@ -1,0 +1,67 @@
+"""Random feasible initial partitions (testing and FM baselines)."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import InfeasibleError
+from repro.htp.hierarchy import HierarchySpec
+from repro.htp.partition import PartitionTree
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def full_tree_shape(spec: HierarchySpec, num_nodes: int) -> PartitionTree:
+    """An unpopulated full tree: every vertex has exactly ``K_l`` children."""
+    tree = PartitionTree(num_nodes=num_nodes, num_levels=spec.num_levels)
+    frontier = [tree.root]
+    for level in range(spec.num_levels - 1, -1, -1):
+        k = spec.branch_bound(level + 1)
+        frontier = [
+            tree.add_vertex(level=level, parent=parent)
+            for parent in frontier
+            for _child in range(k)
+        ]
+    return tree
+
+
+def random_partition(
+    hypergraph: Hypergraph,
+    spec: HierarchySpec,
+    rng: Optional[random.Random] = None,
+) -> PartitionTree:
+    """A random feasible partition over the full tree shape.
+
+    Nodes are shuffled and first-fit packed into leaves, checking the size
+    bound at every ancestor level.  Raises :class:`InfeasibleError` when
+    packing fails (pathological size distributions).
+    """
+    rng = rng or random.Random(0)
+    tree = full_tree_shape(spec, hypergraph.num_nodes)
+    leaves = tree.leaves()
+    chains = {leaf: tree.ancestor_chain(leaf) for leaf in leaves}
+    block_size = {v: 0.0 for v in range(tree.num_vertices)}
+
+    order = list(hypergraph.nodes())
+    rng.shuffle(order)
+    rotated = list(leaves)
+    for node in order:
+        size = hypergraph.node_size(node)
+        placed = False
+        rng.shuffle(rotated)
+        for leaf in rotated:
+            chain = chains[leaf]
+            if all(
+                block_size[vertex] + size <= spec.capacity(level) + 1e-9
+                for level, vertex in enumerate(chain)
+            ):
+                tree.assign(node, leaf)
+                for vertex in chain:
+                    block_size[vertex] += size
+                placed = True
+                break
+        if not placed:
+            raise InfeasibleError(
+                f"random packing failed at node {node} (size {size:g})"
+            )
+    return tree.freeze()

@@ -1,0 +1,79 @@
+"""RFM: top-down recursive FM min-cut constructive partitioning.
+
+The RFM baseline of Kuo, Liu & Cheng (DAC'96) follows the same top-down
+outer loop as the paper's Algorithm 3, but its ``find_cut`` runs an FM
+min-cut bipartitioner directly on the (sub)hypergraph: it carves off a
+block of size in ``[LB, UB]`` with minimum cut, level by level.  Each cut
+is locally optimal at its own level, without the global spreading-metric
+view — the contrast the paper's Table 2 measures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.htp.hierarchy import HierarchySpec
+from repro.htp.partition import PartitionTree
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partitioning.fm import FMConfig, fm_bipartition
+
+
+def rfm_partition(
+    hypergraph: Hypergraph,
+    spec: HierarchySpec,
+    rng: Optional[random.Random] = None,
+    fm_config: Optional[FMConfig] = None,
+) -> PartitionTree:
+    """Run RFM; returns a frozen partition tree for ``spec``."""
+    rng = rng or random.Random(0)
+    tree = PartitionTree(
+        num_nodes=hypergraph.num_nodes, num_levels=spec.num_levels
+    )
+
+    def carve(nodes: List[int], vertex: int, level: int) -> None:
+        if level == 0:
+            for node in nodes:
+                tree.assign(node, vertex)
+            return
+        block_size = sum(hypergraph.node_size(v) for v in nodes)
+        lower, upper = spec.child_bounds(level, block_size)
+        remaining = list(nodes)
+        remaining_size = block_size
+        pieces: List[List[int]] = []
+        while remaining:
+            if remaining_size <= upper:
+                pieces.append(remaining)
+                break
+            piece = _fm_find_cut(
+                hypergraph, remaining, lower, upper, rng, fm_config
+            )
+            pieces.append(piece)
+            piece_set = set(piece)
+            remaining = [v for v in remaining if v not in piece_set]
+            remaining_size -= sum(hypergraph.node_size(v) for v in piece)
+        for piece in pieces:
+            child = tree.add_vertex(level=level - 1, parent=vertex)
+            carve(piece, child, level - 1)
+
+    carve(list(hypergraph.nodes()), tree.root, spec.num_levels)
+    return tree.freeze()
+
+
+def _fm_find_cut(
+    hypergraph: Hypergraph,
+    candidates: List[int],
+    lower: float,
+    upper: float,
+    rng: random.Random,
+    fm_config: Optional[FMConfig],
+) -> List[int]:
+    """Carve a min-cut subset of size in ``[lower, upper]`` via FM."""
+    sub, old_to_new = hypergraph.subhypergraph(candidates)
+    new_to_old = {new: old for old, new in old_to_new.items()}
+    sides, _cut = fm_bipartition(
+        sub, lower, upper, rng=rng, config=fm_config
+    )
+    return sorted(
+        new_to_old[v] for v in range(sub.num_nodes) if sides[v] == 0
+    )

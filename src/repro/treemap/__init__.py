@@ -1,0 +1,35 @@
+"""Min-cost tree partitioning (Vijayan's generalisation, ref [16]).
+
+The paper's introduction cites Vijayan's *min-cost tree partitioning*:
+map a hypergraph onto the vertices of a tree ``T`` so that the cost of
+globally routing the hyperedges over ``T``'s edges is minimised.  This
+package implements that problem — and the bridge to HTP: a hierarchical
+tree partition *is* a tree mapping onto the hierarchy tree, and
+Equation (1)'s cost equals the routing cost when the edge between a
+level-``l`` vertex and its parent carries weight ``w_l`` (a net uses that
+edge exactly when it has pins both inside and outside the block, which
+happens at ``span(e, l)`` blocks per level).  The equivalence is verified
+in the test suite.
+"""
+
+from repro.treemap.routing import (
+    RoutingTree,
+    hierarchy_routing_tree,
+    net_routing_cost,
+    tree_routing_cost,
+)
+from repro.treemap.assign import (
+    TreeAssignConfig,
+    greedy_tree_assignment,
+    tree_fm_improve,
+)
+
+__all__ = [
+    "RoutingTree",
+    "hierarchy_routing_tree",
+    "net_routing_cost",
+    "tree_routing_cost",
+    "TreeAssignConfig",
+    "greedy_tree_assignment",
+    "tree_fm_improve",
+]

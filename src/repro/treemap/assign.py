@@ -1,0 +1,236 @@
+"""Constructive assignment and FM improvement for tree mappings.
+
+The min-cost tree partitioning problem: place netlist nodes on a routing
+tree's vertices (respecting capacities) minimising total routing cost.
+``greedy_tree_assignment`` packs connected clusters onto host vertices;
+``tree_fm_improve`` runs FM-style single-node moves with exact routing
+gains and rollback-to-best-prefix passes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InfeasibleError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.treemap.routing import RoutingTree, net_routing_cost, tree_routing_cost
+
+
+@dataclass
+class TreeAssignConfig:
+    """Knobs for the improvement passes."""
+
+    max_passes: int = 6
+    seed: int = 0
+
+
+def host_vertices(tree: RoutingTree) -> List[int]:
+    """Vertices with positive hosting capacity."""
+    return [q for q in range(tree.num_vertices) if tree.capacity(q) > 0]
+
+
+def greedy_tree_assignment(
+    tree: RoutingTree,
+    hypergraph: Hypergraph,
+    rng: Optional[random.Random] = None,
+) -> List[int]:
+    """A feasible initial assignment by BFS-clustered first fit.
+
+    Nodes are visited in a netlist-BFS order (keeping connected nodes
+    together) and packed into host vertices in tree order; raises
+    :class:`InfeasibleError` when the total capacity is insufficient.
+    """
+    rng = rng or random.Random(0)
+    hosts = host_vertices(tree)
+    if not hosts:
+        raise InfeasibleError("routing tree has no hosting capacity")
+    total_capacity = sum(tree.capacity(q) for q in hosts)
+    if hypergraph.total_size() > total_capacity + 1e-9:
+        raise InfeasibleError(
+            f"netlist size {hypergraph.total_size():g} exceeds tree "
+            f"capacity {total_capacity:g}"
+        )
+    # Netlist BFS order with random restarts.
+    n = hypergraph.num_nodes
+    seen = [False] * n
+    order: List[int] = []
+    starts = list(range(n))
+    rng.shuffle(starts)
+    for start in starts:
+        if seen[start]:
+            continue
+        queue = [start]
+        seen[start] = True
+        while queue:
+            v = queue.pop(0)
+            order.append(v)
+            for net_id in hypergraph.incident_nets(v):
+                for u in hypergraph.net(net_id):
+                    if not seen[u]:
+                        seen[u] = True
+                        queue.append(u)
+
+    assignment = [-1] * n
+    load = {q: 0.0 for q in hosts}
+    host_iter = 0
+    for v in order:
+        size = hypergraph.node_size(v)
+        placed = False
+        for offset in range(len(hosts)):
+            q = hosts[(host_iter + offset) % len(hosts)]
+            if load[q] + size <= tree.capacity(q) + 1e-9:
+                assignment[v] = q
+                load[q] += size
+                if load[q] >= tree.capacity(q) - 1e-9:
+                    host_iter += offset + 1
+                placed = True
+                break
+        if not placed:
+            raise InfeasibleError(
+                f"first-fit failed to place node {v} (size {size:g})"
+            )
+    return assignment
+
+
+def tree_fm_improve(
+    tree: RoutingTree,
+    hypergraph: Hypergraph,
+    assignment: Sequence[int],
+    config: Optional[TreeAssignConfig] = None,
+) -> Tuple[List[int], float]:
+    """FM-style improvement of a tree mapping; returns (assignment, cost).
+
+    Pass structure mirrors the HTP improvement: pick the best admissible
+    single-node move by exact routing-cost gain, lock, roll back to the
+    best prefix, repeat until no pass improves.
+    """
+    config = config or TreeAssignConfig()
+    rng = random.Random(config.seed)
+    assignment = list(assignment)
+    hosts = host_vertices(tree)
+    load = {q: 0.0 for q in hosts}
+    for v, q in enumerate(assignment):
+        load[q] = load.get(q, 0.0) + hypergraph.node_size(v)
+
+    cost = tree_routing_cost(tree, hypergraph, assignment)
+    for _pass in range(config.max_passes):
+        gained = _one_pass(
+            tree, hypergraph, assignment, load, hosts, rng
+        )
+        cost -= gained
+        if gained <= 1e-9:
+            break
+    return assignment, cost
+
+
+def _move_gain(
+    tree: RoutingTree,
+    hypergraph: Hypergraph,
+    assignment: List[int],
+    node: int,
+    target: int,
+) -> float:
+    """Exact routing-cost decrease of moving ``node`` to ``target``."""
+    before = sum(
+        net_routing_cost(tree, hypergraph, assignment, net_id)
+        for net_id in hypergraph.incident_nets(node)
+    )
+    original = assignment[node]
+    assignment[node] = target
+    after = sum(
+        net_routing_cost(tree, hypergraph, assignment, net_id)
+        for net_id in hypergraph.incident_nets(node)
+    )
+    assignment[node] = original
+    return before - after
+
+
+def _candidate_targets(
+    tree: RoutingTree,
+    hypergraph: Hypergraph,
+    assignment: List[int],
+    node: int,
+) -> List[int]:
+    """Host vertices holding a net neighbour of ``node`` (its own excluded)."""
+    own = assignment[node]
+    targets = set()
+    for net_id in hypergraph.incident_nets(node):
+        for u in hypergraph.net(net_id):
+            if u != node:
+                targets.add(assignment[u])
+    targets.discard(own)
+    return [q for q in sorted(targets) if tree.capacity(q) > 0]
+
+
+def _one_pass(
+    tree: RoutingTree,
+    hypergraph: Hypergraph,
+    assignment: List[int],
+    load: Dict[int, float],
+    hosts: List[int],
+    rng: random.Random,
+) -> float:
+    n = hypergraph.num_nodes
+    locked = [False] * n
+    order = list(range(n))
+    rng.shuffle(order)
+    # Like classic FM, allow transient overflow of one maximum node size
+    # so nodes can swap between full hosts; only prefixes at which every
+    # host is back within capacity are eligible as the pass result.
+    relax = max(hypergraph.node_size(v) for v in range(n))
+
+    moves: List[Tuple[int, int]] = []
+    cumulative = 0.0
+    best_cumulative = 0.0
+    best_prefix = 0
+
+    def overfull() -> bool:
+        return any(
+            load.get(q, 0.0) > tree.capacity(q) + 1e-9 for q in hosts
+        )
+
+    def apply(node: int, target: int) -> None:
+        size = hypergraph.node_size(node)
+        load[assignment[node]] -= size
+        load[target] = load.get(target, 0.0) + size
+        assignment[node] = target
+
+    improved = True
+    stall = 0
+    while improved and stall < 2 * n:
+        improved = False
+        best_move: Optional[Tuple[float, int, int, bool]] = None
+        for node in order:
+            if locked[node]:
+                continue
+            size = hypergraph.node_size(node)
+            for target in _candidate_targets(tree, hypergraph, assignment, node):
+                new_load = load.get(target, 0.0) + size
+                if new_load > tree.capacity(target) + relax + 1e-9:
+                    continue
+                feasible = new_load <= tree.capacity(target) + 1e-9
+                gain = _move_gain(tree, hypergraph, assignment, node, target)
+                key = (feasible, gain)
+                if best_move is None or key > (best_move[3], best_move[0]):
+                    best_move = (gain, node, target, feasible)
+        if best_move is None:
+            break
+        gain, node, target, _feasible = best_move
+        previous = assignment[node]
+        apply(node, target)
+        locked[node] = True
+        moves.append((node, previous))
+        cumulative += gain
+        improved = True
+        if not overfull() and cumulative > best_cumulative + 1e-12:
+            best_cumulative = cumulative
+            best_prefix = len(moves)
+            stall = 0
+        else:
+            stall += 1
+
+    for node, previous in reversed(moves[best_prefix:]):
+        apply(node, previous)
+    return best_cumulative

@@ -1,0 +1,179 @@
+"""Routing trees and the tree-routing cost of a netlist mapping.
+
+A :class:`RoutingTree` is a rooted tree whose vertices can host netlist
+nodes (up to a capacity) and whose edges carry weights.  Routing a net
+means connecting all tree vertices that host one of its pins with the
+minimal subtree of ``T`` — in a tree that subtree is unique: an edge
+(child ``q`` -> parent) is used exactly when the net has pins both inside
+and outside ``q``'s subtree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import HierarchyError, PartitionError
+from repro.htp.hierarchy import HierarchySpec
+from repro.htp.partition import PartitionTree
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+class RoutingTree:
+    """A rooted tree with vertex capacities and edge weights.
+
+    Vertices are ``0..num_vertices-1``; vertex 0 is the root.  The edge
+    "above" vertex ``q`` (towards its parent) has weight
+    ``edge_weight[q]`` (unused for the root).
+    """
+
+    def __init__(
+        self,
+        parents: Sequence[int],
+        capacities: Sequence[float],
+        edge_weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        self._parents = [int(p) for p in parents]
+        if not self._parents or self._parents[0] != -1:
+            raise HierarchyError("vertex 0 must be the root (parent -1)")
+        for q, parent in enumerate(self._parents[1:], start=1):
+            if not 0 <= parent < q:
+                raise HierarchyError(
+                    f"vertex {q} must point at an earlier parent, got "
+                    f"{parent}"
+                )
+        self._capacities = [float(c) for c in capacities]
+        if len(self._capacities) != len(self._parents):
+            raise HierarchyError("capacities length != vertex count")
+        if edge_weights is None:
+            self._edge_weights = [1.0] * len(self._parents)
+        else:
+            self._edge_weights = [float(w) for w in edge_weights]
+            if len(self._edge_weights) != len(self._parents):
+                raise HierarchyError("edge_weights length != vertex count")
+        children: List[List[int]] = [[] for _ in self._parents]
+        for q, parent in enumerate(self._parents):
+            if parent >= 0:
+                children[parent].append(q)
+        self._children = [tuple(c) for c in children]
+        # Depth-first order with children after parents (for subtree sums).
+        order: List[int] = []
+        stack = [0]
+        while stack:
+            q = stack.pop()
+            order.append(q)
+            stack.extend(self._children[q])
+        self._topological = order
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of tree vertices."""
+        return len(self._parents)
+
+    def parent(self, q: int) -> int:
+        """Parent of ``q`` (-1 for the root)."""
+        return self._parents[q]
+
+    def children(self, q: int) -> Tuple[int, ...]:
+        """Children of ``q``."""
+        return self._children[q]
+
+    def capacity(self, q: int) -> float:
+        """Hosting capacity of vertex ``q``."""
+        return self._capacities[q]
+
+    def edge_weight(self, q: int) -> float:
+        """Weight of the edge from ``q`` up to its parent."""
+        return self._edge_weights[q]
+
+    def topological(self) -> List[int]:
+        """Vertices in root-first order (do not mutate)."""
+        return self._topological
+
+
+def net_routing_cost(
+    tree: RoutingTree,
+    hypergraph: Hypergraph,
+    assignment: Sequence[int],
+    net_id: int,
+) -> float:
+    """Routing cost of one net under ``assignment`` (node -> tree vertex)."""
+    pins = hypergraph.net(net_id)
+    count_in_subtree: Dict[int, int] = {}
+    for v in pins:
+        q = assignment[v]
+        while q != -1:
+            count_in_subtree[q] = count_in_subtree.get(q, 0) + 1
+            q = tree.parent(q)
+    total_pins = len(pins)
+    cost = 0.0
+    for q, count in count_in_subtree.items():
+        if q != 0 and 0 < count < total_pins:
+            cost += tree.edge_weight(q)
+    return cost * hypergraph.net_capacity(net_id)
+
+
+def tree_routing_cost(
+    tree: RoutingTree,
+    hypergraph: Hypergraph,
+    assignment: Sequence[int],
+) -> float:
+    """Total routing cost of a netlist mapping; validates the assignment."""
+    if len(assignment) != hypergraph.num_nodes:
+        raise PartitionError("assignment length != node count")
+    load = [0.0] * tree.num_vertices
+    for v, q in enumerate(assignment):
+        if not 0 <= q < tree.num_vertices:
+            raise PartitionError(f"node {v} assigned to bad vertex {q}")
+        load[q] += hypergraph.node_size(v)
+    for q in range(tree.num_vertices):
+        if load[q] > tree.capacity(q) + 1e-9:
+            raise PartitionError(
+                f"tree vertex {q} overloaded: {load[q]:g} > "
+                f"{tree.capacity(q):g}"
+            )
+    return sum(
+        net_routing_cost(tree, hypergraph, assignment, net_id)
+        for net_id in range(hypergraph.num_nets)
+    )
+
+
+def hierarchy_routing_tree(
+    partition: PartitionTree, spec: HierarchySpec
+) -> Tuple[RoutingTree, List[int], Dict[int, int]]:
+    """The routing-tree instance equivalent to an HTP partition.
+
+    Builds a :class:`RoutingTree` mirroring ``partition``'s shape where
+    the edge above a level-``l`` vertex carries weight ``w_l``, internal
+    vertices get zero hosting capacity (only leaves host nodes, as in
+    HTP), and returns ``(tree, assignment, vertex_map)`` with
+    ``vertex_map`` mapping partition-vertex ids to routing-tree ids.
+
+    ``tree_routing_cost(tree, hypergraph, assignment)`` then equals
+    ``total_cost(hypergraph, partition, spec)`` — Equation (1) seen as
+    global routing on the hierarchy (the Vijayan [16] view).
+    """
+    order: List[int] = []
+    stack = [partition.root]
+    while stack:
+        q = stack.pop()
+        order.append(q)
+        stack.extend(partition.children(q))
+    vertex_map = {q: i for i, q in enumerate(order)}
+    parents = [
+        -1 if partition.parent(q) == -1 else vertex_map[partition.parent(q)]
+        for q in order
+    ]
+    capacities = [
+        spec.capacity(0) if partition.level(q) == 0 else 0.0 for q in order
+    ]
+    edge_weights = [
+        spec.weight(partition.level(q))
+        if partition.level(q) < spec.num_levels
+        else 0.0
+        for q in order
+    ]
+    tree = RoutingTree(parents, capacities, edge_weights)
+    assignment = [
+        vertex_map[partition.leaf_of(v)] for v in range(partition.num_nodes)
+    ]
+    return tree, assignment, vertex_map

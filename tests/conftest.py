@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.htp.hierarchy import HierarchySpec, binary_hierarchy, figure2_hierarchy
+from repro.hypergraph.expansion import to_graph
+from repro.hypergraph.generators import (
+    figure2_graph,
+    figure2_hypergraph,
+    figure2_optimal_blocks,
+    grid_hypergraph,
+    planted_hierarchy_hypergraph,
+    random_hypergraph,
+)
+from repro.htp.partition import PartitionTree
+
+
+@pytest.fixture
+def fig2_graph():
+    """The 16-node, 30-edge graph of Figure 2."""
+    return figure2_graph()
+
+
+@pytest.fixture
+def fig2_hypergraph():
+    """Figure 2 as a netlist of 2-pin nets."""
+    return figure2_hypergraph()
+
+
+@pytest.fixture
+def fig2_spec():
+    """The Figure 2 hierarchy: C=(4,8,16), w=(1,2)."""
+    return figure2_hierarchy()
+
+
+@pytest.fixture
+def fig2_optimal_partition():
+    """The optimal Figure 2 partition (cost 20)."""
+    blocks = figure2_optimal_blocks()
+    nested = [[blocks[0], blocks[1]], [blocks[2], blocks[3]]]
+    return PartitionTree.from_nested(nested, 16)
+
+
+@pytest.fixture
+def small_planted():
+    """A 64-node planted-hierarchy netlist (height 2, 4 leaf clusters)."""
+    return planted_hierarchy_hypergraph(64, height=2, seed=7, name="p64")
+
+
+@pytest.fixture
+def small_planted_spec(small_planted):
+    """Binary hierarchy of height 2 for the 64-node netlist."""
+    return binary_hierarchy(small_planted.total_size(), height=2)
+
+
+@pytest.fixture
+def medium_planted():
+    """A 128-node planted-hierarchy netlist (height 3, 8 leaf clusters)."""
+    return planted_hierarchy_hypergraph(128, height=3, seed=3, name="p128")
+
+
+@pytest.fixture
+def medium_planted_spec(medium_planted):
+    """Binary hierarchy of height 3 for the 128-node netlist."""
+    return binary_hierarchy(medium_planted.total_size(), height=3)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic Random instance."""
+    return random.Random(12345)

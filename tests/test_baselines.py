@@ -1,0 +1,112 @@
+"""Unit tests for the GFM / RFM constructive baselines and multiway."""
+
+import random
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.htp.cost import total_cost
+from repro.htp.hierarchy import binary_hierarchy
+from repro.htp.validate import check_partition
+from repro.hypergraph import Hypergraph
+from repro.partitioning.fm import FMConfig
+from repro.partitioning.gfm import gfm_partition
+from repro.partitioning.multiway import recursive_bisection
+from repro.partitioning.rfm import rfm_partition
+
+
+class TestRecursiveBisection:
+    def test_respects_capacity(self, small_planted):
+        blocks = recursive_bisection(
+            small_planted, num_parts=4, capacity=20, rng=random.Random(0)
+        )
+        assert len(blocks) == 4
+        for block in blocks:
+            assert small_planted.total_size(block) <= 20
+
+    def test_blocks_partition_node_set(self, small_planted):
+        blocks = recursive_bisection(
+            small_planted, num_parts=4, capacity=20, rng=random.Random(1)
+        )
+        flat = sorted(v for block in blocks for v in block)
+        assert flat == list(small_planted.nodes())
+
+    def test_rejects_non_power_of_two(self, small_planted):
+        with pytest.raises(PartitionError):
+            recursive_bisection(small_planted, num_parts=3, capacity=30)
+
+    def test_rejects_infeasible_capacity(self, small_planted):
+        with pytest.raises(PartitionError):
+            recursive_bisection(small_planted, num_parts=4, capacity=10)
+
+    def test_single_part(self, small_planted):
+        blocks = recursive_bisection(
+            small_planted, num_parts=1, capacity=100
+        )
+        assert blocks == [list(small_planted.nodes())]
+
+
+class TestGFM:
+    def test_valid_partition(self, small_planted, small_planted_spec):
+        tree = gfm_partition(
+            small_planted, small_planted_spec, rng=random.Random(0)
+        )
+        check_partition(small_planted, tree, small_planted_spec)
+
+    def test_leaf_count_matches_hierarchy(
+        self, small_planted, small_planted_spec
+    ):
+        tree = gfm_partition(
+            small_planted, small_planted_spec, rng=random.Random(0)
+        )
+        assert len(tree.leaves()) == 4  # binary, height 2
+
+    def test_finds_figure2_optimum(
+        self, fig2_hypergraph, fig2_spec
+    ):
+        tree = gfm_partition(
+            fig2_hypergraph, fig2_spec, rng=random.Random(0)
+        )
+        assert total_cost(fig2_hypergraph, tree, fig2_spec) == pytest.approx(
+            20.0
+        )
+
+    def test_deterministic_given_seed(self, small_planted, small_planted_spec):
+        a = gfm_partition(small_planted, small_planted_spec, rng=random.Random(5))
+        b = gfm_partition(small_planted, small_planted_spec, rng=random.Random(5))
+        assert total_cost(
+            small_planted, a, small_planted_spec
+        ) == pytest.approx(
+            total_cost(small_planted, b, small_planted_spec)
+        )
+
+
+class TestRFM:
+    def test_valid_partition(self, small_planted, small_planted_spec):
+        tree = rfm_partition(
+            small_planted, small_planted_spec, rng=random.Random(0)
+        )
+        check_partition(small_planted, tree, small_planted_spec)
+
+    def test_finds_figure2_optimum(self, fig2_hypergraph, fig2_spec):
+        tree = rfm_partition(
+            fig2_hypergraph, fig2_spec, rng=random.Random(0)
+        )
+        assert total_cost(fig2_hypergraph, tree, fig2_spec) == pytest.approx(
+            20.0
+        )
+
+    def test_medium_instance(self, medium_planted, medium_planted_spec):
+        tree = rfm_partition(
+            medium_planted,
+            medium_planted_spec,
+            rng=random.Random(1),
+            fm_config=FMConfig(restarts=1),
+        )
+        check_partition(medium_planted, tree, medium_planted_spec)
+
+    def test_small_netlist_single_leaf(self):
+        h = Hypergraph(3, nets=[(0, 1), (1, 2)])
+        spec = binary_hierarchy(16, height=2)
+        tree = rfm_partition(h, spec, rng=random.Random(0))
+        assert len(tree.leaves()) == 1

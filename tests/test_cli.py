@@ -1,0 +1,140 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.hypergraph.generators import planted_hierarchy_hypergraph
+from repro.hypergraph.io import read_hgr, write_hgr
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "out.hgr"])
+        assert args.kind == "planted"
+        assert args.nodes == 256
+
+
+class TestGenerate:
+    def test_writes_hgr(self, tmp_path, capsys):
+        path = tmp_path / "out.hgr"
+        code = main(["generate", str(path), "--nodes", "64", "--seed", "3"])
+        assert code == 0
+        netlist = read_hgr(path)
+        assert netlist.num_nodes == 64
+        assert "wrote 64 nodes" in capsys.readouterr().out
+
+    def test_surrogate_kind(self, tmp_path, capsys):
+        path = tmp_path / "c.hgr"
+        code = main(
+            ["generate", str(path), "--kind", "c1355", "--scale", "0.1"]
+        )
+        assert code == 0
+        assert read_hgr(path).num_nodes == round(546 * 0.1)
+
+    def test_random_kind(self, tmp_path):
+        path = tmp_path / "r.hgr"
+        assert main(["generate", str(path), "--kind", "random",
+                     "--nodes", "40"]) == 0
+        assert read_hgr(path).num_nodes == 40
+
+
+class TestPartition:
+    @pytest.fixture
+    def netlist_file(self, tmp_path):
+        netlist = planted_hierarchy_hypergraph(64, height=2, seed=0)
+        path = tmp_path / "n.hgr"
+        write_hgr(netlist, path)
+        return str(path)
+
+    @pytest.mark.parametrize("algorithm", ["flow", "gfm", "rfm"])
+    def test_algorithms_run(self, netlist_file, capsys, algorithm):
+        code = main(
+            [
+                "partition",
+                netlist_file,
+                "--algorithm",
+                algorithm,
+                "--height",
+                "2",
+                "--iterations",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cost" in out
+        assert "WARNING" not in out
+
+    def test_improve_flag(self, netlist_file, capsys):
+        code = main(
+            [
+                "partition",
+                netlist_file,
+                "--algorithm",
+                "rfm",
+                "--height",
+                "2",
+                "--improve",
+            ]
+        )
+        assert code == 0
+        assert "after FM improvement" in capsys.readouterr().out
+
+
+class TestLowerBound:
+    def test_runs_on_small_input(self, tmp_path, capsys):
+        netlist = planted_hierarchy_hypergraph(24, height=2, seed=1)
+        path = tmp_path / "s.hgr"
+        write_hgr(netlist, path)
+        code = main(
+            ["lowerbound", str(path), "--height", "2",
+             "--max-iterations", "40"]
+        )
+        assert code == 0
+        assert "LP lower bound" in capsys.readouterr().out
+
+
+class TestTableCommand:
+    def test_table1(self, capsys):
+        code = main(["table", "1", "--scale", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TABLE 1" in out
+        assert "c7552" in out
+
+
+class TestSearchCommand:
+    def test_search_runs(self, tmp_path, capsys):
+        netlist = planted_hierarchy_hypergraph(64, height=2, seed=0)
+        path = tmp_path / "s.hgr"
+        write_hgr(netlist, path)
+        code = main(["search", str(path), "--heights", "1", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best: height" in out
+
+    def test_search_reads_bench_files(self, tmp_path, capsys):
+        from repro.hypergraph.bench_format import write_bench
+
+        netlist = planted_hierarchy_hypergraph(48, height=2, seed=1)
+        path = tmp_path / "c.bench"
+        write_bench(netlist, path)
+        code = main(["search", str(path), "--heights", "1"])
+        assert code == 0
+        assert "height 1" in capsys.readouterr().out
+
+
+class TestSeparatorCommand:
+    def test_separator_runs(self, tmp_path, capsys):
+        netlist = planted_hierarchy_hypergraph(64, height=2, seed=0)
+        path = tmp_path / "s.hgr"
+        write_hgr(netlist, path)
+        code = main(["separator", str(path), "--rho", "0.3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pieces" in out
+        assert "cut capacity" in out

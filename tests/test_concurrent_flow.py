@@ -1,0 +1,96 @@
+"""Unit tests for max concurrent flow and the flow/cut duality."""
+
+import math
+
+import pytest
+
+from repro.core.concurrent_flow import (
+    Commodity,
+    cut_throughput_bound,
+    max_concurrent_flow,
+)
+from repro.errors import PartitionError
+from repro.hypergraph import Graph
+from repro.hypergraph.generators import figure2_graph
+
+
+class TestSingleCommodity:
+    def test_bottleneck_path(self):
+        # path with capacities 4-1-4: one unit-demand commodity end to end
+        g = Graph(4, edges=[(0, 1, 4.0), (1, 2, 1.0), (2, 3, 4.0)])
+        result = max_concurrent_flow(
+            g, [Commodity(0, 3)], max_phases=100
+        )
+        # true max flow = 1 (demand 1 -> lambda = 1)
+        assert result.throughput == pytest.approx(1.0, rel=0.15)
+
+    def test_congestion_locates_bottleneck(self):
+        g = Graph(4, edges=[(0, 1, 4.0), (1, 2, 1.0), (2, 3, 4.0)])
+        result = max_concurrent_flow(g, [Commodity(0, 3)], max_phases=60)
+        bottleneck = g.edge_id(1, 2)
+        assert result.most_congested_edges(1)[0] == bottleneck
+
+    def test_parallel_paths_add(self):
+        # two disjoint unit paths s->t: max flow 2, demand 1 -> lambda 2
+        g = Graph(
+            4, edges=[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.0), (2, 3, 1.0)]
+        )
+        result = max_concurrent_flow(g, [Commodity(0, 3)], max_phases=100)
+        assert result.throughput == pytest.approx(2.0, rel=0.2)
+
+
+class TestMultiCommodity:
+    def test_two_commodities_share_bridge(self):
+        # both commodities must cross the capacity-2 bridge
+        g = Graph(
+            6,
+            edges=[
+                (0, 2, 5.0),
+                (1, 2, 5.0),
+                (2, 3, 2.0),  # bridge
+                (3, 4, 5.0),
+                (3, 5, 5.0),
+            ],
+        )
+        commodities = [Commodity(0, 4), Commodity(1, 5)]
+        result = max_concurrent_flow(g, commodities, max_phases=120)
+        # bridge capacity 2 shared by total demand 2 -> lambda = 1
+        assert result.throughput == pytest.approx(1.0, rel=0.2)
+
+    def test_duality_bound_holds(self):
+        g = figure2_graph()
+        commodities = [
+            Commodity(0, 15),
+            Commodity(3, 12),
+            Commodity(5, 10),
+        ]
+        result = max_concurrent_flow(g, commodities, max_phases=80)
+        # the planted level-1 cut (8|8, capacity 2) upper-bounds lambda
+        bound = cut_throughput_bound(g, commodities, list(range(8)))
+        assert result.throughput <= bound + 0.2 * bound
+
+    def test_bound_is_inf_without_crossing_demand(self):
+        g = figure2_graph()
+        commodities = [Commodity(0, 3)]
+        assert cut_throughput_bound(
+            g, commodities, list(range(8))
+        ) == math.inf
+
+
+class TestValidation:
+    def test_no_commodities_rejected(self):
+        with pytest.raises(PartitionError):
+            max_concurrent_flow(figure2_graph(), [])
+
+    def test_loop_commodity_rejected(self):
+        with pytest.raises(PartitionError):
+            max_concurrent_flow(figure2_graph(), [Commodity(1, 1)])
+
+    def test_nonpositive_demand_rejected(self):
+        with pytest.raises(PartitionError):
+            max_concurrent_flow(figure2_graph(), [Commodity(0, 1, 0.0)])
+
+    def test_disconnected_commodity_rejected(self):
+        g = Graph(4, edges=[(0, 1), (2, 3)])
+        with pytest.raises(PartitionError):
+            max_concurrent_flow(g, [Commodity(0, 3)])

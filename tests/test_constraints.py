@@ -1,0 +1,119 @@
+"""Unit tests for the spreading-constraint oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import SpreadingOracle
+from repro.errors import InfeasibleError
+from repro.htp.cost import induced_metric
+from repro.htp.hierarchy import HierarchySpec, figure2_hierarchy
+from repro.hypergraph import Graph
+from repro.hypergraph.generators import figure2_graph
+
+
+@pytest.fixture
+def fig2_oracle(fig2_graph, fig2_spec):
+    return SpreadingOracle(fig2_graph, fig2_spec)
+
+
+class TestBasics:
+    def test_zero_metric_is_violated(self, fig2_oracle):
+        fig2_oracle.set_lengths(np.zeros(30))
+        violation = fig2_oracle.violation_for(0)
+        assert violation is not None
+        assert violation.k == 5  # first k with cum size > C_0 = 4
+        assert violation.lhs == pytest.approx(0.0, abs=1e-10)
+        assert violation.rhs == pytest.approx(2.0)
+
+    def test_generous_metric_is_feasible(self, fig2_oracle):
+        fig2_oracle.set_lengths(np.full(30, 100.0))
+        assert fig2_oracle.is_feasible()
+
+    def test_induced_optimal_metric_is_feasible(
+        self, fig2_graph, fig2_spec, fig2_hypergraph, fig2_optimal_partition
+    ):
+        # Lemma 1: d(e) = cost(e)/c(e) from a valid partition satisfies (P1).
+        metric = induced_metric(
+            fig2_hypergraph, fig2_optimal_partition, fig2_spec
+        )
+        oracle = SpreadingOracle(fig2_graph, fig2_spec)
+        oracle.set_lengths(np.array(metric))
+        assert oracle.is_feasible()
+
+    def test_slightly_shrunk_induced_metric_is_infeasible(
+        self, fig2_graph, fig2_spec, fig2_hypergraph, fig2_optimal_partition
+    ):
+        # Figure 2's constraints are tight; scaling down must violate.
+        metric = np.array(
+            induced_metric(fig2_hypergraph, fig2_optimal_partition, fig2_spec)
+        )
+        oracle = SpreadingOracle(fig2_graph, fig2_spec, tol=1e-9)
+        oracle.set_lengths(metric * 0.9)
+        assert not oracle.is_feasible()
+
+    def test_oversized_node_rejected(self):
+        g = Graph(3, edges=[(0, 1), (1, 2)], node_sizes=[10.0, 1.0, 1.0])
+        spec = HierarchySpec((4, 12), (2,), (1.0,))
+        with pytest.raises(InfeasibleError):
+            SpreadingOracle(g, spec)
+
+    def test_wrong_lengths_shape_rejected(self, fig2_oracle):
+        with pytest.raises(ValueError):
+            fig2_oracle.set_lengths(np.zeros(5))
+
+
+class TestEnginesAgree:
+    def test_first_violation_same_k(self, fig2_graph, fig2_spec):
+        rng = np.random.RandomState(3)
+        lengths = rng.uniform(0.01, 0.5, size=30)
+        fast = SpreadingOracle(fig2_graph, fig2_spec, engine="scipy")
+        slow = SpreadingOracle(fig2_graph, fig2_spec, engine="python")
+        fast.set_lengths(lengths)
+        slow.set_lengths(lengths)
+        for v in range(16):
+            fv = fast.violation_for(v, mode="first")
+            sv = slow.violation_for(v, mode="first")
+            assert (fv is None) == (sv is None)
+            if fv is not None:
+                assert fv.k == sv.k
+                assert fv.lhs == pytest.approx(sv.lhs, rel=1e-6)
+                assert fv.rhs == pytest.approx(sv.rhs, rel=1e-6)
+
+    def test_feasibility_agrees_on_random_metrics(
+        self, fig2_graph, fig2_spec
+    ):
+        for seed in range(5):
+            rng = np.random.RandomState(seed)
+            lengths = rng.uniform(0.0, 3.0, size=30)
+            fast = SpreadingOracle(fig2_graph, fig2_spec, engine="scipy")
+            slow = SpreadingOracle(fig2_graph, fig2_spec, engine="python")
+            fast.set_lengths(lengths)
+            slow.set_lengths(lengths)
+            assert fast.is_feasible() == slow.is_feasible()
+
+
+class TestTreeCutCoefficients:
+    def test_identity_with_lhs(self, fig2_graph, fig2_spec):
+        # sum_e d(e) * delta(S, e) must equal the violation's lhs
+        rng = np.random.RandomState(11)
+        lengths = rng.uniform(0.01, 0.2, size=30)
+        oracle = SpreadingOracle(fig2_graph, fig2_spec)
+        oracle.set_lengths(lengths)
+        for v in range(16):
+            violation = oracle.violation_for(v, mode="max")
+            if violation is None:
+                continue
+            coeffs = oracle.tree_cut_coefficients(violation)
+            value = sum(lengths[e] * c for e, c in coeffs)
+            assert value == pytest.approx(violation.lhs, rel=1e-6)
+
+    def test_coefficients_bounded_by_tree_size(self, fig2_graph, fig2_spec):
+        oracle = SpreadingOracle(fig2_graph, fig2_spec)
+        oracle.set_lengths(np.full(30, 0.01))
+        violation = oracle.violation_for(3, mode="max")
+        assert violation is not None
+        total = sum(
+            fig2_graph.node_size(u) for u in violation.nodes
+        )
+        for _edge, coeff in oracle.tree_cut_coefficients(violation):
+            assert 0 < coeff < total

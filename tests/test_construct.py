@@ -1,0 +1,173 @@
+"""Unit tests for Algorithm 3 (find_cut and the recursive construction)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.construct import construct_partition, find_cut
+from repro.errors import PartitionError
+from repro.htp.cost import induced_metric, total_cost
+from repro.htp.hierarchy import binary_hierarchy
+from repro.htp.validate import check_partition
+from repro.hypergraph.expansion import star_expansion, to_graph
+
+
+@pytest.fixture
+def fig2_ideal_lengths(fig2_hypergraph, fig2_optimal_partition, fig2_spec, fig2_graph):
+    """The induced (ideal) metric of the optimal Figure 2 partition.
+
+    Figure 2's nets are 2-pin, so net metric values map directly onto the
+    graph's edges.
+    """
+    metric = induced_metric(
+        fig2_hypergraph, fig2_optimal_partition, fig2_spec
+    )
+    lengths = np.zeros(fig2_graph.num_edges)
+    for net_id, pins in enumerate(fig2_hypergraph.nets()):
+        edge_id = fig2_graph.edge_id(pins[0], pins[1])
+        lengths[edge_id] = metric[net_id]
+    return lengths
+
+
+class TestFindCut:
+    @pytest.mark.parametrize("strategy", ["prim", "mst", "both"])
+    def test_recovers_planted_half(
+        self, fig2_hypergraph, fig2_graph, fig2_ideal_lengths, strategy
+    ):
+        rng = random.Random(0)
+        piece = find_cut(
+            fig2_hypergraph,
+            fig2_graph,
+            fig2_ideal_lengths,
+            list(range(16)),
+            lower=8,
+            upper=8,
+            rng=rng,
+            restarts=4,
+            strategy=strategy,
+        )
+        assert sorted(piece) in ([0, 1, 2, 3, 4, 5, 6, 7],
+                                 [8, 9, 10, 11, 12, 13, 14, 15])
+
+    def test_respects_window(self, fig2_hypergraph, fig2_graph):
+        rng = random.Random(1)
+        lengths = np.ones(30)
+        piece = find_cut(
+            fig2_hypergraph,
+            fig2_graph,
+            lengths,
+            list(range(16)),
+            lower=5,
+            upper=7,
+            rng=rng,
+            restarts=2,
+        )
+        assert 5 <= len(piece) <= 7
+
+    def test_restricted_to_candidates(self, fig2_hypergraph, fig2_graph):
+        rng = random.Random(2)
+        candidates = list(range(8))
+        piece = find_cut(
+            fig2_hypergraph,
+            fig2_graph,
+            np.ones(30),
+            candidates,
+            lower=3,
+            upper=5,
+            rng=rng,
+        )
+        assert set(piece) <= set(candidates)
+
+    def test_empty_candidates_rejected(self, fig2_hypergraph, fig2_graph):
+        with pytest.raises(PartitionError):
+            find_cut(
+                fig2_hypergraph,
+                fig2_graph,
+                np.ones(30),
+                [],
+                lower=1,
+                upper=2,
+                rng=random.Random(0),
+            )
+
+    def test_unknown_strategy_rejected(self, fig2_hypergraph, fig2_graph):
+        with pytest.raises(PartitionError):
+            find_cut(
+                fig2_hypergraph,
+                fig2_graph,
+                np.ones(30),
+                [0, 1],
+                lower=1,
+                upper=1,
+                rng=random.Random(0),
+                strategy="magic",
+            )
+
+
+class TestConstructPartition:
+    def test_ideal_metric_reconstructs_optimum(
+        self,
+        fig2_hypergraph,
+        fig2_graph,
+        fig2_spec,
+        fig2_ideal_lengths,
+    ):
+        partition = construct_partition(
+            fig2_hypergraph,
+            fig2_graph,
+            fig2_spec,
+            fig2_ideal_lengths,
+            rng=random.Random(3),
+            find_cut_restarts=4,
+        )
+        check_partition(fig2_hypergraph, partition, fig2_spec)
+        assert total_cost(
+            fig2_hypergraph, partition, fig2_spec
+        ) == pytest.approx(20.0)
+
+    def test_valid_on_uniform_metric(
+        self, fig2_hypergraph, fig2_graph, fig2_spec
+    ):
+        partition = construct_partition(
+            fig2_hypergraph,
+            fig2_graph,
+            fig2_spec,
+            np.ones(30),
+            rng=random.Random(5),
+        )
+        check_partition(fig2_hypergraph, partition, fig2_spec)
+
+    def test_valid_on_planted_instance(
+        self, medium_planted, medium_planted_spec
+    ):
+        graph = to_graph(medium_planted)
+        partition = construct_partition(
+            medium_planted,
+            graph,
+            medium_planted_spec,
+            np.random.RandomState(0).uniform(0.1, 1.0, graph.num_edges),
+            rng=random.Random(0),
+        )
+        check_partition(medium_planted, partition, medium_planted_spec)
+
+    def test_star_graph_rejected(self, fig2_hypergraph, fig2_spec):
+        star, _centers = star_expansion(fig2_hypergraph)
+        with pytest.raises(PartitionError):
+            construct_partition(
+                fig2_hypergraph,
+                star,
+                fig2_spec,
+                np.ones(star.num_edges),
+            )
+
+    def test_small_netlist_gets_leaf_chain(self):
+        # total size fits a leaf: the tree is a single chain to one leaf
+        from repro.hypergraph import Hypergraph
+
+        h = Hypergraph(3, nets=[(0, 1), (1, 2)])
+        spec = binary_hierarchy(16, height=2)  # C_0 >= 3
+        g = to_graph(h)
+        partition = construct_partition(h, g, spec, np.ones(g.num_edges))
+        assert len(partition.leaves()) == 1
+        assert partition.num_levels == 2

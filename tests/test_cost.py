@@ -1,0 +1,137 @@
+"""Unit tests for the hierarchical cost (Equation 1) and IncrementalCost."""
+
+import random
+
+import pytest
+
+from repro.htp.cost import (
+    IncrementalCost,
+    induced_metric,
+    net_cost,
+    net_span,
+    total_cost,
+)
+from repro.htp.hierarchy import figure2_hierarchy
+from repro.htp.partition import PartitionTree
+from repro.hypergraph import Hypergraph
+
+
+class TestSpan:
+    def test_internal_net_has_span_zero(
+        self, fig2_hypergraph, fig2_optimal_partition
+    ):
+        # net 0 is (0,1), internal to the first leaf
+        assert (
+            net_span(fig2_hypergraph, fig2_optimal_partition, 0, 0) == 0
+        )
+
+    def test_level0_cut_net(self, fig2_hypergraph, fig2_optimal_partition):
+        # the net (0,4) crosses leaves inside the same level-1 block
+        net_id = fig2_hypergraph.nets().index((0, 4))
+        assert net_span(fig2_hypergraph, fig2_optimal_partition, net_id, 0) == 2
+        assert net_span(fig2_hypergraph, fig2_optimal_partition, net_id, 1) == 0
+
+    def test_level1_cut_net(self, fig2_hypergraph, fig2_optimal_partition):
+        net_id = fig2_hypergraph.nets().index((1, 9))
+        assert net_span(fig2_hypergraph, fig2_optimal_partition, net_id, 0) == 2
+        assert net_span(fig2_hypergraph, fig2_optimal_partition, net_id, 1) == 2
+
+
+class TestCost:
+    def test_figure2_optimal_cost_is_20(
+        self, fig2_hypergraph, fig2_optimal_partition, fig2_spec
+    ):
+        assert total_cost(
+            fig2_hypergraph, fig2_optimal_partition, fig2_spec
+        ) == pytest.approx(20.0)
+
+    def test_net_costs_match_paper_values(
+        self, fig2_hypergraph, fig2_optimal_partition, fig2_spec
+    ):
+        # level-0-only cuts cost 2; level-1 cuts cost 6 (Figure 2)
+        h = fig2_hypergraph
+        for pins, expected in [((0, 4), 2.0), ((1, 9), 6.0), ((0, 1), 0.0)]:
+            net_id = h.nets().index(pins)
+            assert net_cost(
+                h, fig2_optimal_partition, fig2_spec, net_id
+            ) == pytest.approx(expected)
+
+    def test_capacity_scales_cost(self, fig2_spec, fig2_optimal_partition):
+        h = Hypergraph(
+            16, nets=[(1, 9)], net_capacities=[3.0]
+        )
+        assert total_cost(
+            h, fig2_optimal_partition, fig2_spec
+        ) == pytest.approx(18.0)
+
+    def test_induced_metric_values(
+        self, fig2_hypergraph, fig2_optimal_partition, fig2_spec
+    ):
+        metric = induced_metric(
+            fig2_hypergraph, fig2_optimal_partition, fig2_spec
+        )
+        assert set(round(d, 6) for d in metric) == {0.0, 2.0, 6.0}
+
+    def test_three_way_span_costs_three(self, fig2_spec):
+        # a 3-pin net spread over 3 leaves at level 0: span = 3
+        h = Hypergraph(16, nets=[(0, 4, 8)])
+        blocks = [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11], [12, 13, 14, 15]]
+        tree = PartitionTree.from_nested(
+            [[blocks[0], blocks[1]], [blocks[2], blocks[3]]], 16
+        )
+        # span(e,0)=3, span(e,1)=2 -> cost = 1*3 + 2*2 = 7
+        assert total_cost(h, tree, fig2_spec) == pytest.approx(7.0)
+
+
+class TestIncrementalCost:
+    def test_initial_cost_matches_total(
+        self, fig2_hypergraph, fig2_optimal_partition, fig2_spec
+    ):
+        tracker = IncrementalCost(
+            fig2_hypergraph, fig2_optimal_partition, fig2_spec
+        )
+        assert tracker.cost == pytest.approx(20.0)
+
+    def test_gain_then_apply_consistency(
+        self, fig2_hypergraph, fig2_optimal_partition, fig2_spec
+    ):
+        tracker = IncrementalCost(
+            fig2_hypergraph, fig2_optimal_partition, fig2_spec
+        )
+        partition = tracker.partition
+        target = partition.leaf_of(15)
+        predicted = tracker.gain(0, target)
+        realised = tracker.apply(0, target)
+        assert predicted == pytest.approx(realised)
+        assert tracker.cost == pytest.approx(tracker.recompute())
+
+    def test_random_moves_stay_consistent(
+        self, fig2_hypergraph, fig2_optimal_partition, fig2_spec
+    ):
+        tracker = IncrementalCost(
+            fig2_hypergraph, fig2_optimal_partition, fig2_spec
+        )
+        partition = tracker.partition
+        leaves = partition.leaves()
+        rng = random.Random(4)
+        for _ in range(40):
+            node = rng.randrange(16)
+            target = rng.choice(leaves)
+            if target == partition.leaf_of(node):
+                continue
+            tracker.apply(node, target)
+            assert tracker.cost == pytest.approx(tracker.recompute())
+
+    def test_move_and_move_back_restores_cost(
+        self, fig2_hypergraph, fig2_optimal_partition, fig2_spec
+    ):
+        tracker = IncrementalCost(
+            fig2_hypergraph, fig2_optimal_partition, fig2_spec
+        )
+        partition = tracker.partition
+        source = partition.leaf_of(3)
+        target = partition.leaf_of(12)
+        before = tracker.cost
+        tracker.apply(3, target)
+        tracker.apply(3, source)
+        assert tracker.cost == pytest.approx(before)

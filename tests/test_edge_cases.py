@@ -1,0 +1,145 @@
+"""Degenerate and adversarial inputs through the full pipeline."""
+
+import random
+
+import pytest
+
+from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.core.spreading_metric import (
+    SpreadingMetricConfig,
+    compute_spreading_metric,
+)
+from repro.errors import HypergraphError
+from repro.htp.cost import total_cost
+from repro.htp.hierarchy import HierarchySpec, binary_hierarchy
+from repro.htp.validate import check_partition
+from repro.hypergraph import Graph, Hypergraph
+from repro.hypergraph.expansion import to_graph
+from repro.hypergraph.generators import grid_hypergraph
+from repro.partitioning.gfm import gfm_partition
+from repro.partitioning.rfm import rfm_partition
+
+
+class TestDisconnectedCircuits:
+    @pytest.fixture
+    def islands(self):
+        """Four disconnected 6-cliques (24 nodes)."""
+        nets = []
+        for base in (0, 6, 12, 18):
+            for i in range(6):
+                for j in range(i + 1, 6):
+                    nets.append((base + i, base + j))
+        return Hypergraph(24, nets=nets, name="islands")
+
+    def test_flow_handles_islands(self, islands):
+        spec = binary_hierarchy(24, height=2, slack=0.0)
+        result = flow_htp(
+            islands, spec, FlowHTPConfig(iterations=2, seed=0)
+        )
+        check_partition(islands, result.partition, spec)
+        # cliques fit leaves exactly: zero cost is achievable
+        assert result.cost == 0.0
+
+    def test_rfm_handles_islands(self, islands):
+        spec = binary_hierarchy(24, height=2, slack=0.0)
+        tree = rfm_partition(islands, spec, rng=random.Random(0))
+        check_partition(islands, tree, spec)
+
+    def test_gfm_handles_islands(self, islands):
+        spec = binary_hierarchy(24, height=2, slack=0.0)
+        tree = gfm_partition(islands, spec, rng=random.Random(0))
+        check_partition(islands, tree, spec)
+
+    def test_metric_on_disconnected_graph(self, islands):
+        spec = binary_hierarchy(24, height=2, slack=0.0)
+        graph = to_graph(islands)
+        result = compute_spreading_metric(
+            graph, spec, SpreadingMetricConfig(seed=0)
+        )
+        # unreachable pairs impose no constraints; convergence must hold
+        assert result.satisfied
+
+
+class TestPathologicalShapes:
+    def test_single_big_net(self):
+        # one net covering everything: every partition costs the same
+        h = Hypergraph(16, nets=[tuple(range(16))])
+        spec = binary_hierarchy(16, height=2, slack=0.0)
+        result = flow_htp(h, spec, FlowHTPConfig(iterations=1, seed=0))
+        check_partition(h, result.partition, spec)
+        # span is 4 at level 0 and 2 at level 1 for any balanced partition
+        assert result.cost == pytest.approx(4 + 2)
+
+    def test_star_netlist(self):
+        # node 0 talks to everyone; leaves must split the fanout
+        nets = [(0, v) for v in range(1, 16)]
+        h = Hypergraph(16, nets=nets, name="star")
+        spec = binary_hierarchy(16, height=2, slack=0.0)
+        result = flow_htp(h, spec, FlowHTPConfig(iterations=1, seed=0))
+        check_partition(h, result.partition, spec)
+        assert result.cost > 0
+
+    def test_chain_netlist(self):
+        h = Hypergraph(32, nets=[(i, i + 1) for i in range(31)])
+        spec = binary_hierarchy(32, height=2, slack=0.0)
+        result = flow_htp(h, spec, FlowHTPConfig(iterations=2, seed=1))
+        check_partition(h, result.partition, spec)
+        # a chain admits a partition cutting exactly 3 nets:
+        # cost = 3 cuts at level 0, one of which also spans level 1
+        assert result.cost <= 12
+
+    def test_grid_instance(self):
+        h = grid_hypergraph(8, 8)
+        spec = binary_hierarchy(64, height=2, slack=0.1)
+        result = flow_htp(h, spec, FlowHTPConfig(iterations=2, seed=0))
+        check_partition(h, result.partition, spec)
+
+    def test_two_nodes_minimal(self):
+        h = Hypergraph(2, nets=[(0, 1)])
+        spec = HierarchySpec((1.0, 2.0), (2,), (1.0,))
+        result = flow_htp(h, spec, FlowHTPConfig(iterations=1, seed=0))
+        check_partition(h, result.partition, spec)
+        assert result.cost == pytest.approx(2.0)  # the net must span
+
+
+class TestHierarchyEdgeCases:
+    def test_netlist_smaller_than_leaf_capacity(self):
+        h = Hypergraph(4, nets=[(0, 1), (1, 2), (2, 3)])
+        spec = HierarchySpec((8.0, 16.0, 32.0), (2, 2), (1.0, 1.0))
+        result = flow_htp(h, spec, FlowHTPConfig(iterations=1, seed=0))
+        # everything fits one leaf: zero cost, single leaf chain
+        assert result.cost == 0.0
+        assert len(result.partition.leaves()) == 1
+
+    def test_nonbinary_branching(self):
+        h = Hypergraph(
+            27, nets=[(i, (i + 1) % 27) for i in range(27)], name="ring"
+        )
+        spec = HierarchySpec(
+            capacities=(4.0, 10.0, 27.0),
+            branching=(3, 3),
+            weights=(1.0, 1.0),
+        )
+        result = flow_htp(h, spec, FlowHTPConfig(iterations=1, seed=0))
+        check_partition(h, result.partition, spec)
+
+    def test_zero_weight_level(self):
+        # w_0 = 0: only the top-level cut matters
+        h = Hypergraph(16, nets=[(i, (i + 1) % 16) for i in range(16)])
+        spec = HierarchySpec((4.0, 8.0, 16.0), (2, 2), (0.0, 1.0))
+        result = flow_htp(h, spec, FlowHTPConfig(iterations=2, seed=0))
+        check_partition(h, result.partition, spec)
+        # a ring cut into 2 contiguous arcs at level 1 costs 2 nets * 1
+        assert result.cost >= 2.0
+
+
+class TestInputValidation:
+    def test_graph_rejects_nan_like_input(self):
+        with pytest.raises((HypergraphError, ValueError, TypeError)):
+            Graph(2, edges=[(0, "x")])  # type: ignore[list-item]
+
+    def test_hypergraph_duplicate_nets_allowed(self):
+        # duplicate nets model multi-bit bundles; both count
+        h = Hypergraph(3, nets=[(0, 1), (0, 1), (1, 2)])
+        assert h.num_nets == 3
+        assert h.cut_capacity([0]) == 2.0

@@ -1,0 +1,59 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+Each example is executed in-process (``runpy``) so import errors, API
+drift, or broken assertions inside the examples fail the suite.  Only
+the fast examples run here; the longer ones (`compare_algorithms`,
+`datapath_partitioning`) are exercised by the benchmark harness instead.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, argv=None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "FLOW cost" in out
+    assert "partition tree" in out
+
+
+def test_hierarchy_search(capsys):
+    run_example("hierarchy_search.py")
+    out = capsys.readouterr().out
+    assert "best hierarchy" in out
+
+
+def test_flow_cut_duality(capsys):
+    run_example("flow_cut_duality.py")
+    out = capsys.readouterr().out
+    assert "planted level-1 cut" in out
+    assert "ratio cut" in out
+
+
+def test_multi_fpga_board(capsys):
+    run_example("multi_fpga_board.py")
+    out = capsys.readouterr().out
+    assert "weighted I/O cost" in out
+    assert "board boundary" in out
+
+
+@pytest.mark.slow
+def test_figure2_walkthrough(capsys):
+    run_example("figure2_walkthrough.py")
+    out = capsys.readouterr().out
+    assert "optimal partition cost (Equation 1): 20" in out
+    assert "FLOW (Algorithm 1) cost: 20" in out

@@ -1,0 +1,99 @@
+"""Unit tests for net models (clique / cycle / star expansions)."""
+
+import pytest
+
+from repro.errors import HypergraphError
+from repro.hypergraph import (
+    Hypergraph,
+    clique_expansion,
+    cycle_expansion,
+    star_expansion,
+    to_graph,
+)
+
+
+def netlist():
+    return Hypergraph(5, nets=[(0, 1), (1, 2, 3), (0, 2, 3, 4)])
+
+
+class TestClique:
+    def test_edge_count(self):
+        g = clique_expansion(netlist())
+        # 1 + 3 + 6 pairwise edges, some merged: (2,3) appears twice
+        pairs = set(g.edges())
+        assert (2, 3) in pairs
+        assert g.num_edges == 1 + 3 + 6 - 1  # (2,3) merged
+
+    def test_capacity_normalisation(self):
+        h = Hypergraph(3, nets=[(0, 1, 2)], net_capacities=[4.0])
+        g = clique_expansion(h)
+        # each pair gets c/(k-1) = 4/2 = 2
+        assert all(g.capacity(e) == pytest.approx(2.0) for e in range(3))
+
+    def test_two_pin_net_keeps_capacity(self):
+        h = Hypergraph(2, nets=[(0, 1)], net_capacities=[7.0])
+        g = clique_expansion(h)
+        assert g.capacity(0) == 7.0
+
+    def test_any_bipartition_of_net_costs_at_least_capacity(self):
+        # The c/(k-1) normalisation guarantees cutting a clique-expanded
+        # net costs >= c(e) in graph capacity.
+        h = Hypergraph(4, nets=[(0, 1, 2, 3)], net_capacities=[3.0])
+        g = clique_expansion(h)
+        for side in ([0], [0, 1], [0, 2], [1, 3]):
+            inside = set(side)
+            cut = sum(
+                g.capacity(e)
+                for e, (u, v) in enumerate(g.edges())
+                if (u in inside) != (v in inside)
+            )
+            assert cut >= 3.0 - 1e-9
+
+    def test_large_net_falls_back_to_cycle(self):
+        h = Hypergraph(12, nets=[tuple(range(12))])
+        g = clique_expansion(h, clique_threshold=8)
+        assert g.num_edges == 12  # cycle over 12 pins
+
+    def test_preserves_node_set_and_sizes(self):
+        h = Hypergraph(3, nets=[(0, 1, 2)], node_sizes=[1.0, 2.0, 3.0])
+        g = clique_expansion(h)
+        assert g.num_nodes == 3
+        assert g.node_size(2) == 3.0
+
+
+class TestCycle:
+    def test_two_pin(self):
+        g = cycle_expansion(Hypergraph(2, nets=[(0, 1)]))
+        assert g.num_edges == 1
+
+    def test_cycle_edge_count(self):
+        h = Hypergraph(5, nets=[(0, 1, 2, 3, 4)])
+        g = cycle_expansion(h)
+        assert g.num_edges == 5
+        assert all(g.degree(v) == 2 for v in g.nodes())
+
+
+class TestStar:
+    def test_adds_centers(self):
+        h = netlist()
+        g, centers = star_expansion(h)
+        assert g.num_nodes == h.num_nodes + h.num_nets
+        assert len(centers) == h.num_nets
+        # spokes: one per pin
+        assert g.num_edges == h.num_pins
+
+    def test_center_degree_equals_net_size(self):
+        h = netlist()
+        g, centers = star_expansion(h)
+        for net_id, center in enumerate(centers):
+            assert g.degree(center) == len(h.net(net_id))
+
+
+class TestDispatch:
+    def test_to_graph_models(self):
+        assert to_graph(netlist(), "clique").num_nodes == 5
+        assert to_graph(netlist(), "cycle").num_nodes == 5
+
+    def test_unknown_model(self):
+        with pytest.raises(HypergraphError):
+            to_graph(netlist(), "star")

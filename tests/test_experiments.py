@@ -1,0 +1,82 @@
+"""Integration tests for the experiment drivers (at reduced scale)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    run_table1,
+    run_table2,
+    run_table3,
+    table2_to_table,
+    table3_to_table,
+)
+from repro.core.flow_htp import FlowHTPConfig
+from repro.core.spreading_metric import SpreadingMetricConfig
+from repro.partitioning.htp_fm import HTPFMConfig
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    """A small, fast configuration: one tiny circuit."""
+    return ExperimentConfig(
+        scale=0.12,
+        circuits=("c1355",),
+        flow=FlowHTPConfig(
+            iterations=1,
+            constructions_per_metric=2,
+            seed=0,
+            metric=SpreadingMetricConfig(alpha=0.5, delta=0.05, seed=0),
+        ),
+        improve=HTPFMConfig(max_passes=2),
+    )
+
+
+class TestTable1:
+    def test_columns_and_rows(self, quick_config):
+        table = run_table1(quick_config)
+        assert len(table.rows) == 1
+        assert table.rows[0][0] == "c1355"
+        assert table.rows[0][4] == 546  # paper count column
+
+    def test_full_config_covers_all_circuits(self):
+        table = run_table1(ExperimentConfig(scale=0.1))
+        assert [row[0] for row in table.rows] == [
+            "c1355",
+            "c2670",
+            "c3540",
+            "c6288",
+            "c7552",
+        ]
+
+
+class TestTable2And3:
+    def test_pipeline(self, quick_config):
+        store = {}
+        rows = run_table2(quick_config, collect_partitions=store)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.flow_cost > 0
+        assert row.gfm_cost > 0
+        assert row.rfm_cost > 0
+        assert ("c1355", "FLOW") in store
+
+        rows3 = run_table3(quick_config, partitions=store)
+        assert len(rows3) == 1
+        improved = rows3[0]
+        assert improved.flow_plus_cost <= row.flow_cost + 1e-9
+        assert improved.gfm_plus_cost <= row.gfm_cost + 1e-9
+        assert improved.rfm_plus_cost <= row.rfm_cost + 1e-9
+
+    def test_renderers(self, quick_config):
+        store = {}
+        rows = run_table2(quick_config, collect_partitions=store)
+        text2 = table2_to_table(rows).render()
+        assert "FLOW cost" in text2
+        rows3 = run_table3(quick_config, partitions=store)
+        text3 = table3_to_table(rows3).render()
+        assert "FLOW+ cost" in text3
+        assert "%" in text3
+
+    def test_table3_recomputes_without_store(self, quick_config):
+        rows3 = run_table3(quick_config)
+        assert len(rows3) == 1

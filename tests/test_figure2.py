@@ -1,0 +1,91 @@
+"""Figure 2 end-to-end reproduction: the paper's worked example.
+
+The paper's Figure 2 shows a 16-node, 30-edge graph optimally partitioned
+into the hierarchy C = (4, 8), w = (1, 2): cut edges get induced spreading
+metric values d(e) = cost(e) of exactly 2 (level-0 cuts) and 6 (level-1
+cuts).  These tests pin down every claim the figure makes.
+"""
+
+import pytest
+
+from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.core.lp import solve_spreading_lp, verify_metric_feasibility
+from repro.htp.cost import induced_metric, net_cost, total_cost
+from repro.hypergraph.generators import figure2_optimal_blocks
+
+
+class TestInstanceShape:
+    def test_graph_has_16_nodes_30_edges(self, fig2_graph):
+        assert fig2_graph.num_nodes == 16
+        assert fig2_graph.num_edges == 30
+
+    def test_unit_sizes_and_capacities(self, fig2_graph):
+        assert all(fig2_graph.node_size(v) == 1.0 for v in fig2_graph.nodes())
+        assert all(
+            fig2_graph.capacity(e) == 1.0 for e in range(fig2_graph.num_edges)
+        )
+
+    def test_hierarchy_parameters(self, fig2_spec):
+        assert fig2_spec.capacities == (4.0, 8.0, 16.0)
+        assert fig2_spec.weights == (1.0, 2.0)
+
+
+class TestOptimalPartition:
+    def test_cost_is_20(self, fig2_hypergraph, fig2_optimal_partition, fig2_spec):
+        assert total_cost(
+            fig2_hypergraph, fig2_optimal_partition, fig2_spec
+        ) == pytest.approx(20.0)
+
+    def test_cut_edge_costs_are_2_and_6(
+        self, fig2_hypergraph, fig2_optimal_partition, fig2_spec
+    ):
+        costs = sorted(
+            net_cost(fig2_hypergraph, fig2_optimal_partition, fig2_spec, e)
+            for e in range(fig2_hypergraph.num_nets)
+        )
+        # 24 internal edges at 0, four level-0 cuts at 2, two level-1 at 6
+        assert costs == [0.0] * 24 + [2.0] * 4 + [6.0] * 2
+
+    def test_induced_metric_is_lp_feasible(
+        self,
+        fig2_hypergraph,
+        fig2_optimal_partition,
+        fig2_spec,
+        fig2_graph,
+    ):
+        metric = induced_metric(
+            fig2_hypergraph, fig2_optimal_partition, fig2_spec
+        )
+        feasible, violation = verify_metric_feasibility(
+            fig2_graph, fig2_spec, metric
+        )
+        assert feasible, violation
+
+
+class TestLPBoundMatches:
+    def test_lp_optimum_equals_partition_cost(self, fig2_graph, fig2_spec):
+        # On this instance the LP relaxation is tight: bound == 20.
+        result = solve_spreading_lp(fig2_graph, fig2_spec)
+        assert result.converged
+        assert result.lower_bound == pytest.approx(20.0, abs=1e-4)
+
+
+class TestFlowRecovers:
+    def test_flow_attains_the_optimum(
+        self, fig2_hypergraph, fig2_spec, fig2_graph
+    ):
+        result = flow_htp(
+            fig2_hypergraph,
+            fig2_spec,
+            FlowHTPConfig(
+                iterations=2, constructions_per_metric=4, seed=1
+            ),
+            graph=fig2_graph,
+        )
+        assert result.cost == pytest.approx(20.0)
+        # and the recovered blocks are the planted ones
+        blocks = sorted(
+            tuple(b) for b in result.partition.leaf_blocks().values()
+        )
+        expected = sorted(tuple(b) for b in figure2_optimal_blocks())
+        assert blocks == expected

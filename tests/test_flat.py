@@ -1,0 +1,55 @@
+"""Unit tests for flat views and classic partition metrics."""
+
+import pytest
+
+from repro.htp.flat import blocks_at_level, flat_metrics, level_profile
+
+
+class TestBlocksAtLevel:
+    def test_leaves(self, fig2_optimal_partition):
+        blocks = blocks_at_level(fig2_optimal_partition, 0)
+        assert sorted(map(tuple, blocks.values())) == [
+            (0, 1, 2, 3),
+            (4, 5, 6, 7),
+            (8, 9, 10, 11),
+            (12, 13, 14, 15),
+        ]
+
+    def test_level1(self, fig2_optimal_partition):
+        blocks = blocks_at_level(fig2_optimal_partition, 1)
+        assert sorted(map(tuple, blocks.values())) == [
+            tuple(range(8)),
+            tuple(range(8, 16)),
+        ]
+
+    def test_root(self, fig2_optimal_partition):
+        blocks = blocks_at_level(fig2_optimal_partition, 2)
+        assert list(blocks.values()) == [list(range(16))]
+
+
+class TestFlatMetrics:
+    def test_level0(self, fig2_hypergraph, fig2_optimal_partition):
+        metrics = flat_metrics(fig2_hypergraph, fig2_optimal_partition, 0)
+        # six cut edges at level 0 (four within blocks, two across)
+        assert metrics.cut_nets == 6
+        assert metrics.cut_capacity == 6.0
+        assert metrics.num_blocks == 4
+        # all cut nets are 2-pin spanning exactly 2 blocks
+        assert metrics.soed == 12.0
+        assert metrics.k_minus_1 == 6.0
+
+    def test_level1(self, fig2_hypergraph, fig2_optimal_partition):
+        metrics = flat_metrics(fig2_hypergraph, fig2_optimal_partition, 1)
+        assert metrics.cut_nets == 2
+        assert metrics.num_blocks == 2
+
+    def test_profile_lengths(self, fig2_hypergraph, fig2_optimal_partition):
+        profile = level_profile(fig2_hypergraph, fig2_optimal_partition)
+        assert len(profile) == 2
+        assert profile[0].cut_nets >= profile[1].cut_nets
+
+    def test_k_minus_1_below_soed(
+        self, fig2_hypergraph, fig2_optimal_partition
+    ):
+        for metrics in level_profile(fig2_hypergraph, fig2_optimal_partition):
+            assert metrics.k_minus_1 <= metrics.soed

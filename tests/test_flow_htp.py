@@ -1,0 +1,124 @@
+"""Unit tests for Algorithm 1 (the FLOW driver)."""
+
+import pytest
+
+from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.core.spreading_metric import SpreadingMetricConfig
+from repro.htp.cost import total_cost
+from repro.htp.validate import check_partition
+
+
+class TestConfig:
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError):
+            FlowHTPConfig(iterations=0)
+        with pytest.raises(ValueError):
+            FlowHTPConfig(constructions_per_metric=0)
+
+
+class TestFigure2:
+    def test_finds_the_optimum(self, fig2_hypergraph, fig2_spec, fig2_graph):
+        result = flow_htp(
+            fig2_hypergraph,
+            fig2_spec,
+            FlowHTPConfig(
+                iterations=2, constructions_per_metric=4, seed=1
+            ),
+            graph=fig2_graph,
+        )
+        assert result.cost == pytest.approx(20.0)
+        check_partition(fig2_hypergraph, result.partition, fig2_spec)
+
+    def test_reported_cost_matches_partition(
+        self, fig2_hypergraph, fig2_spec, fig2_graph
+    ):
+        result = flow_htp(
+            fig2_hypergraph,
+            fig2_spec,
+            FlowHTPConfig(iterations=1, seed=2),
+            graph=fig2_graph,
+        )
+        assert result.cost == pytest.approx(
+            total_cost(fig2_hypergraph, result.partition, fig2_spec)
+        )
+
+    def test_diagnostics_lengths(self, fig2_hypergraph, fig2_spec, fig2_graph):
+        result = flow_htp(
+            fig2_hypergraph,
+            fig2_spec,
+            FlowHTPConfig(iterations=3, seed=0),
+            graph=fig2_graph,
+        )
+        assert len(result.iteration_costs) == 3
+        assert len(result.metric_objectives) == 3
+        assert len(result.metric_results) == 3
+        assert result.cost == pytest.approx(min(result.iteration_costs))
+        assert result.runtime_seconds > 0
+
+    def test_builds_graph_when_not_given(self, fig2_hypergraph, fig2_spec):
+        result = flow_htp(
+            fig2_hypergraph,
+            fig2_spec,
+            FlowHTPConfig(iterations=1, seed=0),
+        )
+        check_partition(fig2_hypergraph, result.partition, fig2_spec)
+
+    @pytest.mark.parametrize("strategy", ["prim", "mst", "both"])
+    def test_strategies_all_work(
+        self, fig2_hypergraph, fig2_spec, fig2_graph, strategy
+    ):
+        result = flow_htp(
+            fig2_hypergraph,
+            fig2_spec,
+            FlowHTPConfig(
+                iterations=1,
+                constructions_per_metric=2,
+                find_cut_strategy=strategy,
+                seed=3,
+            ),
+            graph=fig2_graph,
+        )
+        check_partition(fig2_hypergraph, result.partition, fig2_spec)
+
+
+class TestPlantedInstance:
+    def test_valid_and_reasonable(self, medium_planted, medium_planted_spec):
+        result = flow_htp(
+            medium_planted,
+            medium_planted_spec,
+            FlowHTPConfig(
+                iterations=1,
+                constructions_per_metric=4,
+                seed=0,
+                metric=SpreadingMetricConfig(
+                    alpha=0.5, delta=0.05, seed=0
+                ),
+            ),
+        )
+        check_partition(medium_planted, result.partition, medium_planted_spec)
+        # sanity: better than a random partition by a wide margin
+        import random
+
+        from repro.partitioning.random_init import random_partition
+
+        rand_cost = total_cost(
+            medium_planted,
+            random_partition(
+                medium_planted, medium_planted_spec, rng=random.Random(0)
+            ),
+            medium_planted_spec,
+        )
+        assert result.cost < rand_cost
+
+    def test_multi_construct_no_worse_than_single(
+        self, medium_planted, medium_planted_spec
+    ):
+        base = FlowHTPConfig(
+            iterations=1, constructions_per_metric=1, seed=5
+        )
+        multi = FlowHTPConfig(
+            iterations=1, constructions_per_metric=6, seed=5
+        )
+        single_result = flow_htp(medium_planted, medium_planted_spec, base)
+        multi_result = flow_htp(medium_planted, medium_planted_spec, multi)
+        assert multi_result.cost <= single_result.cost + 1e-9

@@ -1,0 +1,134 @@
+"""Unit tests for the FM bipartitioner."""
+
+import random
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.hypergraph import Hypergraph
+from repro.partitioning.fm import (
+    FMConfig,
+    cut_capacity,
+    fm_bipartition,
+    fm_refine,
+)
+
+
+def two_cliques():
+    """Two 4-cliques joined by one net — obvious min cut of 1."""
+    nets = []
+    for base in (0, 4):
+        for i in range(4):
+            for j in range(i + 1, 4):
+                nets.append((base + i, base + j))
+    nets.append((0, 4))
+    return Hypergraph(8, nets=nets)
+
+
+class TestCutCapacity:
+    def test_counts_spanning_nets(self):
+        h = Hypergraph(4, nets=[(0, 1), (1, 2), (2, 3)])
+        assert cut_capacity(h, [0, 0, 1, 1]) == 1.0
+        assert cut_capacity(h, [0, 1, 0, 1]) == 3.0
+
+    def test_weighted(self):
+        h = Hypergraph(3, nets=[(0, 1), (1, 2)], net_capacities=[2.0, 5.0])
+        assert cut_capacity(h, [0, 0, 1]) == 5.0
+
+
+class TestRefine:
+    def test_improves_bad_split(self):
+        h = two_cliques()
+        # interleaved split cuts many nets
+        sides = [0, 1, 0, 1, 0, 1, 0, 1]
+        refined, cut = fm_refine(h, sides, 4, 4)
+        assert cut == 1.0
+        assert sorted(v for v in range(8) if refined[v] == 0) in (
+            [0, 1, 2, 3],
+            [4, 5, 6, 7],
+        )
+
+    def test_exact_balance_window_still_refines(self):
+        # the transient-imbalance mechanism lets FM swap under LB == UB
+        h = two_cliques()
+        sides = [0, 1, 1, 0, 1, 0, 0, 1]
+        _refined, cut = fm_refine(h, sides, 4, 4)
+        assert cut == 1.0
+
+    def test_never_worsens(self):
+        rng = random.Random(0)
+        h = Hypergraph(
+            12,
+            nets=[
+                tuple(rng.sample(range(12), rng.randint(2, 4)))
+                for _ in range(20)
+            ]
+            + [(i, i + 1) for i in range(11)],
+        )
+        sides = [rng.randint(0, 1) for _ in range(12)]
+        size0 = sides.count(0)
+        before = cut_capacity(h, sides)
+        _refined, after = fm_refine(h, list(sides), size0, size0)
+        assert after <= before
+
+    def test_out_of_bounds_initial_rejected(self):
+        h = two_cliques()
+        with pytest.raises(PartitionError):
+            fm_refine(h, [0] * 8, 1, 3)
+
+    def test_result_respects_bounds(self):
+        rng = random.Random(3)
+        h = Hypergraph(
+            20,
+            nets=[(i, i + 1) for i in range(19)],
+        )
+        sides = [1] * 20
+        for v in range(8):
+            sides[v] = 0
+        refined, _cut = fm_refine(h, sides, 6, 10, FMConfig(seed=1))
+        size0 = refined.count(0)
+        assert 6 <= size0 <= 10
+
+
+class TestBipartition:
+    @pytest.mark.parametrize("init", ["random", "bfs"])
+    def test_finds_the_bridge(self, init):
+        h = two_cliques()
+        sides, cut = fm_bipartition(
+            h, 4, 4, rng=random.Random(0), config=FMConfig(init=init)
+        )
+        assert cut == 1.0
+
+    def test_respects_window(self):
+        h = Hypergraph(10, nets=[(i, i + 1) for i in range(9)])
+        sides, _cut = fm_bipartition(h, 3, 5, rng=random.Random(1))
+        assert 3 <= sides.count(0) <= 5
+
+    def test_rejects_degenerate_window(self):
+        h = two_cliques()
+        with pytest.raises(PartitionError):
+            fm_bipartition(h, 8, 8, rng=random.Random(0))
+
+    def test_restarts_config_validated(self):
+        with pytest.raises(ValueError):
+            FMConfig(restarts=0)
+        with pytest.raises(ValueError):
+            FMConfig(init="smart")
+
+    def test_more_restarts_never_hurt_much(self):
+        rng_nets = random.Random(5)
+        h = Hypergraph(
+            30,
+            nets=[(i, i + 1) for i in range(29)]
+            + [
+                tuple(sorted(rng_nets.sample(range(30), 2)))
+                for _ in range(10)
+            ],
+        )
+        _s1, cut1 = fm_bipartition(
+            h, 14, 16, rng=random.Random(2), config=FMConfig(restarts=1)
+        )
+        _s5, cut5 = fm_bipartition(
+            h, 14, 16, rng=random.Random(2), config=FMConfig(restarts=5)
+        )
+        assert cut5 <= cut1 + 1e-9

@@ -1,0 +1,137 @@
+"""Unit tests for the synthetic netlist generators."""
+
+import pytest
+
+from repro.errors import HypergraphError
+from repro.hypergraph.expansion import to_graph
+from repro.hypergraph.generators import (
+    ISCAS85_SIZES,
+    figure2_graph,
+    figure2_hypergraph,
+    grid_hypergraph,
+    iscas85_surrogate,
+    multiplier_array_hypergraph,
+    planted_hierarchy_hypergraph,
+    random_hypergraph,
+)
+from repro.hypergraph.metrics import is_connected, netlist_stats
+
+
+class TestPlanted:
+    def test_basic_counts(self):
+        h = planted_hierarchy_hypergraph(128, height=3, seed=0)
+        assert h.num_nodes == 128
+        assert h.num_nets >= 120
+
+    def test_deterministic(self):
+        a = planted_hierarchy_hypergraph(96, seed=4)
+        b = planted_hierarchy_hypergraph(96, seed=4)
+        assert a.nets() == b.nets()
+
+    def test_different_seeds_differ(self):
+        a = planted_hierarchy_hypergraph(96, seed=1)
+        b = planted_hierarchy_hypergraph(96, seed=2)
+        assert a.nets() != b.nets()
+
+    def test_locality_concentrates_nets(self):
+        h = planted_hierarchy_hypergraph(
+            256, height=2, seed=0, locality=(0.95, 0.04, 0.01)
+        )
+        clusters = 4
+        intra = 0
+        for pins in h.nets():
+            blocks = {v * clusters // 256 for v in pins}
+            if len(blocks) == 1:
+                intra += 1
+        assert intra / h.num_nets > 0.7
+
+    def test_intra_span_limits_positions(self):
+        h = planted_hierarchy_hypergraph(
+            256, height=2, seed=0, intra_span=3,
+            locality=(1.0, 0.0, 0.0),
+        )
+        # with pure intra locality and span 3, all nets are short index
+        # ranges inside one cluster
+        for pins in h.nets():
+            assert max(pins) - min(pins) <= 2 * 3 + 1
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(HypergraphError):
+            planted_hierarchy_hypergraph(8, height=4)
+
+
+class TestMultiplierArray:
+    def test_regular_structure(self):
+        h = multiplier_array_hypergraph(320, width=16, seed=0)
+        assert h.num_nodes == 320
+        stats = netlist_stats(h)
+        assert stats.max_net_size <= 5
+
+    def test_connected(self):
+        h = multiplier_array_hypergraph(320, width=16)
+        assert is_connected(to_graph(h))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(HypergraphError):
+            multiplier_array_hypergraph(16, width=16)
+
+
+class TestGridAndRandom:
+    def test_grid_counts(self):
+        h = grid_hypergraph(4, 5)
+        assert h.num_nodes == 20
+        assert h.num_nets == 4 * 4 + 3 * 5  # horizontal + vertical
+
+    def test_grid_rejects_degenerate(self):
+        with pytest.raises(HypergraphError):
+            grid_hypergraph(1, 1)
+
+    def test_random_is_connected(self):
+        h = random_hypergraph(64, 100, seed=0)
+        assert is_connected(to_graph(h))
+
+    def test_random_rejects_too_few_nets(self):
+        with pytest.raises(HypergraphError):
+            random_hypergraph(10, 5)
+
+
+class TestSurrogates:
+    @pytest.mark.parametrize("circuit", sorted(ISCAS85_SIZES))
+    def test_node_counts_match_paper(self, circuit):
+        h = iscas85_surrogate(circuit)
+        assert h.num_nodes == ISCAS85_SIZES[circuit][0]
+
+    @pytest.mark.parametrize("circuit", sorted(ISCAS85_SIZES))
+    def test_net_and_pin_counts_close(self, circuit):
+        h = iscas85_surrogate(circuit)
+        _nodes, nets, pins = ISCAS85_SIZES[circuit]
+        assert abs(h.num_nets - nets) / nets < 0.05
+        assert abs(h.num_pins - pins) / pins < 0.10
+
+    @pytest.mark.parametrize("circuit", sorted(ISCAS85_SIZES))
+    def test_dominant_component(self, circuit):
+        # Real ISCAS85 circuits contain a few independent logic cones, so
+        # surrogates need not be fully connected — but the main component
+        # must dominate.
+        from repro.hypergraph.metrics import connected_components
+
+        components = connected_components(to_graph(iscas85_surrogate(circuit)))
+        largest = max(len(c) for c in components)
+        total = sum(len(c) for c in components)
+        assert largest / total > 0.95
+
+    def test_scale_shrinks(self):
+        h = iscas85_surrogate("c7552", scale=0.25)
+        assert h.num_nodes == round(3512 * 0.25)
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(HypergraphError):
+            iscas85_surrogate("c17")
+
+
+class TestFigure2Generators:
+    def test_graph_and_hypergraph_agree(self):
+        g = figure2_graph()
+        h = figure2_hypergraph()
+        assert g.num_edges == h.num_nets == 30
+        assert set(g.edges()) == set(h.nets())

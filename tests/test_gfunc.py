@@ -1,0 +1,59 @@
+"""Unit tests for the spreading lower-bound function g."""
+
+import numpy as np
+import pytest
+
+from repro.core.gfunc import spreading_bound, spreading_bound_array
+from repro.htp.hierarchy import HierarchySpec, figure2_hierarchy
+
+
+class TestFigure2Values:
+    def test_zero_below_leaf_capacity(self):
+        spec = figure2_hierarchy()
+        for x in (0.5, 1, 4):
+            assert spreading_bound(spec, x) == 0.0
+
+    def test_single_level_piece(self):
+        spec = figure2_hierarchy()
+        # C_0=4 < x <= C_1=8: g = 2*(x-4)*w0 = 2*(x-4)
+        assert spreading_bound(spec, 5) == pytest.approx(2.0)
+        assert spreading_bound(spec, 8) == pytest.approx(8.0)
+
+    def test_two_level_piece(self):
+        spec = figure2_hierarchy()
+        # 8 < x <= 16: g = 2*(x-4)*1 + 2*(x-8)*2
+        assert spreading_bound(spec, 9) == pytest.approx(2 * 5 + 4 * 1)
+        assert spreading_bound(spec, 16) == pytest.approx(2 * 12 + 4 * 8)
+
+
+class TestProperties:
+    def test_continuous_at_breakpoints(self):
+        spec = figure2_hierarchy()
+        for capacity in spec.capacities[:-1]:
+            below = spreading_bound(spec, capacity - 1e-9)
+            above = spreading_bound(spec, capacity + 1e-9)
+            assert above == pytest.approx(below, abs=1e-6)
+
+    def test_nondecreasing(self):
+        spec = HierarchySpec((3, 9, 20, 50), (2, 3, 2), (1.0, 0.5, 2.0))
+        xs = np.linspace(0, 60, 500)
+        values = spreading_bound_array(spec, xs)
+        assert np.all(np.diff(values) >= -1e-12)
+
+    def test_vectorised_matches_scalar(self):
+        spec = figure2_hierarchy()
+        xs = np.array([0.0, 3.7, 4.0, 5.5, 8.0, 12.2, 16.0])
+        vec = spreading_bound_array(spec, xs)
+        for x, v in zip(xs, vec):
+            assert v == pytest.approx(spreading_bound(spec, float(x)))
+
+    def test_weights_scale_pieces(self):
+        light = HierarchySpec((4, 8, 16), (2, 2), (1.0, 1.0))
+        heavy = HierarchySpec((4, 8, 16), (2, 2), (2.0, 2.0))
+        assert spreading_bound(heavy, 10) == pytest.approx(
+            2 * spreading_bound(light, 10)
+        )
+
+    def test_above_root_capacity_keeps_growing(self):
+        spec = figure2_hierarchy()
+        assert spreading_bound(spec, 32) > spreading_bound(spec, 16)

@@ -1,0 +1,119 @@
+"""Unit tests for the weighted Graph model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HypergraphError
+from repro.hypergraph import Graph
+
+
+def triangle():
+    return Graph(3, edges=[(0, 1, 2.0), (1, 2, 3.0), (0, 2, 4.0)])
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = triangle()
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+
+    def test_parallel_edges_merge_capacities(self):
+        g = Graph(2, edges=[(0, 1, 1.0), (1, 0, 2.5)])
+        assert g.num_edges == 1
+        assert g.capacity(0) == 3.5
+
+    def test_default_capacity_is_one(self):
+        g = Graph(2, edges=[(0, 1)])
+        assert g.capacity(0) == 1.0
+
+    def test_edges_are_normalised(self):
+        g = Graph(3, edges=[(2, 0, 1.0)])
+        assert g.edge(0) == (0, 2)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(HypergraphError):
+            Graph(2, edges=[(1, 1)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(HypergraphError):
+            Graph(2, edges=[(0, 2)])
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(HypergraphError):
+            Graph(2, edges=[(0, 1, 0.0)])
+
+    def test_node_sizes(self):
+        g = Graph(2, edges=[(0, 1)], node_sizes=[2.0, 5.0])
+        assert g.node_size(1) == 5.0
+        assert g.total_size() == 7.0
+        assert g.total_size([0]) == 2.0
+
+
+class TestAdjacency:
+    def test_neighbors(self):
+        g = triangle()
+        neighbors = {u for u, _e in g.neighbors(0)}
+        assert neighbors == {1, 2}
+
+    def test_degree(self):
+        assert triangle().degree(1) == 2
+
+    def test_edge_id(self):
+        g = triangle()
+        eid = g.edge_id(2, 1)
+        assert eid is not None
+        assert set(g.edge(eid)) == {1, 2}
+        assert g.edge_id(0, 0) is None or True  # no self edges exist
+        g2 = Graph(3, edges=[(0, 1)])
+        assert g2.edge_id(0, 2) is None
+
+
+class TestCSR:
+    def test_structure_shape(self):
+        g = triangle()
+        matrix, slots = g.csr_structure()
+        assert matrix.shape == (3, 3)
+        assert slots.shape == (3, 2)
+
+    def test_set_weights_symmetric(self):
+        g = triangle()
+        weights = np.array([10.0, 20.0, 30.0])
+        matrix = g.set_csr_weights(weights)
+        dense = matrix.toarray()
+        assert dense[0, 1] == dense[1, 0]
+        for edge_id, (u, v) in enumerate(g.edges()):
+            assert dense[u, v] == weights[edge_id]
+
+    def test_scipy_dijkstra_agrees_with_reference(self):
+        from scipy.sparse.csgraph import dijkstra as csgraph_dijkstra
+
+        from repro.algorithms.dijkstra import dijkstra
+
+        g = Graph(
+            5,
+            edges=[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (0, 4, 10)],
+        )
+        lengths = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        matrix = g.set_csr_weights(lengths)
+        scipy_dist = csgraph_dijkstra(matrix, directed=False, indices=0)
+        ref_dist, _pn, _pe = dijkstra(g, 0, lengths)
+        assert np.allclose(scipy_dist, ref_dist)
+
+
+class TestSubgraph:
+    def test_induced_edges(self):
+        g = triangle()
+        sub, mapping = g.subgraph([0, 2])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1
+        assert sub.capacity(0) == 4.0
+        assert set(mapping) == {0, 2}
+
+    def test_empty_rejected(self):
+        with pytest.raises(HypergraphError):
+            triangle().subgraph([])
+
+    def test_node_sizes_carry_over(self):
+        g = Graph(3, edges=[(0, 1), (1, 2)], node_sizes=[1.0, 2.0, 3.0])
+        sub, mapping = g.subgraph([1, 2])
+        assert sub.node_size(mapping[2]) == 3.0

@@ -1,0 +1,102 @@
+"""Unit tests for the indexed binary heap."""
+
+import random
+
+import pytest
+
+from repro.algorithms.heap import IndexedHeap
+
+
+class TestBasics:
+    def test_push_pop_order(self):
+        heap = IndexedHeap()
+        heap.push("a", 3.0)
+        heap.push("b", 1.0)
+        heap.push("c", 2.0)
+        assert heap.pop() == ("b", 1.0)
+        assert heap.pop() == ("c", 2.0)
+        assert heap.pop() == ("a", 3.0)
+
+    def test_len_and_contains(self):
+        heap = IndexedHeap()
+        assert len(heap) == 0
+        heap.push(7, 1.0)
+        assert len(heap) == 1
+        assert 7 in heap
+        assert 8 not in heap
+        heap.pop()
+        assert 7 not in heap
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedHeap().pop()
+
+    def test_peek(self):
+        heap = IndexedHeap()
+        assert heap.peek() is None
+        heap.push(1, 5.0)
+        heap.push(2, 3.0)
+        assert heap.peek() == (2, 3.0)
+        assert len(heap) == 2  # peek does not remove
+
+
+class TestDecrease:
+    def test_decrease_moves_item_up(self):
+        heap = IndexedHeap()
+        heap.push("x", 10.0)
+        heap.push("y", 5.0)
+        assert heap.decrease("x", 1.0)
+        assert heap.pop() == ("x", 1.0)
+
+    def test_decrease_with_higher_priority_is_noop(self):
+        heap = IndexedHeap()
+        heap.push("x", 1.0)
+        assert not heap.decrease("x", 5.0)
+        assert heap.priority("x") == 1.0
+
+    def test_push_existing_item_decreases(self):
+        heap = IndexedHeap()
+        heap.push("x", 5.0)
+        heap.push("x", 2.0)
+        assert len(heap) == 1
+        assert heap.priority("x") == 2.0
+        heap.push("x", 9.0)  # no-op
+        assert heap.priority("x") == 2.0
+
+    def test_priority_of_missing_raises(self):
+        with pytest.raises(KeyError):
+            IndexedHeap().priority("nope")
+
+
+class TestRandomised:
+    def test_heap_sort_matches_sorted(self):
+        rng = random.Random(42)
+        items = [(i, rng.random()) for i in range(300)]
+        heap = IndexedHeap()
+        for key, priority in items:
+            heap.push(key, priority)
+        popped = []
+        while heap:
+            popped.append(heap.pop()[1])
+        assert popped == sorted(popped)
+
+    def test_interleaved_decreases(self):
+        rng = random.Random(7)
+        heap = IndexedHeap()
+        truth = {}
+        for i in range(200):
+            priority = rng.random()
+            heap.push(i, priority)
+            truth[i] = priority
+        for _ in range(400):
+            key = rng.randrange(200)
+            if key in heap:
+                new_priority = truth[key] * rng.random()
+                if heap.decrease(key, new_priority):
+                    truth[key] = new_priority
+        popped = []
+        while heap:
+            key, priority = heap.pop()
+            assert priority == pytest.approx(truth[key])
+            popped.append(priority)
+        assert popped == sorted(popped)

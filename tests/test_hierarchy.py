@@ -1,0 +1,124 @@
+"""Unit tests for HierarchySpec and the binary hierarchy factory."""
+
+import pytest
+
+from repro.errors import HierarchyError
+from repro.htp.hierarchy import (
+    HierarchySpec,
+    binary_hierarchy,
+    figure2_hierarchy,
+)
+
+
+class TestSpecValidation:
+    def test_valid_spec(self):
+        spec = HierarchySpec((4, 8, 16), (2, 2), (1.0, 2.0))
+        assert spec.num_levels == 2
+        assert spec.capacity(0) == 4
+        assert spec.branch_bound(2) == 2
+        assert spec.weight(1) == 2.0
+
+    def test_rejects_non_increasing_capacities(self):
+        with pytest.raises(HierarchyError):
+            HierarchySpec((4, 4, 16), (2, 2), (1.0, 1.0))
+
+    def test_rejects_wrong_branching_length(self):
+        with pytest.raises(HierarchyError):
+            HierarchySpec((4, 8, 16), (2,), (1.0, 1.0))
+
+    def test_rejects_wrong_weights_length(self):
+        with pytest.raises(HierarchyError):
+            HierarchySpec((4, 8, 16), (2, 2), (1.0,))
+
+    def test_rejects_branching_below_two(self):
+        with pytest.raises(HierarchyError):
+            HierarchySpec((4, 8, 16), (2, 1), (1.0, 1.0))
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(HierarchyError):
+            HierarchySpec((4, 8, 16), (2, 2), (1.0, -1.0))
+
+    def test_rejects_single_level(self):
+        with pytest.raises(HierarchyError):
+            HierarchySpec((4,), (), ())
+
+    def test_branch_bound_range_checks(self):
+        spec = figure2_hierarchy()
+        with pytest.raises(HierarchyError):
+            spec.branch_bound(0)
+        with pytest.raises(HierarchyError):
+            spec.weight(2)
+
+
+class TestLevelOfSize:
+    def test_leaf_level(self):
+        spec = figure2_hierarchy()
+        assert spec.level_of_size(3) == 0
+        assert spec.level_of_size(4) == 0
+
+    def test_intermediate(self):
+        spec = figure2_hierarchy()
+        assert spec.level_of_size(5) == 1
+        assert spec.level_of_size(8) == 1
+        assert spec.level_of_size(9) == 2
+        assert spec.level_of_size(16) == 2
+
+    def test_oversize_raises(self):
+        with pytest.raises(HierarchyError):
+            figure2_hierarchy().level_of_size(17)
+
+
+class TestChildBounds:
+    def test_figure2_root(self):
+        spec = figure2_hierarchy()
+        lower, upper = spec.child_bounds(2, 16)
+        assert lower == 8
+        assert upper == 8
+
+    def test_infeasible_raises(self):
+        spec = HierarchySpec((2, 8, 16), (2, 2), (1.0, 1.0))
+        # a 16-size block at level 1 would need children of size 8 > C_0=2
+        with pytest.raises(HierarchyError):
+            spec.child_bounds(1, 16)
+
+
+class TestBinaryFactory:
+    def test_shape(self):
+        spec = binary_hierarchy(160, height=4)
+        assert spec.num_levels == 4
+        assert all(spec.branch_bound(l) == 2 for l in range(1, 5))
+        assert spec.capacity(4) == 160
+
+    def test_capacities_strictly_increase(self):
+        for total in (16, 33, 100, 5000):
+            spec = binary_hierarchy(total, height=4)
+            capacities = spec.capacities
+            assert all(
+                capacities[i] < capacities[i + 1]
+                for i in range(len(capacities) - 1)
+            )
+
+    def test_slack_inflates_capacities(self):
+        tight = binary_hierarchy(1000, height=3, slack=0.0)
+        loose = binary_hierarchy(1000, height=3, slack=0.5)
+        assert loose.capacity(0) > tight.capacity(0)
+
+    def test_feasible_bounds_at_every_level(self):
+        spec = binary_hierarchy(546, height=4)
+        size = 546.0
+        for level in range(4, 0, -1):
+            lower, upper = spec.child_bounds(level, size)
+            assert lower <= upper
+            size = upper  # worst-case child
+
+    def test_custom_weights(self):
+        spec = binary_hierarchy(64, height=2, weights=(1.0, 3.0))
+        assert spec.weight(1) == 3.0
+
+    def test_too_small_total_raises(self):
+        with pytest.raises(HierarchyError):
+            binary_hierarchy(8, height=4)
+
+    def test_describe_mentions_all_levels(self):
+        text = binary_hierarchy(64, height=2).describe()
+        assert "level 0" in text and "level 2" in text

@@ -1,0 +1,85 @@
+"""Unit tests for the hierarchical FM improvement phase."""
+
+import random
+
+import pytest
+
+from repro.htp.cost import total_cost
+from repro.htp.validate import check_partition
+from repro.partitioning.htp_fm import HTPFMConfig, htp_fm_improve
+from repro.partitioning.random_init import random_partition
+
+
+class TestImprovement:
+    def test_never_worsens(self, small_planted, small_planted_spec):
+        initial = random_partition(
+            small_planted, small_planted_spec, rng=random.Random(0)
+        )
+        result = htp_fm_improve(
+            small_planted, initial, small_planted_spec
+        )
+        assert result.final_cost <= result.initial_cost + 1e-9
+
+    def test_final_cost_is_exact(self, small_planted, small_planted_spec):
+        initial = random_partition(
+            small_planted, small_planted_spec, rng=random.Random(1)
+        )
+        result = htp_fm_improve(small_planted, initial, small_planted_spec)
+        assert result.final_cost == pytest.approx(
+            total_cost(small_planted, result.partition, small_planted_spec)
+        )
+
+    def test_result_is_valid(self, small_planted, small_planted_spec):
+        initial = random_partition(
+            small_planted, small_planted_spec, rng=random.Random(2)
+        )
+        result = htp_fm_improve(small_planted, initial, small_planted_spec)
+        check_partition(small_planted, result.partition, small_planted_spec)
+
+    def test_input_partition_unchanged(self, small_planted, small_planted_spec):
+        initial = random_partition(
+            small_planted, small_planted_spec, rng=random.Random(3)
+        )
+        before = total_cost(small_planted, initial, small_planted_spec)
+        htp_fm_improve(small_planted, initial, small_planted_spec)
+        after = total_cost(small_planted, initial, small_planted_spec)
+        assert before == pytest.approx(after)
+
+    def test_optimal_partition_stays_optimal(
+        self, fig2_hypergraph, fig2_optimal_partition, fig2_spec
+    ):
+        result = htp_fm_improve(
+            fig2_hypergraph, fig2_optimal_partition, fig2_spec
+        )
+        assert result.final_cost == pytest.approx(20.0)
+
+    def test_substantial_improvement_from_random(
+        self, fig2_hypergraph, fig2_spec
+    ):
+        initial = random_partition(
+            fig2_hypergraph, fig2_spec, rng=random.Random(4)
+        )
+        result = htp_fm_improve(fig2_hypergraph, initial, fig2_spec)
+        assert result.improvement > 0.2  # random Figure 2 is far from 20
+
+    def test_improvement_property(self, fig2_hypergraph, fig2_spec):
+        initial = random_partition(
+            fig2_hypergraph, fig2_spec, rng=random.Random(5)
+        )
+        result = htp_fm_improve(fig2_hypergraph, initial, fig2_spec)
+        expected = (
+            result.initial_cost - result.final_cost
+        ) / result.initial_cost
+        assert result.improvement == pytest.approx(expected)
+
+    def test_max_passes_respected(self, small_planted, small_planted_spec):
+        initial = random_partition(
+            small_planted, small_planted_spec, rng=random.Random(6)
+        )
+        result = htp_fm_improve(
+            small_planted,
+            initial,
+            small_planted_spec,
+            HTPFMConfig(max_passes=1),
+        )
+        assert result.passes == 1

@@ -1,0 +1,139 @@
+"""Unit tests for the Hypergraph netlist model."""
+
+import pytest
+
+from repro.errors import HypergraphError
+from repro.hypergraph import Hypergraph
+
+
+def small():
+    return Hypergraph(
+        num_nodes=5,
+        nets=[(0, 1), (1, 2, 3), (3, 4), (0, 4)],
+        name="small",
+    )
+
+
+class TestConstruction:
+    def test_counts(self):
+        h = small()
+        assert h.num_nodes == 5
+        assert h.num_nets == 4
+        assert h.num_pins == 2 + 3 + 2 + 2
+
+    def test_nets_are_sorted_and_deduplicated(self):
+        h = Hypergraph(3, nets=[(2, 0, 2, 1)])
+        assert h.net(0) == (0, 1, 2)
+        assert h.num_pins == 3
+
+    def test_default_unit_sizes_and_capacities(self):
+        h = small()
+        assert all(h.node_size(v) == 1.0 for v in h.nodes())
+        assert all(h.net_capacity(e) == 1.0 for e in range(h.num_nets))
+        assert h.total_size() == 5.0
+
+    def test_custom_sizes_and_capacities(self):
+        h = Hypergraph(
+            3,
+            nets=[(0, 1), (1, 2)],
+            node_sizes=[2.0, 1.0, 3.0],
+            net_capacities=[5.0, 0.5],
+        )
+        assert h.node_size(2) == 3.0
+        assert h.net_capacity(1) == 0.5
+        assert h.total_size([0, 2]) == 5.0
+
+    def test_rejects_single_pin_net(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph(3, nets=[(1,)])
+
+    def test_rejects_net_collapsing_to_single_pin(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph(3, nets=[(1, 1)])
+
+    def test_rejects_out_of_range_pins(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph(3, nets=[(0, 3)])
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph(2, nets=[(0, 1)], node_sizes=[1.0, 0.0])
+
+    def test_rejects_nonpositive_capacities(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph(2, nets=[(0, 1)], net_capacities=[-1.0])
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph(0, nets=[])
+
+    def test_size_length_mismatch(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph(3, nets=[(0, 1)], node_sizes=[1.0])
+
+
+class TestIncidence:
+    def test_incident_nets(self):
+        h = small()
+        assert h.incident_nets(0) == (0, 3)
+        assert h.incident_nets(1) == (0, 1)
+        assert h.incident_nets(3) == (1, 2)
+
+    def test_degree(self):
+        h = small()
+        assert h.degree(4) == 2
+        assert h.degree(2) == 1
+
+    def test_pin_sum_equals_degree_sum(self):
+        h = small()
+        assert sum(h.degree(v) for v in h.nodes()) == h.num_pins
+
+
+class TestCuts:
+    def test_cut_nets(self):
+        h = small()
+        # side {0, 1}: net (0,1) internal, nets (1,2,3) and (0,4) cut
+        assert h.cut_nets([0, 1]) == [1, 3]
+
+    def test_cut_capacity(self):
+        h = Hypergraph(
+            3, nets=[(0, 1), (1, 2)], net_capacities=[3.0, 4.0]
+        )
+        assert h.cut_capacity([0]) == 3.0
+        assert h.cut_capacity([1]) == 7.0
+
+    def test_cut_of_everything_is_empty(self):
+        h = small()
+        assert h.cut_nets(h.nodes()) == []
+        assert h.cut_nets([]) == []
+
+
+class TestSubhypergraph:
+    def test_restriction_drops_small_nets(self):
+        h = small()
+        sub, mapping = h.subhypergraph([1, 2, 3])
+        # net (1,2,3) survives in full; nets (0,1) and (3,4) shrink to
+        # one pin and are dropped.
+        assert sub.num_nodes == 3
+        assert sub.num_nets == 1
+        assert sub.net(0) == (
+            mapping[1],
+            mapping[2],
+            mapping[3],
+        )
+
+    def test_preserves_sizes_and_capacities(self):
+        h = Hypergraph(
+            4,
+            nets=[(0, 1, 2), (2, 3)],
+            node_sizes=[1.0, 2.0, 3.0, 4.0],
+            net_capacities=[7.0, 9.0],
+        )
+        sub, mapping = h.subhypergraph([1, 2])
+        assert sub.node_size(mapping[2]) == 3.0
+        assert sub.num_nets == 1
+        assert sub.net_capacity(0) == 7.0
+
+    def test_empty_subset_rejected(self):
+        with pytest.raises(HypergraphError):
+            small().subhypergraph([])

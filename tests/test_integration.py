@@ -1,0 +1,122 @@
+"""Cross-module integration tests: full pipelines on real-shaped inputs."""
+
+import random
+
+import pytest
+
+from repro import (
+    FlowHTPConfig,
+    SpreadingMetricConfig,
+    binary_hierarchy,
+    check_partition,
+    flow_htp,
+    gfm_partition,
+    htp_fm_improve,
+    iscas85_surrogate,
+    rfm_partition,
+    total_cost,
+)
+from repro.hypergraph.io import read_hgr, write_hgr
+
+
+@pytest.fixture(scope="module")
+def small_surrogate():
+    """c1355 at 25% scale: big enough to be interesting, fast enough."""
+    return iscas85_surrogate("c1355", scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def spec(small_surrogate):
+    return binary_hierarchy(small_surrogate.total_size(), height=3)
+
+
+class TestFullPipelines:
+    def test_flow_pipeline(self, small_surrogate, spec):
+        result = flow_htp(
+            small_surrogate,
+            spec,
+            FlowHTPConfig(
+                iterations=2,
+                constructions_per_metric=4,
+                seed=0,
+                metric=SpreadingMetricConfig(alpha=0.5, delta=0.05),
+            ),
+        )
+        check_partition(small_surrogate, result.partition, spec)
+        improved = htp_fm_improve(small_surrogate, result.partition, spec)
+        check_partition(small_surrogate, improved.partition, spec)
+        assert improved.final_cost <= result.cost + 1e-9
+
+    def test_all_three_algorithms_comparable(self, small_surrogate, spec):
+        flow_cost = flow_htp(
+            small_surrogate,
+            spec,
+            FlowHTPConfig(iterations=1, seed=0),
+        ).cost
+        gfm_cost = total_cost(
+            small_surrogate,
+            gfm_partition(small_surrogate, spec, rng=random.Random(0)),
+            spec,
+        )
+        rfm_cost = total_cost(
+            small_surrogate,
+            rfm_partition(small_surrogate, spec, rng=random.Random(0)),
+            spec,
+        )
+        # all three must land in the same order of magnitude
+        costs = sorted([flow_cost, gfm_cost, rfm_cost])
+        assert costs[0] > 0
+        assert costs[2] < 4 * costs[0]
+
+    def test_io_round_trip_preserves_costs(
+        self, small_surrogate, spec, tmp_path
+    ):
+        path = tmp_path / "circuit.hgr"
+        write_hgr(small_surrogate, path)
+        reloaded = read_hgr(path)
+        tree = rfm_partition(reloaded, spec, rng=random.Random(1))
+        cost_reloaded = total_cost(reloaded, tree, spec)
+        cost_original = total_cost(small_surrogate, tree, spec)
+        assert cost_reloaded == pytest.approx(cost_original)
+
+    def test_weighted_levels_change_optimal_structure(self, small_surrogate):
+        """Higher top-level weight pushes cost into lower levels."""
+        flat = binary_hierarchy(
+            small_surrogate.total_size(), height=3, weights=(1, 1, 1)
+        )
+        steep = binary_hierarchy(
+            small_surrogate.total_size(), height=3, weights=(1, 1, 20)
+        )
+        config = FlowHTPConfig(iterations=1, seed=3)
+        flat_result = flow_htp(small_surrogate, flat, config)
+        steep_result = flow_htp(small_surrogate, steep, config)
+        from repro.htp.cost import net_span
+
+        def top_cuts(partition):
+            return sum(
+                1
+                for e in range(small_surrogate.num_nets)
+                if net_span(small_surrogate, partition, e, 2) >= 2
+            )
+
+        # with a 20x top weight, the top cut should not grow
+        assert top_cuts(steep_result.partition) <= top_cuts(
+            flat_result.partition
+        ) + 2
+
+    def test_nonunit_sizes_pipeline(self):
+        """Non-unit node sizes flow through the whole pipeline."""
+        from repro.hypergraph.generators import planted_hierarchy_hypergraph
+        from repro.hypergraph import Hypergraph
+
+        base = planted_hierarchy_hypergraph(96, height=2, seed=5)
+        rng = random.Random(5)
+        sizes = [rng.choice([1.0, 1.5, 2.0]) for _ in range(96)]
+        netlist = Hypergraph(
+            96, nets=base.nets(), node_sizes=sizes, name="sized"
+        )
+        spec = binary_hierarchy(netlist.total_size(), height=2, slack=0.25)
+        result = flow_htp(
+            netlist, spec, FlowHTPConfig(iterations=1, seed=0)
+        )
+        check_partition(netlist, result.partition, spec)

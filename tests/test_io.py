@@ -1,0 +1,97 @@
+"""Unit tests for netlist I/O (hMETIS and JSON)."""
+
+import pytest
+
+from repro.errors import HypergraphError
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.io import read_hgr, read_json, write_hgr, write_json
+
+
+def weighted_netlist():
+    return Hypergraph(
+        4,
+        nets=[(0, 1, 2), (2, 3)],
+        node_sizes=[1.0, 2.0, 1.0, 3.0],
+        net_capacities=[2.0, 1.0],
+        name="weighted",
+    )
+
+
+class TestHGRRoundTrip:
+    def test_unit_weights(self, tmp_path):
+        h = Hypergraph(3, nets=[(0, 1), (1, 2)], name="plain")
+        path = tmp_path / "plain.hgr"
+        write_hgr(h, path)
+        back = read_hgr(path)
+        assert back.num_nodes == 3
+        assert back.nets() == h.nets()
+        assert all(back.net_capacity(e) == 1.0 for e in range(2))
+
+    def test_full_weights(self, tmp_path):
+        h = weighted_netlist()
+        path = tmp_path / "weighted.hgr"
+        write_hgr(h, path)
+        back = read_hgr(path)
+        assert back.nets() == h.nets()
+        assert back.net_capacities() == h.net_capacities()
+        assert back.node_sizes() == h.node_sizes()
+
+    def test_header_format_code(self, tmp_path):
+        h = weighted_netlist()
+        path = tmp_path / "w.hgr"
+        write_hgr(h, path)
+        header = path.read_text().splitlines()[0].split()
+        assert header == ["2", "4", "11"]
+
+    def test_net_weights_only(self, tmp_path):
+        h = Hypergraph(3, nets=[(0, 1), (1, 2)], net_capacities=[2.0, 3.0])
+        path = tmp_path / "nw.hgr"
+        write_hgr(h, path)
+        header = path.read_text().splitlines()[0].split()
+        assert header[2] == "1"
+        back = read_hgr(path)
+        assert back.net_capacity(1) == 3.0
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "c.hgr"
+        path.write_text("% comment\n2 3\n1 2\n% another\n2 3\n")
+        back = read_hgr(path)
+        assert back.num_nets == 2
+        assert back.net(0) == (0, 1)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.hgr"
+        path.write_text("\n")
+        with pytest.raises(HypergraphError):
+            read_hgr(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "short.hgr"
+        path.write_text("3 4\n1 2\n")
+        with pytest.raises(HypergraphError):
+            read_hgr(path)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        h = Hypergraph(2, nets=[(0, 1)])
+        path = tmp_path / "mycircuit.hgr"
+        write_hgr(h, path)
+        assert read_hgr(path).name == "mycircuit"
+
+
+class TestJSONRoundTrip:
+    def test_full_round_trip(self, tmp_path):
+        h = weighted_netlist()
+        path = tmp_path / "h.json"
+        write_json(h, path)
+        back = read_json(path)
+        assert back.name == "weighted"
+        assert back.nets() == h.nets()
+        assert back.node_sizes() == h.node_sizes()
+        assert back.net_capacities() == h.net_capacities()
+        assert back.node_name(0) == h.node_name(0)
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"num_nodes": 2}')
+        with pytest.raises(HypergraphError):
+            read_json(path)

@@ -1,0 +1,69 @@
+"""Unit tests for the Kernighan-Lin pair-swap bipartitioner."""
+
+import random
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.hypergraph import Hypergraph
+from repro.partitioning.fm import cut_capacity
+from repro.partitioning.kl import KLConfig, kl_bipartition
+
+
+def two_cliques():
+    nets = []
+    for base in (0, 4):
+        for i in range(4):
+            for j in range(i + 1, 4):
+                nets.append((base + i, base + j))
+    nets.append((0, 4))
+    return Hypergraph(8, nets=nets)
+
+
+class TestKL:
+    def test_finds_bridge_cut(self):
+        h = two_cliques()
+        # worst-case interleaved start
+        sides, cut = kl_bipartition(h, sides=[0, 1, 0, 1, 0, 1, 0, 1])
+        assert cut == 1.0
+        assert sorted(v for v in range(8) if sides[v] == 0) in (
+            [0, 1, 2, 3],
+            [4, 5, 6, 7],
+        )
+
+    def test_preserves_balance_exactly(self):
+        h = two_cliques()
+        start = [0, 1, 0, 1, 0, 1, 0, 1]
+        sides, _cut = kl_bipartition(h, sides=list(start))
+        assert sides.count(0) == start.count(0)
+
+    def test_random_start_generated(self):
+        h = two_cliques()
+        sides, cut = kl_bipartition(h, rng=random.Random(0))
+        assert sides.count(0) == 4
+        assert cut <= cut_capacity(h, sides) + 1e-9
+
+    def test_never_worsens(self):
+        rng = random.Random(9)
+        nets = [(i, i + 1) for i in range(19)]
+        nets += [tuple(sorted(rng.sample(range(20), 3))) for _ in range(8)]
+        h = Hypergraph(20, nets=nets)
+        start = [v % 2 for v in range(20)]
+        before = cut_capacity(h, start)
+        _sides, after = kl_bipartition(h, sides=list(start))
+        assert after <= before + 1e-9
+
+    def test_invalid_sides_rejected(self):
+        with pytest.raises(PartitionError):
+            kl_bipartition(two_cliques(), sides=[0, 1, 2, 0, 1, 0, 1, 0])
+
+    def test_single_node_rejected(self):
+        with pytest.raises(PartitionError):
+            kl_bipartition(Hypergraph(2, nets=[(0, 1)]).subhypergraph([0])[0])
+
+    def test_max_passes_config(self):
+        h = two_cliques()
+        sides, cut = kl_bipartition(
+            h, sides=[0, 1, 0, 1, 0, 1, 0, 1], config=KLConfig(max_passes=1)
+        )
+        assert cut <= 9  # one pass already improves the interleaved start

@@ -1,0 +1,103 @@
+"""Unit tests for the exact LP lower bound (Lemmas 1 and 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lp import solve_spreading_lp, verify_metric_feasibility
+from repro.htp.cost import induced_metric, total_cost
+from repro.htp.hierarchy import HierarchySpec, binary_hierarchy
+from repro.hypergraph import Graph
+from repro.hypergraph.expansion import to_graph
+from repro.hypergraph.generators import planted_hierarchy_hypergraph
+
+
+class TestFigure2:
+    def test_lower_bound_is_exactly_20(self, fig2_graph, fig2_spec):
+        result = solve_spreading_lp(fig2_graph, fig2_spec)
+        assert result.converged
+        assert result.lower_bound == pytest.approx(20.0, abs=1e-4)
+
+    def test_optimal_lengths_are_feasible(self, fig2_graph, fig2_spec):
+        result = solve_spreading_lp(fig2_graph, fig2_spec)
+        feasible, violation = verify_metric_feasibility(
+            fig2_graph, fig2_spec, result.lengths, tol=1e-5
+        )
+        assert feasible, violation
+
+    def test_lemma2_bound_below_every_partition(
+        self,
+        fig2_graph,
+        fig2_spec,
+        fig2_hypergraph,
+    ):
+        import random
+
+        from repro.partitioning.random_init import random_partition
+
+        lp = solve_spreading_lp(fig2_graph, fig2_spec)
+        for seed in range(5):
+            partition = random_partition(
+                fig2_hypergraph, fig2_spec, rng=random.Random(seed)
+            )
+            cost = total_cost(fig2_hypergraph, partition, fig2_spec)
+            assert lp.lower_bound <= cost + 1e-6
+
+    def test_lemma1_induced_metric_objective_equals_cost(
+        self, fig2_hypergraph, fig2_optimal_partition, fig2_spec, fig2_graph
+    ):
+        # sum_e c(e) d(e) for the induced metric equals the partition cost
+        metric = induced_metric(
+            fig2_hypergraph, fig2_optimal_partition, fig2_spec
+        )
+        objective = sum(
+            fig2_hypergraph.net_capacity(e) * metric[e]
+            for e in range(fig2_hypergraph.num_nets)
+        )
+        assert objective == pytest.approx(
+            total_cost(fig2_hypergraph, fig2_optimal_partition, fig2_spec)
+        )
+
+
+class TestSmallInstances:
+    def test_path_graph_bound(self):
+        # 4-node path, hierarchy (2, 4): any partition cuts >= 1 edge at
+        # cost 2; the LP should find a positive bound <= 2.
+        g = Graph(4, edges=[(0, 1), (1, 2), (2, 3)])
+        spec = HierarchySpec((2, 4), (2,), (1.0,))
+        result = solve_spreading_lp(g, spec)
+        assert result.converged
+        assert 0 < result.lower_bound <= 2.0 + 1e-6
+
+    def test_bound_scales_with_weights(self):
+        g = Graph(4, edges=[(0, 1), (1, 2), (2, 3)])
+        light = HierarchySpec((2, 4), (2,), (1.0,))
+        heavy = HierarchySpec((2, 4), (2,), (3.0,))
+        a = solve_spreading_lp(g, light).lower_bound
+        b = solve_spreading_lp(g, heavy).lower_bound
+        assert b == pytest.approx(3 * a, rel=1e-4)
+
+    def test_planted_instance_bound_below_flow(self):
+        from repro.core.flow_htp import FlowHTPConfig, flow_htp
+
+        h = planted_hierarchy_hypergraph(48, height=2, seed=1)
+        spec = binary_hierarchy(h.total_size(), height=2)
+        g = to_graph(h)
+        lp = solve_spreading_lp(g, spec, max_iterations=60)
+        flow = flow_htp(
+            h, spec, FlowHTPConfig(iterations=1, seed=0), graph=g
+        )
+        # The bound is on the *graph* model, the cost on the hypergraph;
+        # for clique-expanded small nets the bound stays below the cost.
+        assert lp.lower_bound <= flow.cost + 1e-6
+
+    def test_iteration_limit_flag(self, fig2_graph, fig2_spec):
+        result = solve_spreading_lp(fig2_graph, fig2_spec, max_iterations=1)
+        assert not result.converged
+
+    def test_iteration_limit_raises_when_asked(self, fig2_graph, fig2_spec):
+        from repro.errors import ConvergenceError
+
+        with pytest.raises(ConvergenceError):
+            solve_spreading_lp(
+                fig2_graph, fig2_spec, max_iterations=1, raise_on_limit=True
+            )

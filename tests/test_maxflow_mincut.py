@@ -1,0 +1,113 @@
+"""Unit tests for Dinic max-flow and Stoer-Wagner min-cut."""
+
+import random
+
+import pytest
+
+from repro.algorithms.maxflow import FlowNetwork, dinic_max_flow, min_cut_partition
+from repro.algorithms.mincut import stoer_wagner_min_cut
+from repro.errors import HypergraphError
+from repro.hypergraph import Graph
+from repro.hypergraph.generators import figure2_graph
+
+
+class TestDinic:
+    def test_simple_path(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 5.0)
+        net.add_edge(1, 2, 3.0)
+        assert net.max_flow(0, 2) == pytest.approx(3.0)
+
+    def test_parallel_paths(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 2.0)
+        net.add_edge(1, 3, 2.0)
+        net.add_edge(0, 2, 3.0)
+        net.add_edge(2, 3, 1.0)
+        assert net.max_flow(0, 3) == pytest.approx(3.0)
+
+    def test_source_equals_sink_rejected(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.max_flow(0, 0)
+
+    def test_min_cut_side_after_flow(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 10.0)
+        net.add_edge(1, 2, 1.0)  # bottleneck
+        net.add_edge(2, 3, 10.0)
+        assert net.max_flow(0, 3) == pytest.approx(1.0)
+        assert net.min_cut_side(0) == {0, 1}
+
+    def test_undirected_bridge(self):
+        g = Graph(4, edges=[(0, 1, 4.0), (1, 2, 2.0), (2, 3, 4.0)])
+        value, side = dinic_max_flow(g, 0, 3)
+        assert value == pytest.approx(2.0)
+        assert side == {0, 1}
+
+    def test_figure2_cross_block_flow(self):
+        # Between the two level-1 blocks there are exactly 2 unit edges.
+        g = figure2_graph()
+        value, source_side, sink_side = min_cut_partition(g, 0, 15)
+        assert value == pytest.approx(2.0)
+        assert set(source_side) == set(range(8))
+        assert set(sink_side) == set(range(8, 16))
+
+    def test_max_flow_min_cut_duality_random(self):
+        rng = random.Random(5)
+        edges = []
+        n = 12
+        for _ in range(30):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                edges.append((u, v, rng.uniform(0.5, 2.0)))
+        edges.append((0, 1, 1.0))  # keep s-side connected to something
+        g = Graph(n, edges=edges)
+        value, side = dinic_max_flow(g, 0, n - 1)
+        if value == 0:
+            return  # disconnected instance
+        # Duality: flow value equals the capacity crossing the found cut.
+        crossing = sum(
+            g.capacity(e)
+            for e, (u, v) in enumerate(g.edges())
+            if (u in side) != (v in side)
+        )
+        assert value == pytest.approx(crossing)
+
+
+class TestStoerWagner:
+    def test_bridge_graph(self):
+        g = Graph(4, edges=[(0, 1, 5.0), (1, 2, 1.0), (2, 3, 5.0)])
+        value, side = stoer_wagner_min_cut(g)
+        assert value == pytest.approx(1.0)
+        assert sorted(side) in ([0, 1], [2, 3])
+
+    def test_figure2_global_cut(self):
+        value, side = stoer_wagner_min_cut(figure2_graph())
+        assert value == pytest.approx(2.0)
+        assert sorted(side) in ([0, 1, 2, 3, 4, 5, 6, 7], [8, 9, 10, 11, 12, 13, 14, 15])
+
+    def test_single_node_rejected(self):
+        with pytest.raises(HypergraphError):
+            stoer_wagner_min_cut(Graph(1, edges=[]))
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        rng = random.Random(17)
+        edges = []
+        n = 10
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < 0.5:
+                    edges.append((u, v, rng.uniform(0.5, 3.0)))
+        g = Graph(n, edges=edges)
+        # ensure connectivity
+        for u in range(n - 1):
+            if g.edge_id(u, u + 1) is None:
+                edges.append((u, u + 1, 0.7))
+        g = Graph(n, edges=edges)
+        nxg = g.to_networkx()
+        expected, _parts = nx.stoer_wagner(nxg, weight="capacity")
+        value, _side = stoer_wagner_min_cut(g)
+        assert value == pytest.approx(expected)

@@ -1,0 +1,63 @@
+"""Unit tests for netlist statistics and analysis helpers."""
+
+import pytest
+
+from repro.analysis.stats import geometric_mean, improvement, summary
+from repro.hypergraph import Graph, Hypergraph
+from repro.hypergraph.metrics import (
+    connected_components,
+    is_connected,
+    netlist_stats,
+)
+
+
+class TestNetlistStats:
+    def test_counts(self):
+        h = Hypergraph(4, nets=[(0, 1), (1, 2, 3)], name="s")
+        stats = netlist_stats(h)
+        assert stats.name == "s"
+        assert stats.num_nodes == 4
+        assert stats.num_nets == 2
+        assert stats.num_pins == 5
+        assert stats.max_net_size == 3
+        assert stats.avg_net_size == pytest.approx(2.5)
+        assert stats.max_degree == 2
+        assert stats.avg_degree == pytest.approx(5 / 4)
+        assert stats.total_size == 4.0
+
+
+class TestComponents:
+    def test_connected_graph(self):
+        g = Graph(3, edges=[(0, 1), (1, 2)])
+        assert is_connected(g)
+        assert connected_components(g) == [[0, 1, 2]]
+
+    def test_disconnected_graph(self):
+        g = Graph(5, edges=[(0, 1), (2, 3)])
+        components = connected_components(g)
+        assert components == [[0, 1], [2, 3], [4]]
+        assert not is_connected(g)
+
+
+class TestStats:
+    def test_summary(self):
+        s = summary([1.0, 2.0, 3.0])
+        assert s["min"] == 1.0
+        assert s["max"] == 3.0
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["n"] == 3
+
+    def test_summary_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summary([])
+
+    def test_improvement(self):
+        assert improvement(100, 80) == pytest.approx(0.2)
+        assert improvement(0, 5) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])

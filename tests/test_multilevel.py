@@ -1,0 +1,118 @@
+"""Unit tests for the multilevel bipartitioner and hierarchy search."""
+
+import random
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.htp.hierarchy_search import best_hierarchy, search_hierarchies
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.generators import planted_hierarchy_hypergraph
+from repro.partitioning.fm import cut_capacity, fm_bipartition
+from repro.partitioning.multilevel import (
+    MultilevelConfig,
+    _contract,
+    _heavy_edge_matching,
+    multilevel_bipartition,
+)
+
+
+class TestCoarsening:
+    def test_matching_halves_node_count_roughly(self):
+        h = planted_hierarchy_hypergraph(128, height=2, seed=0)
+        coarse_of = _heavy_edge_matching(h, random.Random(0))
+        num_coarse = max(coarse_of) + 1
+        assert num_coarse < 128
+        assert num_coarse >= 64  # pairs at best
+
+    def test_contract_preserves_total_size(self):
+        h = planted_hierarchy_hypergraph(96, height=2, seed=1)
+        coarse_of = _heavy_edge_matching(h, random.Random(1))
+        coarse = _contract(h, coarse_of)
+        assert coarse.total_size() == pytest.approx(h.total_size())
+
+    def test_contract_merges_parallel_nets(self):
+        h = Hypergraph(4, nets=[(0, 1), (2, 3), (0, 2), (1, 3)])
+        coarse = _contract(h, [0, 0, 1, 1])
+        # nets (0,1),(2,3) vanish; (0,2),(1,3) merge into one net of cap 2
+        assert coarse.num_nets == 1
+        assert coarse.net_capacity(0) == 2.0
+
+    def test_cut_is_preserved_under_projection(self):
+        h = planted_hierarchy_hypergraph(64, height=1, seed=2)
+        coarse_of = _heavy_edge_matching(h, random.Random(2))
+        coarse = _contract(h, coarse_of)
+        rng = random.Random(3)
+        coarse_sides = [rng.randint(0, 1) for _ in range(coarse.num_nodes)]
+        fine_sides = [coarse_sides[coarse_of[v]] for v in range(64)]
+        assert cut_capacity(coarse, coarse_sides) == pytest.approx(
+            cut_capacity(h, fine_sides)
+        )
+
+
+class TestMultilevel:
+    def test_valid_balanced_result(self):
+        h = planted_hierarchy_hypergraph(256, height=2, seed=4)
+        sides, cut = multilevel_bipartition(h, 112, 144)
+        size0 = sides.count(0)
+        assert 112 <= size0 <= 144
+        assert cut == pytest.approx(cut_capacity(h, sides))
+
+    def test_beats_or_matches_flat_fm(self):
+        h = planted_hierarchy_hypergraph(256, height=2, seed=5)
+        _ml_sides, ml_cut = multilevel_bipartition(
+            h, 112, 144, MultilevelConfig(seed=0)
+        )
+        _fm_sides, fm_cut = fm_bipartition(
+            h, 112, 144, rng=random.Random(0)
+        )
+        assert ml_cut <= fm_cut * 1.5  # multilevel is at least competitive
+
+    def test_degenerate_bound_rejected(self):
+        h = planted_hierarchy_hypergraph(64, height=1, seed=0)
+        with pytest.raises(PartitionError):
+            multilevel_bipartition(h, 64, 64)
+
+    def test_small_input_skips_coarsening(self):
+        h = planted_hierarchy_hypergraph(32, height=1, seed=1)
+        sides, _cut = multilevel_bipartition(
+            h, 14, 18, MultilevelConfig(coarsest_size=64)
+        )
+        assert 14 <= sides.count(0) <= 18
+
+
+class TestHierarchySearch:
+    def test_sweep_returns_sorted_candidates(self):
+        h = planted_hierarchy_hypergraph(96, height=2, seed=3)
+        candidates = search_hierarchies(h, heights=(1, 2, 3), seed=0)
+        assert len(candidates) == 3
+        costs = [c.cost for c in candidates if c.valid]
+        assert costs == sorted(costs)
+
+    def test_infeasible_heights_skipped(self):
+        h = planted_hierarchy_hypergraph(20, height=1, seed=0)
+        candidates = search_hierarchies(h, heights=(1, 2, 8), seed=0)
+        assert all(c.height in (1, 2) for c in candidates)
+
+    def test_best_hierarchy_is_valid(self):
+        h = planted_hierarchy_hypergraph(96, height=2, seed=6)
+        best = best_hierarchy(h, heights=(1, 2, 3), seed=0)
+        assert best.valid
+        assert best.cost <= min(
+            c.cost
+            for c in search_hierarchies(h, heights=(1, 2, 3), seed=0)
+            if c.valid
+        ) + 1e-9
+
+    def test_flow_algorithm_option(self):
+        h = planted_hierarchy_hypergraph(64, height=2, seed=7)
+        candidates = search_hierarchies(
+            h, heights=(2,), algorithm="flow", seed=0
+        )
+        assert len(candidates) == 1
+        assert candidates[0].valid
+
+    def test_unknown_algorithm_rejected(self):
+        h = planted_hierarchy_hypergraph(64, height=2, seed=7)
+        with pytest.raises(ValueError):
+            search_hierarchies(h, algorithm="magic")

@@ -1,0 +1,158 @@
+"""Unit tests for the PartitionTree structure."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.htp.partition import PartitionTree
+
+
+def two_level():
+    """4 nodes in 2 leaves under a single root."""
+    return PartitionTree.from_nested([[0, 1], [2, 3]], num_nodes=4)
+
+
+class TestConstruction:
+    def test_from_nested_two_levels(self):
+        tree = two_level()
+        assert tree.num_levels == 1
+        assert len(tree.leaves()) == 2
+        assert tree.leaf_of(0) == tree.leaf_of(1)
+        assert tree.leaf_of(0) != tree.leaf_of(2)
+
+    def test_from_nested_three_levels(self, fig2_optimal_partition):
+        tree = fig2_optimal_partition
+        assert tree.num_levels == 2
+        assert len(tree.leaves()) == 4
+        assert len(tree.vertices_at_level(1)) == 2
+
+    def test_nested_depth_mismatch_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionTree.from_nested([[0, 1], [[2], [3]]], num_nodes=4)
+
+    def test_nested_mixed_level_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionTree.from_nested([0, [1, 2]], num_nodes=3)
+
+    def test_unassigned_node_rejected(self):
+        tree = PartitionTree(num_nodes=2, num_levels=1)
+        leaf = tree.add_vertex(level=0, parent=tree.root)
+        tree.assign(0, leaf)
+        with pytest.raises(PartitionError):
+            tree.freeze()
+
+    def test_assign_to_internal_vertex_rejected(self):
+        tree = PartitionTree(num_nodes=2, num_levels=2)
+        middle = tree.add_vertex(level=1, parent=tree.root)
+        with pytest.raises(PartitionError):
+            tree.assign(0, middle)
+
+    def test_child_level_must_be_parent_minus_one(self):
+        tree = PartitionTree(num_nodes=2, num_levels=2)
+        with pytest.raises(PartitionError):
+            tree.add_vertex(level=0, parent=tree.root)
+
+    def test_second_root_rejected(self):
+        tree = PartitionTree(num_nodes=2, num_levels=1)
+        with pytest.raises(PartitionError):
+            tree.add_vertex(level=1, parent=-1)
+
+    def test_add_leaf_chain(self):
+        tree = PartitionTree(num_nodes=1, num_levels=3)
+        leaf = tree.add_leaf_chain(tree.root)
+        assert tree.level(leaf) == 0
+        tree.assign(0, leaf)
+        tree.freeze()
+        chain = tree.ancestor_chain(leaf)
+        assert [tree.level(v) for v in chain] == [0, 1, 2, 3]
+
+
+class TestFromLeafBlocks:
+    def test_flat(self):
+        tree = PartitionTree.from_leaf_blocks(
+            [[0, 1], [2], [3, 4]], num_nodes=5
+        )
+        assert len(tree.leaves()) == 3
+        assert tree.num_levels == 1
+
+    def test_with_grouping(self):
+        # 4 blocks -> 2 pairs -> root
+        tree = PartitionTree.from_leaf_blocks(
+            [[0], [1], [2], [3]],
+            num_nodes=4,
+            grouping=[[[0, 1], [2, 3]], [[0, 1]]],
+        )
+        assert tree.num_levels == 2
+        assert tree.leaf_of(0) != tree.leaf_of(1)
+        assert tree.block_at_level(0, 1) == tree.block_at_level(1, 1)
+        assert tree.block_at_level(0, 1) != tree.block_at_level(2, 1)
+
+    def test_grouping_must_cover_indices(self):
+        with pytest.raises(PartitionError):
+            PartitionTree.from_leaf_blocks(
+                [[0], [1]],
+                num_nodes=2,
+                grouping=[[[0, 0]], [[0]]],
+            )
+
+    def test_grouping_root_must_be_single_group(self):
+        with pytest.raises(PartitionError):
+            PartitionTree.from_leaf_blocks(
+                [[0], [1]],
+                num_nodes=2,
+                grouping=[[[0], [1]], [[0], [1]]],
+            )
+
+
+class TestQueries:
+    def test_block_at_level(self, fig2_optimal_partition):
+        tree = fig2_optimal_partition
+        assert tree.block_at_level(0, 2) == tree.root
+        assert tree.block_at_level(0, 1) == tree.block_at_level(5, 1)
+        assert tree.block_at_level(0, 1) != tree.block_at_level(9, 1)
+
+    def test_members(self, fig2_optimal_partition):
+        tree = fig2_optimal_partition
+        level1 = tree.vertices_at_level(1)
+        members = tree.members(level1[0])
+        assert members == list(range(8))
+        assert tree.members(tree.root) == list(range(16))
+
+    def test_leaf_blocks(self, fig2_optimal_partition):
+        blocks = fig2_optimal_partition.leaf_blocks()
+        assert sorted(map(tuple, blocks.values())) == [
+            (0, 1, 2, 3),
+            (4, 5, 6, 7),
+            (8, 9, 10, 11),
+            (12, 13, 14, 15),
+        ]
+
+    def test_block_sizes(self, fig2_optimal_partition):
+        sizes = fig2_optimal_partition.block_sizes([1.0] * 16)
+        assert sizes[fig2_optimal_partition.root] == 16.0
+        for leaf in fig2_optimal_partition.leaves():
+            assert sizes[leaf] == 4.0
+
+    def test_render_contains_levels(self, fig2_optimal_partition):
+        text = fig2_optimal_partition.render()
+        assert "level 2" in text and "level 0" in text
+
+
+class TestMoveAndCopy:
+    def test_move_changes_leaf(self, fig2_optimal_partition):
+        tree = fig2_optimal_partition
+        target = tree.leaf_of(15)
+        previous = tree.move(0, target)
+        assert tree.leaf_of(0) == target
+        assert previous != target
+
+    def test_move_to_internal_rejected(self, fig2_optimal_partition):
+        tree = fig2_optimal_partition
+        with pytest.raises(PartitionError):
+            tree.move(0, tree.root)
+
+    def test_copy_is_independent(self, fig2_optimal_partition):
+        tree = fig2_optimal_partition
+        clone = tree.copy()
+        clone.move(0, clone.leaf_of(15))
+        assert tree.leaf_of(0) != tree.leaf_of(15)
+        assert clone.leaf_of(0) == clone.leaf_of(15)

@@ -1,0 +1,87 @@
+"""Unit tests for Prim growth, Prim MST and Kruskal MST."""
+
+import math
+import random
+
+import pytest
+
+from repro.algorithms.prim import prim_growth, prim_mst
+from repro.algorithms.spanning import kruskal_mst
+from repro.hypergraph import Graph
+from repro.hypergraph.generators import figure2_graph
+
+
+def weighted_graph(seed=0):
+    rng = random.Random(seed)
+    g = figure2_graph()
+    lengths = [rng.uniform(0.5, 3.0) for _ in range(g.num_edges)]
+    return g, lengths
+
+
+class TestPrimGrowth:
+    def test_covers_all_nodes_once(self):
+        g, lengths = weighted_graph()
+        nodes = [v for v, _c, _e in prim_growth(g, [0], lengths)]
+        assert sorted(nodes) == list(range(16))
+
+    def test_seed_comes_first(self):
+        g, lengths = weighted_graph()
+        first, cost, edge = next(iter(prim_growth(g, [7], lengths)))
+        assert first == 7
+        assert math.isinf(cost)
+        assert edge == -1
+
+    def test_disconnected_graph_restarts(self):
+        g = Graph(4, edges=[(0, 1), (2, 3)])
+        steps = list(prim_growth(g, [0], [1.0, 1.0]))
+        assert sorted(v for v, _c, _e in steps) == [0, 1, 2, 3]
+        jumps = [v for v, cost, _e in steps if math.isinf(cost)]
+        assert len(jumps) == 2  # the seed plus one restart
+
+    def test_attachment_edges_touch_region(self):
+        g, lengths = weighted_graph(3)
+        region = set()
+        for node, cost, edge_id in prim_growth(g, [5], lengths):
+            if edge_id >= 0:
+                u, v = g.edge(edge_id)
+                assert node in (u, v)
+                other = v if node == u else u
+                assert other in region
+            region.add(node)
+
+
+class TestMST:
+    def test_prim_and_kruskal_agree_on_weight(self):
+        g, lengths = weighted_graph(11)
+        prim_edges = prim_mst(g, lengths)
+        kruskal_edges = kruskal_mst(g, lengths)
+        assert len(prim_edges) == 15
+        assert len(kruskal_edges) == 15
+        prim_weight = sum(lengths[e] for e in prim_edges)
+        kruskal_weight = sum(lengths[e] for e in kruskal_edges)
+        assert prim_weight == pytest.approx(kruskal_weight)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g, lengths = weighted_graph(23)
+        nxg = nx.Graph()
+        for eid, (u, v) in enumerate(g.edges()):
+            nxg.add_edge(u, v, weight=lengths[eid])
+        expected = sum(
+            d["weight"]
+            for _u, _v, d in nx.minimum_spanning_tree(nxg).edges(data=True)
+        )
+        ours = sum(lengths[e] for e in kruskal_mst(g, lengths))
+        assert ours == pytest.approx(expected)
+
+    def test_spanning_forest_on_disconnected(self):
+        g = Graph(4, edges=[(0, 1, 1.0), (2, 3, 1.0)])
+        assert len(kruskal_mst(g)) == 2
+        assert len(prim_mst(g)) == 2
+
+    def test_default_weights_are_capacities(self):
+        g = Graph(3, edges=[(0, 1, 5.0), (1, 2, 1.0), (0, 2, 1.0)])
+        edges = kruskal_mst(g)
+        weights = sorted(g.capacity(e) for e in edges)
+        assert weights == [1.0, 1.0]

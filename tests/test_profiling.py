@@ -1,0 +1,48 @@
+"""Unit tests for the FLOW phase profiler."""
+
+import pytest
+
+from repro.analysis.profiling import profile_flow, scaling_profile
+from repro.core.flow_htp import FlowHTPConfig
+from repro.htp.hierarchy import binary_hierarchy
+from repro.hypergraph.generators import planted_hierarchy_hypergraph
+
+
+@pytest.fixture(scope="module")
+def instance():
+    netlist = planted_hierarchy_hypergraph(96, height=2, seed=0)
+    return netlist, binary_hierarchy(netlist.total_size(), height=2)
+
+
+class TestProfileFlow:
+    def test_phases_sum_below_total(self, instance):
+        netlist, spec = instance
+        profile = profile_flow(
+            netlist, spec, FlowHTPConfig(iterations=1, seed=0)
+        )
+        assert (
+            profile.metric_seconds
+            + profile.construct_seconds
+            + profile.evaluate_seconds
+            <= profile.total_seconds + 1e-6
+        )
+        assert 0.0 <= profile.metric_fraction <= 1.0
+
+    def test_cost_matches_flow(self, instance):
+        from repro.core.flow_htp import flow_htp
+
+        netlist, spec = instance
+        config = FlowHTPConfig(iterations=1, seed=3)
+        profile = profile_flow(netlist, spec, config)
+        result = flow_htp(netlist, spec, config)
+        assert profile.best_cost == pytest.approx(result.cost)
+
+    def test_scaling_profile(self, instance):
+        netlist, spec = instance
+        profiles = scaling_profile(
+            [netlist, netlist],
+            lambda h: spec,
+            FlowHTPConfig(iterations=1, seed=0),
+        )
+        assert len(profiles) == 2
+        assert all(p.best_cost > 0 for p in profiles)

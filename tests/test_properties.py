@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+Each property encodes a mathematical fact the paper relies on:
+heap/DSU correctness, Dijkstra optimality, MST weight agreement, g's
+monotonicity, Lemma 1 (induced metrics are feasible), cost/incremental
+consistency, FM never worsening, and span bounds.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.dijkstra import dijkstra
+from repro.algorithms.heap import IndexedHeap
+from repro.algorithms.prim import prim_mst
+from repro.algorithms.spanning import kruskal_mst
+from repro.algorithms.union_find import UnionFind
+from repro.core.constraints import SpreadingOracle
+from repro.core.gfunc import spreading_bound_array
+from repro.htp.cost import IncrementalCost, induced_metric, net_span, total_cost
+from repro.htp.hierarchy import HierarchySpec, binary_hierarchy
+from repro.htp.partition import PartitionTree
+from repro.hypergraph import Graph, Hypergraph
+from repro.hypergraph.expansion import clique_expansion, to_graph
+from repro.partitioning.fm import cut_capacity, fm_refine
+from repro.partitioning.random_init import random_partition
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def small_graphs(draw):
+    """Connected graphs with 4..14 nodes and random capacities."""
+    n = draw(st.integers(min_value=4, max_value=14))
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+                st.floats(0.1, 5.0),
+            ),
+            max_size=25,
+        )
+    )
+    edges = [(i, i + 1, 1.0) for i in range(n - 1)]  # spanning chain
+    edges += [(u, v, c) for u, v, c in extra if u != v]
+    return Graph(n, edges=edges)
+
+
+@st.composite
+def small_netlists(draw):
+    """Connected netlists with 6..20 nodes."""
+    n = draw(st.integers(min_value=6, max_value=20))
+    chain = [(i, i + 1) for i in range(n - 1)]
+    extra_count = draw(st.integers(0, 12))
+    seed = draw(st.integers(0, 2**16))
+    rng = random.Random(seed)
+    extra = []
+    for _ in range(extra_count):
+        size = rng.randint(2, min(4, n))
+        extra.append(tuple(rng.sample(range(n), size)))
+    return Hypergraph(n, nets=chain + extra)
+
+
+# ----------------------------------------------------------------------
+# Substrate properties
+# ----------------------------------------------------------------------
+class TestHeapProperties:
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              width=32), min_size=1, max_size=60))
+    def test_heap_sorts(self, priorities):
+        heap = IndexedHeap()
+        for i, priority in enumerate(priorities):
+            heap.push(i, priority)
+        popped = [heap.pop()[1] for _ in range(len(priorities))]
+        assert popped == sorted(popped)
+
+
+class TestUnionFindProperties:
+    @given(
+        st.integers(2, 30),
+        st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)),
+                 max_size=60),
+    )
+    def test_num_sets_matches_labels(self, n, unions):
+        dsu = UnionFind(n)
+        labels = list(range(n))
+        for a, b in unions:
+            a, b = a % n, b % n
+            dsu.union(a, b)
+            la, lb = labels[a], labels[b]
+            if la != lb:
+                labels = [la if x == lb else x for x in labels]
+        assert dsu.num_sets == len(set(labels))
+
+
+class TestShortestPathProperties:
+    @given(small_graphs(), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, graph, seed):
+        rng = random.Random(seed)
+        lengths = [rng.uniform(0.0, 2.0) for _ in range(graph.num_edges)]
+        dist, _pn, _pe = dijkstra(graph, 0, lengths)
+        for edge_id, (u, v) in enumerate(graph.edges()):
+            assert dist[u] <= dist[v] + lengths[edge_id] + 1e-9
+            assert dist[v] <= dist[u] + lengths[edge_id] + 1e-9
+
+    @given(small_graphs(), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_prim_equals_kruskal_weight(self, graph, seed):
+        rng = random.Random(seed)
+        lengths = [rng.uniform(0.1, 2.0) for _ in range(graph.num_edges)]
+        prim_weight = sum(lengths[e] for e in prim_mst(graph, lengths))
+        kruskal_weight = sum(lengths[e] for e in kruskal_mst(graph, lengths))
+        assert prim_weight == pytest.approx(kruskal_weight)
+
+
+class TestGFunctionProperties:
+    @given(
+        st.lists(st.floats(1.0, 100.0), min_size=2, max_size=5),
+        st.lists(st.floats(0.0, 3.0), min_size=1, max_size=4),
+    )
+    def test_nondecreasing_and_zero_below_c0(self, raw_caps, raw_weights):
+        capacities = sorted(set(round(c, 3) for c in raw_caps))
+        if len(capacities) < 2:
+            return
+        levels = len(capacities) - 1
+        weights = (raw_weights * levels)[:levels]
+        spec = HierarchySpec(
+            tuple(capacities), tuple(2 for _ in range(levels)), tuple(weights)
+        )
+        xs = np.linspace(0, capacities[-1] * 1.5, 200)
+        values = spreading_bound_array(spec, xs)
+        assert np.all(np.diff(values) >= -1e-9)
+        assert np.all(values[xs <= capacities[0]] == 0.0)
+
+
+# ----------------------------------------------------------------------
+# HTP invariants
+# ----------------------------------------------------------------------
+def _partition_for(netlist, spec, seed):
+    return random_partition(netlist, spec, rng=random.Random(seed))
+
+
+class TestCostProperties:
+    @given(small_netlists(), st.integers(0, 50))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_span_bounds(self, netlist, seed):
+        spec = binary_hierarchy(
+            max(netlist.total_size(), 4), height=2, slack=0.4
+        )
+        partition = _partition_for(netlist, spec, seed)
+        for net_id, pins in enumerate(netlist.nets()):
+            for level in range(spec.num_levels):
+                span = net_span(netlist, partition, net_id, level)
+                assert span == 0 or 2 <= span <= len(pins)
+
+    @given(small_netlists(), st.integers(0, 50))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_incremental_matches_full(self, netlist, seed):
+        spec = binary_hierarchy(
+            max(netlist.total_size(), 4), height=2, slack=0.4
+        )
+        partition = _partition_for(netlist, spec, seed)
+        tracker = IncrementalCost(netlist, partition, spec)
+        assert tracker.cost == pytest.approx(
+            total_cost(netlist, partition, spec)
+        )
+        rng = random.Random(seed)
+        leaves = partition.leaves()
+        for _ in range(10):
+            node = rng.randrange(netlist.num_nodes)
+            tracker.apply(node, rng.choice(leaves))
+        assert tracker.cost == pytest.approx(tracker.recompute())
+
+    @given(small_netlists(), st.integers(0, 50))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_lemma1_induced_metric_feasible(self, netlist, seed):
+        """Lemma 1: every valid partition induces a feasible metric.
+
+        Checked on the clique-expanded graph for 2-pin nets only (the
+        formulation's graph case): build a graph from the netlist's
+        2-pin nets plus a chain, derive the induced metric, verify.
+        """
+        two_pin = [pins for pins in netlist.nets() if len(pins) == 2]
+        if len(two_pin) < netlist.num_nodes - 1:
+            return
+        h2 = Hypergraph(netlist.num_nodes, nets=two_pin)
+        spec = binary_hierarchy(
+            max(h2.total_size(), 4), height=2, slack=0.4
+        )
+        partition = _partition_for(h2, spec, seed)
+        metric = induced_metric(h2, partition, spec)
+        graph = clique_expansion(h2)
+        lengths = np.zeros(graph.num_edges)
+        for net_id, pins in enumerate(h2.nets()):
+            edge_id = graph.edge_id(pins[0], pins[1])
+            # merged parallel nets: keep the max induced length (feasible
+            # since longer edges only increase distances)
+            lengths[edge_id] = max(lengths[edge_id], metric[net_id])
+        oracle = SpreadingOracle(graph, spec, tol=1e-6)
+        oracle.set_lengths(lengths)
+        assert oracle.is_feasible()
+
+
+class TestFMProperties:
+    @given(small_netlists(), st.integers(0, 50))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_fm_never_worsens_cut(self, netlist, seed):
+        rng = random.Random(seed)
+        n = netlist.num_nodes
+        sides = [rng.randint(0, 1) for _ in range(n)]
+        size0 = sides.count(0)
+        if size0 == 0 or size0 == n:
+            sides[0] = 1 - sides[0]
+            size0 = sides.count(0)
+        before = cut_capacity(netlist, sides)
+        _refined, after = fm_refine(
+            netlist, list(sides), max(1, size0 - 2), min(n - 1, size0 + 2)
+        )
+        assert after <= before + 1e-9

@@ -1,0 +1,157 @@
+"""Second property-test wave: end-to-end invariants over random instances.
+
+These complement ``test_properties.py`` with whole-pipeline properties:
+Algorithm 3 always emits valid partitions under arbitrary metrics, the
+baselines always respect their windows, cost is invariant under node
+relabelling, and the induced-metric objective equals the partition cost
+(the Lemma 1 equality) on random instances.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.construct import construct_partition
+from repro.htp.cost import induced_metric, total_cost
+from repro.htp.hierarchy import binary_hierarchy
+from repro.htp.validate import partition_violations
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.expansion import to_graph
+from repro.partitioning.fm import fm_bipartition
+from repro.partitioning.gfm import gfm_partition
+from repro.partitioning.rfm import rfm_partition
+
+
+@st.composite
+def connected_netlists(draw):
+    """Connected netlists with 16..40 nodes and a mild net mix."""
+    n = draw(st.integers(min_value=16, max_value=40))
+    seed = draw(st.integers(0, 2**16))
+    rng = random.Random(seed)
+    nets = [(i, i + 1) for i in range(n - 1)]
+    for _ in range(draw(st.integers(0, 20))):
+        size = rng.randint(2, 4)
+        nets.append(tuple(rng.sample(range(n), size)))
+    return Hypergraph(n, nets=nets)
+
+
+class TestConstructAlwaysValid:
+    @given(connected_netlists(), st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_arbitrary_metric_yields_valid_partition(self, netlist, seed):
+        spec = binary_hierarchy(netlist.total_size(), height=2, slack=0.3)
+        graph = to_graph(netlist)
+        rng = np.random.RandomState(seed % 2**31)
+        lengths = rng.uniform(0.0, 1.0, graph.num_edges)
+        partition = construct_partition(
+            netlist, graph, spec, lengths, rng=random.Random(seed)
+        )
+        assert partition_violations(netlist, partition, spec) == []
+
+    @given(connected_netlists(), st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_zero_metric_yields_valid_partition(self, netlist, seed):
+        spec = binary_hierarchy(netlist.total_size(), height=2, slack=0.3)
+        graph = to_graph(netlist)
+        partition = construct_partition(
+            netlist,
+            graph,
+            spec,
+            np.zeros(graph.num_edges),
+            rng=random.Random(seed),
+        )
+        assert partition_violations(netlist, partition, spec) == []
+
+
+class TestBaselinesAlwaysValid:
+    @given(connected_netlists(), st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_rfm_valid(self, netlist, seed):
+        spec = binary_hierarchy(netlist.total_size(), height=2, slack=0.3)
+        tree = rfm_partition(netlist, spec, rng=random.Random(seed))
+        assert partition_violations(netlist, tree, spec) == []
+
+    @given(connected_netlists(), st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_gfm_valid(self, netlist, seed):
+        spec = binary_hierarchy(netlist.total_size(), height=2, slack=0.3)
+        tree = gfm_partition(netlist, spec, rng=random.Random(seed))
+        assert partition_violations(netlist, tree, spec) == []
+
+    @given(connected_netlists(), st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_fm_window(self, netlist, seed):
+        n = netlist.num_nodes
+        lower, upper = n // 2 - 2, n // 2 + 2
+        sides, cut = fm_bipartition(
+            netlist, lower, upper, rng=random.Random(seed)
+        )
+        assert lower <= sides.count(0) <= upper
+        assert cut >= 0
+
+
+class TestCostInvariances:
+    @given(connected_netlists(), st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_lemma1_objective_equality(self, netlist, seed):
+        """sum_e c(e) d(e) of the induced metric == partition cost."""
+        spec = binary_hierarchy(netlist.total_size(), height=2, slack=0.3)
+        from repro.partitioning.random_init import random_partition
+
+        partition = random_partition(netlist, spec, rng=random.Random(seed))
+        metric = induced_metric(netlist, partition, spec)
+        objective = sum(
+            netlist.net_capacity(e) * metric[e]
+            for e in range(netlist.num_nets)
+        )
+        assert objective == pytest.approx(
+            total_cost(netlist, partition, spec)
+        )
+
+    @given(connected_netlists(), st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_cost_invariant_under_relabelling(self, netlist, seed):
+        """Permuting node ids (and the partition with them) keeps cost."""
+        from repro.htp.partition import PartitionTree
+        from repro.partitioning.random_init import random_partition
+
+        spec = binary_hierarchy(netlist.total_size(), height=2, slack=0.3)
+        partition = random_partition(netlist, spec, rng=random.Random(seed))
+        baseline = total_cost(netlist, partition, spec)
+
+        rng = random.Random(seed)
+        n = netlist.num_nodes
+        perm = list(range(n))
+        rng.shuffle(perm)  # perm[old] = new
+        permuted = Hypergraph(
+            n,
+            nets=[tuple(perm[v] for v in pins) for pins in netlist.nets()],
+            net_capacities=netlist.net_capacities(),
+        )
+        # rebuild the same partition structure under new labels
+        blocks = partition.leaf_blocks()
+        nested = [
+            [perm[v] for v in blocks[leaf]] for leaf in sorted(blocks)
+        ]
+        # group leaves under their original parents
+        parents = {}
+        for leaf in sorted(blocks):
+            parents.setdefault(partition.parent(leaf), []).append(
+                [perm[v] for v in blocks[leaf]]
+            )
+        permuted_partition = PartitionTree.from_nested(
+            list(parents.values()), n
+        )
+        assert total_cost(
+            permuted, permuted_partition, spec
+        ) == pytest.approx(baseline)

@@ -1,0 +1,50 @@
+"""Unit tests for random feasible partitions and the full tree shape."""
+
+import random
+
+import pytest
+
+from repro.htp.validate import check_partition
+from repro.partitioning.random_init import full_tree_shape, random_partition
+
+
+class TestFullTreeShape:
+    def test_binary_height2(self, small_planted_spec):
+        tree = full_tree_shape(small_planted_spec, num_nodes=64)
+        assert len(tree.leaves()) == 4
+        assert len(tree.vertices_at_level(1)) == 2
+        assert tree.num_levels == 2
+
+    def test_every_internal_vertex_has_k_children(self, small_planted_spec):
+        tree = full_tree_shape(small_planted_spec, num_nodes=64)
+        for level in range(1, tree.num_levels + 1):
+            for vertex in tree.vertices_at_level(level):
+                assert len(tree.children(vertex)) == 2
+
+
+class TestRandomPartition:
+    def test_valid(self, small_planted, small_planted_spec):
+        tree = random_partition(
+            small_planted, small_planted_spec, rng=random.Random(0)
+        )
+        check_partition(small_planted, tree, small_planted_spec)
+
+    def test_all_nodes_assigned(self, small_planted, small_planted_spec):
+        tree = random_partition(
+            small_planted, small_planted_spec, rng=random.Random(1)
+        )
+        blocks = tree.leaf_blocks()
+        assert sorted(v for b in blocks.values() for v in b) == list(
+            small_planted.nodes()
+        )
+
+    def test_different_seeds_differ(self, small_planted, small_planted_spec):
+        a = random_partition(
+            small_planted, small_planted_spec, rng=random.Random(2)
+        )
+        b = random_partition(
+            small_planted, small_planted_spec, rng=random.Random(3)
+        )
+        assignments_a = [a.leaf_of(v) for v in range(64)]
+        assignments_b = [b.leaf_of(v) for v in range(64)]
+        assert assignments_a != assignments_b

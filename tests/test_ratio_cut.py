@@ -1,0 +1,74 @@
+"""Unit tests for ratio cuts (heuristic vs exact)."""
+
+import random
+
+import pytest
+
+from repro.core.ratio_cut import exact_ratio_cut, ratio_cut, ratio_cut_value
+from repro.errors import PartitionError
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.generators import figure2_graph, figure2_hypergraph
+
+
+class TestRatioValue:
+    def test_simple(self):
+        h = Hypergraph(4, nets=[(0, 1), (1, 2), (2, 3)])
+        cut, ratio = ratio_cut_value(h, [0, 1])
+        assert cut == 1.0
+        assert ratio == pytest.approx(1.0 / 4.0)
+
+    def test_empty_side_rejected(self):
+        h = Hypergraph(3, nets=[(0, 1), (1, 2)])
+        with pytest.raises(PartitionError):
+            ratio_cut_value(h, [])
+        with pytest.raises(PartitionError):
+            ratio_cut_value(h, [0, 1, 2])
+
+
+class TestExact:
+    def test_two_cliques_with_bridge(self):
+        nets = []
+        for base in (0, 3):
+            for i in range(3):
+                for j in range(i + 1, 3):
+                    nets.append((base + i, base + j))
+        nets.append((0, 3))
+        h = Hypergraph(6, nets=nets)
+        result = exact_ratio_cut(h)
+        assert sorted(result.side) in ([0, 1, 2], [3, 4, 5])
+        assert result.cut_capacity == 1.0
+        assert result.ratio == pytest.approx(1.0 / 9.0)
+
+    def test_too_large_rejected(self):
+        h = Hypergraph(17, nets=[(i, i + 1) for i in range(16)])
+        with pytest.raises(PartitionError):
+            exact_ratio_cut(h)
+
+
+class TestHeuristic:
+    def test_matches_exact_on_figure2(self):
+        h = figure2_hypergraph()
+        heuristic = ratio_cut(
+            h, graph=figure2_graph(), rng=random.Random(0), restarts=6
+        )
+        exact = exact_ratio_cut(h)
+        # the planted 8|8 cut of capacity 2 (ratio 2/64) is optimal
+        assert exact.ratio == pytest.approx(2.0 / 64.0)
+        assert heuristic.ratio <= exact.ratio * 2.0
+        # sides are consistent
+        cut, ratio = ratio_cut_value(h, heuristic.side)
+        assert cut == pytest.approx(heuristic.cut_capacity)
+        assert ratio == pytest.approx(heuristic.ratio)
+
+    def test_chain_prefers_middle(self):
+        h = Hypergraph(8, nets=[(i, i + 1) for i in range(7)])
+        result = ratio_cut(h, rng=random.Random(1), restarts=4)
+        # any chain cut costs 1; ratio minimised at the balanced middle
+        assert result.cut_capacity == 1.0
+        assert len(result.side) in (3, 4, 5)
+
+    def test_tiny_rejected(self):
+        h = Hypergraph(2, nets=[(0, 1)])
+        sub, _map = h.subhypergraph([0, 1])
+        result = ratio_cut(sub, rng=random.Random(0))
+        assert len(result.side) == 1  # only one possible split shape

@@ -1,0 +1,29 @@
+"""Unit test for the one-shot report generator (tiny scale)."""
+
+from repro.analysis.experiments import ExperimentConfig
+from repro.analysis.report import generate_report
+from repro.core.flow_htp import FlowHTPConfig
+from repro.core.spreading_metric import SpreadingMetricConfig
+from repro.partitioning.htp_fm import HTPFMConfig
+
+
+def test_report_contains_all_sections():
+    config = ExperimentConfig(
+        scale=0.12,
+        circuits=("c1355",),
+        flow=FlowHTPConfig(
+            iterations=1,
+            constructions_per_metric=2,
+            seed=0,
+            metric=SpreadingMetricConfig(alpha=0.5, delta=0.05, seed=0),
+        ),
+        improve=HTPFMConfig(max_passes=1),
+    )
+    report = generate_report(config=config, include_figure2=True)
+    assert "# HTP reproduction report" in report
+    assert "## Table 1" in report
+    assert "## Table 2" in report
+    assert "## Table 3" in report
+    assert "## Figure 2" in report
+    assert "optimal cost: **20**" in report
+    assert "FLOW recovered cost: **20**" in report

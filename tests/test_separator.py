@@ -1,0 +1,80 @@
+"""Unit tests for rho-separators and separator-derived multiway partitions."""
+
+import pytest
+
+from repro.core.separator import (
+    multiway_from_separator,
+    rho_separator,
+    separator_spec,
+)
+from repro.errors import InfeasibleError, PartitionError
+from repro.hypergraph.generators import (
+    figure2_graph,
+    figure2_hypergraph,
+    planted_hierarchy_hypergraph,
+)
+
+
+class TestSeparatorSpec:
+    def test_shape(self):
+        spec = separator_spec(100, 0.25)
+        assert spec.capacities == (25.0, 100.0)
+        assert spec.num_levels == 1
+
+    def test_invalid_rho(self):
+        with pytest.raises(PartitionError):
+            separator_spec(100, 1.5)
+        with pytest.raises(PartitionError):
+            separator_spec(100, 0.0)
+
+    def test_too_small_pieces(self):
+        with pytest.raises(InfeasibleError):
+            separator_spec(3, 0.1)
+
+
+class TestRhoSeparator:
+    def test_figure2_quarters(self):
+        h = figure2_hypergraph()
+        result = rho_separator(h, rho=0.25, graph=figure2_graph())
+        assert result.rho == 0.25
+        # all pieces within the size bound, covering every node once
+        flat = sorted(v for piece in result.pieces for v in piece)
+        assert flat == list(range(16))
+        for piece in result.pieces:
+            assert len(piece) <= 4
+        # the planted cliques give a 4-piece separator cutting only the
+        # 6 inter-clique edges
+        assert result.cut_capacity <= 10
+
+    def test_half_separator(self):
+        h = figure2_hypergraph()
+        result = rho_separator(h, rho=0.5, graph=figure2_graph())
+        for piece in result.pieces:
+            assert len(piece) <= 8
+        assert len(result.pieces) >= 2
+
+    def test_planted_instance(self):
+        h = planted_hierarchy_hypergraph(96, height=2, seed=2)
+        result = rho_separator(h, rho=0.3)
+        flat = sorted(v for piece in result.pieces for v in piece)
+        assert flat == list(h.nodes())
+        for piece in result.pieces:
+            assert h.total_size(piece) <= 0.3 * h.total_size() + 1e-9
+
+
+class TestMultiwayFromSeparator:
+    def test_packs_into_k_parts(self):
+        h = figure2_hypergraph()
+        separator = rho_separator(h, rho=0.25, graph=figure2_graph())
+        blocks = multiway_from_separator(h, separator, num_parts=4, capacity=4)
+        assert len(blocks) <= 4
+        flat = sorted(v for block in blocks for v in block)
+        assert flat == list(range(16))
+        for block in blocks:
+            assert h.total_size(block) <= 4
+
+    def test_infeasible_packing_raises(self):
+        h = figure2_hypergraph()
+        separator = rho_separator(h, rho=0.5, graph=figure2_graph())
+        with pytest.raises(InfeasibleError):
+            multiway_from_separator(h, separator, num_parts=2, capacity=4)

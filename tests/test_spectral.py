@@ -1,0 +1,70 @@
+"""Unit tests for spectral (Fiedler sweep-cut) bipartitioning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.generators import (
+    figure2_graph,
+    figure2_hypergraph,
+    planted_hierarchy_hypergraph,
+)
+from repro.partitioning.spectral import fiedler_vector, spectral_bipartition
+
+
+class TestFiedlerVector:
+    def test_orthogonal_to_constant(self):
+        vector = fiedler_vector(figure2_graph())
+        assert abs(vector.sum()) < 1e-6
+
+    def test_separates_figure2_blocks(self):
+        vector = fiedler_vector(figure2_graph())
+        # the two level-1 blocks get opposite signs
+        signs_block1 = {np.sign(vector[v]) for v in range(8)}
+        signs_block2 = {np.sign(vector[v]) for v in range(8, 16)}
+        assert len(signs_block1) == 1
+        assert len(signs_block2) == 1
+        assert signs_block1 != signs_block2
+
+    def test_tiny_graph_rejected(self):
+        from repro.hypergraph import Graph
+
+        with pytest.raises(PartitionError):
+            fiedler_vector(Graph(2, edges=[(0, 1)]))
+
+    def test_large_instance_runs(self):
+        from repro.hypergraph.expansion import clique_expansion
+
+        h = planted_hierarchy_hypergraph(256, height=2, seed=0)
+        vector = fiedler_vector(clique_expansion(h))
+        assert vector.shape == (256,)
+
+
+class TestSweepCut:
+    def test_figure2_balanced_cut(self):
+        h = figure2_hypergraph()
+        side0, cut = spectral_bipartition(h, 8, 8, graph=figure2_graph())
+        assert cut == 2.0
+        assert side0 in ([0, 1, 2, 3, 4, 5, 6, 7],
+                         [8, 9, 10, 11, 12, 13, 14, 15])
+
+    def test_window_respected(self):
+        h = planted_hierarchy_hypergraph(64, height=1, seed=2)
+        side0, _cut = spectral_bipartition(h, 28, 36)
+        assert 28 <= len(side0) <= 36
+
+    def test_impossible_window_rejected(self):
+        h = figure2_hypergraph()
+        with pytest.raises(PartitionError):
+            spectral_bipartition(h, 20, 30, graph=figure2_graph())
+
+    def test_competitive_with_fm_on_planted(self):
+        import random
+
+        from repro.partitioning.fm import fm_bipartition
+
+        h = planted_hierarchy_hypergraph(128, height=1, seed=4)
+        spectral_side, spectral_cut = spectral_bipartition(h, 56, 72)
+        _sides, fm_cut = fm_bipartition(h, 56, 72, rng=random.Random(0))
+        assert spectral_cut <= max(3 * fm_cut, fm_cut + 10)

@@ -1,0 +1,35 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.analysis.tables import Table, format_table
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("T", ["name", "value"])
+        table.add_row("a", 1)
+        table.add_row("long-name", 23456)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        # all data lines equal width
+        assert len(lines[3]) == len(lines[4])
+
+    def test_row_arity_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_float_formatting(self):
+        text = format_table("T", ["x"], [[1.0], [1.25], [float("nan")]])
+        lines = text.splitlines()
+        assert lines[3].strip() == "1"
+        assert lines[4].strip() == "1.25"
+        assert lines[5].strip() == "-"
+
+    def test_strings_pass_through(self):
+        text = format_table("T", ["x"], [["12.3%"]])
+        assert "12.3%" in text

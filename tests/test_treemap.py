@@ -1,0 +1,147 @@
+"""Unit tests for min-cost tree partitioning (Vijayan [16]) and the
+HTP <-> tree-routing equivalence."""
+
+import random
+
+import pytest
+
+from repro.errors import HierarchyError, InfeasibleError, PartitionError
+from repro.htp.cost import total_cost
+from repro.htp.hierarchy import binary_hierarchy, figure2_hierarchy
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.generators import (
+    figure2_hypergraph,
+    planted_hierarchy_hypergraph,
+)
+from repro.partitioning.random_init import random_partition
+from repro.treemap import (
+    RoutingTree,
+    TreeAssignConfig,
+    greedy_tree_assignment,
+    hierarchy_routing_tree,
+    net_routing_cost,
+    tree_routing_cost,
+    tree_fm_improve,
+)
+
+
+def star_tree(leaves=3, capacity=4.0, weight=1.0):
+    """Root (capacity 0) with `leaves` hosting children."""
+    parents = [-1] + [0] * leaves
+    capacities = [0.0] + [capacity] * leaves
+    weights = [0.0] + [weight] * leaves
+    return RoutingTree(parents, capacities, weights)
+
+
+class TestRoutingTree:
+    def test_structure(self):
+        tree = star_tree()
+        assert tree.num_vertices == 4
+        assert tree.parent(0) == -1
+        assert tree.children(0) == (1, 2, 3)
+
+    def test_root_must_be_first(self):
+        with pytest.raises(HierarchyError):
+            RoutingTree([0, -1], [1.0, 1.0])
+
+    def test_parent_must_precede(self):
+        with pytest.raises(HierarchyError):
+            RoutingTree([-1, 2, 1], [1.0] * 3)
+
+
+class TestRoutingCost:
+    def test_net_within_one_vertex_is_free(self):
+        tree = star_tree()
+        h = Hypergraph(2, nets=[(0, 1)])
+        assert tree_routing_cost(tree, h, [1, 1]) == 0.0
+
+    def test_net_across_two_leaves_uses_two_edges(self):
+        tree = star_tree(weight=3.0)
+        h = Hypergraph(2, nets=[(0, 1)])
+        assert tree_routing_cost(tree, h, [1, 2]) == 6.0
+
+    def test_three_way_net(self):
+        tree = star_tree()
+        h = Hypergraph(3, nets=[(0, 1, 2)])
+        # pins on three leaves: three edges to the root
+        assert tree_routing_cost(tree, h, [1, 2, 3]) == 3.0
+
+    def test_capacity_violation_detected(self):
+        tree = star_tree(capacity=1.0)
+        h = Hypergraph(2, nets=[(0, 1)])
+        with pytest.raises(PartitionError):
+            tree_routing_cost(tree, h, [1, 1])
+
+    def test_net_capacity_scales(self):
+        tree = star_tree()
+        h = Hypergraph(2, nets=[(0, 1)], net_capacities=[5.0])
+        assert net_routing_cost(tree, h, [1, 2], 0) == 10.0
+
+
+class TestHTPEquivalence:
+    """Equation (1) == routing cost on the hierarchy tree (Vijayan view)."""
+
+    def test_figure2_optimal(self, fig2_optimal_partition):
+        h = figure2_hypergraph()
+        spec = figure2_hierarchy()
+        tree, assignment, _vmap = hierarchy_routing_tree(
+            fig2_optimal_partition, spec
+        )
+        assert tree_routing_cost(tree, h, assignment) == pytest.approx(
+            total_cost(h, fig2_optimal_partition, spec)
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_partitions(self, seed):
+        h = planted_hierarchy_hypergraph(96, height=3, seed=7)
+        spec = binary_hierarchy(h.total_size(), height=3)
+        partition = random_partition(h, spec, rng=random.Random(seed))
+        tree, assignment, _vmap = hierarchy_routing_tree(partition, spec)
+        assert tree_routing_cost(tree, h, assignment) == pytest.approx(
+            total_cost(h, partition, spec)
+        )
+
+    def test_weighted_levels(self):
+        h = planted_hierarchy_hypergraph(64, height=2, seed=1)
+        spec = binary_hierarchy(h.total_size(), height=2, weights=(1.0, 5.0))
+        partition = random_partition(h, spec, rng=random.Random(9))
+        tree, assignment, _vmap = hierarchy_routing_tree(partition, spec)
+        assert tree_routing_cost(tree, h, assignment) == pytest.approx(
+            total_cost(h, partition, spec)
+        )
+
+
+class TestAssignment:
+    def test_greedy_is_feasible(self):
+        tree = star_tree(leaves=4, capacity=6.0)
+        h = planted_hierarchy_hypergraph(20, height=1, seed=0)
+        assignment = greedy_tree_assignment(tree, h)
+        tree_routing_cost(tree, h, assignment)  # validates capacities
+
+    def test_infeasible_capacity_raises(self):
+        tree = star_tree(leaves=2, capacity=3.0)
+        h = planted_hierarchy_hypergraph(20, height=1, seed=0)
+        with pytest.raises(InfeasibleError):
+            greedy_tree_assignment(tree, h)
+
+    def test_fm_never_worsens(self):
+        tree = star_tree(leaves=4, capacity=8.0)
+        h = planted_hierarchy_hypergraph(24, height=1, seed=3)
+        initial = greedy_tree_assignment(tree, h, rng=random.Random(5))
+        before = tree_routing_cost(tree, h, initial)
+        improved, after = tree_fm_improve(
+            tree, h, initial, TreeAssignConfig(max_passes=3)
+        )
+        assert after <= before + 1e-9
+        assert after == pytest.approx(tree_routing_cost(tree, h, improved))
+
+    def test_fm_finds_obvious_improvement(self):
+        # two 3-cliques split across leaves; FM should reunite them
+        nets = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+        h = Hypergraph(6, nets=nets)
+        tree = star_tree(leaves=2, capacity=3.0)
+        scrambled = [1, 2, 1, 2, 1, 2]
+        improved, cost = tree_fm_improve(tree, h, scrambled)
+        assert cost == 0.0
+        assert len(set(improved[:3])) == 1
+        assert len(set(improved[3:])) == 1

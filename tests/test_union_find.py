@@ -1,0 +1,60 @@
+"""Unit tests for the disjoint-set union structure."""
+
+import random
+
+from repro.algorithms.union_find import UnionFind
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        dsu = UnionFind(4)
+        assert dsu.num_sets == 4
+        assert not dsu.connected(0, 3)
+
+    def test_union_connects(self):
+        dsu = UnionFind(4)
+        assert dsu.union(0, 1)
+        assert dsu.connected(0, 1)
+        assert dsu.num_sets == 3
+
+    def test_union_same_set_returns_false(self):
+        dsu = UnionFind(3)
+        dsu.union(0, 1)
+        assert not dsu.union(1, 0)
+        assert dsu.num_sets == 2
+
+    def test_transitivity(self):
+        dsu = UnionFind(5)
+        dsu.union(0, 1)
+        dsu.union(1, 2)
+        assert dsu.connected(0, 2)
+        assert not dsu.connected(0, 3)
+
+    def test_set_size(self):
+        dsu = UnionFind(5)
+        dsu.union(0, 1)
+        dsu.union(1, 2)
+        assert dsu.set_size(2) == 3
+        assert dsu.set_size(4) == 1
+
+    def test_sets_listing(self):
+        dsu = UnionFind(4)
+        dsu.union(0, 2)
+        sets = dsu.sets()
+        assert sorted(map(tuple, sets)) == [(0, 2), (1,), (3,)]
+
+    def test_random_against_naive(self):
+        rng = random.Random(3)
+        n = 60
+        dsu = UnionFind(n)
+        labels = list(range(n))  # naive labelling
+        for _ in range(120):
+            a, b = rng.randrange(n), rng.randrange(n)
+            dsu.union(a, b)
+            la, lb = labels[a], labels[b]
+            if la != lb:
+                labels = [la if x == lb else x for x in labels]
+        for _ in range(200):
+            a, b = rng.randrange(n), rng.randrange(n)
+            assert dsu.connected(a, b) == (labels[a] == labels[b])
+        assert dsu.num_sets == len(set(labels))

@@ -1,0 +1,56 @@
+"""Unit tests for partition validation."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.htp.partition import PartitionTree
+from repro.htp.validate import check_partition, partition_violations
+from repro.hypergraph import Hypergraph
+
+
+class TestValidation:
+    def test_optimal_figure2_is_valid(
+        self, fig2_hypergraph, fig2_optimal_partition, fig2_spec
+    ):
+        assert (
+            partition_violations(
+                fig2_hypergraph, fig2_optimal_partition, fig2_spec
+            )
+            == []
+        )
+        check_partition(fig2_hypergraph, fig2_optimal_partition, fig2_spec)
+
+    def test_oversized_leaf_detected(self, fig2_hypergraph, fig2_spec):
+        # 5 nodes in one leaf violates C_0 = 4
+        nested = [
+            [[0, 1, 2, 3, 4], [5, 6, 7]],
+            [[8, 9, 10, 11], [12, 13, 14, 15]],
+        ]
+        tree = PartitionTree.from_nested(nested, 16)
+        problems = partition_violations(fig2_hypergraph, tree, fig2_spec)
+        assert any("C_0" in p for p in problems)
+        with pytest.raises(PartitionError):
+            check_partition(fig2_hypergraph, tree, fig2_spec)
+
+    def test_branching_violation_detected(self, fig2_hypergraph, fig2_spec):
+        # three leaves under one level-1 vertex violates K_1 = 2
+        nested = [
+            [[0, 1, 2], [3, 4, 5], [6, 7]],
+            [[8, 9, 10, 11], [12, 13, 14, 15]],
+        ]
+        tree = PartitionTree.from_nested(nested, 16)
+        problems = partition_violations(fig2_hypergraph, tree, fig2_spec)
+        assert any("K_1" in p for p in problems)
+
+    def test_node_count_mismatch(self, fig2_spec):
+        h = Hypergraph(4, nets=[(0, 1), (2, 3)])
+        tree = PartitionTree.from_nested([[0, 1], [2]], num_nodes=3)
+        problems = partition_violations(h, tree, fig2_spec)
+        assert any("covers" in p for p in problems)
+
+    def test_level_count_mismatch(self, fig2_hypergraph, fig2_spec):
+        tree = PartitionTree.from_nested(
+            [list(range(8)), list(range(8, 16))], 16
+        )
+        problems = partition_violations(fig2_hypergraph, tree, fig2_spec)
+        assert any("levels" in p for p in problems)

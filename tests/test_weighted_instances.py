@@ -1,0 +1,138 @@
+"""Weighted netlists (non-unit capacities and sizes) across the pipeline.
+
+The headline experiments use unit weights, but the library supports
+weighted nets (``c(e)``) and sized nodes (``s(v)``) everywhere; these
+tests pin the semantics down.
+"""
+
+import random
+
+import pytest
+
+from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.htp.cost import IncrementalCost, net_cost, total_cost
+from repro.htp.hierarchy import binary_hierarchy, figure2_hierarchy
+from repro.htp.partition import PartitionTree
+from repro.htp.validate import check_partition
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.generators import (
+    figure2_hypergraph,
+    figure2_optimal_blocks,
+    planted_hierarchy_hypergraph,
+)
+from repro.partitioning.fm import fm_bipartition
+from repro.partitioning.gfm import gfm_partition
+from repro.partitioning.htp_fm import htp_fm_improve
+from repro.partitioning.rfm import rfm_partition
+
+
+def weighted_figure2(scale=3.0):
+    """Figure 2 with every net capacity multiplied by ``scale``."""
+    base = figure2_hypergraph()
+    return Hypergraph(
+        16,
+        nets=base.nets(),
+        net_capacities=[scale] * base.num_nets,
+        name="fig2w",
+    )
+
+
+@pytest.fixture
+def optimal_partition():
+    blocks = figure2_optimal_blocks()
+    return PartitionTree.from_nested(
+        [[blocks[0], blocks[1]], [blocks[2], blocks[3]]], 16
+    )
+
+
+class TestCapacityScaling:
+    def test_total_cost_scales_linearly(self, optimal_partition):
+        spec = figure2_hierarchy()
+        unit = total_cost(figure2_hypergraph(), optimal_partition, spec)
+        tripled = total_cost(weighted_figure2(3.0), optimal_partition, spec)
+        assert tripled == pytest.approx(3 * unit)
+
+    def test_heavy_net_dominates_fm_choice(self):
+        # FM must route the cut around the heavy net
+        h = Hypergraph(
+            4,
+            nets=[(0, 1), (1, 2), (2, 3)],
+            net_capacities=[1.0, 100.0, 1.0],
+        )
+        _sides, cut = fm_bipartition(h, 2, 2, rng=random.Random(0))
+        assert cut < 100.0
+
+    def test_incremental_cost_with_capacities(self, optimal_partition):
+        h = weighted_figure2(2.5)
+        spec = figure2_hierarchy()
+        tracker = IncrementalCost(h, optimal_partition, spec)
+        rng = random.Random(1)
+        leaves = optimal_partition.leaves()
+        for _ in range(20):
+            tracker.apply(rng.randrange(16), rng.choice(leaves))
+        assert tracker.cost == pytest.approx(tracker.recompute())
+
+    def test_flow_on_weighted_nets(self):
+        h = weighted_figure2(4.0)
+        spec = figure2_hierarchy()
+        result = flow_htp(
+            h, spec, FlowHTPConfig(iterations=2, seed=1)
+        )
+        check_partition(h, result.partition, spec)
+        assert result.cost == pytest.approx(
+            total_cost(h, result.partition, spec)
+        )
+        # optimum is 4x the unit optimum
+        assert result.cost >= 80.0 - 1e-9
+
+
+class TestSizedNodes:
+    @pytest.fixture
+    def sized_netlist(self):
+        base = planted_hierarchy_hypergraph(80, height=2, seed=8)
+        rng = random.Random(8)
+        sizes = [rng.choice([1.0, 2.0, 3.0]) for _ in range(80)]
+        return Hypergraph(80, nets=base.nets(), node_sizes=sizes, name="sized")
+
+    def test_block_sizes_respected_by_gfm(self, sized_netlist):
+        spec = binary_hierarchy(
+            sized_netlist.total_size(), height=2, slack=0.3
+        )
+        tree = gfm_partition(sized_netlist, spec, rng=random.Random(0))
+        check_partition(sized_netlist, tree, spec)
+
+    def test_block_sizes_respected_by_rfm(self, sized_netlist):
+        spec = binary_hierarchy(
+            sized_netlist.total_size(), height=2, slack=0.3
+        )
+        tree = rfm_partition(sized_netlist, spec, rng=random.Random(0))
+        check_partition(sized_netlist, tree, spec)
+
+    def test_block_sizes_respected_by_flow(self, sized_netlist):
+        spec = binary_hierarchy(
+            sized_netlist.total_size(), height=2, slack=0.3
+        )
+        result = flow_htp(
+            sized_netlist, spec, FlowHTPConfig(iterations=1, seed=0)
+        )
+        check_partition(sized_netlist, result.partition, spec)
+
+    def test_fm_improvement_respects_sizes(self, sized_netlist):
+        spec = binary_hierarchy(
+            sized_netlist.total_size(), height=2, slack=0.3
+        )
+        tree = rfm_partition(sized_netlist, spec, rng=random.Random(1))
+        improved = htp_fm_improve(sized_netlist, tree, spec)
+        check_partition(sized_netlist, improved.partition, spec)
+        assert improved.final_cost <= improved.initial_cost + 1e-9
+
+
+class TestMixedWeights:
+    def test_net_cost_respects_level_weights(self, optimal_partition):
+        h = figure2_hypergraph()
+        heavy_top = binary_hierarchy(16, height=2, slack=0.0, weights=(1, 10))
+        light_top = binary_hierarchy(16, height=2, slack=0.0, weights=(1, 1))
+        net_id = h.nets().index((1, 9))  # a level-1 cut net
+        heavy = net_cost(h, optimal_partition, heavy_top, net_id)
+        light = net_cost(h, optimal_partition, light_top, net_id)
+        assert heavy > light
