@@ -1,0 +1,14 @@
+# Convenience targets; see scripts/verify.sh for the canonical check.
+
+.PHONY: verify test bench-micro
+
+verify:
+	sh scripts/verify.sh
+
+test:
+	PYTHONPATH=src python -m pytest -x -q
+
+# Refresh the checked-in micro-bench trajectory (BENCH_micro.json).
+bench-micro:
+	PYTHONPATH=src python -m pytest benchmarks/bench_spreading_batch.py \
+		-q --bench-json BENCH_micro.json

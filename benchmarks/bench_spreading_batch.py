@@ -1,0 +1,171 @@
+"""Micro-benchmarks of the batched spreading-metric engine.
+
+Times the Algorithm-2 hot paths that the batched/incremental engine
+rebuilt — ``compute_spreading_metric`` end to end (batched vs the serial
+reference), the batched oracle sweep, and the incremental MST-subtree
+cut evaluation — asserting bit-identical results while recording
+medians + perf counters for the ``--bench-json`` trajectory
+(``BENCH_micro.json`` at the repo root).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_spreading_batch.py \
+        -q --bench-json BENCH_micro.json
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import SpreadingOracle
+from repro.core.construct import find_cut
+from repro.core.perf import PerfCounters
+from repro.core.spreading_metric import (
+    SpreadingMetricConfig,
+    compute_spreading_metric,
+)
+from repro.htp.hierarchy import binary_hierarchy
+from repro.hypergraph.expansion import to_graph
+from repro.hypergraph.generators import iscas85_surrogate
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def _median_time(fn, repeats: int):
+    """Median wall time of ``fn`` over ``repeats`` runs (plus last result)."""
+    times = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times), result
+
+
+@pytest.fixture(scope="module")
+def instance(experiment_config):
+    netlist = iscas85_surrogate("c2670", scale=experiment_config.scale)
+    spec = binary_hierarchy(netlist.total_size(), height=4)
+    graph = to_graph(netlist)
+    return netlist, spec, graph
+
+
+@pytest.mark.parametrize(
+    "label,metric_kwargs,repeats",
+    [
+        ("c2670", {}, 3),
+        ("c2670,headline", {"alpha": 0.3, "delta": 0.03, "epsilon": 0.1}, 3),
+    ],
+)
+def test_spreading_metric_batched_vs_serial(
+    instance, bench_record, label, metric_kwargs, repeats
+):
+    """Batched engine vs the serial reference: identical output, timed."""
+    _netlist, spec, graph = instance
+
+    last_counters = {}
+
+    def run_batched():
+        counters = PerfCounters()
+        result = compute_spreading_metric(
+            graph,
+            spec,
+            SpreadingMetricConfig(engine="scipy", **metric_kwargs),
+            counters=counters,
+        )
+        last_counters["value"] = counters
+        return result
+
+    batched_s, batched = _median_time(run_batched, repeats)
+    serial_s, serial = _median_time(
+        lambda: compute_spreading_metric(
+            graph,
+            spec,
+            SpreadingMetricConfig(engine="scipy-serial", **metric_kwargs),
+        ),
+        repeats,
+    )
+
+    assert np.array_equal(batched.lengths, serial.lengths)
+    assert np.array_equal(batched.flows, serial.flows)
+    assert batched.injections == serial.injections
+    assert batched.rounds == serial.rounds
+    assert batched.satisfied == serial.satisfied
+
+    bench_record(
+        f"compute_spreading_metric[{label}]",
+        batched_s,
+        serial_seconds=serial_s,
+        speedup=serial_s / batched_s,
+        counters=last_counters["value"].as_dict(),
+    )
+
+
+def test_oracle_batch_sweep(instance, bench_record):
+    """One batched sweep over many sources vs one serial call per source."""
+    _netlist, spec, graph = instance
+    rng = np.random.RandomState(0)
+    lengths = rng.uniform(0.01, 1.0, graph.num_edges)
+    sources = list(range(min(200, graph.num_nodes)))
+
+    oracle = SpreadingOracle(graph, spec)
+    oracle.set_lengths(lengths)
+    batched_s, batched = _median_time(
+        lambda: oracle.violations_for_batch(sources), 5
+    )
+    serial_s, serial = _median_time(
+        lambda: [oracle.violation_for(v) for v in sources], 5
+    )
+    assert batched == serial
+
+    bench_record(
+        f"oracle_sweep_{len(sources)}_sources[c2670]",
+        batched_s,
+        serial_seconds=serial_s,
+        speedup=serial_s / batched_s,
+    )
+
+
+def test_mst_incremental_nested_candidates(bench_record):
+    """Deeply nested subtree candidates — the incremental sweep's O(n) case.
+
+    A path hypergraph makes every suffix a candidate head: the seed's
+    per-head ``cut_of`` rescan was O(n^2) here (~1.7 s at n = 3000).
+    """
+    n = 3000
+    netlist = Hypergraph(
+        num_nodes=n, nets=[(i, i + 1) for i in range(n - 1)]
+    )
+    graph = to_graph(netlist)
+    lengths = [1.0] * graph.num_edges
+    last_counters = {}
+
+    def run():
+        counters = PerfCounters()
+        region = find_cut(
+            netlist,
+            graph,
+            lengths,
+            list(range(n)),
+            2.0,
+            float(n - 1),
+            random.Random(0),
+            strategy="mst",
+            max_cut_evals=10**6,
+            counters=counters,
+        )
+        last_counters["value"] = counters
+        return region
+
+    seconds, region = _median_time(run, 3)
+    assert 2 <= len(region) <= n - 1
+
+    bench_record(
+        f"find_cut_mst_nested[path{n}]",
+        seconds,
+        counters=last_counters["value"].as_dict(),
+    )

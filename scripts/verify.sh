@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Tier-1 verification: the full unit suite plus a collect-only guard
+# keeping every benchmark file importable (they are not part of tier-1,
+# so a stray import error would otherwise go unnoticed until someone
+# tries to reproduce a table).
+#
+# Usage: sh scripts/verify.sh   (or: make verify)
+set -e
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== benchmark import guard =="
+python -m pytest benchmarks/bench_micro.py benchmarks/bench_spreading_batch.py --co -q
+
+echo "verify OK"

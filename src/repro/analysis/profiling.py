@@ -5,6 +5,12 @@ Section 3.3 of the paper argues the spreading-metric computation
 ``O((b_c log b_d) m (n+p) log n)`` vs ``O((n+p) log^2 n)``.  This module
 measures the actual wall-clock split so EXPERIMENTS.md can check the
 claim empirically.
+
+:class:`PerfCounters` (re-exported here from :mod:`repro.core.perf`) is
+the finer-grained companion: operation counts (Dijkstra calls, settled
+nodes, repriced edges, cut evaluations) rather than wall time, threaded
+through the solver hot paths and surfaced on :class:`FlowProfile` and
+``FlowHTPResult.perf``.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from typing import List, Optional
 
 from repro.core.construct import construct_partition
 from repro.core.flow_htp import FlowHTPConfig
+from repro.core.perf import PerfCounters
 from repro.core.spreading_metric import compute_spreading_metric
 from repro.htp.cost import total_cost
 from repro.htp.hierarchy import HierarchySpec
@@ -25,13 +32,18 @@ from repro.hypergraph.hypergraph import Hypergraph
 
 @dataclass
 class FlowProfile:
-    """Wall-clock split of one FLOW run."""
+    """Wall-clock split of one FLOW run.
+
+    ``counters`` carries the operation-level instrumentation gathered
+    during the run (see :class:`PerfCounters`).
+    """
 
     metric_seconds: float
     construct_seconds: float
     evaluate_seconds: float
     total_seconds: float
     best_cost: float
+    counters: Optional[PerfCounters] = None
 
     @property
     def metric_fraction(self) -> float:
@@ -49,6 +61,7 @@ def profile_flow(
     """Run FLOW with per-phase timing (same semantics as flow_htp)."""
     config = config or FlowHTPConfig()
     rng = random.Random(config.seed)
+    counters = PerfCounters()
     start_total = time.perf_counter()
     graph = to_graph(
         hypergraph, model=config.net_model, rng=random.Random(config.seed)
@@ -67,6 +80,7 @@ def profile_flow(
             spec,
             metric_config,
             rng=random.Random(rng.randrange(2**31)),
+            counters=counters,
         )
         metric_seconds += time.perf_counter() - start
         for _construction in range(config.constructions_per_metric):
@@ -79,6 +93,7 @@ def profile_flow(
                 rng=rng,
                 find_cut_restarts=config.find_cut_restarts,
                 strategy=config.find_cut_strategy,
+                counters=counters,
             )
             construct_seconds += time.perf_counter() - start
             start = time.perf_counter()
@@ -86,12 +101,16 @@ def profile_flow(
             evaluate_seconds += time.perf_counter() - start
             best_cost = min(best_cost, cost)
 
+    counters.add_phase("metric", metric_seconds)
+    counters.add_phase("construct", construct_seconds)
+    counters.add_phase("evaluate", evaluate_seconds)
     return FlowProfile(
         metric_seconds=metric_seconds,
         construct_seconds=construct_seconds,
         evaluate_seconds=evaluate_seconds,
         total_seconds=time.perf_counter() - start_total,
         best_cost=best_cost,
+        counters=counters,
     )
 
 

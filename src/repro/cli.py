@@ -80,6 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
     part.add_argument(
         "--improve", action="store_true", help="run FM improvement afterwards"
     )
+    part.add_argument(
+        "--perf",
+        action="store_true",
+        help="print solver perf counters (flow algorithm only)",
+    )
 
     lower = sub.add_parser("lowerbound", help="LP lower bound (small inputs)")
     lower.add_argument("input", help="input .hgr path")
@@ -163,6 +168,8 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         result = flow_htp(netlist, spec, config)
         tree, cost = result.partition, result.cost
         print(f"FLOW cost: {cost:g}  ({result.runtime_seconds:.1f}s)")
+        if args.perf and result.perf is not None:
+            print(f"perf: {result.perf.summary()}")
     elif args.algorithm == "gfm":
         tree = gfm_partition(netlist, spec, rng=random.Random(args.seed))
         cost = total_cost(netlist, tree, spec)

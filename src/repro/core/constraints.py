@@ -20,6 +20,30 @@ Two engines are provided: a vectorised ``scipy`` engine (CSR Dijkstra from
 C, numpy prefix sums) and a pure-Python reference engine that grows the
 tree incrementally and stops at the first violation.  They are
 cross-checked in the test suite.
+
+Batched engine
+--------------
+:meth:`SpreadingOracle.batch_check` / :meth:`violations_for_batch` answer
+the same query for many sources with ONE ``scipy.csgraph.dijkstra`` call
+(``indices=<all sources>``) and a single vectorised 2-D prefix-sum scan,
+instead of one C round-trip per source.  Two exactness-preserving
+optimisations make the batch cheap:
+
+* **Distance-limited search.**  ``g`` is piecewise linear with slope at
+  most ``2W`` (``W = sum of the level weights``), while every node beyond
+  distance ``2W`` adds at least ``s(u) * 2W`` to the left-hand side — so
+  extending a tree past radius ``2W`` can only shrink the violation gap:
+  ``gap(k) <= gap(k_lim)`` for every prefix ``k`` beyond the last
+  within-limit prefix ``k_lim``.  A Dijkstra stopped at ``limit = 2W``
+  therefore yields the exact first/max violation, and certifies
+  satisfaction, without settling the whole graph.
+* **Cached floored CSR weights.**  The ``max(d, 1e-15)`` floor (scipy
+  drops stored zeros) is folded into the cached CSR ``data`` array once
+  per metric update — :meth:`update_lengths` rewrites only the dirty
+  edges in place — instead of allocating an O(m) floored copy per source.
+
+Per-source results are bit-identical to the serial path; the equivalence
+is asserted in ``tests/test_batched_oracle.py``.
 """
 
 from __future__ import annotations
@@ -31,12 +55,22 @@ import numpy as np
 
 from repro.algorithms.dijkstra import dijkstra_expansion
 from repro.core.gfunc import spreading_bound_array
+from repro.core.perf import PerfCounters
 from repro.errors import InfeasibleError
 from repro.htp.hierarchy import HierarchySpec
 from repro.hypergraph.graph import Graph
 
 #: Numerical slack when comparing constraint sides.
 DEFAULT_TOL = 1e-9
+
+#: Floor applied to edge lengths before the CSR Dijkstra: scipy's csgraph
+#: drops stored zeros from sparse inputs, which would disconnect
+#: zero-length edges (the LP starts from the all-zero metric).
+MIN_CSR_LENGTH = 1e-15
+
+#: Sub-round size cap for :meth:`SpreadingOracle.violations_for_batch` —
+#: bounds the dense (sources x nodes) scratch matrices to ~30 MB.
+MAX_BATCH_ELEMENTS = 4_000_000
 
 
 @dataclass(frozen=True)
@@ -72,6 +106,38 @@ class Violation:
         return self.rhs - self.lhs
 
 
+@dataclass
+class BatchCheck:
+    """Snapshot result of one batched oracle sub-round.
+
+    ``violations[i]`` is the first (or max) violation anchored at
+    ``sources[i]`` under the metric at snapshot time, or None.
+    ``predecessors`` is the ``(len(sources), num_nodes)`` shortest-path
+    predecessor matrix of the (distance-limited) Dijkstra — row ``i``
+    encodes source ``i``'s shortest-path tree, which
+    :meth:`tree_touches` tests against edges dirtied *after* the
+    snapshot: a snapshot verdict stays exact while the tree avoids every
+    repriced edge (lengths only grow, so alternative paths only
+    lengthen).
+    """
+
+    sources: Tuple[int, ...]
+    violations: List[Optional[Violation]]
+    predecessors: np.ndarray
+
+    def tree_touches(
+        self, index: int, dirty_u: np.ndarray, dirty_w: np.ndarray
+    ) -> bool:
+        """True when source ``index``'s tree uses any dirty edge.
+
+        ``dirty_u`` / ``dirty_w`` are parallel endpoint arrays of the
+        repriced edges; tree membership of edge ``(u, w)`` is exactly
+        ``pred[u] == w or pred[w] == u``.
+        """
+        row = self.predecessors[index]
+        return bool(np.any((row[dirty_u] == dirty_w) | (row[dirty_w] == dirty_u)))
+
+
 class SpreadingOracle:
     """Spreading-constraint queries for one graph and hierarchy spec."""
 
@@ -81,6 +147,7 @@ class SpreadingOracle:
         spec: HierarchySpec,
         engine: str = "scipy",
         tol: float = DEFAULT_TOL,
+        counters: Optional[PerfCounters] = None,
     ) -> None:
         if engine not in ("scipy", "python"):
             raise ValueError(f"unknown engine {engine!r}")
@@ -88,8 +155,21 @@ class SpreadingOracle:
         self._spec = spec
         self._engine = engine
         self._tol = tol
+        self._counters = counters
         self._lengths = np.zeros(graph.num_edges, dtype=float)
+        self._floored = np.full(graph.num_edges, MIN_CSR_LENGTH, dtype=float)
+        self._csr_token: Optional[int] = None
+        self._version = 0
         self._sizes = graph.node_sizes()
+        self._unit_sizes = bool(np.all(self._sizes == 1.0))
+        # The exactness radius of the distance-limited batch Dijkstra:
+        # g' <= 2 * sum(weights) everywhere (see module docstring).
+        self._limit = 2.0 * float(np.sum(spec.weights))
+        self._unit_bounds: Optional[np.ndarray] = None
+        if self._unit_sizes:
+            self._unit_bounds = spreading_bound_array(
+                spec, np.arange(1.0, graph.num_nodes + 1.0)
+            )
         oversized = [
             v
             for v in graph.nodes()
@@ -116,6 +196,11 @@ class SpreadingOracle:
         """The hierarchy spec providing ``g``."""
         return self._spec
 
+    @property
+    def version(self) -> int:
+        """Metric generation counter (bumped by every length update)."""
+        return self._version
+
     def set_lengths(self, lengths: Sequence[float]) -> None:
         """Install a metric (copied); lengths are indexed by edge id."""
         arr = np.asarray(lengths, dtype=float)
@@ -125,6 +210,37 @@ class SpreadingOracle:
                 f"{arr.shape}"
             )
         self._lengths = arr.copy()
+        # Fold the scipy zero-dropping floor in once per metric install
+        # instead of once per source query.
+        self._floored = np.maximum(self._lengths, MIN_CSR_LENGTH)
+        self._csr_token = None  # re-install lazily on the next query
+        self._version += 1
+
+    def update_lengths(
+        self, edge_ids: Sequence[int], values: Sequence[float]
+    ) -> None:
+        """Reprice ``edge_ids`` in place (the post-injection fast path).
+
+        Equivalent to ``set_lengths`` with only those entries changed,
+        but O(k) instead of O(m): the cached metric, its floored copy and
+        the shared CSR ``data`` slots are all patched in place.
+        """
+        edge_ids = np.asarray(edge_ids, dtype=np.int64)
+        values = np.asarray(values, dtype=float)
+        self._lengths[edge_ids] = values
+        floored = np.maximum(values, MIN_CSR_LENGTH)
+        self._floored[edge_ids] = floored
+        if (
+            self._engine == "scipy"
+            and self._csr_token is not None
+            and self._csr_token == self._graph.csr_weights_token
+        ):
+            # We own the CSR cache: patch just the dirty slots.
+            self._graph.update_csr_weights(edge_ids, floored)
+            self._csr_token = self._graph.csr_weights_token
+        if self._counters is not None:
+            self._counters.edges_repriced += int(edge_ids.size)
+        self._version += 1
 
     def lengths(self) -> np.ndarray:
         """The currently installed metric (copy)."""
@@ -166,6 +282,135 @@ class SpreadingOracle:
         nodes = sources if sources is not None else range(self._graph.num_nodes)
         return all(self.violation_for(v) is None for v in nodes)
 
+    # ------------------------------------------------------------------
+    # Batched oracle (the Algorithm-2 hot path)
+    # ------------------------------------------------------------------
+    def violations_for_batch(
+        self, sources: Sequence[int], mode: str = "first"
+    ) -> List[Optional[Violation]]:
+        """Per-source verdicts for ``sources``, batched.
+
+        Issues one distance-limited CSR Dijkstra per sub-round (a bounded
+        slice of ``sources``) and vectorises the violation scan across
+        the whole sub-round; results are bit-identical to calling
+        :meth:`violation_for` per source under the same metric.
+        """
+        if mode not in ("first", "max"):
+            raise ValueError(f"unknown mode {mode!r}")
+        sources = [int(v) for v in sources]
+        chunk = max(1, MAX_BATCH_ELEMENTS // max(1, self._graph.num_nodes))
+        verdicts: List[Optional[Violation]] = []
+        for start in range(0, len(sources), chunk):
+            check = self.batch_check(sources[start : start + chunk], mode=mode)
+            verdicts.extend(check.violations)
+        return verdicts
+
+    def batch_check(
+        self, sources: Sequence[int], mode: str = "first"
+    ) -> BatchCheck:
+        """One batched sub-round: verdicts plus the predecessor matrix.
+
+        The caller sizes the batch; memory scales as
+        ``len(sources) * num_nodes`` doubles.  The predecessor matrix is
+        what the incremental round loop needs to retire sources whose
+        snapshot tree avoided every edge dirtied after the snapshot.
+        """
+        from scipy.sparse.csgraph import dijkstra as csgraph_dijkstra
+
+        sources = [int(v) for v in sources]
+        matrix = self._csr_matrix()
+        dist, predecessors = csgraph_dijkstra(
+            matrix,
+            directed=False,
+            indices=sources,
+            return_predecessors=True,
+            limit=self._limit,
+        )
+        dist = np.atleast_2d(dist)
+        predecessors = np.atleast_2d(predecessors)
+        if self._counters is not None:
+            self._counters.dijkstra_calls += 1
+            self._counters.dijkstra_sources += len(sources)
+            self._counters.nodes_settled += int(np.isfinite(dist).sum())
+            self._counters.batch_checks += 1
+            self._counters.batch_sources += len(sources)
+        violations = self._scan_batch(sources, dist, predecessors, mode)
+        return BatchCheck(
+            sources=tuple(sources),
+            violations=violations,
+            predecessors=predecessors,
+        )
+
+    def _scan_batch(
+        self,
+        sources: List[int],
+        dist: np.ndarray,
+        predecessors: np.ndarray,
+        mode: str,
+    ) -> List[Optional[Violation]]:
+        """Vectorised violation scan over a batch's distance matrix.
+
+        Unreachable / beyond-limit entries are ``inf``: their cumulative
+        weighted distance is ``inf`` so their gap is ``-inf`` — never
+        flagged, exactly matching the serial path (which drops them) plus
+        the distance-limit certificate (prefixes past the limit only
+        shrink the gap).
+        """
+        stable_order: Optional[np.ndarray] = None
+        if self._unit_sizes:
+            # Unit sizes: the cumulative size of the k-prefix is k
+            # regardless of tie order, so plain value sorting suffices
+            # for the verdict and the precomputed g(1..n) is exact.
+            dist_sorted = np.sort(dist, axis=1)
+            cum_weighted = np.cumsum(dist_sorted, axis=1)
+            bounds = self._unit_bounds
+            gaps = bounds[None, :] - cum_weighted
+        else:
+            stable_order = np.argsort(dist, axis=1, kind="stable")
+            dist_sorted = np.take_along_axis(dist, stable_order, axis=1)
+            sizes_ordered = self._sizes[stable_order]
+            cum_sizes = np.cumsum(sizes_ordered, axis=1)
+            cum_weighted = np.cumsum(sizes_ordered * dist_sorted, axis=1)
+            bounds = spreading_bound_array(self._spec, cum_sizes)
+            gaps = bounds - cum_weighted
+        violated = gaps > self._tol
+        any_violated = violated.any(axis=1)
+
+        verdicts: List[Optional[Violation]] = []
+        for i, source in enumerate(sources):
+            if not any_violated[i]:
+                verdicts.append(None)
+                continue
+            if mode == "first":
+                pick = int(np.argmax(violated[i]))
+            else:
+                masked = np.where(violated[i], gaps[i], -np.inf)
+                pick = int(np.argmax(masked))
+            k = pick + 1
+            if stable_order is None:
+                order = np.argsort(dist[i], kind="stable")
+            else:
+                order = stable_order[i]
+            nodes = tuple(int(v) for v in order[:k])
+            tree_edges = self._tree_edges_from_predecessors(
+                nodes, predecessors[i]
+            )
+            if self._unit_sizes:
+                rhs = float(bounds[pick])
+            else:
+                rhs = float(bounds[i, pick])
+            verdicts.append(
+                Violation(
+                    source=source,
+                    k=k,
+                    nodes=nodes,
+                    tree_edges=tree_edges,
+                    lhs=float(cum_weighted[i, pick]),
+                    rhs=rhs,
+                )
+            )
+        return verdicts
+
     def tree_cut_coefficients(
         self, violation: Violation
     ) -> List[Tuple[int, float]]:
@@ -199,20 +444,34 @@ class SpreadingOracle:
     # ------------------------------------------------------------------
     # scipy engine
     # ------------------------------------------------------------------
+    def _csr_matrix(self):
+        """The shared CSR matrix with this oracle's floored metric installed.
+
+        The graph's weight token detects other writers (a second oracle,
+        a test poking ``set_csr_weights``); only then is the full O(m)
+        re-install paid.
+        """
+        if self._csr_token != self._graph.csr_weights_token:
+            matrix = self._graph.set_csr_weights(self._floored)
+            self._csr_token = self._graph.csr_weights_token
+            return matrix
+        matrix, _slots = self._graph.csr_structure()
+        return matrix
+
     def _scipy_violation(self, source: int, mode: str) -> Optional[Violation]:
         from scipy.sparse.csgraph import dijkstra as csgraph_dijkstra
 
-        # Floor at a tiny positive value: scipy's csgraph drops stored
-        # zeros from sparse inputs, which would disconnect zero-length
-        # edges (the LP starts from the all-zero metric).
-        weights = np.maximum(self._lengths, 1e-15)
-        matrix = self._graph.set_csr_weights(weights)
+        matrix = self._csr_matrix()
         dist, predecessors = csgraph_dijkstra(
             matrix,
             directed=False,
             indices=source,
             return_predecessors=True,
         )
+        if self._counters is not None:
+            self._counters.dijkstra_calls += 1
+            self._counters.dijkstra_sources += 1
+            self._counters.nodes_settled += int(np.isfinite(dist).sum())
         reachable = np.flatnonzero(np.isfinite(dist))
         order = reachable[np.argsort(dist[reachable], kind="stable")]
         return self._violation_from_profile(
@@ -276,6 +535,9 @@ class SpreadingOracle:
         tree_edges: List[int] = []
         cum_size = 0.0
         lhs = 0.0
+        if self._counters is not None:
+            self._counters.dijkstra_calls += 1
+            self._counters.dijkstra_sources += 1
         for node, node_dist, edge_id, _parent in dijkstra_expansion(
             self._graph, source, self._lengths
         ):

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.algorithms.heap import IndexedHeap
 from repro.algorithms.union_find import UnionFind
+from repro.core.perf import PerfCounters
 from repro.errors import InfeasibleError, PartitionError
 from repro.htp.hierarchy import HierarchySpec
 from repro.htp.partition import PartitionTree
@@ -78,6 +79,7 @@ def find_cut(
     restarts: int = 1,
     strategy: str = "both",
     max_cut_evals: int = DEFAULT_MAX_CUT_EVALS,
+    counters: Optional[PerfCounters] = None,
 ) -> List[int]:
     """Carve a low-cut node subset of size in ``[lower, upper]``.
 
@@ -116,6 +118,7 @@ def find_cut(
                 counter,
                 rng,
                 max_cut_evals,
+                counters,
             )
             if region is not None and cut < best_cut:
                 best_cut = cut
@@ -134,6 +137,7 @@ def find_cut(
                 sizes,
                 counter,
                 rng,
+                counters,
             )
             if region is None:
                 continue
@@ -172,6 +176,7 @@ def _prim_window_cut(
     sizes,
     counter: _BlockCutCounter,
     rng: random.Random,
+    counters: Optional[PerfCounters] = None,
 ) -> Tuple[Optional[List[int]], float, bool]:
     """One Prim growth from ``seed``; returns (best prefix, cut, in window)."""
     inside_count: Dict[int, int] = {}
@@ -216,10 +221,14 @@ def _prim_window_cut(
                 best_cut = cut_capacity
                 best_len = len(region)
             found_in_window = True
-        elif region_size <= upper:
+        elif region_size <= upper and cut_capacity < fallback_cut:
+            # Keep the *minimum-cut* under-window prefix, not the last
+            # one seen: growth can walk past the best fallback.
             fallback_cut = cut_capacity
             fallback_len = len(region)
 
+    if counters is not None:
+        counters.cut_evals += len(region)  # one maintained cut per prefix
     if found_in_window:
         return region[:best_len], best_cut, True
     if fallback_len:
@@ -281,6 +290,7 @@ def _mst_subtree_cut(
     counter: _BlockCutCounter,
     rng: random.Random,
     max_cut_evals: int,
+    counters: Optional[PerfCounters] = None,
 ) -> Tuple[Optional[List[int]], float]:
     """Best window-sized MST-subtree cut, or (None, inf)."""
     nodes = sorted(candidate_set)
@@ -336,19 +346,94 @@ def _mst_subtree_cut(
     if len(candidates) > max_cut_evals:
         candidates = rng.sample(candidates, max_cut_evals)
 
+    # Evaluate candidate cuts incrementally.  The DFS above is a
+    # pre-order, so the subtree of ``v`` is the contiguous slice
+    # ``order[tin[v] : tin[v] + tree_count[v]]`` and the candidate
+    # intervals form a laminar family: visiting them in ``tin`` order,
+    # each transition either swaps disjoint intervals or peels the
+    # complement of a nested one, delta-updating the inside pin counts —
+    # near O(total pins) instead of one full ``cut_of`` scan per head.
+    tin = {v: i for i, v in enumerate(order)}
+    tree_count: Dict[int, int] = {v: 1 for v in nodes}
+    for v in reversed(order):
+        p = parent[v]
+        if p is not None:
+            tree_count[p] += tree_count[v]
+
+    incident = hypergraph.incident_nets
+    net_capacity = hypergraph.net_capacity
+    block_pins = counter.block_pins
+    inside_count: Dict[int, int] = {}
+    cut = 0.0
+
+    def _add(v: int) -> None:
+        nonlocal cut
+        for net_id in incident(v):
+            total = block_pins.get(net_id, 0)
+            if total <= 1:
+                continue
+            count = inside_count.get(net_id, 0) + 1
+            inside_count[net_id] = count
+            if count == 1:
+                cut += net_capacity(net_id)
+            elif count == total:
+                cut -= net_capacity(net_id)
+
+    def _remove(v: int) -> None:
+        nonlocal cut
+        for net_id in incident(v):
+            total = block_pins.get(net_id, 0)
+            if total <= 1:
+                continue
+            count = inside_count[net_id] - 1
+            if count:
+                inside_count[net_id] = count
+            else:
+                del inside_count[net_id]
+            if count == total - 1:
+                cut += net_capacity(net_id)
+            if count == 0:
+                cut -= net_capacity(net_id)
+
+    cuts: Dict[int, float] = {}
+    cur_l = cur_r = 0  # current interval [cur_l, cur_r) — empty to start
+    for head in sorted(candidates, key=tin.__getitem__):
+        left = tin[head]
+        right = left + tree_count[head]
+        if left >= cur_r:
+            # Disjoint successor: swap the whole region.
+            for i in range(cur_l, cur_r):
+                _remove(order[i])
+            for i in range(left, right):
+                _add(order[i])
+        else:
+            # Laminarity + tin order make the new interval nested inside
+            # the current one: shed the surrounding prefix and suffix.
+            for i in range(cur_l, left):
+                _remove(order[i])
+            for i in range(right, cur_r):
+                _remove(order[i])
+        cur_l, cur_r = left, right
+        cuts[head] = cut
+    if counters is not None:
+        counters.cut_evals += len(candidates)
+
+    # Select in the original candidate order (strict <) so tie-breaking
+    # matches a head-by-head scan.
     best_cut = math.inf
-    best_region: Optional[List[int]] = None
+    best_head: Optional[int] = None
     for head in candidates:
-        region: List[int] = []
-        stack = [head]
-        while stack:
-            v = stack.pop()
-            region.append(v)
-            stack.extend(children[v])
-        cut = counter.cut_of(region)
-        if cut < best_cut:
-            best_cut = cut
-            best_region = region
+        if cuts[head] < best_cut:
+            best_cut = cuts[head]
+            best_head = head
+    if best_head is None:  # pragma: no cover - candidates is non-empty
+        return None, math.inf
+    best_region: List[int] = []
+    stack = [best_head]
+    while stack:
+        v = stack.pop()
+        best_region.append(v)
+        stack.extend(children[v])
     return best_region, best_cut
 
 
@@ -363,6 +448,7 @@ def construct_partition(
     rng: Optional[random.Random] = None,
     find_cut_restarts: int = 1,
     strategy: str = "both",
+    counters: Optional[PerfCounters] = None,
 ) -> PartitionTree:
     """Algorithm 3: top-down recursive construction of a partition.
 
@@ -403,6 +489,7 @@ def construct_partition(
                 rng,
                 restarts=find_cut_restarts,
                 strategy=strategy,
+                counters=counters,
             )
             pieces.append(piece)
             piece_set = set(piece)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.construct import construct_partition
+from repro.core.perf import PerfCounters
 from repro.core.spreading_metric import (
     SpreadingMetricConfig,
     SpreadingMetricResult,
@@ -75,7 +76,10 @@ class FlowHTPResult:
     ``iteration_costs`` holds the best construction cost of each metric
     iteration; ``metric_objectives`` the LP objective ``sum c(e) d(e)`` of
     each metric (an *upper* proxy for solution quality, not a bound);
-    ``runtime_seconds`` the wall-clock cost of the whole run.
+    ``runtime_seconds`` the wall-clock cost of the whole run; ``perf``
+    aggregates the solver's :class:`PerfCounters` (Dijkstra calls, dirty
+    edges repriced, cut evaluations, per-phase wall time) across all
+    iterations.
     """
 
     partition: PartitionTree
@@ -84,6 +88,7 @@ class FlowHTPResult:
     metric_objectives: List[float]
     metric_results: List[SpreadingMetricResult]
     runtime_seconds: float
+    perf: Optional[PerfCounters] = None
 
 
 def flow_htp(
@@ -99,6 +104,7 @@ def flow_htp(
     """
     config = config or FlowHTPConfig()
     start = time.perf_counter()
+    counters = PerfCounters()
     rng = random.Random(config.seed)
     if graph is None:
         graph = to_graph(
@@ -121,13 +127,20 @@ def flow_htp(
             seed=rng.randrange(2**31),
             node_sample=config.metric.node_sample,
         )
+        phase_start = time.perf_counter()
         metric = compute_spreading_metric(
-            graph, spec, metric_config, rng=random.Random(metric_config.seed)
+            graph,
+            spec,
+            metric_config,
+            rng=random.Random(metric_config.seed),
+            counters=counters,
         )
+        counters.add_phase("metric", time.perf_counter() - phase_start)
         metric_results.append(metric)
         metric_objectives.append(metric.objective)
 
         iteration_best = float("inf")
+        phase_start = time.perf_counter()
         for _construction in range(config.constructions_per_metric):
             partition = construct_partition(
                 hypergraph,
@@ -137,12 +150,14 @@ def flow_htp(
                 rng=rng,
                 find_cut_restarts=config.find_cut_restarts,
                 strategy=config.find_cut_strategy,
+                counters=counters,
             )
             cost = total_cost(hypergraph, partition, spec)
             iteration_best = min(iteration_best, cost)
             if cost < best_cost:
                 best_cost = cost
                 best_partition = partition
+        counters.add_phase("construct", time.perf_counter() - phase_start)
         iteration_costs.append(iteration_best)
 
     if best_partition is None:  # pragma: no cover - unreachable by config guard
@@ -154,4 +169,5 @@ def flow_htp(
         metric_objectives=metric_objectives,
         metric_results=metric_results,
         runtime_seconds=time.perf_counter() - start,
+        perf=counters,
     )

@@ -1,0 +1,114 @@
+"""Performance counters threaded through the FLOW hot paths.
+
+The ROADMAP's north star is "as fast as the hardware allows"; you cannot
+optimise what you cannot see.  :class:`PerfCounters` is a plain mutable
+struct that the spreading-metric engine (Algorithm 2), the constraint
+oracle and ``find_cut`` (Algorithm 3) increment as they work.  It is
+deliberately dependency-free so every layer — ``core``, ``analysis``,
+the CLI and the benchmarks — can share it without import cycles.
+
+Counter semantics
+-----------------
+``dijkstra_calls``
+    Number of ``scipy.sparse.csgraph.dijkstra`` invocations (one batched
+    call over ``k`` sources counts once).
+``dijkstra_sources``
+    Total single-source shortest-path problems solved (a batched call
+    over ``k`` sources adds ``k``).
+``nodes_settled``
+    Nodes settled across all Dijkstra runs (finite-distance entries;
+    distance-limited runs settle fewer — the whole point).
+``edges_repriced``
+    Edge lengths rewritten in place after flow injections.
+``batch_checks`` / ``batch_sources``
+    Batched oracle sub-rounds issued and the sources they covered.
+``recheck_sources``
+    Sources re-examined with a fresh single-source run because an
+    injection dirtied an edge on their snapshot shortest-path tree.
+``retired_free``
+    Sources retired straight from a batch snapshot — no second Dijkstra.
+``injections``
+    Flow-injection steps (Algorithm 2 line "inject Delta").
+``cut_evals``
+    Candidate regions whose hypergraph cut was evaluated in ``find_cut``
+    (Prim prefixes plus MST subtree heads).
+``phase_seconds``
+    Wall-clock seconds per named phase (``metric``, ``construct``,
+    ``evaluate``, ...), accumulated across iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class PerfCounters:
+    """Mutable instrumentation shared by the FLOW hot paths."""
+
+    dijkstra_calls: int = 0
+    dijkstra_sources: int = 0
+    nodes_settled: int = 0
+    edges_repriced: int = 0
+    batch_checks: int = 0
+    batch_sources: int = 0
+    recheck_sources: int = 0
+    retired_free: int = 0
+    injections: int = 0
+    cut_evals: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def add_phase(self, name: str, seconds: float) -> None:
+        """Accumulate wall-clock ``seconds`` under phase ``name``."""
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
+    def merge(self, other: "PerfCounters") -> None:
+        """Fold ``other``'s counts into this struct (for aggregation)."""
+        self.dijkstra_calls += other.dijkstra_calls
+        self.dijkstra_sources += other.dijkstra_sources
+        self.nodes_settled += other.nodes_settled
+        self.edges_repriced += other.edges_repriced
+        self.batch_checks += other.batch_checks
+        self.batch_sources += other.batch_sources
+        self.recheck_sources += other.recheck_sources
+        self.retired_free += other.retired_free
+        self.injections += other.injections
+        self.cut_evals += other.cut_evals
+        for name, seconds in other.phase_seconds.items():
+            self.add_phase(name, seconds)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready view (used by the benchmark emitter and the CLI)."""
+        return {
+            "dijkstra_calls": self.dijkstra_calls,
+            "dijkstra_sources": self.dijkstra_sources,
+            "nodes_settled": self.nodes_settled,
+            "edges_repriced": self.edges_repriced,
+            "batch_checks": self.batch_checks,
+            "batch_sources": self.batch_sources,
+            "recheck_sources": self.recheck_sources,
+            "retired_free": self.retired_free,
+            "injections": self.injections,
+            "cut_evals": self.cut_evals,
+            "phase_seconds": dict(self.phase_seconds),
+        }
+
+    def summary(self) -> str:
+        """One-line human summary (printed by ``htp partition --perf``)."""
+        phases = " ".join(
+            f"{name}={seconds:.2f}s"
+            for name, seconds in sorted(self.phase_seconds.items())
+        )
+        return (
+            f"dijkstra {self.dijkstra_calls} calls / "
+            f"{self.dijkstra_sources} sources / "
+            f"{self.nodes_settled} settled | "
+            f"batch {self.batch_checks} checks / "
+            f"{self.retired_free} retired free / "
+            f"{self.recheck_sources} rechecks | "
+            f"{self.injections} injections / "
+            f"{self.edges_repriced} edges repriced | "
+            f"{self.cut_evals} cut evals | {phases}"
+        )

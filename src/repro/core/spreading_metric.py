@@ -13,19 +13,50 @@ while the right-hand sides ``g`` are fixed.
 The loop ends when every node is retired (a feasible spreading metric) or
 when the round budget is exhausted (the best-effort metric is returned
 with ``satisfied = False``).
+
+Engines
+-------
+``engine='scipy'`` (default) runs the **batched incremental** round loop:
+active sources are checked in sub-round chunks with ONE distance-limited
+``scipy.csgraph.dijkstra`` call per chunk, injections are applied
+serially in visit order (preserving the seed's semantics exactly), and a
+source later in the chunk is re-examined only when an injection dirtied
+an edge on its snapshot shortest-path tree — everything else reuses the
+snapshot verdict, provably unchanged because edge lengths only grow.
+Re-pricing after an injection patches just the dirty edges in place
+(``SpreadingOracle.update_lengths``) instead of copying the O(m) metric.
+
+``engine='scipy-serial'`` is the one-source-at-a-time loop (the seed's
+behaviour) kept as the reference the batched loop is asserted
+bit-identical against; ``engine='python'`` additionally swaps the oracle
+to the pure-Python Dijkstra.  All three produce identical results for a
+fixed seed.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.core.constraints import SpreadingOracle
+from repro.core.perf import PerfCounters
 from repro.htp.hierarchy import HierarchySpec
 from repro.hypergraph.graph import Graph
+
+#: Engines accepted by :class:`SpreadingMetricConfig`.
+ENGINES = ("scipy", "scipy-serial", "python")
+
+#: Initial batched sub-round size; doubles after every injection-free
+#: chunk and resets on injection (injection-heavy phases want small
+#: snapshots, the convergent tail wants big ones).
+_MIN_CHUNK = 8
+
+#: Upper bound on the dense scratch a single batched chunk may allocate,
+#: in (sources x nodes) matrix elements.
+_MAX_CHUNK_ELEMENTS = 4_000_000
 
 
 @dataclass
@@ -44,7 +75,10 @@ class SpreadingMetricConfig:
         Bound on full passes over the active node set; exceeded means the
         returned metric may be infeasible (``satisfied = False``).
     engine:
-        ``'scipy'`` (fast, vectorised) or ``'python'`` (reference).
+        ``'scipy'`` (batched incremental, fast), ``'scipy-serial'``
+        (one source per Dijkstra; the reference the batched engine is
+        tested bit-identical against) or ``'python'`` (pure-Python
+        reference).
     seed:
         Seed for the node visiting order.
     node_sample:
@@ -69,6 +103,10 @@ class SpreadingMetricConfig:
             raise ValueError("epsilon must be positive")
         if not 0 < self.node_sample <= 1:
             raise ValueError("node_sample must be in (0, 1]")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r} (choose from {ENGINES})"
+            )
 
 
 @dataclass
@@ -79,8 +117,9 @@ class SpreadingMetricResult:
     ``flows`` the final edge flows, ``objective`` the LP objective value
     ``sum_e c(e) d(e)`` of the metric, ``injections`` the number of
     flow-injection steps, ``rounds`` the number of passes over the active
-    set, and ``satisfied`` whether every spreading constraint held at
-    termination.
+    set, ``satisfied`` whether every spreading constraint held at
+    termination, and ``counters`` the perf instrumentation when the
+    caller supplied a :class:`PerfCounters`.
     """
 
     lengths: np.ndarray
@@ -89,6 +128,7 @@ class SpreadingMetricResult:
     injections: int
     rounds: int
     satisfied: bool
+    counters: Optional[PerfCounters] = None
 
 
 def compute_spreading_metric(
@@ -96,11 +136,15 @@ def compute_spreading_metric(
     spec: HierarchySpec,
     config: Optional[SpreadingMetricConfig] = None,
     rng: Optional[random.Random] = None,
+    counters: Optional[PerfCounters] = None,
 ) -> SpreadingMetricResult:
     """Run Algorithm 2 on ``graph`` under hierarchy ``spec``."""
     config = config or SpreadingMetricConfig()
     rng = rng or random.Random(config.seed)
-    oracle = SpreadingOracle(graph, spec, engine=config.engine)
+    oracle_engine = "python" if config.engine == "python" else "scipy"
+    oracle = SpreadingOracle(
+        graph, spec, engine=oracle_engine, counters=counters
+    )
 
     capacities = graph.capacities()
     flows = np.full(graph.num_edges, config.epsilon, dtype=float)
@@ -112,6 +156,61 @@ def compute_spreading_metric(
         sample_size = max(1, int(round(config.node_sample * len(active))))
         active = rng.sample(active, sample_size)
 
+    if config.engine == "scipy":
+        runner = _batched_rounds
+    else:
+        runner = _serial_rounds
+    injections, rounds = runner(
+        graph, oracle, config, rng, active, flows, lengths, capacities, counters
+    )
+
+    return SpreadingMetricResult(
+        lengths=lengths,
+        flows=flows,
+        objective=float(np.dot(capacities, lengths)),
+        injections=injections,
+        rounds=rounds,
+        satisfied=not active,
+        counters=counters,
+    )
+
+
+def _inject(
+    oracle: SpreadingOracle,
+    config: SpreadingMetricConfig,
+    flows: np.ndarray,
+    lengths: np.ndarray,
+    capacities: np.ndarray,
+    tree_edges,
+) -> Optional[np.ndarray]:
+    """Add ``delta`` flow on ``tree_edges`` and reprice them in place.
+
+    Returns the dirty edge-id array (None when the tree has no edges,
+    i.e. the k=1 constraint is violated and nothing can be repriced).
+    """
+    edge_ids = np.fromiter(tree_edges, dtype=np.int64, count=len(tree_edges))
+    if not edge_ids.size:
+        return None
+    flows[edge_ids] += config.delta
+    lengths[edge_ids] = _price(
+        flows[edge_ids], capacities[edge_ids], config.alpha
+    )
+    oracle.update_lengths(edge_ids, lengths[edge_ids])
+    return edge_ids
+
+
+def _serial_rounds(
+    graph: Graph,
+    oracle: SpreadingOracle,
+    config: SpreadingMetricConfig,
+    rng: random.Random,
+    active: List[int],
+    flows: np.ndarray,
+    lengths: np.ndarray,
+    capacities: np.ndarray,
+    counters: Optional[PerfCounters],
+):
+    """The seed's one-source-at-a-time round loop (reference engine)."""
     injections = 0
     rounds = 0
     while active and rounds < config.max_rounds:
@@ -122,27 +221,106 @@ def compute_spreading_metric(
             violation = oracle.violation_for(source, mode="first")
             if violation is None:
                 continue  # retired: monotonicity keeps it satisfied
-            edge_ids = np.fromiter(
-                violation.tree_edges, dtype=np.int64, count=len(violation.tree_edges)
+            _inject(
+                oracle, config, flows, lengths, capacities, violation.tree_edges
             )
-            if edge_ids.size:
-                flows[edge_ids] += config.delta
-                lengths[edge_ids] = _price(
-                    flows[edge_ids], capacities[edge_ids], config.alpha
-                )
-                oracle.set_lengths(lengths)
             injections += 1
+            if counters is not None:
+                counters.injections += 1
             still_active.append(source)
-        active = still_active
+        active[:] = still_active
+    return injections, rounds
 
-    return SpreadingMetricResult(
-        lengths=lengths,
-        flows=flows,
-        objective=float(np.dot(capacities, lengths)),
-        injections=injections,
-        rounds=rounds,
-        satisfied=not active,
+
+def _batched_rounds(
+    graph: Graph,
+    oracle: SpreadingOracle,
+    config: SpreadingMetricConfig,
+    rng: random.Random,
+    active: List[int],
+    flows: np.ndarray,
+    lengths: np.ndarray,
+    capacities: np.ndarray,
+    counters: Optional[PerfCounters],
+):
+    """Batched incremental round loop — bit-identical to `_serial_rounds`.
+
+    Sources are still visited strictly in the shuffled order and
+    injections applied one at a time, so the flow trajectory is exactly
+    the serial one.  The wins come from *checking*: a chunk of upcoming
+    sources shares one distance-limited Dijkstra snapshot, and a source's
+    snapshot verdict is reused verbatim unless a later-in-chunk injection
+    repriced an edge on its snapshot shortest-path tree.  Reuse is exact,
+    not heuristic: lengths only ever grow, so a tree that avoids every
+    dirty edge keeps its distance profile float-for-float, and any
+    alternative path through a dirty edge only got longer.
+    """
+    endpoints = graph.edge_endpoints()
+    chunk_cap = max(
+        _MIN_CHUNK, min(256, _MAX_CHUNK_ELEMENTS // max(1, graph.num_nodes))
     )
+    chunk_size = _MIN_CHUNK
+    injections = 0
+    rounds = 0
+    while active and rounds < config.max_rounds:
+        rounds += 1
+        rng.shuffle(active)
+        still_active: List[int] = []
+        pos = 0
+        while pos < len(active):
+            chunk = active[pos : pos + chunk_size]
+            pos += len(chunk)
+            snapshot = oracle.batch_check(chunk, mode="first")
+            dirty_u_parts: List[np.ndarray] = []
+            dirty_w_parts: List[np.ndarray] = []
+            dirty_u: Optional[np.ndarray] = None
+            dirty_w: Optional[np.ndarray] = None
+            chunk_injected = False
+            for i, source in enumerate(chunk):
+                if dirty_u_parts:
+                    if dirty_u is None:
+                        dirty_u = np.concatenate(dirty_u_parts)
+                        dirty_w = np.concatenate(dirty_w_parts)
+                    touched = snapshot.tree_touches(i, dirty_u, dirty_w)
+                else:
+                    touched = False
+                if touched:
+                    # The snapshot tree crossed a repriced edge: fall back
+                    # to a fresh (still distance-limited) check, which is
+                    # exactly what the serial loop computes here.
+                    violation = oracle.batch_check([source], mode="first").violations[0]
+                    if counters is not None:
+                        counters.recheck_sources += 1
+                else:
+                    violation = snapshot.violations[i]
+                if violation is None:
+                    if counters is not None and not touched:
+                        counters.retired_free += 1
+                    continue
+                dirty = _inject(
+                    oracle,
+                    config,
+                    flows,
+                    lengths,
+                    capacities,
+                    violation.tree_edges,
+                )
+                injections += 1
+                chunk_injected = True
+                if counters is not None:
+                    counters.injections += 1
+                if dirty is not None:
+                    pair = endpoints[dirty]
+                    dirty_u_parts.append(pair[:, 0])
+                    dirty_w_parts.append(pair[:, 1])
+                    dirty_u = dirty_w = None
+                still_active.append(source)
+            if chunk_injected:
+                chunk_size = _MIN_CHUNK
+            else:
+                chunk_size = min(chunk_cap, chunk_size * 2)
+        active[:] = still_active
+    return injections, rounds
 
 
 def _price(

@@ -91,6 +91,8 @@ class Graph:
         ]
 
         self._csr_cache: Optional[Tuple[object, np.ndarray]] = None
+        self._csr_weights_token = 0
+        self._endpoints: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Accessors
@@ -154,6 +156,20 @@ class Graph:
                 return edge_id
         return None
 
+    def edge_endpoints(self) -> np.ndarray:
+        """All edges as an ``(num_edges, 2)`` int array (do not mutate).
+
+        Row ``e`` holds the endpoints ``(u, v)`` with ``u < v`` of edge
+        ``e`` — the vectorised counterpart of :meth:`edge`, used by the
+        batched spreading engine to test dirty edges against
+        predecessor arrays without a Python loop.
+        """
+        if self._endpoints is None:
+            self._endpoints = np.array(self._edges, dtype=np.int64).reshape(
+                len(self._edges), 2
+            )
+        return self._endpoints
+
     # ------------------------------------------------------------------
     # CSR view for scipy.sparse.csgraph
     # ------------------------------------------------------------------
@@ -205,12 +221,41 @@ class Graph:
         matrix, slots = self._csr_cache
         return matrix, slots
 
+    @property
+    def csr_weights_token(self) -> int:
+        """Generation counter of the CSR ``data`` array.
+
+        Incremented by every :meth:`set_csr_weights` /
+        :meth:`update_csr_weights` write.  Callers that cache "my weights
+        are installed" state (the spreading oracle) compare tokens to
+        detect that another writer has clobbered the shared cache and a
+        full re-install is needed.
+        """
+        return self._csr_weights_token
+
     def set_csr_weights(self, weights: np.ndarray) -> object:
         """Write per-edge ``weights`` into the cached CSR matrix and return it."""
         matrix, slots = self.csr_structure()
         data = matrix.data  # type: ignore[attr-defined]
         data[slots[:, 0]] = weights
         data[slots[:, 1]] = weights
+        self._csr_weights_token += 1
+        return matrix
+
+    def update_csr_weights(self, edge_ids: np.ndarray, values: np.ndarray) -> object:
+        """Overwrite the CSR weights of ``edge_ids`` only, in place.
+
+        The incremental counterpart of :meth:`set_csr_weights`: after a
+        flow injection touches ``k`` edges, only their ``2k`` data slots
+        are rewritten instead of all ``2m`` — the per-injection cost of
+        keeping the Dijkstra matrix current drops from O(m) to O(k).
+        """
+        matrix, slots = self.csr_structure()
+        data = matrix.data  # type: ignore[attr-defined]
+        touched = slots[edge_ids]
+        data[touched[:, 0]] = values
+        data[touched[:, 1]] = values
+        self._csr_weights_token += 1
         return matrix
 
     # ------------------------------------------------------------------

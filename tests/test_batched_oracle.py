@@ -1,0 +1,171 @@
+"""Batched spreading engine: bit-identity against the serial reference.
+
+The batched oracle (`violations_for_batch` / `batch_check`) and the
+batched round loop (`engine='scipy'`) are pure performance work — every
+test here pins them to the serial path's exact output: same violations,
+same ``tree_edges``, same floats, same rng trajectory.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import SpreadingOracle
+from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.core.perf import PerfCounters
+from repro.core.spreading_metric import (
+    SpreadingMetricConfig,
+    compute_spreading_metric,
+)
+from repro.htp.hierarchy import binary_hierarchy
+from repro.hypergraph.expansion import to_graph
+from repro.hypergraph.generators import (
+    iscas85_surrogate,
+    planted_hierarchy_hypergraph,
+)
+from repro.hypergraph.graph import Graph
+
+
+def _assert_same_verdicts(oracle, sources, mode):
+    serial = [oracle.violation_for(v, mode) for v in sources]
+    batched = oracle.violations_for_batch(sources, mode)
+    assert len(serial) == len(batched)
+    for expected, got in zip(serial, batched):
+        assert expected == got  # covers k, nodes, tree_edges, lhs, rhs
+
+
+@pytest.mark.parametrize("model", ["clique", "cycle"])
+@pytest.mark.parametrize("mode", ["first", "max"])
+def test_batched_oracle_matches_serial(model, mode):
+    netlist = planted_hierarchy_hypergraph(96, seed=2)
+    graph = to_graph(netlist, model=model, rng=random.Random(2))
+    spec = binary_hierarchy(graph.total_size(), height=3)
+    oracle = SpreadingOracle(graph, spec)
+    rng = np.random.default_rng(11)
+    for scale in (0.005, 0.02, 0.2):
+        lengths = rng.uniform(0.0, scale, graph.num_edges)
+        lengths[rng.integers(0, graph.num_edges, 10)] = 0.0  # floor path
+        oracle.set_lengths(lengths)
+        _assert_same_verdicts(oracle, list(graph.nodes()), mode)
+
+
+@pytest.mark.parametrize("mode", ["first", "max"])
+def test_batched_oracle_non_unit_sizes(mode):
+    rng = np.random.default_rng(5)
+    n = 64
+    edges = [(i, (i + 1) % n, 1.0) for i in range(n)]
+    for _ in range(90):
+        u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+        if u != v:
+            edges.append((u, v, float(rng.uniform(0.5, 2.0))))
+    graph = Graph(n, edges, node_sizes=rng.uniform(0.5, 2.5, n))
+    spec = binary_hierarchy(graph.total_size(), height=3)
+    oracle = SpreadingOracle(graph, spec)
+    for scale in (0.01, 0.08):
+        oracle.set_lengths(rng.uniform(0.0, scale, graph.num_edges))
+        _assert_same_verdicts(oracle, list(range(n)), mode)
+
+
+def test_update_lengths_equals_set_lengths():
+    netlist = planted_hierarchy_hypergraph(64, seed=0)
+    graph = to_graph(netlist)
+    spec = binary_hierarchy(graph.total_size(), height=3)
+    rng = np.random.default_rng(9)
+    lengths = rng.uniform(0.0, 0.05, graph.num_edges)
+
+    incremental = SpreadingOracle(graph, spec)
+    incremental.set_lengths(lengths)
+    version_before = incremental.version
+
+    reference = SpreadingOracle(graph, spec)
+
+    for _ in range(10):
+        dirty = rng.integers(0, graph.num_edges, 7)
+        lengths[dirty] += rng.uniform(0.01, 0.1, dirty.size)
+        incremental.update_lengths(dirty, lengths[dirty])
+        reference.set_lengths(lengths)
+        # Both oracles share the graph's CSR cache; interleaving their
+        # queries exercises the weights-token clobber guard too.
+        for source in range(0, graph.num_nodes, 5):
+            assert incremental.violation_for(source) == reference.violation_for(
+                source
+            )
+        assert np.array_equal(incremental.lengths(), reference.lengths())
+    assert incremental.version == version_before + 10
+
+
+@pytest.mark.parametrize(
+    "metric_kwargs",
+    [
+        {},
+        {"node_sample": 0.5, "seed": 3},
+        {"alpha": 0.5, "delta": 0.1, "epsilon": 0.05},
+    ],
+)
+def test_batched_metric_identical_to_serial(metric_kwargs):
+    netlist = iscas85_surrogate("c1355", scale=0.5)
+    graph = to_graph(netlist)
+    spec = binary_hierarchy(graph.total_size(), height=4)
+
+    serial = compute_spreading_metric(
+        graph, spec, SpreadingMetricConfig(engine="scipy-serial", **metric_kwargs)
+    )
+    batched = compute_spreading_metric(
+        graph, spec, SpreadingMetricConfig(engine="scipy", **metric_kwargs)
+    )
+
+    assert np.array_equal(serial.lengths, batched.lengths)
+    assert np.array_equal(serial.flows, batched.flows)
+    assert serial.objective == batched.objective
+    assert serial.injections == batched.injections
+    assert serial.rounds == batched.rounds
+    assert serial.satisfied == batched.satisfied
+
+
+def test_flow_htp_unchanged_by_engine_swap():
+    """The engine swap must not move FLOW results for a fixed seed."""
+    netlist = planted_hierarchy_hypergraph(128, seed=1)
+    spec = binary_hierarchy(netlist.total_size(), height=3)
+
+    results = {}
+    for engine in ("scipy-serial", "scipy"):
+        config = FlowHTPConfig(
+            iterations=2,
+            constructions_per_metric=2,
+            seed=7,
+            metric=SpreadingMetricConfig(engine=engine),
+        )
+        results[engine] = flow_htp(netlist, spec, config)
+
+    serial, batched = results["scipy-serial"], results["scipy"]
+    assert serial.cost == batched.cost
+    assert serial.iteration_costs == batched.iteration_costs
+    assert serial.metric_objectives == batched.metric_objectives
+    assert [
+        serial.partition.leaf_of(v) for v in range(netlist.num_nodes)
+    ] == [batched.partition.leaf_of(v) for v in range(netlist.num_nodes)]
+
+
+def test_perf_counters_populated():
+    netlist = planted_hierarchy_hypergraph(96, seed=4)
+    spec = binary_hierarchy(netlist.total_size(), height=3)
+    result = flow_htp(netlist, spec, FlowHTPConfig(iterations=1, seed=0))
+    perf = result.perf
+    assert perf is not None
+    assert perf.dijkstra_calls > 0
+    assert perf.dijkstra_sources >= perf.dijkstra_calls
+    assert perf.nodes_settled > 0
+    assert perf.cut_evals > 0
+    assert set(perf.phase_seconds) == {"metric", "construct"}
+    assert all(seconds >= 0 for seconds in perf.phase_seconds.values())
+    summary = perf.summary()
+    assert "dijkstra" in summary and "cut evals" in summary
+
+    merged = PerfCounters()
+    merged.merge(perf)
+    merged.merge(perf)
+    assert merged.dijkstra_calls == 2 * perf.dijkstra_calls
+    assert merged.as_dict()["phase_seconds"]["metric"] == pytest.approx(
+        2 * perf.phase_seconds["metric"]
+    )
