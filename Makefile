@@ -1,12 +1,17 @@
 # Convenience targets; see scripts/verify.sh for the canonical check.
 
-.PHONY: verify test bench-micro
+.PHONY: verify test bench-micro docs-check
 
 verify:
 	sh scripts/verify.sh
 
 test:
 	PYTHONPATH=src python -m pytest -x -q
+
+# Doctest the documentation snippets, fail on dead intra-repo links and
+# on benchmark files missing from docs/benchmarks.md.
+docs-check:
+	python scripts/docs_check.py
 
 # Refresh the checked-in micro-bench trajectory (BENCH_micro.json).
 bench-micro:

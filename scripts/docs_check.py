@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Keep the documentation honest.
+
+Three checks over ``README.md``, ``DESIGN.md``, ``EXPERIMENTS.md`` and
+``docs/*.md``:
+
+1. **Snippets run.**  Every ```` ```python ```` fence containing ``>>>``
+   is executed as a doctest (with ``src`` on ``sys.path``); fences
+   without ``>>>`` must at least compile.
+2. **Links resolve.**  Every intra-repo markdown link target must exist
+   on disk (http/https/mailto and pure-anchor links are skipped; anchor
+   suffixes are stripped before the existence check).
+3. **The benchmark table is complete.**  Every ``benchmarks/bench_*.py``
+   file must be mentioned in ``docs/benchmarks.md``.
+
+Exit status 0 when all checks pass; 1 with a per-failure listing
+otherwise.  Wired into ``make docs-check`` and ``scripts/verify.sh``.
+"""
+
+from __future__ import annotations
+
+import doctest
+import io
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+DOC_FILES = ["README.md", "DESIGN.md", "EXPERIMENTS.md"] + sorted(
+    str(p.relative_to(REPO)) for p in (REPO / "docs").glob("*.md")
+)
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+# [text](target) — ignore images' leading ! by matching the bracket pair
+# itself; nested parens inside targets do not occur in this repo's docs.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _check_snippets(path: Path, text: str, failures: list) -> int:
+    checked = 0
+    for i, match in enumerate(_FENCE.finditer(text), start=1):
+        code = match.group(1)
+        checked += 1
+        label = f"{path.relative_to(REPO)} fence {i}"
+        if ">>>" in code:
+            parser = doctest.DocTestParser()
+            try:
+                test = parser.get_doctest(code, {}, label, str(path), 0)
+            except ValueError as exc:
+                failures.append(f"{label}: doctest parse error: {exc}")
+                continue
+            out = io.StringIO()
+            runner = doctest.DocTestRunner(
+                verbose=False, optionflags=doctest.ELLIPSIS
+            )
+            results = runner.run(test, out=out.write)
+            if results.failed:
+                failures.append(
+                    f"{label}: {results.failed} doctest failure(s)\n"
+                    + out.getvalue()
+                )
+        else:
+            try:
+                compile(code, label, "exec")
+            except SyntaxError as exc:
+                failures.append(f"{label}: does not compile: {exc}")
+    return checked
+
+
+def _check_links(path: Path, text: str, failures: list) -> int:
+    checked = 0
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        checked += 1
+        bare = target.split("#", 1)[0]
+        resolved = (path.parent / bare).resolve()
+        if not resolved.exists():
+            failures.append(
+                f"{path.relative_to(REPO)}: dead link -> {target}"
+            )
+    return checked
+
+
+def _check_benchmark_table(failures: list) -> int:
+    doc = (REPO / "docs" / "benchmarks.md").read_text()
+    bench_files = sorted(
+        p.name for p in (REPO / "benchmarks").glob("bench_*.py")
+    )
+    for name in bench_files:
+        if name not in doc:
+            failures.append(
+                f"docs/benchmarks.md: missing entry for benchmarks/{name}"
+            )
+    return len(bench_files)
+
+
+def main() -> int:
+    failures: list = []
+    snippets = links = 0
+    for rel in DOC_FILES:
+        path = REPO / rel
+        if not path.exists():
+            failures.append(f"{rel}: listed doc file does not exist")
+            continue
+        text = path.read_text()
+        snippets += _check_snippets(path, text, failures)
+        links += _check_links(path, text, failures)
+    benches = _check_benchmark_table(failures)
+
+    if failures:
+        print(f"docs-check: {len(failures)} failure(s)")
+        for failure in failures:
+            print(" -", failure)
+        return 1
+    print(
+        f"docs-check OK: {snippets} snippets, {links} links, "
+        f"{benches} benchmark files covered across {len(DOC_FILES)} docs"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
-# Tier-1 verification: the full unit suite plus a collect-only guard
+# Tier-1 verification: the full unit suite, a collect-only guard
 # keeping every benchmark file importable (they are not part of tier-1,
 # so a stray import error would otherwise go unnoticed until someone
-# tries to reproduce a table).
+# tries to reproduce a table), and the documentation checker (runnable
+# snippets, live links, complete benchmark table).
 #
 # Usage: sh scripts/verify.sh   (or: make verify)
 set -e
@@ -15,5 +16,8 @@ python -m pytest -x -q
 
 echo "== benchmark import guard =="
 python -m pytest benchmarks/bench_micro.py benchmarks/bench_spreading_batch.py --co -q
+
+echo "== docs check =="
+python scripts/docs_check.py
 
 echo "verify OK"

@@ -52,6 +52,7 @@ from repro.core import (
     FlowHTPConfig,
     FlowHTPResult,
     LPResult,
+    ParallelConfig,
     SpreadingMetricConfig,
     SpreadingMetricResult,
     SpreadingOracle,
@@ -112,6 +113,7 @@ __all__ = [
     "FlowHTPConfig",
     "FlowHTPResult",
     "flow_htp",
+    "ParallelConfig",
     "LPResult",
     "solve_spreading_lp",
     "FMConfig",

@@ -74,23 +74,28 @@ def profile_flow(
 
     for _iteration in range(config.iterations):
         metric_config = config.metric
+        metric_seed = rng.randrange(2**31)
+        construction_seeds = [
+            rng.randrange(2**31)
+            for _ in range(config.constructions_per_metric)
+        ]
         start = time.perf_counter()
         metric = compute_spreading_metric(
             graph,
             spec,
             metric_config,
-            rng=random.Random(rng.randrange(2**31)),
+            rng=random.Random(metric_seed),
             counters=counters,
         )
         metric_seconds += time.perf_counter() - start
-        for _construction in range(config.constructions_per_metric):
+        for construct_seed in construction_seeds:
             start = time.perf_counter()
             partition = construct_partition(
                 hypergraph,
                 graph,
                 spec,
                 metric.lengths,
-                rng=rng,
+                rng=random.Random(construct_seed),
                 find_cut_restarts=config.find_cut_restarts,
                 strategy=config.find_cut_strategy,
                 counters=counters,

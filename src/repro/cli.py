@@ -29,6 +29,7 @@ from repro.analysis.experiments import (
     table3_to_table,
 )
 from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.core.parallel import ParallelConfig
 from repro.core.lp import solve_spreading_lp
 from repro.core.spreading_metric import SpreadingMetricConfig
 from repro.htp.cost import total_cost
@@ -78,6 +79,19 @@ def build_parser() -> argparse.ArgumentParser:
     part.add_argument("--seed", type=int, default=0)
     part.add_argument("--iterations", type=int, default=2)
     part.add_argument(
+        "--engine",
+        choices=["scipy", "scipy-serial", "python", "parallel"],
+        default="scipy",
+        help="spreading-metric engine (flow algorithm only); all engines "
+        "produce identical results for a fixed seed",
+    )
+    part.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --engine parallel (default: cpu count)",
+    )
+    part.add_argument(
         "--improve", action="store_true", help="run FM improvement afterwards"
     )
     part.add_argument(
@@ -103,6 +117,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", choices=["rfm", "flow"], default="rfm"
     )
     search.add_argument("--seed", type=int, default=0)
+    search.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="evaluate candidate hierarchies in worker processes",
+    )
 
     separator = sub.add_parser("separator", help="compute a rho-separator")
     separator.add_argument("input", help="input netlist path")
@@ -160,10 +180,16 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     netlist = _load_netlist(args.input)
     spec = binary_hierarchy(netlist.total_size(), height=args.height)
     if args.algorithm == "flow":
+        parallel = None
+        if args.engine == "parallel":
+            parallel = ParallelConfig(workers=args.workers)
         config = FlowHTPConfig(
             iterations=args.iterations,
             seed=args.seed,
-            metric=SpreadingMetricConfig(delta=0.05, max_rounds=200),
+            metric=SpreadingMetricConfig(
+                delta=0.05, max_rounds=200, engine=args.engine
+            ),
+            parallel=parallel,
         )
         result = flow_htp(netlist, spec, config)
         tree, cost = result.partition, result.cost
@@ -212,11 +238,17 @@ def _cmd_search(args: argparse.Namespace) -> int:
     from repro.htp.hierarchy_search import search_hierarchies
 
     netlist = _load_netlist(args.input)
+    parallel = (
+        ParallelConfig(workers=args.workers)
+        if args.workers is not None
+        else None
+    )
     candidates = search_hierarchies(
         netlist,
         heights=tuple(args.heights),
         algorithm=args.algorithm,
         seed=args.seed,
+        parallel=parallel,
     )
     for candidate in candidates:
         flag = "" if candidate.valid else "  (INVALID)"

@@ -139,7 +139,44 @@ class BatchCheck:
 
 
 class SpreadingOracle:
-    """Spreading-constraint queries for one graph and hierarchy spec."""
+    """Spreading-constraint queries for one graph and hierarchy spec.
+
+    Answers, for the currently installed metric ``d``: is every spreading
+    constraint (Constraint (5)) satisfied?  Which shortest-path tree
+    ``S(v, k)`` is the first / most violated for a source ``v``?  And what
+    are the tree-cut coefficients of Equation (6)?
+
+    Parameters
+    ----------
+    graph : Graph
+        The graph the metric lives on (shares node ids with the netlist).
+    spec : HierarchySpec
+        Hierarchy bounds supplying the right-hand side ``g``.
+    engine : {'scipy', 'python'}, optional
+        ``'scipy'`` answers queries with the CSR ``csgraph`` Dijkstra
+        (vectorised, distance-limited); ``'python'`` is the incremental
+        pure-Python reference.  Both produce identical verdicts.
+    tol : float, optional
+        Numerical slack when comparing constraint sides.
+    counters : PerfCounters, optional
+        Instrumentation sink; incremented on every query.
+    manage_csr : bool, optional
+        When True (default) the oracle owns the graph's shared CSR weight
+        cache and (re)installs its floored metric before every query.
+        Pool workers pass False: their CSR ``data`` array is a shared-
+        memory view kept current by the coordinating process, and a local
+        install would clobber it.  Externally-managed oracles must never
+        call :meth:`set_lengths` / :meth:`update_lengths`.
+
+    Notes
+    -----
+    **Engine equivalence guarantee.**  For a fixed metric, every query
+    (``violation_for``, ``batch_check``, ``violations_for_batch``) returns
+    bit-identical results across the ``scipy`` and ``python`` engines, for
+    any batch split, and whether answered in-process or by a pool worker
+    over the shared CSR arrays — asserted in
+    ``tests/test_batched_oracle.py`` and ``tests/test_parallel_engine.py``.
+    """
 
     def __init__(
         self,
@@ -148,6 +185,7 @@ class SpreadingOracle:
         engine: str = "scipy",
         tol: float = DEFAULT_TOL,
         counters: Optional[PerfCounters] = None,
+        manage_csr: bool = True,
     ) -> None:
         if engine not in ("scipy", "python"):
             raise ValueError(f"unknown engine {engine!r}")
@@ -156,6 +194,7 @@ class SpreadingOracle:
         self._engine = engine
         self._tol = tol
         self._counters = counters
+        self._manage_csr = manage_csr
         self._lengths = np.zeros(graph.num_edges, dtype=float)
         self._floored = np.full(graph.num_edges, MIN_CSR_LENGTH, dtype=float)
         self._csr_token: Optional[int] = None
@@ -201,8 +240,29 @@ class SpreadingOracle:
         """Metric generation counter (bumped by every length update)."""
         return self._version
 
+    @property
+    def counters(self) -> Optional[PerfCounters]:
+        """The instrumentation sink (settable; pool workers swap in a
+        fresh struct per task so per-task deltas can be shipped back)."""
+        return self._counters
+
+    @counters.setter
+    def counters(self, counters: Optional[PerfCounters]) -> None:
+        self._counters = counters
+
+    @property
+    def tol(self) -> float:
+        """Numerical slack when comparing constraint sides."""
+        return self._tol
+
     def set_lengths(self, lengths: Sequence[float]) -> None:
         """Install a metric (copied); lengths are indexed by edge id."""
+        if not self._manage_csr:
+            raise RuntimeError(
+                "this oracle's CSR weights are externally managed "
+                "(manage_csr=False); the coordinating process owns the "
+                "metric"
+            )
         arr = np.asarray(lengths, dtype=float)
         if arr.shape != (self._graph.num_edges,):
             raise ValueError(
@@ -225,6 +285,12 @@ class SpreadingOracle:
         but O(k) instead of O(m): the cached metric, its floored copy and
         the shared CSR ``data`` slots are all patched in place.
         """
+        if not self._manage_csr:
+            raise RuntimeError(
+                "this oracle's CSR weights are externally managed "
+                "(manage_csr=False); the coordinating process owns the "
+                "metric"
+            )
         edge_ids = np.asarray(edge_ids, dtype=np.int64)
         values = np.asarray(values, dtype=float)
         self._lengths[edge_ids] = values
@@ -444,13 +510,29 @@ class SpreadingOracle:
     # ------------------------------------------------------------------
     # scipy engine
     # ------------------------------------------------------------------
+    def install_weights(self):
+        """Ensure the floored metric is installed in the CSR cache.
+
+        Returns the ready-to-query CSR matrix.  The pool coordinator
+        calls this before fanning a batch out so that workers (who read
+        the same ``data`` array through shared memory) see the current
+        metric; it is a no-op when this oracle's weights are already the
+        installed generation.
+        """
+        return self._csr_matrix()
+
     def _csr_matrix(self):
         """The shared CSR matrix with this oracle's floored metric installed.
 
         The graph's weight token detects other writers (a second oracle,
         a test poking ``set_csr_weights``); only then is the full O(m)
-        re-install paid.
+        re-install paid.  Externally-managed oracles (``manage_csr=False``,
+        the pool workers) never install — their ``data`` array is kept
+        current by the coordinating process.
         """
+        if not self._manage_csr:
+            matrix, _slots = self._graph.csr_structure()
+            return matrix
         if self._csr_token != self._graph.csr_weights_token:
             matrix = self._graph.set_csr_weights(self._floored)
             self._csr_token = self._graph.csr_weights_token

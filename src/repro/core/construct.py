@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.algorithms.heap import IndexedHeap
 from repro.algorithms.union_find import UnionFind
@@ -35,6 +35,9 @@ from repro.htp.hierarchy import HierarchySpec
 from repro.htp.partition import PartitionTree
 from repro.hypergraph.graph import Graph
 from repro.hypergraph.hypergraph import Hypergraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.parallel import ParallelConfig
 
 #: Cap on the number of MST subtree candidates whose cut is evaluated.
 DEFAULT_MAX_CUT_EVALS = 64
@@ -440,6 +443,132 @@ def _mst_subtree_cut(
 # ----------------------------------------------------------------------
 # Algorithm 3 recursion
 # ----------------------------------------------------------------------
+def _split_block(
+    hypergraph: Hypergraph,
+    graph: Graph,
+    spec: HierarchySpec,
+    lengths: Sequence[float],
+    nodes: List[int],
+    level: int,
+    rng: random.Random,
+    find_cut_restarts: int,
+    strategy: str,
+    counters: Optional[PerfCounters],
+) -> List[List[int]]:
+    """Carve one block into level-``level`` children via ``find_cut``."""
+    block_size = sum(graph.node_size(v) for v in nodes)
+    lower, upper = spec.child_bounds(level, block_size)
+    remaining = list(nodes)
+    remaining_size = block_size
+    pieces: List[List[int]] = []
+    while remaining:
+        if remaining_size <= upper:
+            pieces.append(remaining)
+            break
+        piece = find_cut(
+            hypergraph,
+            graph,
+            lengths,
+            remaining,
+            lower,
+            upper,
+            rng,
+            restarts=find_cut_restarts,
+            strategy=strategy,
+            counters=counters,
+        )
+        pieces.append(piece)
+        piece_set = set(piece)
+        remaining = [v for v in remaining if v not in piece_set]
+        remaining_size -= sum(graph.node_size(v) for v in piece)
+    return pieces
+
+
+def _carve_block(
+    hypergraph: Hypergraph,
+    graph: Graph,
+    spec: HierarchySpec,
+    lengths: Sequence[float],
+    nodes: List[int],
+    level: int,
+    rng: random.Random,
+    find_cut_restarts: int,
+    strategy: str,
+    counters: Optional[PerfCounters],
+):
+    """Recursive carve of one block; returns the nested block structure.
+
+    Every child block recurses with an *independent* RNG derived from a
+    seed drawn in piece order, so sibling subtrees are pure functions of
+    their (piece, seed) pair — the property that lets the top level fan
+    children out across processes while staying bit-identical to the
+    serial recursion.
+    """
+    if level == 0:
+        return list(nodes)
+    pieces = _split_block(
+        hypergraph,
+        graph,
+        spec,
+        lengths,
+        nodes,
+        level,
+        rng,
+        find_cut_restarts,
+        strategy,
+        counters,
+    )
+    child_seeds = [rng.randrange(2**31) for _ in pieces]
+    return [
+        _carve_block(
+            hypergraph,
+            graph,
+            spec,
+            lengths,
+            piece,
+            level - 1,
+            random.Random(seed),
+            find_cut_restarts,
+            strategy,
+            counters,
+        )
+        for piece, seed in zip(pieces, child_seeds)
+    ]
+
+
+def _carve_child_task(payload):
+    """Process-pool task: carve one top-level child subtree.
+
+    Returns ``(nested_structure, counters)`` so the coordinator can graft
+    the subtree in child order and merge the instrumentation.
+    """
+    (
+        hypergraph,
+        graph,
+        spec,
+        lengths,
+        piece,
+        level,
+        seed,
+        find_cut_restarts,
+        strategy,
+    ) = payload
+    counters = PerfCounters()
+    nested = _carve_block(
+        hypergraph,
+        graph,
+        spec,
+        lengths,
+        piece,
+        level,
+        random.Random(seed),
+        find_cut_restarts,
+        strategy,
+        counters,
+    )
+    return nested, counters
+
+
 def construct_partition(
     hypergraph: Hypergraph,
     graph: Graph,
@@ -449,11 +578,44 @@ def construct_partition(
     find_cut_restarts: int = 1,
     strategy: str = "both",
     counters: Optional[PerfCounters] = None,
+    parallel: Optional["ParallelConfig"] = None,
 ) -> PartitionTree:
     """Algorithm 3: top-down recursive construction of a partition.
 
-    ``graph`` must share node ids with ``hypergraph`` (clique or cycle net
-    model); ``lengths`` is the spreading metric on the graph's edges.
+    Parameters
+    ----------
+    hypergraph : Hypergraph
+        The netlist whose nets define cut quality.
+    graph : Graph
+        The net-model expansion carrying the metric; must share node ids
+        with ``hypergraph`` (clique or cycle model — star changes the
+        node set and is rejected).
+    spec : HierarchySpec
+        Per-level size/branching bounds.
+    lengths : sequence of float
+        The spreading metric, indexed by ``graph`` edge id.
+    rng : random.Random, optional
+        Randomness for ``find_cut`` seeds and tie jitter.  Child blocks
+        recurse with independent RNGs derived from seeds drawn in piece
+        order, so sibling subtrees never share RNG state.
+    find_cut_restarts : int, optional
+        Independent attempts per ``find_cut`` strategy.
+    strategy : {'both', 'prim', 'mst'}, optional
+        The ``find_cut`` strategy (see module docstring).
+    counters : PerfCounters, optional
+        Instrumentation sink (``cut_evals``, pool events).
+    parallel : repro.core.parallel.ParallelConfig, optional
+        When given, the root's child subtrees are carved by worker
+        processes (:func:`repro.core.parallel.parallel_map`) and grafted
+        in child order.  **Engine equivalence guarantee:** the result is
+        bit-identical to the serial recursion for any worker count,
+        because each child is a pure function of its (piece, seed) pair
+        and the merge preserves piece order.
+
+    Returns
+    -------
+    PartitionTree
+        A frozen partition honouring ``spec``'s size bounds.
     """
     if graph.num_nodes != hypergraph.num_nodes:
         raise PartitionError(
@@ -461,43 +623,62 @@ def construct_partition(
             "graphs cannot drive construction)"
         )
     rng = rng or random.Random(0)
-    tree = PartitionTree(
-        num_nodes=hypergraph.num_nodes, num_levels=spec.num_levels
-    )
+    level = spec.num_levels
+    all_nodes = list(hypergraph.nodes())
 
-    def carve(nodes: List[int], vertex: int, level: int) -> None:
-        if level == 0:
-            for node in nodes:
-                tree.assign(node, vertex)
-            return
-        block_size = sum(graph.node_size(v) for v in nodes)
-        lower, upper = spec.child_bounds(level, block_size)
-        remaining = list(nodes)
-        remaining_size = block_size
-        pieces: List[List[int]] = []
-        while remaining:
-            if remaining_size <= upper:
-                pieces.append(remaining)
-                break
-            piece = find_cut(
+    pieces = _split_block(
+        hypergraph,
+        graph,
+        spec,
+        lengths,
+        all_nodes,
+        level,
+        rng,
+        find_cut_restarts,
+        strategy,
+        counters,
+    )
+    child_seeds = [rng.randrange(2**31) for _ in pieces]
+
+    if parallel is not None and level > 1 and len(pieces) > 1:
+        from repro.core.parallel import parallel_map
+
+        payloads = [
+            (
                 hypergraph,
                 graph,
+                spec,
                 lengths,
-                remaining,
-                lower,
-                upper,
-                rng,
-                restarts=find_cut_restarts,
-                strategy=strategy,
-                counters=counters,
+                piece,
+                level - 1,
+                seed,
+                find_cut_restarts,
+                strategy,
             )
-            pieces.append(piece)
-            piece_set = set(piece)
-            remaining = [v for v in remaining if v not in piece_set]
-            remaining_size -= sum(graph.node_size(v) for v in piece)
-        for piece in pieces:
-            child = tree.add_vertex(level=level - 1, parent=vertex)
-            carve(piece, child, level - 1)
-
-    carve(list(hypergraph.nodes()), tree.root, spec.num_levels)
-    return tree.freeze()
+            for piece, seed in zip(pieces, child_seeds)
+        ]
+        outcomes = parallel_map(
+            _carve_child_task, payloads, parallel=parallel, counters=counters
+        )
+        nested = []
+        for child_nested, child_counters in outcomes:
+            nested.append(child_nested)
+            if counters is not None:
+                counters.merge(child_counters)
+    else:
+        nested = [
+            _carve_block(
+                hypergraph,
+                graph,
+                spec,
+                lengths,
+                piece,
+                level - 1,
+                random.Random(seed),
+                find_cut_restarts,
+                strategy,
+                counters,
+            )
+            for piece, seed in zip(pieces, child_seeds)
+        ]
+    return PartitionTree.from_nested(nested, num_nodes=hypergraph.num_nodes)

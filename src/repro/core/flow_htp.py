@@ -5,6 +5,16 @@ construct one or more partitions from it (Algorithm 3), keep the best.
 ``constructions_per_metric > 1`` implements the extension suggested in the
 paper's conclusions — the metric computation dominates the runtime, so
 constructing several partitions per metric is nearly free.
+
+Every iteration is a pure function of a pair of pre-drawn seeds
+``(metric_seed, construction_seeds)``, drawn from the master RNG in
+iteration order.  That makes the iteration loop embarrassingly parallel:
+with ``engine='parallel'`` and more than one iteration, whole iterations
+fan out across worker processes (:func:`repro.core.parallel.parallel_map`)
+and the merged result is bit-identical to the serial loop.  With a single
+iteration the process pool is instead spent *inside* the metric
+computation (one persistent :class:`~repro.core.parallel.MetricWorkerPool`
+shared across the run).
 """
 
 from __future__ import annotations
@@ -12,9 +22,10 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.construct import construct_partition
+from repro.core.parallel import MetricWorkerPool, ParallelConfig, parallel_map
 from repro.core.perf import PerfCounters
 from repro.core.spreading_metric import (
     SpreadingMetricConfig,
@@ -52,6 +63,12 @@ class FlowHTPConfig:
         Algorithm 2 configuration.
     seed:
         Master seed; per-iteration randomness derives from it.
+    parallel:
+        Worker-pool configuration, honoured only when
+        ``metric.engine == 'parallel'``.  With several iterations the
+        iterations themselves fan out; with one iteration the pool
+        accelerates the metric's violation checks.  Either way the
+        result is bit-identical to ``engine='scipy'``.
     """
 
     iterations: int = 2
@@ -61,6 +78,7 @@ class FlowHTPConfig:
     net_model: str = "clique"
     metric: SpreadingMetricConfig = field(default_factory=SpreadingMetricConfig)
     seed: int = 0
+    parallel: Optional[ParallelConfig] = None
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -78,8 +96,8 @@ class FlowHTPResult:
     each metric (an *upper* proxy for solution quality, not a bound);
     ``runtime_seconds`` the wall-clock cost of the whole run; ``perf``
     aggregates the solver's :class:`PerfCounters` (Dijkstra calls, dirty
-    edges repriced, cut evaluations, per-phase wall time) across all
-    iterations.
+    edges repriced, cut evaluations, pool dispatches, per-phase wall
+    time) across all iterations and worker processes.
     """
 
     partition: PartitionTree
@@ -91,6 +109,78 @@ class FlowHTPResult:
     perf: Optional[PerfCounters] = None
 
 
+def _run_flow_iteration(
+    task, pool: Optional[MetricWorkerPool] = None
+) -> Tuple[float, PartitionTree, SpreadingMetricResult, PerfCounters]:
+    """One FLOW iteration as a pure, picklable task.
+
+    ``task`` is ``(hypergraph, graph, spec, config, metric_seed,
+    construction_seeds, in_worker)``.  When ``in_worker`` is true the
+    iteration is running inside a fan-out worker: the metric engine is
+    demoted from ``'parallel'`` to the bit-identical ``'scipy'`` path so
+    workers never spawn nested pools.  ``pool`` (coordinator-side only;
+    pools do not pickle) lets the serial loop share one persistent
+    :class:`MetricWorkerPool` across iterations.
+
+    Returns ``(iteration_best_cost, best_partition, metric_result,
+    counters)``; the caller merges counters and picks the global best.
+    """
+    hypergraph, graph, spec, config, metric_seed, construction_seeds, in_worker = task
+    counters = PerfCounters()
+    engine = config.metric.engine
+    if in_worker and engine == "parallel":
+        engine = "scipy"
+    metric_config = SpreadingMetricConfig(
+        alpha=config.metric.alpha,
+        delta=config.metric.delta,
+        epsilon=config.metric.epsilon,
+        max_rounds=config.metric.max_rounds,
+        engine=engine,
+        seed=metric_seed,
+        node_sample=config.metric.node_sample,
+        parallel=config.parallel or config.metric.parallel,
+    )
+    phase_start = time.perf_counter()
+    metric = compute_spreading_metric(
+        graph,
+        spec,
+        metric_config,
+        rng=random.Random(metric_seed),
+        counters=counters,
+        pool=pool,
+        spawn_pool=False,
+    )
+    counters.add_phase("metric", time.perf_counter() - phase_start)
+
+    construct_parallel = None
+    if not in_worker and config.metric.engine == "parallel":
+        construct_parallel = config.parallel or config.metric.parallel
+
+    iteration_best = float("inf")
+    iteration_partition: Optional[PartitionTree] = None
+    phase_start = time.perf_counter()
+    for construct_seed in construction_seeds:
+        partition = construct_partition(
+            hypergraph,
+            graph,
+            spec,
+            metric.lengths,
+            rng=random.Random(construct_seed),
+            find_cut_restarts=config.find_cut_restarts,
+            strategy=config.find_cut_strategy,
+            counters=counters,
+            parallel=construct_parallel,
+        )
+        cost = total_cost(hypergraph, partition, spec)
+        if cost < iteration_best:
+            iteration_best = cost
+            iteration_partition = partition
+    counters.add_phase("construct", time.perf_counter() - phase_start)
+    if iteration_partition is None:  # pragma: no cover - config guard
+        raise PartitionError("FLOW iteration produced no partition")
+    return iteration_best, iteration_partition, metric, counters
+
+
 def flow_htp(
     hypergraph: Hypergraph,
     spec: HierarchySpec,
@@ -99,8 +189,34 @@ def flow_htp(
 ) -> FlowHTPResult:
     """Run the FLOW algorithm on a netlist under a hierarchy spec.
 
-    ``graph`` may be supplied to reuse a pre-built net-model expansion
-    (it must share node ids with the netlist).
+    Parameters
+    ----------
+    hypergraph : Hypergraph
+        The netlist to partition.
+    spec : HierarchySpec
+        Per-level size and branching bounds.
+    config : FlowHTPConfig, optional
+        Driver configuration; defaults to :class:`FlowHTPConfig`.
+    graph : Graph, optional
+        A pre-built net-model expansion to reuse (must share node ids
+        with the netlist).  Supplying it lets callers evaluating many
+        configurations amortise the expansion and its CSR cache.
+
+    Returns
+    -------
+    FlowHTPResult
+        Best partition, its cost, per-iteration diagnostics and merged
+        :class:`PerfCounters`.
+
+    Notes
+    -----
+    **Engine equivalence guarantee.**  For a fixed ``config.seed`` the
+    returned partition and every diagnostic list are bit-identical
+    across ``metric.engine`` values ``'scipy'`` and ``'parallel'`` (any
+    worker count): iterations consume pre-drawn seeds, fan-out workers
+    run the same floored arithmetic, and results merge in iteration
+    order with strict ``<`` tie-breaking — the same first-minimum rule
+    as the serial loop.
     """
     config = config or FlowHTPConfig()
     start = time.perf_counter()
@@ -111,54 +227,62 @@ def flow_htp(
             hypergraph, model=config.net_model, rng=random.Random(config.seed)
         )
 
+    seeds: List[Tuple[int, List[int]]] = []
+    for _iteration in range(config.iterations):
+        metric_seed = rng.randrange(2**31)
+        construction_seeds = [
+            rng.randrange(2**31)
+            for _ in range(config.constructions_per_metric)
+        ]
+        seeds.append((metric_seed, construction_seeds))
+
+    parallel_cfg: Optional[ParallelConfig] = None
+    if config.metric.engine == "parallel":
+        parallel_cfg = config.parallel or config.metric.parallel or ParallelConfig()
+    workers = parallel_cfg.resolved_workers() if parallel_cfg is not None else 1
+    fan_iterations = (
+        parallel_cfg is not None and config.iterations > 1 and workers > 1
+    )
+
+    tasks = [
+        (hypergraph, graph, spec, config, metric_seed, construction_seeds, fan_iterations)
+        for metric_seed, construction_seeds in seeds
+    ]
+
+    if fan_iterations:
+        outcomes = parallel_map(
+            _run_flow_iteration, tasks, parallel=parallel_cfg, counters=counters
+        )
+    else:
+        pool: Optional[MetricWorkerPool] = None
+        if config.metric.engine == "parallel":
+            try:
+                pool = MetricWorkerPool(graph, spec, parallel=parallel_cfg)
+            except Exception:
+                counters.pool_fallbacks += 1
+                if parallel_cfg is not None and not parallel_cfg.fallback:
+                    raise
+                pool = None
+        try:
+            outcomes = [_run_flow_iteration(task, pool=pool) for task in tasks]
+        finally:
+            if pool is not None:
+                pool.close()
+
     best_partition: Optional[PartitionTree] = None
     best_cost = float("inf")
     iteration_costs: List[float] = []
     metric_objectives: List[float] = []
     metric_results: List[SpreadingMetricResult] = []
-
-    for iteration in range(config.iterations):
-        metric_config = SpreadingMetricConfig(
-            alpha=config.metric.alpha,
-            delta=config.metric.delta,
-            epsilon=config.metric.epsilon,
-            max_rounds=config.metric.max_rounds,
-            engine=config.metric.engine,
-            seed=rng.randrange(2**31),
-            node_sample=config.metric.node_sample,
-        )
-        phase_start = time.perf_counter()
-        metric = compute_spreading_metric(
-            graph,
-            spec,
-            metric_config,
-            rng=random.Random(metric_config.seed),
-            counters=counters,
-        )
-        counters.add_phase("metric", time.perf_counter() - phase_start)
-        metric_results.append(metric)
-        metric_objectives.append(metric.objective)
-
-        iteration_best = float("inf")
-        phase_start = time.perf_counter()
-        for _construction in range(config.constructions_per_metric):
-            partition = construct_partition(
-                hypergraph,
-                graph,
-                spec,
-                metric.lengths,
-                rng=rng,
-                find_cut_restarts=config.find_cut_restarts,
-                strategy=config.find_cut_strategy,
-                counters=counters,
-            )
-            cost = total_cost(hypergraph, partition, spec)
-            iteration_best = min(iteration_best, cost)
-            if cost < best_cost:
-                best_cost = cost
-                best_partition = partition
-        counters.add_phase("construct", time.perf_counter() - phase_start)
+    for outcome in outcomes:
+        iteration_best, iteration_partition, metric, iteration_counters = outcome
+        counters.merge(iteration_counters)
         iteration_costs.append(iteration_best)
+        metric_objectives.append(metric.objective)
+        metric_results.append(metric)
+        if iteration_best < best_cost:
+            best_cost = iteration_best
+            best_partition = iteration_partition
 
     if best_partition is None:  # pragma: no cover - unreachable by config guard
         raise PartitionError("FLOW produced no partition")

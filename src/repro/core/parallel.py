@@ -1,0 +1,420 @@
+"""The process-parallel engine tier.
+
+Python's GIL caps every in-process engine at one core, while the FLOW
+pipeline is full of embarrassingly-parallel structure: the batched
+constraint oracle checks dozens of independent sources per sub-round,
+Algorithm 1 replays independent metric/construction iterations, Algorithm
+3 recurses into independent child blocks, and the hierarchy search
+evaluates independent candidate trees.  This module provides the two
+primitives every one of those loops shares:
+
+:class:`MetricWorkerPool`
+    A persistent ``concurrent.futures.ProcessPoolExecutor`` specialised
+    for the Algorithm-2 hot path.  At start-up each worker attaches to
+    the graph's CSR ``data`` array through
+    ``multiprocessing.shared_memory`` and builds a read-only
+    :class:`~repro.core.constraints.SpreadingOracle`
+    (``manage_csr=False``) over it.  A batched sub-round is split into
+    contiguous source slices, each worker runs the same distance-limited
+    CSR Dijkstra + violation scan the in-process engine would, and the
+    coordinator concatenates verdicts **in source order** — so the merged
+    :class:`~repro.core.constraints.BatchCheck` is bit-identical to a
+    single in-process ``batch_check`` call.  Metric invalidation
+    piggybacks on the graph's CSR weights token: the coordinator's
+    dirty-edge repricing (``update_csr_weights``) patches only the
+    changed ``(edge_id, value)`` slots of the *shared* ``data`` array, so
+    workers observe every injection with zero per-dispatch broadcast.
+
+:func:`parallel_map`
+    A deterministic ordered map for the coarse-grained outer loops (flow
+    iterations, construct children, hierarchy candidates).  Results come
+    back in item order; any pool failure (pickling, OS limits, a poisoned
+    executor) falls back to the plain serial loop, which computes the
+    exact same results because every task derives its randomness from a
+    pre-drawn seed rather than shared RNG state.
+
+Determinism contract
+--------------------
+Everything dispatched through this module must be a pure function of its
+arguments plus explicitly passed seeds.  Under that contract the pooled
+and serial paths are **bit-identical** for every worker count — the
+property ``tests/test_parallel_engine.py`` pins across seeds, worker
+counts and the fallback path.  Speed may vary with the hardware; results
+may not.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from repro.core.constraints import DEFAULT_TOL, BatchCheck, SpreadingOracle
+from repro.core.perf import PerfCounters
+from repro.htp.hierarchy import HierarchySpec
+from repro.hypergraph.graph import Graph
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Tuning knobs of the process-parallel tier.
+
+    Attributes
+    ----------
+    workers:
+        Worker processes per pool; None means ``os.cpu_count()``.
+    min_sources_per_task:
+        A batched oracle chunk is fanned out only when it can give every
+        dispatched task at least this many sources; smaller chunks (the
+        injection-heavy phase of Algorithm 2) stay on the coordinator
+        where they are cheaper than a dispatch round-trip.
+    fallback:
+        When True (default), pool/dispatch failures (pickling errors, OS
+        process limits, poisoned executors) silently fall back to the
+        bit-identical serial path, counting a ``pool_fallbacks`` perf
+        event.  When False such failures raise.
+    """
+
+    workers: Optional[int] = None
+    min_sources_per_task: int = 16
+    fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.min_sources_per_task < 1:
+            raise ValueError("min_sources_per_task must be at least 1")
+
+    def resolved_workers(self) -> int:
+        """The effective worker count (``os.cpu_count()`` when unset)."""
+        if self.workers is not None:
+            return self.workers
+        return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# Worker-process state for the metric pool
+# ----------------------------------------------------------------------
+#: Per-worker-process singleton installed by :func:`_init_metric_worker`.
+_WORKER_STATE: Optional[dict] = None
+
+
+def _init_metric_worker(payload: dict) -> None:
+    """Process-pool initializer: attach shared CSR data, build the oracle.
+
+    Runs once per worker process.  The static CSR structure (``indptr``,
+    ``indices``, the edge-id -> data-slot map) and the graph/spec travel
+    in the pickled ``payload``; only the mutable ``data`` array — the
+    floored metric — is attached via shared memory, so the coordinator's
+    in-place dirty-edge patches are visible here without any message.
+    """
+    global _WORKER_STATE
+    from scipy.sparse import csr_matrix
+
+    shm = shared_memory.SharedMemory(name=payload["shm_name"])
+    data = np.ndarray(
+        (payload["nnz"],), dtype=np.float64, buffer=shm.buf
+    )
+    matrix = csr_matrix(
+        (data, payload["indices"], payload["indptr"]),
+        shape=payload["shape"],
+        copy=False,
+    )
+    # csr_matrix may have allocated its own data array during validation;
+    # force the shared view back in either way.
+    matrix.data = data
+    graph: Graph = payload["graph"]
+    graph.adopt_csr_cache(matrix, payload["slots"])
+    oracle = SpreadingOracle(
+        graph,
+        payload["spec"],
+        engine="scipy",
+        tol=payload["tol"],
+        manage_csr=False,
+    )
+    _WORKER_STATE = {"oracle": oracle, "shm": shm}
+
+
+def _metric_worker_check(sources: List[int], mode: str):
+    """One worker task: verdicts for a slice of a batched sub-round."""
+    state = _WORKER_STATE
+    if state is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("metric worker used before initialisation")
+    counters = PerfCounters()
+    oracle: SpreadingOracle = state["oracle"]
+    oracle.counters = counters
+    check = oracle.batch_check(sources, mode=mode)
+    return check.violations, check.predecessors, counters, os.getpid()
+
+
+class MetricWorkerPool:
+    """A persistent worker pool for the batched spreading-metric oracle.
+
+    Parameters
+    ----------
+    graph : Graph
+        The graph whose CSR cache is moved into shared memory.  The
+        coordinator's oracle keeps writing through the same cache, so
+        every ``update_lengths`` is immediately visible to the workers.
+    spec : HierarchySpec
+        Hierarchy bounds; shipped to workers once at start-up.
+    parallel : ParallelConfig, optional
+        Worker count and fan-out thresholds.
+    tol : float, optional
+        Constraint tolerance for the worker oracles (must match the
+        coordinator's oracle for bit-identical verdicts).
+
+    Notes
+    -----
+    Use as a context manager or call :meth:`close` — it restores the
+    graph's CSR cache to private memory and unlinks the shared segment.
+    After any dispatch failure the pool marks itself broken and
+    :meth:`batch_check` returns None forever; callers fall back to the
+    in-process oracle, which is bit-identical.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        spec: HierarchySpec,
+        parallel: Optional[ParallelConfig] = None,
+        tol: float = DEFAULT_TOL,
+    ) -> None:
+        self.parallel = parallel or ParallelConfig()
+        self._graph = graph
+        self._broken = False
+        self._closed = False
+        self._shm: Optional[shared_memory.SharedMemory] = None
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+        matrix, slots = graph.csr_structure()
+        data = np.asarray(matrix.data)  # type: ignore[attr-defined]
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, data.nbytes)
+        )
+        shared = np.ndarray(data.shape, dtype=data.dtype, buffer=self._shm.buf)
+        shared[:] = data
+        matrix.data = shared  # type: ignore[attr-defined]
+        self._matrix = matrix
+        self._shared = shared
+
+        # A cache-free copy of the graph for the workers (cheap relative
+        # to pool start-up; avoids shipping the shared-memory views).
+        clean_graph = pickle.loads(pickle.dumps(graph))
+        payload = {
+            "shm_name": self._shm.name,
+            "nnz": int(data.shape[0]),
+            "indptr": np.asarray(matrix.indptr),  # type: ignore[attr-defined]
+            "indices": np.asarray(matrix.indices),  # type: ignore[attr-defined]
+            "shape": (graph.num_nodes, graph.num_nodes),
+            "slots": slots,
+            "graph": clean_graph,
+            "spec": spec,
+            "tol": tol,
+        }
+        self.workers = max(1, self.parallel.resolved_workers())
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_metric_worker,
+            initargs=(payload,),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def broken(self) -> bool:
+        """True once a dispatch failed; every later dispatch short-circuits."""
+        return self._broken
+
+    def poison(self) -> None:
+        """Shut the executor down so the next dispatch hits the fallback.
+
+        Used by the tests (and as an emergency brake): a poisoned pool
+        refuses work, ``batch_check`` returns None, and the engine
+        continues on the bit-identical serial path.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def batch_check(
+        self,
+        oracle: SpreadingOracle,
+        sources: Sequence[int],
+        mode: str = "first",
+    ) -> Optional[BatchCheck]:
+        """Fan one batched sub-round across the pool; None means "fall back".
+
+        Splits ``sources`` into contiguous per-worker slices, gathers the
+        worker verdicts, and merges them in source order — the result is
+        bit-identical to ``oracle.batch_check(sources, mode)``.  Returns
+        None (without raising) when the chunk is too small to be worth a
+        dispatch, or when the pool is broken/poisoned and
+        ``ParallelConfig.fallback`` is on.
+        """
+        if self._broken or self._closed:
+            return None
+        slices = self._slices(list(int(v) for v in sources))
+        if len(slices) <= 1:
+            return None  # cheaper on the coordinator
+        counters = oracle.counters
+        # Make sure the coordinator's current floored metric is installed
+        # in the shared data array before anyone reads it.
+        oracle.install_weights()
+        start = time.perf_counter()
+        try:
+            futures = [
+                self._executor.submit(_metric_worker_check, part, mode)
+                for part in slices
+            ]
+            parts = [future.result() for future in futures]
+        except Exception:
+            self._broken = True
+            if counters is not None:
+                counters.pool_fallbacks += 1
+            if not self.parallel.fallback:
+                raise
+            return None
+        dispatch_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        violations = []
+        predecessor_rows = []
+        for part_violations, part_predecessors, part_counters, pid in parts:
+            violations.extend(part_violations)
+            predecessor_rows.append(np.atleast_2d(part_predecessors))
+            if counters is not None:
+                key = str(pid)
+                counters.pool_workers[key] = (
+                    counters.pool_workers.get(key, 0)
+                    + part_counters.dijkstra_sources
+                )
+                counters.dijkstra_calls += part_counters.dijkstra_calls
+                counters.dijkstra_sources += part_counters.dijkstra_sources
+                counters.nodes_settled += part_counters.nodes_settled
+                counters.batch_checks += part_counters.batch_checks
+                counters.batch_sources += part_counters.batch_sources
+        predecessors = np.vstack(predecessor_rows)
+        if counters is not None:
+            counters.pool_dispatches += 1
+            counters.pool_tasks += len(slices)
+            counters.add_phase("pool_dispatch", dispatch_seconds)
+            counters.add_phase("pool_merge", time.perf_counter() - start)
+        return BatchCheck(
+            sources=tuple(int(v) for v in sources),
+            violations=violations,
+            predecessors=predecessors,
+        )
+
+    def _slices(self, sources: List[int]) -> List[List[int]]:
+        """Contiguous, balanced source slices (order-preserving)."""
+        per_task = max(1, self.parallel.min_sources_per_task)
+        tasks = min(self.workers, len(sources) // per_task)
+        if tasks <= 1:
+            return [sources]
+        bounds = np.linspace(0, len(sources), tasks + 1).astype(int)
+        return [
+            sources[bounds[i] : bounds[i + 1]]
+            for i in range(tasks)
+            if bounds[i] < bounds[i + 1]
+        ]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the workers down and return the CSR cache to private memory."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            try:
+                self._executor.shutdown(wait=True, cancel_futures=True)
+            except Exception:  # pragma: no cover - shutdown is best-effort
+                pass
+        if self._shm is not None:
+            # The graph's cached matrix must outlive the shared segment.
+            try:
+                self._matrix.data = self._shared.copy()  # type: ignore[attr-defined]
+            except Exception:  # pragma: no cover - cache may be replaced
+                pass
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except Exception:  # pragma: no cover - already unlinked
+                pass
+            self._shm = None
+
+    def __enter__(self) -> "MetricWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Generic ordered fan-out for the coarse outer loops
+# ----------------------------------------------------------------------
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    parallel: Optional[ParallelConfig] = None,
+    counters: Optional[PerfCounters] = None,
+) -> List[R]:
+    """Map ``fn`` over ``items``, in worker processes when enabled.
+
+    Results are returned **in item order**, so a deterministic ``fn``
+    (pure in its argument, all randomness from seeds inside the item)
+    yields bit-identical output whether the map ran pooled or serial.
+
+    Parameters
+    ----------
+    fn : callable
+        A module-level (picklable) function of one item.
+    items : sequence
+        Task payloads; each must be picklable for the pooled path.
+    parallel : ParallelConfig, optional
+        None, a single worker, or a single item all mean "run serially".
+    counters : PerfCounters, optional
+        Receives ``pool_tasks``/``pool_dispatches``; a fallback event is
+        recorded when the pool path failed and the serial loop took over.
+
+    Returns
+    -------
+    list
+        ``[fn(item) for item in items]``, computed either way.
+    """
+    items = list(items)
+    if (
+        parallel is None
+        or parallel.resolved_workers() <= 1
+        or len(items) <= 1
+    ):
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(parallel.resolved_workers(), len(items))
+        ) as executor:
+            futures = [executor.submit(fn, item) for item in items]
+            results = [future.result() for future in futures]
+    except Exception:
+        if counters is not None:
+            counters.pool_fallbacks += 1
+        if not parallel.fallback:
+            raise
+        return [fn(item) for item in items]
+    if counters is not None:
+        counters.pool_dispatches += 1
+        counters.pool_tasks += len(items)
+    return results

@@ -32,9 +32,24 @@ Counter semantics
 ``cut_evals``
     Candidate regions whose hypergraph cut was evaluated in ``find_cut``
     (Prim prefixes plus MST subtree heads).
+``pool_dispatches``
+    Batched oracle sub-rounds fanned out across the process pool (each
+    dispatch covers one chunk, split into per-worker tasks).
+``pool_tasks``
+    Worker tasks submitted to a process pool (metric slices, flow
+    iterations, construct children, hierarchy candidates).
+``pool_fallbacks``
+    Times a pooled code path dropped back to the serial equivalent —
+    pool creation failures, pickling errors, poisoned/shut-down pools.
+    Results are unaffected (the serial path is bit-identical); a nonzero
+    count only means the parallelism was not realised.
+``pool_workers``
+    Per-worker-process ``dijkstra_sources`` totals, keyed by worker pid —
+    shows how evenly the pool's load spread.
 ``phase_seconds``
     Wall-clock seconds per named phase (``metric``, ``construct``,
-    ``evaluate``, ...), accumulated across iterations.
+    ``evaluate``, ``pool_dispatch``, ``pool_merge``, ...), accumulated
+    across iterations.
 """
 
 from __future__ import annotations
@@ -45,7 +60,18 @@ from typing import Dict
 
 @dataclass
 class PerfCounters:
-    """Mutable instrumentation shared by the FLOW hot paths."""
+    """Mutable instrumentation shared by the FLOW hot paths.
+
+    A plain counter struct threaded through Algorithm 2 (the spreading
+    metric), the constraint oracle, ``find_cut`` and the parallel engine
+    tier.  See the module docstring for the meaning of each counter.
+
+    Notes
+    -----
+    ``PerfCounters`` is picklable; worker processes fill a fresh instance
+    per task and the pool merges it into the caller's struct, so the
+    aggregated numbers cover serial and pooled work alike.
+    """
 
     dijkstra_calls: int = 0
     dijkstra_sources: int = 0
@@ -57,6 +83,10 @@ class PerfCounters:
     retired_free: int = 0
     injections: int = 0
     cut_evals: int = 0
+    pool_dispatches: int = 0
+    pool_tasks: int = 0
+    pool_fallbacks: int = 0
+    pool_workers: Dict[str, int] = field(default_factory=dict)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -76,6 +106,13 @@ class PerfCounters:
         self.retired_free += other.retired_free
         self.injections += other.injections
         self.cut_evals += other.cut_evals
+        self.pool_dispatches += other.pool_dispatches
+        self.pool_tasks += other.pool_tasks
+        self.pool_fallbacks += other.pool_fallbacks
+        for worker, sources in other.pool_workers.items():
+            self.pool_workers[worker] = (
+                self.pool_workers.get(worker, 0) + sources
+            )
         for name, seconds in other.phase_seconds.items():
             self.add_phase(name, seconds)
 
@@ -92,6 +129,10 @@ class PerfCounters:
             "retired_free": self.retired_free,
             "injections": self.injections,
             "cut_evals": self.cut_evals,
+            "pool_dispatches": self.pool_dispatches,
+            "pool_tasks": self.pool_tasks,
+            "pool_fallbacks": self.pool_fallbacks,
+            "pool_workers": dict(self.pool_workers),
             "phase_seconds": dict(self.phase_seconds),
         }
 
@@ -101,6 +142,14 @@ class PerfCounters:
             f"{name}={seconds:.2f}s"
             for name, seconds in sorted(self.phase_seconds.items())
         )
+        pool = ""
+        if self.pool_dispatches or self.pool_tasks or self.pool_fallbacks:
+            pool = (
+                f" | pool {self.pool_dispatches} dispatches / "
+                f"{self.pool_tasks} tasks / "
+                f"{len(self.pool_workers)} workers / "
+                f"{self.pool_fallbacks} fallbacks"
+            )
         return (
             f"dijkstra {self.dijkstra_calls} calls / "
             f"{self.dijkstra_sources} sources / "
@@ -110,5 +159,5 @@ class PerfCounters:
             f"{self.recheck_sources} rechecks | "
             f"{self.injections} injections / "
             f"{self.edges_repriced} edges repriced | "
-            f"{self.cut_evals} cut evals | {phases}"
+            f"{self.cut_evals} cut evals{pool} | {phases}"
         )

@@ -29,8 +29,18 @@ Re-pricing after an injection patches just the dirty edges in place
 ``engine='scipy-serial'`` is the one-source-at-a-time loop (the seed's
 behaviour) kept as the reference the batched loop is asserted
 bit-identical against; ``engine='python'`` additionally swaps the oracle
-to the pure-Python Dijkstra.  All three produce identical results for a
-fixed seed.
+to the pure-Python Dijkstra.
+
+``engine='parallel'`` runs the same batched incremental loop but fans
+each sub-round's snapshot check across a persistent process pool
+(:class:`repro.core.parallel.MetricWorkerPool`): workers share the
+floored CSR arrays through ``multiprocessing.shared_memory``, verdicts
+are merged back in source order, and injections stay serial on the
+coordinator — so the flow trajectory, and therefore the result, is
+bit-identical to ``engine='scipy'`` for every seed and worker count.
+Chunks too small to be worth a dispatch, and any pool failure, fall back
+to the in-process check transparently.  All four engines produce
+identical results for a fixed seed.
 """
 
 from __future__ import annotations
@@ -42,12 +52,13 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.constraints import SpreadingOracle
+from repro.core.parallel import MetricWorkerPool, ParallelConfig
 from repro.core.perf import PerfCounters
 from repro.htp.hierarchy import HierarchySpec
 from repro.hypergraph.graph import Graph
 
 #: Engines accepted by :class:`SpreadingMetricConfig`.
-ENGINES = ("scipy", "scipy-serial", "python")
+ENGINES = ("scipy", "scipy-serial", "python", "parallel")
 
 #: Initial batched sub-round size; doubles after every injection-free
 #: chunk and resets on injection (injection-heavy phases want small
@@ -77,13 +88,19 @@ class SpreadingMetricConfig:
     engine:
         ``'scipy'`` (batched incremental, fast), ``'scipy-serial'``
         (one source per Dijkstra; the reference the batched engine is
-        tested bit-identical against) or ``'python'`` (pure-Python
-        reference).
+        tested bit-identical against), ``'python'`` (pure-Python
+        reference) or ``'parallel'`` (the batched loop with sub-round
+        checks fanned across a process pool; bit-identical to
+        ``'scipy'``).
     seed:
         Seed for the node visiting order.
     node_sample:
         Optional fraction (0, 1] of nodes to enforce constraints for — a
         stochastic speedup for very large instances; 1.0 enforces all.
+    parallel:
+        Pool sizing/fallback knobs for ``engine='parallel'`` (a
+        :class:`repro.core.parallel.ParallelConfig`); None means
+        defaults.  Ignored by the other engines.
     """
 
     alpha: float = 1.0
@@ -93,6 +110,7 @@ class SpreadingMetricConfig:
     engine: str = "scipy"
     seed: int = 0
     node_sample: float = 1.0
+    parallel: Optional["ParallelConfig"] = None
 
     def __post_init__(self) -> None:
         if self.alpha <= 0:
@@ -137,8 +155,40 @@ def compute_spreading_metric(
     config: Optional[SpreadingMetricConfig] = None,
     rng: Optional[random.Random] = None,
     counters: Optional[PerfCounters] = None,
+    pool: Optional[MetricWorkerPool] = None,
+    spawn_pool: bool = True,
 ) -> SpreadingMetricResult:
-    """Run Algorithm 2 on ``graph`` under hierarchy ``spec``."""
+    """Run Algorithm 2 on ``graph`` under hierarchy ``spec``.
+
+    Parameters
+    ----------
+    graph : Graph
+        The (net-model-expanded) graph carrying capacities.
+    spec : HierarchySpec
+        Hierarchy bounds supplying the spreading constraints.
+    config : SpreadingMetricConfig, optional
+        Tuning knobs; defaults reproduce the paper's Algorithm 2.
+    rng : random.Random, optional
+        Node-visit-order randomness; defaults to ``Random(config.seed)``.
+    counters : PerfCounters, optional
+        Instrumentation sink shared with the oracle and pool.
+    pool : MetricWorkerPool, optional
+        A caller-owned worker pool for ``engine='parallel'`` (the FLOW
+        driver shares one pool across its iterations).  Ignored by the
+        other engines.
+    spawn_pool : bool, optional
+        When True (default) and ``engine='parallel'`` with no ``pool``
+        given, a transient pool is created for this call and closed on
+        return.  The FLOW driver's fan-out workers pass False so a
+        pooled iteration never nests another pool.
+
+    Returns
+    -------
+    SpreadingMetricResult
+        The metric, flows, objective and diagnostics.  All engines
+        return bit-identical results for a fixed seed (the engine only
+        changes *how* verdicts are computed, never *which*).
+    """
     config = config or SpreadingMetricConfig()
     rng = rng or random.Random(config.seed)
     oracle_engine = "python" if config.engine == "python" else "scipy"
@@ -156,13 +206,49 @@ def compute_spreading_metric(
         sample_size = max(1, int(round(config.node_sample * len(active))))
         active = rng.sample(active, sample_size)
 
-    if config.engine == "scipy":
-        runner = _batched_rounds
-    else:
-        runner = _serial_rounds
-    injections, rounds = runner(
-        graph, oracle, config, rng, active, flows, lengths, capacities, counters
-    )
+    owned_pool: Optional[MetricWorkerPool] = None
+    if config.engine == "parallel" and pool is None and spawn_pool:
+        try:
+            owned_pool = MetricWorkerPool(
+                graph, spec, parallel=config.parallel, tol=oracle.tol
+            )
+            pool = owned_pool
+        except Exception:
+            # Pool creation failed (OS limits, pickling, ...): the
+            # batched loop without a pool is the bit-identical fallback.
+            if counters is not None:
+                counters.pool_fallbacks += 1
+            if config.parallel is not None and not config.parallel.fallback:
+                raise
+    try:
+        if config.engine in ("scipy", "parallel"):
+            injections, rounds = _batched_rounds(
+                graph,
+                oracle,
+                config,
+                rng,
+                active,
+                flows,
+                lengths,
+                capacities,
+                counters,
+                pool=pool if config.engine == "parallel" else None,
+            )
+        else:
+            injections, rounds = _serial_rounds(
+                graph,
+                oracle,
+                config,
+                rng,
+                active,
+                flows,
+                lengths,
+                capacities,
+                counters,
+            )
+    finally:
+        if owned_pool is not None:
+            owned_pool.close()
 
     return SpreadingMetricResult(
         lengths=lengths,
@@ -242,6 +328,7 @@ def _batched_rounds(
     lengths: np.ndarray,
     capacities: np.ndarray,
     counters: Optional[PerfCounters],
+    pool: Optional[MetricWorkerPool] = None,
 ):
     """Batched incremental round loop — bit-identical to `_serial_rounds`.
 
@@ -254,6 +341,12 @@ def _batched_rounds(
     not heuristic: lengths only ever grow, so a tree that avoids every
     dirty edge keeps its distance profile float-for-float, and any
     alternative path through a dirty edge only got longer.
+
+    With a ``pool`` (``engine='parallel'``) the snapshot itself is
+    computed by worker processes over the shared CSR arrays and merged in
+    source order; a None return (chunk too small, pool broken) drops to
+    the in-process check.  Either way the snapshot is the same, so the
+    engines stay bit-identical.
     """
     endpoints = graph.edge_endpoints()
     chunk_cap = max(
@@ -270,7 +363,11 @@ def _batched_rounds(
         while pos < len(active):
             chunk = active[pos : pos + chunk_size]
             pos += len(chunk)
-            snapshot = oracle.batch_check(chunk, mode="first")
+            snapshot = None
+            if pool is not None:
+                snapshot = pool.batch_check(oracle, chunk, mode="first")
+            if snapshot is None:
+                snapshot = oracle.batch_check(chunk, mode="first")
             dirty_u_parts: List[np.ndarray] = []
             dirty_w_parts: List[np.ndarray] = []
             dirty_u: Optional[np.ndarray] = None

@@ -8,6 +8,14 @@ of candidate hierarchies (binary trees over a height range, with a slack
 range) and partitions the netlist into each, returning the ranked
 outcomes.
 
+Candidate evaluation is embarrassingly parallel: each candidate is a
+pure function of ``(spec, seed)``, so ``parallel=ParallelConfig(...)``
+fans candidates across worker processes while preserving the exact
+serial results (candidates merge in enumeration order).  For the FLOW
+algorithm the net-model expansion is built **once** and shared across
+every candidate — hierarchy specs change the size bounds, not the graph,
+so rebuilding the graph (and its CSR cache) per candidate is pure waste.
+
 Costs across different hierarchies are only comparable when the weights
 express a consistent technology; by default each level's weight is 1, so
 deeper hierarchies price more cut layers — callers modelling hardware
@@ -18,15 +26,17 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Sequence
 
 from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.core.parallel import ParallelConfig, parallel_map
 from repro.errors import HierarchyError
 from repro.htp.cost import total_cost
 from repro.htp.hierarchy import HierarchySpec, binary_hierarchy
 from repro.htp.partition import PartitionTree
 from repro.htp.validate import partition_violations
+from repro.hypergraph.expansion import to_graph
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.partitioning.rfm import rfm_partition
 
@@ -44,6 +54,48 @@ class HierarchyCandidate:
     valid: bool
 
 
+def _evaluate_candidate(task) -> HierarchyCandidate:
+    """Evaluate one candidate hierarchy as a pure, picklable task.
+
+    ``task`` is ``(hypergraph, graph, spec, algorithm, config, seed,
+    height, slack, in_worker)``.  Inside a fan-out worker the FLOW
+    metric engine is demoted from ``'parallel'`` to the bit-identical
+    ``'scipy'`` path so workers never spawn nested pools.
+    """
+    (
+        hypergraph,
+        graph,
+        spec,
+        algorithm,
+        config,
+        seed,
+        height,
+        slack,
+        in_worker,
+    ) = task
+    start = time.perf_counter()
+    if algorithm == "flow":
+        if in_worker and config.metric.engine == "parallel":
+            config = replace(
+                config, metric=replace(config.metric, engine="scipy")
+            )
+        partition = flow_htp(hypergraph, spec, config, graph=graph).partition
+    else:
+        partition = rfm_partition(hypergraph, spec, rng=random.Random(seed))
+    seconds = time.perf_counter() - start
+    cost = total_cost(hypergraph, partition, spec)
+    valid = not partition_violations(hypergraph, partition, spec)
+    return HierarchyCandidate(
+        spec=spec,
+        partition=partition,
+        cost=cost,
+        height=height,
+        slack=slack,
+        seconds=seconds,
+        valid=valid,
+    )
+
+
 def search_hierarchies(
     hypergraph: Hypergraph,
     heights: Sequence[int] = (2, 3, 4),
@@ -52,17 +104,58 @@ def search_hierarchies(
     weights_for: Optional[Callable[[int], Sequence[float]]] = None,
     flow_config: Optional[FlowHTPConfig] = None,
     seed: int = 0,
+    parallel: Optional[ParallelConfig] = None,
 ) -> List[HierarchyCandidate]:
     """Partition into every candidate hierarchy; return results by cost.
 
-    ``algorithm`` is ``'rfm'`` (fast, default for sweeps) or ``'flow'``.
-    Hierarchies that are infeasible for the netlist (e.g. too few nodes
-    for the leaf count) are skipped.
+    Parameters
+    ----------
+    hypergraph : Hypergraph
+        The netlist to partition.
+    heights, slacks : sequences
+        The candidate grid: one binary hierarchy per (height, slack)
+        pair.  Infeasible combinations (e.g. too few nodes for the leaf
+        count) are skipped.
+    algorithm : {'rfm', 'flow'}
+        ``'rfm'`` (fast, default for sweeps) or ``'flow'``.
+    weights_for : callable, optional
+        ``weights_for(height)`` returning per-level weights.
+    flow_config : FlowHTPConfig, optional
+        FLOW configuration (``algorithm='flow'`` only).
+    seed : int, optional
+        Seed for RFM / the default FLOW configuration.
+    parallel : ParallelConfig, optional
+        When given, candidates are evaluated by worker processes via
+        :func:`repro.core.parallel.parallel_map`.  Results are
+        bit-identical to the serial sweep for any worker count.
+
+    Returns
+    -------
+    list of HierarchyCandidate
+        Sorted valid-first, then by cost.
     """
     if algorithm not in ("rfm", "flow"):
         raise ValueError(f"unknown algorithm {algorithm!r}")
     total = hypergraph.total_size()
-    candidates: List[HierarchyCandidate] = []
+
+    config: Optional[FlowHTPConfig] = None
+    flow_graph = None
+    if algorithm == "flow":
+        config = flow_config or FlowHTPConfig(
+            iterations=1, constructions_per_metric=4, seed=seed
+        )
+        # One expansion for the whole sweep: specs change the size
+        # bounds, not the graph, so every candidate shares this graph
+        # (and its CSR cache) instead of rebuilding it.  Seeded exactly
+        # as flow_htp would internally, so results are unchanged.
+        flow_graph = to_graph(
+            hypergraph, model=config.net_model, rng=random.Random(config.seed)
+        )
+
+    fan_out = (
+        parallel is not None and parallel.resolved_workers() > 1
+    )
+    tasks = []
     for height in heights:
         for slack in slacks:
             weights = weights_for(height) if weights_for else None
@@ -72,30 +165,26 @@ def search_hierarchies(
                 )
             except HierarchyError:
                 continue
-            start = time.perf_counter()
-            if algorithm == "flow":
-                config = flow_config or FlowHTPConfig(
-                    iterations=1, constructions_per_metric=4, seed=seed
-                )
-                partition = flow_htp(hypergraph, spec, config).partition
-            else:
-                partition = rfm_partition(
-                    hypergraph, spec, rng=random.Random(seed)
-                )
-            seconds = time.perf_counter() - start
-            cost = total_cost(hypergraph, partition, spec)
-            valid = not partition_violations(hypergraph, partition, spec)
-            candidates.append(
-                HierarchyCandidate(
-                    spec=spec,
-                    partition=partition,
-                    cost=cost,
-                    height=height,
-                    slack=slack,
-                    seconds=seconds,
-                    valid=valid,
+            tasks.append(
+                (
+                    hypergraph,
+                    flow_graph,
+                    spec,
+                    algorithm,
+                    config,
+                    seed,
+                    height,
+                    slack,
+                    fan_out,
                 )
             )
+
+    if fan_out and len(tasks) > 1:
+        candidates = list(
+            parallel_map(_evaluate_candidate, tasks, parallel=parallel)
+        )
+    else:
+        candidates = [_evaluate_candidate(task) for task in tasks]
     candidates.sort(key=lambda c: (not c.valid, c.cost))
     return candidates
 

@@ -1,0 +1,230 @@
+"""The process-parallel engine tier: bit-identity and fallback.
+
+The contract under test (see ``docs/architecture.md``): for a fixed
+seed, ``engine='parallel'`` produces *bit-identical* results to
+``engine='scipy'`` for any worker count — the pool only changes how
+violation verdicts are computed, never which — and every failure mode
+(tiny batches, poisoned pools, unpicklable tasks) degrades to the serial
+path rather than to different answers.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.core.construct import construct_partition
+from repro.core.parallel import MetricWorkerPool, ParallelConfig, parallel_map
+from repro.core.perf import PerfCounters
+from repro.core.spreading_metric import (
+    SpreadingMetricConfig,
+    compute_spreading_metric,
+)
+from repro.htp.hierarchy import binary_hierarchy
+from repro.hypergraph import planted_hierarchy_hypergraph, to_graph
+
+CPUS = os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def instance():
+    hypergraph = planted_hierarchy_hypergraph(num_nodes=96, height=3, seed=5)
+    spec = binary_hierarchy(hypergraph.total_size(), height=3)
+    graph = to_graph(hypergraph, rng=random.Random(0))
+    return hypergraph, graph, spec
+
+
+@pytest.fixture(scope="module")
+def sized_instance():
+    """Non-unit node sizes exercise the size-weighted bound paths."""
+    from repro.hypergraph import Hypergraph
+
+    base = planted_hierarchy_hypergraph(num_nodes=72, height=2, seed=9)
+    sized = Hypergraph(
+        72,
+        nets=base.nets(),
+        node_sizes=[1.0 + (v % 3) for v in base.nodes()],
+        name="sized",
+    )
+    spec = binary_hierarchy(sized.total_size(), height=2)
+    graph = to_graph(sized, rng=random.Random(0))
+    return sized, graph, spec
+
+
+def _metric(graph, spec, engine, seed, parallel=None, pool=None):
+    config = SpreadingMetricConfig(
+        delta=0.05, max_rounds=40, engine=engine, seed=seed, parallel=parallel
+    )
+    return compute_spreading_metric(
+        graph,
+        spec,
+        config,
+        rng=random.Random(seed),
+        counters=PerfCounters(),
+        pool=pool,
+    )
+
+
+class TestMetricBitIdentity:
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    @pytest.mark.parametrize(
+        "workers", sorted({1, 2, CPUS}), ids=lambda w: f"workers{w}"
+    )
+    def test_parallel_matches_scipy(self, instance, seed, workers):
+        _, graph, spec = instance
+        baseline = _metric(graph, spec, "scipy", seed)
+        parallel = ParallelConfig(workers=workers, min_sources_per_task=8)
+        result = _metric(graph, spec, "parallel", seed, parallel=parallel)
+        assert result.lengths.tolist() == baseline.lengths.tolist()
+        assert result.flows.tolist() == baseline.flows.tolist()
+        assert result.objective == baseline.objective
+        assert result.rounds == baseline.rounds
+
+    def test_parallel_matches_scipy_with_node_sizes(self, sized_instance):
+        _, graph, spec = sized_instance
+        baseline = _metric(graph, spec, "scipy", seed=2)
+        parallel = ParallelConfig(workers=2, min_sources_per_task=8)
+        result = _metric(graph, spec, "parallel", seed=2, parallel=parallel)
+        assert result.lengths.tolist() == baseline.lengths.tolist()
+        assert result.objective == baseline.objective
+
+    def test_pool_counters_populated(self, instance):
+        _, graph, spec = instance
+        parallel = ParallelConfig(workers=2, min_sources_per_task=4)
+        config = SpreadingMetricConfig(
+            delta=0.05, max_rounds=40, engine="parallel", seed=0,
+            parallel=parallel,
+        )
+        counters = PerfCounters()
+        compute_spreading_metric(
+            graph, spec, config, rng=random.Random(0), counters=counters
+        )
+        assert counters.pool_dispatches > 0
+        assert counters.pool_tasks >= counters.pool_dispatches
+        assert counters.pool_fallbacks == 0
+        assert sum(counters.pool_workers.values()) > 0
+
+
+class TestFlowBitIdentity:
+    def _run(self, instance, engine, iterations, workers=2):
+        hypergraph, graph, spec = instance
+        config = FlowHTPConfig(
+            iterations=iterations,
+            constructions_per_metric=2,
+            seed=7,
+            metric=SpreadingMetricConfig(
+                delta=0.05, max_rounds=40, engine=engine
+            ),
+            parallel=(
+                ParallelConfig(workers=workers, min_sources_per_task=8)
+                if engine == "parallel"
+                else None
+            ),
+        )
+        return flow_htp(hypergraph, spec, config, graph=graph)
+
+    @pytest.mark.parametrize("iterations", [1, 2])
+    def test_flow_parallel_matches_scipy(self, instance, iterations):
+        hypergraph = instance[0]
+        baseline = self._run(instance, "scipy", iterations)
+        result = self._run(instance, "parallel", iterations)
+        assert result.cost == baseline.cost
+        assert result.iteration_costs == baseline.iteration_costs
+        assert result.metric_objectives == baseline.metric_objectives
+        assert [
+            result.partition.leaf_of(v) for v in hypergraph.nodes()
+        ] == [baseline.partition.leaf_of(v) for v in hypergraph.nodes()]
+
+    def test_flow_single_worker_short_circuits(self, instance):
+        baseline = self._run(instance, "scipy", 2)
+        result = self._run(instance, "parallel", 2, workers=1)
+        assert result.cost == baseline.cost
+        assert result.perf.pool_dispatches == 0
+
+
+class TestConstructFanOut:
+    def test_construct_parallel_matches_serial(self, instance):
+        hypergraph, graph, spec = instance
+        metric = _metric(graph, spec, "scipy", seed=1)
+        serial = construct_partition(
+            hypergraph, graph, spec, metric.lengths, rng=random.Random(4)
+        )
+        fanned = construct_partition(
+            hypergraph,
+            graph,
+            spec,
+            metric.lengths,
+            rng=random.Random(4),
+            parallel=ParallelConfig(workers=2),
+        )
+        assert [
+            fanned.leaf_of(v) for v in hypergraph.nodes()
+        ] == [serial.leaf_of(v) for v in hypergraph.nodes()]
+
+
+class TestFallback:
+    def test_poisoned_pool_falls_back_to_serial(self, instance):
+        _, graph, spec = instance
+        baseline = _metric(graph, spec, "scipy", seed=0)
+        parallel = ParallelConfig(workers=2, min_sources_per_task=8)
+        counters = PerfCounters()
+        with MetricWorkerPool(graph, spec, parallel=parallel) as pool:
+            pool.poison()
+            config = SpreadingMetricConfig(
+                delta=0.05, max_rounds=40, engine="parallel", seed=0,
+                parallel=parallel,
+            )
+            result = compute_spreading_metric(
+                graph,
+                spec,
+                config,
+                rng=random.Random(0),
+                counters=counters,
+                pool=pool,
+                spawn_pool=False,
+            )
+        assert result.lengths.tolist() == baseline.lengths.tolist()
+        assert result.objective == baseline.objective
+        assert counters.pool_fallbacks >= 1
+
+    def test_parallel_map_serial_when_unconfigured(self):
+        assert parallel_map(abs, [-1, -2, 3]) == [1, 2, 3]
+        assert parallel_map(
+            abs, [-1], parallel=ParallelConfig(workers=8)
+        ) == [1]
+
+    def test_parallel_map_falls_back_on_unpicklable_fn(self):
+        counters = PerfCounters()
+        square = lambda x: x * x  # noqa: E731 - unpicklable on purpose
+        out = parallel_map(
+            square,
+            [1, 2, 3],
+            parallel=ParallelConfig(workers=2),
+            counters=counters,
+        )
+        assert out == [1, 4, 9]
+        assert counters.pool_fallbacks == 1
+
+    def test_parallel_map_raises_without_fallback(self):
+        square = lambda x: x * x  # noqa: E731
+        with pytest.raises(Exception):
+            parallel_map(
+                square,
+                [1, 2, 3],
+                parallel=ParallelConfig(workers=2, fallback=False),
+            )
+
+
+class TestParallelConfig:
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(workers=0)
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(min_sources_per_task=0)
+
+    def test_resolved_workers_defaults_to_cpu_count(self):
+        assert ParallelConfig().resolved_workers() == CPUS
+        assert ParallelConfig(workers=3).resolved_workers() == 3
