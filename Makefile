@@ -1,12 +1,22 @@
 # Convenience targets; see scripts/verify.sh for the canonical check.
 
-.PHONY: verify test bench-micro docs-check
+.PHONY: verify test chaos coverage bench-micro docs-check
 
 verify:
 	sh scripts/verify.sh
 
 test:
 	PYTHONPATH=src python -m pytest -x -q
+
+# Fault-injection replay suite: FLOW runs under injected worker
+# crashes/hangs/corruption must stay bit-identical to fault-free runs.
+chaos:
+	PYTHONPATH=src python -m pytest -m chaos -q
+
+# Line coverage of src/repro/core against the committed baseline
+# (scripts/coverage_baseline.json); refresh with --write-baseline.
+coverage:
+	PYTHONPATH=src python scripts/coverage_core.py --check
 
 # Doctest the documentation snippets, fail on dead intra-repo links and
 # on benchmark files missing from docs/benchmarks.md.

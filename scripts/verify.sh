@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
-# Tier-1 verification: the full unit suite, a collect-only guard
-# keeping every benchmark file importable (they are not part of tier-1,
-# so a stray import error would otherwise go unnoticed until someone
-# tries to reproduce a table), and the documentation checker (runnable
-# snippets, live links, complete benchmark table).
+# Tier-1 verification: the full unit suite, the chaos (fault-injection
+# replay) suite, a collect-only guard keeping every benchmark file
+# importable (they are not part of tier-1, so a stray import error
+# would otherwise go unnoticed until someone tries to reproduce a
+# table), the documentation checker (runnable snippets, live links,
+# complete benchmark table), and the core coverage gate (line coverage
+# of src/repro/core may not drop below the committed baseline).
 #
 # Usage: sh scripts/verify.sh   (or: make verify)
 set -e
@@ -14,10 +16,16 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+echo "== chaos suite =="
+python -m pytest -m chaos -q
+
 echo "== benchmark import guard =="
 python -m pytest benchmarks/bench_micro.py benchmarks/bench_spreading_batch.py --co -q
 
 echo "== docs check =="
 python scripts/docs_check.py
+
+echo "== core coverage gate =="
+python scripts/coverage_core.py --check
 
 echo "verify OK"

@@ -28,6 +28,7 @@ from repro.analysis.experiments import (
     table2_to_table,
     table3_to_table,
 )
+from repro.core.faults import FaultPlan, FaultPlanError
 from repro.core.flow_htp import FlowHTPConfig, flow_htp
 from repro.core.parallel import ParallelConfig
 from repro.core.lp import solve_spreading_lp
@@ -46,6 +47,29 @@ from repro.hypergraph.generators import (
 from repro.partitioning.gfm import gfm_partition
 from repro.partitioning.htp_fm import htp_fm_improve
 from repro.partitioning.rfm import rfm_partition
+
+
+def _positive_int(value: str) -> int:
+    """argparse type for strictly positive integer options."""
+    try:
+        parsed = int(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"{value!r} is not an integer"
+        ) from exc
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(
+            f"{value!r} must be at least 1"
+        )
+    return parsed
+
+
+def _fault_plan(value: str) -> FaultPlan:
+    """argparse type for ``--fault-plan`` strings."""
+    try:
+        return FaultPlan.parse(value)
+    except FaultPlanError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,9 +111,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     part.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=None,
         help="worker processes for --engine parallel (default: cpu count)",
+    )
+    part.add_argument(
+        "--fault-plan",
+        type=_fault_plan,
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault injection for --engine parallel, e.g. "
+        "'fail:task@dispatch=0;hang:task@dispatch=1,duration=2' — results "
+        "are bit-identical to the fault-free run (chaos reproduction aid)",
     )
     part.add_argument(
         "--improve", action="store_true", help="run FM improvement afterwards"
@@ -119,7 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--seed", type=int, default=0)
     search.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=None,
         help="evaluate candidate hierarchies in worker processes",
     )
@@ -177,12 +210,20 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
+    if args.fault_plan is not None and args.engine != "parallel":
+        print(
+            "error: --fault-plan requires --engine parallel",
+            file=sys.stderr,
+        )
+        return 2
     netlist = _load_netlist(args.input)
     spec = binary_hierarchy(netlist.total_size(), height=args.height)
     if args.algorithm == "flow":
         parallel = None
         if args.engine == "parallel":
-            parallel = ParallelConfig(workers=args.workers)
+            parallel = ParallelConfig(
+                workers=args.workers, fault_plan=args.fault_plan
+            )
         config = FlowHTPConfig(
             iterations=args.iterations,
             seed=args.seed,
@@ -194,6 +235,8 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         result = flow_htp(netlist, spec, config)
         tree, cost = result.partition, result.cost
         print(f"FLOW cost: {cost:g}  ({result.runtime_seconds:.1f}s)")
+        if args.fault_plan is not None:
+            print(f"fault plan: {args.fault_plan.describe()}")
         if args.perf and result.perf is not None:
             print(f"perf: {result.perf.summary()}")
     elif args.algorithm == "gfm":

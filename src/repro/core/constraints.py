@@ -521,6 +521,25 @@ class SpreadingOracle:
         """
         return self._csr_matrix()
 
+    def reinstall_weights(self):
+        """Force a full re-install of the floored metric into the CSR cache.
+
+        The repair path of the fault-tolerant pool: when a worker has
+        scribbled on the shared CSR ``data`` array (detected by the
+        coordinator's dispatch checksum), this rewrites every slot from
+        the oracle's private ``_floored`` copy — the coordinator's
+        metric is the single source of truth, so the shared view is
+        restored exactly.  Returns the repaired CSR matrix.
+        """
+        if not self._manage_csr:
+            raise RuntimeError(
+                "this oracle's CSR weights are externally managed "
+                "(manage_csr=False); only the coordinating process may "
+                "repair them"
+            )
+        self._csr_token = None
+        return self._csr_matrix()
+
     def _csr_matrix(self):
         """The shared CSR matrix with this oracle's floored metric installed.
 

@@ -258,8 +258,9 @@ def flow_htp(
         if config.metric.engine == "parallel":
             try:
                 pool = MetricWorkerPool(graph, spec, parallel=parallel_cfg)
-            except Exception:
+            except Exception as exc:
                 counters.pool_fallbacks += 1
+                counters.record_degradation("spawn-serial", exc, site="pool-spawn")
                 if parallel_cfg is not None and not parallel_cfg.fallback:
                     raise
                 pool = None

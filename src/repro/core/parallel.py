@@ -33,14 +33,42 @@ primitives every one of those loops shares:
     exact same results because every task derives its randomness from a
     pre-drawn seed rather than shared RNG state.
 
+Fault tolerance
+---------------
+A crashed, hung or corrupting worker must not forfeit the run — or its
+parallelism.  :meth:`MetricWorkerPool.batch_check` runs every dispatch
+through a **degradation ladder** whose budgets live in
+:class:`~repro.core.faults.FaultTolerance`:
+
+1. **retry task** — a failed slice is resubmitted with bounded
+   exponential backoff (``pool_task_retries``);
+2. **respawn worker** — a dead worker (``BrokenProcessPool``) or a task
+   past its deadline kills and rebuilds the executor, re-attaching the
+   same shared-memory segment (``pool_respawns``);
+3. **shrink pool** — when the respawn budget at the current size runs
+   out, the worker count is halved and the budget reset
+   (``pool_shrinks``);
+4. **serial** — at ``min_workers`` the pool marks itself broken and
+   every later dispatch short-circuits to the bit-identical in-process
+   path (``pool_fallbacks``).
+
+A scribbled shared-memory segment is caught by a CRC over the CSR
+``data`` array around each dispatch; the coordinator repairs the segment
+from its private metric (:meth:`SpreadingOracle.reinstall_weights`) and
+re-runs the dispatch cleanly (``pool_corruptions``).  Every transition
+is logged with its *original* cause in ``PerfCounters.degradations`` —
+the ladder never swallows the exception that triggered it.  Controlled
+failures for the chaos harness come from
+:class:`~repro.core.faults.FaultPlan` (``htp partition --fault-plan``).
+
 Determinism contract
 --------------------
 Everything dispatched through this module must be a pure function of its
 arguments plus explicitly passed seeds.  Under that contract the pooled
 and serial paths are **bit-identical** for every worker count — the
 property ``tests/test_parallel_engine.py`` pins across seeds, worker
-counts and the fallback path.  Speed may vary with the hardware; results
-may not.
+counts and the fallback path, and ``tests/chaos/`` pins under every
+injected fault.  Speed may vary with the hardware; results may not.
 """
 
 from __future__ import annotations
@@ -48,14 +76,17 @@ from __future__ import annotations
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+import zlib
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
 from repro.core.constraints import DEFAULT_TOL, BatchCheck, SpreadingOracle
+from repro.core.faults import FaultPlan, FaultTolerance, InjectedFault, trip
 from repro.core.perf import PerfCounters
 from repro.htp.hierarchy import HierarchySpec
 from repro.hypergraph.graph import Graph
@@ -78,15 +109,23 @@ class ParallelConfig:
         injection-heavy phase of Algorithm 2) stay on the coordinator
         where they are cheaper than a dispatch round-trip.
     fallback:
-        When True (default), pool/dispatch failures (pickling errors, OS
-        process limits, poisoned executors) silently fall back to the
-        bit-identical serial path, counting a ``pool_fallbacks`` perf
-        event.  When False such failures raise.
+        When True (default), pool/dispatch failures that exhaust the
+        degradation ladder fall back to the bit-identical serial path,
+        counting a ``pool_fallbacks`` perf event and logging the cause.
+        When False the original exception is re-raised.
+    tolerance:
+        Degradation-ladder budgets (deadline, retries, respawn/shrink
+        limits); None means :class:`FaultTolerance` defaults.
+    fault_plan:
+        Deterministic fault injection for chaos testing; None (default)
+        injects nothing.
     """
 
     workers: Optional[int] = None
     min_sources_per_task: int = 16
     fallback: bool = True
+    tolerance: Optional[FaultTolerance] = None
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
@@ -141,14 +180,27 @@ def _init_metric_worker(payload: dict) -> None:
         tol=payload["tol"],
         manage_csr=False,
     )
-    _WORKER_STATE = {"oracle": oracle, "shm": shm}
+    _WORKER_STATE = {
+        "oracle": oracle,
+        "shm": shm,
+        "data": data,
+        "plan": payload.get("plan"),
+    }
 
 
-def _metric_worker_check(sources: List[int], mode: str):
-    """One worker task: verdicts for a slice of a batched sub-round."""
+def _metric_worker_check(
+    sources: List[int], mode: str, coords: Optional[Dict[str, int]] = None
+):
+    """One worker task: verdicts for a slice of a batched sub-round.
+
+    ``coords`` names the task for the worker-side fault-injection point
+    (``dispatch``/``task``/``attempt``/``round``); production runs ship
+    no plan and the trip is a no-op.
+    """
     state = _WORKER_STATE
     if state is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("metric worker used before initialisation")
+    trip(state["plan"], "task", coords or {}, corrupt_target=state["data"])
     counters = PerfCounters()
     oracle: SpreadingOracle = state["oracle"]
     oracle.counters = counters
@@ -157,7 +209,7 @@ def _metric_worker_check(sources: List[int], mode: str):
 
 
 class MetricWorkerPool:
-    """A persistent worker pool for the batched spreading-metric oracle.
+    """A persistent, fault-tolerant worker pool for the batched oracle.
 
     Parameters
     ----------
@@ -168,18 +220,25 @@ class MetricWorkerPool:
     spec : HierarchySpec
         Hierarchy bounds; shipped to workers once at start-up.
     parallel : ParallelConfig, optional
-        Worker count and fan-out thresholds.
+        Worker count, fan-out thresholds, ladder budgets and fault plan.
     tol : float, optional
         Constraint tolerance for the worker oracles (must match the
         coordinator's oracle for bit-identical verdicts).
+    fault_plan : FaultPlan, optional
+        Overrides ``parallel.fault_plan`` when given.
+    tolerance : FaultTolerance, optional
+        Overrides ``parallel.tolerance`` when given.
 
     Notes
     -----
     Use as a context manager or call :meth:`close` — it restores the
     graph's CSR cache to private memory and unlinks the shared segment.
-    After any dispatch failure the pool marks itself broken and
-    :meth:`batch_check` returns None forever; callers fall back to the
-    in-process oracle, which is bit-identical.
+    Worker failures walk the degradation ladder (see the module
+    docstring); only when the ladder is exhausted does the pool mark
+    itself broken, after which :meth:`batch_check` returns None forever
+    and callers continue on the bit-identical in-process path.  The
+    exception that broke the pool is kept on :attr:`last_error` and in
+    the counters' degradation log — never swallowed.
     """
 
     def __init__(
@@ -188,11 +247,21 @@ class MetricWorkerPool:
         spec: HierarchySpec,
         parallel: Optional[ParallelConfig] = None,
         tol: float = DEFAULT_TOL,
+        fault_plan: Optional[FaultPlan] = None,
+        tolerance: Optional[FaultTolerance] = None,
     ) -> None:
         self.parallel = parallel or ParallelConfig()
+        self.tolerance = tolerance or self.parallel.tolerance or FaultTolerance()
+        self._plan = fault_plan if fault_plan is not None else self.parallel.fault_plan
         self._graph = graph
         self._broken = False
+        self._broken_recorded = False
         self._closed = False
+        self._round = 0
+        self._dispatch_index = 0
+        self._respawns_since_shrink = 0
+        #: The most recent underlying exception (preserved, never swallowed).
+        self.last_error: Optional[BaseException] = None
         self._shm: Optional[shared_memory.SharedMemory] = None
         self._executor: Optional[ProcessPoolExecutor] = None
 
@@ -210,7 +279,7 @@ class MetricWorkerPool:
         # A cache-free copy of the graph for the workers (cheap relative
         # to pool start-up; avoids shipping the shared-memory views).
         clean_graph = pickle.loads(pickle.dumps(graph))
-        payload = {
+        self._payload = {
             "shm_name": self._shm.name,
             "nnz": int(data.shape[0]),
             "indptr": np.asarray(matrix.indptr),  # type: ignore[attr-defined]
@@ -220,30 +289,115 @@ class MetricWorkerPool:
             "graph": clean_graph,
             "spec": spec,
             "tol": tol,
+            "plan": self._plan,
         }
         self.workers = max(1, self.parallel.resolved_workers())
-        self._executor = ProcessPoolExecutor(
-            max_workers=self.workers,
-            initializer=_init_metric_worker,
-            initargs=(payload,),
-        )
+        self._spawn_executor()
 
     # ------------------------------------------------------------------
     @property
     def broken(self) -> bool:
-        """True once a dispatch failed; every later dispatch short-circuits."""
+        """True once the degradation ladder was exhausted (or the pool
+        was poisoned); every later dispatch short-circuits to serial."""
         return self._broken
 
-    def poison(self) -> None:
-        """Shut the executor down so the next dispatch hits the fallback.
+    def begin_round(self, round_index: int) -> None:
+        """Tell the pool which Algorithm-2 round is running.
 
-        Used by the tests (and as an emergency brake): a poisoned pool
-        refuses work, ``batch_check`` returns None, and the engine
-        continues on the bit-identical serial path.
+        Only consumed by the fault-injection coordinates (``round=``
+        conditions in a :class:`FaultPlan`); a plain production run may
+        skip it.
         """
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
+        self._round = int(round_index)
 
+    def poison(self) -> None:
+        """Emergency brake: mark the pool broken and kill its workers.
+
+        A poisoned pool refuses work — ``batch_check`` returns None (one
+        ``pool_fallbacks`` event is recorded on its next call) and the
+        engine continues on the bit-identical serial path.  Unlike
+        ladder exhaustion this is immediate and unconditional.
+        """
+        self._broken = True
+        if self.last_error is None:
+            self.last_error = RuntimeError("pool poisoned")
+        self._kill_executor()
+
+    # ------------------------------------------------------------------
+    # Executor lifecycle (the respawn/shrink rungs of the ladder)
+    # ------------------------------------------------------------------
+    def _spawn_executor(self) -> None:
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_metric_worker,
+            initargs=(self._payload,),
+        )
+
+    def _kill_executor(self) -> None:
+        """Tear the executor down hard, terminating hung workers."""
+        executor = self._executor
+        self._executor = None
+        if executor is None:
+            return
+        processes = list(getattr(executor, "_processes", {}).values())
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - shutdown is best-effort
+            pass
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
+
+    def _respawn_or_shrink(
+        self, counters: Optional[PerfCounters], cause: BaseException
+    ) -> bool:
+        """Walk one rung up the ladder: respawn, then shrink, then give up.
+
+        Returns True when a fresh executor is available, False when the
+        ladder is exhausted (the pool is then broken and the caller must
+        degrade this dispatch to the serial path).
+        """
+        tol = self.tolerance
+        if self._respawns_since_shrink >= tol.respawn_limit:
+            shrunk = max(tol.min_workers, self.workers // 2)
+            if shrunk >= self.workers:
+                self._mark_broken(counters, cause)
+                return False
+            self.workers = shrunk
+            self._respawns_since_shrink = 0
+            if counters is not None:
+                counters.pool_shrinks += 1
+                counters.record_degradation("shrink", cause)
+        else:
+            self._respawns_since_shrink += 1
+        if counters is not None:
+            counters.pool_respawns += 1
+            counters.record_degradation("respawn", cause)
+        self._kill_executor()
+        try:
+            self._spawn_executor()
+        except Exception as exc:  # pragma: no cover - OS-level spawn failure
+            self._mark_broken(counters, exc)
+            return False
+        return True
+
+    def _mark_broken(
+        self, counters: Optional[PerfCounters], cause: object
+    ) -> None:
+        """Final rung: give up on parallelism, keep the cause."""
+        self._broken = True
+        self._broken_recorded = True
+        if isinstance(cause, BaseException):
+            self.last_error = cause
+        elif self.last_error is None:
+            self.last_error = RuntimeError(str(cause))
+        if counters is not None:
+            counters.record_degradation("serial", cause)
+        self._kill_executor()
+
+    # ------------------------------------------------------------------
     def batch_check(
         self,
         oracle: SpreadingOracle,
@@ -254,33 +408,56 @@ class MetricWorkerPool:
 
         Splits ``sources`` into contiguous per-worker slices, gathers the
         worker verdicts, and merges them in source order — the result is
-        bit-identical to ``oracle.batch_check(sources, mode)``.  Returns
-        None (without raising) when the chunk is too small to be worth a
-        dispatch, or when the pool is broken/poisoned and
-        ``ParallelConfig.fallback`` is on.
+        bit-identical to ``oracle.batch_check(sources, mode)``.  Worker
+        failures are absorbed by the degradation ladder; a None return
+        (chunk too small, ladder exhausted, pool poisoned) tells the
+        caller to run the bit-identical in-process check instead.  With
+        ``ParallelConfig.fallback`` off, the *original* failure is
+        re-raised instead of returning None.
         """
-        if self._broken or self._closed:
+        counters = oracle.counters
+        if self._closed:
+            return None
+        if self._broken:
+            self._record_broken_once(counters)
             return None
         slices = self._slices(list(int(v) for v in sources))
         if len(slices) <= 1:
             return None  # cheaper on the coordinator
-        counters = oracle.counters
+        dispatch = self._dispatch_index
+        self._dispatch_index += 1
         # Make sure the coordinator's current floored metric is installed
         # in the shared data array before anyone reads it.
         oracle.install_weights()
-        start = time.perf_counter()
         try:
-            futures = [
-                self._executor.submit(_metric_worker_check, part, mode)
-                for part in slices
-            ]
-            parts = [future.result() for future in futures]
-        except Exception:
-            self._broken = True
+            trip(
+                self._plan,
+                "dispatch",
+                {"dispatch": dispatch, "round": self._round, "attempt": 0},
+            )
+        except InjectedFault as exc:
+            self.last_error = exc
             if counters is not None:
+                counters.faults_injected += 1
                 counters.pool_fallbacks += 1
+                counters.record_degradation("dispatch-serial", exc, site="dispatch")
             if not self.parallel.fallback:
                 raise
+            return None
+        start = time.perf_counter()
+        checksum_before = self._checksum()
+        attempts = [0] * len(slices)
+        parts = self._run_ladder(slices, mode, dispatch, counters, attempts)
+        if parts is not None and self._checksum() != checksum_before:
+            parts = self._recover_corruption(
+                oracle, slices, mode, dispatch, counters, attempts,
+                checksum_before,
+            )
+        if parts is None:
+            if counters is not None:
+                counters.pool_fallbacks += 1
+            if not self.parallel.fallback and self.last_error is not None:
+                raise self.last_error
             return None
         dispatch_seconds = time.perf_counter() - start
 
@@ -313,6 +490,183 @@ class MetricWorkerPool:
             predecessors=predecessors,
         )
 
+    def _record_broken_once(self, counters: Optional[PerfCounters]) -> None:
+        """Count the transition to permanent-serial exactly once."""
+        if self._broken_recorded:
+            return
+        self._broken_recorded = True
+        if counters is not None:
+            counters.pool_fallbacks += 1
+            counters.record_degradation(
+                "serial", self.last_error or "pool broken"
+            )
+
+    def _checksum(self) -> int:
+        """CRC of the shared CSR ``data`` segment (corruption detector)."""
+        return zlib.crc32(self._shared.tobytes())
+
+    def _recover_corruption(
+        self,
+        oracle: SpreadingOracle,
+        slices: List[List[int]],
+        mode: str,
+        dispatch: int,
+        counters: Optional[PerfCounters],
+        attempts: List[int],
+        checksum_before: int,
+    ) -> Optional[list]:
+        """Repair a scribbled shared segment and re-run the dispatch.
+
+        The coordinator's oracle holds the authoritative metric in
+        private memory; reinstalling it rewrites every shared slot, so
+        the repair is exact.  The re-run uses fresh ``attempt``
+        coordinates — an attempt-0 fault plan cannot re-fire — and its
+        results are only accepted if the segment stays clean.
+        """
+        corruption = RuntimeError(
+            f"shared CSR data corrupted during dispatch {dispatch}"
+        )
+        self.last_error = corruption
+        if counters is not None:
+            counters.pool_corruptions += 1
+            counters.faults_injected += 1
+            counters.record_degradation("repair", corruption)
+        oracle.reinstall_weights()
+        if self._checksum() != checksum_before:  # pragma: no cover - exact
+            self._mark_broken(counters, corruption)
+            return None
+        for i in range(len(attempts)):
+            attempts[i] += 1
+        parts = self._run_ladder(slices, mode, dispatch, counters, attempts)
+        if parts is not None and self._checksum() != checksum_before:
+            # Corrupted again on the clean re-run: stop trusting the pool.
+            oracle.reinstall_weights()
+            self._mark_broken(counters, corruption)
+            return None
+        return parts
+
+    def _run_ladder(
+        self,
+        slices: List[List[int]],
+        mode: str,
+        dispatch: int,
+        counters: Optional[PerfCounters],
+        attempts: List[int],
+    ) -> Optional[list]:
+        """Run one dispatch to completion through the degradation ladder.
+
+        Returns the per-slice worker results (in slice order) or None
+        when the ladder was exhausted.  ``attempts`` is caller-owned so
+        a corruption re-run continues the attempt numbering.
+        """
+        tol = self.tolerance
+        results: List[Optional[tuple]] = [None] * len(slices)
+        pending = list(range(len(slices)))
+        escalations = 0
+        wave = 0
+        shrink_depth = max(1, self.workers).bit_length()
+        max_waves = (tol.task_retries + 2) * (tol.respawn_limit + 2) * (
+            shrink_depth + 1
+        )
+        while pending:
+            wave += 1
+            if wave > max_waves:  # pragma: no cover - defensive bound
+                self._mark_broken(
+                    counters,
+                    self.last_error
+                    or RuntimeError("dispatch wave budget exhausted"),
+                )
+                return None
+            if self._executor is None:
+                try:
+                    self._spawn_executor()
+                except Exception as exc:  # pragma: no cover - spawn failure
+                    self._mark_broken(counters, exc)
+                    return None
+            futures = {}
+            submit_error: Optional[BaseException] = None
+            for i in pending:
+                coords = {
+                    "dispatch": dispatch,
+                    "task": i,
+                    "attempt": attempts[i],
+                    "round": self._round,
+                }
+                try:
+                    futures[i] = self._executor.submit(
+                        _metric_worker_check, slices[i], mode, coords
+                    )
+                except Exception as exc:
+                    submit_error = exc
+                    break
+            if submit_error is not None:
+                for future in futures.values():
+                    future.cancel()
+                self.last_error = submit_error
+                if not self._respawn_or_shrink(counters, submit_error):
+                    return None
+                continue
+            done, not_done = futures_wait(
+                list(futures.values()), timeout=tol.task_deadline
+            )
+            index_of = {future: i for i, future in futures.items()}
+            next_pending: List[int] = []
+            respawn_cause: Optional[BaseException] = None
+            for future in done:
+                i = index_of[future]
+                try:
+                    results[i] = future.result()
+                    continue
+                except BrokenExecutor as exc:
+                    # A worker process died; the whole executor is gone.
+                    respawn_cause = exc
+                except Exception as exc:
+                    if counters is not None:
+                        if isinstance(exc, InjectedFault):
+                            counters.faults_injected += 1
+                        counters.pool_task_retries += 1
+                        counters.record_degradation("retry", exc)
+                    self.last_error = exc
+                attempts[i] += 1
+                next_pending.append(i)
+            if not_done:
+                timed_out = sorted(index_of[future] for future in not_done)
+                respawn_cause = TimeoutError(
+                    f"tasks {timed_out} of dispatch {dispatch} missed the "
+                    f"{tol.task_deadline}s deadline"
+                )
+                for future in not_done:
+                    future.cancel()
+                for i in timed_out:
+                    attempts[i] += 1
+                    next_pending.append(i)
+                    if counters is not None:
+                        counters.pool_task_retries += 1
+            if respawn_cause is not None:
+                self.last_error = respawn_cause
+                if not self._respawn_or_shrink(counters, respawn_cause):
+                    return None
+            elif next_pending:
+                # Plain failures only escalate once their retry budget
+                # (grown by one per prior escalation) is spent.
+                over_budget = [
+                    i
+                    for i in next_pending
+                    if attempts[i] > tol.task_retries + escalations
+                ]
+                if over_budget:
+                    escalations += 1
+                    if not self._respawn_or_shrink(
+                        counters, self.last_error or RuntimeError("retries exhausted")
+                    ):
+                        return None
+            pending = sorted(set(next_pending))
+            if pending:
+                backoff = tol.backoff(wave)
+                if backoff > 0:
+                    time.sleep(backoff)
+        return results
+
     def _slices(self, sources: List[int]) -> List[List[int]]:
         """Contiguous, balanced source slices (order-preserving)."""
         per_task = max(1, self.parallel.min_sources_per_task)
@@ -337,6 +691,7 @@ class MetricWorkerPool:
                 self._executor.shutdown(wait=True, cancel_futures=True)
             except Exception:  # pragma: no cover - shutdown is best-effort
                 pass
+            self._executor = None
         if self._shm is not None:
             # The graph's cached matrix must outlive the shared segment.
             try:
@@ -387,8 +742,10 @@ def parallel_map(
     parallel : ParallelConfig, optional
         None, a single worker, or a single item all mean "run serially".
     counters : PerfCounters, optional
-        Receives ``pool_tasks``/``pool_dispatches``; a fallback event is
-        recorded when the pool path failed and the serial loop took over.
+        Receives ``pool_tasks``/``pool_dispatches``; a fallback event —
+        with the original exception preserved on the degradation record —
+        is logged when the pool path failed and the serial loop took
+        over.
 
     Returns
     -------
@@ -408,9 +765,10 @@ def parallel_map(
         ) as executor:
             futures = [executor.submit(fn, item) for item in items]
             results = [future.result() for future in futures]
-    except Exception:
+    except Exception as exc:
         if counters is not None:
             counters.pool_fallbacks += 1
+            counters.record_degradation("map-serial", exc, site="parallel_map")
         if not parallel.fallback:
             raise
         return [fn(item) for item in items]

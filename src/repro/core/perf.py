@@ -43,9 +43,30 @@ Counter semantics
     pool creation failures, pickling errors, poisoned/shut-down pools.
     Results are unaffected (the serial path is bit-identical); a nonzero
     count only means the parallelism was not realised.
+``pool_task_retries``
+    Worker tasks resubmitted after a failure or missed deadline (the
+    first rung of the degradation ladder).
+``pool_respawns``
+    Times the pool killed and rebuilt its executor after a worker died,
+    hung past its deadline, or exhausted task retries (second rung).
+``pool_shrinks``
+    Times the pool halved its worker count after the respawn budget ran
+    out at the current size (third rung).
+``pool_corruptions``
+    Shared-memory checksum mismatches detected after a dispatch; each
+    one triggered a repair from the coordinator's private metric and a
+    clean re-run of the dispatch.
+``faults_injected``
+    Injected faults (``repro.core.faults``) observed by the coordinator
+    — raised :class:`InjectedFault` instances plus detected corruptions.
 ``pool_workers``
     Per-worker-process ``dijkstra_sources`` totals, keyed by worker pid —
     shows how evenly the pool's load spread.
+``degradations``
+    A bounded log of ladder transitions, each a dict with the ``action``
+    taken (``retry`` / ``respawn`` / ``shrink`` / ``serial`` / ...), the
+    ``site`` and the repr of the original ``cause`` exception — the
+    fallback never swallows what actually went wrong.
 ``phase_seconds``
     Wall-clock seconds per named phase (``metric``, ``construct``,
     ``evaluate``, ``pool_dispatch``, ``pool_merge``, ...), accumulated
@@ -55,7 +76,11 @@ Counter semantics
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
+
+#: Cap on the retained degradation records; a pathological run cannot
+#: grow the perf struct without bound.
+MAX_DEGRADATION_RECORDS = 100
 
 
 @dataclass
@@ -86,13 +111,33 @@ class PerfCounters:
     pool_dispatches: int = 0
     pool_tasks: int = 0
     pool_fallbacks: int = 0
+    pool_task_retries: int = 0
+    pool_respawns: int = 0
+    pool_shrinks: int = 0
+    pool_corruptions: int = 0
+    faults_injected: int = 0
     pool_workers: Dict[str, int] = field(default_factory=dict)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    degradations: List[Dict[str, str]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def add_phase(self, name: str, seconds: float) -> None:
         """Accumulate wall-clock ``seconds`` under phase ``name``."""
         self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
+    def record_degradation(
+        self, action: str, cause: object, site: str = "pool"
+    ) -> None:
+        """Log one degradation-ladder transition, preserving its cause.
+
+        ``cause`` is kept as ``repr`` so the record stays picklable and
+        JSON-ready whatever exception type the worker raised.  The log
+        is capped at :data:`MAX_DEGRADATION_RECORDS` entries.
+        """
+        if len(self.degradations) < MAX_DEGRADATION_RECORDS:
+            self.degradations.append(
+                {"action": action, "site": site, "cause": repr(cause)}
+            )
 
     def merge(self, other: "PerfCounters") -> None:
         """Fold ``other``'s counts into this struct (for aggregation)."""
@@ -109,6 +154,15 @@ class PerfCounters:
         self.pool_dispatches += other.pool_dispatches
         self.pool_tasks += other.pool_tasks
         self.pool_fallbacks += other.pool_fallbacks
+        self.pool_task_retries += other.pool_task_retries
+        self.pool_respawns += other.pool_respawns
+        self.pool_shrinks += other.pool_shrinks
+        self.pool_corruptions += other.pool_corruptions
+        self.faults_injected += other.faults_injected
+        for record in other.degradations:
+            if len(self.degradations) >= MAX_DEGRADATION_RECORDS:
+                break
+            self.degradations.append(dict(record))
         for worker, sources in other.pool_workers.items():
             self.pool_workers[worker] = (
                 self.pool_workers.get(worker, 0) + sources
@@ -132,8 +186,14 @@ class PerfCounters:
             "pool_dispatches": self.pool_dispatches,
             "pool_tasks": self.pool_tasks,
             "pool_fallbacks": self.pool_fallbacks,
+            "pool_task_retries": self.pool_task_retries,
+            "pool_respawns": self.pool_respawns,
+            "pool_shrinks": self.pool_shrinks,
+            "pool_corruptions": self.pool_corruptions,
+            "faults_injected": self.faults_injected,
             "pool_workers": dict(self.pool_workers),
             "phase_seconds": dict(self.phase_seconds),
+            "degradations": [dict(r) for r in self.degradations],
         }
 
     def summary(self) -> str:
@@ -150,6 +210,21 @@ class PerfCounters:
                 f"{len(self.pool_workers)} workers / "
                 f"{self.pool_fallbacks} fallbacks"
             )
+        recovery = ""
+        if (
+            self.pool_task_retries
+            or self.pool_respawns
+            or self.pool_shrinks
+            or self.pool_corruptions
+            or self.faults_injected
+        ):
+            recovery = (
+                f" | recovery {self.pool_task_retries} retries / "
+                f"{self.pool_respawns} respawns / "
+                f"{self.pool_shrinks} shrinks / "
+                f"{self.pool_corruptions} corruptions / "
+                f"{self.faults_injected} faults"
+            )
         return (
             f"dijkstra {self.dijkstra_calls} calls / "
             f"{self.dijkstra_sources} sources / "
@@ -159,5 +234,5 @@ class PerfCounters:
             f"{self.recheck_sources} rechecks | "
             f"{self.injections} injections / "
             f"{self.edges_repriced} edges repriced | "
-            f"{self.cut_evals} cut evals{pool} | {phases}"
+            f"{self.cut_evals} cut evals{pool}{recovery} | {phases}"
         )

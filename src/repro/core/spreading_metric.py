@@ -213,11 +213,13 @@ def compute_spreading_metric(
                 graph, spec, parallel=config.parallel, tol=oracle.tol
             )
             pool = owned_pool
-        except Exception:
+        except Exception as exc:
             # Pool creation failed (OS limits, pickling, ...): the
             # batched loop without a pool is the bit-identical fallback.
+            # The cause is preserved on the degradation record.
             if counters is not None:
                 counters.pool_fallbacks += 1
+                counters.record_degradation("spawn-serial", exc, site="pool-spawn")
             if config.parallel is not None and not config.parallel.fallback:
                 raise
     try:
@@ -357,6 +359,10 @@ def _batched_rounds(
     rounds = 0
     while active and rounds < config.max_rounds:
         rounds += 1
+        if pool is not None:
+            # Names the round for the fault-injection coordinates
+            # (``round=`` conditions in a FaultPlan); a no-op otherwise.
+            pool.begin_round(rounds)
         rng.shuffle(active)
         still_active: List[int] = []
         pos = 0

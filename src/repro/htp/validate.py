@@ -17,14 +17,29 @@ def partition_violations(
 ) -> List[str]:
     """All constraint violations of a partition, as human-readable strings.
 
-    Checks: node count, level consistency, size bounds ``C_l`` and
-    branching bounds ``K_l`` at every tree vertex.  Empty list = valid.
+    Checks: node count, orphan (unassigned) nodes, level consistency,
+    size bounds ``C_l`` and branching bounds ``K_l`` at every tree
+    vertex.  Empty list = valid.
     """
     problems: List[str] = []
     if partition.num_nodes != hypergraph.num_nodes:
         problems.append(
             f"partition covers {partition.num_nodes} nodes, netlist has "
             f"{hypergraph.num_nodes}"
+        )
+        return problems
+    orphans = []
+    for v in range(partition.num_nodes):
+        try:
+            partition.leaf_of(v)
+        except PartitionError:
+            orphans.append(v)
+    if orphans:
+        # Size accounting below would be meaningless (and ancestor
+        # chains undefined) with unassigned nodes; report and stop.
+        problems.append(
+            f"{len(orphans)} orphan nodes not assigned to any leaf "
+            f"(first: {orphans[:5]})"
         )
         return problems
     if partition.num_levels != spec.num_levels:

@@ -1,0 +1,26 @@
+"""Reusable test-support utilities (invariant checkers, harness helpers).
+
+This package ships *inside* ``repro`` (not under ``tests/``) so that the
+chaos harness, property-based tests and any downstream consumer can
+import the same invariant checkers without path games.
+"""
+
+from repro.testing.invariants import (
+    InvariantViolation,
+    check_cost_telescoping,
+    check_cut_identity,
+    check_g_properties,
+    check_metric_result,
+    check_partition_feasible,
+    check_spreading_monotonicity,
+)
+
+__all__ = [
+    "InvariantViolation",
+    "check_cost_telescoping",
+    "check_cut_identity",
+    "check_g_properties",
+    "check_metric_result",
+    "check_partition_feasible",
+    "check_spreading_monotonicity",
+]

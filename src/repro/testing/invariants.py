@@ -1,0 +1,266 @@
+"""Reusable invariant checkers for HTP data structures and results.
+
+Each checker raises :class:`InvariantViolation` (an ``AssertionError``
+subclass, so plain ``pytest`` reporting applies) with a message naming
+the violated property and the offending values.  They are shared by the
+chaos harness (``tests/chaos/``), the hypothesis property tests and the
+differential fuzzer, and are safe to call from application code in
+debug builds — every checker is read-only.
+
+Covered invariants
+------------------
+``check_g_properties``
+    The spreading bound ``g`` is zero up to ``C_0``, nondecreasing,
+    convex and piecewise linear with breakpoints exactly at the level
+    capacities; its slope never exceeds ``2 * sum(w)``.
+``check_spreading_monotonicity``
+    Growing every edge length keeps satisfied spreading constraints
+    satisfied (distances are monotone in the metric).
+``check_cut_identity``
+    ``sum_e d(e) * delta(S, e) == lhs`` for a violated shortest-path
+    tree (Equation (6) bookkeeping of the oracle).
+``check_partition_feasible``
+    Capacity ``C_l`` and child-count ``K_l`` feasibility via
+    :func:`repro.htp.validate.partition_violations`.
+``check_cost_telescoping``
+    ``total_cost`` equals its per-level decomposition
+    ``sum_l w_l * sum_e span(e, l) * c(e)``.
+``check_metric_result``
+    A spreading-metric result is internally consistent: nonnegative
+    lengths, ``objective == dot(capacities, lengths)``, and a
+    ``satisfied`` flag that the oracle agrees with.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.constraints import SpreadingOracle, Violation
+from repro.core.gfunc import spreading_bound_array
+from repro.htp.cost import net_span, total_cost
+from repro.htp.hierarchy import HierarchySpec
+from repro.htp.partition import PartitionTree
+from repro.htp.validate import partition_violations
+from repro.hypergraph.graph import Graph
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+class InvariantViolation(AssertionError):
+    """A checked invariant does not hold."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise InvariantViolation(message)
+
+
+# ----------------------------------------------------------------------
+# g-function shape
+# ----------------------------------------------------------------------
+def check_g_properties(
+    spec: HierarchySpec,
+    sizes: Optional[Sequence[float]] = None,
+    tol: float = 1e-9,
+) -> None:
+    """Validate the analytic shape of ``g`` on a size grid.
+
+    ``sizes`` defaults to a grid that brackets every capacity breakpoint
+    plus the midpoints between them, which is enough to pin down a
+    piecewise-linear function.
+    """
+    capacities = np.asarray(spec.capacities, dtype=float)
+    weights = np.asarray(spec.weights, dtype=float)
+    if sizes is None:
+        grid = [0.0]
+        for c in capacities:
+            grid.extend([0.5 * c, c, 1.5 * c])
+        grid.append(2.0 * capacities[-1] + 1.0)
+        sizes = sorted(set(grid))
+    x = np.asarray(sorted(float(s) for s in sizes), dtype=float)
+    g = spreading_bound_array(spec, x)
+
+    _require(bool(np.all(g >= -tol)), f"g must be nonnegative, got min {g.min()}")
+    below = x <= capacities[0] + tol
+    _require(
+        bool(np.all(np.abs(g[below]) <= tol)),
+        f"g must vanish for x <= C_0 = {capacities[0]}",
+    )
+    diffs = np.diff(g)
+    _require(
+        bool(np.all(diffs >= -tol)),
+        f"g must be nondecreasing, got negative step {diffs.min()}",
+    )
+
+    # Convexity + piecewise linearity: the exact slope on (C_l, C_{l+1}]
+    # is 2 * sum_{i<=l} w_i, which is nondecreasing in l.  Evaluate the
+    # secant slope between consecutive grid points lying in one piece.
+    max_slope = 2.0 * float(weights.sum())
+    prev_slope = -tol
+    for a, b, ga, gb in zip(x[:-1], x[1:], g[:-1], g[1:]):
+        if b - a <= tol:
+            continue
+        # Skip intervals that straddle a breakpoint; slope is not
+        # constant there.
+        if any(a + tol < c < b - tol for c in capacities):
+            continue
+        slope = (gb - ga) / (b - a)
+        expected = 2.0 * float(
+            weights[: int(np.sum(capacities[:-1] < a + tol))].sum()
+        )
+        _require(
+            abs(slope - expected) <= tol * max(1.0, abs(expected)),
+            f"g is not piecewise linear with capacity breakpoints: "
+            f"slope {slope} on ({a}, {b}], expected {expected}",
+        )
+        _require(
+            slope >= prev_slope - tol,
+            f"g must be convex: slope dropped from {prev_slope} to {slope}",
+        )
+        prev_slope = slope
+        _require(
+            slope <= max_slope + tol,
+            f"g slope {slope} exceeds 2*sum(w) = {max_slope}",
+        )
+
+
+# ----------------------------------------------------------------------
+# Spreading constraints
+# ----------------------------------------------------------------------
+def check_spreading_monotonicity(
+    graph: Graph,
+    spec: HierarchySpec,
+    lengths_low: Sequence[float],
+    lengths_high: Sequence[float],
+    sources: Optional[Sequence[int]] = None,
+) -> None:
+    """Satisfied constraints stay satisfied when all lengths grow.
+
+    ``lengths_high`` must dominate ``lengths_low`` pointwise; shortest
+    paths are monotone in the metric so every source satisfied under the
+    low metric must remain satisfied under the high one.
+    """
+    low = np.asarray(lengths_low, dtype=float)
+    high = np.asarray(lengths_high, dtype=float)
+    _require(
+        low.shape == high.shape and bool(np.all(high >= low - 1e-12)),
+        "lengths_high must dominate lengths_low pointwise",
+    )
+    if sources is None:
+        sources = range(graph.num_nodes)
+    oracle = SpreadingOracle(graph, spec)
+    oracle.set_lengths(low)
+    satisfied = [s for s in sources if oracle.violation_for(s) is None]
+    oracle.set_lengths(high)
+    for source in satisfied:
+        violation = oracle.violation_for(source)
+        _require(
+            violation is None,
+            f"source {source} satisfied under lengths_low but violated "
+            f"under the dominating lengths_high "
+            f"(lhs={getattr(violation, 'lhs', None)}, "
+            f"rhs={getattr(violation, 'rhs', None)})",
+        )
+
+
+def check_cut_identity(
+    oracle: SpreadingOracle, violation: Violation, tol: float = 1e-6
+) -> None:
+    """Equation (6): ``sum_e d(e) * delta(S, e) == lhs`` for a violation."""
+    coeffs = oracle.tree_cut_coefficients(violation)
+    lengths = np.asarray(oracle.lengths(), dtype=float)
+    total = sum(lengths[edge_id] * delta for edge_id, delta in coeffs)
+    _require(
+        abs(total - violation.lhs) <= tol * max(1.0, abs(violation.lhs)),
+        f"cut identity broken: sum d(e)*delta = {total}, lhs = "
+        f"{violation.lhs} (source {violation.source})",
+    )
+
+
+# ----------------------------------------------------------------------
+# Partitions and costs
+# ----------------------------------------------------------------------
+def check_partition_feasible(
+    hypergraph: Hypergraph,
+    partition: PartitionTree,
+    spec: HierarchySpec,
+) -> None:
+    """Capacity / child-count / coverage feasibility of a partition."""
+    problems = partition_violations(hypergraph, partition, spec)
+    _require(
+        not problems,
+        "partition infeasible:\n  " + "\n  ".join(problems),
+    )
+
+
+def check_cost_telescoping(
+    hypergraph: Hypergraph,
+    partition: PartitionTree,
+    spec: HierarchySpec,
+    tol: float = 1e-9,
+) -> None:
+    """``total_cost`` equals its per-level telescoped decomposition.
+
+    Equation (1) factors as ``sum_l w_l * (sum_e span(e, l) * c(e))`` —
+    recomputing level by level and summing must reproduce the nominal
+    total exactly (up to float round-off).
+    """
+    nominal = total_cost(hypergraph, partition, spec)
+    by_level = 0.0
+    for level in range(spec.num_levels):
+        level_sum = sum(
+            net_span(hypergraph, partition, net_id, level)
+            * hypergraph.net_capacity(net_id)
+            for net_id in range(hypergraph.num_nets)
+        )
+        by_level += spec.weight(level) * level_sum
+    _require(
+        abs(nominal - by_level) <= tol * max(1.0, abs(nominal)),
+        f"cost does not telescope: total_cost={nominal}, per-level "
+        f"sum={by_level}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Spreading-metric results
+# ----------------------------------------------------------------------
+def check_metric_result(
+    graph: Graph,
+    spec: HierarchySpec,
+    result,
+    tol: float = 1e-6,
+) -> None:
+    """Internal consistency of a :class:`SpreadingMetricResult`.
+
+    Lengths are nonnegative and cover every edge, the reported objective
+    equals ``sum_e c(e) * d(e)``, and the ``satisfied`` flag matches a
+    fresh oracle's verdict on the final metric.
+    """
+    lengths = np.asarray(result.lengths, dtype=float)
+    _require(
+        lengths.shape == (graph.num_edges,),
+        f"metric has {lengths.shape} lengths for {graph.num_edges} edges",
+    )
+    _require(
+        bool(np.all(lengths >= 0.0)),
+        f"negative edge length: min {lengths.min()}",
+    )
+    capacities = np.asarray(
+        [graph.capacity(e) for e in range(graph.num_edges)], dtype=float
+    )
+    objective = float(np.dot(capacities, lengths))
+    _require(
+        abs(objective - result.objective)
+        <= tol * max(1.0, abs(result.objective)),
+        f"objective mismatch: reported {result.objective}, recomputed "
+        f"{objective}",
+    )
+    if result.satisfied:
+        oracle = SpreadingOracle(graph, spec)
+        oracle.set_lengths(lengths)
+        _require(
+            oracle.is_feasible(),
+            "result claims satisfied=True but the oracle finds a "
+            "violated spreading constraint",
+        )

@@ -1,0 +1,1 @@
+"""Chaos harness: FLOW runs under injected faults must stay bit-identical."""

@@ -1,0 +1,78 @@
+"""Shared fixtures for the chaos harness.
+
+One small planted instance plus its fault-free spreading metric,
+computed once per session with the serial scipy engine.  Every chaos
+test replays the same computation through the parallel engine under an
+injected :class:`FaultPlan` and asserts bit-identity against this
+baseline — the determinism contract of the fault-tolerant pool.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.perf import PerfCounters
+from repro.core.spreading_metric import (
+    SpreadingMetricConfig,
+    compute_spreading_metric,
+)
+from repro.htp.hierarchy import binary_hierarchy
+from repro.hypergraph.expansion import to_graph
+from repro.hypergraph.generators import planted_hierarchy_hypergraph
+
+CHAOS_SEED = 0
+CHAOS_DELTA = 0.05
+CHAOS_MAX_ROUNDS = 40
+
+
+@pytest.fixture(scope="session")
+def chaos_instance():
+    """(hypergraph, spec, graph) of the canonical chaos instance."""
+    hypergraph = planted_hierarchy_hypergraph(
+        64, height=2, seed=5, name="chaos64"
+    )
+    spec = binary_hierarchy(hypergraph.total_size(), height=2)
+    graph = to_graph(hypergraph, rng=random.Random(CHAOS_SEED))
+    return hypergraph, spec, graph
+
+
+@pytest.fixture(scope="session")
+def chaos_baseline(chaos_instance):
+    """Fault-free serial metric — ground truth for bit-identity."""
+    _, spec, graph = chaos_instance
+    config = SpreadingMetricConfig(
+        delta=CHAOS_DELTA,
+        max_rounds=CHAOS_MAX_ROUNDS,
+        engine="scipy",
+        seed=CHAOS_SEED,
+    )
+    return compute_spreading_metric(
+        graph, spec, config, rng=random.Random(CHAOS_SEED)
+    )
+
+
+def run_parallel_metric(chaos_instance, parallel):
+    """The chaos instance's metric through the parallel engine.
+
+    Returns ``(result, counters)``; ``parallel`` carries the fault plan
+    and tolerance under test.
+    """
+    _, spec, graph = chaos_instance
+    config = SpreadingMetricConfig(
+        delta=CHAOS_DELTA,
+        max_rounds=CHAOS_MAX_ROUNDS,
+        engine="parallel",
+        seed=CHAOS_SEED,
+        parallel=parallel,
+    )
+    counters = PerfCounters()
+    result = compute_spreading_metric(
+        graph,
+        spec,
+        config,
+        rng=random.Random(CHAOS_SEED),
+        counters=counters,
+    )
+    return result, counters

@@ -1,0 +1,59 @@
+"""End-to-end chaos: ``flow_htp`` under faults equals the serial run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.faults import FaultPlan, FaultTolerance
+from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.core.parallel import ParallelConfig
+from repro.core.spreading_metric import SpreadingMetricConfig
+from repro.testing import check_cost_telescoping, check_partition_feasible
+
+pytestmark = pytest.mark.chaos
+
+
+def _config(engine, parallel=None):
+    return FlowHTPConfig(
+        iterations=1,
+        seed=0,
+        metric=SpreadingMetricConfig(delta=0.05, max_rounds=40, engine=engine),
+        parallel=parallel,
+    )
+
+
+def test_flow_htp_under_faults_is_bit_identical(chaos_instance):
+    """Whole-pipeline replay: crash + retry faults, identical partition."""
+    hypergraph, spec, graph = chaos_instance
+    baseline = flow_htp(hypergraph, spec, _config("scipy"), graph=graph)
+
+    plan = FaultPlan.parse(
+        "fail:task@dispatch=0,task=0;die:task@dispatch=3,task=0"
+    )
+    parallel = ParallelConfig(
+        workers=2,
+        min_sources_per_task=4,
+        fault_plan=plan,
+        tolerance=FaultTolerance(backoff_base=0.005),
+    )
+    faulted = flow_htp(
+        hypergraph, spec, _config("parallel", parallel), graph=graph
+    )
+
+    assert faulted.cost == baseline.cost
+    assert faulted.iteration_costs == baseline.iteration_costs
+    assert faulted.metric_objectives == baseline.metric_objectives
+    assert [
+        faulted.partition.leaf_of(v) for v in range(hypergraph.num_nodes)
+    ] == [
+        baseline.partition.leaf_of(v) for v in range(hypergraph.num_nodes)
+    ]
+    assert faulted.perf is not None
+    # The fail fault surfaces as an InjectedFault (counted); the die
+    # fault kills the worker process, so it shows up as a respawn.
+    assert faulted.perf.faults_injected >= 1
+    assert faulted.perf.pool_task_retries >= 1
+    assert faulted.perf.pool_respawns >= 1
+
+    check_partition_feasible(hypergraph, faulted.partition, spec)
+    check_cost_telescoping(hypergraph, faulted.partition, spec)

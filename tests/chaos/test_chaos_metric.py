@@ -1,0 +1,160 @@
+"""Chaos tests: spreading metric under injected faults is bit-identical.
+
+Every test replays the canonical instance through the parallel engine
+with a deterministic :class:`FaultPlan` and asserts (a) the result is
+bit-identical to the fault-free serial baseline and (b) the degradation
+ladder recorded the expected transitions in :class:`PerfCounters`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.faults import FaultPlan, FaultTolerance
+from repro.core.parallel import ParallelConfig
+from repro.testing import check_metric_result
+
+from tests.chaos.conftest import run_parallel_metric
+
+pytestmark = pytest.mark.chaos
+
+
+def _assert_bit_identical(result, baseline):
+    assert np.array_equal(result.lengths, baseline.lengths)
+    assert result.objective == baseline.objective
+    assert result.rounds == baseline.rounds
+    assert result.satisfied == baseline.satisfied
+
+
+def _parallel(plan=None, tolerance=None):
+    return ParallelConfig(
+        workers=2,
+        min_sources_per_task=8,
+        fault_plan=plan,
+        tolerance=tolerance or FaultTolerance(backoff_base=0.005),
+    )
+
+
+def test_clean_parallel_matches_serial(chaos_instance, chaos_baseline):
+    """Control: no faults, parallel == serial, no ladder activity."""
+    result, counters = run_parallel_metric(chaos_instance, _parallel())
+    _assert_bit_identical(result, chaos_baseline)
+    assert counters.pool_dispatches >= 1
+    assert counters.pool_task_retries == 0
+    assert counters.pool_respawns == 0
+    assert counters.pool_fallbacks == 0
+
+
+def test_task_failure_is_retried(chaos_instance, chaos_baseline):
+    """A worker task raising once is retried and the run converges."""
+    plan = FaultPlan.parse("fail:task@dispatch=0,task=0")
+    result, counters = run_parallel_metric(chaos_instance, _parallel(plan))
+    _assert_bit_identical(result, chaos_baseline)
+    assert counters.faults_injected >= 1
+    assert counters.pool_task_retries >= 1
+    assert counters.pool_fallbacks == 0
+    actions = [record["action"] for record in counters.degradations]
+    assert "retry" in actions
+    # The injected exception is preserved on the degradation record.
+    retry = next(r for r in counters.degradations if r["action"] == "retry")
+    assert "InjectedFault" in retry["cause"]
+
+
+def test_worker_crash_respawns_pool(chaos_instance, chaos_baseline):
+    """A dying worker (os._exit) is replaced; the run stays identical."""
+    plan = FaultPlan.parse("die:task@dispatch=0,task=0")
+    result, counters = run_parallel_metric(chaos_instance, _parallel(plan))
+    _assert_bit_identical(result, chaos_baseline)
+    assert counters.pool_respawns >= 1
+    assert counters.pool_fallbacks == 0
+    actions = [record["action"] for record in counters.degradations]
+    assert "respawn" in actions
+
+
+def test_hang_past_deadline_is_recovered(chaos_instance, chaos_baseline):
+    """A task hanging past the deadline is cancelled and re-run."""
+    tolerance = FaultTolerance(task_deadline=0.75, backoff_base=0.005)
+    plan = FaultPlan.parse("hang:task@dispatch=0,task=0,duration=5")
+    result, counters = run_parallel_metric(
+        chaos_instance, _parallel(plan, tolerance)
+    )
+    _assert_bit_identical(result, chaos_baseline)
+    assert counters.pool_task_retries >= 1
+    assert counters.pool_respawns >= 1
+    assert counters.pool_fallbacks == 0
+
+
+def test_poisoned_chunk_is_repaired(chaos_instance, chaos_baseline):
+    """Corrupted shared-memory CSR weights are detected and repaired."""
+    plan = FaultPlan.parse("corrupt:task@dispatch=1,task=0")
+    result, counters = run_parallel_metric(chaos_instance, _parallel(plan))
+    _assert_bit_identical(result, chaos_baseline)
+    assert counters.pool_corruptions >= 1
+    assert counters.pool_fallbacks == 0
+    actions = [record["action"] for record in counters.degradations]
+    assert "repair" in actions
+
+
+def test_dispatch_fault_degrades_one_chunk(chaos_instance, chaos_baseline):
+    """A coordinator-side dispatch fault runs that chunk in-process."""
+    plan = FaultPlan.parse("fail:dispatch@dispatch=0")
+    result, counters = run_parallel_metric(chaos_instance, _parallel(plan))
+    _assert_bit_identical(result, chaos_baseline)
+    assert counters.pool_fallbacks >= 1
+    actions = [record["action"] for record in counters.degradations]
+    assert "dispatch-serial" in actions
+
+
+def test_fault_storm_walks_full_ladder(chaos_instance, chaos_baseline):
+    """Faults on every attempt exhaust retry -> respawn -> shrink -> serial.
+
+    The pool degrades all the way to the serial path, yet the final
+    metric is still bit-identical to the baseline — the ladder's bottom
+    rung is the fault-free coordinator loop.
+    """
+    tolerance = FaultTolerance(
+        task_retries=1, backoff_base=0.001, respawn_limit=1
+    )
+    plan = FaultPlan.parse(
+        ";".join(f"fail:task@attempt={k}" for k in range(8))
+    )
+    result, counters = run_parallel_metric(
+        chaos_instance, _parallel(plan, tolerance)
+    )
+    _assert_bit_identical(result, chaos_baseline)
+    actions = [record["action"] for record in counters.degradations]
+    for expected in ("retry", "respawn", "shrink", "serial"):
+        assert expected in actions, f"missing ladder action {expected!r}"
+    assert counters.pool_task_retries >= 1
+    assert counters.pool_respawns >= 1
+    assert counters.pool_shrinks >= 1
+    assert counters.pool_fallbacks >= 1
+
+
+def test_probabilistic_plan_is_deterministic_and_identical(
+    chaos_instance, chaos_baseline
+):
+    """A seeded probabilistic storm injects the same faults every run."""
+    tolerance = FaultTolerance(backoff_base=0.001)
+    plan = FaultPlan.parse("fail:task@p=0.6", seed=123)
+    first, counters_a = run_parallel_metric(
+        chaos_instance, _parallel(plan, tolerance)
+    )
+    second, counters_b = run_parallel_metric(
+        chaos_instance, _parallel(plan, tolerance)
+    )
+    _assert_bit_identical(first, chaos_baseline)
+    _assert_bit_identical(second, chaos_baseline)
+    assert counters_a.faults_injected == counters_b.faults_injected
+    assert counters_a.pool_task_retries == counters_b.pool_task_retries
+    assert counters_a.faults_injected >= 1
+
+
+def test_faulted_result_passes_invariants(chaos_instance, chaos_baseline):
+    """The recovered metric satisfies the full invariant battery."""
+    _, spec, graph = chaos_instance
+    plan = FaultPlan.parse("fail:task@dispatch=0,task=1;die:task@dispatch=2,task=0")
+    result, _counters = run_parallel_metric(chaos_instance, _parallel(plan))
+    _assert_bit_identical(result, chaos_baseline)
+    check_metric_result(graph, spec, result)

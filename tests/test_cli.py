@@ -138,3 +138,70 @@ class TestSeparatorCommand:
         out = capsys.readouterr().out
         assert "pieces" in out
         assert "cut capacity" in out
+
+
+class TestBadInputExitCodes:
+    """argparse rejects malformed options with exit code 2 (satellite:
+    fault-tolerance PR)."""
+
+    @pytest.fixture
+    def netlist_file(self, tmp_path):
+        netlist = planted_hierarchy_hypergraph(48, height=2, seed=0)
+        path = tmp_path / "bad.hgr"
+        write_hgr(netlist, path)
+        return str(path)
+
+    def test_unknown_engine_exits_2(self, netlist_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["partition", netlist_file, "--engine", "warp-drive"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("workers", ["0", "-3", "two"])
+    def test_bad_workers_exits_2(self, netlist_file, capsys, workers):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["partition", netlist_file, "--engine", "parallel",
+                  "--workers", workers])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--workers" in err
+
+    @pytest.mark.parametrize("workers", ["0", "nope"])
+    def test_search_bad_workers_exits_2(self, netlist_file, capsys, workers):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["search", netlist_file, "--workers", workers])
+        assert excinfo.value.code == 2
+
+    @pytest.mark.parametrize(
+        "plan",
+        [
+            "explode:task",            # unknown fault kind
+            "fail:everywhere",         # unknown site
+            "fail:task@bogus=1",       # unknown coordinate
+            "fail:task@dispatch=x",    # non-integer coordinate
+            "fail:task@p=2.0",         # probability outside [0, 1]
+            ";;",                      # empty specs
+        ],
+    )
+    def test_bad_fault_plan_exits_2(self, netlist_file, capsys, plan):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["partition", netlist_file, "--engine", "parallel",
+                  "--fault-plan", plan])
+        assert excinfo.value.code == 2
+        assert "--fault-plan" in capsys.readouterr().err
+
+    def test_fault_plan_requires_parallel_engine(self, netlist_file, capsys):
+        code = main(["partition", netlist_file, "--engine", "scipy",
+                     "--fault-plan", "fail:task@dispatch=0"])
+        assert code == 2
+        assert "requires --engine parallel" in capsys.readouterr().err
+
+    def test_fault_plan_accepted_and_echoed(self, netlist_file, capsys):
+        code = main(["partition", netlist_file, "--engine", "parallel",
+                     "--height", "2", "--iterations", "1",
+                     "--workers", "2",
+                     "--fault-plan", "fail:task@dispatch=0,task=0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault plan: fail:task@dispatch=0,task=0" in out
+        assert "FLOW cost" in out

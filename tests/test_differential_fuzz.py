@@ -1,0 +1,202 @@
+"""Differential fuzzing: every engine must produce bit-identical metrics.
+
+Random small hypergraphs run through the ``scipy-serial``, ``scipy``
+and ``parallel`` (workers 1, 2, 4) spreading-metric engines with the
+same seed; any disagreement is a determinism bug.  On mismatch the
+instance is shrunk (dropping nets while the mismatch reproduces) and
+written to ``tests/regressions/`` as a JSON counterexample, which the
+corpus-replay test below then guards forever.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import ParallelConfig
+from repro.core.spreading_metric import (
+    SpreadingMetricConfig,
+    compute_spreading_metric,
+)
+from repro.htp.hierarchy import binary_hierarchy
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.expansion import to_graph
+
+REGRESSION_DIR = Path(__file__).parent / "regressions"
+
+SERIAL_ENGINES = ("scipy-serial", "scipy")
+PARALLEL_WORKERS = (1, 2, 4)
+
+
+def _random_netlist(seed: int) -> Hypergraph:
+    """A connected random netlist with 12..24 nodes."""
+    rng = random.Random(seed)
+    n = rng.randrange(12, 25)
+    nets = [(i, i + 1) for i in range(n - 1)]  # spanning chain
+    for _ in range(rng.randrange(4, 14)):
+        size = rng.randrange(2, 5)
+        pins = rng.sample(range(n), size)
+        nets.append(tuple(pins))
+    return Hypergraph(n, nets=nets)
+
+
+def _metric_lengths(netlist: Hypergraph, height: int, seed: int,
+                    engine: str, workers: int = 1) -> np.ndarray:
+    spec = binary_hierarchy(
+        max(netlist.total_size(), 4), height=height, slack=0.4
+    )
+    graph = to_graph(netlist, rng=random.Random(seed))
+    parallel = None
+    if engine == "parallel":
+        parallel = ParallelConfig(workers=workers, min_sources_per_task=2)
+    config = SpreadingMetricConfig(
+        delta=0.1,
+        max_rounds=20,
+        engine=engine,
+        seed=seed,
+        parallel=parallel,
+    )
+    result = compute_spreading_metric(
+        graph, spec, config, rng=random.Random(seed)
+    )
+    return np.asarray(result.lengths)
+
+
+def _first_mismatch(netlist: Hypergraph, height: int, seed: int):
+    """(engine_pair, message) of the first engine disagreement, or None."""
+    runs = [("scipy-serial", 1)]
+    runs += [("scipy", 1)]
+    runs += [("parallel", w) for w in PARALLEL_WORKERS]
+    reference = None
+    reference_name = None
+    for engine, workers in runs:
+        lengths = _metric_lengths(netlist, height, seed, engine, workers)
+        name = engine if engine != "parallel" else f"parallel/w{workers}"
+        if reference is None:
+            reference, reference_name = lengths, name
+            continue
+        if not np.array_equal(reference, lengths):
+            bad = int(np.flatnonzero(reference != lengths)[0])
+            return (
+                (reference_name, name),
+                f"lengths differ at edge {bad}: "
+                f"{reference[bad]!r} vs {lengths[bad]!r}",
+            )
+    return None
+
+
+def _shrink(netlist: Hypergraph, height: int, seed: int) -> Hypergraph:
+    """Greedily drop nets while the engines still disagree."""
+    nets = [tuple(pins) for pins in netlist.nets()]
+    shrunk = netlist
+    i = 0
+    while i < len(nets):
+        candidate_nets = nets[:i] + nets[i + 1:]
+        if not candidate_nets:
+            break
+        candidate = Hypergraph(netlist.num_nodes, nets=candidate_nets)
+        try:
+            still_bad = _first_mismatch(candidate, height, seed) is not None
+        except Exception:
+            still_bad = False  # shrink must preserve *this* failure mode
+        if still_bad:
+            nets = candidate_nets
+            shrunk = candidate
+        else:
+            i += 1
+    return shrunk
+
+
+def _write_counterexample(netlist, height, seed, mismatch) -> Path:
+    REGRESSION_DIR.mkdir(exist_ok=True)
+    engines, message = mismatch
+    payload = {
+        "num_nodes": netlist.num_nodes,
+        "nets": [list(pins) for pins in netlist.nets()],
+        "height": height,
+        "seed": seed,
+        "engines": list(engines),
+        "mismatch": message,
+    }
+    path = REGRESSION_DIR / f"diff_seed{seed}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_engines_bit_identical_on_random_instances(seed):
+    """scipy-serial == scipy == parallel(1,2,4) on random netlists."""
+    netlist = _random_netlist(seed)
+    height = 2
+    mismatch = _first_mismatch(netlist, height, seed)
+    if mismatch is not None:
+        shrunk = _shrink(netlist, height, seed)
+        final = _first_mismatch(shrunk, height, seed) or mismatch
+        path = _write_counterexample(shrunk, height, seed, final)
+        pytest.fail(
+            f"engine mismatch ({final[0][0]} vs {final[0][1]}): "
+            f"{final[1]} — shrunk reproducer written to {path}"
+        )
+
+
+def test_shrinker_and_writer_machinery(monkeypatch, tmp_path):
+    """Self-test of the harness: shrinking and JSON writing work.
+
+    Stubs the mismatch detector to flag any instance containing net
+    (0, 1); the shrinker must reduce the netlist to essentially that
+    net and the writer must produce a loadable counterexample.
+    """
+    import tests.test_differential_fuzz as fuzz
+
+    def fake_mismatch(netlist, height, seed):
+        if any(tuple(sorted(p)) == (0, 1) for p in netlist.nets()):
+            return (("scipy", "parallel/w2"), "stub mismatch")
+        return None
+
+    monkeypatch.setattr(fuzz, "_first_mismatch", fake_mismatch)
+    monkeypatch.setattr(fuzz, "REGRESSION_DIR", tmp_path)
+
+    netlist = Hypergraph(6, nets=[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+    shrunk = fuzz._shrink(netlist, height=2, seed=9)
+    assert shrunk.num_nets == 1
+    assert tuple(sorted(shrunk.net(0))) == (0, 1)
+
+    path = fuzz._write_counterexample(
+        shrunk, 2, 9, (("scipy", "parallel/w2"), "stub mismatch")
+    )
+    payload = json.loads(path.read_text())
+    assert payload["nets"] == [[0, 1]]
+    assert payload["seed"] == 9
+    assert payload["engines"] == ["scipy", "parallel/w2"]
+
+
+def _corpus_files():
+    if not REGRESSION_DIR.is_dir():
+        return []
+    return sorted(REGRESSION_DIR.glob("*.json"))
+
+
+@pytest.mark.parametrize(
+    "path",
+    _corpus_files() or [None],
+    ids=lambda p: p.name if p else "empty-corpus",
+)
+def test_regression_corpus_still_identical(path):
+    """Replay every committed counterexample; none may regress."""
+    if path is None:
+        pytest.skip("no regression corpus — determinism holding")
+    payload = json.loads(path.read_text())
+    netlist = Hypergraph(
+        payload["num_nodes"],
+        nets=[tuple(pins) for pins in payload["nets"]],
+    )
+    mismatch = _first_mismatch(
+        netlist, payload["height"], payload["seed"]
+    )
+    assert mismatch is None, (
+        f"regression {path.name} reproduces again: {mismatch[1]}"
+    )

@@ -1,0 +1,194 @@
+"""Unit tests for the fault-injection DSL (``repro.core.faults``)."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.faults import (
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    FaultTolerance,
+    InjectedFault,
+    trip,
+)
+
+
+class TestFaultPlanParsing:
+    def test_single_spec_round_trips(self):
+        plan = FaultPlan.parse("fail:task@dispatch=0,task=1")
+        assert len(plan.specs) == 1
+        spec = plan.specs[0]
+        assert spec.kind == "fail"
+        assert spec.site == "task"
+        assert dict(spec.where) == {"dispatch": 0, "task": 1}
+        assert plan.describe() == "fail:task@dispatch=0,task=1"
+        assert FaultPlan.parse(plan.describe()) == plan
+
+    def test_multi_spec_plan(self):
+        plan = FaultPlan.parse(
+            "fail:task@dispatch=0;hang:task@round=2,duration=3;"
+            "corrupt:task@dispatch=1;die:task@task=0"
+        )
+        assert [s.kind for s in plan.specs] == [
+            "fail", "hang", "corrupt", "die",
+        ]
+        assert plan.specs[1].duration == 3.0
+        # describe() -> parse() is the identity on the spec structure.
+        assert FaultPlan.parse(plan.describe()) == plan
+
+    def test_probability_and_seed_survive_round_trip(self):
+        plan = FaultPlan.parse("fail:task@p=0.25", seed=42)
+        assert plan.specs[0].p == 0.25
+        assert plan.seed == 42
+        assert "p=0.25" in plan.describe()
+
+    def test_plan_is_picklable(self):
+        plan = FaultPlan.parse("hang:task@dispatch=1,duration=2;fail:task")
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",                       # nothing at all
+            ";;",                     # only separators
+            "fail",                   # no site
+            "explode:task",           # unknown kind
+            "fail:everywhere",        # unknown site
+            "fail:task@bogus=1",      # unknown coordinate
+            "fail:task@dispatch=x",   # non-integer value
+            "fail:task@dispatch",     # missing '='
+            "fail:task@p=0",          # p outside (0, 1]
+            "fail:task@p=1.5",
+            "hang:task@duration=0",   # nonpositive duration
+            "die:dispatch",           # die only makes sense in a worker
+            "corrupt:dispatch",
+            "hang:dispatch",
+        ],
+    )
+    def test_malformed_plans_raise(self, text):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse(text)
+
+    def test_fault_plan_error_is_value_error(self):
+        # argparse `type=` integration relies on this.
+        assert issubclass(FaultPlanError, ValueError)
+
+
+class TestFaultSpecMatching:
+    def test_constrained_coordinates_must_agree(self):
+        spec = FaultSpec(
+            kind="fail", site="task", where=(("dispatch", 2), ("task", 1))
+        )
+        assert spec.matches("task", {"dispatch": 2, "task": 1})
+        assert not spec.matches("task", {"dispatch": 2, "task": 0})
+        assert not spec.matches("task", {"dispatch": 0, "task": 1})
+        assert not spec.matches("dispatch", {"dispatch": 2, "task": 1})
+
+    def test_unconstrained_attempt_matches_only_first_try(self):
+        """Retries recover by default: attempt > 0 does not re-fire."""
+        spec = FaultSpec(kind="fail", site="task", where=(("task", 0),))
+        assert spec.matches("task", {"task": 0, "attempt": 0})
+        assert not spec.matches("task", {"task": 0, "attempt": 1})
+
+    def test_explicit_attempt_constraint_overrides_default(self):
+        spec = FaultSpec(kind="fail", site="task", where=(("attempt", 1),))
+        assert spec.matches("task", {"attempt": 1})
+        assert not spec.matches("task", {"attempt": 0})
+
+    def test_omitted_coordinates_are_wildcards(self):
+        spec = FaultSpec(kind="fail", site="task")
+        assert spec.matches("task", {"dispatch": 7, "task": 3, "round": 9})
+
+
+class TestDeterministicDraws:
+    def test_probabilistic_draws_replay_exactly(self):
+        plan = FaultPlan.parse("fail:task@p=0.5", seed=7)
+        coords = [{"dispatch": d, "task": t} for d in range(20)
+                  for t in range(2)]
+        first = [plan.draw("task", c) is not None for c in coords]
+        second = [plan.draw("task", c) is not None for c in coords]
+        assert first == second
+        assert any(first) and not all(first)  # p=0.5 actually thins
+
+    def test_different_seeds_give_different_trajectories(self):
+        coords = [{"dispatch": d} for d in range(64)]
+        a = [FaultPlan.parse("fail:task@p=0.5", seed=1).draw("task", c)
+             is not None for c in coords]
+        b = [FaultPlan.parse("fail:task@p=0.5", seed=2).draw("task", c)
+             is not None for c in coords]
+        assert a != b
+
+    def test_first_matching_spec_wins(self):
+        plan = FaultPlan.parse("hang:task@dispatch=0;fail:task@dispatch=0")
+        fired = plan.draw("task", {"dispatch": 0})
+        assert fired is plan.specs[0]
+
+
+class TestTrip:
+    def test_none_plan_is_noop(self):
+        assert trip(None, "task", {"dispatch": 0}) is None
+
+    def test_fail_raises_injected_fault_with_coordinates(self):
+        plan = FaultPlan.parse("fail:task@dispatch=3")
+        with pytest.raises(InjectedFault, match="'dispatch': 3"):
+            trip(plan, "task", {"dispatch": 3, "task": 0})
+
+    def test_non_matching_coords_do_not_fire(self):
+        plan = FaultPlan.parse("fail:task@dispatch=3")
+        assert trip(plan, "task", {"dispatch": 4}) is None
+        assert trip(plan, "dispatch", {"dispatch": 3}) is None
+
+    def test_corrupt_perturbs_target_in_place(self):
+        plan = FaultPlan.parse("corrupt:task@dispatch=0")
+        target = np.zeros(8)
+        fired = trip(plan, "task", {"dispatch": 0}, corrupt_target=target)
+        assert fired is plan.specs[0]
+        assert np.count_nonzero(target) == 4
+        assert np.all(target[:4] == 1.0)
+
+    def test_hang_sleeps_for_duration(self):
+        import time
+
+        plan = FaultPlan.parse("hang:task@dispatch=0,duration=0.05")
+        start = time.perf_counter()
+        trip(plan, "task", {"dispatch": 0})
+        assert time.perf_counter() - start >= 0.05
+
+
+class TestFaultTolerance:
+    def test_defaults_are_valid(self):
+        tol = FaultTolerance()
+        assert tol.task_deadline == 120.0
+        assert tol.task_retries == 2
+
+    def test_backoff_is_bounded_exponential(self):
+        tol = FaultTolerance(backoff_base=0.1, backoff_cap=0.5)
+        assert tol.backoff(1) == pytest.approx(0.1)
+        assert tol.backoff(2) == pytest.approx(0.2)
+        assert tol.backoff(3) == pytest.approx(0.4)
+        assert tol.backoff(4) == pytest.approx(0.5)  # capped
+        assert tol.backoff(10) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"task_deadline": 0.0},
+            {"task_deadline": -1.0},
+            {"task_retries": -1},
+            {"backoff_base": -0.1},
+            {"backoff_cap": -0.1},
+            {"respawn_limit": -1},
+            {"min_workers": 0},
+        ],
+    )
+    def test_invalid_budgets_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultTolerance(**kwargs)
+
+    def test_none_deadline_disables_deadlines(self):
+        assert FaultTolerance(task_deadline=None).task_deadline is None

@@ -1,0 +1,207 @@
+"""Property-based tests driving the reusable invariant checkers.
+
+Satellite of the fault-tolerance PR: hypothesis generates random
+hierarchy specs, metrics and small graphs; :mod:`repro.testing` asserts
+the analytic invariants (g's shape, spreading monotonicity, Equation
+(6) cut identity, cost telescoping).  ``derandomize=True`` keeps the
+suite deterministic — the same examples run on every machine.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import SpreadingOracle
+from repro.core.gfunc import spreading_bound, spreading_bound_array
+from repro.htp.hierarchy import HierarchySpec, binary_hierarchy
+from repro.hypergraph import Graph
+from repro.testing import (
+    InvariantViolation,
+    check_cost_telescoping,
+    check_cut_identity,
+    check_g_properties,
+    check_partition_feasible,
+    check_spreading_monotonicity,
+)
+from repro.hypergraph.generators import planted_hierarchy_hypergraph
+from repro.partitioning.rfm import rfm_partition
+
+PROPERTY_SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def hierarchy_specs(draw):
+    """Random valid specs: 2..4 levels, increasing capacities."""
+    levels = draw(st.integers(min_value=1, max_value=3))
+    base = draw(st.floats(min_value=1.0, max_value=10.0))
+    ratios = draw(
+        st.lists(
+            st.floats(min_value=1.5, max_value=4.0),
+            min_size=levels,
+            max_size=levels,
+        )
+    )
+    capacities = [base]
+    for ratio in ratios:
+        capacities.append(capacities[-1] * ratio)
+    branching = draw(
+        st.lists(
+            st.integers(min_value=2, max_value=6),
+            min_size=levels,
+            max_size=levels,
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=5.0),
+            min_size=levels,
+            max_size=levels,
+        )
+    )
+    return HierarchySpec(
+        capacities=tuple(capacities),
+        branching=tuple(branching),
+        weights=tuple(weights),
+    )
+
+
+@st.composite
+def connected_graphs(draw):
+    """Connected graphs with 5..14 nodes (chain + random extras)."""
+    n = draw(st.integers(min_value=5, max_value=14))
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+                st.floats(0.2, 4.0),
+            ),
+            max_size=20,
+        )
+    )
+    edges = [(i, i + 1, 1.0) for i in range(n - 1)]
+    edges += [(u, v, c) for u, v, c in extra if u != v]
+    return Graph(n, edges=edges)
+
+
+# ----------------------------------------------------------------------
+# g-function properties (satellite 1a)
+# ----------------------------------------------------------------------
+class TestGFunctionProperties:
+    @given(hierarchy_specs())
+    @settings(**PROPERTY_SETTINGS)
+    def test_g_shape_invariants(self, spec):
+        """g is zero below C_0, nondecreasing, convex, piecewise linear
+        with breakpoints at the capacities."""
+        check_g_properties(spec)
+
+    @given(hierarchy_specs(), st.floats(0.0, 200.0), st.floats(0.0, 200.0))
+    @settings(**PROPERTY_SETTINGS)
+    def test_g_nondecreasing_pointwise(self, spec, a, b):
+        low, high = sorted((a, b))
+        assert spreading_bound(spec, low) <= spreading_bound(
+            spec, high
+        ) + 1e-9
+
+    @given(hierarchy_specs(), st.floats(0.0, 100.0))
+    @settings(**PROPERTY_SETTINGS)
+    def test_g_matches_closed_form(self, spec, x):
+        """Vectorised g equals the per-level closed form at any point."""
+        expected = sum(
+            2.0 * max(0.0, x - spec.capacity(i)) * spec.weight(i)
+            for i in range(spec.num_levels)
+        )
+        value = float(spreading_bound_array(spec, np.array([x]))[0])
+        assert value == pytest.approx(expected, rel=1e-12, abs=1e-12)
+
+    def test_checker_rejects_corrupted_g(self, monkeypatch):
+        """Negative control: a non-convex g implementation is caught."""
+        import repro.testing.invariants as invariants
+
+        spec = HierarchySpec(
+            capacities=(4.0, 8.0, 16.0), branching=(2, 2), weights=(1.0, 2.0)
+        )
+        real = invariants.spreading_bound_array
+
+        def corrupted(spec_arg, sizes):
+            values = real(spec_arg, sizes)
+            # A concave kink: square-root growth past the last capacity.
+            x = np.asarray(sizes, dtype=float)
+            bump = np.sqrt(np.maximum(x - 16.0, 0.0))
+            return np.where(x > 16.0, values + bump, values)
+
+        monkeypatch.setattr(
+            invariants, "spreading_bound_array", corrupted
+        )
+        with pytest.raises(InvariantViolation):
+            check_g_properties(spec)
+
+
+# ----------------------------------------------------------------------
+# Spreading-constraint properties (satellite 1b)
+# ----------------------------------------------------------------------
+class TestSpreadingConstraintProperties:
+    @given(connected_graphs(), st.integers(0, 1000), st.floats(1.1, 4.0))
+    @settings(**PROPERTY_SETTINGS)
+    def test_satisfaction_monotone_in_lengths(self, graph, seed, scale):
+        """Scaling every edge length up never breaks a satisfied
+        constraint (monotonicity of shortest-path distances)."""
+        spec = binary_hierarchy(
+            max(graph.total_size(), 4), height=2, slack=0.4
+        )
+        rng = random.Random(seed)
+        low = np.array(
+            [rng.uniform(0.01, 1.0) for _ in range(graph.num_edges)]
+        )
+        check_spreading_monotonicity(graph, spec, low, low * scale)
+
+    @given(connected_graphs(), st.integers(0, 1000))
+    @settings(**PROPERTY_SETTINGS)
+    def test_cut_identity_on_violations(self, graph, seed):
+        """Equation (6): violated trees satisfy sum d(e)*delta == lhs."""
+        spec = binary_hierarchy(
+            max(graph.total_size(), 4), height=2, slack=0.4
+        )
+        rng = random.Random(seed)
+        oracle = SpreadingOracle(graph, spec)
+        # Tiny lengths keep everything close -> many violations.
+        oracle.set_lengths(
+            [rng.uniform(1e-4, 1e-3) for _ in range(graph.num_edges)]
+        )
+        checked = 0
+        for source in range(graph.num_nodes):
+            violation = oracle.violation_for(source)
+            if violation is not None:
+                check_cut_identity(oracle, violation)
+                checked += 1
+        assert checked > 0  # tiny lengths must violate something
+
+
+# ----------------------------------------------------------------------
+# Partition / cost invariants on real partitions
+# ----------------------------------------------------------------------
+class TestPartitionInvariants:
+    @given(st.integers(0, 30))
+    @settings(max_examples=15, deadline=None, derandomize=True,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_rfm_partitions_feasible_and_telescoping(self, seed):
+        netlist = planted_hierarchy_hypergraph(
+            48, height=2, seed=seed % 7, name=f"prop{seed}"
+        )
+        spec = binary_hierarchy(netlist.total_size(), height=2)
+        partition = rfm_partition(netlist, spec, rng=random.Random(seed))
+        check_partition_feasible(netlist, partition, spec)
+        check_cost_telescoping(netlist, partition, spec)

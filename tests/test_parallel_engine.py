@@ -228,3 +228,83 @@ class TestParallelConfig:
     def test_resolved_workers_defaults_to_cpu_count(self):
         assert ParallelConfig().resolved_workers() == CPUS
         assert ParallelConfig(workers=3).resolved_workers() == 3
+
+
+class TestErrorPreservation:
+    """Degradation must preserve the original failure, never swallow it
+    (satellite of the fault-tolerance PR)."""
+
+    def test_parallel_map_fallback_records_original_exception(self):
+        counters = PerfCounters()
+        square = lambda x: x * x  # noqa: E731 - unpicklable on purpose
+        parallel_map(
+            square,
+            [1, 2],
+            parallel=ParallelConfig(workers=2),
+            counters=counters,
+        )
+        assert counters.pool_fallbacks == 1
+        assert len(counters.degradations) == 1
+        record = counters.degradations[0]
+        assert record["action"] == "map-serial"
+        assert record["site"] == "parallel_map"
+        # The repr of the *original* pickling error, not a generic
+        # "pool failed" message.
+        assert "pickle" in record["cause"].lower()
+
+    def test_exhausted_ladder_keeps_last_error(self, instance):
+        from repro.core.faults import FaultPlan, FaultTolerance
+
+        _, graph, spec = instance
+        # Every attempt of every task fails: the ladder must exhaust and
+        # keep the injected fault on last_error + the serial record.
+        plan = FaultPlan.parse(
+            ";".join(f"fail:task@attempt={k}" for k in range(10))
+        )
+        parallel = ParallelConfig(
+            workers=2,
+            min_sources_per_task=8,
+            fault_plan=plan,
+            tolerance=FaultTolerance(
+                task_retries=0, backoff_base=0.0, respawn_limit=0
+            ),
+        )
+        baseline = _metric(graph, spec, "scipy", seed=0)
+        with MetricWorkerPool(graph, spec, parallel=parallel) as pool:
+            result = _metric(
+                graph, spec, "parallel", seed=0, parallel=parallel, pool=pool
+            )
+            assert pool.last_error is not None
+            assert "injected fault" in str(pool.last_error)
+        assert result.lengths.tolist() == baseline.lengths.tolist()
+
+    def test_fallback_false_reraises_injected_fault(self, instance):
+        from repro.core.faults import FaultPlan, FaultTolerance, InjectedFault
+
+        _, graph, spec = instance
+        plan = FaultPlan.parse(
+            ";".join(f"fail:task@attempt={k}" for k in range(10))
+        )
+        parallel = ParallelConfig(
+            workers=2,
+            min_sources_per_task=8,
+            fallback=False,
+            fault_plan=plan,
+            tolerance=FaultTolerance(
+                task_retries=0, backoff_base=0.0, respawn_limit=0
+            ),
+        )
+        with MetricWorkerPool(graph, spec, parallel=parallel) as pool:
+            with pytest.raises(InjectedFault):
+                _metric(
+                    graph, spec, "parallel", seed=0,
+                    parallel=parallel, pool=pool,
+                )
+
+    def test_poisoned_pool_preserves_cause(self, instance):
+        _, graph, spec = instance
+        parallel = ParallelConfig(workers=2, min_sources_per_task=8)
+        with MetricWorkerPool(graph, spec, parallel=parallel) as pool:
+            pool.poison()
+            assert pool.last_error is not None
+            assert "poisoned" in str(pool.last_error)

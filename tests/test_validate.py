@@ -54,3 +54,32 @@ class TestValidation:
         )
         problems = partition_violations(fig2_hypergraph, tree, fig2_spec)
         assert any("levels" in p for p in problems)
+
+    def test_orphan_nodes_detected(self, fig2_hypergraph, fig2_spec):
+        # An unfrozen tree can carry unassigned nodes; the validator
+        # must report them instead of crashing on the missing ancestor
+        # chains (freeze() would reject this tree outright).
+        tree = PartitionTree(num_nodes=16, num_levels=2)
+        mid = tree.add_vertex(level=1, parent=tree.root)
+        leaf = tree.add_vertex(level=0, parent=mid)
+        for node in range(4):  # nodes 4..15 stay orphaned
+            tree.assign(node, leaf)
+        problems = partition_violations(fig2_hypergraph, tree, fig2_spec)
+        assert any("orphan" in p for p in problems)
+        assert any("12" in p for p in problems)
+        with pytest.raises(PartitionError, match="orphan"):
+            check_partition(fig2_hypergraph, tree, fig2_spec)
+
+    def test_orphan_reported_before_size_accounting(
+        self, fig2_hypergraph, fig2_spec
+    ):
+        # The orphan report must short-circuit: size/branching checks on
+        # a tree with unassigned nodes would be meaningless.
+        tree = PartitionTree(num_nodes=16, num_levels=2)
+        mid = tree.add_vertex(level=1, parent=tree.root)
+        leaf = tree.add_vertex(level=0, parent=mid)
+        for node in range(6):  # 6 > C_0 = 4, but orphans dominate
+            tree.assign(node, leaf)
+        problems = partition_violations(fig2_hypergraph, tree, fig2_spec)
+        assert len(problems) == 1
+        assert "orphan" in problems[0]
