@@ -1,6 +1,6 @@
 # Convenience targets; see scripts/verify.sh for the canonical check.
 
-.PHONY: verify test chaos coverage bench-micro docs-check
+.PHONY: verify test chaos coverage bench-micro bench-service docs-check serve-smoke
 
 verify:
 	sh scripts/verify.sh
@@ -23,7 +23,17 @@ coverage:
 docs-check:
 	python scripts/docs_check.py
 
+# End-to-end smoke of the partitioning service: htp serve + htp submit
+# as real processes (cold solve, warm cache hit, graceful drain).
+serve-smoke:
+	PYTHONPATH=src python scripts/serve_smoke.py
+
 # Refresh the checked-in micro-bench trajectory (BENCH_micro.json).
 bench-micro:
 	PYTHONPATH=src python -m pytest benchmarks/bench_spreading_batch.py \
 		-q --bench-json BENCH_micro.json
+
+# Refresh the service cold-vs-warm latency record (BENCH_service.json).
+bench-service:
+	PYTHONPATH=src python -m pytest benchmarks/bench_service_cache.py \
+		-q --bench-json BENCH_service.json

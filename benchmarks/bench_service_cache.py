@@ -1,0 +1,87 @@
+"""Cold-vs-warm latency of the partitioning service's result cache.
+
+Stands up a real :class:`ServerThread` (ephemeral port, disk-backed
+:class:`ResultCache`) and submits the same c2670-class JobSpec twice
+through the HTTP client: the cold submission pays for the full
+spreading-metric solve, the warm one is answered from the
+content-addressed cache without touching the solver.  Both medians land
+in the ``--bench-json`` trajectory (``BENCH_service.json`` at the repo
+root) together with the cache and solver counters that prove the warm
+path skipped the solve.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service_cache.py \
+        -q --bench-json BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro.htp.hierarchy import binary_hierarchy
+from repro.hypergraph.generators import iscas85_surrogate
+from repro.service import JobSpec, ResultCache, ServerThread, ServiceClient
+
+
+def _submit_and_wait(client: ServiceClient, spec: JobSpec):
+    """One full submit -> poll -> result round trip; returns (seconds, doc)."""
+    start = time.perf_counter()
+    job = client.submit_spec(spec)
+    client.wait(job["job_id"])
+    payload = client.result(job["job_id"])
+    return time.perf_counter() - start, payload
+
+
+@pytest.fixture(scope="module")
+def spec(experiment_config):
+    netlist = iscas85_surrogate("c2670", scale=experiment_config.scale)
+    hierarchy = binary_hierarchy(netlist.total_size(), height=4)
+    return JobSpec.from_parts(netlist, hierarchy, {"iterations": 1})
+
+
+def test_cold_vs_warm_submit(spec, tmp_path_factory, bench_record):
+    cache_dir = tmp_path_factory.mktemp("service-cache")
+    with ServerThread(
+        manager_kwargs={"cache": ResultCache(cache_dir=cache_dir)}
+    ) as server:
+        client = ServiceClient(server.url, timeout=600)
+
+        cold_seconds, cold_payload = _submit_and_wait(client, spec)
+        perf_cold = client.metricsz()["perf"]
+        assert perf_cold["dijkstra_calls"] > 0
+        assert perf_cold["cache_misses"] == 1
+
+        warm_times = []
+        for _ in range(5):
+            seconds, payload = _submit_and_wait(client, spec)
+            warm_times.append(seconds)
+            assert payload == cold_payload  # bit-identical warm answer
+        warm_seconds = statistics.median(warm_times)
+
+        perf_warm = client.metricsz()["perf"]
+        # The warm submissions never re-ran the spreading-metric solver.
+        assert perf_warm["dijkstra_calls"] == perf_cold["dijkstra_calls"]
+        assert perf_warm["cache_hits"] == 5
+
+        bench_record(
+            "service_submit[c2670,cold]",
+            cold_seconds,
+            counters={
+                "dijkstra_calls": perf_cold["dijkstra_calls"],
+                "cache_hits": perf_cold["cache_hits"],
+                "cache_misses": perf_cold["cache_misses"],
+            },
+        )
+        bench_record(
+            "service_submit[c2670,warm]",
+            warm_seconds,
+            counters={
+                "cache_hits": perf_warm["cache_hits"],
+                "cache_misses": perf_warm["cache_misses"],
+            },
+            speedup_vs_cold=round(cold_seconds / max(warm_seconds, 1e-9), 1),
+        )

@@ -1,11 +1,13 @@
 #!/usr/bin/env python
-"""Line coverage for ``src/repro/core`` with no third-party dependency.
+"""Line coverage for ``src/repro/core`` + ``src/repro/service``, stdlib-only.
 
 The container has no ``coverage`` package, so this is a small stdlib
 tracer: executable lines come from ``dis.findlinestarts`` over every
-(recursively nested) code object of each ``core`` module, hits come
+(recursively nested) code object of each tracked module, hits come
 from a ``sys.settrace`` hook active while a focused pytest subset runs
-in-process.  Worker-process execution is not traced — the measured
+in-process.  ``threading.settrace`` installs the same hook in threads
+started during the run, so the service's server/executor threads are
+measured too.  Worker-*process* execution is not traced — the measured
 number is coordinator-side coverage, which is what the guard cares
 about (the ladder / fault paths all run on the coordinator).
 
@@ -15,10 +17,12 @@ Usage::
     python scripts/coverage_core.py --write-baseline   # refresh baseline
     python scripts/coverage_core.py                    # report only
 
-``--check`` fails (exit 1) when total line coverage of ``repro.core``
+``--check`` fails (exit 1) when the line coverage of a tracked group
 drops more than ``TOLERANCE_PTS`` percentage points below the committed
 baseline (``scripts/coverage_baseline.json``) — the "coverage may not
-regress" gate of scripts/verify.sh.
+regress" gate of scripts/verify.sh.  The ``core`` group keeps its
+original top-level baseline fields, so old baselines stay readable;
+``service`` is gated through the baseline's ``"service"`` section.
 """
 
 from __future__ import annotations
@@ -26,11 +30,17 @@ from __future__ import annotations
 import dis
 import json
 import sys
+import threading
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-CORE = REPO / "src" / "repro" / "core"
 BASELINE = REPO / "scripts" / "coverage_baseline.json"
+
+#: Tracked source groups: group name -> directory of modules.
+GROUPS = {
+    "core": REPO / "src" / "repro" / "core",
+    "service": REPO / "src" / "repro" / "service",
+}
 
 #: Allowed slack before --check fails, in percentage points.  Some core
 #: branches (pool respawn timing, fallback paths) are exercised by
@@ -53,6 +63,10 @@ COVERAGE_TESTS = [
     "tests/test_separator.py",
     "tests/test_ratio_cut.py",
     "tests/test_invariant_properties.py",
+    "tests/test_serialization.py",
+    "tests/test_service_jobs.py",
+    "tests/test_service_cache.py",
+    "tests/test_service_http.py",
     "tests/chaos",
 ]
 
@@ -74,10 +88,14 @@ def executable_lines(path: Path) -> set:
 
 
 def run_traced() -> dict:
-    """Hits per core file after running the focused pytest subset."""
+    """Hits per tracked file after running the focused pytest subset.
+
+    Returns ``{group: {filename: {"executable": n, "hit": n}}}``.
+    """
     targets = {
         str(path): executable_lines(path)
-        for path in sorted(CORE.glob("*.py"))
+        for directory in GROUPS.values()
+        for path in sorted(directory.glob("*.py"))
     }
     hits = {name: set() for name in targets}
 
@@ -94,20 +112,26 @@ def run_traced() -> dict:
     import pytest
 
     sys.settrace(call_tracer)
+    threading.settrace(call_tracer)  # service server/executor threads
     try:
         exit_code = pytest.main(["-q", "-x", "--no-header", "-p", "no:cacheprovider"]
                                 + COVERAGE_TESTS)
     finally:
         sys.settrace(None)
+        threading.settrace(None)
     if exit_code != 0:
         print(f"coverage run failed: pytest exited {exit_code}", file=sys.stderr)
         raise SystemExit(1)
     return {
-        name: {
-            "executable": len(lines),
-            "hit": len(hits[name] & lines),
+        group: {
+            name: {
+                "executable": len(lines),
+                "hit": len(hits[name] & lines),
+            }
+            for name, lines in targets.items()
+            if Path(name).parent == directory
         }
-        for name, lines in targets.items()
+        for group, directory in GROUPS.items()
     }
 
 
@@ -129,17 +153,35 @@ def summarise(per_file: dict) -> dict:
     }
 
 
+def _baseline_percent(baseline: dict, group: str):
+    """The committed percent for ``group`` (core lives at top level)."""
+    if group == "core":
+        return baseline.get("percent")
+    section = baseline.get(group)
+    return section.get("percent") if isinstance(section, dict) else None
+
+
 def main(argv) -> int:
     write = "--write-baseline" in argv
     check = "--check" in argv
-    summary = summarise(run_traced())
-    print(f"\nrepro.core line coverage: {summary['percent']}% "
-          f"({summary['total_hit']}/{summary['total_executable']} lines)")
-    for name, pct in sorted(summary["files"].items()):
-        print(f"  {pct:6.2f}%  {name}")
+    summaries = {
+        group: summarise(per_file)
+        for group, per_file in run_traced().items()
+    }
+    for group, summary in summaries.items():
+        print(f"\nrepro.{group} line coverage: {summary['percent']}% "
+              f"({summary['total_hit']}/{summary['total_executable']} lines)")
+        for name, pct in sorted(summary["files"].items()):
+            print(f"  {pct:6.2f}%  {name}")
 
     if write:
-        BASELINE.write_text(json.dumps(summary, indent=2) + "\n")
+        # The core group keeps the original top-level layout; other
+        # groups are nested sections.
+        doc = dict(summaries["core"])
+        for group, summary in summaries.items():
+            if group != "core":
+                doc[group] = summary
+        BASELINE.write_text(json.dumps(doc, indent=2) + "\n")
         print(f"baseline written to {BASELINE.relative_to(REPO)}")
         return 0
     if check:
@@ -148,19 +190,28 @@ def main(argv) -> int:
                   file=sys.stderr)
             return 1
         baseline = json.loads(BASELINE.read_text())
-        floor = baseline["percent"] - TOLERANCE_PTS
-        if summary["percent"] < floor:
-            print(
-                f"FAIL: core coverage {summary['percent']}% dropped below "
-                f"baseline {baseline['percent']}% - {TOLERANCE_PTS} pt "
-                f"tolerance (floor {floor:.2f}%)",
-                file=sys.stderr,
-            )
-            return 1
-        print(
-            f"coverage OK (baseline {baseline['percent']}%, floor "
-            f"{floor:.2f}%)"
-        )
+        failed = False
+        for group, summary in summaries.items():
+            committed = _baseline_percent(baseline, group)
+            if committed is None:
+                print(f"note: no {group} baseline committed; skipping "
+                      f"(run --write-baseline to gate it)")
+                continue
+            floor = committed - TOLERANCE_PTS
+            if summary["percent"] < floor:
+                print(
+                    f"FAIL: {group} coverage {summary['percent']}% dropped "
+                    f"below baseline {committed}% - {TOLERANCE_PTS} pt "
+                    f"tolerance (floor {floor:.2f}%)",
+                    file=sys.stderr,
+                )
+                failed = True
+            else:
+                print(
+                    f"{group} coverage OK (baseline {committed}%, floor "
+                    f"{floor:.2f}%)"
+                )
+        return 1 if failed else 0
     return 0
 
 

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""End-to-end smoke of ``htp serve`` / ``htp submit`` as real processes.
+
+What a packaged install would do, minus nothing: spawn the server CLI
+on an ephemeral port, drive it with two ``htp submit`` subprocesses
+(cold run, then a warm cache hit that must report the identical cost),
+then SIGTERM the server and verify it announces a clean drain.  Exits
+non-zero with a diagnostic on the first deviation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py    (or: make serve-smoke)
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+TIMEOUT = 120  # generous wall-clock budget for the whole smoke
+
+
+def fail(message: str, *details: str) -> None:
+    print(f"serve-smoke FAIL: {message}", file=sys.stderr)
+    for detail in details:
+        print(f"  {detail}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUT,
+        cwd=REPO,
+    )
+
+
+def main() -> int:
+    os.environ.setdefault("PYTHONPATH", str(REPO / "src"))
+
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        netlist = Path(tmp) / "smoke.hgr"
+        generated = run_cli(
+            "generate", str(netlist), "--nodes", "64", "--seed", "0"
+        )
+        if generated.returncode != 0:
+            fail("htp generate failed", generated.stderr)
+
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0",
+                "--cache-dir", str(Path(tmp) / "cache"),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            cwd=REPO,
+        )
+        try:
+            line = server.stdout.readline()
+            match = re.search(r"serving on (http://\S+)", line)
+            if not match:
+                fail("server did not announce its URL", f"got: {line!r}")
+            url = match.group(1)
+
+            submit = ("submit", str(netlist), "--url", url,
+                      "--height", "2", "--iterations", "1")
+            cold = run_cli(*submit)
+            if cold.returncode != 0 or "cold" not in cold.stdout:
+                fail("cold submit failed", cold.stdout, cold.stderr)
+            warm = run_cli(*submit)
+            if warm.returncode != 0 or "warm (cache hit)" not in warm.stdout:
+                fail("warm submit was not a cache hit",
+                     warm.stdout, warm.stderr)
+
+            cost = lambda out: re.search(r"FLOW cost: (\S+)", out).group(1)
+            if cost(cold.stdout) != cost(warm.stdout):
+                fail("warm cost differs from cold cost",
+                     cold.stdout, warm.stdout)
+
+            server.send_signal(signal.SIGTERM)
+            try:
+                output, _ = server.communicate(timeout=TIMEOUT)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                fail("server did not exit after SIGTERM")
+            if server.returncode != 0:
+                fail(f"server exited {server.returncode}", output)
+            drained = re.search(r"drained: (.*)", output)
+            if not drained:
+                fail("server did not report a drain", output)
+            counts = dict(
+                part.split("=") for part in drained.group(1).split()
+            )
+            if counts.get("done") != "2" or counts.get("failed") != "0":
+                fail("unexpected drain counts", drained.group(0))
+        finally:
+            if server.poll() is None:
+                server.kill()
+
+    print("serve-smoke OK: cold solve + warm cache hit + graceful drain")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,9 +3,11 @@
 # replay) suite, a collect-only guard keeping every benchmark file
 # importable (they are not part of tier-1, so a stray import error
 # would otherwise go unnoticed until someone tries to reproduce a
-# table), the documentation checker (runnable snippets, live links,
-# complete benchmark table), and the core coverage gate (line coverage
-# of src/repro/core may not drop below the committed baseline).
+# table), the service smoke (htp serve / htp submit as real processes:
+# cold solve, warm cache hit, graceful drain), the documentation
+# checker (runnable snippets, live links, complete benchmark table),
+# and the coverage gate (line coverage of src/repro/core and
+# src/repro/service may not drop below the committed baseline).
 #
 # Usage: sh scripts/verify.sh   (or: make verify)
 set -e
@@ -22,10 +24,13 @@ python -m pytest -m chaos -q
 echo "== benchmark import guard =="
 python -m pytest benchmarks/bench_micro.py benchmarks/bench_spreading_batch.py --co -q
 
+echo "== service smoke =="
+python scripts/serve_smoke.py
+
 echo "== docs check =="
 python scripts/docs_check.py
 
-echo "== core coverage gate =="
+echo "== coverage gate (core + service) =="
 python scripts/coverage_core.py --check
 
 echo "verify OK"

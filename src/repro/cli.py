@@ -8,9 +8,12 @@ Commands
 ``htp table``      regenerate a paper table (1, 2 or 3)
 ``htp search``     sweep tree heights and report the best hierarchy
 ``htp separator``  compute a rho-separator of a netlist
+``htp serve``      run the partitioning service (async job server + cache)
+``htp submit``     submit a netlist to a running service and await the result
 
 Netlists are read from hMETIS ``.hgr`` files, or from ISCAS ``.bench``
-files when the path ends in ``.bench``.
+files when the path ends in ``.bench``.  Unreadable or malformed input
+files exit with code 2 and a one-line error.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from repro.analysis.experiments import (
     table3_to_table,
 )
 from repro.core.faults import FaultPlan, FaultPlanError
+from repro.errors import ReproError
 from repro.core.flow_htp import FlowHTPConfig, flow_htp
 from repro.core.parallel import ParallelConfig
 from repro.core.lp import solve_spreading_lp
@@ -162,16 +166,101 @@ def build_parser() -> argparse.ArgumentParser:
     separator.add_argument("--rho", type=float, default=0.25)
     separator.add_argument("--seed", type=int, default=0)
 
+    serve = sub.add_parser(
+        "serve", help="run the partitioning service (HTTP job server)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port (default 8947; 0 binds an ephemeral port, printed "
+        "on startup)",
+    )
+    serve.add_argument(
+        "--max-concurrency",
+        type=_positive_int,
+        default=2,
+        help="jobs solved simultaneously",
+    )
+    serve.add_argument(
+        "--cache-capacity",
+        type=_positive_int,
+        default=128,
+        help="in-memory result-cache entries (LRU beyond this)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for durable result blobs (default: memory only)",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock budget in seconds (default: the "
+        "FaultTolerance task deadline, 120s)",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit a netlist to a running service"
+    )
+    submit.add_argument("input", help="input netlist path")
+    submit.add_argument(
+        "--url",
+        default=None,
+        help="service base URL (default http://127.0.0.1:8947)",
+    )
+    submit.add_argument("--height", type=int, default=4)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--iterations", type=_positive_int, default=2)
+    submit.add_argument(
+        "--engine",
+        choices=["scipy", "scipy-serial", "python", "parallel"],
+        default="scipy",
+    )
+    submit.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker processes for --engine parallel",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="seconds to wait for the job before giving up",
+    )
+    submit.add_argument(
+        "--perf",
+        action="store_true",
+        help="print the service's merged perf counters after the result",
+    )
+
     return parser
 
 
 def _load_netlist(path: str):
-    """Read a netlist by extension (.bench or hMETIS .hgr)."""
+    """Read a netlist by extension (.bench or hMETIS .hgr).
+
+    Unreadable or malformed files raise OSError / :class:`ReproError`;
+    commands go through :func:`_load_netlist_checked` so those surface
+    as exit code 2 with a one-line error, not a traceback.
+    """
     if str(path).endswith(".bench"):
         from repro.hypergraph.bench_format import read_bench
 
         return read_bench(path)
     return hio.read_hgr(path)
+
+
+def _load_netlist_checked(path: str):
+    """The netlist, or None after printing a one-line error to stderr."""
+    try:
+        return _load_netlist(path)
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"error: cannot read netlist {path!r}: {exc}", file=sys.stderr)
+        return None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -189,6 +278,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_search(args)
     if args.command == "separator":
         return _cmd_separator(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -216,7 +309,9 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    netlist = _load_netlist(args.input)
+    netlist = _load_netlist_checked(args.input)
+    if netlist is None:
+        return 2
     spec = binary_hierarchy(netlist.total_size(), height=args.height)
     if args.algorithm == "flow":
         parallel = None
@@ -262,7 +357,9 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 
 
 def _cmd_lowerbound(args: argparse.Namespace) -> int:
-    netlist = _load_netlist(args.input)
+    netlist = _load_netlist_checked(args.input)
+    if netlist is None:
+        return 2
     spec = binary_hierarchy(netlist.total_size(), height=args.height)
     graph = to_graph(netlist)
     result = solve_spreading_lp(
@@ -280,7 +377,9 @@ def _cmd_lowerbound(args: argparse.Namespace) -> int:
 def _cmd_search(args: argparse.Namespace) -> int:
     from repro.htp.hierarchy_search import search_hierarchies
 
-    netlist = _load_netlist(args.input)
+    netlist = _load_netlist_checked(args.input)
+    if netlist is None:
+        return 2
     parallel = (
         ParallelConfig(workers=args.workers)
         if args.workers is not None
@@ -313,7 +412,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
 def _cmd_separator(args: argparse.Namespace) -> int:
     from repro.core.separator import rho_separator
 
-    netlist = _load_netlist(args.input)
+    netlist = _load_netlist_checked(args.input)
+    if netlist is None:
+        return 2
     result = rho_separator(
         netlist, rho=args.rho, rng=random.Random(args.seed)
     )
@@ -326,6 +427,70 @@ def _cmd_separator(args: argparse.Namespace) -> int:
         f"{result.cut_capacity:g}"
     )
     print(f"piece sizes: {sizes}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.cache import ResultCache
+    from repro.service.server import DEFAULT_PORT, serve
+
+    port = args.port if args.port is not None else DEFAULT_PORT
+    manager_kwargs = {
+        "max_concurrency": args.max_concurrency,
+        "cache": ResultCache(
+            capacity=args.cache_capacity, cache_dir=args.cache_dir
+        ),
+        "job_timeout": args.job_timeout,
+    }
+    return serve(host=args.host, port=port, manager_kwargs=manager_kwargs)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceClientError
+    from repro.service.jobs import JobSpec, JobState
+    from repro.service.server import DEFAULT_PORT
+
+    netlist = _load_netlist_checked(args.input)
+    if netlist is None:
+        return 2
+    url = args.url or f"http://127.0.0.1:{DEFAULT_PORT}"
+    spec = JobSpec.from_parts(
+        netlist,
+        binary_hierarchy(netlist.total_size(), height=args.height),
+        {
+            "iterations": args.iterations,
+            "seed": args.seed,
+            "engine": args.engine,
+            "workers": args.workers,
+        },
+    )
+    client = ServiceClient(url)
+    try:
+        submitted = client.submit_spec(spec)
+        status = client.wait(str(submitted["job_id"]), timeout=args.timeout)
+        if status["state"] != JobState.DONE.value:
+            print(
+                f"error: job {status['job_id']} ended {status['state']}: "
+                f"{status.get('error', 'no detail')}",
+                file=sys.stderr,
+            )
+            return 1
+        payload = client.result(str(status["job_id"]))
+    except ServiceClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2 if exc.status == 0 else 1
+    result = payload["result"]
+    warmth = "warm (cache hit)" if status.get("cached") else "cold"
+    print(
+        f"FLOW cost: {result['cost']:g}  "
+        f"({result['runtime_seconds']:.1f}s solver, {warmth}, "
+        f"job {status['job_id']})"
+    )
+    if args.perf:
+        from repro.core.perf import PerfCounters
+
+        counters = client.metricsz()["perf"]
+        print(f"perf: {PerfCounters.from_dict(counters).summary()}")
     return 0
 
 

@@ -22,7 +22,9 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.construct import construct_partition
 from repro.core.parallel import MetricWorkerPool, ParallelConfig, parallel_map
@@ -107,6 +109,73 @@ class FlowHTPResult:
     metric_results: List[SpreadingMetricResult]
     runtime_seconds: float
     perf: Optional[PerfCounters] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready document; inverse of :meth:`from_dict`.
+
+        Carries the partition, every per-iteration diagnostic, the
+        solved spreading metrics (lengths and flows as plain lists, so a
+        cached result can hand the metric back without re-running
+        Algorithm 2) and the aggregated perf counters.  Per-metric
+        ``counters`` references are not serialized — the aggregate in
+        ``perf`` already folds them in.
+        """
+        return {
+            "partition": self.partition.to_dict(),
+            "cost": self.cost,
+            "iteration_costs": list(self.iteration_costs),
+            "metric_objectives": list(self.metric_objectives),
+            "metric_results": [
+                {
+                    "lengths": [float(x) for x in metric.lengths],
+                    "flows": [float(x) for x in metric.flows],
+                    "objective": metric.objective,
+                    "injections": metric.injections,
+                    "rounds": metric.rounds,
+                    "satisfied": metric.satisfied,
+                }
+                for metric in self.metric_results
+            ],
+            "runtime_seconds": self.runtime_seconds,
+            "perf": self.perf.as_dict() if self.perf is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FlowHTPResult":
+        """Rebuild a result written by :meth:`to_dict` (JSON round trip)."""
+        try:
+            partition = PartitionTree.from_dict(payload["partition"])
+            metrics = [
+                SpreadingMetricResult(
+                    lengths=np.asarray(entry["lengths"], dtype=float),
+                    flows=np.asarray(entry["flows"], dtype=float),
+                    objective=float(entry["objective"]),
+                    injections=int(entry["injections"]),
+                    rounds=int(entry["rounds"]),
+                    satisfied=bool(entry["satisfied"]),
+                )
+                for entry in payload["metric_results"]
+            ]
+            perf_payload = payload.get("perf")
+            return cls(
+                partition=partition,
+                cost=float(payload["cost"]),
+                iteration_costs=[float(c) for c in payload["iteration_costs"]],
+                metric_objectives=[
+                    float(o) for o in payload["metric_objectives"]
+                ],
+                metric_results=metrics,
+                runtime_seconds=float(payload["runtime_seconds"]),
+                perf=(
+                    PerfCounters.from_dict(perf_payload)
+                    if perf_payload is not None
+                    else None
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PartitionError(
+                f"malformed FlowHTPResult payload: {exc!r}"
+            ) from exc
 
 
 def _run_flow_iteration(

@@ -59,6 +59,12 @@ Counter semantics
 ``faults_injected``
     Injected faults (``repro.core.faults``) observed by the coordinator
     — raised :class:`InjectedFault` instances plus detected corruptions.
+``cache_hits`` / ``cache_misses`` / ``cache_evictions``
+    Content-addressed result-cache traffic (``repro.service.cache``):
+    lookups served from the cache (memory or disk), lookups that fell
+    through to a fresh solve, and LRU entries displaced by inserts.  A
+    warm service request shows ``cache_hits`` advancing while the
+    solver counters (``dijkstra_calls``, ``injections``) stand still.
 ``pool_workers``
     Per-worker-process ``dijkstra_sources`` totals, keyed by worker pid —
     shows how evenly the pool's load spread.
@@ -116,6 +122,9 @@ class PerfCounters:
     pool_shrinks: int = 0
     pool_corruptions: int = 0
     faults_injected: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
     pool_workers: Dict[str, int] = field(default_factory=dict)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     degradations: List[Dict[str, str]] = field(default_factory=list)
@@ -159,6 +168,9 @@ class PerfCounters:
         self.pool_shrinks += other.pool_shrinks
         self.pool_corruptions += other.pool_corruptions
         self.faults_injected += other.faults_injected
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_evictions += other.cache_evictions
         for record in other.degradations:
             if len(self.degradations) >= MAX_DEGRADATION_RECORDS:
                 break
@@ -191,10 +203,61 @@ class PerfCounters:
             "pool_shrinks": self.pool_shrinks,
             "pool_corruptions": self.pool_corruptions,
             "faults_injected": self.faults_injected,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
             "pool_workers": dict(self.pool_workers),
             "phase_seconds": dict(self.phase_seconds),
             "degradations": [dict(r) for r in self.degradations],
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "PerfCounters":
+        """Rebuild a struct written by :meth:`as_dict` (JSON round trip).
+
+        Unknown keys are ignored and missing keys default to zero/empty,
+        so payloads written by older versions of the struct still load.
+        """
+        counters = cls()
+        for name in (
+            "dijkstra_calls",
+            "dijkstra_sources",
+            "nodes_settled",
+            "edges_repriced",
+            "batch_checks",
+            "batch_sources",
+            "recheck_sources",
+            "retired_free",
+            "injections",
+            "cut_evals",
+            "pool_dispatches",
+            "pool_tasks",
+            "pool_fallbacks",
+            "pool_task_retries",
+            "pool_respawns",
+            "pool_shrinks",
+            "pool_corruptions",
+            "faults_injected",
+            "cache_hits",
+            "cache_misses",
+            "cache_evictions",
+        ):
+            setattr(counters, name, int(payload.get(name, 0)))
+        counters.pool_workers = {
+            str(worker): int(sources)
+            for worker, sources in dict(payload.get("pool_workers", {})).items()
+        }
+        counters.phase_seconds = {
+            str(name): float(seconds)
+            for name, seconds in dict(payload.get("phase_seconds", {})).items()
+        }
+        counters.degradations = [
+            {str(k): str(v) for k, v in dict(record).items()}
+            for record in list(payload.get("degradations", []))[
+                :MAX_DEGRADATION_RECORDS
+            ]
+        ]
+        return counters
 
     def summary(self) -> str:
         """One-line human summary (printed by ``htp partition --perf``)."""
@@ -225,6 +288,13 @@ class PerfCounters:
                 f"{self.pool_corruptions} corruptions / "
                 f"{self.faults_injected} faults"
             )
+        cache = ""
+        if self.cache_hits or self.cache_misses or self.cache_evictions:
+            cache = (
+                f" | cache {self.cache_hits} hits / "
+                f"{self.cache_misses} misses / "
+                f"{self.cache_evictions} evictions"
+            )
         return (
             f"dijkstra {self.dijkstra_calls} calls / "
             f"{self.dijkstra_sources} sources / "
@@ -234,5 +304,5 @@ class PerfCounters:
             f"{self.recheck_sources} rechecks | "
             f"{self.injections} injections / "
             f"{self.edges_repriced} edges repriced | "
-            f"{self.cut_evals} cut evals{pool}{recovery} | {phases}"
+            f"{self.cut_evals} cut evals{pool}{recovery}{cache} | {phases}"
         )

@@ -33,3 +33,8 @@ class PartitionError(ReproError):
 
 class ConvergenceError(ReproError):
     """An iterative solver exceeded its iteration budget without converging."""
+
+
+class ServiceError(ReproError):
+    """A partitioning-service failure (bad job spec, illegal state
+    transition, malformed cache blob, protocol violation)."""

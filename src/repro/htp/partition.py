@@ -227,6 +227,65 @@ class PartitionTree:
         return tree.freeze()
 
     # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready document; inverse of :meth:`from_dict`.
+
+        Vertices are listed in id order as ``(level, parent)`` pairs (the
+        root, id 0, carries parent -1); ``leaf_of`` maps each netlist
+        node to its leaf vertex id.  The document fully determines the
+        tree: :meth:`from_dict` rebuilds a structurally identical
+        instance, so ``to_dict`` → JSON → ``from_dict`` → ``to_dict``
+        is the identity.
+        """
+        return {
+            "num_nodes": self._num_nodes,
+            "num_levels": self._num_levels,
+            "vertices": [[v.level, v.parent] for v in self._vertices],
+            "leaf_of": list(self._leaf_of),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "PartitionTree":
+        """Rebuild (and freeze) a tree written by :meth:`to_dict`."""
+        try:
+            num_nodes = int(payload["num_nodes"])
+            num_levels = int(payload["num_levels"])
+            vertices = list(payload["vertices"])
+            leaf_of = list(payload["leaf_of"])
+        except (KeyError, TypeError) as exc:
+            raise PartitionError(
+                f"malformed partition payload: {exc!r}"
+            ) from exc
+        if not vertices:
+            raise PartitionError("partition payload lists no vertices")
+        root_level, root_parent = vertices[0]
+        if int(root_parent) != -1 or int(root_level) != num_levels:
+            raise PartitionError(
+                "partition payload vertex 0 must be the root "
+                f"(level {num_levels}, parent -1); got level {root_level}, "
+                f"parent {root_parent}"
+            )
+        tree = cls(num_nodes=num_nodes, num_levels=num_levels)
+        for level, parent in vertices[1:]:
+            tree.add_vertex(level=int(level), parent=int(parent))
+        if len(leaf_of) != num_nodes:
+            raise PartitionError(
+                f"partition payload assigns {len(leaf_of)} nodes, "
+                f"expected {num_nodes}"
+            )
+        for node, leaf in enumerate(leaf_of):
+            leaf = int(leaf)
+            if not 0 <= leaf < len(tree._vertices):
+                raise PartitionError(
+                    f"partition payload assigns node {node} to unknown "
+                    f"vertex {leaf}"
+                )
+            tree.assign(node, leaf)
+        return tree.freeze()
+
+    # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
     @property

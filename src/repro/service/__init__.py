@@ -1,0 +1,44 @@
+"""The partitioning service: async job server, result cache, client.
+
+Layers (each importable on its own):
+
+- :mod:`repro.service.jobs` — :class:`JobSpec` (content-addressed work
+  unit), the job state machine and the asyncio :class:`JobManager`;
+- :mod:`repro.service.cache` — :class:`ResultCache`, an in-memory LRU
+  over optional on-disk JSON blobs keyed by the JobSpec hash;
+- :mod:`repro.service.server` — the stdlib HTTP front end
+  (:class:`PartitionServer`, :class:`ServerThread`, :func:`serve`);
+- :mod:`repro.service.client` — the blocking :class:`ServiceClient`.
+
+See the "Service" section of ``docs/architecture.md`` for the endpoint
+table, the job lifecycle diagram and the cache-key definition.
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.jobs import (
+    CONFIG_DEFAULTS,
+    Job,
+    JobManager,
+    JobSpec,
+    JobState,
+    TERMINAL_STATES,
+    run_spec,
+)
+from repro.service.server import PartitionServer, ServerThread, serve
+
+__all__ = [
+    "CONFIG_DEFAULTS",
+    "Job",
+    "JobManager",
+    "JobSpec",
+    "JobState",
+    "PartitionServer",
+    "ResultCache",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceClientError",
+    "TERMINAL_STATES",
+    "run_spec",
+    "serve",
+]

@@ -1,0 +1,166 @@
+"""Content-addressed result cache: in-memory LRU over on-disk JSON blobs.
+
+Keys are :meth:`JobSpec.canonical_hash` digests, values are the JSON
+result payloads the job core produces (``{"spec_hash": ..., "result":
+FlowHTPResult.to_dict()}`` — including the solved spreading metric, so a
+warm request skips Algorithm 2 entirely).  The memory tier is a bounded
+LRU; the optional disk tier writes one ``<hash>.json`` blob per entry
+under ``cache_dir`` and survives restarts.  A disk read re-populates the
+memory tier (read-through), and a memory eviction never deletes the
+blob — disk is the durable tier, memory the hot set.
+
+Traffic lands on a shared :class:`~repro.core.perf.PerfCounters`
+(``cache_hits`` / ``cache_misses`` / ``cache_evictions``) so the service
+and the solver report through one instrument.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.core.perf import PerfCounters
+from repro.errors import ServiceError
+
+#: Hex digits of a SHA-256 digest — the only accepted key shape (keys
+#: become file names, so this also forbids path traversal).
+_KEY_LENGTH = 64
+
+
+def _check_key(key: str) -> str:
+    if (
+        not isinstance(key, str)
+        or len(key) != _KEY_LENGTH
+        or any(c not in "0123456789abcdef" for c in key)
+    ):
+        raise ServiceError(
+            f"cache keys must be {_KEY_LENGTH}-char lowercase hex digests, "
+            f"got {key!r}"
+        )
+    return key
+
+
+class ResultCache:
+    """Bounded LRU of result payloads, optionally backed by a directory.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum entries held in memory; the least-recently-used entry is
+        evicted on overflow (``cache_evictions`` counts them).
+    cache_dir:
+        Optional directory for the durable tier; created on first write.
+        ``None`` keeps the cache purely in-memory.
+    counters:
+        Shared perf struct; defaults to a private one (exposed as
+        ``.counters`` either way).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        cache_dir: Optional[Union[str, Path]] = None,
+        counters: Optional[PerfCounters] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ServiceError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.counters = counters if counters is not None else PerfCounters()
+        self._memory: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self._disk_hits = 0
+        self._memory_hits = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        key = _check_key(key)
+        return key in self._memory or self._blob_path(key) is not None
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The payload stored under ``key``, or None (counted miss)."""
+        key = _check_key(key)
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.counters.cache_hits += 1
+            self._memory_hits += 1
+            return self._memory[key]
+        payload = self._read_blob(key)
+        if payload is not None:
+            self._install(key, payload)
+            self.counters.cache_hits += 1
+            self._disk_hits += 1
+            return payload
+        self.counters.cache_misses += 1
+        return None
+
+    def put(self, key: str, payload: Dict[str, object]) -> None:
+        """Store ``payload`` under ``key`` in both tiers."""
+        key = _check_key(key)
+        stored_hash = payload.get("spec_hash")
+        if stored_hash is not None and stored_hash != key:
+            raise ServiceError(
+                f"payload says spec_hash {stored_hash!r} but is being "
+                f"stored under {key!r} — content addressing violated"
+            )
+        self._install(key, payload)
+        self._write_blob(key, payload)
+
+    def stats(self) -> Dict[str, object]:
+        """The ``metricsz`` view of the cache."""
+        return {
+            "entries": len(self._memory),
+            "capacity": self.capacity,
+            "hits": self.counters.cache_hits,
+            "memory_hits": self._memory_hits,
+            "disk_hits": self._disk_hits,
+            "misses": self.counters.cache_misses,
+            "evictions": self.counters.cache_evictions,
+            "disk": str(self.cache_dir) if self.cache_dir else None,
+        }
+
+    # ------------------------------------------------------------------
+    def _install(self, key: str, payload: Dict[str, object]) -> None:
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.counters.cache_evictions += 1
+
+    def _blob_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        path = self.cache_dir / f"{key}.json"
+        return path if path.is_file() else None
+
+    def _read_blob(self, key: str) -> Optional[Dict[str, object]]:
+        path = self._blob_path(key)
+        if path is None:
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise ServiceError(f"corrupt cache blob {path}: {exc}") from exc
+        stored_hash = payload.get("spec_hash")
+        if stored_hash is not None and stored_hash != key:
+            raise ServiceError(
+                f"cache blob {path} claims spec_hash {stored_hash!r} — "
+                "content addressing violated"
+            )
+        return payload
+
+    def _write_blob(self, key: str, payload: Dict[str, object]) -> None:
+        if self.cache_dir is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.cache_dir / f"{key}.json"
+        # Write-then-rename so a crashed writer never leaves a torn blob
+        # that a later read would reject as corrupt.
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)

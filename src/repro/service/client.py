@@ -1,0 +1,172 @@
+"""Thin blocking client for the partitioning service.
+
+Wraps ``http.client`` (stdlib) around the server's JSON endpoints: one
+connection per call, conventional status codes mapped to
+:class:`ServiceClientError`.  :meth:`ServiceClient.partition` is the
+high-level helper behind ``htp submit`` — build a spec, submit, poll
+until terminal, return the deserialized :class:`FlowHTPResult`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Dict, Optional
+
+from repro.core.flow_htp import FlowHTPResult
+from repro.errors import ServiceError
+from repro.htp.hierarchy import HierarchySpec
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.service.jobs import JobSpec, JobState, TERMINAL_STATES
+
+
+class ServiceClientError(ServiceError):
+    """An HTTP-level failure talking to the service.
+
+    ``status`` holds the HTTP status code (0 for connection failures).
+    """
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """A handle on one server, e.g. ``ServiceClient("http://127.0.0.1:8947")``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        parsed = urllib.parse.urlparse(base_url)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ServiceClientError(
+                f"base_url must look like http://host:port, got {base_url!r}"
+            )
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Raw endpoint wrappers
+    # ------------------------------------------------------------------
+    def submit(self, spec_payload: Dict[str, object]) -> Dict[str, object]:
+        """POST /jobs — returns the job status document."""
+        return self._request("POST", "/jobs", body=spec_payload)
+
+    def submit_spec(self, spec: JobSpec) -> Dict[str, object]:
+        """Submit a library-level :class:`JobSpec`."""
+        return self.submit(spec.to_payload())
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        """GET /jobs/<id>."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        """GET /jobs/<id>/result (raises 409 ServiceClientError until done)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        """POST /jobs/<id>/cancel."""
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def jobs(self) -> Dict[str, object]:
+        """GET /jobs."""
+        return self._request("GET", "/jobs")
+
+    def healthz(self) -> Dict[str, object]:
+        """GET /healthz."""
+        return self._request("GET", "/healthz")
+
+    def metricsz(self) -> Dict[str, object]:
+        """GET /metricsz."""
+        return self._request("GET", "/metricsz")
+
+    # ------------------------------------------------------------------
+    # High-level flow
+    # ------------------------------------------------------------------
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = 300.0,
+        poll_interval: float = 0.05,
+    ) -> Dict[str, object]:
+        """Poll until the job reaches a terminal state; returns its status."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if JobState(status["state"]) in TERMINAL_STATES:
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceClientError(
+                    f"job {job_id} still {status['state']} after {timeout:g}s"
+                )
+            time.sleep(poll_interval)
+
+    def partition(
+        self,
+        netlist: Hypergraph,
+        hierarchy: HierarchySpec,
+        config: Optional[Dict[str, object]] = None,
+        timeout: Optional[float] = 300.0,
+        poll_interval: float = 0.05,
+    ) -> FlowHTPResult:
+        """Submit, poll, deserialize — the one-call client experience.
+
+        Raises :class:`ServiceClientError` when the job fails or is
+        cancelled (the job's error message is included).
+        """
+        spec = JobSpec.from_parts(netlist, hierarchy, config)
+        submitted = self.submit_spec(spec)
+        status = self.wait(
+            str(submitted["job_id"]),
+            timeout=timeout,
+            poll_interval=poll_interval,
+        )
+        if status["state"] != JobState.DONE.value:
+            raise ServiceClientError(
+                f"job {status['job_id']} ended {status['state']}: "
+                f"{status.get('error', 'no detail')}"
+            )
+        payload = self.result(str(status["job_id"]))
+        return FlowHTPResult.from_dict(payload["result"])
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        data = None
+        headers = {}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            try:
+                connection.request(method, path, body=data, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServiceClientError(
+                    f"cannot reach service at {self.host}:{self.port}: {exc}"
+                ) from exc
+        finally:
+            connection.close()
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServiceClientError(
+                f"{method} {path}: non-JSON response "
+                f"(status {response.status})",
+                status=response.status,
+            ) from exc
+        if response.status != 200:
+            detail = payload.get("error", repr(raw[:200]))
+            raise ServiceClientError(
+                f"{method} {path}: {detail}", status=response.status
+            )
+        return payload

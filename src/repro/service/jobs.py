@@ -1,0 +1,621 @@
+"""Job core of the partitioning service: specs, states, and the queue.
+
+A :class:`JobSpec` is the unit of work the service accepts — a netlist,
+a hierarchy and a solver configuration, all expressed as plain JSON
+scalars so the spec has a *canonical hash*: two submissions that mean
+the same partitioning problem (whatever their JSON key order or pin
+order inside nets) hash identically, while any change to a solver knob
+(seed, engine, delta, ...) changes the hash.  That hash is the service's
+content address — the cache key, the dedup key, and the first half of
+every job id.
+
+:class:`JobManager` is the asyncio execution core behind the HTTP
+server: a bounded-concurrency queue of :class:`Job` records, each
+walking the state machine
+
+    queued -> running -> done | failed
+    queued | running -> cancelled
+
+with per-job timeouts, cooperative cancellation, retry budgets borrowed
+from :class:`repro.core.faults.FaultTolerance`, and a graceful shutdown
+that drains in-flight jobs.  Failures are *not* a parallel error path:
+every timeout, retry and failure lands on the manager's
+:class:`~repro.core.perf.PerfCounters` via ``record_degradation`` —
+the same machinery the worker-pool ladder uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import itertools
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+from repro.core.faults import FaultTolerance
+from repro.core.flow_htp import FlowHTPConfig, FlowHTPResult, flow_htp
+from repro.core.parallel import ParallelConfig
+from repro.core.perf import PerfCounters
+from repro.core.spreading_metric import ENGINES, SpreadingMetricConfig
+from repro.errors import ServiceError
+from repro.htp.hierarchy import HierarchySpec
+from repro.hypergraph.hypergraph import Hypergraph
+
+#: Solver knobs a JobSpec config may carry, with the defaults that are
+#: baked into the canonical form.  Explicit defaults make hashing
+#: total: omitting a key and stating its default are the same spec.
+CONFIG_DEFAULTS: Dict[str, object] = {
+    "iterations": 2,
+    "constructions_per_metric": 4,
+    "find_cut_restarts": 2,
+    "find_cut_strategy": "both",
+    "net_model": "clique",
+    "seed": 0,
+    "engine": "scipy",
+    "alpha": 1.0,
+    "delta": 1.0,
+    "epsilon": 1e-3,
+    "max_rounds": 64,
+    "node_sample": 1.0,
+    "workers": None,
+}
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A fully-described partitioning request (netlist + hierarchy + config).
+
+    Build with :meth:`from_parts` (library objects) or
+    :meth:`from_payload` (the JSON wire form); either way the stored
+    fields are canonical JSON scalars, so :meth:`canonical_hash` is
+    stable across processes, submission order and key order.
+    """
+
+    netlist: Dict[str, object]
+    hierarchy: Dict[str, object]
+    config: Dict[str, object]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_parts(
+        cls,
+        netlist: Hypergraph,
+        hierarchy: HierarchySpec,
+        config: Optional[Dict[str, object]] = None,
+    ) -> "JobSpec":
+        """Build a spec from library objects plus config overrides."""
+        doc = {
+            "name": netlist.name,
+            "num_nodes": netlist.num_nodes,
+            "node_sizes": [float(s) for s in netlist.node_sizes()],
+            "nets": [list(pins) for pins in netlist.nets()],
+            "net_capacities": [float(c) for c in netlist.net_capacities()],
+        }
+        spec_doc = {
+            "capacities": [float(c) for c in hierarchy.capacities],
+            "branching": [int(k) for k in hierarchy.branching],
+            "weights": [float(w) for w in hierarchy.weights],
+        }
+        return cls.from_payload(
+            {"netlist": doc, "hierarchy": spec_doc, "config": config or {}}
+        )
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "JobSpec":
+        """Validate and canonicalize the JSON wire form of a spec."""
+        if not isinstance(payload, dict):
+            raise ServiceError("job spec payload must be a JSON object")
+        for section in ("netlist", "hierarchy"):
+            if not isinstance(payload.get(section), dict):
+                raise ServiceError(f"job spec needs a {section!r} object")
+        raw_config = payload.get("config", {})
+        if not isinstance(raw_config, dict):
+            raise ServiceError("job spec 'config' must be a JSON object")
+        unknown = sorted(set(raw_config) - set(CONFIG_DEFAULTS))
+        if unknown:
+            raise ServiceError(
+                f"unknown config keys {unknown}; allowed: "
+                f"{sorted(CONFIG_DEFAULTS)}"
+            )
+        config = dict(CONFIG_DEFAULTS)
+        config.update(raw_config)
+        if config["engine"] not in ENGINES:
+            raise ServiceError(
+                f"unknown engine {config['engine']!r} "
+                f"(choose from {ENGINES})"
+            )
+
+        raw_netlist = payload["netlist"]
+        try:
+            netlist = Hypergraph(
+                num_nodes=raw_netlist["num_nodes"],
+                nets=raw_netlist["nets"],
+                node_sizes=raw_netlist.get("node_sizes"),
+                net_capacities=raw_netlist.get("net_capacities"),
+                name=str(raw_netlist.get("name", "")),
+            )
+        except KeyError as exc:
+            raise ServiceError(f"netlist payload missing field {exc}") from exc
+        except Exception as exc:
+            raise ServiceError(f"bad netlist payload: {exc}") from exc
+        raw_hierarchy = payload["hierarchy"]
+        try:
+            hierarchy = HierarchySpec(
+                capacities=tuple(raw_hierarchy["capacities"]),
+                branching=tuple(raw_hierarchy["branching"]),
+                weights=tuple(raw_hierarchy["weights"]),
+            )
+        except KeyError as exc:
+            raise ServiceError(
+                f"hierarchy payload missing field {exc}"
+            ) from exc
+        except Exception as exc:
+            raise ServiceError(f"bad hierarchy payload: {exc}") from exc
+
+        # Canonical form: the *normalized* netlist (pins sorted and
+        # deduplicated by the Hypergraph constructor), explicit sizes
+        # and capacities, and a fully-defaulted config.
+        canonical_netlist = {
+            "name": netlist.name,
+            "num_nodes": netlist.num_nodes,
+            "node_sizes": [float(s) for s in netlist.node_sizes()],
+            "nets": [list(pins) for pins in netlist.nets()],
+            "net_capacities": [float(c) for c in netlist.net_capacities()],
+        }
+        canonical_hierarchy = {
+            "capacities": list(hierarchy.capacities),
+            "branching": list(hierarchy.branching),
+            "weights": list(hierarchy.weights),
+        }
+        return cls(
+            netlist=canonical_netlist,
+            hierarchy=canonical_hierarchy,
+            config=config,
+        )
+
+    # ------------------------------------------------------------------
+    def canonical_hash(self) -> str:
+        """SHA-256 over the canonical JSON form — the content address.
+
+        The instance name is excluded: a spec is *what* to solve, and
+        renaming the netlist does not change the problem.
+        """
+        doc = {
+            "netlist": {
+                k: v for k, v in self.netlist.items() if k != "name"
+            },
+            "hierarchy": self.hierarchy,
+            "config": self.config,
+        }
+        blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def to_payload(self) -> Dict[str, object]:
+        """The JSON wire form (already canonical)."""
+        return {
+            "netlist": dict(self.netlist),
+            "hierarchy": dict(self.hierarchy),
+            "config": dict(self.config),
+        }
+
+    # ------------------------------------------------------------------
+    def build_netlist(self) -> Hypergraph:
+        """The spec's netlist as a library object."""
+        return Hypergraph(
+            num_nodes=self.netlist["num_nodes"],
+            nets=self.netlist["nets"],
+            node_sizes=self.netlist["node_sizes"],
+            net_capacities=self.netlist["net_capacities"],
+            name=str(self.netlist.get("name", "")),
+        )
+
+    def build_hierarchy(self) -> HierarchySpec:
+        """The spec's hierarchy as a library object."""
+        return HierarchySpec(
+            capacities=tuple(self.hierarchy["capacities"]),
+            branching=tuple(self.hierarchy["branching"]),
+            weights=tuple(self.hierarchy["weights"]),
+        )
+
+    def build_config(self) -> FlowHTPConfig:
+        """The spec's solver configuration as a library object."""
+        config = self.config
+        parallel = None
+        if config["engine"] == "parallel":
+            parallel = ParallelConfig(workers=config["workers"])
+        return FlowHTPConfig(
+            iterations=int(config["iterations"]),
+            constructions_per_metric=int(config["constructions_per_metric"]),
+            find_cut_restarts=int(config["find_cut_restarts"]),
+            find_cut_strategy=str(config["find_cut_strategy"]),
+            net_model=str(config["net_model"]),
+            seed=int(config["seed"]),
+            metric=SpreadingMetricConfig(
+                alpha=float(config["alpha"]),
+                delta=float(config["delta"]),
+                epsilon=float(config["epsilon"]),
+                max_rounds=int(config["max_rounds"]),
+                engine=str(config["engine"]),
+                seed=int(config["seed"]),
+                node_sample=float(config["node_sample"]),
+            ),
+            parallel=parallel,
+        )
+
+
+def run_spec(spec: JobSpec) -> FlowHTPResult:
+    """Solve a spec synchronously (the default job runner)."""
+    return flow_htp(
+        spec.build_netlist(), spec.build_hierarchy(), spec.build_config()
+    )
+
+
+class JobState(str, Enum):
+    """Lifecycle states of a job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: Legal state-machine moves; anything else raises :class:`ServiceError`.
+_TRANSITIONS = {
+    JobState.QUEUED: {JobState.RUNNING, JobState.CANCELLED},
+    JobState.RUNNING: {JobState.DONE, JobState.FAILED, JobState.CANCELLED},
+    JobState.DONE: set(),
+    JobState.FAILED: set(),
+    JobState.CANCELLED: set(),
+}
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset(
+    {JobState.DONE, JobState.FAILED, JobState.CANCELLED}
+)
+
+#: Queue sentinel telling a worker task to exit its loop at shutdown.
+_STOP = object()
+
+
+@dataclass
+class Job:
+    """One submission walking the job state machine."""
+
+    job_id: str
+    spec_hash: str
+    spec: JobSpec
+    state: JobState = JobState.QUEUED
+    cached: bool = False
+    error: Optional[str] = None
+    result_payload: Optional[Dict[str, object]] = None
+    submitted_at: float = field(default_factory=time.time)
+    finished_at: Optional[float] = None
+    cancel_requested: bool = False
+
+    def transition(self, new_state: JobState) -> None:
+        """Move to ``new_state``, enforcing the legal transitions."""
+        if new_state not in _TRANSITIONS[self.state]:
+            raise ServiceError(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+        if new_state in TERMINAL_STATES:
+            self.finished_at = time.time()
+
+    def status(self) -> Dict[str, object]:
+        """The JSON status document served by ``GET /jobs/<id>``."""
+        doc: Dict[str, object] = {
+            "job_id": self.job_id,
+            "spec_hash": self.spec_hash,
+            "state": self.state.value,
+            "cached": self.cached,
+            "submitted_at": self.submitted_at,
+        }
+        if self.finished_at is not None:
+            doc["finished_at"] = self.finished_at
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.state == JobState.DONE and self.result_payload is not None:
+            doc["cost"] = self.result_payload["result"]["cost"]
+        return doc
+
+
+class JobManager:
+    """Asyncio job queue with bounded concurrency and graceful shutdown.
+
+    Parameters
+    ----------
+    max_concurrency:
+        Jobs solved simultaneously (each on its own executor thread).
+    cache:
+        Optional :class:`repro.service.cache.ResultCache`; hits complete
+        submissions instantly in state ``done`` without touching the
+        solver.
+    job_timeout:
+        Default per-job wall-clock budget in seconds (None: take
+        ``tolerance.task_deadline``; that too None means no timeout).
+    tolerance:
+        :class:`~repro.core.faults.FaultTolerance` recovery budgets —
+        ``task_retries`` failed-solve resubmissions with
+        ``backoff_base``/``backoff_cap`` exponential backoff, and
+        ``task_deadline`` as the fallback job timeout.
+    runner:
+        The blocking solve callable ``spec -> FlowHTPResult`` (tests
+        inject slow/failing stand-ins; defaults to :func:`run_spec`).
+    counters:
+        Shared :class:`PerfCounters`; job failures, retries, timeouts
+        and cancellations are recorded here via ``record_degradation``
+        (site ``"service"``) and every completed solve's counters are
+        merged in.
+    """
+
+    def __init__(
+        self,
+        max_concurrency: int = 2,
+        cache=None,
+        job_timeout: Optional[float] = None,
+        tolerance: Optional[FaultTolerance] = None,
+        runner: Optional[Callable[[JobSpec], FlowHTPResult]] = None,
+        counters: Optional[PerfCounters] = None,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ServiceError("max_concurrency must be at least 1")
+        self.counters = counters if counters is not None else PerfCounters()
+        self.cache = cache
+        if cache is not None and cache.counters is not self.counters:
+            # One instrument for the whole service: fold any traffic the
+            # cache counted pre-adoption into the manager's struct, then
+            # share it so hits/misses/evictions land beside the solver
+            # counters.
+            self.counters.merge(cache.counters)
+            cache.counters = self.counters
+        self.tolerance = tolerance or FaultTolerance()
+        if job_timeout is None:
+            job_timeout = self.tolerance.task_deadline
+        self.job_timeout = job_timeout
+        self._runner = runner or run_spec
+        self._max_concurrency = max_concurrency
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._queue: "asyncio.Queue[str]" = asyncio.Queue()
+        self._workers: List[asyncio.Task] = []
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._sequence = itertools.count(1)
+        self._accepting = True
+        self._started = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._in_flight = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def accepting(self) -> bool:
+        """Whether :meth:`submit` currently accepts new jobs."""
+        return self._accepting
+
+    async def start(self) -> None:
+        """Spawn the worker tasks (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._max_concurrency,
+            thread_name_prefix="repro-job",
+        )
+        for index in range(self._max_concurrency):
+            self._workers.append(
+                asyncio.create_task(self._worker(), name=f"job-worker-{index}")
+            )
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop the manager.
+
+        With ``drain=True`` (graceful): refuse new submissions, let
+        RUNNING jobs finish, and cancel everything still QUEUED.  With
+        ``drain=False``: additionally request cancellation of RUNNING
+        jobs (their executor threads finish in the background; results
+        are discarded).
+        """
+        self._accepting = False
+        for job in self._jobs.values():
+            if job.state == JobState.QUEUED:
+                self._cancel_queued(job)
+            elif job.state == JobState.RUNNING and not drain:
+                job.cancel_requested = True
+        if drain:
+            await self._idle.wait()
+        else:
+            # Interrupt in-flight solves.  Termination does NOT rely on
+            # this cancellation being delivered: on 3.11 ``wait_for``
+            # swallows a cancel that races a just-completed executor
+            # future, leaving the worker alive in "cancelling" state.
+            # The sentinels below end the loop either way.
+            for worker in self._workers:
+                worker.cancel()
+        for _ in self._workers:
+            self._queue.put_nowait(_STOP)
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=drain, cancel_futures=True)
+            self._executor = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Submission / queries
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> Job:
+        """Enqueue a spec; returns the job (may already be ``done``).
+
+        A cache hit never reaches the queue: the job is created directly
+        in state ``done`` with the cached payload and ``cached=True``.
+        """
+        if not self._accepting:
+            raise ServiceError("service is shutting down; not accepting jobs")
+        spec_hash = spec.canonical_hash()
+        job_id = f"{spec_hash[:12]}-{next(self._sequence):04d}"
+        job = Job(job_id=job_id, spec_hash=spec_hash, spec=spec)
+        self._jobs[job_id] = job
+        self._order.append(job_id)
+        cached = self.cache.get(spec_hash) if self.cache is not None else None
+        if cached is not None:
+            job.cached = True
+            job.result_payload = cached
+            job.transition(JobState.RUNNING)
+            job.transition(JobState.DONE)
+            return job
+        self._idle.clear()
+        self._in_flight += 1
+        self._queue.put_nowait(job_id)
+        return job
+
+    def get(self, job_id: str) -> Job:
+        """The job record, or :class:`ServiceError` if unknown."""
+        try:
+            return self._jobs[job_id]
+        except KeyError as exc:
+            raise ServiceError(f"unknown job id {job_id!r}") from exc
+
+    def jobs(self) -> List[Job]:
+        """All jobs in submission order."""
+        return [self._jobs[job_id] for job_id in self._order]
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job; no-op for jobs already in a terminal state.
+
+        QUEUED jobs are cancelled immediately; RUNNING jobs get
+        ``cancel_requested`` set and report ``cancelled`` once their
+        solve returns (the result is discarded, not cached).
+        """
+        job = self.get(job_id)
+        if job.state == JobState.QUEUED:
+            self._cancel_queued(job)
+        elif job.state == JobState.RUNNING:
+            job.cancel_requested = True
+        return job
+
+    def state_counts(self) -> Dict[str, int]:
+        """Jobs per state (the ``healthz`` summary)."""
+        counts = {state.value: 0 for state in JobState}
+        for job in self._jobs.values():
+            counts[job.state.value] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _cancel_queued(self, job: Job) -> None:
+        job.cancel_requested = True
+        job.transition(JobState.CANCELLED)
+        self.counters.record_degradation(
+            "job-cancelled", "cancelled while queued", site="service"
+        )
+        self._job_settled()
+
+    def _job_settled(self) -> None:
+        self._in_flight -= 1
+        if self._in_flight == 0:
+            self._idle.set()
+
+    async def _worker(self) -> None:
+        while True:
+            job_id = await self._queue.get()
+            if job_id is _STOP:
+                return
+            job = self._jobs[job_id]
+            try:
+                if job.state == JobState.CANCELLED:
+                    continue  # cancelled while queued; already settled
+                job.transition(JobState.RUNNING)
+                try:
+                    await self._run_job(job)
+                except asyncio.CancelledError:
+                    # Hard shutdown (drain=False) killed the worker task
+                    # mid-solve: report the job cancelled, not stuck.
+                    if job.state == JobState.RUNNING:
+                        job.error = "worker cancelled at shutdown"
+                        job.transition(JobState.CANCELLED)
+                        self.counters.record_degradation(
+                            "job-cancelled", job.error, site="service"
+                        )
+                    raise
+                finally:
+                    self._job_settled()
+            finally:
+                self._queue.task_done()
+
+    async def _run_job(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+        retries = self.tolerance.task_retries
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                future = loop.run_in_executor(
+                    self._executor, self._runner, job.spec
+                )
+                if self.job_timeout is not None:
+                    result = await asyncio.wait_for(future, self.job_timeout)
+                else:
+                    result = await future
+            except asyncio.TimeoutError:
+                job.error = f"timed out after {self.job_timeout:g}s"
+                job.transition(JobState.FAILED)
+                self.counters.record_degradation(
+                    "job-timeout", job.error, site="service"
+                )
+                return
+            except Exception as exc:
+                if job.cancel_requested:
+                    job.error = repr(exc)
+                    job.transition(JobState.CANCELLED)
+                    self.counters.record_degradation(
+                        "job-cancelled", exc, site="service"
+                    )
+                    return
+                if attempt <= retries:
+                    self.counters.pool_task_retries += 1
+                    self.counters.record_degradation(
+                        "job-retry", exc, site="service"
+                    )
+                    await asyncio.sleep(
+                        min(
+                            self.tolerance.backoff_cap,
+                            self.tolerance.backoff_base * 2 ** (attempt - 1),
+                        )
+                    )
+                    continue
+                job.error = repr(exc)
+                job.transition(JobState.FAILED)
+                self.counters.record_degradation(
+                    "job-failed", exc, site="service"
+                )
+                return
+            break
+
+        if job.cancel_requested:
+            job.transition(JobState.CANCELLED)
+            self.counters.record_degradation(
+                "job-cancelled",
+                "cancelled while running; result discarded",
+                site="service",
+            )
+            return
+        payload = {
+            "spec_hash": job.spec_hash,
+            "result": result.to_dict(),
+        }
+        if result.perf is not None:
+            self.counters.merge(result.perf)
+        if self.cache is not None:
+            self.cache.put(job.spec_hash, payload)
+        job.result_payload = payload
+        job.transition(JobState.DONE)

@@ -1,0 +1,378 @@
+"""Stdlib-only HTTP front end of the partitioning service.
+
+``asyncio.start_server`` plus hand-rolled HTTP/1.0 framing — no new
+dependencies.  One request per connection (the thin client opens a
+fresh connection per call), JSON bodies both ways.
+
+Endpoints
+---------
+=======  =======================  ==========================================
+method   path                     meaning
+=======  =======================  ==========================================
+POST     ``/jobs``                submit a JobSpec payload; returns the job
+GET      ``/jobs``                list all jobs (submission order)
+GET      ``/jobs/<id>``           job status
+GET      ``/jobs/<id>/result``    result payload (409 until ``done``)
+POST     ``/jobs/<id>/cancel``    cancel a queued/running job
+GET      ``/healthz``             liveness + per-state job counts
+GET      ``/metricsz``            merged PerfCounters + cache stats
+=======  =======================  ==========================================
+
+Error responses are ``{"error": ...}`` with conventional status codes:
+400 malformed request/spec, 404 unknown job, 405 wrong method, 409
+result not ready, 503 shutting down.
+
+:class:`PartitionServer` is the asyncio server; :class:`ServerThread`
+runs one on a daemon thread for embedding in synchronous code (tests,
+benchmarks, the smoke script); :func:`serve` is the blocking entry point
+behind ``htp serve`` with signal-driven graceful shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.service.jobs import JobManager, JobSpec, JobState
+
+#: Largest accepted request body (netlists are a few MB at paper scale).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Default TCP port of ``htp serve`` / ``htp submit``.
+DEFAULT_PORT = 8947
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    """Internal: aborts handling with a status code and message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class PartitionServer:
+    """The asyncio HTTP server wrapping a :class:`JobManager`."""
+
+    def __init__(
+        self,
+        manager: JobManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port  # replaced by the bound port after start()
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the manager and bind the listening socket."""
+        await self.manager.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop listening, then shut the manager down (drain by default)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.manager.shutdown(drain=drain)
+
+    @property
+    def url(self) -> str:
+        """The base URL clients should use."""
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+                status, payload = self._route(method, path, body)
+            except _HttpError as exc:
+                status, payload = exc.status, {"error": exc.message}
+            except ServiceError as exc:
+                status, payload = 400, {"error": str(exc)}
+            except Exception as exc:  # pragma: no cover - defensive
+                status, payload = 500, {"error": repr(exc)}
+            await self._write_response(writer, status, payload)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line {request_line!r}")
+        method, path, _version = parts
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _sep, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError as exc:
+                    raise _HttpError(400, "bad Content-Length") from exc
+        if content_length > MAX_BODY_BYTES:
+            raise _HttpError(
+                413, f"body exceeds {MAX_BODY_BYTES} byte limit"
+            )
+        body = (
+            await reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+        return method.upper(), path, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, object],
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.0 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._require(method, "GET")
+            return 200, {
+                "status": "ok",
+                "accepting": self.manager.accepting,
+                "jobs": self.manager.state_counts(),
+            }
+        if path == "/metricsz":
+            self._require(method, "GET")
+            cache = self.manager.cache
+            return 200, {
+                "perf": self.manager.counters.as_dict(),
+                "cache": cache.stats() if cache is not None else None,
+            }
+        if path == "/jobs":
+            if method == "POST":
+                return self._submit(body)
+            self._require(method, "GET")
+            return 200, {
+                "jobs": [job.status() for job in self.manager.jobs()]
+            }
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):]
+            if rest.endswith("/result"):
+                self._require(method, "GET")
+                return self._result(rest[: -len("/result")])
+            if rest.endswith("/cancel"):
+                self._require(method, "POST")
+                return self._cancel(rest[: -len("/cancel")])
+            self._require(method, "GET")
+            return 200, self._job(rest).status()
+        raise _HttpError(404, f"no such endpoint {path!r}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise _HttpError(405, f"use {expected}, not {method}")
+
+    def _job(self, job_id: str):
+        try:
+            return self.manager.get(job_id)
+        except ServiceError as exc:
+            raise _HttpError(404, str(exc)) from exc
+
+    def _submit(self, body: bytes) -> Tuple[int, Dict[str, object]]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise _HttpError(400, f"body is not valid JSON: {exc}") from exc
+        spec = JobSpec.from_payload(payload)  # ServiceError -> 400
+        try:
+            job = self.manager.submit(spec)
+        except ServiceError as exc:
+            raise _HttpError(503, str(exc)) from exc
+        return 200, job.status()
+
+    def _result(self, job_id: str) -> Tuple[int, Dict[str, object]]:
+        job = self._job(job_id)
+        if job.state != JobState.DONE:
+            doc: Dict[str, object] = {
+                "error": f"job {job.job_id} is {job.state.value}, not done",
+                "state": job.state.value,
+            }
+            if job.error is not None:
+                doc["job_error"] = job.error
+            return 409, doc
+        return 200, dict(job.result_payload or {})
+
+    def _cancel(self, job_id: str) -> Tuple[int, Dict[str, object]]:
+        return 200, self.manager.cancel(self._job(job_id).job_id).status()
+
+
+class ServerThread:
+    """A :class:`PartitionServer` on a daemon thread, for sync callers.
+
+    The constructor blocks until the socket is bound (so ``.port`` and
+    ``.url`` are valid immediately); :meth:`stop` performs the graceful
+    (or hard) shutdown and joins the thread.  Usable as a context
+    manager.
+    """
+
+    def __init__(
+        self,
+        manager_kwargs: Optional[Dict[str, object]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._started = threading.Event()
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._drain = True
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._startup_error: Optional[BaseException] = None
+        self._manager_kwargs = dict(manager_kwargs or {})
+        self._host = host
+        self._requested_port = port
+        self.server: Optional[PartitionServer] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_requested = asyncio.Event()
+        try:
+            manager = JobManager(**self._manager_kwargs)
+            self.server = PartitionServer(
+                manager, host=self._host, port=self._requested_port
+            )
+            await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self._stop_requested.wait()
+        await self.server.stop(drain=self._drain)
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None
+        return self.server.port
+
+    @property
+    def url(self) -> str:
+        assert self.server is not None
+        return self.server.url
+
+    @property
+    def manager(self) -> JobManager:
+        assert self.server is not None
+        return self.server.manager
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Shut down and join the server thread."""
+        if self._loop is None or self._stop_requested is None:
+            return
+        self._drain = drain
+        try:
+            self._loop.call_soon_threadsafe(self._stop_requested.set)
+        except RuntimeError:  # loop already closed
+            pass
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    manager_kwargs: Optional[Dict[str, object]] = None,
+    announce=print,
+) -> int:
+    """Run a server until SIGINT/SIGTERM, then drain and exit (0).
+
+    The blocking entry point behind ``htp serve``.  ``announce`` gets a
+    one-line ``serving on http://...`` message once the socket is bound
+    (the smoke script parses it to learn an ephemeral port).
+    """
+
+    async def _main() -> None:
+        manager = JobManager(**(manager_kwargs or {}))
+        server = PartitionServer(manager, host=host, port=port)
+        await server.start()
+        announce(f"serving on {server.url}")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-main thread / platform without signal support
+        await stop.wait()
+        announce("shutting down (draining in-flight jobs)")
+        await server.stop(drain=True)
+        counts = manager.state_counts()
+        announce(
+            "drained: "
+            + " ".join(f"{state}={count}" for state, count in counts.items())
+        )
+
+    asyncio.run(_main())
+    return 0

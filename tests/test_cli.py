@@ -205,3 +205,29 @@ class TestBadInputExitCodes:
         out = capsys.readouterr().out
         assert "fault plan: fail:task@dispatch=0,task=0" in out
         assert "FLOW cost" in out
+
+
+class TestUnreadableInput:
+    """``partition`` (and friends) must exit 2 on unreadable netlists."""
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "nowhere.hgr"
+        code = main(["partition", str(missing)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read netlist")
+        assert "nowhere.hgr" in err
+        assert err.count("\n") == 1  # a single line, not a traceback
+
+    def test_malformed_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.hgr"
+        bad.write_text("this is not a netlist\n")
+        code = main(["partition", str(bad)])
+        assert code == 2
+        assert "cannot read netlist" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["lowerbound", "search", "separator"])
+    def test_other_readers_exit_2(self, command, tmp_path, capsys):
+        code = main([command, str(tmp_path / "missing.hgr")])
+        assert code == 2
+        assert "cannot read netlist" in capsys.readouterr().err

@@ -1,0 +1,282 @@
+"""End-to-end tests of the partitioning service over a real socket.
+
+A :class:`ServerThread` binds an ephemeral port per test; the blocking
+:class:`ServiceClient` talks to it from the test thread.  The warm-hit
+test is the PR's acceptance criterion: an identical JobSpec resubmitted
+warm returns a bit-identical result while the spreading-metric solver
+counters stand still.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.flow_htp import FlowHTPResult, flow_htp
+from repro.htp.cost import total_cost
+from repro.htp.hierarchy import binary_hierarchy
+from repro.hypergraph.generators import planted_hierarchy_hypergraph
+from repro.service import (
+    JobSpec,
+    JobState,
+    ResultCache,
+    ServerThread,
+    ServiceClient,
+    ServiceClientError,
+)
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return planted_hierarchy_hypergraph(48, height=2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def hierarchy(netlist):
+    return binary_hierarchy(netlist.total_size(), height=2)
+
+
+@pytest.fixture
+def spec(netlist, hierarchy):
+    return JobSpec.from_parts(netlist, hierarchy, {"iterations": 1})
+
+
+@pytest.fixture
+def server(tmp_path):
+    thread = ServerThread(
+        manager_kwargs={
+            "cache": ResultCache(capacity=8, cache_dir=tmp_path / "cache")
+        }
+    )
+    yield thread
+    thread.stop()
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.url)
+
+
+class TestEndToEnd:
+    def test_submit_poll_result_smoke(self, client, spec, netlist, hierarchy):
+        """The canonical flow: submit -> poll -> result, over the wire."""
+        submitted = client.submit_spec(spec)
+        assert submitted["state"] in ("queued", "running", "done")
+        status = client.wait(submitted["job_id"])
+        assert status["state"] == "done"
+        payload = client.result(submitted["job_id"])
+        assert payload["spec_hash"] == spec.canonical_hash()
+        result = FlowHTPResult.from_dict(payload["result"])
+        # The served partition is genuinely the solver's answer: same
+        # cost as a local run of the same spec, and internally consistent.
+        local = flow_htp(netlist, hierarchy, spec.build_config())
+        assert result.cost == local.cost
+        assert (
+            total_cost(netlist, result.partition, hierarchy) == result.cost
+        )
+
+    def test_warm_submit_is_bit_identical_and_skips_solver(
+        self, client, spec
+    ):
+        """Acceptance: warm request == cold request, solver untouched."""
+        cold = client.submit_spec(spec)
+        client.wait(cold["job_id"])
+        cold_payload = client.result(cold["job_id"])
+        perf_after_cold = client.metricsz()["perf"]
+        assert perf_after_cold["dijkstra_calls"] > 0
+        assert perf_after_cold["injections"] > 0
+        assert perf_after_cold["cache_misses"] == 1
+        assert perf_after_cold["cache_hits"] == 0
+
+        warm = client.submit_spec(spec)
+        assert warm["state"] == "done"  # completed at submission time
+        assert warm["cached"] is True
+        warm_payload = client.result(warm["job_id"])
+        assert json.dumps(warm_payload, sort_keys=True) == json.dumps(
+            cold_payload, sort_keys=True
+        )
+
+        perf_after_warm = client.metricsz()["perf"]
+        # The spreading-metric solver did not run again.
+        assert (
+            perf_after_warm["dijkstra_calls"]
+            == perf_after_cold["dijkstra_calls"]
+        )
+        assert perf_after_warm["injections"] == perf_after_cold["injections"]
+        assert perf_after_warm["cache_hits"] == 1
+
+    def test_warm_hit_survives_server_restart(self, tmp_path, spec):
+        """The disk tier makes warmth durable across processes."""
+        cache_dir = tmp_path / "blobs"
+        with ServerThread(
+            manager_kwargs={"cache": ResultCache(cache_dir=cache_dir)}
+        ) as first:
+            client = ServiceClient(first.url)
+            cold = client.submit_spec(spec)
+            client.wait(cold["job_id"])
+            cold_payload = client.result(cold["job_id"])
+        with ServerThread(
+            manager_kwargs={"cache": ResultCache(cache_dir=cache_dir)}
+        ) as second:
+            client = ServiceClient(second.url)
+            warm = client.submit_spec(spec)
+            assert warm["cached"] is True
+            warm_payload = client.result(warm["job_id"])
+            assert warm_payload == cold_payload
+            perf = client.metricsz()["perf"]
+            assert perf["dijkstra_calls"] == 0  # this server never solved
+
+    def test_healthz_and_job_listing(self, client, spec):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["accepting"] is True
+        submitted = client.submit_spec(spec)
+        client.wait(submitted["job_id"])
+        listing = client.jobs()
+        assert [j["job_id"] for j in listing["jobs"]] == [
+            submitted["job_id"]
+        ]
+        assert client.healthz()["jobs"]["done"] == 1
+
+    def test_cancel_endpoint(self, netlist, hierarchy, tmp_path):
+        release = threading.Event()
+
+        def runner(spec):
+            release.wait(5)
+            raise RuntimeError("never reached in this test")
+
+        thread = ServerThread(
+            manager_kwargs={"max_concurrency": 1, "runner": runner}
+        )
+        try:
+            client = ServiceClient(thread.url)
+            blocker = client.submit_spec(
+                JobSpec.from_parts(netlist, hierarchy, {"seed": 1})
+            )
+            queued = client.submit_spec(
+                JobSpec.from_parts(netlist, hierarchy, {"seed": 2})
+            )
+            cancelled = client.cancel(queued["job_id"])
+            assert cancelled["state"] == "cancelled"
+            with pytest.raises(ServiceClientError) as excinfo:
+                client.result(queued["job_id"])
+            assert excinfo.value.status == 409
+        finally:
+            release.set()
+            thread.stop(drain=False)
+
+    def test_graceful_shutdown_with_in_flight_job(self, netlist, hierarchy):
+        """Acceptance: shutdown completes the running job, cancels queued."""
+        release = threading.Event()
+        results = {"solved": 0}
+
+        def runner(spec):
+            release.wait(5)
+            results["solved"] += 1
+            return flow_htp(
+                spec.build_netlist(),
+                spec.build_hierarchy(),
+                spec.build_config(),
+            )
+
+        thread = ServerThread(
+            manager_kwargs={"max_concurrency": 1, "runner": runner}
+        )
+        client = ServiceClient(thread.url)
+        running = client.submit_spec(
+            JobSpec.from_parts(netlist, hierarchy, {"iterations": 1, "seed": 1})
+        )
+        queued = client.submit_spec(
+            JobSpec.from_parts(netlist, hierarchy, {"iterations": 1, "seed": 2})
+        )
+        deadline = time.monotonic() + 5
+        while client.status(running["job_id"])["state"] != "running":
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        release.set()
+        thread.stop(drain=True)  # graceful: drains the in-flight job
+        manager = thread.manager
+        assert results["solved"] == 1
+        states = {
+            job.job_id: job.state for job in manager.jobs()
+        }
+        assert states[running["job_id"]] is JobState.DONE
+        assert states[queued["job_id"]] is JobState.CANCELLED
+
+
+class TestHttpProtocol:
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.status("not-a-job")
+        assert excinfo.value.status == 404
+
+    def test_unknown_endpoint_is_404(self, client):
+        with pytest.raises(ServiceClientError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_wrong_method_is_405(self, client):
+        with pytest.raises(ServiceClientError) as excinfo:
+            client._request("POST", "/healthz", body={})
+        assert excinfo.value.status == 405
+
+    def test_bad_json_body_is_400(self, client, server):
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=10
+        )
+        try:
+            connection.request("POST", "/jobs", body=b"{nope")
+            response = connection.getresponse()
+            assert response.status == 400
+            assert b"JSON" in response.read()
+        finally:
+            connection.close()
+
+    def test_bad_spec_is_400(self, client):
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.submit({"netlist": {}, "hierarchy": "wat"})
+        assert excinfo.value.status == 400
+
+    def test_result_before_done_is_409(self, client, netlist, hierarchy):
+        release = threading.Event()
+        thread = ServerThread(
+            manager_kwargs={
+                "max_concurrency": 1,
+                "runner": lambda s: release.wait(5),
+            }
+        )
+        try:
+            blocked_client = ServiceClient(thread.url)
+            job = blocked_client.submit_spec(
+                JobSpec.from_parts(netlist, hierarchy)
+            )
+            with pytest.raises(ServiceClientError) as excinfo:
+                blocked_client.result(job["job_id"])
+            assert excinfo.value.status == 409
+        finally:
+            release.set()
+            thread.stop(drain=False)
+
+    def test_submit_after_shutdown_is_503(self, netlist, hierarchy):
+        thread = ServerThread()
+        client = ServiceClient(thread.url)
+        # Refuse new work while still answering: flip the manager's
+        # accepting flag the way shutdown does, with the socket open.
+        thread.manager._accepting = False
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.submit_spec(JobSpec.from_parts(netlist, hierarchy))
+        assert excinfo.value.status == 503
+        thread.stop()
+
+    def test_client_rejects_bad_base_url(self):
+        with pytest.raises(ServiceClientError):
+            ServiceClient("ftp://example.com")
+
+    def test_connection_refused_reports_status_zero(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=1)
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 0
