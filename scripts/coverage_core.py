@@ -64,6 +64,8 @@ COVERAGE_TESTS = [
     "tests/test_ratio_cut.py",
     "tests/test_invariant_properties.py",
     "tests/test_serialization.py",
+    "tests/test_checkpoint.py",
+    "tests/test_journal.py",
     "tests/test_service_jobs.py",
     "tests/test_service_cache.py",
     "tests/test_service_http.py",

@@ -4,8 +4,13 @@
 What a packaged install would do, minus nothing: spawn the server CLI
 on an ephemeral port, drive it with two ``htp submit`` subprocesses
 (cold run, then a warm cache hit that must report the identical cost),
-then SIGTERM the server and verify it announces a clean drain.  Exits
-non-zero with a diagnostic on the first deviation.
+then SIGTERM the server and verify it announces a clean drain.
+
+A second phase drills durability: a journaled server is SIGKILLed —
+no drain, no goodbye — after finishing one submission, restarted over
+the same journal/cache directories, and must re-serve the same content
+address with the bit-identical cost without re-running the solver.
+Exits non-zero with a diagnostic on the first deviation.
 
 Usage::
 
@@ -42,6 +47,80 @@ def run_cli(*args: str) -> subprocess.CompletedProcess:
         timeout=TIMEOUT,
         cwd=REPO,
     )
+
+
+def spawn_server(*args: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=REPO,
+    )
+
+
+def server_url(server: subprocess.Popen) -> str:
+    # The announcement may be preceded by startup chatter (e.g. the
+    # journal-recovery summary on a restart).
+    seen = []
+    for _ in range(10):
+        line = server.stdout.readline()
+        if not line:
+            break
+        seen.append(line)
+        match = re.search(r"serving on (http://\S+)", line)
+        if match:
+            return match.group(1)
+    fail("server did not announce its URL", f"got: {seen!r}")
+
+
+def kill9_restart_phase(tmp: str, netlist: Path) -> None:
+    """Submit, SIGKILL the server, restart, demand the same bits back."""
+    wal = Path(tmp) / "wal"
+    cache = Path(tmp) / "cache9"
+    ckpt = Path(tmp) / "ckpt"
+    durable = (
+        "--journal", str(wal), "--cache-dir", str(cache),
+        "--checkpoint-dir", str(ckpt),
+    )
+
+    server = spawn_server(*durable)
+    try:
+        url = server_url(server)
+        submit = ("submit", str(netlist), "--url", url,
+                  "--height", "2", "--iterations", "1")
+        first = run_cli(*submit)
+        if first.returncode != 0:
+            fail("submit before the kill failed", first.stdout, first.stderr)
+        server.send_signal(signal.SIGKILL)
+        server.wait(timeout=TIMEOUT)
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+    server = spawn_server(*durable)
+    try:
+        url = server_url(server)
+        again = run_cli("submit", str(netlist), "--url", url,
+                        "--height", "2", "--iterations", "1")
+        if again.returncode != 0 or "warm (cache hit)" not in again.stdout:
+            fail("restarted server did not re-serve from cache",
+                 again.stdout, again.stderr)
+
+        cost = lambda out: re.search(r"FLOW cost: (\S+)", out).group(1)
+        if cost(first.stdout) != cost(again.stdout):
+            fail("post-restart cost differs from pre-kill cost",
+                 first.stdout, again.stdout)
+        if not (wal / "journal.jsonl").is_file():
+            fail("journal file was never written")
+
+        server.send_signal(signal.SIGTERM)
+        output, _ = server.communicate(timeout=TIMEOUT)
+        if server.returncode != 0:
+            fail(f"restarted server exited {server.returncode}", output)
+    finally:
+        if server.poll() is None:
+            server.kill()
 
 
 def main() -> int:
@@ -108,7 +187,12 @@ def main() -> int:
             if server.poll() is None:
                 server.kill()
 
-    print("serve-smoke OK: cold solve + warm cache hit + graceful drain")
+        kill9_restart_phase(tmp, netlist)
+
+    print(
+        "serve-smoke OK: cold solve + warm cache hit + graceful drain"
+        " + kill-9 restart re-served from cache"
+    )
     return 0
 
 

@@ -136,6 +136,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print solver perf counters (flow algorithm only)",
     )
+    part.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="write crash-safe round checkpoints here (flow algorithm "
+        "only); a killed run restarted with --resume is bit-identical "
+        "to an uninterrupted one",
+    )
+    part.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        default=1,
+        help="checkpoint every N metric rounds (default 1)",
+    )
+    part.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the newest valid checkpoint in --checkpoint-dir",
+    )
 
     lower = sub.add_parser("lowerbound", help="LP lower bound (small inputs)")
     lower.add_argument("input", help="input .hgr path")
@@ -201,6 +219,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-job wall-clock budget in seconds (default: the "
         "FaultTolerance task deadline, 120s)",
     )
+    serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help="write-ahead job journal directory; a restarted server "
+        "replays it (done jobs served from the cache, queued jobs "
+        "requeued, running jobs resumed from their checkpoints)",
+    )
+    serve.add_argument(
+        "--fsync",
+        choices=["always", "batch", "never"],
+        default="always",
+        help="journal fsync policy (default always: every accepted job "
+        "survives a crash)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="solver checkpoint root; running jobs checkpoint under "
+        "DIR/<spec_hash>/ and resume from there after a crash",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        default=1,
+        help="solver checkpoint cadence in metric rounds (default 1)",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=_positive_int,
+        default=None,
+        help="admission control: reject submissions beyond this many "
+        "queued jobs with HTTP 429 + Retry-After (default: unbounded)",
+    )
 
     submit = sub.add_parser(
         "submit", help="submit a netlist to a running service"
@@ -230,6 +283,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=300.0,
         help="seconds to wait for the job before giving up",
+    )
+    submit.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="server-side deadline in seconds: the solver aborts cleanly "
+        "(final checkpoint on disk) once it expires",
     )
     submit.add_argument(
         "--perf",
@@ -309,6 +369,15 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.checkpoint_dir is not None and args.algorithm != "flow":
+        print(
+            "error: --checkpoint-dir requires --algorithm flow",
+            file=sys.stderr,
+        )
+        return 2
     netlist = _load_netlist_checked(args.input)
     if netlist is None:
         return 2
@@ -327,7 +396,14 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             ),
             parallel=parallel,
         )
-        result = flow_htp(netlist, spec, config)
+        result = flow_htp(
+            netlist,
+            spec,
+            config,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            resume_from=(args.checkpoint_dir if args.resume else None),
+        )
         tree, cost = result.partition, result.cost
         print(f"FLOW cost: {cost:g}  ({result.runtime_seconds:.1f}s)")
         if args.fault_plan is not None:
@@ -432,6 +508,7 @@ def _cmd_separator(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.cache import ResultCache
+    from repro.service.journal import Journal
     from repro.service.server import DEFAULT_PORT, serve
 
     port = args.port if args.port is not None else DEFAULT_PORT
@@ -441,7 +518,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             capacity=args.cache_capacity, cache_dir=args.cache_dir
         ),
         "job_timeout": args.job_timeout,
+        "checkpoint_root": args.checkpoint_dir,
+        "checkpoint_every": args.checkpoint_every,
+        "max_queue_depth": args.max_queue_depth,
     }
+    if args.journal is not None:
+        manager_kwargs["journal"] = Journal(args.journal, fsync=args.fsync)
     return serve(host=args.host, port=port, manager_kwargs=manager_kwargs)
 
 
@@ -466,7 +548,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     )
     client = ServiceClient(url)
     try:
-        submitted = client.submit_spec(spec)
+        submitted = client.submit_spec(spec, deadline=args.deadline)
         status = client.wait(str(submitted["job_id"]), timeout=args.timeout)
         if status["state"] != JobState.DONE.value:
             print(

@@ -16,9 +16,19 @@
   loops.
 * :mod:`repro.core.lp` — the exact linear program (P1) solved by cutting
   planes (Lemmas 1 and 2).
+* :mod:`repro.core.checkpoint` — crash-safe durability: atomic,
+  CRC-stamped snapshots of the round state behind
+  ``flow_htp(checkpoint_dir=..., resume_from=...)``.
 """
 
 from repro.core.gfunc import spreading_bound, spreading_bound_array
+from repro.core.checkpoint import (
+    FlowCheckpointer,
+    MetricCheckpoint,
+    load_latest_checkpoint,
+    newest_checkpoint_age,
+    run_fingerprint,
+)
 from repro.core.constraints import SpreadingOracle, Violation
 from repro.core.spreading_metric import (
     SpreadingMetricConfig,
@@ -39,6 +49,11 @@ from repro.core.separator import (
 __all__ = [
     "spreading_bound",
     "spreading_bound_array",
+    "FlowCheckpointer",
+    "MetricCheckpoint",
+    "load_latest_checkpoint",
+    "newest_checkpoint_age",
+    "run_fingerprint",
     "SpreadingOracle",
     "Violation",
     "SpreadingMetricConfig",

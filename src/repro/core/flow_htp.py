@@ -22,10 +22,18 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.checkpoint import (
+    FlowCheckpointer,
+    MetricCheckpoint,
+    decode_outcome,
+    load_flow_resume,
+    run_fingerprint,
+)
 from repro.core.construct import construct_partition
 from repro.core.parallel import MetricWorkerPool, ParallelConfig, parallel_map
 from repro.core.perf import PerfCounters
@@ -34,7 +42,7 @@ from repro.core.spreading_metric import (
     SpreadingMetricResult,
     compute_spreading_metric,
 )
-from repro.errors import PartitionError
+from repro.errors import CheckpointError, PartitionError, SolverAborted
 from repro.htp.cost import total_cost
 from repro.htp.hierarchy import HierarchySpec
 from repro.htp.partition import PartitionTree
@@ -179,7 +187,11 @@ class FlowHTPResult:
 
 
 def _run_flow_iteration(
-    task, pool: Optional[MetricWorkerPool] = None
+    task,
+    pool: Optional[MetricWorkerPool] = None,
+    on_round=None,
+    metric_resume: Optional[MetricCheckpoint] = None,
+    abort_check=None,
 ) -> Tuple[float, PartitionTree, SpreadingMetricResult, PerfCounters]:
     """One FLOW iteration as a pure, picklable task.
 
@@ -218,6 +230,9 @@ def _run_flow_iteration(
         counters=counters,
         pool=pool,
         spawn_pool=False,
+        on_round=on_round,
+        resume=metric_resume,
+        abort_check=abort_check,
     )
     counters.add_phase("metric", time.perf_counter() - phase_start)
 
@@ -229,6 +244,12 @@ def _run_flow_iteration(
     iteration_partition: Optional[PartitionTree] = None
     phase_start = time.perf_counter()
     for construct_seed in construction_seeds:
+        if abort_check is not None:
+            reason = abort_check()
+            if reason:
+                # The metric's final checkpoint is already on disk; the
+                # (cheap, deterministic) constructions rerun on resume.
+                raise SolverAborted(str(reason))
         partition = construct_partition(
             hypergraph,
             graph,
@@ -255,6 +276,10 @@ def flow_htp(
     spec: HierarchySpec,
     config: Optional[FlowHTPConfig] = None,
     graph: Optional[Graph] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    checkpoint_every: int = 1,
+    resume_from: Optional[Union[str, Path]] = None,
+    abort_check: Optional[Callable[[], object]] = None,
 ) -> FlowHTPResult:
     """Run the FLOW algorithm on a netlist under a hierarchy spec.
 
@@ -270,6 +295,25 @@ def flow_htp(
         A pre-built net-model expansion to reuse (must share node ids
         with the netlist).  Supplying it lets callers evaluating many
         configurations amortise the expansion and its CSR cache.
+    checkpoint_dir : str or Path, optional
+        Enable crash-safe durability: atomic, CRC-stamped snapshots of
+        the round state land here (see :mod:`repro.core.checkpoint`).
+    checkpoint_every : int, optional
+        Snapshot cadence in metric rounds (1 = every round); iteration
+        boundaries and final/abort states are always written.
+    resume_from : str or Path, optional
+        Directory to restore from.  The newest valid checkpoint whose
+        fingerprint matches this exact run (netlist + hierarchy +
+        config) is adopted; anything torn, CRC-failing or stale is
+        counted on ``checkpoints_discarded`` and skipped — a directory
+        with nothing usable simply starts cold.  Passing the same
+        directory as both ``checkpoint_dir`` and ``resume_from`` is the
+        idiomatic "continue if possible" spelling.
+    abort_check : callable, optional
+        Cooperative abort polled at every metric round boundary (and
+        between constructions): a truthy return value aborts the run
+        with :class:`~repro.errors.SolverAborted` after writing a final
+        checkpoint, so the next run resumes instead of restarting.
 
     Returns
     -------
@@ -286,6 +330,14 @@ def flow_htp(
     run the same floored arithmetic, and results merge in iteration
     order with strict ``<`` tie-breaking — the same first-minimum rule
     as the serial loop.
+
+    **Resume identity guarantee.**  A run killed at any point and
+    resumed via ``resume_from`` returns the same partition, cost and
+    per-iteration diagnostics (metric arrays included) as an
+    uninterrupted run; only wall-clock and perf counters differ.
+    Checkpointing (or an ``abort_check``) pins the iteration loop to
+    the serial path — hooks do not pickle into fan-out workers — but
+    the in-metric process pool still applies.
     """
     config = config or FlowHTPConfig()
     start = time.perf_counter()
@@ -295,6 +347,56 @@ def flow_htp(
         graph = to_graph(
             hypergraph, model=config.net_model, rng=random.Random(config.seed)
         )
+
+    durable = checkpoint_dir is not None or resume_from is not None
+    checkpointer: Optional[FlowCheckpointer] = None
+    completed_outcomes: List[
+        Tuple[float, PartitionTree, SpreadingMetricResult, PerfCounters]
+    ] = []
+    start_iteration = 0
+    metric_resume: Optional[MetricCheckpoint] = None
+    if durable:
+        fingerprint = run_fingerprint(hypergraph, spec, config)
+        resume_payload = None
+        if resume_from is not None:
+            resume_payload = load_flow_resume(
+                resume_from, fingerprint, counters=counters
+            )
+        if resume_payload is not None:
+            try:
+                completed_outcomes = [
+                    decode_outcome(doc)
+                    for doc in resume_payload.get("completed", [])
+                ]
+                start_iteration = int(resume_payload.get("iteration", 0))
+                metric_doc = resume_payload.get("metric")
+                metric_resume = (
+                    MetricCheckpoint.from_payload(metric_doc)
+                    if metric_doc
+                    else None
+                )
+                if metric_resume is None:
+                    counters.checkpoint_resumes += 1
+            except CheckpointError as exc:
+                # A CRC-valid envelope with an undecodable body (e.g. a
+                # future format) is stale, not fatal: start cold.
+                counters.checkpoints_discarded += 1
+                counters.record_degradation(
+                    "checkpoint-stale", exc, site="checkpoint"
+                )
+                completed_outcomes = []
+                start_iteration = 0
+                metric_resume = None
+                resume_payload = None
+        if checkpoint_dir is not None:
+            checkpointer = FlowCheckpointer(
+                checkpoint_dir,
+                fingerprint,
+                every=checkpoint_every,
+                counters=counters,
+            )
+            if resume_payload is not None:
+                checkpointer.restore(resume_payload)
 
     seeds: List[Tuple[int, List[int]]] = []
     for _iteration in range(config.iterations):
@@ -310,7 +412,14 @@ def flow_htp(
         parallel_cfg = config.parallel or config.metric.parallel or ParallelConfig()
     workers = parallel_cfg.resolved_workers() if parallel_cfg is not None else 1
     fan_iterations = (
-        parallel_cfg is not None and config.iterations > 1 and workers > 1
+        parallel_cfg is not None
+        and config.iterations > 1
+        and workers > 1
+        # Durability hooks and abort checks are coordinator-side
+        # closures; they do not pickle into fan-out workers, so those
+        # runs keep the (bit-identical) serial iteration loop.
+        and not durable
+        and abort_check is None
     )
 
     tasks = [
@@ -334,7 +443,26 @@ def flow_htp(
                     raise
                 pool = None
         try:
-            outcomes = [_run_flow_iteration(task, pool=pool) for task in tasks]
+            outcomes = list(completed_outcomes)
+            for index in range(start_iteration, len(tasks)):
+                if checkpointer is not None:
+                    checkpointer.begin_iteration(index)
+                outcome = _run_flow_iteration(
+                    tasks[index],
+                    pool=pool,
+                    on_round=(
+                        checkpointer.on_metric_round
+                        if checkpointer is not None
+                        else None
+                    ),
+                    metric_resume=(
+                        metric_resume if index == start_iteration else None
+                    ),
+                    abort_check=abort_check,
+                )
+                outcomes.append(outcome)
+                if checkpointer is not None:
+                    checkpointer.complete_iteration(index, outcome)
         finally:
             if pool is not None:
                 pool.close()

@@ -65,6 +65,24 @@ Counter semantics
     through to a fresh solve, and LRU entries displaced by inserts.  A
     warm service request shows ``cache_hits`` advancing while the
     solver counters (``dijkstra_calls``, ``injections``) stand still.
+``cache_corrupt``
+    Disk blobs rejected as truncated/unparseable/CRC-failing; each one
+    was quarantined (renamed ``*.corrupt``) and served as a miss.
+``checkpoints_written``
+    Crash-safe solver checkpoints persisted (``repro.core.checkpoint``).
+``checkpoints_discarded``
+    Checkpoint files skipped at load time — torn writes, CRC failures,
+    or fingerprints from a different run.  Skipping is silent recovery:
+    the newest *valid* checkpoint wins.
+``checkpoint_resumes``
+    Runs that restored state from a checkpoint instead of starting cold.
+``journal_records`` / ``journal_replayed`` / ``journal_torn_records``
+    Write-ahead job-journal traffic (``repro.service.journal``): records
+    appended, records replayed during recovery, and torn/corrupt lines
+    discarded by a scan.
+``admission_rejections``
+    Submissions refused by admission control (bounded queue depth); the
+    HTTP layer surfaces these as 429 + ``Retry-After``.
 ``pool_workers``
     Per-worker-process ``dijkstra_sources`` totals, keyed by worker pid —
     shows how evenly the pool's load spread.
@@ -87,6 +105,41 @@ from typing import Dict, List
 #: Cap on the retained degradation records; a pathological run cannot
 #: grow the perf struct without bound.
 MAX_DEGRADATION_RECORDS = 100
+
+#: The scalar (integer) counters, in presentation order.  ``merge``,
+#: ``as_dict`` and ``from_dict`` all iterate this one tuple so a new
+#: counter only has to be declared once (plus its dataclass field).
+INT_COUNTERS = (
+    "dijkstra_calls",
+    "dijkstra_sources",
+    "nodes_settled",
+    "edges_repriced",
+    "batch_checks",
+    "batch_sources",
+    "recheck_sources",
+    "retired_free",
+    "injections",
+    "cut_evals",
+    "pool_dispatches",
+    "pool_tasks",
+    "pool_fallbacks",
+    "pool_task_retries",
+    "pool_respawns",
+    "pool_shrinks",
+    "pool_corruptions",
+    "faults_injected",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "cache_corrupt",
+    "checkpoints_written",
+    "checkpoints_discarded",
+    "checkpoint_resumes",
+    "journal_records",
+    "journal_replayed",
+    "journal_torn_records",
+    "admission_rejections",
+)
 
 
 @dataclass
@@ -125,6 +178,14 @@ class PerfCounters:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    cache_corrupt: int = 0
+    checkpoints_written: int = 0
+    checkpoints_discarded: int = 0
+    checkpoint_resumes: int = 0
+    journal_records: int = 0
+    journal_replayed: int = 0
+    journal_torn_records: int = 0
+    admission_rejections: int = 0
     pool_workers: Dict[str, int] = field(default_factory=dict)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     degradations: List[Dict[str, str]] = field(default_factory=list)
@@ -150,27 +211,8 @@ class PerfCounters:
 
     def merge(self, other: "PerfCounters") -> None:
         """Fold ``other``'s counts into this struct (for aggregation)."""
-        self.dijkstra_calls += other.dijkstra_calls
-        self.dijkstra_sources += other.dijkstra_sources
-        self.nodes_settled += other.nodes_settled
-        self.edges_repriced += other.edges_repriced
-        self.batch_checks += other.batch_checks
-        self.batch_sources += other.batch_sources
-        self.recheck_sources += other.recheck_sources
-        self.retired_free += other.retired_free
-        self.injections += other.injections
-        self.cut_evals += other.cut_evals
-        self.pool_dispatches += other.pool_dispatches
-        self.pool_tasks += other.pool_tasks
-        self.pool_fallbacks += other.pool_fallbacks
-        self.pool_task_retries += other.pool_task_retries
-        self.pool_respawns += other.pool_respawns
-        self.pool_shrinks += other.pool_shrinks
-        self.pool_corruptions += other.pool_corruptions
-        self.faults_injected += other.faults_injected
-        self.cache_hits += other.cache_hits
-        self.cache_misses += other.cache_misses
-        self.cache_evictions += other.cache_evictions
+        for name in INT_COUNTERS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
         for record in other.degradations:
             if len(self.degradations) >= MAX_DEGRADATION_RECORDS:
                 break
@@ -184,32 +226,13 @@ class PerfCounters:
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready view (used by the benchmark emitter and the CLI)."""
-        return {
-            "dijkstra_calls": self.dijkstra_calls,
-            "dijkstra_sources": self.dijkstra_sources,
-            "nodes_settled": self.nodes_settled,
-            "edges_repriced": self.edges_repriced,
-            "batch_checks": self.batch_checks,
-            "batch_sources": self.batch_sources,
-            "recheck_sources": self.recheck_sources,
-            "retired_free": self.retired_free,
-            "injections": self.injections,
-            "cut_evals": self.cut_evals,
-            "pool_dispatches": self.pool_dispatches,
-            "pool_tasks": self.pool_tasks,
-            "pool_fallbacks": self.pool_fallbacks,
-            "pool_task_retries": self.pool_task_retries,
-            "pool_respawns": self.pool_respawns,
-            "pool_shrinks": self.pool_shrinks,
-            "pool_corruptions": self.pool_corruptions,
-            "faults_injected": self.faults_injected,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "cache_evictions": self.cache_evictions,
-            "pool_workers": dict(self.pool_workers),
-            "phase_seconds": dict(self.phase_seconds),
-            "degradations": [dict(r) for r in self.degradations],
+        doc: Dict[str, object] = {
+            name: getattr(self, name) for name in INT_COUNTERS
         }
+        doc["pool_workers"] = dict(self.pool_workers)
+        doc["phase_seconds"] = dict(self.phase_seconds)
+        doc["degradations"] = [dict(r) for r in self.degradations]
+        return doc
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "PerfCounters":
@@ -219,29 +242,7 @@ class PerfCounters:
         so payloads written by older versions of the struct still load.
         """
         counters = cls()
-        for name in (
-            "dijkstra_calls",
-            "dijkstra_sources",
-            "nodes_settled",
-            "edges_repriced",
-            "batch_checks",
-            "batch_sources",
-            "recheck_sources",
-            "retired_free",
-            "injections",
-            "cut_evals",
-            "pool_dispatches",
-            "pool_tasks",
-            "pool_fallbacks",
-            "pool_task_retries",
-            "pool_respawns",
-            "pool_shrinks",
-            "pool_corruptions",
-            "faults_injected",
-            "cache_hits",
-            "cache_misses",
-            "cache_evictions",
-        ):
+        for name in INT_COUNTERS:
             setattr(counters, name, int(payload.get(name, 0)))
         counters.pool_workers = {
             str(worker): int(sources)
@@ -295,6 +296,19 @@ class PerfCounters:
                 f"{self.cache_misses} misses / "
                 f"{self.cache_evictions} evictions"
             )
+        durability = ""
+        if (
+            self.checkpoints_written
+            or self.checkpoint_resumes
+            or self.journal_records
+            or self.admission_rejections
+        ):
+            durability = (
+                f" | durability {self.checkpoints_written} ckpts / "
+                f"{self.checkpoint_resumes} resumes / "
+                f"{self.journal_records} journal / "
+                f"{self.admission_rejections} rejected"
+            )
         return (
             f"dijkstra {self.dijkstra_calls} calls / "
             f"{self.dijkstra_sources} sources / "
@@ -304,5 +318,6 @@ class PerfCounters:
             f"{self.recheck_sources} rechecks | "
             f"{self.injections} injections / "
             f"{self.edges_repriced} edges repriced | "
-            f"{self.cut_evals} cut evals{pool}{recovery}{cache} | {phases}"
+            f"{self.cut_evals} cut evals{pool}{recovery}{cache}"
+            f"{durability} | {phases}"
         )

@@ -47,13 +47,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.core.checkpoint import MetricCheckpoint
 from repro.core.constraints import SpreadingOracle
 from repro.core.parallel import MetricWorkerPool, ParallelConfig
 from repro.core.perf import PerfCounters
+from repro.errors import CheckpointError, SolverAborted
 from repro.htp.hierarchy import HierarchySpec
 from repro.hypergraph.graph import Graph
 
@@ -157,6 +159,9 @@ def compute_spreading_metric(
     counters: Optional[PerfCounters] = None,
     pool: Optional[MetricWorkerPool] = None,
     spawn_pool: bool = True,
+    on_round: Optional[Callable[[MetricCheckpoint, bool], None]] = None,
+    resume: Optional[MetricCheckpoint] = None,
+    abort_check: Optional[Callable[[], object]] = None,
 ) -> SpreadingMetricResult:
     """Run Algorithm 2 on ``graph`` under hierarchy ``spec``.
 
@@ -181,6 +186,21 @@ def compute_spreading_metric(
         given, a transient pool is created for this call and closed on
         return.  The FLOW driver's fan-out workers pass False so a
         pooled iteration never nests another pool.
+    on_round : callable, optional
+        Durability hook ``on_round(state, final)`` invoked after every
+        round with a :class:`~repro.core.checkpoint.MetricCheckpoint`
+        (``final=True`` once more when the loop ends or aborts).  The
+        FLOW driver wires a :class:`~repro.core.checkpoint.FlowCheckpointer`
+        in here.
+    resume : MetricCheckpoint, optional
+        Round state to continue from instead of starting cold.  Resuming
+        at a round boundary is bit-identical to never having stopped:
+        the flows, lengths, active order, counters and RNG state are all
+        restored exactly.
+    abort_check : callable, optional
+        Cooperative per-round abort: called at the top of every round;
+        a truthy return (the reason) emits a final ``on_round`` state
+        and raises :class:`~repro.errors.SolverAborted`.
 
     Returns
     -------
@@ -197,14 +217,27 @@ def compute_spreading_metric(
     )
 
     capacities = graph.capacities()
-    flows = np.full(graph.num_edges, config.epsilon, dtype=float)
-    lengths = _price(flows, capacities, config.alpha)
+    if resume is not None:
+        if resume.flows.shape != (graph.num_edges,):
+            raise CheckpointError(
+                f"resume state has {resume.flows.shape[0]} edges, "
+                f"graph has {graph.num_edges}"
+            )
+        flows = resume.flows.astype(float, copy=True)
+        lengths = resume.lengths.astype(float, copy=True)
+        active = list(resume.active)
+        if resume.rng_state is not None:
+            rng.setstate(resume.rng_state)
+        if counters is not None:
+            counters.checkpoint_resumes += 1
+    else:
+        flows = np.full(graph.num_edges, config.epsilon, dtype=float)
+        lengths = _price(flows, capacities, config.alpha)
+        active = list(graph.nodes())
+        if config.node_sample < 1.0:
+            sample_size = max(1, int(round(config.node_sample * len(active))))
+            active = rng.sample(active, sample_size)
     oracle.set_lengths(lengths)
-
-    active = list(graph.nodes())
-    if config.node_sample < 1.0:
-        sample_size = max(1, int(round(config.node_sample * len(active))))
-        active = rng.sample(active, sample_size)
 
     owned_pool: Optional[MetricWorkerPool] = None
     if config.engine == "parallel" and pool is None and spawn_pool:
@@ -235,6 +268,9 @@ def compute_spreading_metric(
                 capacities,
                 counters,
                 pool=pool if config.engine == "parallel" else None,
+                on_round=on_round,
+                resume=resume,
+                abort_check=abort_check,
             )
         else:
             injections, rounds = _serial_rounds(
@@ -247,10 +283,18 @@ def compute_spreading_metric(
                 lengths,
                 capacities,
                 counters,
+                on_round=on_round,
+                resume=resume,
+                abort_check=abort_check,
             )
     finally:
         if owned_pool is not None:
             owned_pool.close()
+    if on_round is not None:
+        on_round(
+            _round_state(rng, flows, lengths, active, injections, rounds),
+            True,
+        )
 
     return SpreadingMetricResult(
         lengths=lengths,
@@ -261,6 +305,54 @@ def compute_spreading_metric(
         satisfied=not active,
         counters=counters,
     )
+
+
+def _round_state(
+    rng: random.Random,
+    flows: np.ndarray,
+    lengths: np.ndarray,
+    active: List[int],
+    injections: int,
+    rounds: int,
+    chunk_size: Optional[int] = None,
+) -> MetricCheckpoint:
+    """Snapshot the loop state at a round boundary (for ``on_round``)."""
+    return MetricCheckpoint(
+        flows=flows,
+        lengths=lengths,
+        active=list(active),
+        injections=injections,
+        rounds=rounds,
+        chunk_size=chunk_size,
+        rng_state=rng.getstate(),
+    )
+
+
+def _maybe_abort(
+    abort_check,
+    on_round,
+    rng: random.Random,
+    flows: np.ndarray,
+    lengths: np.ndarray,
+    active: List[int],
+    injections: int,
+    rounds: int,
+    chunk_size: Optional[int] = None,
+) -> None:
+    """Cooperative per-round abort: final checkpoint, then SolverAborted."""
+    if abort_check is None:
+        return
+    reason = abort_check()
+    if not reason:
+        return
+    if on_round is not None:
+        on_round(
+            _round_state(
+                rng, flows, lengths, active, injections, rounds, chunk_size
+            ),
+            True,
+        )
+    raise SolverAborted(str(reason))
 
 
 def _inject(
@@ -297,11 +389,18 @@ def _serial_rounds(
     lengths: np.ndarray,
     capacities: np.ndarray,
     counters: Optional[PerfCounters],
+    on_round=None,
+    resume: Optional[MetricCheckpoint] = None,
+    abort_check=None,
 ):
     """The seed's one-source-at-a-time round loop (reference engine)."""
-    injections = 0
-    rounds = 0
+    injections = resume.injections if resume is not None else 0
+    rounds = resume.rounds if resume is not None else 0
     while active and rounds < config.max_rounds:
+        _maybe_abort(
+            abort_check, on_round, rng, flows, lengths, active,
+            injections, rounds,
+        )
         rounds += 1
         rng.shuffle(active)
         still_active = []
@@ -317,6 +416,11 @@ def _serial_rounds(
                 counters.injections += 1
             still_active.append(source)
         active[:] = still_active
+        if on_round is not None:
+            on_round(
+                _round_state(rng, flows, lengths, active, injections, rounds),
+                False,
+            )
     return injections, rounds
 
 
@@ -331,6 +435,9 @@ def _batched_rounds(
     capacities: np.ndarray,
     counters: Optional[PerfCounters],
     pool: Optional[MetricWorkerPool] = None,
+    on_round=None,
+    resume: Optional[MetricCheckpoint] = None,
+    abort_check=None,
 ):
     """Batched incremental round loop — bit-identical to `_serial_rounds`.
 
@@ -357,7 +464,16 @@ def _batched_rounds(
     chunk_size = _MIN_CHUNK
     injections = 0
     rounds = 0
+    if resume is not None:
+        injections = resume.injections
+        rounds = resume.rounds
+        if resume.chunk_size is not None:
+            chunk_size = min(chunk_cap, max(_MIN_CHUNK, resume.chunk_size))
     while active and rounds < config.max_rounds:
+        _maybe_abort(
+            abort_check, on_round, rng, flows, lengths, active,
+            injections, rounds, chunk_size,
+        )
         rounds += 1
         if pool is not None:
             # Names the round for the fault-injection coordinates
@@ -423,6 +539,13 @@ def _batched_rounds(
             else:
                 chunk_size = min(chunk_cap, chunk_size * 2)
         active[:] = still_active
+        if on_round is not None:
+            on_round(
+                _round_state(
+                    rng, flows, lengths, active, injections, rounds, chunk_size
+                ),
+                False,
+            )
     return injections, rounds
 
 

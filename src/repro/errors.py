@@ -38,3 +38,24 @@ class ConvergenceError(ReproError):
 class ServiceError(ReproError):
     """A partitioning-service failure (bad job spec, illegal state
     transition, malformed cache blob, protocol violation)."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written or a resume payload is unusable
+    (wrong shape, wrong fingerprint for this run, malformed envelope)."""
+
+
+class SolverAborted(ReproError):
+    """A cooperative abort check stopped the solver at a round boundary.
+
+    Raised by :func:`repro.core.flow_htp.flow_htp` (and the spreading
+    metric loops underneath it) when the caller-supplied ``abort_check``
+    fires — deadline exceeded, job cancelled, shutdown requested.  The
+    solver exits *cleanly*: a final checkpoint has already been written
+    when checkpointing is enabled, so a later run can resume instead of
+    restarting.  ``reason`` carries the abort check's verdict.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(f"solver aborted: {reason}")
+        self.reason = reason

@@ -9,13 +9,21 @@ under ``cache_dir`` and survives restarts.  A disk read re-populates the
 memory tier (read-through), and a memory eviction never deletes the
 blob — disk is the durable tier, memory the hot set.
 
+Blobs are written atomically (tmp + rename) inside a CRC-32 envelope
+``{"crc32": ..., "payload": ...}``; a read that finds a truncated,
+unparseable, CRC-failing or wrong-hash blob **quarantines** it (renames
+to ``*.corrupt``) and reports a miss — corruption costs a re-solve,
+never an exception.  Envelope-less blobs from older writers still load.
+
 Traffic lands on a shared :class:`~repro.core.perf.PerfCounters`
-(``cache_hits`` / ``cache_misses`` / ``cache_evictions``) so the service
-and the solver report through one instrument.
+(``cache_hits`` / ``cache_misses`` / ``cache_evictions`` /
+``cache_corrupt``) so the service and the solver report through one
+instrument.
 """
 
 from __future__ import annotations
 
+import binascii
 import json
 import os
 from collections import OrderedDict
@@ -41,6 +49,12 @@ def _check_key(key: str) -> str:
             f"got {key!r}"
         )
     return key
+
+
+def _payload_crc(payload: Dict[str, object]) -> str:
+    """CRC-32 (hex) over the canonical JSON form of ``payload``."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return format(binascii.crc32(blob.encode("utf-8")) & 0xFFFFFFFF, "08x")
 
 
 class ResultCache:
@@ -121,6 +135,7 @@ class ResultCache:
             "disk_hits": self._disk_hits,
             "misses": self.counters.cache_misses,
             "evictions": self.counters.cache_evictions,
+            "corrupt": self.counters.cache_corrupt,
             "disk": str(self.cache_dir) if self.cache_dir else None,
         }
 
@@ -143,16 +158,44 @@ class ResultCache:
         if path is None:
             return None
         try:
-            payload = json.loads(path.read_text())
+            doc = json.loads(path.read_text())
         except (OSError, ValueError) as exc:
-            raise ServiceError(f"corrupt cache blob {path}: {exc}") from exc
+            return self._quarantine(path, f"unreadable blob: {exc}")
+        if isinstance(doc, dict) and "crc32" in doc and "payload" in doc:
+            payload = doc["payload"]
+            if not isinstance(payload, dict) or doc["crc32"] != _payload_crc(
+                payload
+            ):
+                return self._quarantine(path, "CRC mismatch")
+        elif isinstance(doc, dict):
+            # Envelope-less blob from an older writer: accept as-is.
+            payload = doc
+        else:
+            return self._quarantine(path, "blob is not a JSON object")
         stored_hash = payload.get("spec_hash")
         if stored_hash is not None and stored_hash != key:
-            raise ServiceError(
-                f"cache blob {path} claims spec_hash {stored_hash!r} — "
-                "content addressing violated"
+            return self._quarantine(
+                path, f"claims spec_hash {stored_hash!r} under key {key!r}"
             )
         return payload
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Sideline a bad blob (``*.corrupt``) and report a miss.
+
+        A corrupt entry must cost a re-solve, not an exception — and the
+        rename keeps the evidence while guaranteeing the next read of
+        this key goes straight to a clean miss.
+        """
+        self.counters.cache_corrupt += 1
+        self.counters.record_degradation(
+            "cache-quarantine", f"{path}: {reason}", site="cache"
+        )
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            # The rename is best-effort; a miss is returned regardless.
+            pass
+        return None
 
     def _write_blob(self, key: str, payload: Dict[str, object]) -> None:
         if self.cache_dir is None:
@@ -160,7 +203,10 @@ class ResultCache:
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         path = self.cache_dir / f"{key}.json"
         # Write-then-rename so a crashed writer never leaves a torn blob
-        # that a later read would reject as corrupt.
+        # under the live name; the CRC envelope catches everything else
+        # (bit rot, hand edits, short copies).
         tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload))
+        tmp.write_text(
+            json.dumps({"crc32": _payload_crc(payload), "payload": payload})
+        )
         os.replace(tmp, path)

@@ -5,6 +5,13 @@ connection per call, conventional status codes mapped to
 :class:`ServiceClientError`.  :meth:`ServiceClient.partition` is the
 high-level helper behind ``htp submit`` — build a spec, submit, poll
 until terminal, return the deserialized :class:`FlowHTPResult`.
+
+Idempotent reads (status, result, listings, health and metrics probes)
+transparently retry on a reset or half-closed connection — the normal
+weather around a server restart — with the bounded exponential backoff
+of a :class:`~repro.core.faults.FaultTolerance`.  Submissions and
+cancels never retry: POSTs are not idempotent and a duplicate is worse
+than an error.
 """
 
 from __future__ import annotations
@@ -15,28 +22,43 @@ import time
 import urllib.parse
 from typing import Dict, Optional
 
+from repro.core.faults import FaultTolerance
 from repro.core.flow_htp import FlowHTPResult
 from repro.errors import ServiceError
 from repro.htp.hierarchy import HierarchySpec
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.service.jobs import JobSpec, JobState, TERMINAL_STATES
 
+#: Transport failures worth retrying on an idempotent request: the
+#: server died mid-response or the listener bounced.  Refusals
+#: (``ConnectionRefusedError``) are *not* here — a down server fails
+#: fast rather than burning the backoff budget.
+_RETRYABLE = (ConnectionResetError, http.client.RemoteDisconnected)
+
 
 class ServiceClientError(ServiceError):
     """An HTTP-level failure talking to the service.
 
-    ``status`` holds the HTTP status code (0 for connection failures).
+    ``status`` holds the HTTP status code (0 for connection failures);
+    ``retry_after`` carries the server's ``Retry-After`` hint (seconds)
+    on 429 responses, None otherwise.
     """
 
     def __init__(self, message: str, status: int = 0) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after: Optional[float] = None
 
 
 class ServiceClient:
     """A handle on one server, e.g. ``ServiceClient("http://127.0.0.1:8947")``."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        tolerance: Optional[FaultTolerance] = None,
+    ) -> None:
         parsed = urllib.parse.urlparse(base_url)
         if parsed.scheme != "http" or not parsed.hostname:
             raise ServiceClientError(
@@ -45,25 +67,42 @@ class ServiceClient:
         self.host = parsed.hostname
         self.port = parsed.port or 80
         self.timeout = timeout
+        self.tolerance = tolerance or FaultTolerance()
 
     # ------------------------------------------------------------------
     # Raw endpoint wrappers
     # ------------------------------------------------------------------
-    def submit(self, spec_payload: Dict[str, object]) -> Dict[str, object]:
-        """POST /jobs — returns the job status document."""
+    def submit(
+        self,
+        spec_payload: Dict[str, object],
+        deadline: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """POST /jobs — returns the job status document.
+
+        ``deadline`` (seconds) rides beside the spec as the top-level
+        payload key the server turns into a job deadline; it never
+        touches the spec's content address.
+        """
+        if deadline is not None:
+            spec_payload = dict(spec_payload)
+            spec_payload["deadline"] = float(deadline)
         return self._request("POST", "/jobs", body=spec_payload)
 
-    def submit_spec(self, spec: JobSpec) -> Dict[str, object]:
+    def submit_spec(
+        self, spec: JobSpec, deadline: Optional[float] = None
+    ) -> Dict[str, object]:
         """Submit a library-level :class:`JobSpec`."""
-        return self.submit(spec.to_payload())
+        return self.submit(spec.to_payload(), deadline=deadline)
 
     def status(self, job_id: str) -> Dict[str, object]:
         """GET /jobs/<id>."""
-        return self._request("GET", f"/jobs/{job_id}")
+        return self._request("GET", f"/jobs/{job_id}", idempotent=True)
 
     def result(self, job_id: str) -> Dict[str, object]:
         """GET /jobs/<id>/result (raises 409 ServiceClientError until done)."""
-        return self._request("GET", f"/jobs/{job_id}/result")
+        return self._request(
+            "GET", f"/jobs/{job_id}/result", idempotent=True
+        )
 
     def cancel(self, job_id: str) -> Dict[str, object]:
         """POST /jobs/<id>/cancel."""
@@ -71,15 +110,15 @@ class ServiceClient:
 
     def jobs(self) -> Dict[str, object]:
         """GET /jobs."""
-        return self._request("GET", "/jobs")
+        return self._request("GET", "/jobs", idempotent=True)
 
     def healthz(self) -> Dict[str, object]:
         """GET /healthz."""
-        return self._request("GET", "/healthz")
+        return self._request("GET", "/healthz", idempotent=True)
 
     def metricsz(self) -> Dict[str, object]:
         """GET /metricsz."""
-        return self._request("GET", "/metricsz")
+        return self._request("GET", "/metricsz", idempotent=True)
 
     # ------------------------------------------------------------------
     # High-level flow
@@ -109,6 +148,7 @@ class ServiceClient:
         config: Optional[Dict[str, object]] = None,
         timeout: Optional[float] = 300.0,
         poll_interval: float = 0.05,
+        deadline: Optional[float] = None,
     ) -> FlowHTPResult:
         """Submit, poll, deserialize — the one-call client experience.
 
@@ -116,7 +156,7 @@ class ServiceClient:
         cancelled (the job's error message is included).
         """
         spec = JobSpec.from_parts(netlist, hierarchy, config)
-        submitted = self.submit_spec(spec)
+        submitted = self.submit_spec(spec, deadline=deadline)
         status = self.wait(
             str(submitted["job_id"]),
             timeout=timeout,
@@ -136,6 +176,33 @@ class ServiceClient:
         method: str,
         path: str,
         body: Optional[Dict[str, object]] = None,
+        idempotent: bool = False,
+    ) -> Dict[str, object]:
+        """One HTTP exchange; idempotent requests retry reset connections.
+
+        The retry budget and backoff curve come from ``self.tolerance``
+        (``task_retries`` waves of ``backoff(wave)`` sleep), the same
+        budgets every other recovery ladder in the repo uses.
+        """
+        retries = self.tolerance.task_retries if idempotent else 0
+        wave = 0
+        while True:
+            try:
+                return self._request_once(method, path, body)
+            except _RETRYABLE as exc:
+                if wave >= retries:
+                    raise ServiceClientError(
+                        f"cannot reach service at {self.host}:{self.port}"
+                        f" after {wave + 1} attempts: {exc}"
+                    ) from exc
+                wave += 1
+                time.sleep(self.tolerance.backoff(wave))
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]] = None,
     ) -> Dict[str, object]:
         data = None
         headers = {}
@@ -150,6 +217,8 @@ class ServiceClient:
                 connection.request(method, path, body=data, headers=headers)
                 response = connection.getresponse()
                 raw = response.read()
+            except _RETRYABLE:
+                raise  # _request decides whether another attempt is owed
             except (OSError, http.client.HTTPException) as exc:
                 raise ServiceClientError(
                     f"cannot reach service at {self.host}:{self.port}: {exc}"
@@ -166,7 +235,14 @@ class ServiceClient:
             ) from exc
         if response.status != 200:
             detail = payload.get("error", repr(raw[:200]))
-            raise ServiceClientError(
+            error = ServiceClientError(
                 f"{method} {path}: {detail}", status=response.status
             )
+            retry_after = response.getheader("Retry-After")
+            if retry_after is not None:
+                try:
+                    error.retry_after = float(retry_after)
+                except ValueError:
+                    pass
+            raise error
         return payload

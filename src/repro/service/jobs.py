@@ -28,20 +28,26 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import inspect
 import itertools
 import json
+import math
+import shutil
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Callable, Deque, Dict, List, Optional, Union
 
 from repro.core.faults import FaultTolerance
 from repro.core.flow_htp import FlowHTPConfig, FlowHTPResult, flow_htp
 from repro.core.parallel import ParallelConfig
 from repro.core.perf import PerfCounters
 from repro.core.spreading_metric import ENGINES, SpreadingMetricConfig
-from repro.errors import ServiceError
+from repro.errors import ServiceError, SolverAborted
+from repro.service.journal import Journal
 from repro.htp.hierarchy import HierarchySpec
 from repro.hypergraph.hypergraph import Hypergraph
 
@@ -247,10 +253,55 @@ class JobSpec:
         )
 
 
-def run_spec(spec: JobSpec) -> FlowHTPResult:
-    """Solve a spec synchronously (the default job runner)."""
+@dataclass
+class JobContext:
+    """Durability hooks the manager threads into the solver runner.
+
+    ``checkpoint_dir`` doubles as the resume source: the runner always
+    tries to restore from it, so a job requeued after a crash picks up
+    the dead process's newest valid checkpoint automatically.
+    ``abort_check`` is the cooperative cancel/deadline poll the solver
+    calls at every round boundary.
+    """
+
+    checkpoint_dir: Optional[Path] = None
+    checkpoint_every: int = 1
+    abort_check: Optional[Callable[[], object]] = None
+
+
+class AdmissionError(ServiceError):
+    """A submission refused by admission control (bounded queue depth).
+
+    Carries the ``retry_after`` hint (seconds) the HTTP layer turns into
+    a 429 response with a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+def run_spec(
+    spec: JobSpec, context: Optional[JobContext] = None
+) -> FlowHTPResult:
+    """Solve a spec synchronously (the default job runner).
+
+    With a :class:`JobContext` the solve is durable: round checkpoints
+    land in ``context.checkpoint_dir`` (which is also consulted for a
+    resume first) and ``context.abort_check`` is polled every round.
+    """
+    if context is None:
+        return flow_htp(
+            spec.build_netlist(), spec.build_hierarchy(), spec.build_config()
+        )
     return flow_htp(
-        spec.build_netlist(), spec.build_hierarchy(), spec.build_config()
+        spec.build_netlist(),
+        spec.build_hierarchy(),
+        spec.build_config(),
+        checkpoint_dir=context.checkpoint_dir,
+        checkpoint_every=context.checkpoint_every,
+        resume_from=context.checkpoint_dir,
+        abort_check=context.abort_check,
     )
 
 
@@ -296,6 +347,8 @@ class Job:
     submitted_at: float = field(default_factory=time.time)
     finished_at: Optional[float] = None
     cancel_requested: bool = False
+    deadline_epoch: Optional[float] = None
+    recovered: bool = False
 
     def transition(self, new_state: JobState) -> None:
         """Move to ``new_state``, enforcing the legal transitions."""
@@ -319,6 +372,10 @@ class Job:
         }
         if self.finished_at is not None:
             doc["finished_at"] = self.finished_at
+        if self.deadline_epoch is not None:
+            doc["deadline_epoch"] = self.deadline_epoch
+        if self.recovered:
+            doc["recovered"] = True
         if self.error is not None:
             doc["error"] = self.error
         if self.state == JobState.DONE and self.result_payload is not None:
@@ -348,11 +405,27 @@ class JobManager:
     runner:
         The blocking solve callable ``spec -> FlowHTPResult`` (tests
         inject slow/failing stand-ins; defaults to :func:`run_spec`).
+        Runners that declare a ``context`` keyword additionally receive
+        a :class:`JobContext` with the per-job checkpoint directory and
+        abort poll; legacy single-argument runners still work.
     counters:
         Shared :class:`PerfCounters`; job failures, retries, timeouts
         and cancellations are recorded here via ``record_degradation``
         (site ``"service"``) and every completed solve's counters are
         merged in.
+    journal:
+        Optional :class:`~repro.service.journal.Journal`; every
+        lifecycle transition is appended *before* the in-memory state
+        moves, and :meth:`recover` replays it after a restart.
+    checkpoint_root:
+        Optional directory; each running job checkpoints under
+        ``<root>/<spec_hash>/`` and a requeued job resumes from there.
+        Pruned when the job completes.
+    checkpoint_every:
+        Solver round-checkpoint cadence (see ``flow_htp``).
+    max_queue_depth:
+        Admission control: submissions beyond this many queued jobs
+        raise :class:`AdmissionError` (None: unbounded).
     """
 
     def __init__(
@@ -361,11 +434,17 @@ class JobManager:
         cache=None,
         job_timeout: Optional[float] = None,
         tolerance: Optional[FaultTolerance] = None,
-        runner: Optional[Callable[[JobSpec], FlowHTPResult]] = None,
+        runner: Optional[Callable[..., FlowHTPResult]] = None,
         counters: Optional[PerfCounters] = None,
+        journal: Optional[Journal] = None,
+        checkpoint_root: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 1,
+        max_queue_depth: Optional[int] = None,
     ) -> None:
         if max_concurrency < 1:
             raise ServiceError("max_concurrency must be at least 1")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ServiceError("max_queue_depth must be at least 1")
         self.counters = counters if counters is not None else PerfCounters()
         self.cache = cache
         if cache is not None and cache.counters is not self.counters:
@@ -380,6 +459,25 @@ class JobManager:
             job_timeout = self.tolerance.task_deadline
         self.job_timeout = job_timeout
         self._runner = runner or run_spec
+        try:
+            parameters = inspect.signature(self._runner).parameters
+            self._runner_takes_context = "context" in parameters or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in parameters.values()
+            )
+        except (TypeError, ValueError):
+            self._runner_takes_context = False
+        self.journal = journal
+        if journal is not None and journal.counters is not self.counters:
+            self.counters.merge(journal.counters)
+            journal.counters = self.counters
+        self.checkpoint_root = (
+            Path(checkpoint_root) if checkpoint_root is not None else None
+        )
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self.max_queue_depth = max_queue_depth
+        self._queued = 0
+        self._durations: Deque[float] = deque(maxlen=16)
         self._max_concurrency = max_concurrency
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []
@@ -447,34 +545,68 @@ class JobManager:
         if self._executor is not None:
             self._executor.shutdown(wait=drain, cancel_futures=True)
             self._executor = None
+        if self.journal is not None:
+            self.journal.close()
         self._started = False
 
     # ------------------------------------------------------------------
     # Submission / queries
     # ------------------------------------------------------------------
-    def submit(self, spec: JobSpec) -> Job:
+    def submit(self, spec: JobSpec, deadline: Optional[float] = None) -> Job:
         """Enqueue a spec; returns the job (may already be ``done``).
 
         A cache hit never reaches the queue: the job is created directly
         in state ``done`` with the cached payload and ``cached=True``.
+        ``deadline`` (seconds from now) bounds the job's wall clock: it
+        caps the solve timeout and is polled by the solver at every
+        round boundary, so an expiring job exits cleanly with a final
+        checkpoint on disk.  With ``max_queue_depth`` set, submissions
+        beyond that many queued jobs raise :class:`AdmissionError`.
         """
         if not self._accepting:
             raise ServiceError("service is shutting down; not accepting jobs")
+        if (
+            self.max_queue_depth is not None
+            and self._queued >= self.max_queue_depth
+        ):
+            self.counters.admission_rejections += 1
+            retry_after = self.retry_after()
+            self.counters.record_degradation(
+                "job-rejected",
+                f"queue depth {self._queued} at limit {self.max_queue_depth}",
+                site="service",
+            )
+            raise AdmissionError(
+                f"queue is full ({self._queued} jobs queued, limit "
+                f"{self.max_queue_depth}); retry in {retry_after:g}s",
+                retry_after=retry_after,
+            )
         spec_hash = spec.canonical_hash()
         job_id = f"{spec_hash[:12]}-{next(self._sequence):04d}"
         job = Job(job_id=job_id, spec_hash=spec_hash, spec=spec)
+        if deadline is not None:
+            job.deadline_epoch = time.time() + float(deadline)
         self._jobs[job_id] = job
         self._order.append(job_id)
+        record = {
+            "type": "submitted",
+            "job_id": job_id,
+            "spec_hash": spec_hash,
+            "spec": spec.to_payload(),
+            "submitted_at": job.submitted_at,
+        }
+        if job.deadline_epoch is not None:
+            record["deadline_epoch"] = job.deadline_epoch
+        self._journal_append(record)
         cached = self.cache.get(spec_hash) if self.cache is not None else None
         if cached is not None:
             job.cached = True
             job.result_payload = cached
             job.transition(JobState.RUNNING)
             job.transition(JobState.DONE)
+            self._journal_state(job)
             return job
-        self._idle.clear()
-        self._in_flight += 1
-        self._queue.put_nowait(job_id)
+        self._enqueue(job)
         return job
 
     def get(self, job_id: str) -> Job:
@@ -509,15 +641,201 @@ class JobManager:
             counts[job.state.value] += 1
         return counts
 
+    def queue_depth(self) -> int:
+        """Jobs accepted but not yet running (the admission gauge)."""
+        return self._queued
+
+    def retry_after(self) -> float:
+        """Seconds a rejected client should wait before resubmitting.
+
+        Estimated from recent solve durations and the queue backlog;
+        clamped to [1, 60] so the hint is always actionable.
+        """
+        if self._durations:
+            avg = sum(self._durations) / len(self._durations)
+        else:
+            avg = 1.0
+        estimate = avg * (self._queued / max(1, self._max_concurrency) + 1.0)
+        return float(min(60.0, max(1.0, math.ceil(estimate))))
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> Dict[str, int]:
+        """Rebuild job state from the journal after a restart.
+
+        The contract, per journal-derived state:
+
+        * ``done`` — re-served from the content-addressed cache without
+          re-running; if the cached result is gone (or corrupt and
+          quarantined), the job is requeued instead.
+        * ``queued`` — requeued in original submission order.
+        * ``running`` — requeued; the runner resumes from the dead
+          process's newest valid checkpoint under ``checkpoint_root``.
+        * ``failed`` / ``cancelled`` — restored terminal, for status.
+
+        Jobs whose deadline expired during the outage fail immediately
+        rather than burning solver time.  Returns summary counts and
+        journals every recovery-time decision, so a second crash replays
+        to the same place.
+        """
+        summary = {
+            "recovered": 0,
+            "done_from_cache": 0,
+            "requeued": 0,
+            "terminal": 0,
+            "expired": 0,
+            "skipped": 0,
+        }
+        if self.journal is None:
+            return summary
+        state = self.journal.recover()
+        now = time.time()
+        max_sequence = 0
+        for recovered in state.in_order():
+            try:
+                spec = JobSpec.from_payload(dict(recovered.spec_payload))
+            except ServiceError as exc:
+                summary["skipped"] += 1
+                self.counters.record_degradation(
+                    "recover-skip", exc, site="service"
+                )
+                continue
+            job = Job(
+                job_id=recovered.job_id,
+                spec_hash=recovered.spec_hash,
+                spec=spec,
+                submitted_at=(
+                    recovered.submitted_at
+                    if recovered.submitted_at is not None
+                    else now
+                ),
+                deadline_epoch=recovered.deadline_epoch,
+                recovered=True,
+            )
+            self._jobs[job.job_id] = job
+            self._order.append(job.job_id)
+            summary["recovered"] += 1
+            suffix = recovered.job_id.rsplit("-", 1)[-1]
+            if suffix.isdigit():
+                max_sequence = max(max_sequence, int(suffix))
+            if recovered.state == "done":
+                cached = (
+                    self.cache.get(recovered.spec_hash)
+                    if self.cache is not None
+                    else None
+                )
+                if cached is not None:
+                    job.cached = True
+                    job.result_payload = cached
+                    job.state = JobState.DONE
+                    job.finished_at = now
+                    summary["done_from_cache"] += 1
+                    continue
+                # The journal promised a result the cache no longer
+                # holds (lost or quarantined blob): solve it again.
+                self._journal_append(
+                    {"type": "requeued", "job_id": job.job_id, "ts": now}
+                )
+                self._enqueue(job)
+                summary["requeued"] += 1
+                continue
+            if recovered.state in ("failed", "cancelled"):
+                job.state = JobState(recovered.state)
+                job.error = recovered.error
+                job.finished_at = now
+                summary["terminal"] += 1
+                continue
+            # queued or running: the work is still owed.
+            if job.deadline_epoch is not None and job.deadline_epoch <= now:
+                job.state = JobState.FAILED
+                job.error = "deadline expired while the service was down"
+                job.finished_at = now
+                self._journal_state(job)
+                self.counters.record_degradation(
+                    "job-timeout", job.error, site="service"
+                )
+                summary["expired"] += 1
+                continue
+            if recovered.state == "running":
+                self._journal_append(
+                    {"type": "requeued", "job_id": job.job_id, "ts": now}
+                )
+            self._enqueue(job)
+            summary["requeued"] += 1
+        if max_sequence:
+            self._sequence = itertools.count(max_sequence + 1)
+        return summary
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _enqueue(self, job: Job) -> None:
+        self._idle.clear()
+        self._in_flight += 1
+        self._queued += 1
+        self._queue.put_nowait(job.job_id)
+
+    def _journal_append(self, record: Dict[str, object]) -> None:
+        if self.journal is not None:
+            self.journal.append(record)
+
+    def _journal_state(self, job: Job) -> None:
+        """Append ``job``'s current state as a lifecycle record."""
+        if self.journal is None:
+            return
+        record: Dict[str, object] = {
+            "type": "state",
+            "job_id": job.job_id,
+            "state": job.state.value,
+            "ts": time.time(),
+        }
+        if job.error is not None:
+            record["error"] = job.error
+        if job.cached:
+            record["cached"] = True
+        self.journal.append(record)
+
+    def _job_context(self, job: Job) -> JobContext:
+        checkpoint_dir = None
+        if self.checkpoint_root is not None:
+            checkpoint_dir = self.checkpoint_root / job.spec_hash
+
+        def abort_check() -> object:
+            if job.cancel_requested:
+                return "cancel requested"
+            if (
+                job.deadline_epoch is not None
+                and time.time() >= job.deadline_epoch
+            ):
+                return "deadline exceeded"
+            return False
+
+        return JobContext(
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=self.checkpoint_every,
+            abort_check=abort_check,
+        )
+
+    def _call_runner(self, job: Job) -> FlowHTPResult:
+        if self._runner_takes_context:
+            return self._runner(job.spec, context=self._job_context(job))
+        return self._runner(job.spec)
+
+    def _prune_checkpoints(self, job: Job) -> None:
+        if self.checkpoint_root is not None:
+            shutil.rmtree(
+                self.checkpoint_root / job.spec_hash, ignore_errors=True
+            )
+
     def _cancel_queued(self, job: Job) -> None:
         job.cancel_requested = True
         job.transition(JobState.CANCELLED)
+        self._journal_state(job)
         self.counters.record_degradation(
             "job-cancelled", "cancelled while queued", site="service"
         )
+        self._queued -= 1
         self._job_settled()
 
     def _job_settled(self) -> None:
@@ -534,7 +852,9 @@ class JobManager:
             try:
                 if job.state == JobState.CANCELLED:
                     continue  # cancelled while queued; already settled
+                self._queued -= 1
                 job.transition(JobState.RUNNING)
+                self._journal_state(job)
                 try:
                     await self._run_job(job)
                 except asyncio.CancelledError:
@@ -543,6 +863,7 @@ class JobManager:
                     if job.state == JobState.RUNNING:
                         job.error = "worker cancelled at shutdown"
                         job.transition(JobState.CANCELLED)
+                        self._journal_state(job)
                         self.counters.record_degradation(
                             "job-cancelled", job.error, site="service"
                         )
@@ -556,27 +877,59 @@ class JobManager:
         loop = asyncio.get_running_loop()
         retries = self.tolerance.task_retries
         attempt = 0
+        started = time.monotonic()
+        timeout = self.job_timeout
+        if job.deadline_epoch is not None:
+            remaining = job.deadline_epoch - time.time()
+            if remaining <= 0:
+                job.error = "deadline expired before the solve started"
+                job.transition(JobState.FAILED)
+                self._journal_state(job)
+                self.counters.record_degradation(
+                    "job-timeout", job.error, site="service"
+                )
+                return
+            timeout = remaining if timeout is None else min(timeout, remaining)
         while True:
             attempt += 1
             try:
                 future = loop.run_in_executor(
-                    self._executor, self._runner, job.spec
+                    self._executor, self._call_runner, job
                 )
-                if self.job_timeout is not None:
-                    result = await asyncio.wait_for(future, self.job_timeout)
+                if timeout is not None:
+                    result = await asyncio.wait_for(future, timeout)
                 else:
                     result = await future
             except asyncio.TimeoutError:
-                job.error = f"timed out after {self.job_timeout:g}s"
+                job.error = f"timed out after {timeout:g}s"
                 job.transition(JobState.FAILED)
+                self._journal_state(job)
                 self.counters.record_degradation(
                     "job-timeout", job.error, site="service"
                 )
+                return
+            except SolverAborted as exc:
+                # The solver exited cooperatively (cancel or deadline),
+                # leaving a final checkpoint on disk — never retried.
+                job.error = str(exc)
+                if job.cancel_requested:
+                    job.transition(JobState.CANCELLED)
+                    self._journal_state(job)
+                    self.counters.record_degradation(
+                        "job-cancelled", exc, site="service"
+                    )
+                else:
+                    job.transition(JobState.FAILED)
+                    self._journal_state(job)
+                    self.counters.record_degradation(
+                        "job-timeout", exc, site="service"
+                    )
                 return
             except Exception as exc:
                 if job.cancel_requested:
                     job.error = repr(exc)
                     job.transition(JobState.CANCELLED)
+                    self._journal_state(job)
                     self.counters.record_degradation(
                         "job-cancelled", exc, site="service"
                     )
@@ -595,6 +948,7 @@ class JobManager:
                     continue
                 job.error = repr(exc)
                 job.transition(JobState.FAILED)
+                self._journal_state(job)
                 self.counters.record_degradation(
                     "job-failed", exc, site="service"
                 )
@@ -603,6 +957,7 @@ class JobManager:
 
         if job.cancel_requested:
             job.transition(JobState.CANCELLED)
+            self._journal_state(job)
             self.counters.record_degradation(
                 "job-cancelled",
                 "cancelled while running; result discarded",
@@ -618,4 +973,9 @@ class JobManager:
         if self.cache is not None:
             self.cache.put(job.spec_hash, payload)
         job.result_payload = payload
+        self._durations.append(time.monotonic() - started)
+        # The WAL claims "done" only once the result is safely in the
+        # cache's durable tier — recovery re-serves it from there.
         job.transition(JobState.DONE)
+        self._journal_state(job)
+        self._prune_checkpoints(job)

@@ -20,7 +20,11 @@ GET      ``/metricsz``            merged PerfCounters + cache stats
 
 Error responses are ``{"error": ...}`` with conventional status codes:
 400 malformed request/spec, 404 unknown job, 405 wrong method, 409
-result not ready, 503 shutting down.
+result not ready, 429 queue full (with a ``Retry-After`` header), 503
+shutting down.  A submission may carry a top-level ``deadline`` (seconds
+of wall clock the client will wait); it caps the job timeout and is
+polled by the solver every round, but is *not* part of the spec's
+content address.
 
 :class:`PartitionServer` is the asyncio server; :class:`ServerThread`
 runs one on a daemon thread for embedding in synchronous code (tests,
@@ -36,8 +40,9 @@ import signal
 import threading
 from typing import Dict, Optional, Tuple
 
+from repro.core.checkpoint import newest_checkpoint_age
 from repro.errors import ServiceError
-from repro.service.jobs import JobManager, JobSpec, JobState
+from repro.service.jobs import AdmissionError, JobManager, JobSpec, JobState
 
 #: Largest accepted request body (netlists are a few MB at paper scale).
 MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -52,6 +57,7 @@ _REASONS = {
     405: "Method Not Allowed",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
@@ -60,10 +66,16 @@ _REASONS = {
 class _HttpError(Exception):
     """Internal: aborts handling with a status code and message."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = headers or {}
 
 
 class PartitionServer:
@@ -78,12 +90,19 @@ class PartitionServer:
         self.manager = manager
         self.host = host
         self.port = port  # replaced by the bound port after start()
+        self.recovery_summary: Dict[str, int] = {}
         self._server: Optional[asyncio.AbstractServer] = None
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Start the manager and bind the listening socket."""
+        """Start the manager, replay the journal, bind the socket.
+
+        Recovery runs *before* the socket accepts its first request, so
+        clients never observe a half-recovered job table; the summary is
+        kept on :attr:`recovery_summary` for the CLI to announce.
+        """
         await self.manager.start()
+        self.recovery_summary = self.manager.recover()
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.host, port=self.port
         )
@@ -109,16 +128,18 @@ class PartitionServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
+            headers: Dict[str, str] = {}
             try:
                 method, path, body = await self._read_request(reader)
                 status, payload = self._route(method, path, body)
             except _HttpError as exc:
                 status, payload = exc.status, {"error": exc.message}
+                headers = exc.headers
             except ServiceError as exc:
                 status, payload = 400, {"error": str(exc)}
             except Exception as exc:  # pragma: no cover - defensive
                 status, payload = 500, {"error": repr(exc)}
-            await self._write_response(writer, status, payload)
+            await self._write_response(writer, status, payload, headers)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-request; nothing to answer
         finally:
@@ -163,13 +184,18 @@ class PartitionServer:
         writer: asyncio.StreamWriter,
         status: int,
         payload: Dict[str, object],
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
         reason = _REASONS.get(status, "Unknown")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
             f"HTTP/1.0 {status} {reason}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             "Connection: close\r\n"
             "\r\n"
         ).encode("latin-1")
@@ -192,10 +218,31 @@ class PartitionServer:
             }
         if path == "/metricsz":
             self._require(method, "GET")
-            cache = self.manager.cache
+            manager = self.manager
+            cache = manager.cache
+            checkpoints = None
+            if manager.checkpoint_root is not None:
+                checkpoints = {
+                    "root": str(manager.checkpoint_root),
+                    "newest_age_seconds": newest_checkpoint_age(
+                        manager.checkpoint_root
+                    ),
+                }
             return 200, {
-                "perf": self.manager.counters.as_dict(),
+                "perf": manager.counters.as_dict(),
                 "cache": cache.stats() if cache is not None else None,
+                "queue": {
+                    "depth": manager.queue_depth(),
+                    "max_depth": manager.max_queue_depth,
+                    "rejections": manager.counters.admission_rejections,
+                    "retry_after": manager.retry_after(),
+                },
+                "journal": (
+                    manager.journal.stats()
+                    if manager.journal is not None
+                    else None
+                ),
+                "checkpoints": checkpoints,
             }
         if path == "/jobs":
             if method == "POST":
@@ -232,9 +279,31 @@ class PartitionServer:
             payload = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, ValueError) as exc:
             raise _HttpError(400, f"body is not valid JSON: {exc}") from exc
+        deadline = None
+        if isinstance(payload, dict) and "deadline" in payload:
+            # The deadline rides beside the spec, never inside it: two
+            # submissions with different deadlines are the same problem
+            # and must share one content address.
+            raw_deadline = payload.pop("deadline")
+            try:
+                deadline = float(raw_deadline)
+            except (TypeError, ValueError) as exc:
+                raise _HttpError(
+                    400, f"bad deadline {raw_deadline!r}: not a number"
+                ) from exc
+            if deadline <= 0:
+                raise _HttpError(
+                    400, f"bad deadline {deadline!r}: must be positive"
+                )
         spec = JobSpec.from_payload(payload)  # ServiceError -> 400
         try:
-            job = self.manager.submit(spec)
+            job = self.manager.submit(spec, deadline=deadline)
+        except AdmissionError as exc:
+            raise _HttpError(
+                429,
+                str(exc),
+                headers={"Retry-After": f"{int(exc.retry_after)}"},
+            ) from exc
         except ServiceError as exc:
             raise _HttpError(503, str(exc)) from exc
         return 200, job.status()
@@ -357,6 +426,15 @@ def serve(
         manager = JobManager(**(manager_kwargs or {}))
         server = PartitionServer(manager, host=host, port=port)
         await server.start()
+        if server.recovery_summary.get("recovered"):
+            announce(
+                "recovered from journal: "
+                + " ".join(
+                    f"{name}={count}"
+                    for name, count in server.recovery_summary.items()
+                    if count
+                )
+            )
         announce(f"serving on {server.url}")
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()

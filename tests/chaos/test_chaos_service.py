@@ -1,0 +1,204 @@
+"""SIGKILL a real journaled server mid-solve; restart; lose nothing.
+
+This is the full-stack durability drill the PR promises: an actual
+``htp serve --journal`` subprocess (own interpreter, own event loop,
+real sockets) is killed with ``SIGKILL`` — no atexit handlers, no
+graceful shutdown — while a slow job is mid-solve.  A second server
+started over the same directories must re-serve the finished job from
+the content-addressed cache without re-running it and carry the
+interrupted job to a result bit-identical to an uninterrupted solve.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.faults import FaultTolerance
+from repro.htp.hierarchy import binary_hierarchy
+from repro.hypergraph.generators import planted_hierarchy_hypergraph
+from repro.service import JobSpec, ServiceClient, ServiceClientError, run_spec
+
+pytestmark = pytest.mark.chaos
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+def _free_port() -> int:
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _spawn_server(port, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            str(port),
+            "--max-concurrency",
+            "1",
+            "--journal",
+            str(tmp_path / "wal"),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--checkpoint-dir",
+            str(tmp_path / "ckpt"),
+            "--fsync",
+            "always",
+        ],
+        env=env,
+        cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_healthy(client, process, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise AssertionError(
+                f"server exited early with code {process.returncode}"
+            )
+        try:
+            client.healthz()
+            return
+        except ServiceClientError:
+            time.sleep(0.1)
+    raise AssertionError("server never became healthy")
+
+
+def _fast_spec():
+    netlist = planted_hierarchy_hypergraph(32, height=2, seed=1)
+    hierarchy = binary_hierarchy(netlist.total_size(), height=2)
+    return JobSpec.from_parts(
+        netlist,
+        hierarchy,
+        {"iterations": 1, "constructions_per_metric": 1, "max_rounds": 8},
+    )
+
+
+def _slow_spec():
+    # The pure-python engine on a 64-node instance runs long enough for
+    # a SIGKILL to land mid-solve, with checkpoints every round.
+    netlist = planted_hierarchy_hypergraph(64, height=2, seed=2)
+    hierarchy = binary_hierarchy(netlist.total_size(), height=2)
+    return JobSpec.from_parts(
+        netlist,
+        hierarchy,
+        {
+            "iterations": 2,
+            "constructions_per_metric": 2,
+            "engine": "python",
+            "max_rounds": 32,
+            "delta": 0.3,
+            "seed": 7,
+        },
+    )
+
+
+class TestKillNineAndRestart:
+    def test_no_accepted_job_is_lost(self, tmp_path):
+        port = _free_port()
+        url = f"http://127.0.0.1:{port}"
+        tolerance = FaultTolerance(task_retries=3, backoff_base=0.05)
+        client = ServiceClient(url, timeout=10, tolerance=tolerance)
+
+        fast, slow = _fast_spec(), _slow_spec()
+        process = _spawn_server(port, tmp_path)
+        try:
+            _wait_healthy(client, process)
+
+            # Phase 1: one job finishes, one is caught mid-solve.
+            fast_job = client.submit_spec(fast)
+            done = client.wait(fast_job["job_id"], timeout=60)
+            assert done["state"] == "done"
+            first_result = client.result(fast_job["job_id"])
+
+            slow_job = client.submit_spec(slow)
+            ckpt_dir = tmp_path / "ckpt" / slow_job["spec_hash"]
+            kill_deadline = time.monotonic() + 60
+            while not list(ckpt_dir.glob("ckpt-*.json")):
+                assert time.monotonic() < kill_deadline, (
+                    "no checkpoint appeared before the kill window closed"
+                )
+                status = client.status(slow_job["job_id"])
+                assert status["state"] in ("queued", "running"), (
+                    f"slow job finished too fast to kill: {status['state']}"
+                )
+                time.sleep(0.02)
+
+            process.kill()  # SIGKILL: no goodbye, no flush
+            process.wait(timeout=10)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+        # Phase 2: a fresh server over the same dirs recovers everything.
+        process = _spawn_server(port, tmp_path)
+        try:
+            _wait_healthy(client, process)
+
+            listing = client.jobs()["jobs"]
+            listed_ids = {job["job_id"] for job in listing}
+            assert fast_job["job_id"] in listed_ids
+            assert slow_job["job_id"] in listed_ids
+
+            # The finished job came back from the cache, not the solver.
+            recovered = client.status(fast_job["job_id"])
+            assert recovered["state"] == "done"
+            assert recovered["recovered"] is True
+            assert recovered["cached"] is True
+            assert client.result(fast_job["job_id"]) == first_result
+
+            # The interrupted job resumes and lands bit-identical to an
+            # uninterrupted local solve of the same spec.
+            finished = client.wait(slow_job["job_id"], timeout=240)
+            assert finished["state"] == "done", finished.get("error")
+            served = client.result(slow_job["job_id"])
+            reference = run_spec(slow)
+            # Wall-clock and counters legitimately differ between a
+            # resumed and an uninterrupted run; everything the solver
+            # computed must not.
+            def semantic(doc):
+                return {
+                    k: v
+                    for k, v in doc.items()
+                    if k not in ("runtime_seconds", "perf")
+                }
+
+            assert semantic(served["result"]) == semantic(
+                reference.to_dict()
+            )
+
+            metrics = client.metricsz()
+            assert metrics["perf"]["journal_replayed"] > 0
+        finally:
+            process.kill()
+            process.wait(timeout=10)
+
+    def test_restart_with_empty_dirs_is_clean(self, tmp_path):
+        port = _free_port()
+        client = ServiceClient(f"http://127.0.0.1:{port}", timeout=10)
+        process = _spawn_server(port, tmp_path)
+        try:
+            _wait_healthy(client, process)
+            assert client.jobs()["jobs"] == []
+        finally:
+            process.kill()
+            process.wait(timeout=10)

@@ -82,9 +82,11 @@ class TestDiskTier:
         assert got == payload(7)
         assert second.counters.cache_hits == 1
         assert second.stats()["disk_hits"] == 1
-        # The blob is valid JSON on disk, named by its key.
+        # The blob is a CRC-enveloped JSON document named by its key.
         blob = tmp_path / "cache" / f"{key(7)}.json"
-        assert json.loads(blob.read_text()) == payload(7)
+        doc = json.loads(blob.read_text())
+        assert doc["payload"] == payload(7)
+        assert "crc32" in doc
 
     def test_memory_eviction_keeps_disk_blob(self, tmp_path):
         cache = ResultCache(capacity=1, cache_dir=tmp_path / "cache")
@@ -94,21 +96,49 @@ class TestDiskTier:
         assert cache.get(key(1)) == payload(1)  # served from disk
         assert cache.stats()["disk_hits"] == 1
 
-    def test_corrupt_blob_raises(self, tmp_path):
+    def test_corrupt_blob_is_quarantined_miss(self, tmp_path):
         cache_dir = tmp_path / "cache"
         cache_dir.mkdir()
         (cache_dir / f"{key(3)}.json").write_text("{not json")
         cache = ResultCache(cache_dir=cache_dir)
-        with pytest.raises(ServiceError, match="corrupt"):
-            cache.get(key(3))
+        assert cache.get(key(3)) is None
+        assert cache.counters.cache_corrupt == 1
+        assert cache.counters.cache_misses == 1
+        assert not (cache_dir / f"{key(3)}.json").exists()
+        assert (cache_dir / f"{key(3)}.corrupt").exists()
+        # Second lookup is a clean miss, not a second quarantine.
+        assert cache.get(key(3)) is None
+        assert cache.counters.cache_corrupt == 1
 
-    def test_blob_hash_mismatch_raises(self, tmp_path):
+    def test_truncated_blob_is_quarantined_miss(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path / "cache")
+        cache.put(key(6), payload(6))
+        cache = ResultCache(cache_dir=tmp_path / "cache")  # cold memory
+        blob = tmp_path / "cache" / f"{key(6)}.json"
+        blob.write_text(blob.read_text()[:-7])  # hand-truncate
+        assert cache.get(key(6)) is None
+        assert cache.counters.cache_corrupt == 1
+        assert blob.with_suffix(".corrupt").exists()
+        # A fresh put repairs the entry and serves again.
+        cache.put(key(6), payload(6))
+        assert cache.get(key(6)) == payload(6)
+
+    def test_blob_hash_mismatch_is_quarantined_miss(self, tmp_path):
         cache_dir = tmp_path / "cache"
         cache_dir.mkdir()
         (cache_dir / f"{key(4)}.json").write_text(json.dumps(payload(5)))
         cache = ResultCache(cache_dir=cache_dir)
-        with pytest.raises(ServiceError, match="content addressing"):
-            cache.get(key(4))
+        assert cache.get(key(4)) is None
+        assert cache.counters.cache_corrupt == 1
+        assert (cache_dir / f"{key(4)}.corrupt").exists()
+
+    def test_legacy_envelope_less_blob_still_loads(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / f"{key(7)}.json").write_text(json.dumps(payload(7)))
+        cache = ResultCache(cache_dir=cache_dir)
+        assert cache.get(key(7)) == payload(7)
+        assert cache.counters.cache_corrupt == 0
 
     def test_no_tmp_files_left_behind(self, tmp_path):
         cache = ResultCache(cache_dir=tmp_path / "cache")

@@ -280,3 +280,182 @@ class TestHttpProtocol:
         with pytest.raises(ServiceClientError) as excinfo:
             client.healthz()
         assert excinfo.value.status == 0
+
+
+class _FlakyServer:
+    """A one-shot stand-in server that drops the first N connections.
+
+    Dropped connections are closed right after the request arrives,
+    which the stdlib client surfaces as ``RemoteDisconnected`` — the
+    exact weather around a real server restart.  Subsequent connections
+    get a canned 200 JSON body.
+    """
+
+    def __init__(self, drops, body=b'{"ok": true}'):
+        import socket
+
+        self.drops = drops
+        self.body = body
+        self.connections = 0
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    @property
+    def url(self):
+        return f"http://127.0.0.1:{self.port}"
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            try:
+                conn.recv(4096)
+                if self.connections <= self.drops:
+                    conn.close()  # mid-exchange hangup
+                    continue
+                conn.sendall(
+                    b"HTTP/1.1 200 OK\r\n"
+                    b"Content-Type: application/json\r\n"
+                    + f"Content-Length: {len(self.body)}\r\n\r\n".encode()
+                    + self.body
+                )
+            finally:
+                conn.close()
+
+    def stop(self):
+        self._sock.close()
+
+
+class TestClientRetries:
+    def test_idempotent_get_retries_through_flaky_server(self):
+        from repro.core.faults import FaultTolerance
+
+        flaky = _FlakyServer(drops=2)
+        try:
+            client = ServiceClient(
+                flaky.url,
+                timeout=5,
+                tolerance=FaultTolerance(task_retries=3, backoff_base=0.01),
+            )
+            assert client.healthz() == {"ok": True}
+            assert flaky.connections == 3  # two drops + one success
+        finally:
+            flaky.stop()
+
+    def test_retry_budget_exhaustion_raises(self):
+        from repro.core.faults import FaultTolerance
+
+        flaky = _FlakyServer(drops=100)
+        try:
+            client = ServiceClient(
+                flaky.url,
+                timeout=5,
+                tolerance=FaultTolerance(task_retries=2, backoff_base=0.01),
+            )
+            with pytest.raises(ServiceClientError, match="3 attempts"):
+                client.healthz()
+            assert flaky.connections == 3
+        finally:
+            flaky.stop()
+
+    def test_post_never_retries(self, netlist, hierarchy):
+        from repro.core.faults import FaultTolerance
+
+        flaky = _FlakyServer(drops=100)
+        try:
+            client = ServiceClient(
+                flaky.url,
+                timeout=5,
+                tolerance=FaultTolerance(task_retries=3, backoff_base=0.01),
+            )
+            with pytest.raises(ServiceClientError):
+                client.submit_spec(JobSpec.from_parts(netlist, hierarchy))
+            assert flaky.connections == 1  # one shot, no second POST
+        finally:
+            flaky.stop()
+
+
+class TestAdmissionAndDeadlinesOverHttp:
+    def test_full_queue_is_429_with_retry_after(self, netlist, hierarchy):
+        release = threading.Event()
+        thread = ServerThread(
+            manager_kwargs={
+                "max_concurrency": 1,
+                "max_queue_depth": 1,
+                "runner": lambda s: release.wait(10),
+            }
+        )
+        try:
+            client = ServiceClient(thread.url)
+            # Distinct seeds: distinct content addresses, no cache hits.
+            client.submit_spec(
+                JobSpec.from_parts(netlist, hierarchy, {"seed": 1})
+            )
+            time.sleep(0.1)  # let the worker pull the first job
+            client.submit_spec(
+                JobSpec.from_parts(netlist, hierarchy, {"seed": 2})
+            )
+            with pytest.raises(ServiceClientError) as excinfo:
+                client.submit_spec(
+                    JobSpec.from_parts(netlist, hierarchy, {"seed": 3})
+                )
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after is not None
+            assert excinfo.value.retry_after >= 1.0
+            metrics = client.metricsz()
+            assert metrics["queue"]["rejections"] == 1
+            assert metrics["queue"]["max_depth"] == 1
+        finally:
+            release.set()
+            thread.stop(drain=False)
+
+    def test_expired_deadline_fails_job_over_http(self, netlist, hierarchy):
+        thread = ServerThread(manager_kwargs={"max_concurrency": 1})
+        try:
+            client = ServiceClient(thread.url)
+            job = client.submit_spec(
+                JobSpec.from_parts(
+                    netlist, hierarchy, {"iterations": 1, "max_rounds": 8}
+                ),
+                deadline=1e-6,
+            )
+            status = client.wait(job["job_id"], timeout=30)
+            assert status["state"] == JobState.FAILED.value
+            assert "deadline" in status["error"]
+        finally:
+            thread.stop(drain=False)
+
+    def test_bad_deadline_is_400(self, client, spec):
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.submit(dict(spec.to_payload(), deadline="soonish"))
+        assert excinfo.value.status == 400
+
+    def test_metricsz_exposes_durability_sections(self, tmp_path, spec):
+        from repro.service import Journal
+
+        thread = ServerThread(
+            manager_kwargs={
+                "journal": Journal(tmp_path / "wal"),
+                "checkpoint_root": tmp_path / "ckpt",
+            }
+        )
+        try:
+            client = ServiceClient(thread.url)
+            client.submit_spec(spec)
+            client.wait(client.jobs()["jobs"][0]["job_id"], timeout=60)
+            metrics = client.metricsz()
+            assert metrics["queue"]["depth"] == 0
+            assert metrics["journal"]["appended"] >= 2
+            assert metrics["journal"]["bytes"] > 0
+            assert "checkpoints" in metrics
+            assert metrics["perf"]["journal_records"] >= 2
+        finally:
+            thread.stop()
