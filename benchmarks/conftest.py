@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import shutil
 from pathlib import Path
 
 import pytest
@@ -46,11 +47,23 @@ def pytest_sessionfinish(session, exitstatus) -> None:
     store = getattr(session.config, "_bench_json_store", {})
     if not path or not store:
         return
+    try:
+        from repro.core import _kernel as native_kernel
+
+        kernel_built = native_kernel.available()
+    except Exception:  # pragma: no cover - defensive
+        kernel_built = False
     payload = {
         "meta": {
             "python": platform.python_version(),
             "machine": platform.machine(),
             "scale": float(os.environ.get("REPRO_BENCH_SCALE", "1.0")),
+            # Context the engine rows need to be interpretable: a 1-core
+            # container auto-serialises the parallel engine, and the
+            # native row only exists when a compiler built the kernel.
+            "cpu_count": os.cpu_count(),
+            "compiler": shutil.which("cc") or shutil.which("gcc"),
+            "native_kernel_built": kernel_built,
         },
         "ops": store,
     }

@@ -36,7 +36,8 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 BASELINE = REPO / "scripts" / "coverage_baseline.json"
 
-#: Tracked source groups: group name -> directory of modules.
+#: Tracked source groups: group name -> directory of modules (scanned
+#: recursively, so subpackages like ``core/_kernel`` are gated too).
 GROUPS = {
     "core": REPO / "src" / "repro" / "core",
     "service": REPO / "src" / "repro" / "service",
@@ -56,6 +57,7 @@ COVERAGE_TESTS = [
     "tests/test_batched_oracle.py",
     "tests/test_spreading_metric.py",
     "tests/test_parallel_engine.py",
+    "tests/test_native_kernel.py",
     "tests/test_flow_htp.py",
     "tests/test_construct.py",
     "tests/test_concurrent_flow.py",
@@ -97,7 +99,7 @@ def run_traced() -> dict:
     targets = {
         str(path): executable_lines(path)
         for directory in GROUPS.values()
-        for path in sorted(directory.glob("*.py"))
+        for path in sorted(directory.rglob("*.py"))
     }
     hits = {name: set() for name in targets}
 
@@ -131,7 +133,7 @@ def run_traced() -> dict:
                 "hit": len(hits[name] & lines),
             }
             for name, lines in targets.items()
-            if Path(name).parent == directory
+            if directory in Path(name).parents
         }
         for group, directory in GROUPS.items()
     }
@@ -153,6 +155,16 @@ def summarise(per_file: dict) -> dict:
             for name, entry in per_file.items()
         },
     }
+
+
+def _kernel_built() -> bool:
+    """Whether the native extension is importable in this environment."""
+    try:
+        from repro.core import _kernel
+
+        return _kernel.available()
+    except Exception:  # pragma: no cover - defensive
+        return False
 
 
 def _baseline_percent(baseline: dict, group: str):
@@ -183,6 +195,7 @@ def main(argv) -> int:
         for group, summary in summaries.items():
             if group != "core":
                 doc[group] = summary
+        doc["native_kernel_built"] = _kernel_built()
         BASELINE.write_text(json.dumps(doc, indent=2) + "\n")
         print(f"baseline written to {BASELINE.relative_to(REPO)}")
         return 0
@@ -192,6 +205,20 @@ def main(argv) -> int:
                   file=sys.stderr)
             return 1
         baseline = json.loads(BASELINE.read_text())
+        built = _kernel_built()
+        committed_built = baseline.get("native_kernel_built")
+        if committed_built is not None and committed_built != built:
+            # Kernel-gated lines (the native engine rounds, the worker
+            # kernels, the wrapper class) are unreachable without the
+            # extension, so percentages are not comparable across the
+            # two environments.  Report, but do not fail the gate.
+            print(
+                "note: baseline was measured with native kernel "
+                f"{'built' if committed_built else 'absent'} but it is "
+                f"{'built' if built else 'absent'} here; coverage gate "
+                "is informational only in this environment"
+            )
+            return 0
         failed = False
         for group, summary in summaries.items():
             committed = _baseline_percent(baseline, group)

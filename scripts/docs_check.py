@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Keep the documentation honest.
 
-Three checks over ``README.md``, ``DESIGN.md``, ``EXPERIMENTS.md`` and
+Four checks over ``README.md``, ``DESIGN.md``, ``EXPERIMENTS.md`` and
 ``docs/*.md``:
 
 1. **Snippets run.**  Every ```` ```python ```` fence containing ``>>>``
@@ -12,6 +12,9 @@ Three checks over ``README.md``, ``DESIGN.md``, ``EXPERIMENTS.md`` and
    suffixes are stripped before the existence check).
 3. **The benchmark table is complete.**  Every ``benchmarks/bench_*.py``
    file must be mentioned in ``docs/benchmarks.md``.
+4. **Required sections exist.**  Load-bearing headings other parts of
+   the repo point at (the engine matrix, the engines contract) must be
+   present, so a doc refactor cannot silently drop them.
 
 Exit status 0 when all checks pass; 1 with a per-failure listing
 otherwise.  Wired into ``make docs-check`` and ``scripts/verify.sh``.
@@ -31,6 +34,13 @@ sys.path.insert(0, str(REPO / "src"))
 DOC_FILES = ["README.md", "DESIGN.md", "EXPERIMENTS.md"] + sorted(
     str(p.relative_to(REPO)) for p in (REPO / "docs").glob("*.md")
 )
+
+#: Headings that must exist verbatim (as a markdown heading line) —
+#: docstrings, tests and other docs reference these by name.
+REQUIRED_SECTIONS = {
+    "docs/benchmarks.md": ["## Engine matrix"],
+    "docs/architecture.md": ["## Engines"],
+}
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 # [text](target) — ignore images' leading ! by matching the bracket pair
@@ -98,6 +108,20 @@ def _check_benchmark_table(failures: list) -> int:
     return len(bench_files)
 
 
+def _check_required_sections(failures: list) -> int:
+    checked = 0
+    for rel, headings in REQUIRED_SECTIONS.items():
+        path = REPO / rel
+        text = path.read_text() if path.exists() else ""
+        for heading in headings:
+            checked += 1
+            if not re.search(rf"(?m)^{re.escape(heading)}\s*$", text):
+                failures.append(
+                    f"{rel}: missing required section {heading!r}"
+                )
+    return checked
+
+
 def main() -> int:
     failures: list = []
     snippets = links = 0
@@ -110,6 +134,7 @@ def main() -> int:
         snippets += _check_snippets(path, text, failures)
         links += _check_links(path, text, failures)
     benches = _check_benchmark_table(failures)
+    sections = _check_required_sections(failures)
 
     if failures:
         print(f"docs-check: {len(failures)} failure(s)")
@@ -118,7 +143,8 @@ def main() -> int:
         return 1
     print(
         f"docs-check OK: {snippets} snippets, {links} links, "
-        f"{benches} benchmark files covered across {len(DOC_FILES)} docs"
+        f"{benches} benchmark files and {sections} required sections "
+        f"covered across {len(DOC_FILES)} docs"
     )
     return 0
 

@@ -1,10 +1,65 @@
-"""Legacy setup shim.
+"""Legacy setup shim + optional native-kernel build.
 
 The offline environment has no ``wheel`` package, so PEP 517 editable
 installs fail; this shim lets ``pip install -e . --no-use-pep517`` work.
 All metadata lives in ``pyproject.toml``.
+
+The one thing that *does* live here is the optional C extension for the
+metric hot loop (``repro.core._kernel._native``).  The extension is a
+pure accelerator — ``repro.core._kernel.available()`` gates every use
+and the scipy engines are a guaranteed fallback — so a missing compiler
+or numpy headers must never fail the install.  ``OptionalBuildExt``
+downgrades any build error to a warning.
 """
 
-from setuptools import setup
+from __future__ import annotations
 
-setup()
+import sys
+
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
+
+
+class OptionalBuildExt(build_ext):
+    """Build C extensions if we can; warn and continue if we can't."""
+
+    def run(self):  # noqa: D102
+        try:
+            super().run()
+        except Exception as exc:  # pragma: no cover - compiler-dependent
+            self._skip(exc)
+
+    def build_extension(self, ext):  # noqa: D102
+        try:
+            super().build_extension(ext)
+        except Exception as exc:  # pragma: no cover - compiler-dependent
+            self._skip(exc)
+
+    @staticmethod
+    def _skip(exc):
+        print(
+            "WARNING: skipping optional native kernel build "
+            f"({exc!r}); the scipy engines remain fully functional",
+            file=sys.stderr,
+        )
+
+
+def _extensions():
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        return []
+    return [
+        Extension(
+            "repro.core._kernel._native",
+            sources=["src/repro/core/_kernel/_native.c"],
+            include_dirs=[numpy.get_include()],
+            optional=True,
+        )
+    ]
+
+
+setup(
+    ext_modules=_extensions(),
+    cmdclass={"build_ext": OptionalBuildExt},
+)

@@ -108,10 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
     part.add_argument("--iterations", type=int, default=2)
     part.add_argument(
         "--engine",
-        choices=["scipy", "scipy-serial", "python", "parallel"],
+        choices=["scipy", "scipy-serial", "python", "parallel", "native"],
         default="scipy",
         help="spreading-metric engine (flow algorithm only); all engines "
-        "produce identical results for a fixed seed",
+        "produce identical results for a fixed seed ('native' needs the "
+        "compiled kernel and degrades to 'scipy' without it)",
     )
     part.add_argument(
         "--workers",
@@ -269,7 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--iterations", type=_positive_int, default=2)
     submit.add_argument(
         "--engine",
-        choices=["scipy", "scipy-serial", "python", "parallel"],
+        choices=["scipy", "scipy-serial", "python", "parallel", "native"],
         default="scipy",
     )
     submit.add_argument(

@@ -44,6 +44,29 @@ optimisations make the batch cheap:
 
 Per-source results are bit-identical to the serial path; the equivalence
 is asserted in ``tests/test_batched_oracle.py``.
+
+Canonical shortest-path trees
+-----------------------------
+Shortest-path distances are implementation-independent (every correct
+Dijkstra computes the same float64 distance array for the same CSR,
+because relaxation only ever takes ``min`` of left-to-right float sums),
+but *predecessors* are not: among equal-length paths, scipy's heap, the
+pure-Python heap and a C kernel each break ties differently.  All
+engines therefore derive tree edges from the distance array alone: the
+**canonical parent** of a settled node ``w`` is the neighbour ``v``
+minimising ``(dist[v], v)`` lexicographically among those with
+``dist[v] + d(v, w) == dist[w]`` in float arithmetic.  The Dijkstra
+parent always qualifies, so a canonical parent always exists, and every
+engine — scipy, pure Python, the native C kernel, pool workers —
+extracts the exact same tree without replicating any heap's tie order.
+
+The batched round loop's snapshot-reuse test is built on the same
+principle: an edge ``(u, w)`` repriced after a snapshot can only affect
+a source's verdict when it lay on *some* shortest path of that source's
+snapshot — i.e. ``dist[u] + d_snap(u, w) == dist[w]`` (or symmetric) —
+because lengths only grow, so a non-shortest edge that gets longer
+still cannot enter any shortest path.  :meth:`BatchCheck.may_touch`
+tests exactly that predicate against the snapshot distance matrix.
 """
 
 from __future__ import annotations
@@ -84,9 +107,12 @@ class Violation:
     k:
         Number of nodes in the violated tree ``S(v, k)``.
     nodes:
-        The tree's nodes in settle order (``nodes[0] == source``).
+        The tree's nodes in nondecreasing ``(distance, id)`` order
+        (``nodes[0] == source``).
     tree_edges:
-        The ``k - 1`` edge ids of the shortest-path tree.
+        The ``k - 1`` edge ids of the canonical shortest-path tree;
+        ``tree_edges[i - 1]`` joins ``nodes[i]`` to its canonical
+        parent (see module docstring).
     lhs:
         ``sum s(u) dist(v, u)`` over the tree.
     rhs:
@@ -111,31 +137,48 @@ class BatchCheck:
     """Snapshot result of one batched oracle sub-round.
 
     ``violations[i]`` is the first (or max) violation anchored at
-    ``sources[i]`` under the metric at snapshot time, or None.
-    ``predecessors`` is the ``(len(sources), num_nodes)`` shortest-path
-    predecessor matrix of the (distance-limited) Dijkstra — row ``i``
-    encodes source ``i``'s shortest-path tree, which
-    :meth:`tree_touches` tests against edges dirtied *after* the
-    snapshot: a snapshot verdict stays exact while the tree avoids every
-    repriced edge (lengths only grow, so alternative paths only
-    lengthen).
+    ``sources[i]`` under the metric at snapshot time, or None.  ``dist``
+    is the ``(len(sources), num_nodes)`` distance matrix of the
+    (distance-limited) Dijkstra; :meth:`may_touch` tests it against
+    edges repriced *after* the snapshot: a snapshot verdict stays exact
+    while no repriced edge lay on any snapshot shortest path — lengths
+    only grow, so a non-shortest edge that lengthens still cannot enter
+    a shortest path, and the distance array pins down exactly which
+    edges were shortest.
     """
 
     sources: Tuple[int, ...]
     violations: List[Optional[Violation]]
-    predecessors: np.ndarray
+    dist: np.ndarray
 
-    def tree_touches(
-        self, index: int, dirty_u: np.ndarray, dirty_w: np.ndarray
+    def may_touch(
+        self,
+        index: int,
+        dirty_u: np.ndarray,
+        dirty_w: np.ndarray,
+        dirty_len: np.ndarray,
     ) -> bool:
-        """True when source ``index``'s tree uses any dirty edge.
+        """True when a repriced edge could affect source ``index``.
 
         ``dirty_u`` / ``dirty_w`` are parallel endpoint arrays of the
-        repriced edges; tree membership of edge ``(u, w)`` is exactly
-        ``pred[u] == w or pred[w] == u``.
+        repriced edges and ``dirty_len`` their *snapshot-time* floored
+        lengths.  Edge ``(u, w)`` lay on a snapshot shortest path iff
+        ``dist[u] + len == dist[w]`` (or symmetric) in exact float64 —
+        the very comparison the Dijkstra relaxation performed.  The
+        ``isfinite`` guards drop beyond-limit pairs, where
+        ``inf + len == inf`` would match spuriously even though an edge
+        between two beyond-limit nodes cannot influence a within-limit
+        verdict.
         """
-        row = self.predecessors[index]
-        return bool(np.any((row[dirty_u] == dirty_w) | (row[dirty_w] == dirty_u)))
+        row = self.dist[index]
+        du = row[dirty_u]
+        dw = row[dirty_w]
+        return bool(
+            np.any(
+                (np.isfinite(du) & (du + dirty_len == dw))
+                | (np.isfinite(dw) & (dw + dirty_len == du))
+            )
+        )
 
 
 class SpreadingOracle:
@@ -204,6 +247,7 @@ class SpreadingOracle:
         # The exactness radius of the distance-limited batch Dijkstra:
         # g' <= 2 * sum(weights) everywhere (see module docstring).
         self._limit = 2.0 * float(np.sum(spec.weights))
+        self._entry_edge: Optional[np.ndarray] = None
         self._unit_bounds: Optional[np.ndarray] = None
         if self._unit_sizes:
             self._unit_bounds = spreading_bound_array(
@@ -374,44 +418,42 @@ class SpreadingOracle:
     def batch_check(
         self, sources: Sequence[int], mode: str = "first"
     ) -> BatchCheck:
-        """One batched sub-round: verdicts plus the predecessor matrix.
+        """One batched sub-round: verdicts plus the distance matrix.
 
         The caller sizes the batch; memory scales as
-        ``len(sources) * num_nodes`` doubles.  The predecessor matrix is
+        ``len(sources) * num_nodes`` doubles.  The distance matrix is
         what the incremental round loop needs to retire sources whose
-        snapshot tree avoided every edge dirtied after the snapshot.
+        snapshot shortest paths avoided every edge dirtied after the
+        snapshot (:meth:`BatchCheck.may_touch`).
         """
         from scipy.sparse.csgraph import dijkstra as csgraph_dijkstra
 
         sources = [int(v) for v in sources]
         matrix = self._csr_matrix()
-        dist, predecessors = csgraph_dijkstra(
+        dist = csgraph_dijkstra(
             matrix,
             directed=False,
             indices=sources,
-            return_predecessors=True,
             limit=self._limit,
         )
         dist = np.atleast_2d(dist)
-        predecessors = np.atleast_2d(predecessors)
         if self._counters is not None:
             self._counters.dijkstra_calls += 1
             self._counters.dijkstra_sources += len(sources)
             self._counters.nodes_settled += int(np.isfinite(dist).sum())
             self._counters.batch_checks += 1
             self._counters.batch_sources += len(sources)
-        violations = self._scan_batch(sources, dist, predecessors, mode)
+        violations = self._scan_batch(sources, dist, mode)
         return BatchCheck(
             sources=tuple(sources),
             violations=violations,
-            predecessors=predecessors,
+            dist=dist,
         )
 
     def _scan_batch(
         self,
         sources: List[int],
         dist: np.ndarray,
-        predecessors: np.ndarray,
         mode: str,
     ) -> List[Optional[Violation]]:
         """Vectorised violation scan over a batch's distance matrix.
@@ -458,9 +500,7 @@ class SpreadingOracle:
             else:
                 order = stable_order[i]
             nodes = tuple(int(v) for v in order[:k])
-            tree_edges = self._tree_edges_from_predecessors(
-                nodes, predecessors[i]
-            )
+            tree_edges = self._canonical_tree_edges(nodes, dist[i])
             if self._unit_sizes:
                 rhs = float(bounds[pick])
             else:
@@ -563,11 +603,10 @@ class SpreadingOracle:
         from scipy.sparse.csgraph import dijkstra as csgraph_dijkstra
 
         matrix = self._csr_matrix()
-        dist, predecessors = csgraph_dijkstra(
+        dist = csgraph_dijkstra(
             matrix,
             directed=False,
             indices=source,
-            return_predecessors=True,
         )
         if self._counters is not None:
             self._counters.dijkstra_calls += 1
@@ -575,16 +614,13 @@ class SpreadingOracle:
             self._counters.nodes_settled += int(np.isfinite(dist).sum())
         reachable = np.flatnonzero(np.isfinite(dist))
         order = reachable[np.argsort(dist[reachable], kind="stable")]
-        return self._violation_from_profile(
-            source, order, dist, predecessors, mode
-        )
+        return self._violation_from_profile(source, order, dist, mode)
 
     def _violation_from_profile(
         self,
         source: int,
         order: np.ndarray,
         dist: np.ndarray,
-        predecessors: Optional[np.ndarray],
         mode: str,
     ) -> Optional[Violation]:
         sizes_ordered = self._sizes[order]
@@ -601,9 +637,7 @@ class SpreadingOracle:
             pick = int(violated[np.argmax(gaps[violated])])
         k = pick + 1
         nodes = tuple(int(v) for v in order[:k])
-        tree_edges = self._tree_edges_from_predecessors(
-            nodes, predecessors
-        )
+        tree_edges = self._canonical_tree_edges(nodes, dist)
         return Violation(
             source=source,
             k=k,
@@ -613,53 +647,173 @@ class SpreadingOracle:
             rhs=float(bounds[pick]),
         )
 
-    def _tree_edges_from_predecessors(
-        self, nodes: Tuple[int, ...], predecessors: Optional[np.ndarray]
+    def _entry_edges(self) -> np.ndarray:
+        """``entry_edge[j]`` = edge id stored at CSR ``data`` position ``j``.
+
+        The inverse of the graph's CSR slot table, built once: each
+        undirected edge occupies two data slots, and both map back to
+        the same edge id.  Lets the canonical-parent scan translate a
+        CSR row position straight into an edge id.
+        """
+        if self._entry_edge is None:
+            matrix, slots = self._graph.csr_structure()
+            entry = np.empty(matrix.nnz, dtype=np.int64)
+            ids = np.arange(slots.shape[0], dtype=np.int64)
+            entry[slots[:, 0]] = ids
+            entry[slots[:, 1]] = ids
+            self._entry_edge = entry
+        return self._entry_edge
+
+    def _canonical_tree_edges(
+        self, nodes: Tuple[int, ...], dist: np.ndarray
     ) -> Tuple[int, ...]:
-        tree_edges: List[int] = []
-        for node in nodes[1:]:
-            parent = int(predecessors[node])
-            edge_id = self._graph.edge_id(parent, node)
-            if edge_id is None:  # pragma: no cover - structural invariant
-                raise RuntimeError(
-                    f"predecessor edge ({parent},{node}) missing from graph"
-                )
-            tree_edges.append(edge_id)
-        return tuple(tree_edges)
+        """Tree edges via canonical parents over the floored CSR metric.
+
+        For each non-source node ``w`` the parent is the neighbour ``v``
+        minimising ``(dist[v], v)`` lexicographically among those with
+        ``dist[v] + d(v, w) == dist[w]`` exactly in float64; the
+        Dijkstra parent always qualifies, so the candidate set is never
+        empty.  Because floored lengths are strictly positive, the
+        parent settles strictly before ``w`` and therefore precedes it
+        in the ``(distance, id)`` node order.
+        """
+        matrix, _slots = self._graph.csr_structure()
+        entry_edge = self._entry_edges()
+        indptr = np.asarray(matrix.indptr)
+        indices = np.asarray(matrix.indices)
+        data = np.asarray(matrix.data)
+        # One vectorised pass over the concatenated CSR neighbourhoods of
+        # every non-source prefix node (a per-node Python loop here costs
+        # more than the Dijkstra itself on large prefixes).
+        heads = np.asarray(nodes[1:], dtype=np.int64)
+        starts = indptr[heads].astype(np.int64)
+        counts = (indptr[heads + 1] - starts).astype(np.int64)
+        if np.any(counts == 0):  # pragma: no cover - no tree possible
+            bad = heads[np.flatnonzero(counts == 0)[0]]
+            raise RuntimeError(
+                f"node {bad} has no incident edges; cannot be in a "
+                f"shortest-path tree"
+            )
+        total = int(counts.sum())
+        bounds = np.cumsum(counts)
+        # positions[j] walks each head's CSR row in order: start + offset.
+        owner = np.repeat(np.arange(heads.size), counts)
+        offsets = np.arange(total) - np.repeat(bounds - counts, counts)
+        positions = np.repeat(starts, counts) + offsets
+        nbrs = indices[positions]
+        dn = dist[nbrs]
+        target = np.repeat(dist[heads], counts)
+        on_path = np.isfinite(dn) & (dn + data[positions] == target)
+        # Rank candidates (per owner) by the canonical (dist, id) key;
+        # off-path entries sort behind every on-path one, so a head whose
+        # candidate set is empty — possible only when shared CSR state
+        # was scribbled between the Dijkstra and this scan (the chaos
+        # corruption fault) — degrades to a structurally valid
+        # placeholder parent.  The dispatch checksum discards such
+        # verdicts and re-runs cleanly after repair, exactly as with the
+        # old predecessor-based extraction.
+        order = np.lexsort((nbrs, dn, ~on_path, owner))
+        first = np.searchsorted(owner[order], np.arange(heads.size))
+        best = order[first]
+        return tuple(int(e) for e in entry_edge[positions[best]])
 
     # ------------------------------------------------------------------
     # pure-Python engine (reference; stops at the first violation)
     # ------------------------------------------------------------------
     def _python_first_violation(self, source: int) -> Optional[Violation]:
+        """Incremental first-violation scan, bit-identical to scipy.
+
+        Nodes are consumed from the heap expansion in *plateau* buffers:
+        settle order within one distance value is heap-dependent, so
+        equal-distance pops are buffered and flushed in node-id order
+        once a strictly larger distance pops (heap pops are
+        nondecreasing, so the plateau is complete by then).  The flushed
+        stream is therefore exactly the ``(distance, id)`` stable-sort
+        order of the vectorised engine, and the running sums below
+        reproduce its ``cumsum`` results addition for addition.  The
+        expansion runs over the same floored lengths as the CSR engine
+        so distances — and hence verdicts — match bitwise.
+        """
         capacities = self._spec.capacities
-        nodes: List[int] = []
-        tree_edges: List[int] = []
-        cum_size = 0.0
-        lhs = 0.0
         if self._counters is not None:
             self._counters.dijkstra_calls += 1
             self._counters.dijkstra_sources += 1
-        for node, node_dist, edge_id, _parent in dijkstra_expansion(
-            self._graph, source, self._lengths
-        ):
-            nodes.append(node)
-            if edge_id >= 0:
-                tree_edges.append(edge_id)
-            size = float(self._sizes[node])
-            cum_size += size
-            lhs += size * node_dist
-            if cum_size <= capacities[0]:
-                continue  # g = 0: trivially satisfied
-            rhs = float(
-                spreading_bound_array(self._spec, np.array([cum_size]))[0]
-            )
-            if rhs - lhs > self._tol:
-                return Violation(
-                    source=source,
-                    k=len(nodes),
-                    nodes=tuple(nodes),
-                    tree_edges=tuple(tree_edges),
-                    lhs=lhs,
-                    rhs=rhs,
+        lengths = self._floored
+        dist_map: dict = {}
+        processed: List[int] = []
+        cum_size = 0.0
+        lhs = 0.0
+
+        def scan_plateau(plateau: List[int]) -> Optional[Violation]:
+            nonlocal cum_size, lhs
+            for w in sorted(plateau):
+                processed.append(w)
+                size = float(self._sizes[w])
+                cum_size += size
+                lhs += size * dist_map[w]
+                if cum_size <= capacities[0]:
+                    continue  # g = 0: trivially satisfied
+                rhs = float(
+                    spreading_bound_array(self._spec, np.array([cum_size]))[0]
                 )
-        return None
+                if rhs - lhs > self._tol:
+                    return Violation(
+                        source=source,
+                        k=len(processed),
+                        nodes=tuple(processed),
+                        tree_edges=self._canonical_tree_edges_py(
+                            processed, dist_map, lengths
+                        ),
+                        lhs=lhs,
+                        rhs=rhs,
+                    )
+            return None
+
+        plateau: List[int] = []
+        plateau_dist = -1.0
+        for node, node_dist, _edge_id, _parent in dijkstra_expansion(
+            self._graph, source, lengths
+        ):
+            if plateau and node_dist > plateau_dist:
+                found = scan_plateau(plateau)
+                if found is not None:
+                    return found
+                plateau = []
+            plateau_dist = node_dist
+            plateau.append(node)
+            dist_map[node] = node_dist
+        return scan_plateau(plateau)
+
+    def _canonical_tree_edges_py(
+        self,
+        nodes: Sequence[int],
+        dist_map: dict,
+        lengths: np.ndarray,
+    ) -> Tuple[int, ...]:
+        """Adjacency-list twin of :meth:`_canonical_tree_edges`.
+
+        ``dist_map`` holds the distances of every node settled so far;
+        unsettled neighbours are correctly excluded because their final
+        distance is at least the current plateau's, so they can never
+        satisfy ``dist[v] + d(v, w) == dist[w]`` with positive lengths.
+        """
+        tree_edges: List[int] = []
+        for w in nodes[1:]:
+            target = dist_map[w]
+            best: Optional[Tuple[float, int]] = None
+            best_edge = -1
+            for v, edge_id in self._graph.neighbors(w):
+                dv = dist_map.get(v)
+                if dv is None:
+                    continue
+                if dv + float(lengths[edge_id]) == target:
+                    key = (dv, v)
+                    if best is None or key < best:
+                        best = key
+                        best_edge = edge_id
+            if best is None:  # pragma: no cover - structural invariant
+                raise RuntimeError(
+                    f"no canonical parent for node {w} at dist {target!r}"
+                )
+            tree_edges.append(int(best_edge))
+        return tuple(tree_edges)

@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core import _kernel as native_kernel
 from repro.core.checkpoint import (
     FlowCheckpointer,
     MetricCheckpoint,
@@ -35,7 +36,12 @@ from repro.core.checkpoint import (
     run_fingerprint,
 )
 from repro.core.construct import construct_partition
-from repro.core.parallel import MetricWorkerPool, ParallelConfig, parallel_map
+from repro.core.parallel import (
+    MetricWorkerPool,
+    ParallelConfig,
+    parallel_map,
+    should_autoserial,
+)
 from repro.core.perf import PerfCounters
 from repro.core.spreading_metric import (
     SpreadingMetricConfig,
@@ -420,6 +426,8 @@ def flow_htp(
         # runs keep the (bit-identical) serial iteration loop.
         and not durable
         and abort_check is None
+        # One core cannot overlap fanned iterations either.
+        and not should_autoserial(parallel_cfg)
     )
 
     tasks = [
@@ -434,14 +442,24 @@ def flow_htp(
     else:
         pool: Optional[MetricWorkerPool] = None
         if config.metric.engine == "parallel":
-            try:
-                pool = MetricWorkerPool(graph, spec, parallel=parallel_cfg)
-            except Exception as exc:
-                counters.pool_fallbacks += 1
-                counters.record_degradation("spawn-serial", exc, site="pool-spawn")
-                if parallel_cfg is not None and not parallel_cfg.fallback:
-                    raise
-                pool = None
+            if should_autoserial(parallel_cfg):
+                # One core / one worker: skip the pool entirely and run
+                # the bit-identical in-process engine, warning-free.
+                counters.pool_autoserial += 1
+            else:
+                try:
+                    pool = MetricWorkerPool(
+                        graph,
+                        spec,
+                        parallel=parallel_cfg,
+                        use_native=native_kernel.available(),
+                    )
+                except Exception as exc:
+                    counters.pool_fallbacks += 1
+                    counters.record_degradation("spawn-serial", exc, site="pool-spawn")
+                    if parallel_cfg is not None and not parallel_cfg.fallback:
+                        raise
+                    pool = None
         try:
             outcomes = list(completed_outcomes)
             for index in range(start_iteration, len(tasks)):

@@ -119,6 +119,24 @@ class ParallelConfig:
     fault_plan:
         Deterministic fault injection for chaos testing; None (default)
         injects nothing.
+    autoserial:
+        When True (default) the engine-resolution sites skip the pool
+        entirely on boxes where it cannot win (``os.cpu_count() <= 1``
+        or a single resolved worker — see :func:`should_autoserial`),
+        and a running pool retires itself once measured dispatch
+        overhead exceeds ``overhead_threshold`` for
+        ``overhead_strikes`` consecutive dispatches.  Both paths count
+        ``pool_autoserial`` and stay warning-free; results are
+        bit-identical either way.  Tests that exercise the pool
+        machinery itself pass False.
+    overhead_threshold:
+        Fraction of a dispatch's wall time NOT covered by its longest
+        worker task above which the dispatch counts as overhead-bound
+        (tasks serialised on too few cores, or IPC dominating tiny
+        tasks).
+    overhead_strikes:
+        Consecutive overhead-bound dispatches before the pool degrades
+        itself to the serial path.
     """
 
     workers: Optional[int] = None
@@ -126,18 +144,43 @@ class ParallelConfig:
     fallback: bool = True
     tolerance: Optional[FaultTolerance] = None
     fault_plan: Optional[FaultPlan] = None
+    autoserial: bool = True
+    overhead_threshold: float = 0.45
+    overhead_strikes: int = 3
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be at least 1")
         if self.min_sources_per_task < 1:
             raise ValueError("min_sources_per_task must be at least 1")
+        if not 0.0 < self.overhead_threshold <= 1.0:
+            raise ValueError("overhead_threshold must be in (0, 1]")
+        if self.overhead_strikes < 1:
+            raise ValueError("overhead_strikes must be at least 1")
 
     def resolved_workers(self) -> int:
         """The effective worker count (``os.cpu_count()`` when unset)."""
         if self.workers is not None:
             return self.workers
         return os.cpu_count() or 1
+
+
+def should_autoserial(parallel: Optional[ParallelConfig]) -> bool:
+    """True when ``engine='parallel'`` should quietly run serial instead.
+
+    A pool on a single-core box (or with a single resolved worker) can
+    only serialise its tasks behind IPC overhead — the BENCH_micro
+    ``parallel4`` row on a 1-CPU container measured speedup *below* 1 —
+    so the engine-resolution sites consult this before spawning a pool
+    and take the bit-identical in-process path, counting
+    ``pool_autoserial``.  Explicitly supplied pools bypass the check, as
+    does ``ParallelConfig(autoserial=False)`` (the pool-machinery and
+    chaos tests, which must exercise real dispatches anywhere).
+    """
+    config = parallel or ParallelConfig()
+    if not config.autoserial:
+        return False
+    return config.resolved_workers() <= 1 or (os.cpu_count() or 1) <= 1
 
 
 # ----------------------------------------------------------------------
@@ -180,11 +223,26 @@ def _init_metric_worker(payload: dict) -> None:
         tol=payload["tol"],
         manage_csr=False,
     )
+    kernel = None
+    if payload.get("native"):
+        # Opportunistic: the coordinator saw the compiled kernel, but a
+        # worker that cannot build one (import raced, env flipped) just
+        # answers with the bit-identical scipy path instead.
+        try:
+            from repro.core import _kernel as native_kernel_mod
+
+            if native_kernel_mod.available():
+                kernel = native_kernel_mod.NativeMetricKernel(
+                    graph, payload["spec"], tol=payload["tol"]
+                )
+        except Exception:  # pragma: no cover - defensive
+            kernel = None
     _WORKER_STATE = {
         "oracle": oracle,
         "shm": shm,
         "data": data,
         "plan": payload.get("plan"),
+        "kernel": kernel,
     }
 
 
@@ -201,11 +259,34 @@ def _metric_worker_check(
     if state is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("metric worker used before initialisation")
     trip(state["plan"], "task", coords or {}, corrupt_target=state["data"])
+    started = time.perf_counter()
     counters = PerfCounters()
     oracle: SpreadingOracle = state["oracle"]
     oracle.counters = counters
+    kernel = state.get("kernel")
+    if kernel is not None and mode == "first":
+        # Native composition: each source of the slice is answered by
+        # the early-exiting C kernel.  The shipped distance rows hold
+        # only the settled prefix (the rest stays +inf) — exactly the
+        # region the snapshot-reuse proof needs, because a dirty edge
+        # that changes a first-violation verdict always lies on a
+        # snapshot shortest path *inside* that prefix.
+        n = oracle.graph.num_nodes
+        dist = np.full((len(sources), n), np.inf)
+        violations = []
+        for j, source in enumerate(sources):
+            settled, violation = kernel.check(int(source), out_row=dist[j])
+            counters.dijkstra_calls += 1
+            counters.dijkstra_sources += 1
+            counters.nodes_settled += settled
+            violations.append(violation)
+        counters.batch_checks += 1
+        counters.batch_sources += len(sources)
+        seconds = time.perf_counter() - started
+        return violations, dist, counters, os.getpid(), seconds
     check = oracle.batch_check(sources, mode=mode)
-    return check.violations, check.predecessors, counters, os.getpid()
+    seconds = time.perf_counter() - started
+    return check.violations, check.dist, counters, os.getpid(), seconds
 
 
 class MetricWorkerPool:
@@ -228,6 +309,11 @@ class MetricWorkerPool:
         Overrides ``parallel.fault_plan`` when given.
     tolerance : FaultTolerance, optional
         Overrides ``parallel.tolerance`` when given.
+    use_native : bool, optional
+        When True, workers answer ``mode='first'`` slices with the
+        compiled metric kernel (``repro.core._kernel``) where it is
+        importable in the worker process.  Verdicts are bit-identical
+        either way; this only changes who computes them.
 
     Notes
     -----
@@ -249,6 +335,7 @@ class MetricWorkerPool:
         tol: float = DEFAULT_TOL,
         fault_plan: Optional[FaultPlan] = None,
         tolerance: Optional[FaultTolerance] = None,
+        use_native: bool = False,
     ) -> None:
         self.parallel = parallel or ParallelConfig()
         self.tolerance = tolerance or self.parallel.tolerance or FaultTolerance()
@@ -260,6 +347,7 @@ class MetricWorkerPool:
         self._round = 0
         self._dispatch_index = 0
         self._respawns_since_shrink = 0
+        self._overhead_strikes = 0
         #: The most recent underlying exception (preserved, never swallowed).
         self.last_error: Optional[BaseException] = None
         self._shm: Optional[shared_memory.SharedMemory] = None
@@ -290,6 +378,7 @@ class MetricWorkerPool:
             "spec": spec,
             "tol": tol,
             "plan": self._plan,
+            "native": bool(use_native),
         }
         self.workers = max(1, self.parallel.resolved_workers())
         self._spawn_executor()
@@ -463,10 +552,12 @@ class MetricWorkerPool:
 
         start = time.perf_counter()
         violations = []
-        predecessor_rows = []
-        for part_violations, part_predecessors, part_counters, pid in parts:
+        dist_rows = []
+        task_seconds: List[float] = []
+        for part_violations, part_dist, part_counters, pid, seconds in parts:
             violations.extend(part_violations)
-            predecessor_rows.append(np.atleast_2d(part_predecessors))
+            dist_rows.append(np.atleast_2d(part_dist))
+            task_seconds.append(seconds)
             if counters is not None:
                 key = str(pid)
                 counters.pool_workers[key] = (
@@ -478,17 +569,63 @@ class MetricWorkerPool:
                 counters.nodes_settled += part_counters.nodes_settled
                 counters.batch_checks += part_counters.batch_checks
                 counters.batch_sources += part_counters.batch_sources
-        predecessors = np.vstack(predecessor_rows)
+        dist = np.vstack(dist_rows)
         if counters is not None:
             counters.pool_dispatches += 1
             counters.pool_tasks += len(slices)
             counters.add_phase("pool_dispatch", dispatch_seconds)
             counters.add_phase("pool_merge", time.perf_counter() - start)
+        self._note_dispatch_economics(counters, dispatch_seconds, task_seconds)
         return BatchCheck(
             sources=tuple(int(v) for v in sources),
             violations=violations,
-            predecessors=predecessors,
+            dist=dist,
         )
+
+    def _note_dispatch_economics(
+        self,
+        counters: Optional[PerfCounters],
+        dispatch_seconds: float,
+        task_seconds: List[float],
+    ) -> None:
+        """Self-degrade when dispatching measurably cannot pay for itself.
+
+        The fraction of a dispatch's wall time not covered by its
+        longest worker task is pure overhead: either the tasks
+        serialised behind too few cores (the 1-core regression) or IPC
+        dominates tiny tasks.  After ``overhead_strikes`` consecutive
+        overhead-bound dispatches the pool retires itself — every later
+        ``batch_check`` returns None and the engine continues on the
+        bit-identical in-process path.  Gated on
+        ``ParallelConfig.autoserial`` so the pool-machinery and chaos
+        tests are unaffected.
+        """
+        if not self.parallel.autoserial or self._broken:
+            return
+        if dispatch_seconds <= 0 or not task_seconds:
+            return
+        overhead = (
+            max(0.0, dispatch_seconds - max(task_seconds)) / dispatch_seconds
+        )
+        if overhead <= self.parallel.overhead_threshold:
+            self._overhead_strikes = 0
+            return
+        self._overhead_strikes += 1
+        if self._overhead_strikes < self.parallel.overhead_strikes:
+            return
+        # Not a fault: suppress the broken-pool fallback accounting and
+        # keep the path warning-free.
+        self._broken = True
+        self._broken_recorded = True
+        if counters is not None:
+            counters.pool_autoserial += 1
+            counters.record_degradation(
+                "autoserial",
+                f"dispatch overhead {overhead:.0%} exceeded "
+                f"{self.parallel.overhead_threshold:.0%} for "
+                f"{self.parallel.overhead_strikes} consecutive dispatches",
+                site="dispatch-economics",
+            )
 
     def _record_broken_once(self, counters: Optional[PerfCounters]) -> None:
         """Count the transition to permanent-serial exactly once."""

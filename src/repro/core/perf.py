@@ -43,6 +43,15 @@ Counter semantics
     pool creation failures, pickling errors, poisoned/shut-down pools.
     Results are unaffected (the serial path is bit-identical); a nonzero
     count only means the parallelism was not realised.
+``pool_autoserial``
+    Times the parallel tier deliberately ran serial for economics rather
+    than faults: engine resolution skipped the pool (one core or one
+    resolved worker), or a running pool retired itself after measured
+    dispatch overhead stayed above threshold.  Warning-free by design.
+``native_fallbacks``
+    ``engine='native'`` requests served by the scipy kernel because the
+    compiled extension was unavailable (not built, or disabled via
+    ``REPRO_DISABLE_NATIVE``); each adds a degradation record.
 ``pool_task_retries``
     Worker tasks resubmitted after a failure or missed deadline (the
     first rung of the degradation ladder).
@@ -123,6 +132,8 @@ INT_COUNTERS = (
     "pool_dispatches",
     "pool_tasks",
     "pool_fallbacks",
+    "pool_autoserial",
+    "native_fallbacks",
     "pool_task_retries",
     "pool_respawns",
     "pool_shrinks",
@@ -170,6 +181,8 @@ class PerfCounters:
     pool_dispatches: int = 0
     pool_tasks: int = 0
     pool_fallbacks: int = 0
+    pool_autoserial: int = 0
+    native_fallbacks: int = 0
     pool_task_retries: int = 0
     pool_respawns: int = 0
     pool_shrinks: int = 0

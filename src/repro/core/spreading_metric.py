@@ -39,28 +39,49 @@ are merged back in source order, and injections stay serial on the
 coordinator — so the flow trajectory, and therefore the result, is
 bit-identical to ``engine='scipy'`` for every seed and worker count.
 Chunks too small to be worth a dispatch, and any pool failure, fall back
-to the in-process check transparently.  All four engines produce
-identical results for a fixed seed.
+to the in-process check transparently.
+
+``engine='native'`` runs the serial round loop with every per-source
+first-violation query answered by the compiled kernel
+(``repro.core._kernel``): one early-exiting C pass fuses the
+distance-limited Dijkstra with the in-order constraint scan and the
+canonical-tree extraction, so the convergent tail — thousands of
+satisfied sources re-verified per round — stops paying scipy's
+full-ball settling cost or any per-call numpy marshalling.  Repricing
+stays in numpy (``np.expm1`` is not guaranteed bitwise-equal to libm),
+the kernel only reads the installed CSR metric.  When the extension
+is not built (no compiler) or is disabled via ``REPRO_DISABLE_NATIVE``,
+the request quietly degrades to the batched ``scipy`` loop with a
+``native_fallbacks`` count and a degradation record.  The ``parallel``
+engine composes with the kernel automatically: pool workers answer
+their slice of each snapshot natively when the extension is available.
+All five engines produce identical results for a fixed seed.
 """
 
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.core import _kernel as native_kernel_mod
 from repro.core.checkpoint import MetricCheckpoint
-from repro.core.constraints import SpreadingOracle
-from repro.core.parallel import MetricWorkerPool, ParallelConfig
+from repro.core.constraints import MIN_CSR_LENGTH, SpreadingOracle
+from repro.core.parallel import (
+    MetricWorkerPool,
+    ParallelConfig,
+    should_autoserial,
+)
 from repro.core.perf import PerfCounters
 from repro.errors import CheckpointError, SolverAborted
 from repro.htp.hierarchy import HierarchySpec
 from repro.hypergraph.graph import Graph
 
 #: Engines accepted by :class:`SpreadingMetricConfig`.
-ENGINES = ("scipy", "scipy-serial", "python", "parallel")
+ENGINES = ("scipy", "scipy-serial", "python", "parallel", "native")
 
 #: Initial batched sub-round size; doubles after every injection-free
 #: chunk and resets on injection (injection-heavy phases want small
@@ -91,9 +112,11 @@ class SpreadingMetricConfig:
         ``'scipy'`` (batched incremental, fast), ``'scipy-serial'``
         (one source per Dijkstra; the reference the batched engine is
         tested bit-identical against), ``'python'`` (pure-Python
-        reference) or ``'parallel'`` (the batched loop with sub-round
+        reference), ``'parallel'`` (the batched loop with sub-round
         checks fanned across a process pool; bit-identical to
-        ``'scipy'``).
+        ``'scipy'``) or ``'native'`` (the serial loop with per-source
+        checks answered by the compiled kernel; degrades to ``'scipy'``
+        when the extension is unavailable).
     seed:
         Seed for the node visiting order.
     node_sample:
@@ -239,11 +262,42 @@ def compute_spreading_metric(
             active = rng.sample(active, sample_size)
     oracle.set_lengths(lengths)
 
+    engine = config.engine
+    native_kernel = None
+    if engine == "native":
+        if native_kernel_mod.available():
+            native_kernel = native_kernel_mod.NativeMetricKernel(
+                graph, spec, tol=oracle.tol
+            )
+        else:
+            # Guaranteed fallback: the batched scipy loop is
+            # bit-identical, so a missing compiler only costs speed.
+            engine = "scipy"
+            if counters is not None:
+                counters.native_fallbacks += 1
+                counters.record_degradation(
+                    "native-scipy",
+                    native_kernel_mod.unavailable_reason(),
+                    site="native-kernel",
+                )
+
     owned_pool: Optional[MetricWorkerPool] = None
-    if config.engine == "parallel" and pool is None and spawn_pool:
+    if engine == "parallel" and pool is None and spawn_pool:
+        if should_autoserial(config.parallel):
+            # One core / one worker: the pool can only serialise tasks
+            # behind IPC overhead, so take the bit-identical in-process
+            # path quietly (the warning-free 1-core fix).
+            if counters is not None:
+                counters.pool_autoserial += 1
+            spawn_pool = False
+    if engine == "parallel" and pool is None and spawn_pool:
         try:
             owned_pool = MetricWorkerPool(
-                graph, spec, parallel=config.parallel, tol=oracle.tol
+                graph,
+                spec,
+                parallel=config.parallel,
+                tol=oracle.tol,
+                use_native=native_kernel_mod.available(),
             )
             pool = owned_pool
         except Exception as exc:
@@ -256,7 +310,7 @@ def compute_spreading_metric(
             if config.parallel is not None and not config.parallel.fallback:
                 raise
     try:
-        if config.engine in ("scipy", "parallel"):
+        if engine in ("scipy", "parallel"):
             injections, rounds = _batched_rounds(
                 graph,
                 oracle,
@@ -267,7 +321,23 @@ def compute_spreading_metric(
                 lengths,
                 capacities,
                 counters,
-                pool=pool if config.engine == "parallel" else None,
+                pool=pool if engine == "parallel" else None,
+                on_round=on_round,
+                resume=resume,
+                abort_check=abort_check,
+            )
+        elif engine == "native":
+            injections, rounds = _native_rounds(
+                graph,
+                oracle,
+                config,
+                rng,
+                active,
+                flows,
+                lengths,
+                capacities,
+                counters,
+                native_kernel,
                 on_round=on_round,
                 resume=resume,
                 abort_check=abort_check,
@@ -362,21 +432,27 @@ def _inject(
     lengths: np.ndarray,
     capacities: np.ndarray,
     tree_edges,
-) -> Optional[np.ndarray]:
+):
     """Add ``delta`` flow on ``tree_edges`` and reprice them in place.
 
-    Returns the dirty edge-id array (None when the tree has no edges,
-    i.e. the k=1 constraint is violated and nothing can be repriced).
+    Returns ``(edge_ids, old_floored)`` — the dirty edge ids and their
+    *pre-injection* floored lengths, which the batched loop's
+    snapshot-reuse test (:meth:`BatchCheck.may_touch`) needs: whether an
+    edge lay on a snapshot shortest path is a question about the edge's
+    length *at snapshot time*, not its repriced value.  None when the
+    tree has no edges (the k=1 constraint is violated and nothing can
+    be repriced).
     """
     edge_ids = np.fromiter(tree_edges, dtype=np.int64, count=len(tree_edges))
     if not edge_ids.size:
         return None
+    old_floored = np.maximum(lengths[edge_ids], MIN_CSR_LENGTH)
     flows[edge_ids] += config.delta
     lengths[edge_ids] = _price(
         flows[edge_ids], capacities[edge_ids], config.alpha
     )
     oracle.update_lengths(edge_ids, lengths[edge_ids])
-    return edge_ids
+    return edge_ids, old_floored
 
 
 def _serial_rounds(
@@ -409,7 +485,8 @@ def _serial_rounds(
             if violation is None:
                 continue  # retired: monotonicity keeps it satisfied
             _inject(
-                oracle, config, flows, lengths, capacities, violation.tree_edges
+                oracle, config, flows, lengths, capacities,
+                violation.tree_edges,
             )
             injections += 1
             if counters is not None:
@@ -421,6 +498,81 @@ def _serial_rounds(
                 _round_state(rng, flows, lengths, active, injections, rounds),
                 False,
             )
+    return injections, rounds
+
+
+def _native_rounds(
+    graph: Graph,
+    oracle: SpreadingOracle,
+    config: SpreadingMetricConfig,
+    rng: random.Random,
+    active: List[int],
+    flows: np.ndarray,
+    lengths: np.ndarray,
+    capacities: np.ndarray,
+    counters: Optional[PerfCounters],
+    kernel,
+    on_round=None,
+    resume: Optional[MetricCheckpoint] = None,
+    abort_check=None,
+):
+    """The serial round loop with checks answered by the C kernel.
+
+    The trajectory is exactly `_serial_rounds`' (same shuffles, same
+    per-source first-violation verdicts, same injections); only *who*
+    answers the query changes.  The oracle still owns the CSR metric —
+    ``install_weights`` pins the floored lengths before the loop and
+    ``update_lengths`` patches dirty edges in place after each
+    injection, so the kernel (which reads the live CSR ``data`` array)
+    always sees the current metric without any per-call copying.
+
+    Records the ``kernel_seconds`` / ``python_overhead_seconds`` phase
+    breakdown: time inside the compiled kernel vs everything else in the
+    loop (shuffling, injections, numpy repricing, checkpointing).
+    """
+    injections = resume.injections if resume is not None else 0
+    rounds = resume.rounds if resume is not None else 0
+    kernel_seconds = 0.0
+    loop_start = time.perf_counter()
+    oracle.install_weights()
+    while active and rounds < config.max_rounds:
+        _maybe_abort(
+            abort_check, on_round, rng, flows, lengths, active,
+            injections, rounds,
+        )
+        rounds += 1
+        rng.shuffle(active)
+        still_active = []
+        for source in active:
+            tick = time.perf_counter()
+            settled, violation = kernel.check(source)
+            kernel_seconds += time.perf_counter() - tick
+            if counters is not None:
+                counters.dijkstra_calls += 1
+                counters.dijkstra_sources += 1
+                counters.nodes_settled += settled
+            if violation is None:
+                continue  # retired: monotonicity keeps it satisfied
+            _inject(
+                oracle, config, flows, lengths, capacities,
+                violation.tree_edges,
+            )
+            injections += 1
+            if counters is not None:
+                counters.injections += 1
+            still_active.append(source)
+        active[:] = still_active
+        if on_round is not None:
+            on_round(
+                _round_state(rng, flows, lengths, active, injections, rounds),
+                False,
+            )
+    if counters is not None:
+        total = time.perf_counter() - loop_start
+        counters.add_phase("kernel_seconds", kernel_seconds)
+        counters.add_phase(
+            "python_overhead_seconds", max(0.0, total - kernel_seconds)
+        )
     return injections, rounds
 
 
@@ -445,11 +597,12 @@ def _batched_rounds(
     injections applied one at a time, so the flow trajectory is exactly
     the serial one.  The wins come from *checking*: a chunk of upcoming
     sources shares one distance-limited Dijkstra snapshot, and a source's
-    snapshot verdict is reused verbatim unless a later-in-chunk injection
-    repriced an edge on its snapshot shortest-path tree.  Reuse is exact,
-    not heuristic: lengths only ever grow, so a tree that avoids every
-    dirty edge keeps its distance profile float-for-float, and any
-    alternative path through a dirty edge only got longer.
+    snapshot verdict is reused verbatim unless an earlier-in-chunk
+    injection repriced an edge that lay on one of its snapshot shortest
+    paths (:meth:`BatchCheck.may_touch`).  Reuse is exact, not
+    heuristic: lengths only ever grow, so a repriced edge that was on
+    no snapshot shortest path leaves the distance profile — and the
+    canonical tree derived from it — unchanged float-for-float.
 
     With a ``pool`` (``engine='parallel'``) the snapshot itself is
     computed by worker processes over the shared CSR arrays and merged in
@@ -461,6 +614,14 @@ def _batched_rounds(
     chunk_cap = max(
         _MIN_CHUNK, min(256, _MAX_CHUNK_ELEMENTS // max(1, graph.num_nodes))
     )
+    if pool is not None:
+        # Amortise dispatch overhead: let a pooled chunk grow to one
+        # dispatch per round (split into per-worker slices), bounding
+        # each worker's dense scratch rather than the whole chunk.
+        # Chunk boundaries never change verdicts (the snapshot-reuse
+        # test is exact), so this is purely a dispatch-economics knob.
+        per_worker = max(1, _MAX_CHUNK_ELEMENTS // max(1, graph.num_nodes))
+        chunk_cap = max(chunk_cap, min(4096, pool.workers * per_worker))
     chunk_size = _MIN_CHUNK
     injections = 0
     rounds = 0
@@ -492,21 +653,25 @@ def _batched_rounds(
                 snapshot = oracle.batch_check(chunk, mode="first")
             dirty_u_parts: List[np.ndarray] = []
             dirty_w_parts: List[np.ndarray] = []
+            dirty_len_parts: List[np.ndarray] = []
             dirty_u: Optional[np.ndarray] = None
             dirty_w: Optional[np.ndarray] = None
+            dirty_len: Optional[np.ndarray] = None
             chunk_injected = False
             for i, source in enumerate(chunk):
                 if dirty_u_parts:
                     if dirty_u is None:
                         dirty_u = np.concatenate(dirty_u_parts)
                         dirty_w = np.concatenate(dirty_w_parts)
-                    touched = snapshot.tree_touches(i, dirty_u, dirty_w)
+                        dirty_len = np.concatenate(dirty_len_parts)
+                    touched = snapshot.may_touch(i, dirty_u, dirty_w, dirty_len)
                 else:
                     touched = False
                 if touched:
-                    # The snapshot tree crossed a repriced edge: fall back
-                    # to a fresh (still distance-limited) check, which is
-                    # exactly what the serial loop computes here.
+                    # A repriced edge lay on a snapshot shortest path of
+                    # this source: fall back to a fresh (still
+                    # distance-limited) check, which is exactly what the
+                    # serial loop computes here.
                     violation = oracle.batch_check([source], mode="first").violations[0]
                     if counters is not None:
                         counters.recheck_sources += 1
@@ -529,10 +694,16 @@ def _batched_rounds(
                 if counters is not None:
                     counters.injections += 1
                 if dirty is not None:
-                    pair = endpoints[dirty]
+                    dirty_ids, dirty_old = dirty
+                    pair = endpoints[dirty_ids]
                     dirty_u_parts.append(pair[:, 0])
                     dirty_w_parts.append(pair[:, 1])
-                    dirty_u = dirty_w = None
+                    # An edge repriced twice in one chunk appends a
+                    # second, staler entry; the first append already
+                    # carries the true snapshot-time length, so the
+                    # extra entry is merely conservative.
+                    dirty_len_parts.append(dirty_old)
+                    dirty_u = dirty_w = dirty_len = None
                 still_active.append(source)
             if chunk_injected:
                 chunk_size = _MIN_CHUNK

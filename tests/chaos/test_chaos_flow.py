@@ -35,6 +35,7 @@ def test_flow_htp_under_faults_is_bit_identical(chaos_instance):
         min_sources_per_task=4,
         fault_plan=plan,
         tolerance=FaultTolerance(backoff_base=0.005),
+        autoserial=False,
     )
     faulted = flow_htp(
         hypergraph, spec, _config("parallel", parallel), graph=graph

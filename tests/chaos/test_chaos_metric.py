@@ -28,11 +28,14 @@ def _assert_bit_identical(result, baseline):
 
 
 def _parallel(plan=None, tolerance=None):
+    # autoserial=False: chaos tests must exercise real dispatches even
+    # on a 1-core box — the fault-injection points live in the workers.
     return ParallelConfig(
         workers=2,
         min_sources_per_task=8,
         fault_plan=plan,
         tolerance=tolerance or FaultTolerance(backoff_base=0.005),
+        autoserial=False,
     )
 
 

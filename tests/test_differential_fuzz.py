@@ -1,10 +1,11 @@
 """Differential fuzzing: every engine must produce bit-identical metrics.
 
-Random small hypergraphs run through the ``scipy-serial``, ``scipy``
-and ``parallel`` (workers 1, 2, 4) spreading-metric engines with the
-same seed; any disagreement is a determinism bug.  On mismatch the
-instance is shrunk (dropping nets while the mismatch reproduces) and
-written to ``tests/regressions/`` as a JSON counterexample, which the
+Random small hypergraphs run through the ``scipy-serial``, ``scipy``,
+``native`` (when the compiled kernel is built) and ``parallel``
+(workers 1, 2, 4) spreading-metric engines with the same seed; any
+disagreement is a determinism bug.  On mismatch the instance is shrunk
+(dropping nets while the mismatch reproduces) and written to
+``tests/regressions/`` as a JSON counterexample, which the
 corpus-replay test below then guards forever.
 """
 
@@ -17,6 +18,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.core import _kernel as native_kernel
 from repro.core.parallel import ParallelConfig
 from repro.core.spreading_metric import (
     SpreadingMetricConfig,
@@ -52,7 +54,11 @@ def _metric_lengths(netlist: Hypergraph, height: int, seed: int,
     graph = to_graph(netlist, rng=random.Random(seed))
     parallel = None
     if engine == "parallel":
-        parallel = ParallelConfig(workers=workers, min_sources_per_task=2)
+        # autoserial=False keeps real pool coverage in the cross-product
+        # even on a 1-core box.
+        parallel = ParallelConfig(
+            workers=workers, min_sources_per_task=2, autoserial=False
+        )
     config = SpreadingMetricConfig(
         delta=0.1,
         max_rounds=20,
@@ -70,6 +76,11 @@ def _first_mismatch(netlist: Hypergraph, height: int, seed: int):
     """(engine_pair, message) of the first engine disagreement, or None."""
     runs = [("scipy-serial", 1)]
     runs += [("scipy", 1)]
+    if native_kernel.available():
+        # The compiled kernel joins the cross-product wherever it is
+        # built; test_native_engine_present_in_cross_product (skip-marked)
+        # documents when it is absent.
+        runs += [("native", 1)]
     runs += [("parallel", w) for w in PARALLEL_WORKERS]
     reference = None
     reference_name = None
@@ -141,6 +152,20 @@ def test_engines_bit_identical_on_random_instances(seed):
             f"engine mismatch ({final[0][0]} vs {final[0][1]}): "
             f"{final[1]} — shrunk reproducer written to {path}"
         )
+
+
+@pytest.mark.skipif(
+    not native_kernel.available(),
+    reason="native kernel extension not built in this environment",
+)
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_native_engine_present_in_cross_product(seed):
+    """With the kernel built, ``native`` joins the fuzz cross-product —
+    checked directly here so a silently-skipped engine can't hide."""
+    netlist = _random_netlist(seed)
+    reference = _metric_lengths(netlist, 2, seed, "scipy-serial")
+    native = _metric_lengths(netlist, 2, seed, "native")
+    assert np.array_equal(reference, native)
 
 
 def test_shrinker_and_writer_machinery(monkeypatch, tmp_path):

@@ -91,7 +91,10 @@ class TestMetricBitIdentity:
 
     def test_pool_counters_populated(self, instance):
         _, graph, spec = instance
-        parallel = ParallelConfig(workers=2, min_sources_per_task=4)
+        # autoserial=False so real dispatches happen on a 1-core box too.
+        parallel = ParallelConfig(
+            workers=2, min_sources_per_task=4, autoserial=False
+        )
         config = SpreadingMetricConfig(
             delta=0.05, max_rounds=40, engine="parallel", seed=0,
             parallel=parallel,
