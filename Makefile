@@ -1,6 +1,6 @@
 # Convenience targets; see scripts/verify.sh for the canonical check.
 
-.PHONY: verify test chaos coverage bench-micro bench-service docs-check serve-smoke
+.PHONY: verify test chaos coverage bench-micro bench-service bench-multilevel docs-check serve-smoke
 
 verify:
 	sh scripts/verify.sh
@@ -37,3 +37,10 @@ bench-micro:
 bench-service:
 	PYTHONPATH=src python -m pytest benchmarks/bench_service_cache.py \
 		-q --bench-json BENCH_service.json
+
+# Refresh the multilevel scaling record (BENCH_multilevel.json): the
+# V-cycle vs flat FLOW vs FM-multilevel at 10k/100k nodes.  Takes
+# minutes at full scale; verify.sh runs it at REPRO_BENCH_SCALE=0.02.
+bench-multilevel:
+	PYTHONPATH=src python -m pytest benchmarks/bench_multilevel.py \
+		-q --bench-json BENCH_multilevel.json

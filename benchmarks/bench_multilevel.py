@@ -1,0 +1,170 @@
+"""Scaling: the multilevel FLOW V-cycle vs flat FLOW vs FM-multilevel.
+
+The scaling story of docs/multilevel.md, measured.  On Rent-rule
+instances of 10k and 100k nodes (``rent_hypergraph``), three engines run
+under identical hierarchy specs:
+
+* ``multilevel-flow`` — the V-cycle with FLOW at the coarsest level and
+  corridor max-flow refinement;
+* ``multilevel-fm`` — the same V-cycle with RFM/FM (the quality bar the
+  acceptance criterion compares against);
+* ``flat-flow`` — the 1997 algorithm run directly, under a wall-clock
+  budget of 10x the V-cycle's time (an abort means "at least 10x
+  slower", which is the scaling claim).
+
+``REPRO_BENCH_SCALE`` shrinks the instances for the verify.sh smoke
+profile; the full-scale quality/ordering assertions only engage at
+scale >= 1.0.
+"""
+
+import os
+import time
+
+import pytest
+from conftest import emit
+
+from repro.analysis.tables import Table
+from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.core.spreading_metric import SpreadingMetricConfig
+from repro.errors import SolverAborted
+from repro.htp.hierarchy import binary_hierarchy
+from repro.htp.validate import partition_violations
+from repro.hypergraph.generators import rent_hypergraph
+from repro.partitioning.multilevel_flow import (
+    MultilevelFlowConfig,
+    multilevel_flow_htp,
+    multilevel_fm_htp,
+)
+
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+_SIZES = (10_000, 100_000)
+_SEED = 7
+_results = {}
+
+
+def _height(nodes: int) -> int:
+    if nodes < 5_000:
+        return 4
+    if nodes < 50_000:
+        return 5
+    return 6
+
+
+def _instance(base_nodes: int):
+    nodes = max(64, int(base_nodes * _SCALE))
+    netlist = rent_hypergraph(nodes, seed=_SEED)
+    spec = binary_hierarchy(netlist.total_size(), height=_height(nodes))
+    return netlist, spec
+
+
+@pytest.mark.parametrize("base_nodes", _SIZES)
+def test_multilevel_scaling(bench_record, base_nodes):
+    netlist, spec = _instance(base_nodes)
+    label = f"rent{netlist.num_nodes}"
+    entry = {"nodes": netlist.num_nodes, "nets": netlist.num_nets}
+
+    started = time.perf_counter()
+    ml_flow = multilevel_flow_htp(netlist, spec, MultilevelFlowConfig(seed=1))
+    ml_flow_seconds = time.perf_counter() - started
+    assert partition_violations(netlist, ml_flow.partition, spec) == []
+    entry["multilevel_flow"] = {
+        "cost": ml_flow.cost,
+        "seconds": round(ml_flow_seconds, 3),
+    }
+    bench_record(
+        f"multilevel_flow[{label}]", ml_flow_seconds, cost=ml_flow.cost
+    )
+
+    started = time.perf_counter()
+    ml_fm = multilevel_fm_htp(netlist, spec, MultilevelFlowConfig(seed=1))
+    ml_fm_seconds = time.perf_counter() - started
+    assert partition_violations(netlist, ml_fm.partition, spec) == []
+    entry["multilevel_fm"] = {
+        "cost": ml_fm.cost,
+        "seconds": round(ml_fm_seconds, 3),
+    }
+    bench_record(f"multilevel_fm[{label}]", ml_fm_seconds, cost=ml_fm.cost)
+
+    # Flat FLOW under a 10x budget: an abort IS the scaling result.
+    budget = min(10.0 * ml_flow_seconds, 600.0)
+    deadline = time.monotonic() + budget
+    flat_config = FlowHTPConfig(
+        iterations=2,
+        seed=1,
+        metric=SpreadingMetricConfig(delta=0.05, max_rounds=200, seed=1),
+    )
+    started = time.perf_counter()
+    try:
+        flat = flow_htp(
+            netlist,
+            spec,
+            flat_config,
+            abort_check=lambda: (
+                "budget exhausted" if time.monotonic() > deadline else None
+            ),
+        )
+        flat_seconds = time.perf_counter() - started
+        entry["flat_flow"] = {
+            "cost": flat.cost,
+            "seconds": round(flat_seconds, 3),
+            "aborted": False,
+            "budget_seconds": round(budget, 3),
+        }
+        bench_record(f"flat_flow[{label}]", flat_seconds, cost=flat.cost)
+    except SolverAborted:
+        flat_seconds = time.perf_counter() - started
+        entry["flat_flow"] = {
+            "cost": None,
+            "seconds": round(flat_seconds, 3),
+            "aborted": True,
+            "budget_seconds": round(budget, 3),
+        }
+        bench_record(
+            f"flat_flow[{label}]", flat_seconds, cost=None, aborted=True
+        )
+
+    bench_record(f"multilevel_scaling[{label}]", ml_flow_seconds, **entry)
+    _results[base_nodes] = entry
+
+    if _SCALE >= 1.0:
+        # The acceptance criteria of the scaling story: quality no worse
+        # than the FM V-cycle, and flat FLOW out of budget (or >= 10x
+        # slower) on the big instance.
+        assert ml_flow.cost <= ml_fm.cost
+        if base_nodes >= 100_000:
+            flat_entry = entry["flat_flow"]
+            assert flat_entry["aborted"] or (
+                flat_entry["seconds"] >= 10.0 * ml_flow_seconds
+            )
+
+
+def test_report(results_dir):
+    table = Table(
+        title="MULTILEVEL - V-cycle scaling (docs/multilevel.md)",
+        headers=[
+            "instance",
+            "#nodes",
+            "ml-flow cost",
+            "ml-flow s",
+            "ml-fm cost",
+            "ml-fm s",
+            "flat cost",
+            "flat s",
+        ],
+    )
+    for base_nodes in _SIZES:
+        if base_nodes not in _results:
+            continue
+        entry = _results[base_nodes]
+        flat = entry["flat_flow"]
+        table.add_row(
+            f"rent{entry['nodes']}",
+            entry["nodes"],
+            entry["multilevel_flow"]["cost"],
+            entry["multilevel_flow"]["seconds"],
+            entry["multilevel_fm"]["cost"],
+            entry["multilevel_fm"]["seconds"],
+            "aborted" if flat["aborted"] else flat["cost"],
+            flat["seconds"],
+        )
+    emit(results_dir, "multilevel.txt", table.render())

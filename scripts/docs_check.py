@@ -38,8 +38,14 @@ DOC_FILES = ["README.md", "DESIGN.md", "EXPERIMENTS.md"] + sorted(
 #: Headings that must exist verbatim (as a markdown heading line) —
 #: docstrings, tests and other docs reference these by name.
 REQUIRED_SECTIONS = {
-    "docs/benchmarks.md": ["## Engine matrix"],
+    "docs/benchmarks.md": ["## Engine matrix", "## Scaling"],
     "docs/architecture.md": ["## Engines"],
+    "docs/multilevel.md": [
+        "## The V-cycle",
+        "## Coarsening invariants",
+        "## Corridor refinement",
+        "## Knob reference",
+    ],
 }
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)

@@ -5,7 +5,8 @@
 # suite, a collect-only guard keeping every benchmark file importable
 # (they are not part of tier-1, so a stray import error would
 # otherwise go unnoticed until someone tries to reproduce a table),
-# the service smoke (htp serve / htp submit as real processes: cold
+# a budget-capped multilevel scaling smoke (the whole V-cycle on tiny
+# Rent instances), the service smoke (htp serve / htp submit as real processes: cold
 # solve, warm cache hit, graceful drain), the documentation checker
 # (runnable snippets, live links, complete benchmark table, required
 # sections), and the coverage gate (line coverage of src/repro/core
@@ -42,6 +43,12 @@ python -m pytest -m chaos -q
 
 echo "== benchmark import guard =="
 python -m pytest benchmarks/bench_micro.py benchmarks/bench_spreading_batch.py --co -q
+
+echo "== multilevel scaling smoke (REPRO_BENCH_SCALE=0.02) =="
+# Budget-capped: ~200/2000-node instances keep this under ~10s while
+# still driving the whole V-cycle (coarsen, coarse solve, corridor
+# refinement) and the flat-FLOW budget machinery end to end.
+REPRO_BENCH_SCALE=0.02 python -m pytest benchmarks/bench_multilevel.py -q
 
 echo "== service smoke =="
 python scripts/serve_smoke.py

@@ -47,6 +47,7 @@ from repro.hypergraph.generators import (
     iscas85_surrogate,
     planted_hierarchy_hypergraph,
     random_hypergraph,
+    rent_hypergraph,
 )
 from repro.partitioning.gfm import gfm_partition
 from repro.partitioning.htp_fm import htp_fm_improve
@@ -91,8 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("output", help="output .hgr path")
     gen.add_argument(
         "--kind",
-        choices=sorted(ISCAS85_SIZES) + ["planted", "random"],
+        choices=sorted(ISCAS85_SIZES) + ["planted", "random", "rent"],
         default="planted",
+        help="'rent' builds a Rent-rule netlist of --nodes nodes — the "
+        "large-instance generator behind the multilevel scaling bench",
     )
     gen.add_argument("--nodes", type=int, default=256)
     gen.add_argument("--seed", type=int, default=0)
@@ -108,11 +111,48 @@ def build_parser() -> argparse.ArgumentParser:
     part.add_argument("--iterations", type=int, default=2)
     part.add_argument(
         "--engine",
-        choices=["scipy", "scipy-serial", "python", "parallel", "native"],
+        choices=[
+            "scipy",
+            "scipy-serial",
+            "python",
+            "parallel",
+            "native",
+            "multilevel-flow",
+        ],
         default="scipy",
         help="spreading-metric engine (flow algorithm only); all engines "
         "produce identical results for a fixed seed ('native' needs the "
-        "compiled kernel and degrades to 'scipy' without it)",
+        "compiled kernel and degrades to 'scipy' without it); "
+        "'multilevel-flow' switches to the coarsen/solve/refine V-cycle "
+        "for large netlists (see docs/multilevel.md)",
+    )
+    part.add_argument(
+        "--coarsest-size",
+        type=_positive_int,
+        default=None,
+        help="multilevel-flow: stop coarsening at this many nodes "
+        "(default: derived from the hierarchy's leaf count)",
+    )
+    part.add_argument(
+        "--cluster-fraction",
+        type=float,
+        default=0.05,
+        help="multilevel-flow: cluster-size cap as a fraction of C_0 "
+        "(default 0.05)",
+    )
+    part.add_argument(
+        "--corridor-hops",
+        type=_positive_int,
+        default=2,
+        help="multilevel-flow: BFS rings grown around each pair boundary "
+        "during refinement (default 2)",
+    )
+    part.add_argument(
+        "--refine-passes",
+        type=_positive_int,
+        default=3,
+        help="multilevel-flow: refinement sweeps per uncoarsening level "
+        "(default 3)",
     )
     part.add_argument(
         "--workers",
@@ -270,7 +310,14 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--iterations", type=_positive_int, default=2)
     submit.add_argument(
         "--engine",
-        choices=["scipy", "scipy-serial", "python", "parallel", "native"],
+        choices=[
+            "scipy",
+            "scipy-serial",
+            "python",
+            "parallel",
+            "native",
+            "multilevel-flow",
+        ],
         default="scipy",
     )
     submit.add_argument(
@@ -351,6 +398,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         netlist = iscas85_surrogate(args.kind, seed=args.seed, scale=args.scale)
     elif args.kind == "planted":
         netlist = planted_hierarchy_hypergraph(args.nodes, seed=args.seed)
+    elif args.kind == "rent":
+        netlist = rent_hypergraph(args.nodes, seed=args.seed)
     else:
         netlist = random_hypergraph(
             args.nodes, round(args.nodes * 1.2), seed=args.seed
@@ -383,7 +432,37 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     if netlist is None:
         return 2
     spec = binary_hierarchy(netlist.total_size(), height=args.height)
-    if args.algorithm == "flow":
+    if args.algorithm == "flow" and args.engine == "multilevel-flow":
+        if args.checkpoint_dir is not None:
+            print(
+                "error: --checkpoint-dir is not supported with "
+                "--engine multilevel-flow",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.partitioning.multilevel_flow import (
+            MultilevelFlowConfig,
+            multilevel_flow_htp,
+        )
+
+        config = MultilevelFlowConfig(
+            coarsest_size=args.coarsest_size,
+            cluster_fraction=args.cluster_fraction,
+            corridor_hops=args.corridor_hops,
+            refine_passes=args.refine_passes,
+            engine="parallel" if args.workers else "scipy",
+            workers=args.workers,
+            seed=args.seed,
+        )
+        result = multilevel_flow_htp(netlist, spec, config)
+        tree, cost = result.partition, result.cost
+        print(
+            f"multilevel-FLOW cost: {cost:g}  "
+            f"({result.runtime_seconds:.1f}s)"
+        )
+        if args.perf and result.perf is not None:
+            print(f"perf: {result.perf.summary()}")
+    elif args.algorithm == "flow":
         parallel = None
         if args.engine == "parallel":
             parallel = ParallelConfig(

@@ -313,6 +313,114 @@ def datapath_hypergraph(
 
 
 # ----------------------------------------------------------------------
+# Rent-rule large netlists (100k-1M node scaling instances)
+# ----------------------------------------------------------------------
+def rent_hypergraph(
+    num_nodes: int,
+    rent_exponent: float = 0.65,
+    nets_per_node: float = 1.06,
+    leaf_size: int = 32,
+    seed: int = 0,
+    name: str = "",
+) -> Hypergraph:
+    """A large netlist with Rent-rule boundary statistics.
+
+    The node index range is bisected recursively down to ``leaf_size``
+    blocks.  Each leaf block is a local logic chain (2-pin nets between
+    consecutive cells, keeping every block internally connected); each
+    internal block of size ``g`` receives cross nets between its two
+    halves, with counts proportional to ``g**rent_exponent`` — Rent's
+    rule ``T = t * g^p`` applied to the block tree, so boundary capacity
+    decays geometrically with hierarchy depth exactly the way placed
+    real netlists do.  The per-block counts are normalised so the total
+    net count lands on ``nets_per_node * num_nodes`` (the ISCAS85
+    nets/nodes ratio by default); every internal block keeps at least
+    one cross net, so the whole netlist is connected.
+
+    Generation is a pure function of the arguments: blocks are visited
+    in deterministic preorder and all sampling comes from one seeded
+    ``random.Random``.  Cost is O(num_nets) — practical to 1M nodes.
+
+    Use :func:`rent_surrogate` for instances parameterised as scaled-up
+    ISCAS85 circuits.
+    """
+    if num_nodes < 2:
+        raise HypergraphError("rent netlist needs at least two nodes")
+    if not 0.0 < rent_exponent < 1.0:
+        raise HypergraphError("rent_exponent must be in (0, 1)")
+    if leaf_size < 2:
+        raise HypergraphError("leaf_size must be at least 2")
+    rng = random.Random(seed)
+
+    # Recursive bisection of [0, num_nodes): preorder lists of leaf
+    # ranges and internal (lo, mid, hi) splits.
+    leaves: List[Tuple[int, int]] = []
+    internals: List[Tuple[int, int, int]] = []
+    stack: List[Tuple[int, int]] = [(0, num_nodes)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi - lo <= leaf_size:
+            leaves.append((lo, hi))
+            continue
+        mid = lo + (hi - lo) // 2
+        internals.append((lo, mid, hi))
+        # Push right first so the left half is processed first (preorder).
+        stack.append((mid, hi))
+        stack.append((lo, mid))
+
+    nets: List[Tuple[int, ...]] = []
+    for lo, hi in leaves:
+        for v in range(lo, hi - 1):
+            nets.append((v, v + 1))
+
+    # Rent budget: distribute the remaining net count over the internal
+    # blocks proportionally to g^p, at least one cross net per block.
+    target_nets = max(num_nodes, round(nets_per_node * num_nodes))
+    cross_budget = max(len(internals), target_nets - len(nets))
+    raw = [(hi - lo) ** rent_exponent for lo, _mid, hi in internals]
+    raw_total = sum(raw) or 1.0
+    for (lo, mid, hi), weight in zip(internals, raw):
+        count = max(1, round(cross_budget * weight / raw_total))
+        for _ in range(count):
+            size = rng.choices((2, 3, 4), weights=(0.72, 0.20, 0.08))[0]
+            pins = {rng.randrange(lo, mid), rng.randrange(mid, hi)}
+            guard = 0
+            while len(pins) < size and guard < 8:
+                guard += 1
+                pins.add(rng.randrange(lo, hi))
+            nets.append(tuple(sorted(pins)))
+    return Hypergraph(
+        num_nodes=num_nodes, nets=nets, name=name or f"rent{num_nodes}"
+    )
+
+
+def rent_surrogate(
+    circuit: str, factor: int = 10, seed: int = 0
+) -> Hypergraph:
+    """A Rent-rule netlist sized as ``factor`` copies of an ISCAS85 circuit.
+
+    Node count and nets/nodes ratio come from the published Table 1
+    sizes (:data:`ISCAS85_SIZES`); the structure is the recursive
+    Rent-rule hierarchy of :func:`rent_hypergraph` — the scaled
+    surrogates behind the multilevel scaling benchmarks
+    (``benchmarks/bench_multilevel.py``).  ``rent_surrogate("c7552",
+    30)`` is a ~105k-node instance named ``c7552x30``.
+    """
+    if circuit not in ISCAS85_SIZES:
+        known = ", ".join(sorted(ISCAS85_SIZES))
+        raise HypergraphError(f"unknown circuit {circuit!r} (known: {known})")
+    if factor < 1:
+        raise HypergraphError("factor must be at least 1")
+    nodes, nets, _pins = ISCAS85_SIZES[circuit]
+    return rent_hypergraph(
+        nodes * factor,
+        nets_per_node=nets / nodes,
+        seed=seed,
+        name=f"{circuit}x{factor}",
+    )
+
+
+# ----------------------------------------------------------------------
 # Generic generators for tests and examples
 # ----------------------------------------------------------------------
 def random_hypergraph(

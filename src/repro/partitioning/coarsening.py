@@ -1,0 +1,204 @@
+"""Shared coarsening substrate for multilevel partitioners.
+
+One coarsening step contracts a *heavy-edge matching*: pairs of nodes
+whose shared nets carry the most capacity per pin are merged, node sizes
+accumulate, nets are re-expressed over the coarse ids (dropping nets that
+collapse to a single pin) and parallel coarse nets merge by summing their
+capacities.  Repeating the step yields a chain of levels whose total node
+size — and whose cut structure under projection — is exactly preserved,
+which is what makes the V-cycle sound:
+
+* **size preservation** — every coarse node's size is the sum of the fine
+  sizes it absorbed, so a :class:`~repro.htp.hierarchy.HierarchySpec`
+  stated in absolute sizes is valid at every level;
+* **cut preservation** — a fine assignment obtained by projecting a
+  coarse assignment through ``coarse_of`` cuts exactly the nets whose
+  coarse images are cut, with equal capacity (`tests/test_multilevel.py`
+  and the Hypothesis suite in `tests/test_multilevel_flow.py` pin both).
+
+The FM-only bipartitioner (:mod:`repro.partitioning.multilevel`) and the
+FLOW V-cycle (:mod:`repro.partitioning.multilevel_flow`) both build on
+this module; the optional ``max_cluster_size`` cap is what the V-cycle
+adds — it stops clusters outgrowing the granularity the coarsest-level
+capacity windows can place (see docs/multilevel.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+#: Nets with more pins than this are ignored by the matcher: a k-pin net
+#: spreads its capacity over k-1 partners and carries little pairwise
+#: signal (the classic heavy-edge rationale).
+MATCHING_MAX_NET_SIZE = 6
+
+
+@dataclass
+class CoarseLevel:
+    """One coarsening step: the coarse hypergraph and the node mapping.
+
+    ``coarse_of[v]`` is the coarse node absorbing fine node ``v``; the
+    mapping is onto ``range(hypergraph.num_nodes)``.
+    """
+
+    hypergraph: Hypergraph
+    coarse_of: List[int]
+
+
+@dataclass
+class CoarseningConfig:
+    """Stop conditions of the coarsening loop.
+
+    Attributes
+    ----------
+    coarsest_size:
+        Stop once a level has at most this many nodes.
+    max_levels:
+        Hard cap on coarsening steps.
+    max_cluster_size:
+        Optional cap on a coarse node's accumulated size; ``None``
+        matches greedily (the FM bipartitioner's historical behaviour).
+        Multilevel FLOW sets it from the level-0 capacity so the
+        coarsest instance stays placeable under the hierarchy spec.
+    """
+
+    coarsest_size: int = 40
+    max_levels: int = 12
+    max_cluster_size: Optional[float] = None
+
+
+def heavy_edge_matching(
+    hypergraph: Hypergraph,
+    rng: random.Random,
+    max_cluster_size: Optional[float] = None,
+) -> List[int]:
+    """Match nodes by heaviest connectivity; returns fine->coarse ids.
+
+    Nodes are visited in a seeded random order; each unmatched node pairs
+    with its unmatched neighbour of maximum summed ``capacity/(pins-1)``
+    connectivity (ties broken by visit order, so the result is a pure
+    function of ``rng``'s state).  With ``max_cluster_size`` set, pairs
+    whose combined size would exceed the cap stay separate.
+    """
+    n = hypergraph.num_nodes
+    connectivity: Dict[Tuple[int, int], float] = {}
+    for net_id, pins in enumerate(hypergraph.nets()):
+        if len(pins) > MATCHING_MAX_NET_SIZE:
+            continue  # big nets carry little pairwise signal
+        weight = hypergraph.net_capacity(net_id) / (len(pins) - 1)
+        for i in range(len(pins)):
+            for j in range(i + 1, len(pins)):
+                key = (pins[i], pins[j])
+                connectivity[key] = connectivity.get(key, 0.0) + weight
+
+    order = list(range(n))
+    rng.shuffle(order)
+    matched = [-1] * n
+    for v in order:
+        if matched[v] != -1:
+            continue
+        best_partner = -1
+        best_weight = 0.0
+        for net_id in hypergraph.incident_nets(v):
+            for u in hypergraph.net(net_id):
+                if u == v or matched[u] != -1:
+                    continue
+                if (
+                    max_cluster_size is not None
+                    and hypergraph.node_size(v) + hypergraph.node_size(u)
+                    > max_cluster_size
+                ):
+                    continue
+                key = (v, u) if v < u else (u, v)
+                weight = connectivity.get(key, 0.0)
+                if weight > best_weight:
+                    best_weight = weight
+                    best_partner = u
+        if best_partner != -1:
+            matched[v] = best_partner
+            matched[best_partner] = v
+        else:
+            matched[v] = v  # stays single
+
+    coarse_of = [-1] * n
+    next_id = 0
+    for v in range(n):
+        if coarse_of[v] != -1:
+            continue
+        partner = matched[v]
+        coarse_of[v] = next_id
+        if partner != v and partner != -1:
+            coarse_of[partner] = next_id
+        next_id += 1
+    return coarse_of
+
+
+def contract(hypergraph: Hypergraph, coarse_of: List[int]) -> Hypergraph:
+    """The coarse hypergraph induced by a node mapping.
+
+    Node sizes accumulate per cluster; nets map to the sorted set of
+    their pins' coarse images, single-pin images are dropped (the net
+    became internal) and identical coarse nets merge by summing their
+    capacities — so any projected assignment cuts the same capacity at
+    both levels.
+    """
+    num_coarse = max(coarse_of) + 1
+    sizes = [0.0] * num_coarse
+    for v in range(hypergraph.num_nodes):
+        sizes[coarse_of[v]] += hypergraph.node_size(v)
+    net_map: Dict[Tuple[int, ...], float] = {}
+    for net_id, pins in enumerate(hypergraph.nets()):
+        coarse_pins = tuple(sorted({coarse_of[v] for v in pins}))
+        if len(coarse_pins) < 2:
+            continue
+        net_map[coarse_pins] = (
+            net_map.get(coarse_pins, 0.0) + hypergraph.net_capacity(net_id)
+        )
+    nets = sorted(net_map)
+    return Hypergraph(
+        num_nodes=num_coarse,
+        nets=nets,
+        node_sizes=sizes,
+        net_capacities=[net_map[net] for net in nets],
+        name=(hypergraph.name + "~" if hypergraph.name else "coarse"),
+    )
+
+
+def coarsen(
+    hypergraph: Hypergraph,
+    rng: random.Random,
+    config: Optional[CoarseningConfig] = None,
+) -> List[CoarseLevel]:
+    """Run the coarsening loop; returns the chain of levels, finest first.
+
+    ``levels[i].coarse_of`` maps the nodes of level ``i``'s *fine* side
+    (the input for ``i == 0``, else ``levels[i-1].hypergraph``) onto
+    ``levels[i].hypergraph``.  The loop stops at ``coarsest_size`` nodes,
+    after ``max_levels`` steps, or when a matching contracts nothing.
+    """
+    config = config or CoarseningConfig()
+    levels: List[CoarseLevel] = []
+    current = hypergraph
+    for _level in range(config.max_levels):
+        if current.num_nodes <= config.coarsest_size:
+            break
+        coarse_of = heavy_edge_matching(
+            current, rng, max_cluster_size=config.max_cluster_size
+        )
+        if max(coarse_of) + 1 >= current.num_nodes:  # no contraction
+            break
+        coarse = contract(current, coarse_of)
+        levels.append(CoarseLevel(hypergraph=coarse, coarse_of=coarse_of))
+        current = coarse
+    return levels
+
+
+def project_assignment(
+    coarse_of: List[int], assignment: List[int]
+) -> List[int]:
+    """Pull a per-coarse-node assignment back to the fine nodes."""
+    return [assignment[coarse_of[v]] for v in range(len(coarse_of))]

@@ -12,18 +12,34 @@ A post-1997 comparator, implemented as the classic V-cycle:
 
 Provided as the "modern baseline" extension: the paper predates the
 multilevel revolution, and `bench_modern_multilevel` measures how far the
-1997 algorithms are from it on the same instances.
+1997 algorithms are from it on the same instances.  The coarsening
+machinery itself lives in :mod:`repro.partitioning.coarsening`, shared
+with the FLOW V-cycle (:mod:`repro.partitioning.multilevel_flow`).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import PartitionError
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.partitioning.coarsening import (
+    CoarseLevel,
+    CoarseningConfig,
+    coarsen,
+    contract,
+    heavy_edge_matching,
+    project_assignment,
+)
 from repro.partitioning.fm import FMConfig, fm_bipartition, fm_refine
+
+# Backwards-compatible aliases: the coarsener grew out of this module
+# and tests/callers still import it under the old private names.
+_CoarseLevel = CoarseLevel
+_heavy_edge_matching = heavy_edge_matching
+_contract = contract
 
 
 @dataclass
@@ -34,89 +50,6 @@ class MultilevelConfig:
     max_levels: int = 12
     fm: Optional[FMConfig] = None
     seed: int = 0
-
-
-@dataclass
-class _CoarseLevel:
-    """One coarsening step: the coarse hypergraph and the node mapping."""
-
-    hypergraph: Hypergraph
-    coarse_of: List[int]  # fine node -> coarse node
-
-
-def _heavy_edge_matching(
-    hypergraph: Hypergraph, rng: random.Random
-) -> List[int]:
-    """Match nodes by heaviest connectivity; returns fine->coarse ids."""
-    n = hypergraph.num_nodes
-    connectivity: Dict[Tuple[int, int], float] = {}
-    for net_id, pins in enumerate(hypergraph.nets()):
-        if len(pins) > 6:
-            continue  # big nets carry little pairwise signal
-        weight = hypergraph.net_capacity(net_id) / (len(pins) - 1)
-        for i in range(len(pins)):
-            for j in range(i + 1, len(pins)):
-                key = (pins[i], pins[j])
-                connectivity[key] = connectivity.get(key, 0.0) + weight
-
-    order = list(range(n))
-    rng.shuffle(order)
-    matched = [-1] * n
-    for v in order:
-        if matched[v] != -1:
-            continue
-        best_partner = -1
-        best_weight = 0.0
-        for net_id in hypergraph.incident_nets(v):
-            for u in hypergraph.net(net_id):
-                if u == v or matched[u] != -1:
-                    continue
-                key = (v, u) if v < u else (u, v)
-                weight = connectivity.get(key, 0.0)
-                if weight > best_weight:
-                    best_weight = weight
-                    best_partner = u
-        if best_partner != -1:
-            matched[v] = best_partner
-            matched[best_partner] = v
-        else:
-            matched[v] = v  # stays single
-
-    coarse_of = [-1] * n
-    next_id = 0
-    for v in range(n):
-        if coarse_of[v] != -1:
-            continue
-        partner = matched[v]
-        coarse_of[v] = next_id
-        if partner != v and partner != -1:
-            coarse_of[partner] = next_id
-        next_id += 1
-    return coarse_of
-
-
-def _contract(hypergraph: Hypergraph, coarse_of: List[int]) -> Hypergraph:
-    """The coarse hypergraph induced by a node mapping."""
-    num_coarse = max(coarse_of) + 1
-    sizes = [0.0] * num_coarse
-    for v in range(hypergraph.num_nodes):
-        sizes[coarse_of[v]] += hypergraph.node_size(v)
-    net_map: Dict[Tuple[int, ...], float] = {}
-    for net_id, pins in enumerate(hypergraph.nets()):
-        coarse_pins = tuple(sorted({coarse_of[v] for v in pins}))
-        if len(coarse_pins) < 2:
-            continue
-        net_map[coarse_pins] = (
-            net_map.get(coarse_pins, 0.0) + hypergraph.net_capacity(net_id)
-        )
-    nets = sorted(net_map)
-    return Hypergraph(
-        num_nodes=num_coarse,
-        nets=nets,
-        node_sizes=sizes,
-        net_capacities=[net_map[net] for net in nets],
-        name=(hypergraph.name + "~" if hypergraph.name else "coarse"),
-    )
 
 
 def multilevel_bipartition(
@@ -132,18 +65,18 @@ def multilevel_bipartition(
     if max_size0 >= hypergraph.total_size():
         raise PartitionError("side-0 bound swallows the whole netlist")
 
-    # Coarsening phase.
-    levels: List[_CoarseLevel] = []
-    current = hypergraph
-    for _level in range(config.max_levels):
-        if current.num_nodes <= config.coarsest_size:
-            break
-        coarse_of = _heavy_edge_matching(current, rng)
-        if max(coarse_of) + 1 >= current.num_nodes:  # no contraction
-            break
-        coarse = _contract(current, coarse_of)
-        levels.append(_CoarseLevel(hypergraph=coarse, coarse_of=coarse_of))
-        current = coarse
+    # Coarsening phase (shared heavy-edge matcher, no cluster-size cap —
+    # the historical greedy behaviour of this baseline).
+    levels: List[CoarseLevel] = coarsen(
+        hypergraph,
+        rng,
+        CoarseningConfig(
+            coarsest_size=config.coarsest_size,
+            max_levels=config.max_levels,
+            max_cluster_size=None,
+        ),
+    )
+    current = levels[-1].hypergraph if levels else hypergraph
 
     # Initial partition on the coarsest level.
     sides, _cut = fm_bipartition(
@@ -155,8 +88,7 @@ def multilevel_bipartition(
     chain = [hypergraph] + [level.hypergraph for level in levels]
     for index in range(len(levels) - 1, -1, -1):
         fine_h = chain[index]
-        coarse_of = levels[index].coarse_of
-        fine_sides = [sides[coarse_of[v]] for v in range(fine_h.num_nodes)]
+        fine_sides = project_assignment(levels[index].coarse_of, sides)
         fine_sides, _cut = fm_refine(
             fine_h, fine_sides, min_size0, max_size0, fm_config
         )

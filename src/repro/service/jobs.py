@@ -50,6 +50,10 @@ from repro.errors import ServiceError, SolverAborted
 from repro.service.journal import Journal
 from repro.htp.hierarchy import HierarchySpec
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.partitioning.multilevel_flow import (
+    MultilevelFlowConfig,
+    multilevel_flow_htp,
+)
 
 #: Solver knobs a JobSpec config may carry, with the defaults that are
 #: baked into the canonical form.  Explicit defaults make hashing
@@ -68,6 +72,9 @@ CONFIG_DEFAULTS: Dict[str, object] = {
     "max_rounds": 64,
     "node_sample": 1.0,
     "workers": None,
+    "coarsest_size": None,
+    "corridor_hops": 2,
+    "refine_passes": 3,
 }
 
 
@@ -129,10 +136,11 @@ class JobSpec:
             )
         config = dict(CONFIG_DEFAULTS)
         config.update(raw_config)
-        if config["engine"] not in ENGINES:
+        allowed_engines = ENGINES + ("multilevel-flow",)
+        if config["engine"] not in allowed_engines:
             raise ServiceError(
                 f"unknown engine {config['engine']!r} "
-                f"(choose from {ENGINES})"
+                f"(choose from {allowed_engines})"
             )
 
         raw_netlist = payload["netlist"]
@@ -227,6 +235,23 @@ class JobSpec:
             weights=tuple(self.hierarchy["weights"]),
         )
 
+    def build_multilevel_config(self) -> MultilevelFlowConfig:
+        """The spec's V-cycle configuration (``engine: multilevel-flow``)."""
+        config = self.config
+        workers = config["workers"]
+        return MultilevelFlowConfig(
+            coarsest_size=(
+                None
+                if config["coarsest_size"] is None
+                else int(config["coarsest_size"])
+            ),
+            corridor_hops=int(config["corridor_hops"]),
+            refine_passes=int(config["refine_passes"]),
+            engine="parallel" if workers else "scipy",
+            workers=None if workers is None else int(workers),
+            seed=int(config["seed"]),
+        )
+
     def build_config(self) -> FlowHTPConfig:
         """The spec's solver configuration as a library object."""
         config = self.config
@@ -289,7 +314,20 @@ def run_spec(
     With a :class:`JobContext` the solve is durable: round checkpoints
     land in ``context.checkpoint_dir`` (which is also consulted for a
     resume first) and ``context.abort_check`` is polled every round.
+
+    ``engine: multilevel-flow`` dispatches to the V-cycle
+    (:func:`repro.partitioning.multilevel_flow.multilevel_flow_htp`);
+    it honours ``abort_check`` but not round checkpoints — a cancelled
+    V-cycle job restarts from scratch (the coarse instance is small, so
+    there is little to checkpoint).
     """
+    if spec.config["engine"] == "multilevel-flow":
+        return multilevel_flow_htp(
+            spec.build_netlist(),
+            spec.build_hierarchy(),
+            spec.build_multilevel_config(),
+            abort_check=context.abort_check if context else None,
+        )
     if context is None:
         return flow_htp(
             spec.build_netlist(), spec.build_hierarchy(), spec.build_config()

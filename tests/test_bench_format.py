@@ -109,3 +109,74 @@ class TestRoundTrip:
         write_bench(h, out)
         h2 = read_bench(out)
         assert h2.num_nodes == h.num_nodes
+
+
+class TestBenchMultilevelSchema:
+    """Schema of the committed BENCH_multilevel.json scaling record.
+
+    The multilevel bench (benchmarks/bench_multilevel.py) writes one
+    ``multilevel_scaling[<instance>]`` op per instance, carrying the
+    three engines' quality/time entries that docs/benchmarks.md renders.
+    This pins the shape so the docs tables and the bench cannot drift
+    apart silently.
+    """
+
+    @pytest.fixture(scope="class")
+    def payload(self):
+        import json
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "BENCH_multilevel.json"
+        if not path.exists():
+            pytest.skip("BENCH_multilevel.json not generated yet")
+        return json.loads(path.read_text())
+
+    def test_meta_block(self, payload):
+        assert "meta" in payload and "ops" in payload
+        meta = payload["meta"]
+        for key in ("python", "machine", "scale", "cpu_count"):
+            assert key in meta
+
+    def test_scaling_entries(self, payload):
+        entries = {
+            op: rec
+            for op, rec in payload["ops"].items()
+            if op.startswith("multilevel_scaling[")
+        }
+        assert entries, "no multilevel_scaling ops recorded"
+        for op, rec in entries.items():
+            assert rec["nodes"] >= 64
+            assert rec["nets"] > 0
+            for engine in ("multilevel_flow", "multilevel_fm"):
+                assert rec[engine]["cost"] > 0
+                assert rec[engine]["seconds"] >= 0
+            flat = rec["flat_flow"]
+            assert isinstance(flat["aborted"], bool)
+            assert flat["budget_seconds"] > 0
+            if flat["aborted"]:
+                assert flat["cost"] is None
+            else:
+                assert flat["cost"] > 0
+
+    def test_full_scale_acceptance(self, payload):
+        """At scale 1.0 the committed record must carry the scaling
+        claim: V-cycle quality <= FM V-cycle, flat FLOW out of budget
+        (or >= 10x slower) at >= 100k nodes."""
+        if payload["meta"]["scale"] < 1.0:
+            pytest.skip("committed record is not full-scale")
+        entries = [
+            rec
+            for op, rec in payload["ops"].items()
+            if op.startswith("multilevel_scaling[")
+        ]
+        big = [rec for rec in entries if rec["nodes"] >= 100_000]
+        assert big, "full-scale record lacks a >=100k-node instance"
+        for rec in entries:
+            assert (
+                rec["multilevel_flow"]["cost"] <= rec["multilevel_fm"]["cost"]
+            )
+        for rec in big:
+            flat = rec["flat_flow"]
+            assert flat["aborted"] or flat["seconds"] >= 10.0 * (
+                rec["multilevel_flow"]["seconds"]
+            )
