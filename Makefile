@@ -1,6 +1,6 @@
 # Convenience targets; see scripts/verify.sh for the canonical check.
 
-.PHONY: verify test chaos coverage bench-micro bench-service bench-multilevel docs-check serve-smoke
+.PHONY: verify test chaos coverage bench-micro bench-service bench-multilevel bench-optimality docs-check serve-smoke
 
 verify:
 	sh scripts/verify.sh
@@ -37,6 +37,13 @@ bench-micro:
 bench-service:
 	PYTHONPATH=src python -m pytest benchmarks/bench_service_cache.py \
 		-q --bench-json BENCH_service.json
+
+# Refresh the optimality-gap record (BENCH_optimality.json): FLOW vs
+# the exact oracles (tree-metric DP / branch-and-bound / ILP) on the
+# golden corpus in tests/regressions/optimal/.  Seconds, not minutes.
+bench-optimality:
+	PYTHONPATH=src python -m pytest benchmarks/bench_optimality.py \
+		-q --bench-json BENCH_optimality.json
 
 # Refresh the multilevel scaling record (BENCH_multilevel.json): the
 # V-cycle vs flat FLOW vs FM-multilevel at 10k/100k nodes.  Takes

@@ -1,0 +1,132 @@
+"""Optimality gaps: FLOW vs the exact oracles on the golden corpus.
+
+Every instance in ``tests/regressions/optimal/`` carries a proven
+optimal cost.  This benchmark re-proves it live (tree-metric DP on
+tree-structured instances, branch-and-bound otherwise, plus the ILP
+when pulp is installed), runs deterministic FLOW with the committed
+config, and records the achieved cost / optimum ratio per instance.
+
+Refresh the canonical record with::
+
+    make bench-optimality
+    # == PYTHONPATH=src python -m pytest benchmarks/bench_optimality.py \
+    #        -q --bench-json BENCH_optimality.json
+
+The gap table in docs/benchmarks.md mirrors the output; the
+``optimality``-marked test tier (tests/test_optimality_corpus.py)
+asserts the same bounds on every ``pytest`` run, so this file is about
+*recording* the trajectory, not gating it.
+"""
+
+import time
+
+import pytest
+from conftest import emit
+
+from repro.analysis.exact import (
+    HAS_PULP,
+    ILPOracle,
+    iter_corpus,
+    solve_exact,
+)
+from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.analysis.tables import Table
+from repro.htp.validate import partition_violations
+
+CORPUS = iter_corpus()
+_rows = {}
+
+
+def _flow_config(instance) -> FlowHTPConfig:
+    return FlowHTPConfig(
+        iterations=int(instance.flow["iterations"]),
+        seed=int(instance.flow["seed"]),
+    )
+
+
+@pytest.mark.parametrize(
+    "instance", CORPUS, ids=lambda inst: inst.name
+)
+def test_gap_on_golden_instance(bench_record, instance):
+    started = time.perf_counter()
+    exact = solve_exact(
+        instance.hypergraph, instance.spec, method="auto", time_limit=60.0
+    )
+    exact_seconds = time.perf_counter() - started
+    assert exact.status == "optimal", (
+        f"{instance.name}: exact solve inconclusive ({exact.status})"
+    )
+    assert exact.cost == instance.optimal_cost, (
+        f"{instance.name}: live optimum {exact.cost} != committed "
+        f"{instance.optimal_cost}"
+    )
+
+    started = time.perf_counter()
+    flow = flow_htp(
+        instance.hypergraph, instance.spec, _flow_config(instance)
+    )
+    flow_seconds = time.perf_counter() - started
+    assert partition_violations(
+        instance.hypergraph, flow.partition, instance.spec
+    ) == []
+
+    gap = exact.gap(flow.cost)
+    assert gap <= instance.flow["gap_bound"] + 1e-9, (
+        f"{instance.name}: FLOW gap {gap:.3f} exceeds committed bound "
+        f"{instance.flow['gap_bound']}"
+    )
+    bench_record(
+        f"optimality[{instance.name}]",
+        exact_seconds,
+        solver=exact.solver,
+        optimal_cost=exact.cost,
+        flow_cost=flow.cost,
+        flow_seconds=round(flow_seconds, 4),
+        gap=round(gap, 4),
+        gap_bound=instance.flow["gap_bound"],
+        tree_structured=instance.tree_structured,
+    )
+    _rows[instance.name] = (
+        instance.name,
+        "tree" if instance.tree_structured else "general",
+        exact.solver,
+        exact.cost,
+        flow.cost,
+        round(gap, 3),
+        instance.flow["gap_bound"],
+    )
+
+
+@pytest.mark.parametrize(
+    "instance", CORPUS, ids=lambda inst: inst.name
+)
+def test_ilp_cross_check(bench_record, instance):
+    """Where pulp is installed, the ILP must land on the same optimum."""
+    if not HAS_PULP:
+        pytest.skip("pulp not installed; ILP rows omitted")
+    started = time.perf_counter()
+    result = ILPOracle().solve(
+        instance.hypergraph, instance.spec, time_limit=60.0
+    )
+    seconds = time.perf_counter() - started
+    assert result.status == "optimal"
+    assert result.cost == instance.optimal_cost
+    bench_record(
+        f"optimality_ilp[{instance.name}]", seconds, cost=result.cost
+    )
+
+
+def test_emit_gap_table(results_dir):
+    """Aggregate the per-instance rows into the committed gap table."""
+    if not _rows:
+        pytest.skip("no per-instance rows collected")
+    table = Table(
+        title="Optimality gap: FLOW vs proven optimum (golden corpus)",
+        headers=[
+            "instance", "shape", "oracle", "optimal", "flow",
+            "gap", "bound",
+        ],
+    )
+    for name in sorted(_rows):
+        table.add_row(*_rows[name])
+    emit(results_dir, "optimality_gap.txt", table.render())

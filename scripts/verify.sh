@@ -6,7 +6,9 @@
 # (they are not part of tier-1, so a stray import error would
 # otherwise go unnoticed until someone tries to reproduce a table),
 # a budget-capped multilevel scaling smoke (the whole V-cycle on tiny
-# Rent instances), the service smoke (htp serve / htp submit as real processes: cold
+# Rent instances), an optimality-gap smoke (FLOW vs the exact oracles
+# on the golden corpus; ILP rows SKIP without pulp), the service smoke
+# (htp serve / htp submit as real processes: cold
 # solve, warm cache hit, graceful drain), the documentation checker
 # (runnable snippets, live links, complete benchmark table, required
 # sections), and the coverage gate (line coverage of src/repro/core
@@ -49,6 +51,12 @@ echo "== multilevel scaling smoke (REPRO_BENCH_SCALE=0.02) =="
 # still driving the whole V-cycle (coarsen, coarse solve, corridor
 # refinement) and the flat-FLOW budget machinery end to end.
 REPRO_BENCH_SCALE=0.02 python -m pytest benchmarks/bench_multilevel.py -q
+
+echo "== optimality-gap smoke (exact oracles vs FLOW on the golden corpus) =="
+# Fast by construction: the corpus is sized for exact solvability.
+# ILP cross-check rows SKIP cleanly when no pulp/CBC solver is
+# installed; the DP and branch-and-bound oracles always run.
+python -m pytest benchmarks/bench_optimality.py -q
 
 echo "== service smoke =="
 python scripts/serve_smoke.py

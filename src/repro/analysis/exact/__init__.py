@@ -1,0 +1,60 @@
+"""Exact HTP oracles: ground truth for the heuristic engines.
+
+Three backends behind one :class:`ExactOracle` interface — the pulp
+ILP (general instances, needs pulp), the branch-and-bound reference
+(general instances, no dependencies) and the tree-metric DP
+(polynomial, tree-structured instances only) — plus the golden-corpus
+loader and the :func:`tree_dp_refine` bridge into Algorithm 3.  Entry
+point: :func:`solve_exact`.
+"""
+
+from repro.analysis.exact.branch_bound import BranchBoundOracle
+from repro.analysis.exact.corpus import (
+    DEFAULT_CORPUS_DIR,
+    GoldenInstance,
+    iter_corpus,
+    load_instance,
+)
+from repro.analysis.exact.ilp import HAS_PULP, ILPOracle
+from repro.analysis.exact.oracle import (
+    DEFAULT_MAX_LEAVES,
+    DEFAULT_MAX_NODES,
+    ExactBackendUnavailable,
+    ExactIntractable,
+    ExactOracle,
+    ExactResult,
+    TemplateTree,
+    assignment_to_partition,
+    build_template,
+    solve_exact,
+)
+from repro.analysis.exact.tree_dp import (
+    NotTreeStructured,
+    TreeMetricDPOracle,
+    is_tree_instance,
+    tree_dp_refine,
+)
+
+__all__ = [
+    "BranchBoundOracle",
+    "DEFAULT_CORPUS_DIR",
+    "DEFAULT_MAX_LEAVES",
+    "DEFAULT_MAX_NODES",
+    "ExactBackendUnavailable",
+    "ExactIntractable",
+    "ExactOracle",
+    "ExactResult",
+    "GoldenInstance",
+    "HAS_PULP",
+    "ILPOracle",
+    "NotTreeStructured",
+    "TemplateTree",
+    "TreeMetricDPOracle",
+    "assignment_to_partition",
+    "build_template",
+    "is_tree_instance",
+    "iter_corpus",
+    "load_instance",
+    "solve_exact",
+    "tree_dp_refine",
+]

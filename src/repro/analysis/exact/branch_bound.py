@@ -1,0 +1,284 @@
+"""Exact branch-and-bound over template-leaf assignments.
+
+The always-available general-purpose reference oracle: unlike the ILP
+it needs no external solver, unlike the tree DP it accepts any
+hypergraph.  It enumerates node-to-leaf assignments of the complete
+template hierarchy (see :mod:`repro.analysis.exact.oracle`) with three
+exact prunings:
+
+* **capacity** — a node only enters a leaf slot if every block on the
+  slot's ancestor chain stays within its level capacity;
+* **bound** — the Equation-(1) cost of a partial assignment is a valid
+  lower bound on any completion (a net's level spans only grow as pins
+  are assigned), so branches at or above the incumbent are cut;
+* **symmetry** — sibling subtrees of the template are interchangeable
+  (same shape, same capacities), so a node may open an empty block only
+  if it is the *first* empty child of its parent.  This canonical form
+  keeps exactly one representative per orbit of the template's
+  automorphism group, which divides the search space by
+  ``prod K_l!``-ish factors without losing any distinct partition.
+
+Children are explored cheapest-delta-first so good incumbents arrive
+early; an optional warm-start partition seeds the incumbent bound.  The
+search is time-boxed and anytime: on expiry it reports the incumbent as
+``feasible`` instead of ``optimal``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.exact.oracle import (
+    STATUS_FEASIBLE,
+    STATUS_INFEASIBLE,
+    STATUS_OPTIMAL,
+    STATUS_TIMEOUT,
+    DEFAULT_MAX_LEAVES,
+    ExactOracle,
+    ExactResult,
+    assignment_to_partition,
+    build_template,
+)
+from repro.htp.cost import total_cost
+from repro.htp.hierarchy import HierarchySpec
+from repro.htp.validate import partition_violations
+from repro.hypergraph.hypergraph import Hypergraph
+
+#: How often (in node expansions) the deadline is polled.
+_TIME_CHECK_MASK = 0xFF
+
+
+def _branch_order(hypergraph: Hypergraph) -> List[int]:
+    """Netlist nodes in a connectivity-aware DFS order.
+
+    Starting from the heaviest/highest-degree node and walking the net
+    structure keeps each net's pins close together in the branching
+    sequence, so partial costs (the pruning bound) tighten as early as
+    possible.  Disconnected components are appended by the same key.
+    """
+    degree = [len(hypergraph.incident_nets(v)) for v in hypergraph.nodes()]
+
+    def key(v: int) -> Tuple[float, int, int]:
+        return (-hypergraph.node_size(v), -degree[v], v)
+
+    order: List[int] = []
+    seen = [False] * hypergraph.num_nodes
+    for start in sorted(hypergraph.nodes(), key=key):
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            neighbors: set = set()
+            for net_id in hypergraph.incident_nets(v):
+                neighbors.update(hypergraph.nets()[net_id])
+            for u in sorted(neighbors, key=key, reverse=True):
+                if not seen[u]:
+                    seen[u] = True
+                    stack.append(u)
+    return order
+
+
+class BranchBoundOracle(ExactOracle):
+    """Time-boxed exact DFS over canonical template assignments."""
+
+    name = "branch-bound"
+
+    def __init__(
+        self,
+        max_leaves: int = DEFAULT_MAX_LEAVES,
+        incumbent=None,
+    ) -> None:
+        self.max_leaves = max_leaves
+        self.incumbent = incumbent
+
+    def solve(
+        self,
+        hypergraph: Hypergraph,
+        spec: HierarchySpec,
+        time_limit: float = 60.0,
+    ) -> ExactResult:
+        start = time.perf_counter()
+        deadline = start + time_limit
+        reason = self.trivially_infeasible(hypergraph, spec)
+        if reason is not None:
+            return ExactResult(
+                status=STATUS_INFEASIBLE,
+                cost=None,
+                partition=None,
+                solver=self.name,
+                runtime_seconds=time.perf_counter() - start,
+                stats={"infeasible_reason": reason},
+            )
+        template = build_template(spec, self.max_leaves)
+        num_levels = spec.num_levels
+        weights = [spec.weight(level) for level in range(num_levels)]
+        nets = hypergraph.nets()
+        net_caps = [hypergraph.net_capacity(e) for e in range(len(nets))]
+        order = _branch_order(hypergraph)
+        num_slots = template.num_leaves
+        chains = template.chains
+        parents = template.parents
+        children = template.children
+        capacities = template.capacities
+
+        # Mutable search state ------------------------------------------------
+        # blocks[e][l]: template vertex -> pin count among assigned pins.
+        blocks: List[List[Dict[int, int]]] = [
+            [dict() for _ in range(num_levels)] for _ in nets
+        ]
+        load = [0.0] * template.num_vertices  # size assigned under vertex
+        occupied = [0] * template.num_vertices  # node count under vertex
+        assignment = [-1] * hypergraph.num_nodes
+        incident = [
+            tuple(hypergraph.incident_nets(v)) for v in hypergraph.nodes()
+        ]
+
+        best_cost = float("inf")
+        best_assignment: Optional[List[int]] = None
+        best_partition = None
+        if self.incumbent is not None and not partition_violations(
+            hypergraph, self.incumbent, spec
+        ):
+            best_partition = self.incumbent
+            best_cost = total_cost(hypergraph, self.incumbent, spec)
+
+        stats = {
+            "expansions": 0,
+            "pruned_bound": 0,
+            "pruned_capacity": 0,
+            "pruned_symmetry": 0,
+        }
+        timed_out = False
+
+        def slot_delta(v: int, slot: int) -> float:
+            delta = 0.0
+            chain = chains[slot]
+            for net_id in incident[v]:
+                cap = net_caps[net_id]
+                per_level = blocks[net_id]
+                for level in range(num_levels):
+                    counts = per_level[level]
+                    if chain[level] not in counts:
+                        distinct = len(counts)
+                        if distinct == 1:
+                            delta += 2.0 * weights[level] * cap
+                        elif distinct >= 2:
+                            delta += weights[level] * cap
+            return delta
+
+        def apply(v: int, slot: int) -> None:
+            size = hypergraph.node_size(v)
+            chain = chains[slot]
+            for vertex in chain:
+                load[vertex] += size
+                occupied[vertex] += 1
+            for net_id in incident[v]:
+                per_level = blocks[net_id]
+                for level in range(num_levels):
+                    counts = per_level[level]
+                    counts[chain[level]] = counts.get(chain[level], 0) + 1
+            assignment[v] = slot
+
+        def unapply(v: int, slot: int) -> None:
+            size = hypergraph.node_size(v)
+            chain = chains[slot]
+            for vertex in chain:
+                load[vertex] -= size
+                occupied[vertex] -= 1
+            for net_id in incident[v]:
+                per_level = blocks[net_id]
+                for level in range(num_levels):
+                    counts = per_level[level]
+                    counts[chain[level]] -= 1
+                    if counts[chain[level]] == 0:
+                        del counts[chain[level]]
+            assignment[v] = -1
+
+        def slot_feasible(v: int, slot: int) -> bool:
+            size = hypergraph.node_size(v)
+            chain = chains[slot]
+            for vertex in chain:
+                if load[vertex] + size > capacities[vertex] + 1e-9:
+                    stats["pruned_capacity"] += 1
+                    return False
+            # Canonical form: walk the chain top-down (root excluded);
+            # an empty block may only be entered when it is the first
+            # empty child of its parent.
+            for vertex in chain[-2::-1]:
+                if occupied[vertex] == 0:
+                    for sibling in children[parents[vertex]]:
+                        if occupied[sibling] == 0:
+                            if sibling != vertex:
+                                stats["pruned_symmetry"] += 1
+                                return False
+                            break
+            return True
+
+        def search(depth: int, partial: float) -> None:
+            nonlocal best_cost, best_assignment, best_partition, timed_out
+            if timed_out:
+                return
+            stats["expansions"] += 1
+            if (stats["expansions"] & _TIME_CHECK_MASK) == 0:
+                if time.perf_counter() > deadline:
+                    timed_out = True
+                    return
+            if depth == len(order):
+                if partial < best_cost:
+                    best_cost = partial
+                    best_assignment = list(assignment)
+                    best_partition = None
+                return
+            v = order[depth]
+            candidates: List[Tuple[float, int]] = []
+            for slot in range(num_slots):
+                if not slot_feasible(v, slot):
+                    continue
+                delta = slot_delta(v, slot)
+                if partial + delta >= best_cost:
+                    stats["pruned_bound"] += 1
+                    continue
+                candidates.append((delta, slot))
+            candidates.sort()
+            for delta, slot in candidates:
+                if timed_out:
+                    return
+                if partial + delta >= best_cost:
+                    stats["pruned_bound"] += 1
+                    continue
+                apply(v, slot)
+                search(depth + 1, partial + delta)
+                unapply(v, slot)
+
+        search(0, 0.0)
+        runtime = time.perf_counter() - start
+
+        if best_assignment is not None:
+            best_partition = assignment_to_partition(
+                best_assignment, template, spec
+            )
+            best_cost = total_cost(hypergraph, best_partition, spec)
+        if best_partition is None:
+            status = STATUS_TIMEOUT if timed_out else STATUS_INFEASIBLE
+            return ExactResult(
+                status=status,
+                cost=None,
+                partition=None,
+                solver=self.name,
+                runtime_seconds=runtime,
+                stats=dict(stats),
+            )
+        status = STATUS_FEASIBLE if timed_out else STATUS_OPTIMAL
+        return ExactResult(
+            status=status,
+            cost=best_cost,
+            partition=best_partition,
+            solver=self.name,
+            runtime_seconds=runtime,
+            bound=best_cost if status == STATUS_OPTIMAL else None,
+            stats=dict(stats),
+        )

@@ -1,0 +1,109 @@
+"""Loader for the golden optimality corpus.
+
+``tests/regressions/optimal/`` holds small HTP instances whose optimal
+Equation-(1) cost is known and committed.  Each ``*.json`` file is one
+instance:
+
+.. code-block:: json
+
+    {
+      "name": "path8",
+      "description": "why this instance is in the corpus",
+      "hypergraph": {"num_nodes": 8, "nets": [[0, 1]],
+                     "node_sizes": [1.0], "net_capacities": [1.0]},
+      "spec": {"capacities": [2, 4, 8], "branching": [2, 2],
+               "weights": [1, 2]},
+      "optimal_cost": 12.0,
+      "tree_structured": true,
+      "flow": {"seed": 0, "iterations": 2, "gap_bound": 1.25}
+    }
+
+``tree_structured`` declares whether the tree-metric DP applies (the
+loader re-derives and cross-checks it); ``flow.gap_bound`` is the
+committed ceiling on FLOW's achieved/optimal ratio under the committed
+deterministic FLOW configuration.  The corpus test tier asserts all
+three every run: DP (where applicable) and the branch-and-bound/ILP
+reproduce ``optimal_cost`` bit-equally, and FLOW stays within
+``gap_bound``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List
+
+from repro.errors import ReproError
+from repro.htp.hierarchy import HierarchySpec
+from repro.hypergraph.hypergraph import Hypergraph
+
+#: Where the committed corpus lives, relative to the repo root.
+DEFAULT_CORPUS_DIR = (
+    Path(__file__).resolve().parents[4] / "tests" / "regressions" / "optimal"
+)
+
+
+@dataclass(frozen=True)
+class GoldenInstance:
+    """One committed instance with its proven optimal cost."""
+
+    name: str
+    description: str
+    hypergraph: Hypergraph
+    spec: HierarchySpec
+    optimal_cost: float
+    tree_structured: bool
+    flow: Dict[str, float]
+    path: Path
+
+
+def load_instance(path: Path) -> GoldenInstance:
+    """Parse one corpus file; raises :class:`ReproError` on bad shape."""
+    payload = json.loads(Path(path).read_text())
+    try:
+        hg = payload["hypergraph"]
+        hypergraph = Hypergraph(
+            num_nodes=hg["num_nodes"],
+            nets=hg["nets"],
+            node_sizes=hg.get("node_sizes"),
+            net_capacities=hg.get("net_capacities"),
+            name=payload["name"],
+        )
+        sp = payload["spec"]
+        spec = HierarchySpec(
+            capacities=tuple(sp["capacities"]),
+            branching=tuple(sp["branching"]),
+            weights=tuple(sp["weights"]),
+        )
+        instance = GoldenInstance(
+            name=payload["name"],
+            description=payload.get("description", ""),
+            hypergraph=hypergraph,
+            spec=spec,
+            optimal_cost=float(payload["optimal_cost"]),
+            tree_structured=bool(payload["tree_structured"]),
+            flow=dict(payload.get("flow", {})),
+            path=Path(path),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed corpus file {path}: {exc}") from exc
+    from repro.analysis.exact.tree_dp import is_tree_instance
+
+    derived = is_tree_instance(hypergraph)
+    if derived != instance.tree_structured:
+        raise ReproError(
+            f"corpus file {path}: tree_structured={instance.tree_structured} "
+            f"but the instance {'is' if derived else 'is not'} a tree"
+        )
+    return instance
+
+
+def iter_corpus(directory: Path = DEFAULT_CORPUS_DIR) -> List[GoldenInstance]:
+    """All corpus instances in name order; empty when the dir is absent."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [
+        load_instance(path) for path in sorted(directory.glob("*.json"))
+    ]

@@ -1,0 +1,212 @@
+"""ILP formulation of HTP (pulp backend, solver-pluggable).
+
+Decision variables over the complete template hierarchy (see
+:mod:`repro.analysis.exact.oracle`):
+
+* ``x[v, i]`` — binary, node ``v`` sits in template leaf slot ``i``
+  (exactly one per node);
+* ``y[e, t]`` — binary, net ``e`` touches template vertex ``t``
+  (forced up by ``y[e, t] >= x[v, i]`` for every pin ``v`` and slot
+  ``i`` under ``t``, and pressed down by minimisation);
+* ``cut[e, l]`` — binary, net ``e`` spans more than one level-``l``
+  block (``s_el - 1 <= (B_l - 1) * cut[e, l]`` with ``s_el`` the sum
+  of level-``l`` touch variables and ``B_l`` the block count).
+
+Capacity is linear: for every template vertex ``t``, ``sum_v s(v) *
+sum_{i under t} x[v, i] <= C_level(t)``.  The Equation-(1) objective is
+``sum_e c(e) * sum_l w_l * (s_el - 1 + cut[e, l])`` — the span
+``s_el`` counts when the net is cut (``s - 1 + 1 = s``) and contributes
+zero when whole (``1 - 1 + 0``), exactly the paper's "span 1 counts as
+0" convention.  One symmetry-break pins node 0 to leaf slot 0, valid
+because the uniform template is leaf-transitive.
+
+The module imports cleanly without pulp; :data:`HAS_PULP` gates the
+backend and :class:`ILPOracle.solve` raises
+:class:`~repro.analysis.exact.oracle.ExactBackendUnavailable` when the
+toolchain is missing, so callers (CLI, tests, verify.sh) can SKIP
+rather than fail.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from repro.analysis.exact.oracle import (
+    STATUS_FEASIBLE,
+    STATUS_INFEASIBLE,
+    STATUS_OPTIMAL,
+    STATUS_TIMEOUT,
+    DEFAULT_MAX_LEAVES,
+    ExactBackendUnavailable,
+    ExactOracle,
+    ExactResult,
+    assignment_to_partition,
+    build_template,
+)
+from repro.htp.cost import total_cost
+from repro.htp.hierarchy import HierarchySpec
+from repro.hypergraph.hypergraph import Hypergraph
+
+try:  # pragma: no cover - exercised only where pulp is installed
+    import pulp  # type: ignore
+
+    HAS_PULP = True
+except ImportError:  # pragma: no cover - the no-pulp container path
+    pulp = None
+    HAS_PULP = False
+
+
+class ILPOracle(ExactOracle):
+    """Time-boxed exact ILP solve through pulp's pluggable solvers."""
+
+    name = "ilp"
+
+    def __init__(
+        self,
+        max_leaves: int = DEFAULT_MAX_LEAVES,
+        solver=None,
+    ) -> None:
+        self.max_leaves = max_leaves
+        self.solver = solver
+
+    def solve(
+        self,
+        hypergraph: Hypergraph,
+        spec: HierarchySpec,
+        time_limit: float = 60.0,
+    ) -> ExactResult:
+        if not HAS_PULP:
+            raise ExactBackendUnavailable(
+                "the ILP oracle needs pulp (not installed); "
+                "use method='bnb' or 'dp' instead"
+            )
+        start = time.perf_counter()
+        reason = self.trivially_infeasible(hypergraph, spec)
+        if reason is not None:
+            return ExactResult(
+                status=STATUS_INFEASIBLE,
+                cost=None,
+                partition=None,
+                solver=self.name,
+                runtime_seconds=time.perf_counter() - start,
+                stats={"infeasible_reason": reason},
+            )
+        template = build_template(spec, self.max_leaves)
+        num_levels = spec.num_levels
+        slots = template.num_leaves
+        nets = hypergraph.nets()
+
+        problem = pulp.LpProblem("htp", pulp.LpMinimize)
+        x = {
+            (v, i): pulp.LpVariable(f"x_{v}_{i}", cat="Binary")
+            for v in hypergraph.nodes()
+            for i in range(slots)
+        }
+        for v in hypergraph.nodes():
+            problem += (
+                pulp.lpSum(x[v, i] for i in range(slots)) == 1,
+                f"assign_{v}",
+            )
+        # Symmetry break: the template is leaf-transitive, so node 0 may
+        # be pinned to slot 0 without excluding any distinct partition.
+        problem += x[0, 0] == 1, "symmetry_break"
+
+        slots_under = {
+            t: [
+                i
+                for i, chain in enumerate(template.chains)
+                if t in chain
+            ]
+            for t in range(template.num_vertices)
+        }
+        for t in range(template.num_vertices):
+            problem += (
+                pulp.lpSum(
+                    hypergraph.node_size(v) * x[v, i]
+                    for v in hypergraph.nodes()
+                    for i in slots_under[t]
+                )
+                <= template.capacities[t],
+                f"capacity_{t}",
+            )
+
+        vertices_at = {
+            level: [
+                t
+                for t in range(template.num_vertices)
+                if template.levels[t] == level
+            ]
+            for level in range(num_levels)
+        }
+        objective = []
+        for e, pins in enumerate(nets):
+            cap = hypergraph.net_capacity(e)
+            for level in range(num_levels):
+                weight = spec.weight(level)
+                level_vertices = vertices_at[level]
+                touch = []
+                for t in level_vertices:
+                    y = pulp.LpVariable(f"y_{e}_{t}", cat="Binary")
+                    for v in pins:
+                        for i in slots_under[t]:
+                            problem += y >= x[v, i], f"touch_{e}_{t}_{v}_{i}"
+                    touch.append(y)
+                span = pulp.lpSum(touch)
+                cut = pulp.LpVariable(f"cut_{e}_{level}", cat="Binary")
+                problem += (
+                    span - 1 <= (len(level_vertices) - 1) * cut,
+                    f"cut_link_{e}_{level}",
+                )
+                if weight > 0:
+                    objective.append(cap * weight * (span - 1 + cut))
+        problem += pulp.lpSum(objective)
+
+        solver = self.solver or pulp.PULP_CBC_CMD(
+            msg=False, timeLimit=time_limit
+        )
+        problem.solve(solver)
+        runtime = time.perf_counter() - start
+        lp_status = pulp.LpStatus[problem.status]
+        if lp_status == "Infeasible":
+            return ExactResult(
+                status=STATUS_INFEASIBLE,
+                cost=None,
+                partition=None,
+                solver=self.name,
+                runtime_seconds=runtime,
+                stats={"lp_status": lp_status},
+            )
+        assignment: List[int] = []
+        for v in hypergraph.nodes():
+            slot = next(
+                (
+                    i
+                    for i in range(slots)
+                    if pulp.value(x[v, i]) is not None
+                    and pulp.value(x[v, i]) > 0.5
+                ),
+                None,
+            )
+            if slot is None:
+                return ExactResult(
+                    status=STATUS_TIMEOUT,
+                    cost=None,
+                    partition=None,
+                    solver=self.name,
+                    runtime_seconds=runtime,
+                    stats={"lp_status": lp_status},
+                )
+            assignment.append(slot)
+        partition = assignment_to_partition(assignment, template, spec)
+        status = STATUS_OPTIMAL if lp_status == "Optimal" else STATUS_FEASIBLE
+        cost = total_cost(hypergraph, partition, spec)
+        return ExactResult(
+            status=status,
+            cost=cost,
+            partition=partition,
+            solver=self.name,
+            runtime_seconds=runtime,
+            bound=cost if status == STATUS_OPTIMAL else None,
+            stats={"lp_status": lp_status},
+        )

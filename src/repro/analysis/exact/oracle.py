@@ -1,0 +1,317 @@
+"""The shared substrate of the exact HTP oracles (ROADMAP item 5).
+
+Every exact backend — the pulp ILP (:mod:`repro.analysis.exact.ilp`),
+the branch-and-bound reference (:mod:`repro.analysis.exact.branch_bound`)
+and the tree-metric DP (:mod:`repro.analysis.exact.tree_dp`) — optimises
+over the same finite search space: node-to-leaf assignments of the
+**complete template hierarchy**, the tree in which every level-``l``
+vertex carries exactly ``K_l`` children.  The two directions of the
+reduction make this exact:
+
+* any feasible :class:`~repro.htp.partition.PartitionTree` embeds into
+  the template (each vertex has *at most* ``K_l`` children, the template
+  offers exactly ``K_l`` slots), and
+* any capacity-feasible template assignment induces a feasible
+  partition tree after dropping empty blocks (child counts can only
+  shrink), with identical Equation-(1) cost (empty blocks hold no pins,
+  so they never contribute to any ``span``).
+
+So the minimum over template assignments *is* the HTP optimum, and all
+three backends provably search the same space — which is what lets the
+test tier assert bit-equal agreement between them.
+
+Costs reported by every backend are recomputed canonically through
+:func:`repro.htp.cost.total_cost` on the reconstructed partition, so
+float summation order cannot make two oracles disagree on the same
+solution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.htp.hierarchy import HierarchySpec
+from repro.htp.partition import PartitionTree
+from repro.hypergraph.hypergraph import Hypergraph
+
+#: Status values every :class:`ExactResult` carries.
+STATUS_OPTIMAL = "optimal"
+STATUS_FEASIBLE = "feasible"
+STATUS_TIMEOUT = "timeout"
+STATUS_INFEASIBLE = "infeasible"
+
+#: Refuse templates beyond this many leaf slots — the exact search
+#: space is ``leaves ** nodes``; past this the oracles cannot finish.
+DEFAULT_MAX_LEAVES = 64
+
+#: Refuse instances beyond this many netlist nodes (same rationale).
+DEFAULT_MAX_NODES = 64
+
+
+class ExactIntractable(ReproError):
+    """The instance or hierarchy is too large for the exact oracles."""
+
+
+class ExactBackendUnavailable(ReproError):
+    """The requested exact backend cannot run in this environment
+    (e.g. the ILP backend without ``pulp`` installed)."""
+
+
+@dataclass(frozen=True)
+class TemplateTree:
+    """The complete admissible hierarchy of a :class:`HierarchySpec`.
+
+    Vertices are numbered in BFS order from the root (id 0), so every
+    parent id is smaller than its children's.  ``chains[i][l]`` is the
+    level-``l`` ancestor of leaf slot ``i`` (``chains[i][0]`` is the
+    leaf itself, ``chains[i][L]`` the root).
+    """
+
+    levels: Tuple[int, ...]
+    parents: Tuple[int, ...]
+    children: Tuple[Tuple[int, ...], ...]
+    leaves: Tuple[int, ...]
+    chains: Tuple[Tuple[int, ...], ...]
+    capacities: Tuple[float, ...]
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of template vertices."""
+        return len(self.levels)
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaf slots."""
+        return len(self.leaves)
+
+
+def build_template(
+    spec: HierarchySpec, max_leaves: int = DEFAULT_MAX_LEAVES
+) -> TemplateTree:
+    """The complete template hierarchy of ``spec``.
+
+    Raises :class:`ExactIntractable` when the template would exceed
+    ``max_leaves`` leaf slots (``prod K_l`` grows multiplicatively with
+    the tree height).
+    """
+    num_leaves = 1
+    for level in range(1, spec.num_levels + 1):
+        num_leaves *= spec.branch_bound(level)
+    if num_leaves > max_leaves:
+        raise ExactIntractable(
+            f"template hierarchy has {num_leaves} leaf slots "
+            f"(more than the exact-search limit {max_leaves}); "
+            f"use a shallower hierarchy or a heuristic solver"
+        )
+    levels: List[int] = [spec.num_levels]
+    parents: List[int] = [-1]
+    frontier = [0]
+    for level in range(spec.num_levels - 1, -1, -1):
+        next_frontier: List[int] = []
+        k = spec.branch_bound(level + 1)
+        for parent in frontier:
+            for _slot in range(k):
+                vertex_id = len(levels)
+                levels.append(level)
+                parents.append(parent)
+                next_frontier.append(vertex_id)
+        frontier = next_frontier
+    children: List[List[int]] = [[] for _ in levels]
+    for vertex, parent in enumerate(parents):
+        if parent >= 0:
+            children[parent].append(vertex)
+    chains: List[Tuple[int, ...]] = []
+    for leaf in frontier:
+        chain: List[int] = []
+        vertex = leaf
+        while vertex != -1:
+            chain.append(vertex)
+            vertex = parents[vertex]
+        chains.append(tuple(chain))
+    return TemplateTree(
+        levels=tuple(levels),
+        parents=tuple(parents),
+        children=tuple(tuple(c) for c in children),
+        leaves=tuple(frontier),
+        chains=tuple(chains),
+        capacities=tuple(spec.capacity(level) for level in levels),
+    )
+
+
+def assignment_to_partition(
+    assignment: Sequence[int],
+    template: TemplateTree,
+    spec: HierarchySpec,
+) -> PartitionTree:
+    """Build (and freeze) the partition a template assignment induces.
+
+    ``assignment[node]`` is the template *leaf-slot index* (an index
+    into ``template.leaves``, not a vertex id).  Empty template blocks
+    are dropped; the result satisfies every ``K_l`` by construction.
+    """
+    used: set = set()
+    for slot in set(assignment):
+        used.update(template.chains[slot])
+    tree = PartitionTree(
+        num_nodes=len(assignment), num_levels=spec.num_levels
+    )
+    mapping: Dict[int, int] = {0: tree.root}
+    # BFS vertex order guarantees parents map before children.
+    for vertex in range(1, template.num_vertices):
+        if vertex in used:
+            mapping[vertex] = tree.add_vertex(
+                level=template.levels[vertex],
+                parent=mapping[template.parents[vertex]],
+            )
+    for node, slot in enumerate(assignment):
+        tree.assign(node, mapping[template.leaves[slot]])
+    return tree.freeze()
+
+
+@dataclass
+class ExactResult:
+    """Outcome of an exact solve.
+
+    ``status`` is one of ``optimal`` (cost/partition are the proven
+    Equation-(1) minimum), ``feasible`` (a valid partition was found but
+    optimality was not proven inside the time box), ``timeout`` (the
+    box expired with nothing usable) or ``infeasible`` (no partition
+    satisfies the hierarchy).  ``cost`` is always recomputed through
+    :func:`repro.htp.cost.total_cost` so backends cannot disagree by
+    float summation order.  ``bound`` is the best proven lower bound
+    (equal to ``cost`` when optimal).
+    """
+
+    status: str
+    cost: Optional[float]
+    partition: Optional[PartitionTree]
+    solver: str
+    runtime_seconds: float
+    bound: Optional[float] = None
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def is_optimal(self) -> bool:
+        """True when the cost is the proven optimum."""
+        return self.status == STATUS_OPTIMAL
+
+    def gap(self, achieved_cost: float) -> Optional[float]:
+        """``achieved / optimal`` ratio, or None when not optimal.
+
+        A zero-cost optimum maps to 1.0 when the achieved cost is also
+        (numerically) zero, and ``inf`` otherwise.
+        """
+        if not self.is_optimal or self.cost is None:
+            return None
+        if self.cost <= 1e-12:
+            return 1.0 if achieved_cost <= 1e-9 else float("inf")
+        return achieved_cost / self.cost
+
+
+class ExactOracle:
+    """Interface of an exact solver backend.
+
+    Subclasses set :attr:`name` and implement :meth:`solve`; they must
+    return canonical costs (see :class:`ExactResult`) and honour
+    ``time_limit`` cooperatively.
+    """
+
+    name = "abstract"
+
+    def solve(
+        self,
+        hypergraph: Hypergraph,
+        spec: HierarchySpec,
+        time_limit: float = 60.0,
+    ) -> ExactResult:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def trivially_infeasible(
+        hypergraph: Hypergraph, spec: HierarchySpec
+    ) -> Optional[str]:
+        """A cheap certificate of infeasibility, or None."""
+        c0 = spec.capacity(0)
+        for v in hypergraph.nodes():
+            if hypergraph.node_size(v) > c0 + 1e-9:
+                return (
+                    f"node {v} has size {hypergraph.node_size(v):g} > "
+                    f"C_0 = {c0:g}"
+                )
+        total = hypergraph.total_size()
+        if total > spec.capacity(spec.num_levels) + 1e-9:
+            return (
+                f"total size {total:g} exceeds the root capacity "
+                f"C_L = {spec.capacity(spec.num_levels):g}"
+            )
+        return None
+
+
+def solve_exact(
+    hypergraph: Hypergraph,
+    spec: HierarchySpec,
+    method: str = "auto",
+    time_limit: float = 60.0,
+    max_leaves: int = DEFAULT_MAX_LEAVES,
+    max_nodes: int = DEFAULT_MAX_NODES,
+    incumbent: Optional[PartitionTree] = None,
+) -> ExactResult:
+    """Solve an HTP instance exactly; the front door of the subsystem.
+
+    ``method`` picks the backend: ``'dp'`` (tree-metric DP, raises
+    :class:`~repro.analysis.exact.tree_dp.NotTreeStructured` on
+    non-tree instances), ``'ilp'`` (pulp, raises
+    :class:`ExactBackendUnavailable` without an installed solver),
+    ``'bnb'`` (the built-in exact branch-and-bound) or ``'auto'`` —
+    the DP on tree-structured instances, otherwise the ILP when pulp
+    is available and the branch-and-bound when it is not.
+
+    ``incumbent`` optionally warm-starts the branch-and-bound with a
+    known feasible partition (e.g. a FLOW result), which tightens its
+    pruning bound from the first expansion.
+
+    Raises :class:`ExactIntractable` when the instance exceeds
+    ``max_nodes`` or the template exceeds ``max_leaves`` — exact search
+    on anything larger would only ever time out.
+    """
+    if hypergraph.num_nodes > max_nodes:
+        raise ExactIntractable(
+            f"instance has {hypergraph.num_nodes} nodes (more than the "
+            f"exact-search limit {max_nodes})"
+        )
+    from repro.analysis.exact.branch_bound import BranchBoundOracle
+    from repro.analysis.exact.ilp import HAS_PULP, ILPOracle
+    from repro.analysis.exact.tree_dp import (
+        TreeMetricDPOracle,
+        is_tree_instance,
+    )
+
+    if method == "auto":
+        if is_tree_instance(hypergraph):
+            method = "dp"
+        elif HAS_PULP:
+            method = "ilp"
+        else:
+            method = "bnb"
+    if method == "dp":
+        oracle: ExactOracle = TreeMetricDPOracle(max_leaves=max_leaves)
+    elif method == "ilp":
+        oracle = ILPOracle(max_leaves=max_leaves)
+    elif method == "bnb":
+        oracle = BranchBoundOracle(max_leaves=max_leaves, incumbent=incumbent)
+    else:
+        raise ReproError(
+            f"unknown exact method {method!r} (want auto|dp|ilp|bnb)"
+        )
+    start = time.perf_counter()
+    result = oracle.solve(hypergraph, spec, time_limit=time_limit)
+    # Normalise the runtime to the dispatch boundary so callers can
+    # budget against it regardless of backend bookkeeping.
+    result.runtime_seconds = time.perf_counter() - start
+    return result

@@ -1,0 +1,399 @@
+"""Exact tree-metric DP for tree-structured HTP instances.
+
+Karpinski, Lingas and Sledneu show that optimal cuts and partitions
+are polynomial-time solvable in tree metrics (PAPERS.md); this module
+instantiates that result for HTP.  An instance qualifies when every net
+has exactly two pins and the merged simple graph (parallel nets summed)
+is a forest.  Then a net's Equation-(1) cost depends only on where the
+template chains of its two endpoints diverge — separation is nested
+down the hierarchy, so ``cost(e) = c(e) * 2 * sum_l w_l *
+[chain_u[l] != chain_v[l]]`` — and a leaf-slot pair cost matrix turns
+the objective into a sum of independent tree-edge terms.
+
+The DP runs post-order over each forest component.  The state at node
+``v`` is ``(slot of v, per-leaf-slot load vector)`` mapping to the
+cheapest cost (plus the realising assignment) of the subtree below
+``v``; child states merge by adding the connecting edge's pair cost and
+elementwise load vectors, pruning any vector that violates a template
+capacity (loads only grow, so pruning early is safe).  Components are
+convolved the same way, and the final minimum is the proven optimum.
+
+Polynomial for a fixed hierarchy — the load vectors live in a product
+of per-slot capacity ranges whose dimension is the (constant) template
+leaf count, matching the paper's ``n^O(k)`` shape.  A state budget
+guards the constant: blowing past it raises
+:class:`~repro.analysis.exact.oracle.ExactIntractable` rather than
+hanging.
+
+:func:`tree_dp_refine` is the bridge back into Algorithm 3: it runs
+the DP on the instance itself when tree-structured, or on a maximum
+spanning forest of the clique expansion otherwise, and returns the
+lifted assignment only when it is feasible *and* cheaper under the
+true Equation-(1) cost.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.exact.oracle import (
+    STATUS_INFEASIBLE,
+    STATUS_OPTIMAL,
+    STATUS_TIMEOUT,
+    DEFAULT_MAX_LEAVES,
+    ExactIntractable,
+    ExactOracle,
+    ExactResult,
+    TemplateTree,
+    assignment_to_partition,
+    build_template,
+)
+from repro.errors import ReproError
+from repro.htp.cost import total_cost
+from repro.htp.hierarchy import HierarchySpec
+from repro.htp.partition import PartitionTree
+from repro.htp.validate import partition_violations
+from repro.hypergraph.hypergraph import Hypergraph
+
+#: Abort the DP when any state table exceeds this many entries.
+DEFAULT_STATE_BUDGET = 200_000
+
+
+class NotTreeStructured(ReproError):
+    """The instance is not 2-pin + acyclic, so the tree DP does not apply."""
+
+
+def merged_tree_edges(
+    hypergraph: Hypergraph,
+) -> Optional[Dict[Tuple[int, int], float]]:
+    """Parallel-merged 2-pin edges when the instance is a forest, else None.
+
+    Returns ``{(u, v): summed capacity}`` with ``u < v``.  ``None`` means
+    some net has more than two pins or the merged graph has a cycle.
+    """
+    merged: Dict[Tuple[int, int], float] = {}
+    for net_id, pins in enumerate(hypergraph.nets()):
+        if len(pins) != 2:
+            return None
+        u, v = sorted(pins)
+        merged[(u, v)] = merged.get((u, v), 0.0) + hypergraph.net_capacity(
+            net_id
+        )
+    parent = list(range(hypergraph.num_nodes))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in merged:
+        ru, rv = find(u), find(v)
+        if ru == rv:
+            return None
+        parent[ru] = rv
+    return merged
+
+
+def is_tree_instance(hypergraph: Hypergraph) -> bool:
+    """True when every net is 2-pin and the merged graph is a forest."""
+    return merged_tree_edges(hypergraph) is not None
+
+
+def _pair_costs(
+    template: TemplateTree, spec: HierarchySpec
+) -> List[List[float]]:
+    """``pair[i][j]``: Equation-(1) cost per unit capacity of a 2-pin net
+    whose endpoints sit in leaf slots ``i`` and ``j``."""
+    weights = [spec.weight(level) for level in range(spec.num_levels)]
+    slots = template.num_leaves
+    pair = [[0.0] * slots for _ in range(slots)]
+    for i in range(slots):
+        for j in range(i + 1, slots):
+            cost = 0.0
+            for level in range(spec.num_levels):
+                if template.chains[i][level] != template.chains[j][level]:
+                    cost += 2.0 * weights[level]
+            pair[i][j] = pair[j][i] = cost
+    return pair
+
+
+class TreeMetricDPOracle(ExactOracle):
+    """Polynomial exact oracle on tree-structured instances."""
+
+    name = "tree-dp"
+
+    def __init__(
+        self,
+        max_leaves: int = DEFAULT_MAX_LEAVES,
+        state_budget: int = DEFAULT_STATE_BUDGET,
+    ) -> None:
+        self.max_leaves = max_leaves
+        self.state_budget = state_budget
+
+    def solve(
+        self,
+        hypergraph: Hypergraph,
+        spec: HierarchySpec,
+        time_limit: float = 60.0,
+    ) -> ExactResult:
+        start = time.perf_counter()
+        deadline = start + time_limit
+        merged = merged_tree_edges(hypergraph)
+        if merged is None:
+            raise NotTreeStructured(
+                "tree-metric DP needs 2-pin nets forming a forest; "
+                "use method='bnb' or 'ilp' for general instances"
+            )
+        reason = self.trivially_infeasible(hypergraph, spec)
+        if reason is not None:
+            return ExactResult(
+                status=STATUS_INFEASIBLE,
+                cost=None,
+                partition=None,
+                solver=self.name,
+                runtime_seconds=time.perf_counter() - start,
+                stats={"infeasible_reason": reason},
+            )
+        template = build_template(spec, self.max_leaves)
+        pair = _pair_costs(template, spec)
+        slots = template.num_leaves
+        # Leaf-slot indices under each template vertex, for capacity checks
+        # directly on leaf-load vectors.
+        under: List[Tuple[int, ...]] = []
+        for vertex in range(template.num_vertices):
+            under.append(
+                tuple(
+                    i
+                    for i, chain in enumerate(template.chains)
+                    if vertex in chain
+                )
+            )
+        caps = template.capacities
+
+        def load_ok(loads: Tuple[float, ...]) -> bool:
+            for vertex in range(template.num_vertices):
+                if sum(loads[i] for i in under[vertex]) > caps[vertex] + 1e-9:
+                    return False
+            return True
+
+        adjacency: Dict[int, List[Tuple[int, float]]] = {
+            v: [] for v in hypergraph.nodes()
+        }
+        for (u, v), cap in merged.items():
+            adjacency[u].append((v, cap))
+            adjacency[v].append((u, cap))
+
+        max_states = 0
+
+        def check_budget(size: int) -> None:
+            nonlocal max_states
+            max_states = max(max_states, size)
+            if size > self.state_budget:
+                raise ExactIntractable(
+                    f"tree DP state table reached {size} entries "
+                    f"(budget {self.state_budget}); instance too wide "
+                    f"for this hierarchy"
+                )
+
+        # State: Dict[(slot, loads)] -> (cost, {node: slot}) for the
+        # processed subtree/forest prefix, where ``slot`` anchors the
+        # current subtree root (slot -1 after a component is closed).
+        State = Dict[Tuple[int, Tuple[float, ...]], Tuple[float, Dict[int, int]]]
+
+        def solve_component(root: int) -> Dict[Tuple[float, ...], Tuple[float, Dict[int, int]]]:
+            # Iterative post-order to keep recursion depth bounded.
+            post: List[Tuple[int, int]] = []  # (node, parent)
+            stack = [(root, -1)]
+            while stack:
+                node, par = stack.pop()
+                post.append((node, par))
+                for child, _cap in adjacency[node]:
+                    if child != par:
+                        stack.append((child, node))
+            tables: Dict[int, State] = {}
+            for node, par in reversed(post):
+                size = hypergraph.node_size(node)
+                table: State = {}
+                for slot in range(slots):
+                    loads = [0.0] * slots
+                    loads[slot] = size
+                    key = (slot, tuple(loads))
+                    if load_ok(key[1]):
+                        table[key] = (0.0, {node: slot})
+                for child, cap in adjacency[node]:
+                    if child == par:
+                        continue
+                    if time.perf_counter() > deadline:
+                        raise _DeadlineHit()
+                    child_table = tables.pop(child)
+                    combined: State = {}
+                    for (slot, loads), (cost, asg) in table.items():
+                        for (cslot, closes), (ccost, casg) in child_table.items():
+                            new_cost = cost + ccost + cap * pair[slot][cslot]
+                            new_loads = tuple(
+                                a + b for a, b in zip(loads, closes)
+                            )
+                            if not load_ok(new_loads):
+                                continue
+                            key = (slot, new_loads)
+                            prev = combined.get(key)
+                            if prev is None or new_cost < prev[0]:
+                                merged_asg = dict(asg)
+                                merged_asg.update(casg)
+                                combined[key] = (new_cost, merged_asg)
+                    table = combined
+                    check_budget(len(table))
+                tables[node] = table
+            result: Dict[Tuple[float, ...], Tuple[float, Dict[int, int]]] = {}
+            for (_slot, loads), (cost, asg) in tables[root].items():
+                prev = result.get(loads)
+                if prev is None or cost < prev[0]:
+                    result[loads] = (cost, asg)
+            return result
+
+        class _DeadlineHit(Exception):
+            pass
+
+        # Components in node-id order of their smallest member.
+        seen = [False] * hypergraph.num_nodes
+        components: List[int] = []
+        for v in hypergraph.nodes():
+            if seen[v]:
+                continue
+            components.append(v)
+            stack = [v]
+            seen[v] = True
+            while stack:
+                node = stack.pop()
+                for u, _cap in adjacency[node]:
+                    if not seen[u]:
+                        seen[u] = True
+                        stack.append(u)
+
+        try:
+            running: Dict[
+                Tuple[float, ...], Tuple[float, Dict[int, int]]
+            ] = {tuple([0.0] * slots): (0.0, {})}
+            for root in components:
+                component = solve_component(root)
+                convolved: Dict[
+                    Tuple[float, ...], Tuple[float, Dict[int, int]]
+                ] = {}
+                for loads, (cost, asg) in running.items():
+                    for closes, (ccost, casg) in component.items():
+                        new_loads = tuple(
+                            a + b for a, b in zip(loads, closes)
+                        )
+                        if not load_ok(new_loads):
+                            continue
+                        new_cost = cost + ccost
+                        prev = convolved.get(new_loads)
+                        if prev is None or new_cost < prev[0]:
+                            merged_asg = dict(asg)
+                            merged_asg.update(casg)
+                            convolved[new_loads] = (new_cost, merged_asg)
+                running = convolved
+                check_budget(len(running))
+                if not running:
+                    break
+        except _DeadlineHit:
+            return ExactResult(
+                status=STATUS_TIMEOUT,
+                cost=None,
+                partition=None,
+                solver=self.name,
+                runtime_seconds=time.perf_counter() - start,
+                stats={"max_states": float(max_states)},
+            )
+
+        if not running:
+            return ExactResult(
+                status=STATUS_INFEASIBLE,
+                cost=None,
+                partition=None,
+                solver=self.name,
+                runtime_seconds=time.perf_counter() - start,
+                stats={"max_states": float(max_states)},
+            )
+        best_cost, best_asg = min(running.values(), key=lambda item: item[0])
+        assignment = [best_asg[v] for v in hypergraph.nodes()]
+        partition = assignment_to_partition(assignment, template, spec)
+        return ExactResult(
+            status=STATUS_OPTIMAL,
+            cost=total_cost(hypergraph, partition, spec),
+            partition=partition,
+            solver=self.name,
+            runtime_seconds=time.perf_counter() - start,
+            bound=best_cost,
+            stats={"max_states": float(max_states)},
+        )
+
+
+def tree_dp_refine(
+    hypergraph: Hypergraph,
+    spec: HierarchySpec,
+    partition: PartitionTree,
+    graph=None,
+    max_nodes: int = 32,
+    max_leaves: int = DEFAULT_MAX_LEAVES,
+    time_limit: float = 5.0,
+) -> Optional[Tuple[PartitionTree, float]]:
+    """Try to improve ``partition`` with the tree DP; None when it cannot.
+
+    On tree-structured instances the DP is exact, so the result (if
+    cheaper) is the true optimum.  Otherwise the DP runs on a maximum
+    spanning forest of the clique expansion — the heaviest tree
+    approximation of the netlist — and the lifted assignment is
+    evaluated under the *true* Equation-(1) cost; it is returned only
+    when feasible and strictly cheaper than ``partition``.
+
+    Returns ``(better_partition, its_cost)`` or ``None``.  Deliberately
+    cheap to call from Algorithm 3: every give-up path (too many nodes,
+    wide hierarchy, DP state blowup, timeout) returns ``None``.
+    """
+    if hypergraph.num_nodes > max_nodes or hypergraph.num_nets == 0:
+        return None
+    current_cost = total_cost(hypergraph, partition, spec)
+    oracle = TreeMetricDPOracle(max_leaves=max_leaves)
+    if is_tree_instance(hypergraph):
+        try:
+            result = oracle.solve(hypergraph, spec, time_limit=time_limit)
+        except (ExactIntractable, ReproError):
+            return None
+        if result.status == STATUS_OPTIMAL and result.cost < current_cost:
+            return result.partition, result.cost
+        return None
+    # Non-tree instance: DP on the heaviest spanning forest surrogate.
+    from repro.algorithms.prim import prim_mst
+    from repro.hypergraph.expansion import clique_expansion
+
+    if graph is None:
+        graph = clique_expansion(hypergraph)
+    lengths = [-capacity for capacity in graph.capacities()]
+    forest = prim_mst(graph, lengths)
+    if not forest:
+        return None
+    surrogate = Hypergraph(
+        num_nodes=hypergraph.num_nodes,
+        nets=[graph.edge(edge_id) for edge_id in forest],
+        node_sizes=list(hypergraph.node_sizes()),
+        net_capacities=[graph.capacity(edge_id) for edge_id in forest],
+        name=(hypergraph.name + "#mst") if hypergraph.name else "",
+    )
+    try:
+        result = oracle.solve(surrogate, spec, time_limit=time_limit)
+    except (ExactIntractable, ReproError):
+        return None
+    if result.status != STATUS_OPTIMAL or result.partition is None:
+        return None
+    # Lift: same node set, so the surrogate partition applies verbatim;
+    # re-evaluate under the true hypergraph cost and constraints.
+    lifted = result.partition
+    if partition_violations(hypergraph, lifted, spec):
+        return None
+    lifted_cost = total_cost(hypergraph, lifted, spec)
+    if lifted_cost < current_cost:
+        return lifted, lifted_cost
+    return None

@@ -4,6 +4,7 @@ Commands
 --------
 ``htp generate``   write a surrogate/synthetic netlist to an .hgr file
 ``htp partition``  partition a netlist (flow | gfm | rfm) and report cost
+``htp exact``      solve a small instance to proven optimality
 ``htp lowerbound`` compute the LP lower bound of an instance
 ``htp table``      regenerate a paper table (1, 2 or 3)
 ``htp search``     sweep tree heights and report the best hierarchy
@@ -100,6 +101,13 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--nodes", type=int, default=256)
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--scale", type=float, default=1.0)
+    gen.add_argument(
+        "--leaf-size",
+        type=int,
+        default=None,
+        help="rent only: nodes per bottom-level leaf region (default 32; "
+        "must be at least 2)",
+    )
 
     part = sub.add_parser("partition", help="partition a netlist")
     part.add_argument("input", help="input .hgr path")
@@ -194,6 +202,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="resume from the newest valid checkpoint in --checkpoint-dir",
+    )
+    part.add_argument(
+        "--verify-optimal",
+        action="store_true",
+        help="after partitioning, solve the instance exactly (small "
+        "instances only) and report the achieved optimality gap; "
+        "prints SKIP when the instance is out of exact reach",
+    )
+    part.add_argument(
+        "--exact-time-limit",
+        type=float,
+        default=30.0,
+        help="time box for the --verify-optimal exact solve (default 30s)",
+    )
+
+    exact = sub.add_parser(
+        "exact",
+        help="solve a small instance to proven optimality (ground truth)",
+    )
+    exact.add_argument("input", help="input .hgr path")
+    exact.add_argument("--height", type=int, default=2)
+    exact.add_argument(
+        "--method",
+        choices=["auto", "dp", "ilp", "bnb"],
+        default="auto",
+        help="exact backend: tree-metric DP (tree instances), ILP (needs "
+        "pulp), branch-and-bound (always available), or auto-pick",
+    )
+    exact.add_argument(
+        "--time-limit",
+        type=float,
+        default=60.0,
+        help="wall-clock box; expiry downgrades 'optimal' to 'feasible'",
     )
 
     lower = sub.add_parser("lowerbound", help="LP lower bound (small inputs)")
@@ -378,6 +419,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_generate(args)
     if args.command == "partition":
         return _cmd_partition(args)
+    if args.command == "exact":
+        return _cmd_exact(args)
     if args.command == "lowerbound":
         return _cmd_lowerbound(args)
     if args.command == "table":
@@ -394,16 +437,33 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    if args.kind in ISCAS85_SIZES:
-        netlist = iscas85_surrogate(args.kind, seed=args.seed, scale=args.scale)
-    elif args.kind == "planted":
-        netlist = planted_hierarchy_hypergraph(args.nodes, seed=args.seed)
-    elif args.kind == "rent":
-        netlist = rent_hypergraph(args.nodes, seed=args.seed)
-    else:
-        netlist = random_hypergraph(
-            args.nodes, round(args.nodes * 1.2), seed=args.seed
+    if args.leaf_size is not None and args.kind != "rent":
+        print(
+            "error: --leaf-size only applies to --kind rent",
+            file=sys.stderr,
         )
+        return 2
+    try:
+        if args.kind in ISCAS85_SIZES:
+            netlist = iscas85_surrogate(
+                args.kind, seed=args.seed, scale=args.scale
+            )
+        elif args.kind == "planted":
+            netlist = planted_hierarchy_hypergraph(args.nodes, seed=args.seed)
+        elif args.kind == "rent":
+            rent_kwargs = {}
+            if args.leaf_size is not None:
+                rent_kwargs["leaf_size"] = args.leaf_size
+            netlist = rent_hypergraph(
+                args.nodes, seed=args.seed, **rent_kwargs
+            )
+        else:
+            netlist = random_hypergraph(
+                args.nodes, round(args.nodes * 1.2), seed=args.seed
+            )
+    except ReproError as exc:
+        print(f"error: cannot generate netlist: {exc}", file=sys.stderr)
+        return 2
     hio.write_hgr(netlist, args.output)
     print(
         f"wrote {netlist.num_nodes} nodes / {netlist.num_nets} nets / "
@@ -509,6 +569,78 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             f"after FM improvement: {improved.final_cost:g} "
             f"({improved.improvement:.1%} better)"
         )
+        tree, cost = improved.partition, improved.final_cost
+    if args.verify_optimal:
+        _verify_optimal(netlist, tree, cost, spec, args.exact_time_limit)
+    return 0
+
+
+def _verify_optimal(netlist, tree, cost, spec, time_limit: float) -> None:
+    """Report the achieved optimality gap against an exact solve.
+
+    Informational: prints the gap, an inconclusive note (time box hit)
+    or a SKIP (instance out of exact reach) — never changes the exit
+    code, since the partition itself was already produced.
+    """
+    from repro.analysis.exact import (
+        ExactBackendUnavailable,
+        ExactIntractable,
+        solve_exact,
+    )
+
+    try:
+        exact = solve_exact(
+            netlist, spec, method="auto", time_limit=time_limit, incumbent=tree
+        )
+    except (ExactIntractable, ExactBackendUnavailable) as exc:
+        print(f"verify-optimal: SKIP ({exc})")
+        return
+    if exact.is_optimal:
+        gap = exact.gap(cost)
+        print(
+            f"verify-optimal: optimum {exact.cost:g} via {exact.solver}, "
+            f"achieved {cost:g} (gap {gap:.3f}x)"
+        )
+    else:
+        print(
+            f"verify-optimal: inconclusive ({exact.solver} status "
+            f"{exact.status} after {exact.runtime_seconds:.1f}s)"
+        )
+
+
+def _cmd_exact(args: argparse.Namespace) -> int:
+    from repro.analysis.exact import (
+        ExactBackendUnavailable,
+        ExactIntractable,
+        NotTreeStructured,
+        solve_exact,
+    )
+
+    netlist = _load_netlist_checked(args.input)
+    if netlist is None:
+        return 2
+    try:
+        spec = binary_hierarchy(netlist.total_size(), height=args.height)
+        result = solve_exact(
+            netlist, spec, method=args.method, time_limit=args.time_limit
+        )
+    except (
+        ExactIntractable,
+        ExactBackendUnavailable,
+        NotTreeStructured,
+        ReproError,
+    ) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if result.cost is None:
+        print(f"exact: {result.status} via {result.solver} "
+              f"({result.runtime_seconds:.1f}s)")
+        return 1
+    label = "optimal cost" if result.is_optimal else "best feasible cost"
+    print(
+        f"exact: {label} {result.cost:g} via {result.solver} "
+        f"({result.runtime_seconds:.1f}s)"
+    )
     return 0
 
 

@@ -85,6 +85,14 @@ class FlowHTPConfig:
         iterations themselves fan out; with one iteration the pool
         accelerates the metric's violation checks.  Either way the
         result is bit-identical to ``engine='scipy'``.
+    exact_refine:
+        When True, run :func:`repro.analysis.exact.tree_dp_refine` on
+        the best partition before returning — exact on tree-structured
+        instances, a max-spanning-forest surrogate otherwise; adopted
+        only if feasible and strictly cheaper.  Pure end-of-run
+        post-processing on small instances (it gives up silently past
+        its node budget), so it deliberately does not enter the resume
+        fingerprint.
     """
 
     iterations: int = 2
@@ -95,6 +103,7 @@ class FlowHTPConfig:
     metric: SpreadingMetricConfig = field(default_factory=SpreadingMetricConfig)
     seed: int = 0
     parallel: Optional[ParallelConfig] = None
+    exact_refine: bool = False
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -502,6 +511,12 @@ def flow_htp(
 
     if best_partition is None:  # pragma: no cover - unreachable by config guard
         raise PartitionError("FLOW produced no partition")
+    if config.exact_refine:
+        from repro.analysis.exact.tree_dp import tree_dp_refine
+
+        refined = tree_dp_refine(hypergraph, spec, best_partition, graph=graph)
+        if refined is not None:
+            best_partition, best_cost = refined
     return FlowHTPResult(
         partition=best_partition,
         cost=best_cost,

@@ -7,6 +7,8 @@ import the same invariant checkers without path games.
 
 from repro.testing.invariants import (
     InvariantViolation,
+    assert_cost_optimal,
+    assert_gap_bounded,
     check_cost_telescoping,
     check_cut_identity,
     check_g_properties,
@@ -17,6 +19,8 @@ from repro.testing.invariants import (
 
 __all__ = [
     "InvariantViolation",
+    "assert_cost_optimal",
+    "assert_gap_bounded",
     "check_cost_telescoping",
     "check_cut_identity",
     "check_g_properties",

@@ -29,6 +29,13 @@ Covered invariants
     A spreading-metric result is internally consistent: nonnegative
     lengths, ``objective == dot(capacities, lengths)``, and a
     ``satisfied`` flag that the oracle agrees with.
+``assert_cost_optimal``
+    A partition is feasible and its cost equals a proven optimum
+    (ground truth from the exact oracles).
+``assert_gap_bounded``
+    A partition is feasible, never beats a proven optimum, and its
+    achieved/optimal ratio stays within a stated bound; returns the
+    achieved ratio for recording.
 """
 
 from __future__ import annotations
@@ -220,6 +227,73 @@ def check_cost_telescoping(
         f"cost does not telescope: total_cost={nominal}, per-level "
         f"sum={by_level}",
     )
+
+
+# ----------------------------------------------------------------------
+# Optimality (ground truth from repro.analysis.exact)
+# ----------------------------------------------------------------------
+def assert_cost_optimal(
+    hypergraph: Hypergraph,
+    partition: PartitionTree,
+    spec: HierarchySpec,
+    optimal_cost: float,
+    tol: float = 1e-9,
+) -> None:
+    """The partition is feasible and achieves exactly ``optimal_cost``.
+
+    ``optimal_cost`` must come from a proven-optimal exact solve (the
+    tree DP, the ILP or the branch-and-bound with status ``optimal``).
+    The partition's cost is recomputed through the canonical
+    :func:`repro.htp.cost.total_cost`, matching how the oracles report
+    theirs, so agreement is bit-equal on integer-weighted instances.
+    """
+    check_partition_feasible(hypergraph, partition, spec)
+    cost = total_cost(hypergraph, partition, spec)
+    _require(
+        abs(cost - optimal_cost) <= tol * max(1.0, abs(optimal_cost)),
+        f"cost {cost} is not the proven optimum {optimal_cost} "
+        f"(difference {cost - optimal_cost})",
+    )
+
+
+def assert_gap_bounded(
+    hypergraph: Hypergraph,
+    partition: PartitionTree,
+    spec: HierarchySpec,
+    optimal_cost: float,
+    max_ratio: float,
+    tol: float = 1e-9,
+) -> float:
+    """Feasible, no better than the proven optimum, within ``max_ratio``.
+
+    Checks three things: the partition is feasible; its cost is at
+    least ``optimal_cost`` (a heuristic beating a *proven* optimum
+    means one of the two cost computations is broken); and the ratio
+    ``cost / optimal_cost`` does not exceed ``max_ratio``.  Returns the
+    achieved ratio so callers (gap tables, benchmarks) can record it.
+    A zero-cost optimum requires a zero-cost partition and yields 1.0.
+    """
+    check_partition_feasible(hypergraph, partition, spec)
+    cost = total_cost(hypergraph, partition, spec)
+    scale = max(1.0, abs(optimal_cost))
+    _require(
+        cost >= optimal_cost - tol * scale,
+        f"heuristic cost {cost} beats the proven optimum {optimal_cost} "
+        f"— one of the cost computations is broken",
+    )
+    if optimal_cost <= tol:
+        _require(
+            cost <= tol,
+            f"optimum is 0 but the partition costs {cost}",
+        )
+        return 1.0
+    ratio = cost / optimal_cost
+    _require(
+        ratio <= max_ratio + tol,
+        f"optimality gap {ratio:.4f} exceeds the stated bound "
+        f"{max_ratio} (cost {cost}, optimum {optimal_cost})",
+    )
+    return ratio
 
 
 # ----------------------------------------------------------------------

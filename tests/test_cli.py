@@ -231,3 +231,150 @@ class TestUnreadableInput:
         code = main([command, str(tmp_path / "missing.hgr")])
         assert code == 2
         assert "cannot read netlist" in capsys.readouterr().err
+
+
+class TestGenerateEdgeCases:
+    """`generate --kind rent` must reject degenerate requests cleanly."""
+
+    def test_single_node_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["generate", str(tmp_path / "r.hgr"), "--kind", "rent",
+             "--nodes", "1"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot generate netlist")
+        assert "two nodes" in err
+        assert err.count("\n") == 1  # one line, not a traceback
+
+    def test_zero_nodes_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["generate", str(tmp_path / "r.hgr"), "--kind", "rent",
+             "--nodes", "0"]
+        )
+        assert code == 2
+        assert "cannot generate netlist" in capsys.readouterr().err
+
+    def test_leaf_size_one_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["generate", str(tmp_path / "r.hgr"), "--kind", "rent",
+             "--nodes", "64", "--leaf-size", "1"]
+        )
+        assert code == 2
+        assert "leaf_size" in capsys.readouterr().err
+
+    def test_leaf_size_needs_rent(self, tmp_path, capsys):
+        code = main(
+            ["generate", str(tmp_path / "r.hgr"), "--kind", "planted",
+             "--leaf-size", "4"]
+        )
+        assert code == 2
+        assert "--leaf-size only applies" in capsys.readouterr().err
+
+    def test_leaf_size_honoured(self, tmp_path):
+        path = tmp_path / "r.hgr"
+        assert main(
+            ["generate", str(path), "--kind", "rent", "--nodes", "64",
+             "--leaf-size", "8"]
+        ) == 0
+        assert read_hgr(path).num_nodes == 64
+
+    def test_two_node_rent_is_valid(self, tmp_path):
+        """The smallest legal rent instance still writes a valid netlist."""
+        path = tmp_path / "r.hgr"
+        assert main(
+            ["generate", str(path), "--kind", "rent", "--nodes", "2"]
+        ) == 0
+        netlist = read_hgr(path)
+        assert netlist.num_nodes == 2
+        assert netlist.num_nets >= 1
+
+    def test_zero_net_netlist_round_trips(self, tmp_path):
+        """Zero-net hypergraphs survive the .hgr round trip."""
+        from repro.hypergraph import Hypergraph
+
+        path = tmp_path / "z.hgr"
+        write_hgr(Hypergraph(5, nets=[]), path)
+        back = read_hgr(path)
+        assert back.num_nodes == 5
+        assert back.num_nets == 0
+
+
+class TestExactCommand:
+    @pytest.fixture
+    def small_file(self, tmp_path):
+        from repro.hypergraph import Hypergraph
+
+        netlist = Hypergraph(8, nets=[(i, i + 1) for i in range(7)])
+        path = tmp_path / "small.hgr"
+        write_hgr(netlist, path)
+        return str(path)
+
+    def test_exact_solves_small_instance(self, small_file, capsys):
+        code = main(["exact", small_file, "--height", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimal cost" in out
+
+    def test_exact_bnb_method(self, small_file, capsys):
+        code = main(
+            ["exact", small_file, "--height", "2", "--method", "bnb"]
+        )
+        assert code == 0
+        assert "branch-bound" in capsys.readouterr().out
+
+    def test_exact_dp_rejects_non_tree(self, tmp_path, capsys):
+        from repro.hypergraph import Hypergraph
+
+        netlist = Hypergraph(4, nets=[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)])
+        path = tmp_path / "cyc.hgr"
+        write_hgr(netlist, path)
+        code = main(["exact", str(path), "--height", "2", "--method", "dp"])
+        assert code == 2
+        assert "tree" in capsys.readouterr().err
+
+    def test_exact_ilp_without_pulp_exits_2(self, small_file, capsys):
+        from repro.analysis.exact import HAS_PULP
+
+        if HAS_PULP:
+            pytest.skip("pulp installed; the gate does not trigger")
+        code = main(
+            ["exact", small_file, "--height", "2", "--method", "ilp"]
+        )
+        assert code == 2
+        assert "pulp" in capsys.readouterr().err
+
+    def test_exact_missing_file_exits_2(self, tmp_path, capsys):
+        code = main(["exact", str(tmp_path / "missing.hgr")])
+        assert code == 2
+        assert "cannot read netlist" in capsys.readouterr().err
+
+
+class TestVerifyOptimal:
+    @pytest.fixture
+    def small_file(self, tmp_path):
+        from repro.hypergraph import Hypergraph
+
+        netlist = Hypergraph(8, nets=[(i, i + 1) for i in range(7)])
+        path = tmp_path / "small.hgr"
+        write_hgr(netlist, path)
+        return str(path)
+
+    def test_reports_gap(self, small_file, capsys):
+        code = main(
+            ["partition", small_file, "--height", "2", "--verify-optimal"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verify-optimal: optimum" in out
+        assert "gap" in out
+
+    def test_skips_on_large_instance(self, tmp_path, capsys):
+        netlist = planted_hierarchy_hypergraph(128, height=2, seed=0)
+        path = tmp_path / "big.hgr"
+        write_hgr(netlist, path)
+        code = main(
+            ["partition", str(path), "--height", "2", "--verify-optimal"]
+        )
+        assert code == 0
+        assert "verify-optimal: SKIP" in capsys.readouterr().out

@@ -7,6 +7,15 @@ disagreement is a determinism bug.  On mismatch the instance is shrunk
 (dropping nets while the mismatch reproduces) and written to
 ``tests/regressions/`` as a JSON counterexample, which the
 corpus-replay test below then guards forever.
+
+A second cross-check runs ``multilevel-flow`` against flat FLOW on
+small Rent instances: both partitions must be feasible and both
+engines' reported costs must equal the canonical ``total_cost``
+recompute of their own partition.  (The two costs may legitimately
+differ from each other — different algorithms — but neither may
+mis-report or violate a constraint.)  Counterexamples persist as
+``diff_ml_seed*.json`` and replay through the same corpus test,
+dispatched by their ``engines`` field.
 """
 
 from __future__ import annotations
@@ -100,8 +109,15 @@ def _first_mismatch(netlist: Hypergraph, height: int, seed: int):
     return None
 
 
-def _shrink(netlist: Hypergraph, height: int, seed: int) -> Hypergraph:
-    """Greedily drop nets while the engines still disagree."""
+def _shrink(
+    netlist: Hypergraph, height: int, seed: int, mismatch_fn=None
+) -> Hypergraph:
+    """Greedily drop nets while the engines still disagree.
+
+    ``mismatch_fn`` defaults to :func:`_first_mismatch` (resolved at
+    call time so the self-test's monkeypatch applies); the multilevel
+    cross-check passes :func:`_ml_mismatch`.
+    """
     nets = [tuple(pins) for pins in netlist.nets()]
     shrunk = netlist
     i = 0
@@ -110,8 +126,9 @@ def _shrink(netlist: Hypergraph, height: int, seed: int) -> Hypergraph:
         if not candidate_nets:
             break
         candidate = Hypergraph(netlist.num_nodes, nets=candidate_nets)
+        check = mismatch_fn or _first_mismatch
         try:
-            still_bad = _first_mismatch(candidate, height, seed) is not None
+            still_bad = check(candidate, height, seed) is not None
         except Exception:
             still_bad = False  # shrink must preserve *this* failure mode
         if still_bad:
@@ -122,7 +139,9 @@ def _shrink(netlist: Hypergraph, height: int, seed: int) -> Hypergraph:
     return shrunk
 
 
-def _write_counterexample(netlist, height, seed, mismatch) -> Path:
+def _write_counterexample(
+    netlist, height, seed, mismatch, prefix: str = "diff"
+) -> Path:
     REGRESSION_DIR.mkdir(exist_ok=True)
     engines, message = mismatch
     payload = {
@@ -133,9 +152,72 @@ def _write_counterexample(netlist, height, seed, mismatch) -> Path:
         "engines": list(engines),
         "mismatch": message,
     }
-    path = REGRESSION_DIR / f"diff_seed{seed}.json"
+    path = REGRESSION_DIR / f"{prefix}_seed{seed}.json"
     path.write_text(json.dumps(payload, indent=2) + "\n")
     return path
+
+
+# ----------------------------------------------------------------------
+# multilevel-flow vs flat FLOW
+# ----------------------------------------------------------------------
+def _ml_instance(seed: int) -> Hypergraph:
+    """A small Rent netlist sized for a real (multi-level) V-cycle."""
+    from repro.hypergraph.generators import rent_hypergraph
+
+    return rent_hypergraph(120 + 30 * (seed % 3), seed=seed, leaf_size=16)
+
+
+def _ml_mismatch(netlist: Hypergraph, height: int, seed: int):
+    """Cross-check multilevel-flow against flat FLOW on one instance.
+
+    Both must produce feasible partitions, and each engine's reported
+    cost must equal the canonical ``total_cost`` recompute of its own
+    partition.  Returns ``(engine_pair, message)`` or None.
+    """
+    from repro.core.flow_htp import FlowHTPConfig, flow_htp
+    from repro.htp.cost import total_cost
+    from repro.htp.validate import partition_violations
+    from repro.partitioning.multilevel_flow import (
+        MultilevelFlowConfig,
+        multilevel_flow_htp,
+    )
+
+    spec = binary_hierarchy(netlist.total_size(), height=height)
+    flat = flow_htp(
+        netlist, spec, FlowHTPConfig(iterations=1, seed=seed)
+    )
+    ml = multilevel_flow_htp(netlist, spec, MultilevelFlowConfig(seed=seed))
+    pair = ("flat-flow", "multilevel-flow")
+    for name, result in (("flat-flow", flat), ("multilevel-flow", ml)):
+        problems = partition_violations(netlist, result.partition, spec)
+        if problems:
+            return pair, f"{name} partition infeasible: {problems[0]}"
+        recomputed = total_cost(netlist, result.partition, spec)
+        if abs(result.cost - recomputed) > 1e-6 * max(1.0, abs(recomputed)):
+            return (
+                pair,
+                f"{name} reports cost {result.cost!r} but its partition "
+                f"recomputes to {recomputed!r}",
+            )
+    return None
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_multilevel_flow_consistent_with_flat_flow(seed):
+    """multilevel-flow stays feasible and cost-honest vs flat FLOW."""
+    netlist = _ml_instance(seed)
+    height = 3
+    mismatch = _ml_mismatch(netlist, height, seed)
+    if mismatch is not None:
+        shrunk = _shrink(netlist, height, seed, mismatch_fn=_ml_mismatch)
+        final = _ml_mismatch(shrunk, height, seed) or mismatch
+        path = _write_counterexample(
+            shrunk, height, seed, final, prefix="diff_ml"
+        )
+        pytest.fail(
+            f"multilevel cross-check failed: {final[1]} — shrunk "
+            f"reproducer written to {path}"
+        )
 
 
 @pytest.mark.parametrize("seed", [0, 1, 2, 3])
@@ -211,7 +293,12 @@ def _corpus_files():
     ids=lambda p: p.name if p else "empty-corpus",
 )
 def test_regression_corpus_still_identical(path):
-    """Replay every committed counterexample; none may regress."""
+    """Replay every committed counterexample; none may regress.
+
+    Dispatch by the recorded ``engines``: multilevel counterexamples
+    replay through the multilevel cross-check, metric-engine ones
+    through the bit-identity cross-product.
+    """
     if path is None:
         pytest.skip("no regression corpus — determinism holding")
     payload = json.loads(path.read_text())
@@ -219,9 +306,14 @@ def test_regression_corpus_still_identical(path):
         payload["num_nodes"],
         nets=[tuple(pins) for pins in payload["nets"]],
     )
-    mismatch = _first_mismatch(
-        netlist, payload["height"], payload["seed"]
-    )
+    if "multilevel-flow" in payload["engines"]:
+        mismatch = _ml_mismatch(
+            netlist, payload["height"], payload["seed"]
+        )
+    else:
+        mismatch = _first_mismatch(
+            netlist, payload["height"], payload["seed"]
+        )
     assert mismatch is None, (
         f"regression {path.name} reproduces again: {mismatch[1]}"
     )

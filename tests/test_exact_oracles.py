@@ -1,0 +1,264 @@
+"""Unit tests for the exact-oracle subsystem (repro.analysis.exact)."""
+
+import pytest
+
+from repro.analysis.exact import (
+    HAS_PULP,
+    BranchBoundOracle,
+    ExactBackendUnavailable,
+    ExactIntractable,
+    ILPOracle,
+    NotTreeStructured,
+    TreeMetricDPOracle,
+    assignment_to_partition,
+    build_template,
+    is_tree_instance,
+    solve_exact,
+    tree_dp_refine,
+)
+from repro.errors import ReproError
+from repro.htp.cost import total_cost
+from repro.htp.hierarchy import HierarchySpec, figure2_hierarchy
+from repro.htp.validate import partition_violations
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.generators import figure2_hypergraph
+
+SPEC = HierarchySpec(capacities=(2, 4, 8), branching=(2, 2), weights=(1, 2))
+
+
+# ----------------------------------------------------------------------
+# Template tree
+# ----------------------------------------------------------------------
+def test_template_shape_and_chains():
+    template = build_template(SPEC)
+    # 1 root + 2 level-1 + 4 leaves
+    assert template.num_vertices == 7
+    assert template.num_leaves == 4
+    assert template.levels[0] == 2 and template.parents[0] == -1
+    for chain in template.chains:
+        # leaf -> level-1 -> root
+        assert len(chain) == 3 and chain[-1] == 0
+        assert template.levels[chain[0]] == 0
+    # capacities follow levels
+    assert template.capacities[0] == 8
+    assert all(
+        template.capacities[v] == 2
+        for v in template.leaves
+    )
+
+
+def test_template_refuses_wide_hierarchies():
+    wide = HierarchySpec(
+        capacities=(1, 4, 16, 64, 256),
+        branching=(4, 4, 4, 4),
+        weights=(1, 1, 1, 1),
+    )
+    with pytest.raises(ExactIntractable):
+        build_template(wide, max_leaves=64)
+
+
+def test_assignment_to_partition_drops_empty_blocks():
+    template = build_template(SPEC)
+    # all four nodes into slot 0: only one chain is materialised
+    partition = assignment_to_partition([0, 0], template, SPEC)
+    assert not partition_violations(
+        Hypergraph(2, [(0, 1)]), partition, SPEC
+    )
+    assert partition.leaf_of(0) == partition.leaf_of(1)
+    # separated nodes land in distinct leaves
+    split = assignment_to_partition([0, 3], template, SPEC)
+    assert split.leaf_of(0) != split.leaf_of(1)
+
+
+# ----------------------------------------------------------------------
+# Branch-and-bound
+# ----------------------------------------------------------------------
+def test_branch_bound_proves_figure2_optimum():
+    result = BranchBoundOracle().solve(
+        figure2_hypergraph(), figure2_hierarchy(), time_limit=60.0
+    )
+    assert result.status == "optimal"
+    assert result.cost == 20.0
+    assert result.bound == 20.0
+    assert not partition_violations(
+        figure2_hypergraph(), result.partition, figure2_hierarchy()
+    )
+
+
+def test_branch_bound_detects_infeasible():
+    # one node bigger than C_0 can never be placed
+    h = Hypergraph(2, [(0, 1)], node_sizes=[5.0, 1.0])
+    result = BranchBoundOracle().solve(h, SPEC, time_limit=5.0)
+    assert result.status == "infeasible"
+    assert result.cost is None and result.partition is None
+
+
+def test_branch_bound_timeout_is_anytime():
+    # a zero-second box cannot finish but may still carry the incumbent
+    h = figure2_hypergraph()
+    spec = figure2_hierarchy()
+    result = BranchBoundOracle().solve(h, spec, time_limit=0.0)
+    assert result.status in ("feasible", "timeout")
+    if result.status == "feasible":
+        assert result.partition is not None
+        assert result.cost == total_cost(h, result.partition, spec)
+
+
+def test_branch_bound_warm_start_uses_incumbent():
+    h = figure2_hypergraph()
+    spec = figure2_hierarchy()
+    seeded = BranchBoundOracle().solve(h, spec, time_limit=60.0)
+    warm = BranchBoundOracle(incumbent=seeded.partition).solve(
+        h, spec, time_limit=60.0
+    )
+    assert warm.status == "optimal" and warm.cost == 20.0
+    # the warm start can only shrink the explored tree
+    assert warm.stats["expansions"] <= seeded.stats["expansions"]
+
+
+# ----------------------------------------------------------------------
+# Tree-metric DP
+# ----------------------------------------------------------------------
+def test_is_tree_instance_classification():
+    assert is_tree_instance(Hypergraph(3, [(0, 1), (1, 2)]))
+    # parallel nets merge, still a tree
+    assert is_tree_instance(Hypergraph(2, [(0, 1), (0, 1)]))
+    # cycle
+    assert not is_tree_instance(Hypergraph(3, [(0, 1), (1, 2), (0, 2)]))
+    # multi-pin net
+    assert not is_tree_instance(Hypergraph(3, [(0, 1, 2)]))
+
+
+def test_tree_dp_rejects_non_tree():
+    with pytest.raises(NotTreeStructured):
+        TreeMetricDPOracle().solve(
+            Hypergraph(3, [(0, 1), (1, 2), (0, 2)]), SPEC
+        )
+
+
+def test_tree_dp_solves_path_exactly():
+    h = Hypergraph(8, [(i, i + 1) for i in range(7)])
+    result = TreeMetricDPOracle().solve(h, SPEC, time_limit=30.0)
+    assert result.status == "optimal"
+    # path of 8 under (2,4,8)/(2,2): 3 forced cuts at level 0 (one also
+    # at level 1): 3*2*w0 + 1*2*w1 contributions sum to 10
+    assert result.cost == 10.0
+    assert not partition_violations(h, result.partition, SPEC)
+
+
+def test_tree_dp_handles_forest_and_isolated_nodes():
+    # two components + an isolated node
+    h = Hypergraph(5, [(0, 1), (2, 3)])
+    result = TreeMetricDPOracle().solve(h, SPEC, time_limit=30.0)
+    assert result.status == "optimal"
+    assert result.cost == 0.0  # everything fits without cutting any net
+    assert not partition_violations(h, result.partition, SPEC)
+
+
+def test_tree_dp_detects_infeasible():
+    h = Hypergraph(2, [(0, 1)], node_sizes=[5.0, 1.0])
+    result = TreeMetricDPOracle().solve(h, SPEC, time_limit=5.0)
+    assert result.status == "infeasible"
+
+
+def test_tree_dp_state_budget_raises_intractable():
+    h = Hypergraph(8, [(i, i + 1) for i in range(7)])
+    oracle = TreeMetricDPOracle(state_budget=3)
+    with pytest.raises(ExactIntractable):
+        oracle.solve(h, SPEC, time_limit=30.0)
+
+
+# ----------------------------------------------------------------------
+# Dispatcher
+# ----------------------------------------------------------------------
+def test_solve_exact_auto_routes_trees_to_dp():
+    h = Hypergraph(6, [(i, i + 1) for i in range(5)])
+    result = solve_exact(h, SPEC, method="auto")
+    assert result.solver == "tree-dp"
+    assert result.status == "optimal"
+
+
+def test_solve_exact_auto_routes_general_instances():
+    h = Hypergraph(3, [(0, 1), (1, 2), (0, 2)])
+    result = solve_exact(h, SPEC, method="auto")
+    assert result.solver == ("ilp" if HAS_PULP else "branch-bound")
+    assert result.status == "optimal"
+
+
+def test_solve_exact_rejects_unknown_method_and_big_instances():
+    h = Hypergraph(2, [(0, 1)])
+    with pytest.raises(ReproError):
+        solve_exact(h, SPEC, method="simplex")
+    big = Hypergraph(80, [(i, i + 1) for i in range(79)])
+    with pytest.raises(ExactIntractable):
+        solve_exact(big, SPEC, max_nodes=64)
+
+
+def test_ilp_backend_gated_without_pulp():
+    if HAS_PULP:
+        pytest.skip("pulp installed; the gate does not trigger")
+    with pytest.raises(ExactBackendUnavailable):
+        ILPOracle().solve(Hypergraph(2, [(0, 1)]), SPEC)
+
+
+def test_exact_result_gap_semantics():
+    h = Hypergraph(6, [(i, i + 1) for i in range(5)])
+    result = solve_exact(h, SPEC)
+    assert result.gap(result.cost) == 1.0
+    assert result.gap(result.cost * 2) == 2.0
+
+
+# ----------------------------------------------------------------------
+# Refinement bridge
+# ----------------------------------------------------------------------
+def test_tree_dp_refine_improves_suboptimal_tree_partition():
+    h = Hypergraph(8, [(i, i + 1) for i in range(7)])
+    # a deliberately bad feasible partition: interleave odds and evens
+    template = build_template(SPEC)
+    bad = assignment_to_partition(
+        [0, 2, 0, 2, 1, 3, 1, 3], template, SPEC
+    )
+    bad_cost = total_cost(h, bad, SPEC)
+    refined = tree_dp_refine(h, SPEC, bad)
+    assert refined is not None
+    better, better_cost = refined
+    assert better_cost < bad_cost
+    assert better_cost == 10.0  # the proven optimum for this path
+    assert not partition_violations(h, better, SPEC)
+
+
+def test_tree_dp_refine_returns_none_when_already_optimal():
+    h = Hypergraph(8, [(i, i + 1) for i in range(7)])
+    optimal = solve_exact(h, SPEC, method="dp").partition
+    assert tree_dp_refine(h, SPEC, optimal) is None
+
+
+def test_tree_dp_refine_gives_up_on_large_instances():
+    h = Hypergraph(40, [(i, i + 1) for i in range(39)])
+    template_spec = HierarchySpec(
+        capacities=(8, 16, 64), branching=(2, 4), weights=(1, 2)
+    )
+    template = build_template(template_spec)
+    partition = assignment_to_partition(
+        [i // 8 for i in range(40)], template, template_spec
+    )
+    assert (
+        tree_dp_refine(h, template_spec, partition, max_nodes=32) is None
+    )
+
+
+def test_tree_dp_refine_surrogate_on_non_tree_instance():
+    h = figure2_hypergraph()
+    spec = figure2_hierarchy()
+    # a feasible but clearly suboptimal figure2 partition: stripe the
+    # four natural clusters across the four leaves
+    template = build_template(spec)
+    assignment = [i % 4 for i in range(16)]
+    striped = assignment_to_partition(assignment, template, spec)
+    striped_cost = total_cost(h, striped, spec)
+    refined = tree_dp_refine(h, spec, striped)
+    # the MST surrogate recovers the cluster structure and must improve
+    assert refined is not None
+    better, better_cost = refined
+    assert better_cost < striped_cost
+    assert not partition_violations(h, better, spec)

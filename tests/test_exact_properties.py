@@ -1,0 +1,148 @@
+"""Hypothesis properties tying the exact oracles to each other and to FLOW.
+
+The acceptance property of the optimality harness: on every random
+tree-structured instance the tree-metric DP and the general-purpose
+exact solver (the ILP where pulp is installed, the branch-and-bound
+otherwise — both search the same template space) report **bit-equal**
+optimal costs; and FLOW is always feasible and never beats a proven
+optimum, with the achieved gap recorded.
+
+Instances use integer node sizes, net capacities and level weights, so
+every cost is an exact float integer and ``==`` is meaningful.
+``derandomize=True`` keeps the examples identical on every machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.exact import (
+    HAS_PULP,
+    is_tree_instance,
+    solve_exact,
+)
+from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.htp.hierarchy import HierarchySpec
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.testing import assert_cost_optimal, assert_gap_bounded
+
+PROPERTY_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: The general exact reference the DP must agree with bit-equally.
+REFERENCE_METHOD = "ilp" if HAS_PULP else "bnb"
+
+SPEC = HierarchySpec(capacities=(4, 8, 16), branching=(2, 2), weights=(1, 2))
+
+
+@st.composite
+def tree_instances(draw):
+    """Random forests: 4..12 unit-size nodes, integer net capacities."""
+    n = draw(st.integers(min_value=4, max_value=12))
+    # each node >= 1 attaches to a random earlier node; dropping a few
+    # edges turns the tree into a forest now and then
+    parents = [
+        draw(st.integers(min_value=0, max_value=i - 1))
+        for i in range(1, n)
+    ]
+    keep = draw(
+        st.lists(
+            st.booleans(), min_size=n - 1, max_size=n - 1
+        )
+    )
+    nets = [
+        (parent, i + 1)
+        for i, (parent, kept) in enumerate(zip(parents, keep))
+        if kept or i % 3 == 0  # keep enough edges to stay interesting
+    ]
+    if not nets:
+        nets = [(0, 1)]
+    caps = [
+        draw(st.integers(min_value=1, max_value=3)) for _ in nets
+    ]
+    return Hypergraph(num_nodes=n, nets=nets, net_capacities=caps)
+
+
+@st.composite
+def small_instances(draw):
+    """Random small hypergraphs (possibly multi-pin, possibly cyclic)."""
+    n = draw(st.integers(min_value=4, max_value=10))
+    num_nets = draw(st.integers(min_value=2, max_value=2 * n))
+    nets = []
+    for _ in range(num_nets):
+        size = draw(st.integers(min_value=2, max_value=3))
+        pins = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        nets.append(tuple(pins))
+    # spanning chain keeps the instance connected
+    nets.extend((i, i + 1) for i in range(n - 1))
+    caps = [draw(st.integers(min_value=1, max_value=3)) for _ in nets]
+    return Hypergraph(num_nodes=n, nets=nets, net_capacities=caps)
+
+
+@settings(**PROPERTY_SETTINGS)
+@given(instance=tree_instances())
+def test_dp_agrees_bit_equal_with_reference(instance):
+    assert is_tree_instance(instance)
+    dp = solve_exact(instance, SPEC, method="dp", time_limit=30.0)
+    ref = solve_exact(
+        instance, SPEC, method=REFERENCE_METHOD, time_limit=30.0
+    )
+    if dp.status == "optimal" and ref.status == "optimal":
+        assert dp.cost == ref.cost, (
+            f"DP={dp.cost} vs {ref.solver}={ref.cost}"
+        )
+        # each oracle's partition achieves the other's optimum
+        assert_cost_optimal(instance, dp.partition, SPEC, ref.cost)
+        assert_cost_optimal(instance, ref.partition, SPEC, dp.cost)
+
+
+@settings(**PROPERTY_SETTINGS)
+@given(instance=small_instances(), seed=st.integers(0, 3))
+def test_flow_never_beats_proven_optimum(instance, seed):
+    exact = solve_exact(
+        instance, SPEC, method=REFERENCE_METHOD, time_limit=30.0
+    )
+    if exact.status != "optimal":
+        return  # no ground truth inside the box; nothing to assert
+    result = flow_htp(
+        instance, SPEC, FlowHTPConfig(iterations=1, seed=seed)
+    )
+    # feasible, >= optimal, and the gap is finite and recordable
+    ratio = assert_gap_bounded(
+        instance,
+        result.partition,
+        SPEC,
+        exact.cost,
+        max_ratio=float("inf"),
+    )
+    assert ratio >= 1.0 - 1e-9
+    assert exact.gap(result.cost) == pytest.approx(ratio)
+
+
+@settings(**PROPERTY_SETTINGS)
+@given(instance=tree_instances())
+def test_exact_refine_config_never_worsens_flow(instance):
+    base = flow_htp(instance, SPEC, FlowHTPConfig(iterations=1, seed=0))
+    refined = flow_htp(
+        instance,
+        SPEC,
+        FlowHTPConfig(iterations=1, seed=0, exact_refine=True),
+    )
+    assert refined.cost <= base.cost
+    # tree instances refine to the proven optimum
+    exact = solve_exact(instance, SPEC, method="dp", time_limit=30.0)
+    if exact.status == "optimal":
+        assert refined.cost == exact.cost

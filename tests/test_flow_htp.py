@@ -122,3 +122,37 @@ class TestPlantedInstance:
         single_result = flow_htp(medium_planted, medium_planted_spec, base)
         multi_result = flow_htp(medium_planted, medium_planted_spec, multi)
         assert multi_result.cost <= single_result.cost + 1e-9
+
+
+class TestExactRefine:
+    """The opt-in DP post-pass (``exact_refine=True``)."""
+
+    def test_refine_never_worsens_and_hits_tree_optimum(self):
+        from repro.analysis.exact import solve_exact
+        from repro.htp.hierarchy import HierarchySpec
+        from repro.hypergraph.hypergraph import Hypergraph
+
+        h = Hypergraph(8, [(i, i + 1) for i in range(7)])
+        spec = HierarchySpec(
+            capacities=(2, 4, 8), branching=(2, 2), weights=(1, 2)
+        )
+        base = flow_htp(h, spec, FlowHTPConfig(iterations=1, seed=0))
+        refined = flow_htp(
+            h, spec, FlowHTPConfig(iterations=1, seed=0, exact_refine=True)
+        )
+        assert refined.cost <= base.cost
+        # on a tree instance the post-pass lands on the proven optimum
+        assert refined.cost == solve_exact(h, spec, method="dp").cost
+        check_partition(h, refined.partition, spec)
+        assert refined.cost == total_cost(h, refined.partition, spec)
+
+    def test_exact_refine_stays_outside_resume_fingerprint(
+        self, fig2_hypergraph, fig2_spec
+    ):
+        from repro.core.checkpoint import run_fingerprint
+
+        off = FlowHTPConfig(iterations=1, seed=0)
+        on = FlowHTPConfig(iterations=1, seed=0, exact_refine=True)
+        assert run_fingerprint(
+            fig2_hypergraph, fig2_spec, off
+        ) == run_fingerprint(fig2_hypergraph, fig2_spec, on)

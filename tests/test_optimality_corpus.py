@@ -1,0 +1,97 @@
+"""The ground-truth tier: golden corpus vs the exact oracles and FLOW.
+
+Every committed instance in ``tests/regressions/optimal/`` carries a
+proven optimal cost.  This module asserts, on every run:
+
+* the branch-and-bound reference reproduces the optimum **bit-equally**
+  (and the ILP does too, where pulp is installed);
+* the tree-metric DP agrees on every tree-structured instance;
+* FLOW under the committed deterministic configuration stays feasible,
+  never beats the proven optimum, and keeps its gap within the
+  committed ``gap_bound``.
+
+A drift in any engine's cost accounting, the exact oracles, or FLOW's
+construction shows up here as a ground-truth failure rather than a
+self-consistency one.
+"""
+
+import pytest
+
+from repro.analysis.exact import (
+    HAS_PULP,
+    iter_corpus,
+    solve_exact,
+)
+from repro.core.flow_htp import FlowHTPConfig, flow_htp
+from repro.testing import assert_cost_optimal, assert_gap_bounded
+
+pytestmark = pytest.mark.optimality
+
+CORPUS = iter_corpus()
+IDS = [instance.name for instance in CORPUS]
+TREE = [instance for instance in CORPUS if instance.tree_structured]
+TREE_IDS = [instance.name for instance in TREE]
+
+
+def test_corpus_is_present_and_covers_both_shapes():
+    assert len(CORPUS) >= 6, "golden corpus went missing or shrank"
+    assert any(i.tree_structured for i in CORPUS)
+    assert any(not i.tree_structured for i in CORPUS)
+
+
+@pytest.mark.parametrize("instance", CORPUS, ids=IDS)
+def test_branch_bound_reproduces_committed_optimum(instance):
+    result = solve_exact(
+        instance.hypergraph, instance.spec, method="bnb", time_limit=60.0
+    )
+    assert result.status == "optimal"
+    # Bit-equal: both sides are total_cost() over integer-valued data.
+    assert result.cost == instance.optimal_cost
+    assert_cost_optimal(
+        instance.hypergraph,
+        result.partition,
+        instance.spec,
+        instance.optimal_cost,
+    )
+
+
+@pytest.mark.parametrize("instance", TREE, ids=TREE_IDS)
+def test_tree_dp_reproduces_committed_optimum(instance):
+    result = solve_exact(
+        instance.hypergraph, instance.spec, method="dp", time_limit=60.0
+    )
+    assert result.status == "optimal"
+    assert result.cost == instance.optimal_cost
+    assert_cost_optimal(
+        instance.hypergraph,
+        result.partition,
+        instance.spec,
+        instance.optimal_cost,
+    )
+
+
+@pytest.mark.skipif(not HAS_PULP, reason="pulp not installed")
+@pytest.mark.parametrize("instance", CORPUS, ids=IDS)
+def test_ilp_reproduces_committed_optimum(instance):
+    result = solve_exact(
+        instance.hypergraph, instance.spec, method="ilp", time_limit=60.0
+    )
+    assert result.status == "optimal"
+    assert result.cost == instance.optimal_cost
+
+
+@pytest.mark.parametrize("instance", CORPUS, ids=IDS)
+def test_flow_gap_stays_within_committed_bound(instance):
+    config = FlowHTPConfig(
+        iterations=int(instance.flow["iterations"]),
+        seed=int(instance.flow["seed"]),
+    )
+    result = flow_htp(instance.hypergraph, instance.spec, config)
+    ratio = assert_gap_bounded(
+        instance.hypergraph,
+        result.partition,
+        instance.spec,
+        instance.optimal_cost,
+        max_ratio=float(instance.flow["gap_bound"]),
+    )
+    assert ratio >= 1.0 - 1e-9
