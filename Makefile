@@ -1,6 +1,6 @@
 # Convenience targets; see scripts/verify.sh for the canonical check.
 
-.PHONY: verify test chaos coverage bench-micro bench-service bench-multilevel bench-optimality docs-check serve-smoke
+.PHONY: verify test chaos coverage bench-micro bench-service bench-multilevel bench-optimality bench-cluster docs-check serve-smoke cluster-smoke
 
 verify:
 	sh scripts/verify.sh
@@ -28,6 +28,12 @@ docs-check:
 serve-smoke:
 	PYTHONPATH=src python scripts/serve_smoke.py
 
+# End-to-end smoke of the cluster tier: htp route + two joined workers
+# as real processes (routed cold solve, shared-cache warm hit, and a
+# mid-solve worker SIGKILL rerouted to a bit-identical finish).
+cluster-smoke:
+	PYTHONPATH=src python scripts/cluster_smoke.py
+
 # Refresh the checked-in micro-bench trajectory (BENCH_micro.json).
 bench-micro:
 	PYTHONPATH=src python -m pytest benchmarks/bench_spreading_batch.py \
@@ -51,3 +57,10 @@ bench-optimality:
 bench-multilevel:
 	PYTHONPATH=src python -m pytest benchmarks/bench_multilevel.py \
 		-q --bench-json BENCH_multilevel.json
+
+# Refresh the cluster load/failover record (BENCH_cluster.json): open-
+# loop arrivals against a real router + worker subprocesses at 1/2/4
+# workers, a shared-cache warm row, and a kill-one-worker recovery row.
+bench-cluster:
+	PYTHONPATH=src python -m pytest benchmarks/bench_cluster.py \
+		-q --bench-json BENCH_cluster.json

@@ -1,0 +1,331 @@
+"""Open-loop load against a real router + worker-subprocess cluster.
+
+Each round stands up an actual ``htp route`` subprocess fronting N
+``htp serve --join`` worker subprocesses (own interpreters, real
+sockets — nothing in-process), then drives a seeded open-loop arrival
+stream at it: job k is submitted at its pre-drawn exponential arrival
+time whether or not earlier jobs finished, the way outside traffic
+actually behaves.  Recorded per round: p50/p99 end-to-end latency
+(arrival to terminal state, queueing included) and completed-job
+throughput, for 1, 2 and 4 workers.
+
+Two more rows complete the story: ``cluster_warm`` measures the
+router's shared cache tier (repeat submissions answered without
+touching a worker), and ``cluster_failover`` SIGKILLs the worker that
+owns a slow job mid-solve and times the reroute-and-resume to a done
+state — the bench-grade version of the chaos drill.
+
+On a single-core container the w2/w4 rows measure placement and
+routing overhead, not parallel speedup — workers time-share one CPU.
+The ``cpu_count`` field in the meta block is there to make that
+readable.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_cluster.py \
+        -q --bench-json BENCH_cluster.json
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.faults import FaultTolerance
+from repro.htp.hierarchy import binary_hierarchy
+from repro.hypergraph.generators import planted_hierarchy_hypergraph
+from repro.service import JobSpec, ServiceClient, ServiceClientError
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Jobs per load round and the mean arrival rate of the open-loop
+#: stream.  Every job is a distinct content address (seeded mix), so
+#: the load rows measure solves, not cache hits.
+JOBS_PER_ROUND = 12
+ARRIVALS_PER_SECOND = 8.0
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _free_port() -> int:
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return env
+
+
+def _spawn_router(port, journal_dir=None):
+    argv = [
+        sys.executable, "-m", "repro.cli", "route",
+        "--host", "127.0.0.1",
+        "--port", str(port),
+        "--heartbeat-interval", "0.5",
+    ]
+    if journal_dir is not None:
+        argv += ["--journal", str(journal_dir)]
+    return subprocess.Popen(
+        argv,
+        env=_env(),
+        cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _spawn_worker(router_url, worker_id, tmp_path, shared_ckpt=False):
+    argv = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--host", "127.0.0.1",
+        "--port", str(_free_port()),
+        "--max-concurrency", "1",
+        "--join", router_url,
+        "--worker-id", worker_id,
+        "--cache-dir", str(tmp_path / f"cache-{worker_id}"),
+    ]
+    if shared_ckpt:
+        argv += ["--checkpoint-dir", str(tmp_path / "ckpt")]
+    return subprocess.Popen(
+        argv,
+        env=_env(),
+        cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+class Cluster:
+    """A router + N worker subprocesses, torn down on exit."""
+
+    def __init__(self, workers, tmp_path, shared_ckpt=False):
+        port = _free_port()
+        self.url = f"http://127.0.0.1:{port}"
+        self.router = _spawn_router(port, journal_dir=tmp_path / "wal")
+        self.client = ServiceClient(
+            self.url,
+            timeout=30,
+            tolerance=FaultTolerance(task_retries=3, backoff_base=0.05),
+        )
+        self.workers = {}
+        self._wait_healthy()
+        for index in range(workers):
+            worker_id = f"w{index}"
+            self.workers[worker_id] = _spawn_worker(
+                self.url, worker_id, tmp_path, shared_ckpt=shared_ckpt
+            )
+        self._wait_alive(workers)
+
+    def _wait_healthy(self, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.router.poll() is not None:
+                raise AssertionError("router exited early")
+            try:
+                self.client.healthz()
+                return
+            except ServiceClientError:
+                time.sleep(0.1)
+        raise AssertionError("router never became healthy")
+
+    def _wait_alive(self, count, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            docs = self.client._request("GET", "/workers")["workers"]
+            if sum(1 for d in docs if d["state"] == "alive") >= count:
+                return
+            time.sleep(0.1)
+        raise AssertionError(f"never saw {count} alive workers")
+
+    def close(self):
+        for process in (*self.workers.values(), self.router):
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def _job_mix(count, seed):
+    """``count`` distinct small specs — the seeded job mix."""
+    specs = []
+    for index in range(count):
+        netlist = planted_hierarchy_hypergraph(
+            32, height=2, seed=seed * 1000 + index
+        )
+        hierarchy = binary_hierarchy(netlist.total_size(), height=2)
+        specs.append(
+            JobSpec.from_parts(netlist, hierarchy, {"iterations": 1})
+        )
+    return specs
+
+
+def _quantile(samples, q):
+    """Linear-interpolation quantile of a small sample list."""
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (position - low)
+
+
+def _open_loop(client, specs, seed):
+    """Submit ``specs`` on a pre-drawn exponential arrival clock.
+
+    Returns (latencies, elapsed): per-job arrival-to-done seconds and
+    the wall time from first arrival to last completion.
+    """
+    rng = random.Random(seed)
+    arrivals, clock = [], 0.0
+    for _ in specs:
+        arrivals.append(clock)
+        clock += rng.expovariate(ARRIVALS_PER_SECOND)
+
+    latencies = []
+    failures = []
+    threads = []
+    start = time.perf_counter()
+
+    def submit_and_time(spec, offset):
+        try:
+            job = client.submit_spec(spec)
+            status = client.wait(job["job_id"], timeout=300)
+            if status["state"] != "done":
+                failures.append(status)
+                return
+            latencies.append(time.perf_counter() - start - offset)
+        except ServiceClientError as exc:
+            failures.append(exc)
+
+    for spec, offset in zip(specs, arrivals):
+        behind = offset - (time.perf_counter() - start)
+        if behind > 0:
+            time.sleep(behind)  # open loop: the clock, not completions
+        # Latency is anchored to the *intended* arrival time, so a
+        # submitter that fell behind still charges the queueing delay.
+        thread = threading.Thread(target=submit_and_time, args=(spec, offset))
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join(timeout=300)
+    elapsed = time.perf_counter() - start
+    assert not failures, f"open-loop jobs failed: {failures[:3]}"
+    return latencies, elapsed
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_load_vs_worker_count(workers, tmp_path_factory, bench_record):
+    tmp_path = tmp_path_factory.mktemp(f"cluster-w{workers}")
+    specs = _job_mix(JOBS_PER_ROUND, seed=workers)
+    with Cluster(workers, tmp_path) as cluster:
+        latencies, elapsed = _open_loop(
+            cluster.client, specs, seed=workers
+        )
+        metrics = cluster.client.metricsz()
+        assert metrics["cluster"]["placements"] == JOBS_PER_ROUND
+        p50 = _quantile(latencies, 0.50)
+        bench_record(
+            f"cluster_load[w{workers}]",
+            p50,
+            p50_seconds=p50,
+            p99_seconds=_quantile(latencies, 0.99),
+            throughput_jobs_per_s=len(latencies) / elapsed,
+            jobs=len(latencies),
+            workers=workers,
+        )
+
+
+def test_warm_cluster_cache(tmp_path_factory, bench_record):
+    """Repeat submissions answered by the router's shared cache tier."""
+    tmp_path = tmp_path_factory.mktemp("cluster-warm")
+    spec = _job_mix(1, seed=99)[0]
+    with Cluster(2, tmp_path) as cluster:
+        client = cluster.client
+
+        start = time.perf_counter()
+        job = client.submit_spec(spec)
+        client.wait(job["job_id"], timeout=300)
+        reference = client.result(job["job_id"])
+        cold_seconds = time.perf_counter() - start
+
+        warm = []
+        for _ in range(10):
+            start = time.perf_counter()
+            doc = client.submit_spec(spec)
+            assert doc["state"] == "done" and doc["cached"] is True
+            assert client.result(doc["job_id"]) == reference
+            warm.append(time.perf_counter() - start)
+
+        # Every repeat stayed in the router: one placement total.
+        assert client.metricsz()["cluster"]["placements"] == 1
+        p50 = _quantile(warm, 0.50)
+        bench_record(
+            "cluster_warm[w2]",
+            p50,
+            p50_seconds=p50,
+            p99_seconds=_quantile(warm, 0.99),
+            jobs=len(warm),
+            workers=2,
+            speedup_vs_cold=round(cold_seconds / max(p50, 1e-9), 1),
+        )
+
+
+def test_failover_recovery_latency(tmp_path_factory, bench_record):
+    """SIGKILL the owning worker mid-solve; time reroute-and-resume."""
+    tmp_path = tmp_path_factory.mktemp("cluster-failover")
+    netlist = planted_hierarchy_hypergraph(64, height=2, seed=2)
+    hierarchy = binary_hierarchy(netlist.total_size(), height=2)
+    slow = JobSpec.from_parts(
+        netlist,
+        hierarchy,
+        {
+            "iterations": 2,
+            "constructions_per_metric": 2,
+            "engine": "python",
+            "max_rounds": 32,
+            "delta": 0.3,
+            "seed": 7,
+        },
+    )
+    with Cluster(2, tmp_path, shared_ckpt=True) as cluster:
+        client = cluster.client
+        submitted = client.submit_spec(slow)
+        victim = submitted["worker"]
+
+        ckpt_dir = tmp_path / "ckpt" / submitted["spec_hash"]
+        deadline = time.monotonic() + 60
+        while not list(ckpt_dir.glob("ckpt-*.json")):
+            assert time.monotonic() < deadline, "no checkpoint before kill"
+            time.sleep(0.02)
+
+        killed_at = time.perf_counter()
+        cluster.workers[victim].kill()
+        cluster.workers[victim].wait(timeout=10)
+
+        finished = client.wait(submitted["job_id"], timeout=300)
+        recovery_seconds = time.perf_counter() - killed_at
+        assert finished["state"] == "done", finished.get("error")
+        assert finished["reroutes"] >= 1
+
+        bench_record(
+            "cluster_failover[kill1of2]",
+            recovery_seconds,
+            recovery_seconds=recovery_seconds,
+            reroutes=finished["reroutes"],
+            workers=2,
+        )

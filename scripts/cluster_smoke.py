@@ -1,0 +1,238 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the cluster tier as real processes.
+
+Spawns an ``htp route`` router and two ``htp serve --join`` workers
+(each its own interpreter, sharing a checkpoint directory), then
+drills both promises the cluster makes:
+
+1. The CLI path: ``htp submit --router`` lands a job on a worker and
+   prints its placement; resubmitting is answered from the router's
+   shared cache with the identical cost and no second placement.
+2. The failover path: a slow job is submitted, the worker that owns
+   it is SIGKILLed mid-solve, and the router must reroute it to the
+   survivor, which resumes from the victim's newest checkpoint — the
+   served result must be bit-identical to an undisturbed local solve
+   of the same spec.
+
+Exits non-zero with a diagnostic on the first deviation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/cluster_smoke.py   (or: make cluster-smoke)
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.core.faults import FaultTolerance  # noqa: E402
+from repro.htp.hierarchy import binary_hierarchy  # noqa: E402
+from repro.hypergraph.generators import (  # noqa: E402
+    planted_hierarchy_hypergraph,
+)
+from repro.service import (  # noqa: E402
+    JobSpec,
+    ServiceClient,
+    ServiceClientError,
+    run_spec,
+)
+
+TIMEOUT = 240  # generous wall-clock budget for the whole smoke
+
+
+def fail(message: str, *details: str) -> None:
+    print(f"cluster-smoke FAIL: {message}", file=sys.stderr)
+    for detail in details:
+        print(f"  {detail}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUT,
+        cwd=REPO,
+    )
+
+
+def spawn(*args: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=REPO,
+    )
+
+
+def announced_url(process: subprocess.Popen, verb: str) -> str:
+    seen = []
+    for _ in range(10):
+        line = process.stdout.readline()
+        if not line:
+            break
+        seen.append(line)
+        match = re.search(rf"{verb} on (http://\S+)", line)
+        if match:
+            return match.group(1)
+    fail(f"process never announced '{verb} on'", f"got: {seen!r}")
+
+
+def wait_alive(client: ServiceClient, count: int, timeout: float = 30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            docs = client._request("GET", "/workers")["workers"]
+        except ServiceClientError:
+            docs = []
+        if sum(1 for d in docs if d["state"] == "alive") >= count:
+            return
+        time.sleep(0.1)
+    fail(f"never saw {count} alive workers", f"workers: {docs!r}")
+
+
+def slow_spec() -> JobSpec:
+    netlist = planted_hierarchy_hypergraph(64, height=2, seed=2)
+    hierarchy = binary_hierarchy(netlist.total_size(), height=2)
+    return JobSpec.from_parts(
+        netlist,
+        hierarchy,
+        {
+            "iterations": 2,
+            "constructions_per_metric": 2,
+            "engine": "python",
+            "max_rounds": 32,
+            "delta": 0.3,
+            "seed": 7,
+        },
+    )
+
+
+def main() -> int:
+    os.environ.setdefault("PYTHONPATH", str(REPO / "src"))
+
+    with tempfile.TemporaryDirectory(prefix="cluster-smoke-") as tmp:
+        netlist = Path(tmp) / "smoke.hgr"
+        generated = run_cli(
+            "generate", str(netlist), "--nodes", "64", "--seed", "0"
+        )
+        if generated.returncode != 0:
+            fail("htp generate failed", generated.stderr)
+
+        processes = []
+        workers = {}
+        try:
+            router = spawn(
+                "route", "--port", "0",
+                "--journal", str(Path(tmp) / "router-wal"),
+                "--heartbeat-interval", "0.5",
+            )
+            processes.append(router)
+            router_url = announced_url(router, "routing")
+            client = ServiceClient(
+                router_url,
+                timeout=30,
+                tolerance=FaultTolerance(task_retries=3, backoff_base=0.05),
+            )
+
+            for worker_id in ("w0", "w1"):
+                worker = spawn(
+                    "serve", "--port", "0",
+                    "--max-concurrency", "1",
+                    "--join", router_url,
+                    "--worker-id", worker_id,
+                    "--cache-dir", str(Path(tmp) / f"cache-{worker_id}"),
+                    "--checkpoint-dir", str(Path(tmp) / "ckpt"),
+                )
+                processes.append(worker)
+                workers[worker_id] = worker
+            wait_alive(client, 2)
+
+            # Phase 1: the CLI path — placement, then a shared-cache hit.
+            submit = ("submit", str(netlist), "--router", router_url,
+                      "--height", "2", "--iterations", "1")
+            cold = run_cli(*submit)
+            if cold.returncode != 0 or "cold" not in cold.stdout:
+                fail("cold submit via router failed",
+                     cold.stdout, cold.stderr)
+            placed = re.search(r"worker ([\w-]+)", cold.stdout)
+            if not placed or placed.group(1) not in workers:
+                fail("cold submit did not report a worker placement",
+                     cold.stdout)
+            warm = run_cli(*submit)
+            if warm.returncode != 0 or "warm (cache hit)" not in warm.stdout:
+                fail("warm submit was not a router cache hit",
+                     warm.stdout, warm.stderr)
+            cost = lambda out: re.search(r"FLOW cost: (\S+)", out).group(1)
+            if cost(cold.stdout) != cost(warm.stdout):
+                fail("warm cost differs from cold cost",
+                     cold.stdout, warm.stdout)
+
+            # Phase 2: kill the worker that owns a slow job mid-solve.
+            spec = slow_spec()
+            submitted = client.submit_spec(spec)
+            victim = submitted["worker"]
+            if victim not in workers:
+                fail(f"slow job placed on unknown worker {victim!r}")
+
+            ckpt_dir = Path(tmp) / "ckpt" / submitted["spec_hash"]
+            kill_deadline = time.monotonic() + 60
+            while not list(ckpt_dir.glob("ckpt-*.json")):
+                if time.monotonic() > kill_deadline:
+                    fail("no checkpoint appeared before the kill window")
+                status = client.status(submitted["job_id"])
+                if status["state"] not in ("queued", "running"):
+                    fail(f"slow job finished too fast to kill: "
+                         f"{status['state']}")
+                time.sleep(0.02)
+
+            workers[victim].kill()
+            workers[victim].wait(timeout=30)
+
+            finished = client.wait(submitted["job_id"], timeout=TIMEOUT)
+            if finished["state"] != "done":
+                fail(f"rerouted job ended {finished['state']}",
+                     str(finished.get("error")))
+            if finished["worker"] == victim or finished["reroutes"] < 1:
+                fail("job did not reroute off the killed worker",
+                     str(finished))
+
+            served = client.result(submitted["job_id"])
+            reference = run_spec(spec).to_dict()
+            semantic = lambda doc: {
+                k: v for k, v in doc.items()
+                if k not in ("runtime_seconds", "perf")
+            }
+            if semantic(served["result"]) != semantic(reference):
+                fail("rerouted result differs from an undisturbed solve")
+
+            metrics = client.metricsz()
+            if metrics["cluster"]["reroutes"] < 1:
+                fail("router metrics reported no reroute",
+                     str(metrics["cluster"]))
+        finally:
+            for process in processes:
+                if process.poll() is None:
+                    process.kill()
+                    process.wait(timeout=30)
+
+    print(
+        "cluster-smoke OK: routed cold solve + shared-cache warm hit"
+        " + mid-solve worker kill rerouted to a bit-identical finish"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,12 @@ REQUIRED_SECTIONS = {
         "## Optimality gap",
     ],
     "docs/architecture.md": ["## Engines"],
+    "docs/cluster.md": [
+        "## Topology",
+        "## Placement policies",
+        "## Failover walkthrough",
+        "## Knob reference",
+    ],
     "docs/multilevel.md": [
         "## The V-cycle",
         "## Coarsening invariants",

@@ -9,7 +9,9 @@
 # Rent instances), an optimality-gap smoke (FLOW vs the exact oracles
 # on the golden corpus; ILP rows SKIP without pulp), the service smoke
 # (htp serve / htp submit as real processes: cold
-# solve, warm cache hit, graceful drain), the documentation checker
+# solve, warm cache hit, graceful drain), the cluster smoke (htp route
+# + two joined workers: routed solve, shared-cache warm hit, mid-solve
+# worker kill rerouted to a bit-identical finish), the documentation checker
 # (runnable snippets, live links, complete benchmark table, required
 # sections), and the coverage gate (line coverage of src/repro/core
 # and src/repro/service may not drop below the committed baseline).
@@ -60,6 +62,9 @@ python -m pytest benchmarks/bench_optimality.py -q
 
 echo "== service smoke =="
 python scripts/serve_smoke.py
+
+echo "== cluster smoke =="
+python scripts/cluster_smoke.py
 
 echo "== docs check =="
 python scripts/docs_check.py

@@ -10,6 +10,7 @@ Commands
 ``htp search``     sweep tree heights and report the best hierarchy
 ``htp separator``  compute a rho-separator of a netlist
 ``htp serve``      run the partitioning service (async job server + cache)
+``htp route``      run the cluster router in front of N joined workers
 ``htp submit``     submit a netlist to a running service and await the result
 
 Netlists are read from hMETIS ``.hgr`` files, or from ISCAS ``.bench``
@@ -336,6 +337,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission control: reject submissions beyond this many "
         "queued jobs with HTTP 429 + Retry-After (default: unbounded)",
     )
+    serve.add_argument(
+        "--join",
+        default=None,
+        metavar="URL",
+        help="register this worker with a cluster router (htp route) and "
+        "heartbeat until shutdown; placement needs a shared "
+        "--checkpoint-dir across workers for bit-identical failover",
+    )
+    serve.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable cluster identity (default: a fresh worker-<hex>); "
+        "requires --join",
+    )
+    serve.add_argument(
+        "--weight",
+        type=float,
+        default=1.0,
+        help="declared capacity weight for cluster placement (default 1.0); "
+        "requires --join",
+    )
+    serve.add_argument(
+        "--advertise-url",
+        default=None,
+        metavar="URL",
+        help="base URL the router should reach this worker at (default: "
+        "the bound host:port); requires --join",
+    )
+
+    route_cmd = sub.add_parser(
+        "route",
+        help="run the cluster router (consistent-hash job placement over "
+        "joined workers)",
+    )
+    route_cmd.add_argument("--host", default="127.0.0.1")
+    route_cmd.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port (default 8948; 0 binds an ephemeral port, printed "
+        "on startup)",
+    )
+    route_cmd.add_argument(
+        "--policy",
+        choices=["hash", "capacity"],
+        default="hash",
+        help="placement policy: 'hash' keeps a spec pinned to its "
+        "consistent-hash owner (cache/checkpoint locality); 'capacity' "
+        "greedily bin-packs by worker weight and live load",
+    )
+    route_cmd.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help="write-ahead placement journal; a restarted router replays "
+        "it and re-places the dead run's in-flight jobs",
+    )
+    route_cmd.add_argument(
+        "--cache-capacity",
+        type=_positive_int,
+        default=256,
+        help="router-side in-memory result LRU entries (default 256)",
+    )
+    route_cmd.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=2.0,
+        help="seconds between expected worker heartbeats (announced to "
+        "joining workers; default 2.0)",
+    )
+    route_cmd.add_argument(
+        "--max-missed",
+        type=_positive_int,
+        default=3,
+        help="missed heartbeat periods before a worker is probed "
+        "(default 3)",
+    )
+    route_cmd.add_argument(
+        "--probe-retries",
+        type=_positive_int,
+        default=2,
+        help="failed probes before a suspect worker is declared dead and "
+        "its jobs reroute (default 2)",
+    )
 
     submit = sub.add_parser(
         "submit", help="submit a netlist to a running service"
@@ -345,6 +430,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--url",
         default=None,
         help="service base URL (default http://127.0.0.1:8947)",
+    )
+    submit.add_argument(
+        "--router",
+        default=None,
+        metavar="URL",
+        help="cluster router base URL (e.g. http://127.0.0.1:8948); the "
+        "router speaks the same job dialect as a worker, so polling and "
+        "results work unchanged; mutually exclusive with --url",
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="fail immediately on HTTP 429 instead of honouring the "
+        "server's Retry-After estimate with a bounded retry loop",
     )
     submit.add_argument("--height", type=int, default=4)
     submit.add_argument("--seed", type=int, default=0)
@@ -431,6 +530,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_separator(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "route":
+        return _cmd_route(args)
     if args.command == "submit":
         return _cmd_submit(args)
     return 2  # pragma: no cover - argparse enforces the choices
@@ -736,7 +837,84 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     }
     if args.journal is not None:
         manager_kwargs["journal"] = Journal(args.journal, fsync=args.fsync)
-    return serve(host=args.host, port=port, manager_kwargs=manager_kwargs)
+    join_kwargs = None
+    if args.join is not None:
+        join_kwargs = {"router_url": args.join, "weight": args.weight}
+        if args.worker_id is not None:
+            join_kwargs["worker_id"] = args.worker_id
+        if args.advertise_url is not None:
+            join_kwargs["advertise_url"] = args.advertise_url
+    elif args.worker_id is not None or args.advertise_url is not None:
+        print(
+            "error: --worker-id/--advertise-url require --join",
+            file=sys.stderr,
+        )
+        return 2
+    return serve(
+        host=args.host,
+        port=port,
+        manager_kwargs=manager_kwargs,
+        join_kwargs=join_kwargs,
+    )
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.service.cluster.router import DEFAULT_ROUTER_PORT, route
+
+    port = args.port if args.port is not None else DEFAULT_ROUTER_PORT
+    router_kwargs = {
+        "policy": args.policy,
+        "journal_dir": args.journal,
+        "cache_capacity": args.cache_capacity,
+        "heartbeat_interval": args.heartbeat_interval,
+        "max_missed": args.max_missed,
+        "probe_retries": args.probe_retries,
+    }
+    return route(host=args.host, port=port, router_kwargs=router_kwargs)
+
+
+#: Bounded 429 retry budget of ``htp submit`` (without ``--no-wait``).
+SUBMIT_RETRY_LIMIT = 5
+
+
+def _submit_with_retry(
+    client,
+    spec,
+    deadline: Optional[float],
+    wait: bool = True,
+    limit: int = SUBMIT_RETRY_LIMIT,
+    announce=print,
+    sleep=None,
+):
+    """Submit, honouring 429 Retry-After with a bounded retry loop.
+
+    A loaded service (or a router whose chosen worker is saturated)
+    answers 429 with its backlog-derived ``Retry-After`` estimate; the
+    client sleeps that long and resubmits, at most ``limit`` times.
+    ``wait=False`` (``htp submit --no-wait``) re-raises immediately.
+    Any non-429 failure re-raises untouched.
+    """
+    import time as _time
+
+    from repro.service.client import ServiceClientError
+
+    sleep = sleep if sleep is not None else _time.sleep
+    attempt = 0
+    while True:
+        try:
+            return client.submit_spec(spec, deadline=deadline)
+        except ServiceClientError as exc:
+            if exc.status != 429 or not wait:
+                raise
+            attempt += 1
+            if attempt > limit:
+                raise
+            hint = exc.retry_after if exc.retry_after is not None else 1.0
+            announce(
+                f"service busy: retrying in {hint:g}s "
+                f"(attempt {attempt}/{limit}, server estimate)"
+            )
+            sleep(hint)
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -744,10 +922,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.service.jobs import JobSpec, JobState
     from repro.service.server import DEFAULT_PORT
 
+    if args.url is not None and args.router is not None:
+        print("error: pass --url or --router, not both", file=sys.stderr)
+        return 2
     netlist = _load_netlist_checked(args.input)
     if netlist is None:
         return 2
-    url = args.url or f"http://127.0.0.1:{DEFAULT_PORT}"
+    url = args.router or args.url or f"http://127.0.0.1:{DEFAULT_PORT}"
     spec = JobSpec.from_parts(
         netlist,
         binary_hierarchy(netlist.total_size(), height=args.height),
@@ -760,7 +941,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     )
     client = ServiceClient(url)
     try:
-        submitted = client.submit_spec(spec, deadline=args.deadline)
+        submitted = _submit_with_retry(
+            client, spec, args.deadline, wait=not args.no_wait
+        )
         status = client.wait(str(submitted["job_id"]), timeout=args.timeout)
         if status["state"] != JobState.DONE.value:
             print(
@@ -775,10 +958,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         return 2 if exc.status == 0 else 1
     result = payload["result"]
     warmth = "warm (cache hit)" if status.get("cached") else "cold"
+    placed = (
+        f", worker {status['worker']}" if status.get("worker") else ""
+    )
     print(
         f"FLOW cost: {result['cost']:g}  "
         f"({result['runtime_seconds']:.1f}s solver, {warmth}, "
-        f"job {status['job_id']})"
+        f"job {status['job_id']}{placed})"
     )
     if args.perf:
         from repro.core.perf import PerfCounters

@@ -92,6 +92,15 @@ Counter semantics
 ``admission_rejections``
     Submissions refused by admission control (bounded queue depth); the
     HTTP layer surfaces these as 429 + ``Retry-After``.
+``cluster_placements``
+    Jobs the cluster router forwarded to a worker (each acknowledged
+    submission counts once, including the re-forward after a reroute).
+``cluster_reroutes``
+    Jobs moved to a new worker after their previous owner died or
+    refused the forward — the reroute rung of the router's ladder.
+``cluster_remote_hits``
+    Router cache misses answered by another worker's durable cache via
+    the ``GET /cache/<hash>`` read-through tier (no solve ran anywhere).
 ``pool_workers``
     Per-worker-process ``dijkstra_sources`` totals, keyed by worker pid —
     shows how evenly the pool's load spread.
@@ -150,6 +159,9 @@ INT_COUNTERS = (
     "journal_replayed",
     "journal_torn_records",
     "admission_rejections",
+    "cluster_placements",
+    "cluster_reroutes",
+    "cluster_remote_hits",
 )
 
 
@@ -199,6 +211,9 @@ class PerfCounters:
     journal_replayed: int = 0
     journal_torn_records: int = 0
     admission_rejections: int = 0
+    cluster_placements: int = 0
+    cluster_reroutes: int = 0
+    cluster_remote_hits: int = 0
     pool_workers: Dict[str, int] = field(default_factory=dict)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     degradations: List[Dict[str, str]] = field(default_factory=list)

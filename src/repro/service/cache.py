@@ -125,6 +125,24 @@ class ResultCache:
         self._install(key, payload)
         self._write_blob(key, payload)
 
+    def keys(self) -> "set[str]":
+        """Every content address this cache can currently answer.
+
+        The union of the memory tier and the durable tier's blob names —
+        what a cluster worker reports to the router's cache index on
+        join/heartbeat.  Disk is listed, not read: a blob that later
+        turns out corrupt is quarantined at ``get`` time and the stale
+        index entry costs the router one failed read-through, never a
+        wrong answer.
+        """
+        keys = set(self._memory)
+        if self.cache_dir is not None and self.cache_dir.is_dir():
+            for path in self.cache_dir.glob("*.json"):
+                stem = path.stem
+                if len(stem) == _KEY_LENGTH and not stem.endswith(".tmp"):
+                    keys.add(stem)
+        return keys
+
     def stats(self) -> Dict[str, object]:
         """The ``metricsz`` view of the cache."""
         return {

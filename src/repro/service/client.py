@@ -120,6 +120,17 @@ class ServiceClient:
         """GET /metricsz."""
         return self._request("GET", "/metricsz", idempotent=True)
 
+    def cache_lookup(self, spec_hash: str) -> Dict[str, object]:
+        """GET /cache/<hash> — a worker's durable-cache read-through.
+
+        Used by the cluster router to answer a submission from *any*
+        worker's disk cache; 404 (raised as :class:`ServiceClientError`)
+        means the worker no longer holds that content address.
+        """
+        return self._request(
+            "GET", f"/cache/{spec_hash}", idempotent=True
+        )
+
     # ------------------------------------------------------------------
     # High-level flow
     # ------------------------------------------------------------------

@@ -1,0 +1,80 @@
+"""Cluster tier: a router placing content-addressed jobs on N workers.
+
+ROADMAP item 1 — "one box is not a service".  The pieces:
+
+- :mod:`~repro.service.cluster.ring` — weighted consistent hashing.
+- :mod:`~repro.service.cluster.placement` — pluggable placement
+  policies (``hash``, ``capacity``).
+- :mod:`~repro.service.cluster.registry` — worker membership,
+  heartbeats, and the alive → suspect → dead ladder.
+- :mod:`~repro.service.cluster.journal` — the router's write-ahead
+  placement journal replay.
+- :mod:`~repro.service.cluster.router` — the router core + HTTP front
+  end (``htp route``).
+- :mod:`~repro.service.cluster.agent` — the worker-side join/heartbeat
+  daemon (``htp serve --join``).
+
+See ``docs/cluster.md`` for the topology and failover walkthrough.
+"""
+
+from repro.service.cluster.agent import WorkerAgent, default_worker_id
+from repro.service.cluster.journal import (
+    CLUSTER_RECORD_TYPES,
+    RecoveredCluster,
+    RecoveredPlacement,
+    replay_cluster,
+)
+from repro.service.cluster.placement import (
+    POLICIES,
+    CapacityPolicy,
+    ConsistentHashPolicy,
+    PlacementPolicy,
+    make_policy,
+)
+from repro.service.cluster.registry import (
+    WORKER_STATES,
+    WorkerInfo,
+    WorkerRegistry,
+)
+from repro.service.cluster.ring import HashRing, key_position
+from repro.service.cluster.router import (
+    ROUTER_CACHE,
+    ClusterRouter,
+    NoCapacityError,
+    ResultNotReady,
+    RouterBusyError,
+    RouterJob,
+    RouterServer,
+    RouterThread,
+    UnknownJobError,
+    route,
+)
+
+__all__ = [
+    "CLUSTER_RECORD_TYPES",
+    "CapacityPolicy",
+    "ClusterRouter",
+    "ConsistentHashPolicy",
+    "HashRing",
+    "NoCapacityError",
+    "POLICIES",
+    "PlacementPolicy",
+    "ROUTER_CACHE",
+    "RecoveredCluster",
+    "RecoveredPlacement",
+    "ResultNotReady",
+    "RouterBusyError",
+    "RouterJob",
+    "RouterServer",
+    "RouterThread",
+    "UnknownJobError",
+    "WORKER_STATES",
+    "WorkerAgent",
+    "WorkerInfo",
+    "WorkerRegistry",
+    "default_worker_id",
+    "key_position",
+    "make_policy",
+    "replay_cluster",
+    "route",
+]

@@ -1,0 +1,139 @@
+"""Cluster placement journal: the router's crash-safe source of truth.
+
+The router reuses the service's CRC-framed append-only
+:class:`~repro.service.journal.Journal` file machinery (same envelope,
+same torn-tail tolerance) with its own record vocabulary:
+
+``placed``
+    A job was accepted and assigned a worker.  Carries the full spec
+    payload — like the service WAL, the journal alone must be enough to
+    finish the work after a crash.
+``forwarded``
+    The owning worker acknowledged the submission; carries the worker's
+    own job id so a restarted router can resume proxying status polls.
+``rerouted``
+    The job moved to a new worker (its previous owner died).  The next
+    ``forwarded`` record binds the new worker-side job id.
+``resolved``
+    The job reached a terminal state (``done`` / ``failed`` /
+    ``cancelled``) as observed by the router.
+
+:func:`replay_cluster` is pure and total, with the same two properties
+the service journal's property tests established: any record prefix
+replays to a valid state, and replaying twice equals replaying once.
+Unknown types, unknown job ids and malformed records are counted on
+``skipped`` and ignored — a router must recover from the longest valid
+prefix of whatever a SIGKILL left behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Record types a cluster journal line may carry.
+CLUSTER_RECORD_TYPES = ("placed", "forwarded", "rerouted", "resolved")
+
+#: Terminal states a ``resolved`` record may carry.
+_RESOLVED_STATES = ("done", "failed", "cancelled")
+
+
+@dataclass
+class RecoveredPlacement:
+    """One routed job's journal-derived state after :func:`replay_cluster`."""
+
+    job_id: str
+    spec_hash: str
+    spec_payload: Dict[str, object]
+    worker: Optional[str] = None
+    worker_job_id: Optional[str] = None
+    state: str = "placed"
+    submitted_at: Optional[float] = None
+    deadline_epoch: Optional[float] = None
+    reroutes: int = 0
+    error: Optional[str] = None
+
+
+@dataclass
+class RecoveredCluster:
+    """The result of replaying a router journal."""
+
+    jobs: Dict[str, RecoveredPlacement] = field(default_factory=dict)
+    replayed: int = 0
+    skipped: int = 0
+
+    def in_order(self) -> List[RecoveredPlacement]:
+        """Placements in first-placement order."""
+        return list(self.jobs.values())
+
+    def open_jobs(self) -> List[RecoveredPlacement]:
+        """Placements still owed to a client (not terminal)."""
+        return [
+            job for job in self.jobs.values()
+            if job.state not in _RESOLVED_STATES
+        ]
+
+
+def replay_cluster(records: List[Dict[str, object]]) -> RecoveredCluster:
+    """Fold router journal records into a placement table (pure, total)."""
+    state = RecoveredCluster()
+    for record in records:
+        state.replayed += 1
+        rtype = record.get("type")
+        job_id = record.get("job_id")
+        if not isinstance(job_id, str) or rtype not in CLUSTER_RECORD_TYPES:
+            state.skipped += 1
+            continue
+        if rtype == "placed":
+            spec_payload = record.get("spec")
+            spec_hash = record.get("spec_hash")
+            worker = record.get("worker")
+            if (
+                job_id in state.jobs
+                or not isinstance(spec_payload, dict)
+                or not isinstance(spec_hash, str)
+                or not isinstance(worker, str)
+            ):
+                state.skipped += 1
+                continue
+            state.jobs[job_id] = RecoveredPlacement(
+                job_id=job_id,
+                spec_hash=spec_hash,
+                spec_payload=spec_payload,
+                worker=worker,
+                submitted_at=record.get("submitted_at"),
+                deadline_epoch=record.get("deadline_epoch"),
+            )
+            continue
+        job = state.jobs.get(job_id)
+        if job is None:
+            state.skipped += 1
+            continue
+        if rtype == "forwarded":
+            worker_job_id = record.get("worker_job_id")
+            if not isinstance(worker_job_id, str):
+                state.skipped += 1
+                continue
+            job.worker_job_id = worker_job_id
+            worker = record.get("worker")
+            if isinstance(worker, str):
+                job.worker = worker
+            continue
+        if rtype == "rerouted":
+            worker = record.get("worker")
+            if not isinstance(worker, str) or job.state in _RESOLVED_STATES:
+                state.skipped += 1
+                continue
+            job.worker = worker
+            job.worker_job_id = None  # rebound by the next ``forwarded``
+            job.reroutes += 1
+            continue
+        # resolved
+        new_state = record.get("state")
+        if new_state not in _RESOLVED_STATES or job.state in _RESOLVED_STATES:
+            state.skipped += 1
+            continue
+        job.state = new_state
+        error = record.get("error")
+        job.error = error if isinstance(error, str) else None
+    return state

@@ -1,0 +1,124 @@
+"""Consistent-hash ring placing content addresses on workers.
+
+The cluster router places every job by its :meth:`JobSpec.canonical_hash`
+content address, so the map from work to worker must be *stable*: adding
+or removing one worker may move only the keys that land on that worker's
+arc, never reshuffle the whole key space (which would cold-start every
+worker-local cache and checkpoint directory at once).  A consistent-hash
+ring gives exactly that property.
+
+Each worker owns ``replicas`` virtual points on a 64-bit ring, drawn
+deterministically from SHA-256 over ``"<worker_id>#<index>"``; a key is
+placed on the first point clockwise from its own hash.  Replica counts
+scale with the worker's declared weight, so a weight-2 worker owns about
+twice the arc of a weight-1 worker — the cheap half of heterogeneous
+placement (the expensive half, live load, is the
+:class:`~repro.service.cluster.placement.CapacityPolicy`'s job).
+
+Everything here is pure and process-independent: the same worker set and
+weights produce the same placement in the router, in tests and across
+restarts — the property the journaled-failover tests pin down.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError
+
+#: Ring points per unit of worker weight.  Large enough that arcs even
+#: out (the classic variance argument), small enough that rebuilding the
+#: ring on membership change stays trivially cheap.
+REPLICAS_PER_WEIGHT = 64
+
+
+def _point(label: str) -> int:
+    """A deterministic 64-bit ring position for ``label``."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def key_position(key: str) -> int:
+    """Ring position of a content address (any hex digest string)."""
+    return _point(f"key:{key}")
+
+
+class HashRing:
+    """An immutable consistent-hash ring over a weighted worker set.
+
+    Parameters
+    ----------
+    weights:
+        Mapping ``worker_id -> weight``; weight must be positive and
+        scales the worker's share of the ring.
+
+    Examples
+    --------
+    >>> ring = HashRing({"a": 1.0, "b": 1.0})
+    >>> ring.place("00" * 32) in ("a", "b")
+    True
+    >>> ring.place("00" * 32) == HashRing({"a": 1.0, "b": 1.0}).place("00" * 32)
+    True
+    """
+
+    def __init__(self, weights: Dict[str, float]) -> None:
+        points: List[Tuple[int, str]] = []
+        for worker_id, weight in weights.items():
+            if weight <= 0:
+                raise ServiceError(
+                    f"worker {worker_id!r} weight must be positive, "
+                    f"got {weight!r}"
+                )
+            replicas = max(1, round(float(weight) * REPLICAS_PER_WEIGHT))
+            for index in range(replicas):
+                points.append((_point(f"{worker_id}#{index}"), worker_id))
+        # Sort by position; break position collisions by worker id so
+        # the ring is a pure function of the weight mapping.
+        points.sort()
+        self._positions = [position for position, _ in points]
+        self._owners = [worker_id for _, worker_id in points]
+        self.weights = dict(weights)
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def place(
+        self, key: str, exclude: Optional[Sequence[str]] = None
+    ) -> Optional[str]:
+        """The worker owning ``key``, walking clockwise past ``exclude``.
+
+        Returns None when the ring is empty or every worker is excluded
+        (the caller decides whether that is a queue-and-wait or an
+        error).
+        """
+        if not self._positions:
+            return None
+        excluded = frozenset(exclude or ())
+        start = bisect.bisect_right(self._positions, key_position(key))
+        for step in range(len(self._owners)):
+            owner = self._owners[(start + step) % len(self._owners)]
+            if owner not in excluded:
+                return owner
+        return None
+
+    def arc_shares(self) -> Dict[str, float]:
+        """Fraction of the key space each worker owns (sums to 1.0).
+
+        Diagnostic used by tests to assert weights translate into
+        proportional arcs.
+        """
+        if not self._positions:
+            return {}
+        total = float(1 << 64)
+        shares: Dict[str, float] = {}
+        for index, position in enumerate(self._positions):
+            previous = self._positions[index - 1] if index else (
+                self._positions[-1] - (1 << 64)
+            )
+            shares[self._owners[index]] = (
+                shares.get(self._owners[index], 0.0)
+                + (position - previous) / total
+            )
+        return shares

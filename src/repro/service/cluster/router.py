@@ -1,0 +1,1140 @@
+"""The cluster router: content-addressed placement over N workers.
+
+``htp route`` runs one of these in front of any number of ``htp serve
+--join`` workers.  Clients speak the *same* wire dialect to the router
+as to a single worker (``POST /jobs``, poll ``GET /jobs/<id>``, fetch
+``GET /jobs/<id>/result``), so ``htp submit`` and
+:class:`~repro.service.client.ServiceClient` work against either
+unchanged; the router adds the membership endpoints the worker agents
+push to (``/workers/join``, ``/workers/<id>/heartbeat``).
+
+A submission flows through three tiers:
+
+1. **Router memory cache** — a bounded LRU over result payloads keyed by
+   the spec's content address.  A hit answers instantly.
+2. **Cluster cache index** — workers report their cached content
+   addresses on join/heartbeat; on a router miss the read-through tier
+   asks an owning worker's ``GET /cache/<hash>`` and installs the
+   result (``cluster_remote_hits``).  The index is advisory: a stale
+   entry costs one failed lookup, never a wrong answer.
+3. **Placement** — the configured policy (``hash`` or ``capacity``, see
+   :mod:`~repro.service.cluster.placement`) picks an alive,
+   engine-capable worker; the placement is journaled *before* the
+   forward (write-ahead, like the worker's own job journal) and the
+   worker's job id is journaled after, so a restarted router owes its
+   clients exactly what the dead one did.
+
+Failure handling mirrors the repo's FaultTolerance ladder — retry,
+reroute, mark dead: a connection-refused forward marks the worker dead
+and tries the next eligible one (journaled as ``rerouted``); a worker
+that stops heartbeating is probed, suspected, then declared dead, and
+its in-flight jobs are re-placed.  Because workers share a checkpoint
+root, the replacement worker resumes each job from its newest
+checkpoint and produces a bit-identical result (the chaos tier proves
+this end to end).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.core.faults import FaultTolerance
+from repro.core.perf import PerfCounters
+from repro.errors import ServiceError
+from repro.service.cache import ResultCache
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.cluster.journal import replay_cluster
+from repro.service.cluster.placement import make_policy
+from repro.service.cluster.registry import WorkerInfo, WorkerRegistry
+from repro.service.jobs import JobSpec
+from repro.service.journal import Journal
+from repro.service.server import HttpServerBase, _HttpError
+
+#: Pseudo-worker recorded in the journal for jobs answered by a cache
+#: tier (no real worker ever saw them).
+ROUTER_CACHE = "router-cache"
+
+#: Default TCP port of ``htp route`` (the worker default plus one).
+DEFAULT_ROUTER_PORT = 8948
+
+#: Terminal router job states (the same wire values a worker serves).
+_TERMINAL = ("done", "failed", "cancelled")
+
+_SEQ_RE = re.compile(r"-r(\d+)$")
+
+
+class UnknownJobError(ServiceError):
+    """No routed job under that id (HTTP 404)."""
+
+
+class NoCapacityError(ServiceError):
+    """No alive, engine-capable worker to place on (HTTP 503)."""
+
+
+class RouterBusyError(ServiceError):
+    """The chosen worker answered 429; carries its Retry-After hint."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ResultNotReady(ServiceError):
+    """Result requested before the job is done (HTTP 409)."""
+
+    def __init__(self, message: str, state: str,
+                 job_error: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.state = state
+        self.job_error = job_error
+
+
+@dataclass
+class RouterJob:
+    """One routed job as the router tracks it.
+
+    ``state`` always holds a client-visible
+    :class:`~repro.service.jobs.JobState` wire value — a job the router
+    has accepted but not yet (re)forwarded reports ``queued``, exactly
+    like a worker-local job waiting in the admission queue.
+    """
+
+    job_id: str
+    spec_hash: str
+    spec_payload: Dict[str, object]
+    state: str = "queued"
+    worker: Optional[str] = None
+    worker_job_id: Optional[str] = None
+    cached: bool = False
+    error: Optional[str] = None
+    result_payload: Optional[Dict[str, object]] = None
+    submitted_at: float = field(default_factory=time.time)
+    deadline_epoch: Optional[float] = None
+    reroutes: int = 0
+    placed_journaled: bool = False
+    rerouting: bool = False
+
+    @property
+    def engine(self) -> Optional[str]:
+        config = self.spec_payload.get("config")
+        if isinstance(config, dict):
+            engine = config.get("engine")
+            if isinstance(engine, str):
+                return engine
+        return None
+
+    def status(self) -> Dict[str, object]:
+        """The JSON status document served by the router."""
+        doc: Dict[str, object] = {
+            "job_id": self.job_id,
+            "spec_hash": self.spec_hash,
+            "state": self.state,
+            "cached": self.cached,
+            "worker": self.worker,
+            "worker_job_id": self.worker_job_id,
+            "reroutes": self.reroutes,
+            "submitted_at": self.submitted_at,
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+
+class ClusterRouter:
+    """Registry + cache tiers + journaled placement (the router core).
+
+    Thread-safe: every public method may be called from any thread (the
+    HTTP front end runs them on executor threads).  The lock is never
+    held across network I/O — worker calls happen between short locked
+    sections, so a slow worker stalls one request, not the router.
+
+    Parameters
+    ----------
+    policy:
+        Placement policy name (``hash`` or ``capacity``).
+    journal_dir:
+        Optional WAL home; same semantics as the worker journal — feed
+        the same directory to a restarted router and it owes clients
+        exactly what the dead one did.
+    cache_capacity:
+        Entries in the router's in-memory result LRU.
+    heartbeat_interval / max_missed / probe_retries:
+        The registry's death-ladder knobs.
+    worker_timeout:
+        HTTP timeout for forwards and status proxying.
+    probe_timeout:
+        HTTP timeout for liveness probes (short: a probe that hangs is
+        a failure).
+    """
+
+    def __init__(
+        self,
+        policy: str = "hash",
+        journal_dir: Optional[Union[str, Path]] = None,
+        cache_capacity: int = 256,
+        heartbeat_interval: float = 2.0,
+        max_missed: int = 3,
+        probe_retries: int = 2,
+        worker_timeout: float = 30.0,
+        probe_timeout: float = 2.0,
+    ) -> None:
+        self.counters = PerfCounters()
+        self.policy = make_policy(policy)
+        self.registry = WorkerRegistry(
+            heartbeat_interval=heartbeat_interval,
+            max_missed=max_missed,
+            probe_retries=probe_retries,
+        )
+        self.cache = ResultCache(
+            capacity=cache_capacity, counters=self.counters
+        )
+        self.journal = (
+            Journal(journal_dir, counters=self.counters)
+            if journal_dir is not None
+            else None
+        )
+        self.worker_timeout = worker_timeout
+        self.probe_timeout = probe_timeout
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, RouterJob] = {}
+        self._clients: Dict[str, ServiceClient] = {}
+        self._seq = 1
+        self._started_at = time.time()
+
+    # ------------------------------------------------------------------
+    # Membership (driven by worker agents)
+    # ------------------------------------------------------------------
+    def join(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Register a worker from its ``POST /workers/join`` payload."""
+        worker_id = payload.get("worker_id")
+        url = payload.get("url")
+        if not isinstance(worker_id, str) or not worker_id:
+            raise ServiceError("join payload needs a non-empty worker_id")
+        if not isinstance(url, str) or not url.startswith("http"):
+            raise ServiceError("join payload needs an http url")
+        try:
+            weight = float(payload.get("weight", 1.0))
+        except (TypeError, ValueError) as exc:
+            raise ServiceError("join weight must be a number") from exc
+        if weight <= 0:
+            raise ServiceError("join weight must be positive")
+        engines = payload.get("engines", ())
+        if not isinstance(engines, (list, tuple)):
+            raise ServiceError("join engines must be a list")
+        cached_keys = payload.get("cached_keys", ())
+        if not isinstance(cached_keys, (list, tuple)):
+            raise ServiceError("join cached_keys must be a list")
+        info = WorkerInfo(
+            worker_id=worker_id,
+            url=url,
+            weight=weight,
+            engines=tuple(str(engine) for engine in engines),
+            max_concurrency=int(payload.get("max_concurrency", 1) or 1),
+            cached_keys={str(key) for key in cached_keys},
+        )
+        with self._lock:
+            self.registry.register(info)
+            alive = len(self.registry.alive())
+        return {
+            "worker_id": worker_id,
+            "heartbeat_interval": self.registry.heartbeat_interval,
+            "workers_alive": alive,
+        }
+
+    def heartbeat(
+        self, worker_id: str, payload: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Record a heartbeat; raises UnknownJobError-style 404 via False."""
+        in_flight = payload.get("in_flight")
+        cached_keys = payload.get("cached_keys", ())
+        if not isinstance(cached_keys, (list, tuple)):
+            cached_keys = ()
+        with self._lock:
+            known = self.registry.heartbeat(
+                worker_id,
+                in_flight=in_flight if isinstance(in_flight, int) else None,
+                cached_keys=(str(key) for key in cached_keys),
+            )
+        if not known:
+            raise UnknownJobError(
+                f"worker {worker_id!r} is not a live member; re-register"
+            )
+        return {"worker_id": worker_id, "known": True}
+
+    def workers(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return [worker.status() for worker in self.registry.workers()]
+
+    # ------------------------------------------------------------------
+    # The client-facing job API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        payload: Dict[str, object],
+        deadline: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Place one spec payload; returns the router job status doc."""
+        spec = JobSpec.from_payload(payload)  # ServiceError -> 400
+        spec_hash = spec.canonical_hash()
+        with self._lock:
+            cached = self.cache.get(spec_hash)
+        if cached is None:
+            cached = self._remote_lookup(spec_hash)
+        if cached is not None:
+            with self._lock:
+                job = self._new_job(spec, spec_hash, deadline)
+                job.state = "done"
+                job.cached = True
+                job.worker = ROUTER_CACHE
+                job.result_payload = cached
+                job.placed_journaled = True
+                self._append(
+                    {
+                        "type": "placed",
+                        "job_id": job.job_id,
+                        "spec_hash": spec_hash,
+                        "spec": job.spec_payload,
+                        "worker": ROUTER_CACHE,
+                        "submitted_at": job.submitted_at,
+                        "deadline_epoch": job.deadline_epoch,
+                    }
+                )
+                self._append(
+                    {
+                        "type": "resolved",
+                        "job_id": job.job_id,
+                        "state": "done",
+                    }
+                )
+                return job.status()
+        with self._lock:
+            job = self._new_job(spec, spec_hash, deadline)
+        self._forward(job)
+        with self._lock:
+            return job.status()
+
+    def get(self, job_id: str) -> RouterJob:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(f"unknown job {job_id!r}")
+        return job
+
+    def jobs(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return [job.status() for job in self._jobs.values()]
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        """The job's status, refreshed from its worker when in flight."""
+        job = self.get(job_id)
+        with self._lock:
+            if job.state in _TERMINAL:
+                return job.status()
+            worker_job_id = job.worker_job_id
+            url = self._worker_url(job.worker)
+        if worker_job_id is None or url is None:
+            return job.status()
+        try:
+            remote = self._client(url).status(worker_job_id)
+        except ServiceClientError as exc:
+            self._poll_failed(job, exc)
+            return job.status()
+        return self._absorb_remote(job, remote)
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        """The result payload; 409-shaped ResultNotReady until done."""
+        self.status(job_id)  # refresh terminal state from the worker
+        job = self.get(job_id)
+        with self._lock:
+            if job.state != "done":
+                raise ResultNotReady(
+                    f"job {job.job_id} is {job.state}, not done",
+                    state=job.state,
+                    job_error=job.error,
+                )
+            if job.result_payload is not None:
+                return dict(job.result_payload)
+        payload = self._fetch_result(job)
+        if payload is None:
+            raise ServiceError(
+                f"job {job.job_id} is done but its result payload is "
+                "unavailable (no cache tier holds "
+                f"{job.spec_hash})"
+            )
+        with self._lock:
+            job.result_payload = payload
+            return dict(payload)
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        job = self.get(job_id)
+        with self._lock:
+            if job.state in _TERMINAL:
+                return job.status()
+            worker_job_id = job.worker_job_id
+            url = self._worker_url(job.worker)
+        if worker_job_id is not None and url is not None:
+            try:
+                self._client(url).cancel(worker_job_id)
+            except ServiceClientError:
+                pass  # the worker may be gone; the cancel stands anyway
+        with self._lock:
+            if job.state not in _TERMINAL:
+                self._resolve(job, "cancelled", error=None)
+            return job.status()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def state_counts(self) -> Dict[str, int]:
+        counts = {
+            state: 0
+            for state in ("queued", "running", "done", "failed", "cancelled")
+        }
+        with self._lock:
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    def metrics(self) -> Dict[str, object]:
+        """The router's ``/metricsz`` document (with a ``cluster`` section)."""
+        with self._lock:
+            return {
+                "perf": self.counters.as_dict(),
+                "cache": self.cache.stats(),
+                "cluster": {
+                    "policy": self.policy.name,
+                    "workers": self.registry.state_counts(),
+                    "heartbeat_interval": self.registry.heartbeat_interval,
+                    "placements": self.counters.cluster_placements,
+                    "reroutes": self.counters.cluster_reroutes,
+                    "remote_cache_hits": self.counters.cluster_remote_hits,
+                },
+                "jobs": self.state_counts(),
+                "journal": (
+                    self.journal.stats() if self.journal is not None else None
+                ),
+            }
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> Dict[str, int]:
+        """Replay the placement journal into the job table."""
+        summary = {"recovered": 0, "open": 0, "resolved": 0, "skipped": 0}
+        if self.journal is None:
+            return summary
+        recovered = replay_cluster(self.journal.scan())
+        self.counters.journal_replayed += recovered.replayed
+        summary["skipped"] = recovered.skipped
+        with self._lock:
+            for placement in recovered.in_order():
+                job = RouterJob(
+                    job_id=placement.job_id,
+                    spec_hash=placement.spec_hash,
+                    spec_payload=placement.spec_payload,
+                    worker=placement.worker,
+                    worker_job_id=placement.worker_job_id,
+                    submitted_at=placement.submitted_at or time.time(),
+                    deadline_epoch=placement.deadline_epoch,
+                    reroutes=placement.reroutes,
+                    placed_journaled=True,
+                )
+                if placement.state in _TERMINAL:
+                    job.state = placement.state
+                    job.error = placement.error
+                    job.cached = placement.worker == ROUTER_CACHE
+                    summary["resolved"] += 1
+                else:
+                    job.state = "queued"
+                    summary["open"] += 1
+                self._jobs[job.job_id] = job
+                summary["recovered"] += 1
+                match = _SEQ_RE.search(placement.job_id)
+                if match:
+                    self._seq = max(self._seq, int(match.group(1)) + 1)
+            self._started_at = time.time()
+        return summary
+
+    def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
+
+    # ------------------------------------------------------------------
+    # The monitor (death ladder + orphan rescue)
+    # ------------------------------------------------------------------
+    def monitor_tick(self) -> None:
+        """One sweep: probe overdue workers, reroute orphaned jobs.
+
+        Called periodically by the HTTP front end; safe to call from
+        tests directly.
+        """
+        now = time.time()
+        with self._lock:
+            overdue = [
+                (worker.worker_id, worker.url)
+                for worker in self.registry.overdue(now)
+            ]
+        for worker_id, url in overdue:
+            try:
+                ServiceClient(
+                    url,
+                    timeout=self.probe_timeout,
+                    tolerance=FaultTolerance(task_retries=0),
+                ).healthz()
+            except ServiceClientError:
+                self._probe_failure(worker_id)
+            else:
+                with self._lock:
+                    # A successful probe counts as the missed heartbeat.
+                    self.registry.heartbeat(worker_id)
+        # Orphan rescue: jobs whose worker is unknown (router restarted,
+        # worker never rejoined) or already dead.  Grace-delayed so a
+        # restarting cluster gets one heartbeat budget to reassemble
+        # before the router starts re-placing work.
+        grace = (
+            self.registry.heartbeat_interval * self.registry.max_missed
+        )
+        if now - self._started_at < grace:
+            return
+        with self._lock:
+            orphans = [
+                job
+                for job in self._jobs.values()
+                if job.state not in _TERMINAL
+                and not job.rerouting
+                and self._worker_state(job.worker) in (None, "dead")
+            ]
+        for job in orphans:
+            self._reroute_job(job)
+
+    def reroute_worker(self, worker_id: str) -> int:
+        """Re-place every non-terminal job owned by a dead worker."""
+        with self._lock:
+            victims = [
+                job
+                for job in self._jobs.values()
+                if job.worker == worker_id
+                and job.state not in _TERMINAL
+                and not job.rerouting
+            ]
+        for job in victims:
+            self._reroute_job(job)
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _new_job(
+        self,
+        spec: JobSpec,
+        spec_hash: str,
+        deadline: Optional[float],
+    ) -> RouterJob:
+        job_id = f"{spec_hash[:12]}-r{self._seq:04d}"
+        self._seq += 1
+        job = RouterJob(
+            job_id=job_id,
+            spec_hash=spec_hash,
+            spec_payload=spec.to_payload(),
+            deadline_epoch=(
+                time.time() + deadline if deadline is not None else None
+            ),
+        )
+        self._jobs[job_id] = job
+        return job
+
+    def _client(self, url: str) -> ServiceClient:
+        with self._lock:
+            client = self._clients.get(url)
+            if client is None:
+                client = ServiceClient(url, timeout=self.worker_timeout)
+                self._clients[url] = client
+            return client
+
+    def _worker_url(self, worker_id: Optional[str]) -> Optional[str]:
+        if worker_id is None or worker_id == ROUTER_CACHE:
+            return None
+        try:
+            return self.registry.get(worker_id).url
+        except ServiceError:
+            return None
+
+    def _worker_state(self, worker_id: Optional[str]) -> Optional[str]:
+        if worker_id == ROUTER_CACHE:
+            return "alive"  # never orphaned: cache answers are terminal
+        try:
+            return self.registry.get(worker_id or "").state
+        except ServiceError:
+            return None
+
+    def _append(self, record: Dict[str, object]) -> None:
+        if self.journal is not None:
+            self.journal.append(record)
+
+    def _resolve(
+        self, job: RouterJob, state: str, error: Optional[str]
+    ) -> None:
+        """Terminal transition (caller holds the lock)."""
+        job.state = state
+        job.error = error
+        record: Dict[str, object] = {
+            "type": "resolved",
+            "job_id": job.job_id,
+            "state": state,
+        }
+        if error is not None:
+            record["error"] = error
+        self._append(record)
+        worker = self.registry._workers.get(job.worker or "")
+        if worker is not None:
+            worker.in_flight = max(0, worker.in_flight - 1)
+
+    def _remote_lookup(self, spec_hash: str) -> Optional[Dict[str, object]]:
+        """Read-through: fetch a result from a worker that reported it."""
+        with self._lock:
+            owners = [
+                (worker.worker_id, worker.url)
+                for worker in self.registry.cache_owners(spec_hash)
+            ]
+        for worker_id, url in owners:
+            try:
+                payload = self._client(url).cache_lookup(spec_hash)
+            except ServiceClientError as exc:
+                if exc.status == 404:
+                    with self._lock:
+                        # Stale index entry (evicted or quarantined).
+                        self.registry.forget_cached(worker_id, spec_hash)
+                continue
+            with self._lock:
+                try:
+                    self.cache.put(spec_hash, payload)
+                except ServiceError:
+                    continue  # wrong-hash payload: treat as a miss
+                self.counters.cluster_remote_hits += 1
+            return payload
+        return None
+
+    def _forward(self, job: RouterJob, exclude: Set[str] = frozenset()) -> bool:
+        """Place + submit ``job`` to a worker, walking the reroute ladder.
+
+        Returns True when a worker acknowledged the submission, False
+        when no eligible worker remains *and* the job already has a
+        journaled placement (it stays ``queued`` for the next monitor
+        sweep).  Raises :class:`NoCapacityError` for a fresh submission
+        with nowhere to go and :class:`RouterBusyError` when the chosen
+        worker answered 429.
+        """
+        tried: Set[str] = set(exclude)
+        while True:
+            with self._lock:
+                eligible = [
+                    worker
+                    for worker in self.registry.alive(job.engine)
+                    if worker.worker_id not in tried
+                ]
+                chosen = self.policy.choose(job.spec_hash, eligible)
+                if chosen is None:
+                    if job.placed_journaled:
+                        # Already owed to the client: park it for the
+                        # monitor's orphan sweep to retry.
+                        job.worker_job_id = None
+                        return False
+                    raise NoCapacityError(
+                        "no alive worker "
+                        + (
+                            f"supporting engine {job.engine!r}"
+                            if job.engine
+                            else "registered"
+                        )
+                        + " to place the job on"
+                    )
+                url = self.registry.get(chosen).url
+                if not job.placed_journaled:
+                    self._append(
+                        {
+                            "type": "placed",
+                            "job_id": job.job_id,
+                            "spec_hash": job.spec_hash,
+                            "spec": job.spec_payload,
+                            "worker": chosen,
+                            "submitted_at": job.submitted_at,
+                            "deadline_epoch": job.deadline_epoch,
+                        }
+                    )
+                    job.placed_journaled = True
+                else:
+                    self._append(
+                        {
+                            "type": "rerouted",
+                            "job_id": job.job_id,
+                            "worker": chosen,
+                        }
+                    )
+                    job.reroutes += 1
+                    self.counters.cluster_reroutes += 1
+                job.worker = chosen
+                job.worker_job_id = None
+                deadline_epoch = job.deadline_epoch
+            remaining: Optional[float] = None
+            if deadline_epoch is not None:
+                remaining = deadline_epoch - time.time()
+                if remaining <= 0:
+                    with self._lock:
+                        self._resolve(
+                            job, "failed", error="deadline expired in transit"
+                        )
+                    return False
+            try:
+                response = self._client(url).submit(
+                    dict(job.spec_payload), deadline=remaining
+                )
+            except ServiceClientError as exc:
+                if exc.status == 0:
+                    # Transport failure: the worker is gone.  Mark it
+                    # dead (a rejoin resurrects it) and try the next.
+                    with self._lock:
+                        try:
+                            self.registry.mark_dead(chosen)
+                        except ServiceError:
+                            pass
+                    tried.add(chosen)
+                    continue
+                if exc.status == 429:
+                    with self._lock:
+                        self._resolve(
+                            job, "failed", error=f"worker busy: {exc}"
+                        )
+                    raise RouterBusyError(
+                        str(exc), retry_after=exc.retry_after or 1.0
+                    ) from exc
+                with self._lock:
+                    self._resolve(
+                        job, "failed", error=f"worker rejected job: {exc}"
+                    )
+                raise ServiceError(
+                    f"worker {chosen} rejected the job: {exc}"
+                ) from exc
+            with self._lock:
+                job.worker_job_id = str(response.get("job_id"))
+                remote_state = response.get("state")
+                job.state = (
+                    str(remote_state)
+                    if remote_state in ("queued", "running", "done")
+                    else "queued"
+                )
+                self._append(
+                    {
+                        "type": "forwarded",
+                        "job_id": job.job_id,
+                        "worker": chosen,
+                        "worker_job_id": job.worker_job_id,
+                    }
+                )
+                self.counters.cluster_placements += 1
+                worker = self.registry._workers.get(chosen)
+                if worker is not None:
+                    worker.in_flight += 1
+            if job.state == "done":
+                # The worker answered from its own cache: absorb now so
+                # the client's very first poll sees a terminal state.
+                self.status(job.job_id)
+            return True
+
+    def _absorb_remote(
+        self, job: RouterJob, remote: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Fold a worker status document into the router's view."""
+        state = str(remote.get("state", "queued"))
+        if state not in _TERMINAL:
+            with self._lock:
+                if job.state not in _TERMINAL:
+                    job.state = state if state in ("queued", "running") else "queued"
+                return job.status()
+        if state == "done":
+            payload: Optional[Dict[str, object]] = None
+            with self._lock:
+                url = self._worker_url(job.worker)
+                worker_job_id = job.worker_job_id
+            if url is not None and worker_job_id is not None:
+                try:
+                    payload = self._client(url).result(worker_job_id)
+                except ServiceClientError:
+                    payload = None
+            with self._lock:
+                if job.state not in _TERMINAL:
+                    if payload is not None:
+                        try:
+                            self.cache.put(job.spec_hash, payload)
+                        except ServiceError:
+                            pass  # quarantined-by-shape: keep the job doc
+                        job.result_payload = payload
+                        job.cached = bool(remote.get("cached", False))
+                        if job.worker is not None:
+                            worker = self.registry._workers.get(job.worker)
+                            if worker is not None:
+                                worker.cached_keys.add(job.spec_hash)
+                    self._resolve(job, "done", error=None)
+                return job.status()
+        error = remote.get("error")
+        with self._lock:
+            if job.state not in _TERMINAL:
+                self._resolve(
+                    job,
+                    state,
+                    error=error if isinstance(error, str) else None,
+                )
+            return job.status()
+
+    def _poll_failed(self, job: RouterJob, exc: ServiceClientError) -> None:
+        """A status proxy failed: feed the death ladder or re-place."""
+        if exc.status == 404:
+            # The worker restarted without its journal and no longer
+            # knows the job: re-place it somewhere immediately.
+            self._reroute_job(job)
+            return
+        if exc.status == 0 and job.worker is not None:
+            self._probe_failure(job.worker)
+
+    def _probe_failure(self, worker_id: str) -> None:
+        with self._lock:
+            try:
+                state = self.registry.probe_failed(worker_id)
+            except ServiceError:
+                return
+        if state == "dead":
+            self.reroute_worker(worker_id)
+
+    def _reroute_job(self, job: RouterJob) -> None:
+        """Re-place one job (its previous owner is gone)."""
+        with self._lock:
+            if job.state in _TERMINAL or job.rerouting:
+                return
+            job.rerouting = True
+            job.state = "queued"
+            exclude = (
+                {job.worker}
+                if job.worker is not None
+                and self._worker_state(job.worker) == "dead"
+                else set()
+            )
+        try:
+            self._forward(job, exclude=exclude)
+        except ServiceError:
+            pass  # parked as queued; the next sweep tries again
+        finally:
+            with self._lock:
+                job.rerouting = False
+
+    def _fetch_result(self, job: RouterJob) -> Optional[Dict[str, object]]:
+        """Find a done job's payload across the cache tiers."""
+        with self._lock:
+            payload = self.cache.get(job.spec_hash)
+        if payload is not None:
+            return payload
+        with self._lock:
+            url = self._worker_url(job.worker)
+        if url is not None:
+            try:
+                payload = self._client(url).cache_lookup(job.spec_hash)
+            except ServiceClientError:
+                payload = None
+            if payload is not None:
+                with self._lock:
+                    try:
+                        self.cache.put(job.spec_hash, payload)
+                        self.counters.cluster_remote_hits += 1
+                    except ServiceError:
+                        payload = None
+                if payload is not None:
+                    return payload
+        return self._remote_lookup(job.spec_hash)
+
+
+class RouterServer(HttpServerBase):
+    """The asyncio HTTP front end over a :class:`ClusterRouter`.
+
+    Same wire dialect as :class:`~repro.service.server.PartitionServer`
+    (it shares the framing base class), with the membership endpoints
+    added:
+
+    =======  ==============================  ==========================
+    method   path                            meaning
+    =======  ==============================  ==========================
+    POST     ``/jobs``                       place a spec on a worker
+    GET      ``/jobs``                       list routed jobs
+    GET      ``/jobs/<id>``                  status (proxied when live)
+    GET      ``/jobs/<id>/result``           result (409 until done)
+    POST     ``/jobs/<id>/cancel``           cancel locally + remotely
+    POST     ``/workers/join``               register a worker
+    POST     ``/workers/<id>/heartbeat``     worker liveness + load
+    GET      ``/workers``                    membership table
+    GET      ``/healthz``                    liveness + counts
+    GET      ``/metricsz``                   perf + cache + cluster
+    =======  ==============================  ==========================
+
+    Blocking router work (worker HTTP calls) runs on the default
+    executor so the event loop keeps accepting heartbeats while a
+    forward is in flight.
+    """
+
+    def __init__(
+        self,
+        router: ClusterRouter,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        super().__init__(host=host, port=port)
+        self.router = router
+        self.recovery_summary: Dict[str, int] = {}
+        self._monitor_task: Optional[asyncio.Task] = None
+
+    async def start(self) -> None:
+        """Recover the journal, bind, start the monitor loop."""
+        self.recovery_summary = self.router.recover()
+        await self._bind()
+        self._monitor_task = asyncio.ensure_future(self._monitor_loop())
+
+    async def stop(self) -> None:
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            try:
+                await self._monitor_task
+            except asyncio.CancelledError:
+                pass
+            self._monitor_task = None
+        await self._unbind()
+        self.router.close()
+
+    async def _monitor_loop(self) -> None:
+        interval = min(1.0, self.router.registry.heartbeat_interval)
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(interval)
+            try:
+                await loop.run_in_executor(None, self.router.monitor_tick)
+            except Exception:  # pragma: no cover - defensive
+                pass  # the monitor must outlive any single bad sweep
+
+    # ------------------------------------------------------------------
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        router = self.router
+        if path == "/healthz":
+            self._require(method, "GET")
+            return 200, {
+                "status": "ok",
+                "role": "router",
+                "workers": router.registry.state_counts(),
+                "jobs": router.state_counts(),
+            }
+        if path == "/metricsz":
+            self._require(method, "GET")
+            return 200, router.metrics()
+        if path == "/workers":
+            if method == "POST":
+                raise _HttpError(405, "POST to /workers/join to register")
+            self._require(method, "GET")
+            return 200, {"workers": router.workers()}
+        if path == "/workers/join":
+            self._require(method, "POST")
+            return 200, router.join(self._json_body(body))
+        if path.startswith("/workers/") and path.endswith("/heartbeat"):
+            self._require(method, "POST")
+            worker_id = path[len("/workers/"): -len("/heartbeat")]
+            return await self._call(
+                router.heartbeat, worker_id, self._json_body(body)
+            )
+        if path == "/jobs":
+            if method == "POST":
+                payload = self._json_body(body)
+                deadline = self._pop_deadline(payload)
+                return await self._call(router.submit, payload, deadline)
+            self._require(method, "GET")
+            return 200, {"jobs": router.jobs()}
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):]
+            if rest.endswith("/result"):
+                self._require(method, "GET")
+                return await self._call(
+                    router.result, rest[: -len("/result")]
+                )
+            if rest.endswith("/cancel"):
+                self._require(method, "POST")
+                return await self._call(router.cancel, rest[: -len("/cancel")])
+            self._require(method, "GET")
+            return await self._call(router.status, rest)
+        raise _HttpError(404, f"no such endpoint {path!r}")
+
+    async def _call(self, fn, *args) -> Tuple[int, Dict[str, object]]:
+        """Run a blocking router call off-loop, mapping its errors."""
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(None, fn, *args)
+        except UnknownJobError as exc:
+            raise _HttpError(404, str(exc)) from exc
+        except NoCapacityError as exc:
+            raise _HttpError(503, str(exc)) from exc
+        except RouterBusyError as exc:
+            raise _HttpError(
+                429,
+                str(exc),
+                headers={"Retry-After": f"{int(exc.retry_after)}"},
+            ) from exc
+        except ResultNotReady as exc:
+            payload: Dict[str, object] = {
+                "error": str(exc),
+                "state": exc.state,
+            }
+            if exc.job_error is not None:
+                payload["job_error"] = exc.job_error
+            return 409, payload
+        if isinstance(result, dict):
+            return 200, result
+        return 200, {"result": result}
+
+    @staticmethod
+    def _pop_deadline(payload: Dict[str, object]) -> Optional[float]:
+        """Extract the optional top-level deadline (same rules as serve)."""
+        if "deadline" not in payload:
+            return None
+        raw = payload.pop("deadline")
+        try:
+            deadline = float(raw)
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(
+                400, f"bad deadline {raw!r}: not a number"
+            ) from exc
+        if deadline <= 0:
+            raise _HttpError(400, f"bad deadline {deadline!r}: must be positive")
+        return deadline
+
+
+class RouterThread:
+    """A :class:`RouterServer` on a daemon thread, for sync callers.
+
+    Mirrors :class:`~repro.service.server.ServerThread`: the constructor
+    blocks until the socket is bound, :meth:`stop` shuts down and joins.
+    """
+
+    def __init__(
+        self,
+        router_kwargs: Optional[Dict[str, object]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._started = threading.Event()
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._startup_error: Optional[BaseException] = None
+        self._router_kwargs = dict(router_kwargs or {})
+        self._host = host
+        self._requested_port = port
+        self.server: Optional[RouterServer] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-route", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_requested = asyncio.Event()
+        try:
+            router = ClusterRouter(**self._router_kwargs)
+            self.server = RouterServer(
+                router, host=self._host, port=self._requested_port
+            )
+            await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self._stop_requested.wait()
+        await self.server.stop()
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None
+        return self.server.port
+
+    @property
+    def url(self) -> str:
+        assert self.server is not None
+        return self.server.url
+
+    @property
+    def router(self) -> ClusterRouter:
+        assert self.server is not None
+        return self.server.router
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        if self._loop is None or self._stop_requested is None:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self._stop_requested.set)
+        except RuntimeError:  # loop already closed
+            pass
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "RouterThread":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def route(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    router_kwargs: Optional[Dict[str, object]] = None,
+    announce=print,
+) -> int:
+    """Run a router until SIGINT/SIGTERM — the entry behind ``htp route``."""
+
+    async def _main() -> None:
+        router = ClusterRouter(**(router_kwargs or {}))
+        server = RouterServer(router, host=host, port=port)
+        await server.start()
+        if server.recovery_summary.get("recovered"):
+            announce(
+                "recovered placements from journal: "
+                + " ".join(
+                    f"{name}={count}"
+                    for name, count in server.recovery_summary.items()
+                    if count
+                )
+            )
+        announce(f"routing on {server.url}")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await stop.wait()
+        announce("router shutting down")
+        await server.stop()
+        counts = router.state_counts()
+        announce(
+            "routed: "
+            + " ".join(f"{state}={count}" for state, count in counts.items())
+        )
+
+    asyncio.run(_main())
+    return 0

@@ -683,6 +683,17 @@ class JobManager:
         """Jobs accepted but not yet running (the admission gauge)."""
         return self._queued
 
+    @property
+    def in_flight(self) -> int:
+        """Jobs accepted and not yet settled (queued + running) — the
+        load figure a cluster worker reports on its heartbeats."""
+        return self._in_flight
+
+    @property
+    def max_concurrency(self) -> int:
+        """The worker-pool width announced to a cluster router."""
+        return self._max_concurrency
+
     def retry_after(self) -> float:
         """Seconds a rejected client should wait before resubmitting.
 
@@ -769,6 +780,17 @@ class JobManager:
                     job.state = JobState.DONE
                     job.finished_at = now
                     summary["done_from_cache"] += 1
+                    # Fold the job's recorded solver counters back into
+                    # the manager's struct: ``/metricsz`` after a
+                    # restart must account for work the dead process
+                    # did, exactly as if the job had completed here.
+                    result = cached.get("result")
+                    if isinstance(result, dict) and isinstance(
+                        result.get("perf"), dict
+                    ):
+                        self.counters.merge(
+                            PerfCounters.from_dict(result["perf"])
+                        )
                     continue
                 # The journal promised a result the cache no longer
                 # holds (lost or quarantined blob): solve it again.

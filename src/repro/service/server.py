@@ -29,12 +29,16 @@ content address.
 :class:`PartitionServer` is the asyncio server; :class:`ServerThread`
 runs one on a daemon thread for embedding in synchronous code (tests,
 benchmarks, the smoke script); :func:`serve` is the blocking entry point
-behind ``htp serve`` with signal-driven graceful shutdown.
+behind ``htp serve`` with signal-driven graceful shutdown.  The raw
+HTTP/1.0 plumbing lives in :class:`HttpServerBase` so the cluster
+router (:mod:`repro.service.cluster.router`) speaks the identical wire
+dialect without copying the framing code.
 """
 
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 import signal
 import threading
@@ -78,48 +82,44 @@ class _HttpError(Exception):
         self.headers = headers or {}
 
 
-class PartitionServer:
-    """The asyncio HTTP server wrapping a :class:`JobManager`."""
+class HttpServerBase:
+    """Shared asyncio HTTP/1.0 plumbing of the service and the router.
 
-    def __init__(
-        self,
-        manager: JobManager,
-        host: str = "127.0.0.1",
-        port: int = 0,
-    ) -> None:
-        self.manager = manager
+    Subclasses implement ``_route(method, path, body) -> (status,
+    payload)`` — synchronous or ``async`` (the connection handler awaits
+    coroutines transparently) — and may raise :class:`_HttpError` /
+    :class:`ServiceError` for conventional error responses.  Binding,
+    framing, error mapping and teardown live here once.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
         self.host = host
-        self.port = port  # replaced by the bound port after start()
-        self.recovery_summary: Dict[str, int] = {}
+        self.port = port  # replaced by the bound port after binding
         self._server: Optional[asyncio.AbstractServer] = None
 
-    # ------------------------------------------------------------------
-    async def start(self) -> None:
-        """Start the manager, replay the journal, bind the socket.
-
-        Recovery runs *before* the socket accepts its first request, so
-        clients never observe a half-recovered job table; the summary is
-        kept on :attr:`recovery_summary` for the CLI to announce.
-        """
-        await self.manager.start()
-        self.recovery_summary = self.manager.recover()
+    async def _bind(self) -> None:
+        """Bind the listening socket and learn the ephemeral port."""
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.host, port=self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
-    async def stop(self, drain: bool = True) -> None:
-        """Stop listening, then shut the manager down (drain by default)."""
+    async def _unbind(self) -> None:
+        """Stop accepting connections (idempotent)."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        await self.manager.shutdown(drain=drain)
 
     @property
     def url(self) -> str:
         """The base URL clients should use."""
         return f"http://{self.host}:{self.port}"
+
+    def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        raise NotImplementedError  # pragma: no cover - interface
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -131,7 +131,10 @@ class PartitionServer:
             headers: Dict[str, str] = {}
             try:
                 method, path, body = await self._read_request(reader)
-                status, payload = self._route(method, path, body)
+                routed = self._route(method, path, body)
+                if inspect.isawaitable(routed):
+                    routed = await routed
+                status, payload = routed
             except _HttpError as exc:
                 status, payload = exc.status, {"error": exc.message}
                 headers = exc.headers
@@ -202,6 +205,53 @@ class PartitionServer:
         writer.write(head + body)
         await writer.drain()
 
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise _HttpError(405, f"use {expected}, not {method}")
+
+    @staticmethod
+    def _json_body(body: bytes) -> Dict[str, object]:
+        """Decode a JSON object body, mapping failures to 400."""
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise _HttpError(400, f"body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "body must be a JSON object")
+        return payload
+
+
+class PartitionServer(HttpServerBase):
+    """The asyncio HTTP server wrapping a :class:`JobManager`."""
+
+    def __init__(
+        self,
+        manager: JobManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        super().__init__(host=host, port=port)
+        self.manager = manager
+        self.recovery_summary: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the manager, replay the journal, bind the socket.
+
+        Recovery runs *before* the socket accepts its first request, so
+        clients never observe a half-recovered job table; the summary is
+        kept on :attr:`recovery_summary` for the CLI to announce.
+        """
+        await self.manager.start()
+        self.recovery_summary = self.manager.recover()
+        await self._bind()
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop listening, then shut the manager down (drain by default)."""
+        await self._unbind()
+        await self.manager.shutdown(drain=drain)
+
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
@@ -261,12 +311,27 @@ class PartitionServer:
                 return self._cancel(rest[: -len("/cancel")])
             self._require(method, "GET")
             return 200, self._job(rest).status()
+        if path.startswith("/cache/"):
+            # The cluster read-through tier: the router answers a warm
+            # submission from *any* worker's durable cache by asking the
+            # owner directly for the content address.
+            self._require(method, "GET")
+            return self._cache_lookup(path[len("/cache/"):])
         raise _HttpError(404, f"no such endpoint {path!r}")
 
-    @staticmethod
-    def _require(method: str, expected: str) -> None:
-        if method != expected:
-            raise _HttpError(405, f"use {expected}, not {method}")
+    def _cache_lookup(self, spec_hash: str) -> Tuple[int, Dict[str, object]]:
+        cache = self.manager.cache
+        if cache is None:
+            raise _HttpError(404, "this worker runs without a result cache")
+        try:
+            payload = cache.get(spec_hash)
+        except ServiceError as exc:  # malformed key
+            raise _HttpError(400, str(exc)) from exc
+        if payload is None:
+            raise _HttpError(
+                404, f"no cached result for content address {spec_hash}"
+            )
+        return 200, dict(payload)
 
     def _job(self, job_id: str):
         try:
@@ -409,17 +474,46 @@ class ServerThread:
         self.stop()
 
 
+def make_worker_agent(
+    manager: JobManager, worker_url: str, join_kwargs: Dict[str, object]
+):
+    """Build the cluster agent for a serving worker (``--join`` wiring).
+
+    ``join_kwargs`` carries ``router_url`` plus the optional identity
+    knobs (``worker_id``, ``weight``, ``engines``, ``interval``).  Load
+    and cached-keys callbacks are wired to the live manager; the
+    advertised concurrency is the manager's own.  Imported lazily so a
+    plain single-box ``htp serve`` never touches the cluster package.
+    """
+    from repro.service.cluster.agent import WorkerAgent
+
+    kwargs = dict(join_kwargs)
+    router_url = kwargs.pop("router_url")
+    cache = manager.cache
+    return WorkerAgent(
+        router_url=router_url,
+        worker_url=worker_url,
+        max_concurrency=manager.max_concurrency,
+        cached_keys=(lambda: cache.keys()) if cache is not None else None,
+        load=lambda: manager.in_flight,
+        **kwargs,
+    )
+
+
 def serve(
     host: str = "127.0.0.1",
     port: int = 0,
     manager_kwargs: Optional[Dict[str, object]] = None,
     announce=print,
+    join_kwargs: Optional[Dict[str, object]] = None,
 ) -> int:
     """Run a server until SIGINT/SIGTERM, then drain and exit (0).
 
     The blocking entry point behind ``htp serve``.  ``announce`` gets a
     one-line ``serving on http://...`` message once the socket is bound
-    (the smoke script parses it to learn an ephemeral port).
+    (the smoke script parses it to learn an ephemeral port).  With
+    ``join_kwargs`` (``htp serve --join``) the worker also registers
+    with a cluster router and heartbeats until shutdown.
     """
 
     async def _main() -> None:
@@ -436,6 +530,16 @@ def serve(
                 )
             )
         announce(f"serving on {server.url}")
+        agent = None
+        if join_kwargs:
+            kwargs = dict(join_kwargs)
+            advertise_url = kwargs.pop("advertise_url", None) or server.url
+            agent = make_worker_agent(manager, advertise_url, kwargs)
+            agent.start()
+            announce(
+                f"joining cluster at {kwargs['router_url']} "
+                f"as {agent.worker_id}"
+            )
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -445,6 +549,8 @@ def serve(
                 pass  # non-main thread / platform without signal support
         await stop.wait()
         announce("shutting down (draining in-flight jobs)")
+        if agent is not None:
+            await loop.run_in_executor(None, agent.stop)
         await server.stop(drain=True)
         counts = manager.state_counts()
         announce(

@@ -1,0 +1,258 @@
+"""SIGKILL a cluster worker mid-solve; the job finishes elsewhere.
+
+The cluster-tier durability drill: a real ``htp route`` subprocess
+fronts two real ``htp serve --join`` workers (each its own interpreter
+and sockets, sharing a checkpoint directory as co-located workers
+would share a filesystem).  The worker that owns a slow job is killed
+with ``SIGKILL`` mid-solve.  The router must notice via its failure
+ladder, re-place the job on the survivor, and the survivor must resume
+from the victim's newest checkpoint — landing a result bit-identical
+to an undisturbed single-box solve of the same spec.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.faults import FaultTolerance
+from repro.htp.hierarchy import binary_hierarchy
+from repro.hypergraph.generators import planted_hierarchy_hypergraph
+from repro.service import JobSpec, ServiceClient, ServiceClientError, run_spec
+
+pytestmark = pytest.mark.chaos
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+def _free_port() -> int:
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return env
+
+
+def _spawn_router(port, tmp_path):
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "route",
+            "--host", "127.0.0.1",
+            "--port", str(port),
+            "--journal", str(tmp_path / "router-wal"),
+            "--heartbeat-interval", "0.5",
+        ],
+        env=_env(),
+        cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _spawn_worker(port, router_url, worker_id, tmp_path):
+    # Workers share the checkpoint directory (co-located scratch space),
+    # so a survivor can resume a dead peer's half-finished solve.
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--host", "127.0.0.1",
+            "--port", str(port),
+            "--max-concurrency", "1",
+            "--join", router_url,
+            "--worker-id", worker_id,
+            "--journal", str(tmp_path / f"wal-{worker_id}"),
+            "--cache-dir", str(tmp_path / f"cache-{worker_id}"),
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--fsync", "always",
+        ],
+        env=_env(),
+        cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_healthy(client, process, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise AssertionError(
+                f"process exited early with code {process.returncode}"
+            )
+        try:
+            client.healthz()
+            return
+        except ServiceClientError:
+            time.sleep(0.1)
+    raise AssertionError("process never became healthy")
+
+
+def _wait_workers_alive(client, count, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        workers = client._request("GET", "/workers")["workers"]
+        alive = [w for w in workers if w["state"] == "alive"]
+        if len(alive) >= count:
+            return
+        time.sleep(0.1)
+    raise AssertionError(f"never saw {count} alive workers: {workers}")
+
+
+def _slow_spec():
+    # Same recipe as the single-box chaos drill: the pure-python engine
+    # on 64 nodes runs long enough for a SIGKILL to land mid-solve,
+    # checkpointing every round.
+    netlist = planted_hierarchy_hypergraph(64, height=2, seed=2)
+    hierarchy = binary_hierarchy(netlist.total_size(), height=2)
+    return JobSpec.from_parts(
+        netlist,
+        hierarchy,
+        {
+            "iterations": 2,
+            "constructions_per_metric": 2,
+            "engine": "python",
+            "max_rounds": 32,
+            "delta": 0.3,
+            "seed": 7,
+        },
+    )
+
+
+class TestKillWorkerMidSolve:
+    def test_job_survives_its_worker(self, tmp_path):
+        router_port = _free_port()
+        router_url = f"http://127.0.0.1:{router_port}"
+        tolerance = FaultTolerance(task_retries=3, backoff_base=0.05)
+        client = ServiceClient(router_url, timeout=10, tolerance=tolerance)
+
+        slow = _slow_spec()
+        router = _spawn_router(router_port, tmp_path)
+        workers = {}
+        try:
+            _wait_healthy(client, router)
+            for worker_id in ("w0", "w1"):
+                workers[worker_id] = _spawn_worker(
+                    _free_port(), router_url, worker_id, tmp_path
+                )
+            _wait_workers_alive(client, 2)
+
+            submitted = client.submit_spec(slow)
+            victim_id = submitted["worker"]
+            assert victim_id in workers
+
+            # Let the solve make journaled progress before pulling the
+            # plug: at least one checkpoint must exist to resume from.
+            ckpt_dir = tmp_path / "ckpt" / submitted["spec_hash"]
+            kill_deadline = time.monotonic() + 60
+            while not list(ckpt_dir.glob("ckpt-*.json")):
+                assert time.monotonic() < kill_deadline, (
+                    "no checkpoint appeared before the kill window closed"
+                )
+                status = client.status(submitted["job_id"])
+                assert status["state"] in ("queued", "running"), (
+                    f"slow job finished too fast to kill: {status['state']}"
+                )
+                time.sleep(0.02)
+
+            workers[victim_id].kill()  # SIGKILL: no goodbye, no flush
+            workers[victim_id].wait(timeout=10)
+
+            # The router's status-poll ladder plus heartbeat monitor must
+            # declare the victim dead and re-place the job; the survivor
+            # resumes from the newest checkpoint on the shared scratch.
+            finished = client.wait(submitted["job_id"], timeout=240)
+            assert finished["state"] == "done", finished.get("error")
+            survivor = ({"w0", "w1"} - {victim_id}).pop()
+            assert finished["worker"] == survivor
+            assert finished["reroutes"] >= 1
+
+            served = client.result(submitted["job_id"])
+            reference = run_spec(slow)
+
+            # Wall-clock and counters legitimately differ between a
+            # resumed and an undisturbed run; nothing the solver computed
+            # may.
+            def semantic(doc):
+                return {
+                    k: v
+                    for k, v in doc.items()
+                    if k not in ("runtime_seconds", "perf")
+                }
+
+            assert semantic(served["result"]) == semantic(
+                reference.to_dict()
+            )
+
+            metrics = client.metricsz()
+            assert metrics["cluster"]["reroutes"] >= 1
+            assert metrics["cluster"]["workers"]["dead"] == 1
+        finally:
+            for process in (router, *workers.values()):
+                if process.poll() is None:
+                    process.kill()
+                    process.wait(timeout=10)
+
+    def test_router_restart_reattaches_in_flight_jobs(self, tmp_path):
+        """Kill the ROUTER mid-solve instead: its WAL must carry the
+        placement across restart, and the reborn router re-adopts the
+        job without disturbing the worker still solving it."""
+        router_port = _free_port()
+        router_url = f"http://127.0.0.1:{router_port}"
+        tolerance = FaultTolerance(task_retries=3, backoff_base=0.05)
+        client = ServiceClient(router_url, timeout=10, tolerance=tolerance)
+
+        slow = _slow_spec()
+        router = _spawn_router(router_port, tmp_path)
+        worker = None
+        try:
+            _wait_healthy(client, router)
+            worker = _spawn_worker(_free_port(), router_url, "w0", tmp_path)
+            _wait_workers_alive(client, 1)
+
+            submitted = client.submit_spec(slow)
+            assert submitted["worker"] == "w0"
+
+            router.kill()
+            router.wait(timeout=10)
+
+            # Same port, same WAL: the worker's heartbeat loop rejoins
+            # on its own once the listener is back.
+            router = _spawn_router(router_port, tmp_path)
+            _wait_healthy(client, router)
+            _wait_workers_alive(client, 1)
+
+            listed = {job["job_id"] for job in client.jobs()["jobs"]}
+            assert submitted["job_id"] in listed
+
+            finished = client.wait(submitted["job_id"], timeout=240)
+            assert finished["state"] == "done", finished.get("error")
+
+            served = client.result(submitted["job_id"])
+            reference = run_spec(slow)
+
+            def semantic(doc):
+                return {
+                    k: v
+                    for k, v in doc.items()
+                    if k not in ("runtime_seconds", "perf")
+                }
+
+            assert semantic(served["result"]) == semantic(
+                reference.to_dict()
+            )
+        finally:
+            processes = [router] + ([worker] if worker else [])
+            for process in processes:
+                if process.poll() is None:
+                    process.kill()
+                    process.wait(timeout=10)

@@ -180,3 +180,58 @@ class TestBenchMultilevelSchema:
             assert flat["aborted"] or flat["seconds"] >= 10.0 * (
                 rec["multilevel_flow"]["seconds"]
             )
+
+
+class TestBenchClusterSchema:
+    """Schema of the committed BENCH_cluster.json load record.
+
+    The cluster bench (benchmarks/bench_cluster.py) writes one
+    ``cluster_load[wN]`` op per worker count (open-loop p50/p99 +
+    throughput), a ``cluster_warm`` shared-cache row and a
+    ``cluster_failover`` recovery row.  Pinned here so docs/cluster.md
+    and the bench cannot drift apart silently.
+    """
+
+    WORKER_COUNTS = (1, 2, 4)
+
+    @pytest.fixture(scope="class")
+    def payload(self):
+        import json
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "BENCH_cluster.json"
+        if not path.exists():
+            pytest.skip("BENCH_cluster.json not generated yet")
+        return json.loads(path.read_text())
+
+    def test_meta_block(self, payload):
+        assert "meta" in payload and "ops" in payload
+        meta = payload["meta"]
+        for key in ("python", "machine", "scale", "cpu_count"):
+            assert key in meta
+
+    def test_load_rows_cover_worker_counts(self, payload):
+        for workers in self.WORKER_COUNTS:
+            rec = payload["ops"][f"cluster_load[w{workers}]"]
+            assert rec["workers"] == workers
+            assert rec["jobs"] > 0
+            assert rec["p50_seconds"] > 0
+            assert rec["p99_seconds"] >= rec["p50_seconds"]
+            assert rec["throughput_jobs_per_s"] > 0
+            # The p50 rides in median_seconds too, the conftest-wide
+            # convention every BENCH_*.json record follows.
+            assert rec["median_seconds"] == rec["p50_seconds"]
+
+    def test_warm_row(self, payload):
+        rec = payload["ops"]["cluster_warm[w2]"]
+        assert rec["workers"] == 2
+        assert rec["jobs"] > 0
+        assert rec["p99_seconds"] >= rec["p50_seconds"] > 0
+        # Answering from the router's memory LRU must beat a solve.
+        assert rec["speedup_vs_cold"] > 1.0
+
+    def test_failover_row(self, payload):
+        rec = payload["ops"]["cluster_failover[kill1of2]"]
+        assert rec["workers"] == 2
+        assert rec["recovery_seconds"] > 0
+        assert rec["reroutes"] >= 1

@@ -1,0 +1,214 @@
+"""ServiceClient behaviour against a deliberately misbehaving server.
+
+A raw-socket stub follows a per-connection script — close the socket
+before answering (FIN: ``RemoteDisconnected``), slam it with an RST
+(``ConnectionResetError``), truncate a response mid-body, or answer
+properly — so every rung of the client's reset-retry ladder is
+exercised against a real TCP peer rather than monkeypatched exceptions.
+
+The contract under test (see ``_RETRYABLE`` in ``service/client.py``):
+idempotent GETs retry resets with the FaultTolerance backoff budget;
+POSTs never retry; refused connections fail fast without burning the
+budget.
+"""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.core.faults import FaultTolerance
+from repro.service.client import ServiceClient, ServiceClientError
+
+_OK_BODY = b'{"status": "ok"}'
+_OK_RESPONSE = (
+    b"HTTP/1.0 200 OK\r\n"
+    b"Content-Type: application/json\r\n"
+    b"Content-Length: " + str(len(_OK_BODY)).encode() + b"\r\n"
+    b"\r\n" + _OK_BODY
+)
+
+
+class FlakyServer:
+    """One scripted misbehaviour per accepted connection.
+
+    ``script`` entries: ``"fin"`` reads the request then closes cleanly
+    without responding; ``"rst"`` reads then aborts the connection with
+    an RST; ``"truncate"`` sends headers promising a long body but
+    closes after a few bytes; ``"ok"`` answers properly.  Connections
+    beyond the script get ``"ok"``.
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.connections = 0
+        self._closing = False
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.url = "http://127.0.0.1:%d" % self._listener.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: shut down
+            if self._closing:
+                conn.close()
+                return
+            index = self.connections
+            self.connections += 1
+            behaviour = (
+                self.script[index] if index < len(self.script) else "ok"
+            )
+            try:
+                self._handle(conn, behaviour)
+            finally:
+                conn.close()
+
+    @staticmethod
+    def _handle(conn, behaviour):
+        conn.settimeout(5.0)
+        request = b""
+        while b"\r\n\r\n" not in request:
+            chunk = conn.recv(4096)
+            if not chunk:
+                return
+            request += chunk
+        if behaviour == "fin":
+            return  # close() in _serve sends a clean FIN, no response
+        if behaviour == "rst":
+            # SO_LINGER with zero timeout turns close() into an RST.
+            conn.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+            return
+        if behaviour == "truncate":
+            conn.sendall(
+                b"HTTP/1.0 200 OK\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: 4096\r\n"
+                b"\r\n"
+                b'{"st'
+            )
+            return
+        conn.sendall(_OK_RESPONSE)
+
+    def close(self):
+        # A sentinel connection unblocks the accept() the serve thread
+        # is parked in; plain listener.close() would not wake it.
+        self._closing = True
+        try:
+            wake = socket.create_connection(
+                self._listener.getsockname(), timeout=1.0
+            )
+            wake.close()
+        except OSError:
+            pass
+        self._listener.close()
+        self._thread.join(timeout=5.0)
+
+
+@pytest.fixture
+def flaky():
+    servers = []
+
+    def build(script):
+        server = FlakyServer(script)
+        servers.append(server)
+        return server
+
+    yield build
+    for server in servers:
+        server.close()
+
+
+def _client(url, retries=2):
+    # Near-zero backoff keeps the retry waves fast under test.
+    return ServiceClient(
+        url,
+        timeout=5.0,
+        tolerance=FaultTolerance(task_retries=retries, backoff_base=0.001),
+    )
+
+
+class TestIdempotentRetry:
+    def test_get_survives_a_clean_half_close(self, flaky):
+        server = flaky(["fin"])
+        assert _client(server.url).healthz() == {"status": "ok"}
+        assert server.connections == 2
+
+    def test_get_survives_a_reset(self, flaky):
+        server = flaky(["rst"])
+        assert _client(server.url).healthz() == {"status": "ok"}
+        assert server.connections == 2
+
+    def test_get_survives_mixed_failures_up_to_budget(self, flaky):
+        server = flaky(["rst", "fin"])
+        assert _client(server.url).status("j1") == {"status": "ok"}
+        assert server.connections == 3
+
+    def test_budget_exhaustion_reports_attempts(self, flaky):
+        server = flaky(["fin", "fin", "fin", "fin"])
+        with pytest.raises(ServiceClientError) as exc_info:
+            _client(server.url, retries=2).healthz()
+        assert exc_info.value.status == 0
+        assert "after 3 attempts" in str(exc_info.value)
+        assert server.connections == 3  # 1 try + 2 retries, then give up
+
+    def test_zero_retry_tolerance_fails_on_first_reset(self, flaky):
+        server = flaky(["rst"])
+        with pytest.raises(ServiceClientError) as exc_info:
+            _client(server.url, retries=0).healthz()
+        assert exc_info.value.status == 0
+        assert server.connections == 1
+
+
+class TestNonIdempotentNeverRetries:
+    def test_post_fails_on_half_close_without_retry(self, flaky):
+        """A duplicate submission is worse than an error: the POST must
+        surface the reset even though the next attempt would succeed."""
+        server = flaky(["fin"])
+        with pytest.raises(ServiceClientError) as exc_info:
+            _client(server.url).submit({"netlist": {}})
+        assert exc_info.value.status == 0
+        assert server.connections == 1
+
+    def test_post_fails_on_reset_without_retry(self, flaky):
+        server = flaky(["rst"])
+        with pytest.raises(ServiceClientError) as exc_info:
+            _client(server.url).cancel("j1")
+        assert exc_info.value.status == 0
+        assert server.connections == 1
+
+
+class TestOtherTransportEdges:
+    def test_truncated_body_is_not_silently_retried_forever(self, flaky):
+        """A short read inside a framed response maps to a client error
+        (status 0) rather than looping: IncompleteRead is not in
+        _RETRYABLE, so one bad connection is one failure."""
+        server = flaky(["truncate", "truncate", "truncate"])
+        with pytest.raises(ServiceClientError) as exc_info:
+            _client(server.url).healthz()
+        assert exc_info.value.status == 0
+        assert server.connections == 1
+
+    def test_refused_connection_fails_fast(self):
+        """ConnectionRefusedError is deliberately outside _RETRYABLE: a
+        down server should not burn the backoff budget."""
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here any more
+        client = _client(f"http://127.0.0.1:{port}")
+        with pytest.raises(ServiceClientError) as exc_info:
+            client.healthz()
+        assert exc_info.value.status == 0
+        assert "cannot reach service" in str(exc_info.value)
