@@ -1,6 +1,6 @@
 # Convenience targets; see scripts/verify.sh for the canonical check.
 
-.PHONY: verify test chaos coverage bench-micro bench-service bench-multilevel bench-optimality bench-cluster docs-check serve-smoke cluster-smoke
+.PHONY: verify test chaos coverage bench-micro bench-service bench-multilevel bench-optimality bench-cluster docs-check serve-smoke cluster-smoke cluster-partition-smoke
 
 verify:
 	sh scripts/verify.sh
@@ -30,9 +30,16 @@ serve-smoke:
 
 # End-to-end smoke of the cluster tier: htp route + two joined workers
 # as real processes (routed cold solve, shared-cache warm hit, and a
-# mid-solve worker SIGKILL rerouted to a bit-identical finish).
+# mid-solve worker SIGKILL resumed from replicated checkpoints to a
+# bit-identical finish).
 cluster-smoke:
 	PYTHONPATH=src python scripts/cluster_smoke.py
+
+# Partition drill: primary router behind the netfaults TCP proxy, link
+# severed mid-flight — warm standby must take over with a bumped
+# fencing epoch and the zombie primary's forwards must be refused.
+cluster-partition-smoke:
+	PYTHONPATH=src python scripts/cluster_smoke.py --drill partition
 
 # Refresh the checked-in micro-bench trajectory (BENCH_micro.json).
 bench-micro:

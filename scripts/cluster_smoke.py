@@ -1,28 +1,43 @@
 #!/usr/bin/env python
 """End-to-end smoke of the cluster tier as real processes.
 
-Spawns an ``htp route`` router and two ``htp serve --join`` workers
-(each its own interpreter, sharing a checkpoint directory), then
-drills both promises the cluster makes:
+Two drills, selected with ``--drill`` (default ``base``):
 
-1. The CLI path: ``htp submit --router`` lands a job on a worker and
-   prints its placement; resubmitting is answered from the router's
-   shared cache with the identical cost and no second placement.
-2. The failover path: a slow job is submitted, the worker that owns
-   it is SIGKILLed mid-solve, and the router must reroute it to the
-   survivor, which resumes from the victim's newest checkpoint — the
-   served result must be bit-identical to an undisturbed local solve
-   of the same spec.
+``base``
+    Spawns an ``htp route`` router and two ``htp serve --join`` workers
+    (each its own interpreter with PRIVATE cache/checkpoint
+    directories), then drills both promises the cluster makes:
 
-Exits non-zero with a diagnostic on the first deviation.
+    1. The CLI path: ``htp submit --router`` lands a job on a worker and
+       prints its placement; resubmitting is answered from the router's
+       shared cache with the identical cost and no second placement.
+    2. The failover path: a slow job is submitted, checkpoint frames
+       replicate to the peer over HTTP, the worker that owns the job is
+       SIGKILLed mid-solve, and the router must reroute it to the
+       survivor, which resumes from the *replicated* frames — the
+       served result must be bit-identical to an undisturbed local
+       solve of the same spec.
+
+``partition``
+    Puts the primary router behind the :mod:`repro.testing.netfaults`
+    TCP proxy with a warm standby tailing its WAL, severs the link
+    mid-flight, and requires: the standby takes over (bumped fencing
+    epoch), a job submitted to the standby finishes bit-identically,
+    and the still-running zombie primary's forwards are refused by the
+    epoch-fenced worker.
+
+``all`` runs both.  Exits non-zero with a diagnostic on the first
+deviation.
 
 Usage::
 
-    PYTHONPATH=src python scripts/cluster_smoke.py   (or: make cluster-smoke)
+    PYTHONPATH=src python scripts/cluster_smoke.py [--drill base|partition|all]
+    (or: make cluster-smoke / make cluster-partition-smoke)
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import re
 import subprocess
@@ -45,8 +60,9 @@ from repro.service import (  # noqa: E402
     ServiceClientError,
     run_spec,
 )
+from repro.testing import FaultProxy, NetFaultPlan  # noqa: E402
 
-TIMEOUT = 240  # generous wall-clock budget for the whole smoke
+TIMEOUT = 240  # generous wall-clock budget for one whole drill
 
 
 def fail(message: str, *details: str) -> None:
@@ -89,8 +105,17 @@ def announced_url(process: subprocess.Popen, verb: str) -> str:
     fail(f"process never announced '{verb} on'", f"got: {seen!r}")
 
 
-def wait_alive(client: ServiceClient, count: int, timeout: float = 30.0):
+def tolerant_client(url: str) -> ServiceClient:
+    return ServiceClient(
+        url,
+        timeout=30,
+        tolerance=FaultTolerance(task_retries=3, backoff_base=0.05),
+    )
+
+
+def wait_alive(client: ServiceClient, count: int, timeout: float = 60.0):
     deadline = time.monotonic() + timeout
+    docs = []
     while time.monotonic() < deadline:
         try:
             docs = client._request("GET", "/workers")["workers"]
@@ -102,8 +127,53 @@ def wait_alive(client: ServiceClient, count: int, timeout: float = 30.0):
     fail(f"never saw {count} alive workers", f"workers: {docs!r}")
 
 
+def wait_role(client: ServiceClient, role: str, timeout: float = 60.0):
+    deadline = time.monotonic() + timeout
+    seen = None
+    while time.monotonic() < deadline:
+        try:
+            seen = client.healthz().get("role")
+        except ServiceClientError:
+            seen = None
+        if seen == role:
+            return
+        time.sleep(0.1)
+    fail(f"never saw role {role!r}", f"last seen: {seen!r}")
+
+
+def wait_done(client: ServiceClient, job_id: str, timeout: float = TIMEOUT):
+    """Poll to terminal, tolerating 503s while a standby warms up."""
+    deadline = time.monotonic() + timeout
+    status = None
+    while time.monotonic() < deadline:
+        try:
+            status = client.status(job_id)
+        except ServiceClientError:
+            time.sleep(0.2)
+            continue
+        if status["state"] in ("done", "failed", "cancelled"):
+            return status
+        time.sleep(0.1)
+    fail(f"job {job_id} never reached a terminal state", f"last: {status!r}")
+
+
+def spawn_worker(worker_id: str, router_url: str, tmp: str):
+    # PRIVATE scratch per worker: resumability must come from checkpoint
+    # replication over HTTP, not from a shared directory.
+    return spawn(
+        "serve", "--port", "0",
+        "--max-concurrency", "1",
+        "--join", router_url,
+        "--worker-id", worker_id,
+        "--cache-dir", str(Path(tmp) / f"cache-{worker_id}"),
+        "--checkpoint-dir", str(Path(tmp) / f"ckpt-{worker_id}"),
+    )
+
+
 def slow_spec() -> JobSpec:
-    netlist = planted_hierarchy_hypergraph(64, height=2, seed=2)
+    # Slow enough (seconds) for a kill or a partition to land mid-solve
+    # and for the heartbeat-cadence replication to ship frames first.
+    netlist = planted_hierarchy_hypergraph(384, height=2, seed=2)
     hierarchy = binary_hierarchy(netlist.total_size(), height=2)
     return JobSpec.from_parts(
         netlist,
@@ -119,118 +189,230 @@ def slow_spec() -> JobSpec:
     )
 
 
-def main() -> int:
-    os.environ.setdefault("PYTHONPATH", str(REPO / "src"))
+def semantic(doc):
+    return {
+        k: v for k, v in doc.items() if k not in ("runtime_seconds", "perf")
+    }
 
-    with tempfile.TemporaryDirectory(prefix="cluster-smoke-") as tmp:
-        netlist = Path(tmp) / "smoke.hgr"
-        generated = run_cli(
-            "generate", str(netlist), "--nodes", "64", "--seed", "0"
+
+def drill_base(tmp: str) -> None:
+    netlist = Path(tmp) / "smoke.hgr"
+    generated = run_cli(
+        "generate", str(netlist), "--nodes", "64", "--seed", "0"
+    )
+    if generated.returncode != 0:
+        fail("htp generate failed", generated.stderr)
+
+    processes = []
+    workers = {}
+    try:
+        router = spawn(
+            "route", "--port", "0",
+            "--journal", str(Path(tmp) / "router-wal"),
+            "--heartbeat-interval", "0.5",
         )
-        if generated.returncode != 0:
-            fail("htp generate failed", generated.stderr)
+        processes.append(router)
+        router_url = announced_url(router, "routing")
+        client = tolerant_client(router_url)
 
-        processes = []
-        workers = {}
-        try:
-            router = spawn(
-                "route", "--port", "0",
-                "--journal", str(Path(tmp) / "router-wal"),
-                "--heartbeat-interval", "0.5",
-            )
-            processes.append(router)
-            router_url = announced_url(router, "routing")
-            client = ServiceClient(
-                router_url,
-                timeout=30,
-                tolerance=FaultTolerance(task_retries=3, backoff_base=0.05),
-            )
+        for worker_id in ("w0", "w1"):
+            worker = spawn_worker(worker_id, router_url, tmp)
+            processes.append(worker)
+            workers[worker_id] = worker
+        wait_alive(client, 2)
 
-            for worker_id in ("w0", "w1"):
-                worker = spawn(
-                    "serve", "--port", "0",
-                    "--max-concurrency", "1",
-                    "--join", router_url,
-                    "--worker-id", worker_id,
-                    "--cache-dir", str(Path(tmp) / f"cache-{worker_id}"),
-                    "--checkpoint-dir", str(Path(tmp) / "ckpt"),
-                )
-                processes.append(worker)
-                workers[worker_id] = worker
-            wait_alive(client, 2)
+        # Phase 1: the CLI path — placement, then a shared-cache hit.
+        submit = ("submit", str(netlist), "--router", router_url,
+                  "--height", "2", "--iterations", "1")
+        cold = run_cli(*submit)
+        if cold.returncode != 0 or "cold" not in cold.stdout:
+            fail("cold submit via router failed",
+                 cold.stdout, cold.stderr)
+        placed = re.search(r"worker ([\w-]+)", cold.stdout)
+        if not placed or placed.group(1) not in workers:
+            fail("cold submit did not report a worker placement",
+                 cold.stdout)
+        warm = run_cli(*submit)
+        if warm.returncode != 0 or "warm (cache hit)" not in warm.stdout:
+            fail("warm submit was not a router cache hit",
+                 warm.stdout, warm.stderr)
+        cost = lambda out: re.search(r"FLOW cost: (\S+)", out).group(1)
+        if cost(cold.stdout) != cost(warm.stdout):
+            fail("warm cost differs from cold cost",
+                 cold.stdout, warm.stdout)
 
-            # Phase 1: the CLI path — placement, then a shared-cache hit.
-            submit = ("submit", str(netlist), "--router", router_url,
-                      "--height", "2", "--iterations", "1")
-            cold = run_cli(*submit)
-            if cold.returncode != 0 or "cold" not in cold.stdout:
-                fail("cold submit via router failed",
-                     cold.stdout, cold.stderr)
-            placed = re.search(r"worker ([\w-]+)", cold.stdout)
-            if not placed or placed.group(1) not in workers:
-                fail("cold submit did not report a worker placement",
-                     cold.stdout)
-            warm = run_cli(*submit)
-            if warm.returncode != 0 or "warm (cache hit)" not in warm.stdout:
-                fail("warm submit was not a router cache hit",
-                     warm.stdout, warm.stderr)
-            cost = lambda out: re.search(r"FLOW cost: (\S+)", out).group(1)
-            if cost(cold.stdout) != cost(warm.stdout):
-                fail("warm cost differs from cold cost",
-                     cold.stdout, warm.stdout)
+        # Phase 2: kill the worker that owns a slow job mid-solve.
+        spec = slow_spec()
+        submitted = client.submit_spec(spec)
+        victim = submitted["worker"]
+        if victim not in workers:
+            fail(f"slow job placed on unknown worker {victim!r}")
+        survivor = ({"w0", "w1"} - {victim}).pop()
 
-            # Phase 2: kill the worker that owns a slow job mid-solve.
-            spec = slow_spec()
-            submitted = client.submit_spec(spec)
-            victim = submitted["worker"]
-            if victim not in workers:
-                fail(f"slow job placed on unknown worker {victim!r}")
+        # Kill gate: the victim journaled progress AND the survivor's
+        # PRIVATE checkpoint root holds a replicated copy to resume from.
+        spec_hash = submitted["spec_hash"]
+        victim_ckpt = Path(tmp) / f"ckpt-{victim}" / spec_hash
+        survivor_ckpt = Path(tmp) / f"ckpt-{survivor}" / spec_hash
+        kill_deadline = time.monotonic() + 60
+        while not (
+            list(victim_ckpt.glob("ckpt-*.json"))
+            and list(survivor_ckpt.glob("ckpt-*.json"))
+        ):
+            if time.monotonic() > kill_deadline:
+                fail("no replicated checkpoint before the kill window")
+            status = client.status(submitted["job_id"])
+            if status["state"] not in ("queued", "running"):
+                fail(f"slow job finished too fast to kill: "
+                     f"{status['state']}")
+            time.sleep(0.02)
 
-            ckpt_dir = Path(tmp) / "ckpt" / submitted["spec_hash"]
-            kill_deadline = time.monotonic() + 60
-            while not list(ckpt_dir.glob("ckpt-*.json")):
-                if time.monotonic() > kill_deadline:
-                    fail("no checkpoint appeared before the kill window")
-                status = client.status(submitted["job_id"])
-                if status["state"] not in ("queued", "running"):
-                    fail(f"slow job finished too fast to kill: "
-                         f"{status['state']}")
-                time.sleep(0.02)
+        workers[victim].kill()
+        workers[victim].wait(timeout=30)
 
-            workers[victim].kill()
-            workers[victim].wait(timeout=30)
+        finished = client.wait(submitted["job_id"], timeout=TIMEOUT)
+        if finished["state"] != "done":
+            fail(f"rerouted job ended {finished['state']}",
+                 str(finished.get("error")))
+        if finished["worker"] == victim or finished["reroutes"] < 1:
+            fail("job did not reroute off the killed worker",
+                 str(finished))
 
-            finished = client.wait(submitted["job_id"], timeout=TIMEOUT)
-            if finished["state"] != "done":
-                fail(f"rerouted job ended {finished['state']}",
-                     str(finished.get("error")))
-            if finished["worker"] == victim or finished["reroutes"] < 1:
-                fail("job did not reroute off the killed worker",
-                     str(finished))
+        served = client.result(submitted["job_id"])
+        reference = run_spec(spec).to_dict()
+        if semantic(served["result"]) != semantic(reference):
+            fail("rerouted result differs from an undisturbed solve")
 
-            served = client.result(submitted["job_id"])
-            reference = run_spec(spec).to_dict()
-            semantic = lambda doc: {
-                k: v for k, v in doc.items()
-                if k not in ("runtime_seconds", "perf")
-            }
-            if semantic(served["result"]) != semantic(reference):
-                fail("rerouted result differs from an undisturbed solve")
-
-            metrics = client.metricsz()
-            if metrics["cluster"]["reroutes"] < 1:
-                fail("router metrics reported no reroute",
-                     str(metrics["cluster"]))
-        finally:
-            for process in processes:
-                if process.poll() is None:
-                    process.kill()
-                    process.wait(timeout=30)
+        metrics = client.metricsz()
+        if metrics["cluster"]["reroutes"] < 1:
+            fail("router metrics reported no reroute",
+                 str(metrics["cluster"]))
+    finally:
+        for process in processes:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
 
     print(
         "cluster-smoke OK: routed cold solve + shared-cache warm hit"
-        " + mid-solve worker kill rerouted to a bit-identical finish"
+        " + mid-solve worker kill resumed from replicated checkpoints"
+        " to a bit-identical finish"
     )
+
+
+def drill_partition(tmp: str) -> None:
+    processes = []
+    proxy = None
+    try:
+        primary = spawn(
+            "route", "--port", "0",
+            "--journal", str(Path(tmp) / "wal-primary"),
+            "--heartbeat-interval", "0.5",
+        )
+        processes.append(primary)
+        primary_url = announced_url(primary, "routing")
+        primary_port = int(primary_url.rsplit(":", 1)[1])
+        zombie_client = tolerant_client(primary_url)
+
+        # Everyone reaches the primary THROUGH the proxy so one
+        # partition cuts worker, standby and client off at once; the
+        # zombie keeps its direct port for the fencing probe below.
+        proxy = FaultProxy(
+            "127.0.0.1", primary_port, link="cluster->primary"
+        ).start()
+        proxied_client = tolerant_client(proxy.url)
+
+        standby = spawn(
+            "route", "--port", "0",
+            "--journal", str(Path(tmp) / "wal-standby"),
+            "--heartbeat-interval", "0.5",
+            "--standby", proxy.url,
+            "--epoch-timeout", "2.0",
+        )
+        processes.append(standby)
+        standby_url = announced_url(standby, "standing by for .*")
+        standby_client = tolerant_client(standby_url)
+        wait_role(standby_client, "standby")
+
+        worker = spawn_worker("w0", proxy.url, tmp)
+        processes.append(worker)
+        wait_alive(proxied_client, 1)
+
+        deadline = time.monotonic() + 30
+        while (
+            proxied_client.metricsz()["cluster"]["standby"] != standby_url
+        ):
+            if time.monotonic() > deadline:
+                fail("standby never announced itself to the primary")
+            time.sleep(0.1)
+        time.sleep(1.5)  # one heartbeat so the worker hears it too
+
+        # Sever the link.
+        proxy.plan = NetFaultPlan.parse("partition:cluster->primary")
+
+        wait_role(standby_client, "router")
+        if not proxy.injected:
+            fail("the partition never bit live traffic")
+        wait_alive(standby_client, 1)
+
+        # The cluster works under new management, bit-identically...
+        spec = slow_spec()
+        submitted = standby_client.submit_spec(spec)
+        finished = wait_done(standby_client, submitted["job_id"])
+        if finished["state"] != "done":
+            fail(f"post-takeover job ended {finished['state']}",
+                 str(finished.get("error")))
+        served = standby_client.result(submitted["job_id"])
+        if semantic(served["result"]) != semantic(run_spec(spec).to_dict()):
+            fail("post-takeover result differs from an undisturbed solve")
+        cluster = standby_client.metricsz()["cluster"]
+        if cluster["epoch"] < 2 or cluster["epoch_bumps"] < 1:
+            fail("standby did not bump the fencing epoch", str(cluster))
+
+        # ...and the zombie primary's forwards are refused.
+        netlist = planted_hierarchy_hypergraph(32, height=2, seed=5)
+        other = JobSpec.from_parts(
+            netlist,
+            binary_hierarchy(netlist.total_size(), height=2),
+            {"iterations": 1, "engine": "python", "seed": 5},
+        )
+        try:
+            zombie_client.submit_spec(other)
+        except ServiceClientError as exc:
+            if "stale router epoch" not in str(exc):
+                fail("zombie submit failed for the wrong reason", str(exc))
+        else:
+            fail("the fenced zombie primary still placed a job")
+    finally:
+        if proxy is not None:
+            proxy.stop()
+        for process in processes:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+
+    print(
+        "cluster-smoke OK: partition -> standby takeover with epoch bump,"
+        " bit-identical post-takeover solve, zombie primary fenced"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--drill", choices=("base", "partition", "all"), default="base"
+    )
+    args = parser.parse_args()
+    os.environ.setdefault("PYTHONPATH", str(REPO / "src"))
+
+    drills = {
+        "base": (drill_base,),
+        "partition": (drill_partition,),
+        "all": (drill_base, drill_partition),
+    }[args.drill]
+    for drill in drills:
+        with tempfile.TemporaryDirectory(prefix="cluster-smoke-") as tmp:
+            drill(tmp)
     return 0
 
 

@@ -76,6 +76,8 @@ COVERAGE_TESTS = [
     "tests/test_client_resets.py",
     "tests/test_cluster_units.py",
     "tests/test_cluster_router.py",
+    "tests/test_cluster_replication.py",
+    "tests/test_netfaults.py",
     "tests/chaos",
 ]
 

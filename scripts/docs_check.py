@@ -48,6 +48,8 @@ REQUIRED_SECTIONS = {
         "## Topology",
         "## Placement policies",
         "## Failover walkthrough",
+        "## Replication",
+        "## Router failover",
         "## Knob reference",
     ],
     "docs/multilevel.md": [

@@ -10,8 +10,12 @@
 # on the golden corpus; ILP rows SKIP without pulp), the service smoke
 # (htp serve / htp submit as real processes: cold
 # solve, warm cache hit, graceful drain), the cluster smoke (htp route
-# + two joined workers: routed solve, shared-cache warm hit, mid-solve
-# worker kill rerouted to a bit-identical finish), the documentation checker
+# + two joined workers with private scratch: routed solve, shared-cache
+# warm hit, mid-solve worker kill resumed from HTTP-replicated
+# checkpoints to a bit-identical finish), the cluster partition drill
+# (primary router behind the netfaults TCP proxy: link severed
+# mid-flight, warm standby takes over with a bumped fencing epoch, the
+# zombie primary's forwards are refused), the documentation checker
 # (runnable snippets, live links, complete benchmark table, required
 # sections), and the coverage gate (line coverage of src/repro/core
 # and src/repro/service may not drop below the committed baseline).
@@ -65,6 +69,9 @@ python scripts/serve_smoke.py
 
 echo "== cluster smoke =="
 python scripts/cluster_smoke.py
+
+echo "== cluster partition drill =="
+python scripts/cluster_smoke.py --drill partition
 
 echo "== docs check =="
 python scripts/docs_check.py

@@ -421,6 +421,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="failed probes before a suspect worker is declared dead and "
         "its jobs reroute (default 2)",
     )
+    route_cmd.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="result/checkpoint replica copies beyond the owning worker "
+        "(0 disables replication; default 1)",
+    )
+    route_cmd.add_argument(
+        "--standby",
+        default=None,
+        metavar="URL",
+        help="run as a warm standby: tail URL's placement journal over "
+        "/wal and take over (with a bumped fencing epoch) when the "
+        "primary stops answering; requires --journal",
+    )
+    route_cmd.add_argument(
+        "--epoch-timeout",
+        type=float,
+        default=None,
+        help="seconds of failed /wal polls before a standby takes over "
+        "(default heartbeat-interval * max-missed)",
+    )
 
     submit = sub.add_parser(
         "submit", help="submit a netlist to a running service"
@@ -444,6 +466,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fail immediately on HTTP 429 instead of honouring the "
         "server's Retry-After estimate with a bounded retry loop",
+    )
+    submit.add_argument(
+        "--max-retry-wait",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="total seconds the 429 retry loop may spend sleeping before "
+        "giving up (default: unbounded within the attempt limit); the "
+        "last sleep is clipped to the remaining budget",
     )
     submit.add_argument("--height", type=int, default=4)
     submit.add_argument("--seed", type=int, default=0)
@@ -862,6 +893,13 @@ def _cmd_route(args: argparse.Namespace) -> int:
     from repro.service.cluster.router import DEFAULT_ROUTER_PORT, route
 
     port = args.port if args.port is not None else DEFAULT_ROUTER_PORT
+    if args.standby is not None and args.journal is None:
+        print(
+            "error: --standby needs --journal (the tailed WAL must land "
+            "somewhere durable)",
+            file=sys.stderr,
+        )
+        return 2
     router_kwargs = {
         "policy": args.policy,
         "journal_dir": args.journal,
@@ -869,8 +907,15 @@ def _cmd_route(args: argparse.Namespace) -> int:
         "heartbeat_interval": args.heartbeat_interval,
         "max_missed": args.max_missed,
         "probe_retries": args.probe_retries,
+        "replicas": args.replicas,
     }
-    return route(host=args.host, port=port, router_kwargs=router_kwargs)
+    return route(
+        host=args.host,
+        port=port,
+        router_kwargs=router_kwargs,
+        standby_of=args.standby,
+        epoch_timeout=args.epoch_timeout,
+    )
 
 
 #: Bounded 429 retry budget of ``htp submit`` (without ``--no-wait``).
@@ -883,16 +928,21 @@ def _submit_with_retry(
     deadline: Optional[float],
     wait: bool = True,
     limit: int = SUBMIT_RETRY_LIMIT,
+    max_wait: Optional[float] = None,
     announce=print,
     sleep=None,
 ):
     """Submit, honouring 429 Retry-After with a bounded retry loop.
 
     A loaded service (or a router whose chosen worker is saturated)
-    answers 429 with its backlog-derived ``Retry-After`` estimate; the
-    client sleeps that long and resubmits, at most ``limit`` times.
-    ``wait=False`` (``htp submit --no-wait``) re-raises immediately.
-    Any non-429 failure re-raises untouched.
+    answers 429 with its backlog-derived ``Retry-After`` estimate — a
+    float, so sub-second hints are honoured as-is, not rounded.  The
+    client sleeps that long and resubmits, at most ``limit`` times and
+    (with ``max_wait``) at most that many *total* seconds asleep; a
+    hint that overshoots the remaining budget is clipped to it, and a
+    429 arriving with the budget exhausted re-raises.  ``wait=False``
+    (``htp submit --no-wait``) re-raises immediately.  Any non-429
+    failure re-raises untouched.
     """
     import time as _time
 
@@ -900,6 +950,7 @@ def _submit_with_retry(
 
     sleep = sleep if sleep is not None else _time.sleep
     attempt = 0
+    slept = 0.0
     while True:
         try:
             return client.submit_spec(spec, deadline=deadline)
@@ -910,11 +961,17 @@ def _submit_with_retry(
             if attempt > limit:
                 raise
             hint = exc.retry_after if exc.retry_after is not None else 1.0
+            if max_wait is not None:
+                remaining = max_wait - slept
+                if remaining <= 0:
+                    raise
+                hint = min(hint, remaining)
             announce(
                 f"service busy: retrying in {hint:g}s "
                 f"(attempt {attempt}/{limit}, server estimate)"
             )
             sleep(hint)
+            slept += hint
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -942,7 +999,11 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     client = ServiceClient(url)
     try:
         submitted = _submit_with_retry(
-            client, spec, args.deadline, wait=not args.no_wait
+            client,
+            spec,
+            args.deadline,
+            wait=not args.no_wait,
+            max_wait=args.max_retry_wait,
         )
         status = client.wait(str(submitted["job_id"]), timeout=args.timeout)
         if status["state"] != JobState.DONE.value:

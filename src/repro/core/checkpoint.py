@@ -149,6 +149,59 @@ def read_checkpoint_file(path: Union[str, Path]) -> Dict[str, object]:
     return payload
 
 
+def list_checkpoint_frames(
+    directory: Union[str, Path],
+) -> List[Tuple[int, Path]]:
+    """All ``ckpt-<seq>.json`` files under ``directory``, oldest first.
+
+    Only names are inspected — no CRC check — so this is cheap enough to
+    run on every replication sweep; validity is enforced where it
+    matters, at install and load time.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    frames: List[Tuple[int, Path]] = []
+    for entry in directory.iterdir():
+        match = _CKPT_RE.match(entry.name)
+        if match:
+            frames.append((int(match.group(1)), entry))
+    return sorted(frames)
+
+
+def install_checkpoint_frame(
+    directory: Union[str, Path],
+    seq: int,
+    envelope: Dict[str, object],
+    counters: Optional[PerfCounters] = None,
+) -> Optional[Path]:
+    """Install a replicated ``{"crc32", "payload"}`` envelope as a frame.
+
+    The CRC is re-verified against the payload *before* anything touches
+    disk, so a frame torn in transit (or forged by a buggy peer) is
+    discarded with a ``checkpoints_discarded`` count and never becomes a
+    resume candidate.  Valid frames land atomically under the canonical
+    ``ckpt-<seq>.json`` name via :func:`write_checkpoint_file`, which
+    re-stamps the CRC from the verified payload.  Returns the written
+    path, or None when the envelope was rejected.
+    """
+    payload = (
+        envelope.get("payload") if isinstance(envelope, dict) else None
+    )
+    if not isinstance(payload, dict) or envelope.get("crc32") != payload_crc(
+        payload
+    ):
+        if counters is not None:
+            counters.checkpoints_discarded += 1
+            counters.record_degradation(
+                "checkpoint-discard",
+                f"replicated frame seq {seq} failed its CRC check",
+                site="checkpoint",
+            )
+        return None
+    return write_checkpoint_file(directory, int(seq), payload)
+
+
 def load_latest_checkpoint(
     directory: Union[str, Path],
     fingerprint: Optional[str] = None,

@@ -61,6 +61,57 @@ class FaultPlanError(ValueError):
     """A fault-plan string or spec is malformed."""
 
 
+def split_plan(text: str):
+    """Split a ``kind:site[@k=v,...];...`` plan into raw spec triples.
+
+    Returns ``[(kind, site, {key: raw_value}), ...]`` with every value
+    still a string.  This is the shared surface of the fault DSL: the
+    worker-pool :class:`FaultPlan` below and the network fault plans in
+    :mod:`repro.testing.netfaults` both layer their own vocabulary and
+    value typing on top of the same split.
+    """
+    chunks = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        head, _, conds = chunk.partition("@")
+        kind, sep, site = head.partition(":")
+        if not sep or not kind.strip() or not site.strip():
+            raise FaultPlanError(
+                f"fault spec {chunk!r} must look like 'kind:site[@k=v,...]'"
+            )
+        conditions: Dict[str, str] = {}
+        if conds:
+            for cond in conds.split(","):
+                key, sep, value = cond.partition("=")
+                key = key.strip()
+                if not sep or not key:
+                    raise FaultPlanError(
+                        f"condition {cond!r} in {chunk!r} must be key=value"
+                    )
+                conditions[key] = value.strip()
+        chunks.append((kind.strip(), site.strip(), conditions))
+    if not chunks:
+        raise FaultPlanError("fault plan contains no specs")
+    return chunks
+
+
+def deterministic_uniform(seed, index, site, coords) -> float:
+    """A uniform draw in [0, 1) that is a pure function of its inputs.
+
+    ``coords`` is a sequence of ``(key, value)`` pairs.  Both fault DSLs
+    route their probabilistic firing decisions through this one hash so
+    a replay with the same seed injects exactly the same faults.
+    """
+    key = ":".join(
+        [str(seed), str(index), str(site)]
+        + [f"{k}={v}" for k, v in coords]
+    )
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
 class InjectedFault(RuntimeError):
     """The exception raised by a ``fail`` fault.
 
@@ -170,49 +221,31 @@ class FaultPlan:
         ``type=`` integration reports it cleanly) on malformed input.
         """
         specs = []
-        for chunk in text.split(";"):
-            chunk = chunk.strip()
-            if not chunk:
-                continue
-            head, _, conds = chunk.partition("@")
-            kind, sep, site = head.partition(":")
-            if not sep:
-                raise FaultPlanError(
-                    f"fault spec {chunk!r} must look like 'kind:site[@k=v,...]'"
-                )
+        for kind, site, conditions in split_plan(text):
             where: Dict[str, int] = {}
             p = 1.0
             duration = 5.0
-            if conds:
-                for cond in conds.split(","):
-                    key, sep, value = cond.partition("=")
-                    key = key.strip()
-                    if not sep:
-                        raise FaultPlanError(
-                            f"condition {cond!r} in {chunk!r} must be key=value"
-                        )
-                    try:
-                        if key == "p":
-                            p = float(value)
-                        elif key == "duration":
-                            duration = float(value)
-                        else:
-                            where[key] = int(value)
-                    except ValueError as exc:
-                        raise FaultPlanError(
-                            f"bad value {value!r} for {key!r} in {chunk!r}"
-                        ) from exc
+            for key, value in conditions.items():
+                try:
+                    if key == "p":
+                        p = float(value)
+                    elif key == "duration":
+                        duration = float(value)
+                    else:
+                        where[key] = int(value)
+                except ValueError as exc:
+                    raise FaultPlanError(
+                        f"bad value {value!r} for {key!r} in fault plan"
+                    ) from exc
             specs.append(
                 FaultSpec(
-                    kind=kind.strip(),
-                    site=site.strip(),
+                    kind=kind,
+                    site=site,
                     where=tuple(sorted(where.items())),
                     p=p,
                     duration=duration,
                 )
             )
-        if not specs:
-            raise FaultPlanError("fault plan contains no specs")
         return cls(specs=tuple(specs), seed=seed)
 
     def describe(self) -> str:
@@ -231,12 +264,10 @@ class FaultPlan:
 
     def _uniform(self, index: int, site: str, coords: Mapping[str, int]) -> float:
         """A deterministic uniform draw in [0, 1) for one firing decision."""
-        key = ":".join(
-            [str(self.seed), str(index), site]
-            + [f"{k}={coords.get(k)}" for k in COORD_KEYS]
+        return deterministic_uniform(
+            self.seed, index, site,
+            [(key, coords.get(key)) for key in COORD_KEYS],
         )
-        digest = hashlib.sha256(key.encode("ascii")).digest()
-        return int.from_bytes(digest[:8], "big") / float(1 << 64)
 
 
 def trip(

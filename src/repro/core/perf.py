@@ -101,6 +101,25 @@ Counter semantics
 ``cluster_remote_hits``
     Router cache misses answered by another worker's durable cache via
     the ``GET /cache/<hash>`` read-through tier (no solve ran anywhere).
+``ckpt_replications``
+    Checkpoint frames a worker pushed to a peer replica over
+    ``PUT /ckpt/<job>/<seq>`` (one frame accepted by one peer counts
+    once; refused or torn frames do not).
+``ckpt_replica_fetches``
+    Checkpoint frames a worker installed from a peer replica before
+    starting a forwarded job — the shared-nothing failover path that
+    replaces the old shared ``--checkpoint-dir`` assumption.
+``cache_replications``
+    Result payloads the router write-through-replicated to additional
+    ring owners over ``PUT /cache/<hash>`` so a cached result survives
+    its producer's death.
+``router_epoch_bumps``
+    Fencing-epoch increments: one per standby takeover (and one when a
+    recovering router fences out its own previous incarnation).
+``netfaults_injected``
+    Network faults a ``repro.testing.netfaults`` proxy actually applied
+    to live traffic (delayed/dropped/half-closed/partitioned/reordered
+    events, not merely scheduled ones).
 ``pool_workers``
     Per-worker-process ``dijkstra_sources`` totals, keyed by worker pid —
     shows how evenly the pool's load spread.
@@ -162,6 +181,11 @@ INT_COUNTERS = (
     "cluster_placements",
     "cluster_reroutes",
     "cluster_remote_hits",
+    "ckpt_replications",
+    "ckpt_replica_fetches",
+    "cache_replications",
+    "router_epoch_bumps",
+    "netfaults_injected",
 )
 
 
@@ -214,6 +238,11 @@ class PerfCounters:
     cluster_placements: int = 0
     cluster_reroutes: int = 0
     cluster_remote_hits: int = 0
+    ckpt_replications: int = 0
+    ckpt_replica_fetches: int = 0
+    cache_replications: int = 0
+    router_epoch_bumps: int = 0
+    netfaults_injected: int = 0
     pool_workers: Dict[str, int] = field(default_factory=dict)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     degradations: List[Dict[str, str]] = field(default_factory=list)

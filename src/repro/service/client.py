@@ -132,6 +132,56 @@ class ServiceClient:
         )
 
     # ------------------------------------------------------------------
+    # Cluster replication + failover endpoints
+    # ------------------------------------------------------------------
+    def cache_push(
+        self, spec_hash: str, payload: Dict[str, object]
+    ) -> Dict[str, object]:
+        """PUT /cache/<hash> — the router's write-through replication.
+
+        Idempotent by content address (the worker validates the payload
+        hashes to ``spec_hash`` before storing), so retries are safe.
+        """
+        return self._request(
+            "PUT", f"/cache/{spec_hash}", body=payload, idempotent=True
+        )
+
+    def ckpt_frames(self, spec_hash: str) -> Dict[str, object]:
+        """GET /ckpt/<hash> — the frame sequence numbers a peer holds."""
+        return self._request("GET", f"/ckpt/{spec_hash}", idempotent=True)
+
+    def ckpt_frame(self, spec_hash: str, seq: int) -> Dict[str, object]:
+        """GET /ckpt/<hash>/<seq> — one CRC-stamped checkpoint envelope."""
+        return self._request(
+            "GET", f"/ckpt/{spec_hash}/{int(seq)}", idempotent=True
+        )
+
+    def ckpt_push(
+        self, spec_hash: str, seq: int, envelope: Dict[str, object]
+    ) -> Dict[str, object]:
+        """PUT /ckpt/<hash>/<seq> — replicate one checkpoint frame.
+
+        Idempotent: frame content is fixed by (hash, seq), so replaying
+        a push atomically rewrites identical bytes.
+        """
+        return self._request(
+            "PUT",
+            f"/ckpt/{spec_hash}/{int(seq)}",
+            body=envelope,
+            idempotent=True,
+        )
+
+    def wal_since(self, since: int) -> Dict[str, object]:
+        """GET /wal?since=<n> — the router journal tail a standby polls."""
+        return self._request(
+            "GET", f"/wal?since={int(since)}", idempotent=True
+        )
+
+    def register_standby(self, url: str) -> Dict[str, object]:
+        """POST /standby — announce a warm standby's URL to the primary."""
+        return self._request("POST", "/standby", body={"url": url})
+
+    # ------------------------------------------------------------------
     # High-level flow
     # ------------------------------------------------------------------
     def wait(

@@ -13,6 +13,10 @@ ROADMAP item 1 — "one box is not a service".  The pieces:
   end (``htp route``).
 - :mod:`~repro.service.cluster.agent` — the worker-side join/heartbeat
   daemon (``htp serve --join``).
+- :mod:`~repro.service.cluster.replication` — shared-nothing failover:
+  the worker-side cluster view (fencing epoch, peers, standby URL) and
+  the checkpoint replicator pushing CRC-stamped frames to ring-chosen
+  peers.
 
 See ``docs/cluster.md`` for the topology and failover walkthrough.
 """
@@ -30,6 +34,12 @@ from repro.service.cluster.placement import (
     ConsistentHashPolicy,
     PlacementPolicy,
     make_policy,
+    replica_owners,
+)
+from repro.service.cluster.replication import (
+    CheckpointReplicator,
+    ClusterView,
+    PeerInfo,
 )
 from repro.service.cluster.registry import (
     WORKER_STATES,
@@ -53,11 +63,14 @@ from repro.service.cluster.router import (
 __all__ = [
     "CLUSTER_RECORD_TYPES",
     "CapacityPolicy",
+    "CheckpointReplicator",
     "ClusterRouter",
+    "ClusterView",
     "ConsistentHashPolicy",
     "HashRing",
     "NoCapacityError",
     "POLICIES",
+    "PeerInfo",
     "PlacementPolicy",
     "ROUTER_CACHE",
     "RecoveredCluster",
@@ -76,5 +89,6 @@ __all__ = [
     "key_position",
     "make_policy",
     "replay_cluster",
+    "replica_owners",
     "route",
 ]

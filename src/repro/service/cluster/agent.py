@@ -18,8 +18,20 @@ on a daemon thread.  The agent:
    FaultTolerance` — a worker survives a router outage and reattaches
    when it returns.
 
-The agent only ever *pushes*; it holds no cluster state beyond the set
-of cache keys it has already reported.
+Beyond the membership loop the agent is the worker's window on the
+cluster: every join/heartbeat response updates a shared
+:class:`~repro.service.cluster.replication.ClusterView` (fencing epoch,
+peer set, replica count, standby URL).  An epoch bump observed on a
+heartbeat means a new router incarnation took over — the agent
+re-registers immediately so placement state is rebuilt under the new
+epoch.  When the router stays unreachable past ``failover_after``
+consecutive contacts and a standby URL is known, the agent retargets its
+client at the standby and keeps joining there until the takeover
+completes (the standby 503s joins while still tailing).  If a
+:class:`~repro.service.cluster.replication.CheckpointReplicator` is
+attached, each successful heartbeat also pushes newly-written
+checkpoint frames to the replica peers, so replication lag is bounded
+by one heartbeat interval.
 """
 
 from __future__ import annotations
@@ -30,6 +42,7 @@ from typing import Callable, Dict, Iterable, Optional, Set
 
 from repro.core.faults import FaultTolerance
 from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.cluster.replication import ClusterView
 
 
 def default_worker_id() -> str:
@@ -67,6 +80,9 @@ class WorkerAgent:
         on join when the router asks for a different cadence.
     tolerance:
         Retry budgets for unreachable-router backoff.
+    failover_after:
+        Consecutive failed router contacts before the agent retargets
+        at the announced standby URL (when one is known).
     """
 
     def __init__(
@@ -82,23 +98,33 @@ class WorkerAgent:
         interval: float = 2.0,
         tolerance: Optional[FaultTolerance] = None,
         client_timeout: float = 10.0,
+        failover_after: int = 3,
     ) -> None:
         self.worker_id = worker_id or default_worker_id()
         self.worker_url = worker_url
+        self.router_url = router_url
         self.weight = float(weight)
         self.engines = tuple(engines)
         self.max_concurrency = int(max_concurrency)
         self.interval = float(interval)
         self.tolerance = tolerance or FaultTolerance()
+        self.failover_after = max(1, int(failover_after))
         self._cached_keys = cached_keys or (lambda: ())
         self._load = load or (lambda: 0)
+        self._client_timeout = client_timeout
         self._client = ServiceClient(router_url, timeout=client_timeout)
         self._reported: Set[str] = set()
         self._joined = threading.Event()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        self.view = ClusterView()
+        #: Optional CheckpointReplicator, attached by the serve wiring;
+        #: synced after every successful heartbeat.
+        self.replicator = None
         self.beats = 0
         self.rejoins = 0
+        self.failovers = 0
+        self._router_failures = 0
 
     # ------------------------------------------------------------------
     @property
@@ -127,10 +153,13 @@ class WorkerAgent:
             )
         except ServiceClientError:
             self._joined.clear()
+            self._router_failed()
             return False
+        self._router_failures = 0
         announced = response.get("heartbeat_interval")
         if isinstance(announced, (int, float)) and announced > 0:
             self.interval = float(announced)
+        self.view.update(response)
         self._joined.set()
         return True
 
@@ -139,7 +168,7 @@ class WorkerAgent:
         keys = set(self._cached_keys())
         fresh = sorted(keys - self._reported)
         try:
-            self._client._request(
+            response = self._client._request(
                 "POST",
                 f"/workers/{self.worker_id}/heartbeat",
                 body={"in_flight": int(self._load()), "cached_keys": fresh},
@@ -150,11 +179,48 @@ class WorkerAgent:
                 self.rejoins += 1
                 return self.join_once()
             self._joined.clear()
+            self._router_failed()
             return False
+        self._router_failures = 0
         self._reported.update(fresh)
+        if self.view.update(response):
+            # The fencing epoch advanced under our feet — a new router
+            # incarnation took over.  Re-register so its membership
+            # table (and the placement ring) includes this worker.
+            self.rejoins += 1
+            return self.join_once()
         self._joined.set()
         self.beats += 1
+        if self.replicator is not None:
+            try:
+                self.replicator.sync()
+            except Exception:  # pragma: no cover - defensive
+                pass  # replication is best-effort, never kills the beat
         return True
+
+    def _router_failed(self) -> None:
+        """Count a failed contact; retarget at the standby when owed.
+
+        The standby URL was learned from the *old* primary's
+        announcements.  While the standby is still tailing it answers
+        503 (also a failure), so the agent simply keeps knocking there
+        until the takeover flips it active; a fenced old primary coming
+        back cannot reclaim the agent because nothing retargets away
+        from the standby except another announced failover.
+        """
+        self._router_failures += 1
+        standby = self.view.standby_url
+        if (
+            self._router_failures >= self.failover_after
+            and standby
+            and standby != self.router_url
+        ):
+            self.router_url = standby
+            self._client = ServiceClient(
+                standby, timeout=self._client_timeout
+            )
+            self._router_failures = 0
+            self.failovers += 1
 
     # ------------------------------------------------------------------
     def start(self) -> None:

@@ -17,6 +17,13 @@ same torn-tail tolerance) with its own record vocabulary:
 ``resolved``
     The job reached a terminal state (``done`` / ``failed`` /
     ``cancelled``) as observed by the router.
+``epoch``
+    The router adopted a new fencing epoch (an integer that only ever
+    grows).  A fresh router journals epoch 1; every recovery — and every
+    standby takeover, which *is* a recovery over the tailed WAL — adopts
+    ``max(seen) + 1``, so a zombie primary and its successor can never
+    share an epoch.  Workers refuse forwards stamped with an epoch older
+    than the newest they have seen.
 
 :func:`replay_cluster` is pure and total, with the same two properties
 the service journal's property tests established: any record prefix
@@ -32,7 +39,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 #: Record types a cluster journal line may carry.
-CLUSTER_RECORD_TYPES = ("placed", "forwarded", "rerouted", "resolved")
+CLUSTER_RECORD_TYPES = ("placed", "forwarded", "rerouted", "resolved", "epoch")
 
 #: Terminal states a ``resolved`` record may carry.
 _RESOLVED_STATES = ("done", "failed", "cancelled")
@@ -61,6 +68,8 @@ class RecoveredCluster:
     jobs: Dict[str, RecoveredPlacement] = field(default_factory=dict)
     replayed: int = 0
     skipped: int = 0
+    #: Highest fencing epoch journaled (0 when no epoch record exists).
+    epoch: int = 0
 
     def in_order(self) -> List[RecoveredPlacement]:
         """Placements in first-placement order."""
@@ -80,6 +89,19 @@ def replay_cluster(records: List[Dict[str, object]]) -> RecoveredCluster:
     for record in records:
         state.replayed += 1
         rtype = record.get("type")
+        if rtype == "epoch":
+            # Epoch records carry no job id; a malformed or regressing
+            # value is skipped like any other garbage record.
+            epoch = record.get("epoch")
+            if (
+                isinstance(epoch, int)
+                and not isinstance(epoch, bool)
+                and epoch > state.epoch
+            ):
+                state.epoch = epoch
+            else:
+                state.skipped += 1
+            continue
         job_id = record.get("job_id")
         if not isinstance(job_id, str) or rtype not in CLUSTER_RECORD_TYPES:
             state.skipped += 1

@@ -102,6 +102,35 @@ class CapacityPolicy(PlacementPolicy):
         return self._hash_tiebreak.choose(spec_hash, lightest)
 
 
+def replica_owners(
+    key: str,
+    workers: Sequence,
+    count: int,
+    exclude: Sequence[str] = (),
+) -> list:
+    """The first ``count`` distinct ring owners for ``key`` past ``exclude``.
+
+    This is the replica-set rule both replication tiers share: walk the
+    hash ring clockwise from ``key`` and collect worker ids, skipping
+    ``exclude`` (normally the primary owner, so replicas never land on
+    the copy that already exists).  A cluster smaller than
+    ``count + len(exclude)`` simply yields fewer owners — replication
+    degrades, it never blocks.  Pure: same membership, same answer.
+    """
+    if count < 1 or not workers:
+        return []
+    ring = PlacementPolicy._ring(workers)
+    owners: list = []
+    excluded = set(exclude)
+    while len(owners) < count:
+        owner = ring.place(key, exclude=excluded)
+        if owner is None:
+            break
+        owners.append(owner)
+        excluded.add(owner)
+    return owners
+
+
 def make_policy(name: str) -> PlacementPolicy:
     """Instantiate a registered policy by name."""
     if name == "hash":

@@ -25,6 +25,12 @@ content addresses each live worker has reported, consulted by the
 router's read-through tier so a warm hit *anywhere* answers without a
 solve.  The index is advisory — a stale entry costs one failed remote
 lookup, never a wrong answer (results are content-addressed).
+
+All deadline arithmetic (``last_heartbeat``, :meth:`overdue`) runs on
+``time.monotonic`` — an NTP step of the wall clock must never walk the
+whole fleet to ``suspect`` at once.  ``joined_at`` stays wall-clock
+because it is display-only.  The clock is injectable so tests can
+freeze and step it.
 """
 
 from __future__ import annotations
@@ -50,7 +56,9 @@ class WorkerInfo:
     max_concurrency: int = 1
     state: str = "alive"
     joined_at: float = field(default_factory=time.time)
-    last_heartbeat: float = field(default_factory=time.time)
+    #: Monotonic-clock reading, not wall time: compared against the
+    #: registry clock in :meth:`WorkerRegistry.overdue`.
+    last_heartbeat: float = field(default_factory=time.monotonic)
     heartbeats: int = 0
     probe_failures: int = 0
     in_flight: int = 0
@@ -91,6 +99,9 @@ class WorkerRegistry:
     probe_retries:
         Failed active probes before a suspect worker is declared dead
         (the ``suspect -> dead`` edge).
+    clock:
+        Monotonic time source for heartbeat deadlines (injectable so
+        tests can freeze/step it; defaults to ``time.monotonic``).
     """
 
     def __init__(
@@ -98,6 +109,7 @@ class WorkerRegistry:
         heartbeat_interval: float = 2.0,
         max_missed: int = 3,
         probe_retries: int = 2,
+        clock=time.monotonic,
     ) -> None:
         if heartbeat_interval <= 0:
             raise ServiceError("heartbeat_interval must be positive")
@@ -108,6 +120,7 @@ class WorkerRegistry:
         self.heartbeat_interval = heartbeat_interval
         self.max_missed = max_missed
         self.probe_retries = probe_retries
+        self._clock = clock
         self._workers: Dict[str, WorkerInfo] = {}
 
     # ------------------------------------------------------------------
@@ -125,7 +138,7 @@ class WorkerRegistry:
         self._workers[info.worker_id] = info
         info.state = "alive"
         info.probe_failures = 0
-        info.last_heartbeat = time.time()
+        info.last_heartbeat = self._clock()
         return info
 
     def heartbeat(
@@ -143,7 +156,7 @@ class WorkerRegistry:
         worker = self._workers.get(worker_id)
         if worker is None or worker.state == "dead":
             return False
-        worker.last_heartbeat = time.time()
+        worker.last_heartbeat = self._clock()
         worker.heartbeats += 1
         worker.state = "alive"
         worker.probe_failures = 0
@@ -191,7 +204,7 @@ class WorkerRegistry:
         The router's monitor probes each returned worker and feeds the
         outcome to :meth:`probe_failed` / :meth:`heartbeat`.
         """
-        now = time.time() if now is None else now
+        now = self._clock() if now is None else now
         budget = self.heartbeat_interval * self.max_missed
         return [
             worker

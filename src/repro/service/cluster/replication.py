@@ -1,0 +1,313 @@
+"""Shared-nothing replication: checkpoints and the cluster view.
+
+Before this module, bit-identical failover leaned on a shared
+``--checkpoint-dir``: kill a worker mid-solve and the survivor resumed
+from the dead process's frames only because both pointed at the same
+directory.  Real fleets do not share a filesystem.  Here every worker
+keeps a *private* checkpoint root and the frames travel over HTTP:
+
+* :class:`ClusterView` is the worker-side snapshot of what the router
+  announces on every join/heartbeat response — the fencing epoch, the
+  live peer set, the replica count and the standby router's URL.  One
+  instance is shared (under a lock) between the heartbeat agent that
+  updates it and the HTTP server that consults it.
+* :class:`CheckpointReplicator` pushes newly-written checkpoint frames
+  to the replica owners the hash ring names for each spec (excluding
+  this worker, which already holds the original), riding the heartbeat
+  cadence so replication lag is bounded by one heartbeat interval.  On
+  the receiving side a frame is CRC-verified *before* it touches disk
+  (:func:`repro.core.checkpoint.install_checkpoint_frame`); a frame torn
+  in transit is a counted discard, never a resume candidate.
+* :meth:`CheckpointReplicator.fetch` is the failover read path: a worker
+  handed a job it has no local frames for asks the replica owners for
+  their newest frames and installs whatever verifies, after which the
+  ordinary ``resume_from`` machinery continues the solve bit-identically
+  — the same guarantee as the shared-directory era, without the shared
+  directory.
+
+Frames are only ever *added* under a spec's directory; sequence numbers
+come from the producer, so pushing the same frame twice is idempotent
+(``os.replace`` onto identical content).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.core.checkpoint import (
+    install_checkpoint_frame,
+    list_checkpoint_frames,
+    read_checkpoint_file,
+)
+from repro.core.perf import PerfCounters
+from repro.service.cluster.placement import replica_owners
+
+
+@dataclass
+class PeerInfo:
+    """One peer as announced by the router (enough to place replicas)."""
+
+    worker_id: str
+    url: str
+    weight: float = 1.0
+
+
+class ClusterView:
+    """Thread-safe snapshot of the router's announcements.
+
+    The heartbeat agent calls :meth:`update` with every join/heartbeat
+    response; the worker's HTTP server calls :meth:`admit_epoch` on every
+    forwarded job to fence zombie routers.  ``epoch`` only ever grows.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._epoch = 0
+        self._peers: Dict[str, PeerInfo] = {}
+        self._replicas = 1
+        self._standby_url: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        with self._lock:
+            return self._epoch
+
+    @property
+    def replicas(self) -> int:
+        with self._lock:
+            return self._replicas
+
+    @property
+    def standby_url(self) -> Optional[str]:
+        with self._lock:
+            return self._standby_url
+
+    def peers(self, exclude: str = "") -> List[PeerInfo]:
+        """The announced peer set, minus ``exclude`` (normally self)."""
+        with self._lock:
+            return [
+                peer
+                for peer in self._peers.values()
+                if peer.worker_id != exclude
+            ]
+
+    # ------------------------------------------------------------------
+    def update(self, doc: Dict[str, object]) -> bool:
+        """Fold a join/heartbeat response in; True if the epoch advanced.
+
+        Unknown or missing keys are ignored — an old router that does
+        not announce cluster state simply leaves the view at its
+        defaults, and replication quietly stays off (no peers).
+        """
+        bumped = False
+        with self._lock:
+            epoch = doc.get("epoch")
+            if isinstance(epoch, int) and epoch > self._epoch:
+                bumped = self._epoch > 0
+                self._epoch = epoch
+            replicas = doc.get("replicas")
+            if isinstance(replicas, int) and replicas >= 0:
+                self._replicas = replicas
+            standby = doc.get("standby")
+            if isinstance(standby, str) or standby is None:
+                self._standby_url = standby
+            peers = doc.get("peers")
+            if isinstance(peers, list):
+                table: Dict[str, PeerInfo] = {}
+                for entry in peers:
+                    if not isinstance(entry, dict):
+                        continue
+                    worker_id = entry.get("worker_id")
+                    url = entry.get("url")
+                    if isinstance(worker_id, str) and isinstance(url, str):
+                        table[worker_id] = PeerInfo(
+                            worker_id=worker_id,
+                            url=url,
+                            weight=float(entry.get("weight", 1.0)),
+                        )
+                self._peers = table
+        return bumped
+
+    def admit_epoch(self, epoch: object) -> bool:
+        """Fence a forwarded job's epoch stamp.
+
+        Newer-or-equal epochs are admitted (newer ones adopted — the
+        forward may be the first news of a takeover); older epochs are
+        refused, which is exactly the zombie-primary case: a fenced
+        router keeps forwarding with its stale epoch and every worker
+        answers 409.
+        """
+        if not isinstance(epoch, int):
+            return True  # unstamped forwards (pre-cluster clients) pass
+        with self._lock:
+            if epoch < self._epoch:
+                return False
+            self._epoch = epoch
+            return True
+
+
+class CheckpointReplicator:
+    """Pushes local checkpoint frames to ring-chosen replica peers.
+
+    Parameters
+    ----------
+    checkpoint_root:
+        This worker's private checkpoint root (``<root>/<spec_hash>/``
+        per job, the layout :class:`~repro.service.jobs.JobManager`
+        maintains).
+    worker_id:
+        This worker's id — excluded from its own replica sets.
+    view:
+        The shared :class:`ClusterView` naming peers and replica count.
+    client_factory:
+        ``url -> client`` hook (tests inject fakes); the client needs
+        ``ckpt_push``, ``ckpt_frames`` and ``ckpt_frame``.
+    counters:
+        Shared perf struct (``ckpt_replications`` per frame pushed,
+        ``ckpt_replica_fetches`` per frame installed on fetch).
+    """
+
+    def __init__(
+        self,
+        checkpoint_root: Union[str, Path],
+        worker_id: str,
+        view: ClusterView,
+        client_factory: Optional[Callable[[str], object]] = None,
+        counters: Optional[PerfCounters] = None,
+    ) -> None:
+        if client_factory is None:
+            from repro.service.client import ServiceClient
+
+            def client_factory(url: str):
+                return ServiceClient(url, timeout=10.0)
+
+        self.checkpoint_root = Path(checkpoint_root)
+        self.worker_id = worker_id
+        self.view = view
+        self.counters = counters
+        self._client_factory = client_factory
+        #: Newest frame seq pushed per (peer_id, spec_hash); replication
+        #: is incremental — each sweep ships only what is new.
+        self._pushed: Dict[Tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # Push (producer side, rides the heartbeat cadence)
+    # ------------------------------------------------------------------
+    def sync(self) -> int:
+        """Push every frame newer than the last push to each replica owner.
+
+        Returns the number of frames shipped.  Unreachable peers are
+        skipped without resetting the high-water mark, so the next sweep
+        retries exactly the frames they missed.  With no peers (or
+        ``replicas`` 0) this is a no-op — a one-worker cluster replicates
+        nothing and loses nothing it could have kept.
+        """
+        peers = self.view.peers(exclude=self.worker_id)
+        count = self.view.replicas
+        if not peers or count < 1 or not self.checkpoint_root.is_dir():
+            return 0
+        by_id = {peer.worker_id: peer for peer in peers}
+        shipped = 0
+        for spec_dir in sorted(self.checkpoint_root.iterdir()):
+            if not spec_dir.is_dir():
+                continue
+            frames = list_checkpoint_frames(spec_dir)
+            if not frames:
+                continue
+            owners = replica_owners(
+                spec_dir.name, peers, count, exclude=(self.worker_id,)
+            )
+            for owner in owners:
+                shipped += self._push_frames(
+                    by_id[owner], spec_dir.name, frames
+                )
+        return shipped
+
+    def _push_frames(
+        self, peer: PeerInfo, spec_hash: str, frames: List[Tuple[int, Path]]
+    ) -> int:
+        from repro.service.client import ServiceClientError
+
+        mark = self._pushed.get((peer.worker_id, spec_hash), -1)
+        shipped = 0
+        for seq, path in frames:
+            if seq <= mark:
+                continue
+            try:
+                envelope = _read_envelope(path)
+            except Exception:
+                continue  # torn local frame; the CRC layer owns counting
+            try:
+                self._client_factory(peer.url).ckpt_push(
+                    spec_hash, seq, envelope
+                )
+            except ServiceClientError:
+                return shipped  # peer unreachable; retry next sweep
+            mark = seq
+            self._pushed[(peer.worker_id, spec_hash)] = mark
+            shipped += 1
+            if self.counters is not None:
+                self.counters.ckpt_replications += 1
+        return shipped
+
+    # ------------------------------------------------------------------
+    # Fetch (failover read path)
+    # ------------------------------------------------------------------
+    def fetch(self, spec_hash: str) -> int:
+        """Pull newer replicated frames for ``spec_hash`` from the peers.
+
+        Called by the worker server when a forwarded job has no local
+        frames (or only older ones): every peer is asked what it holds,
+        and any frame newer than the local newest is fetched and
+        CRC-verified into the local spec directory.  Returns the number
+        of frames installed; 0 is normal (cold job, no replicas yet).
+        """
+        from repro.service.client import ServiceClientError
+
+        spec_dir = self.checkpoint_root / spec_hash
+        local = list_checkpoint_frames(spec_dir)
+        newest_local = local[-1][0] if local else -1
+        installed = 0
+        for peer in self.view.peers(exclude=self.worker_id):
+            client = self._client_factory(peer.url)
+            try:
+                listing = client.ckpt_frames(spec_hash)
+            except ServiceClientError:
+                continue
+            frames = listing.get("frames", [])
+            if not isinstance(frames, list):
+                continue
+            for seq in sorted(int(s) for s in frames):
+                if seq <= newest_local:
+                    continue
+                try:
+                    envelope = client.ckpt_frame(spec_hash, seq)
+                except ServiceClientError:
+                    continue
+                if (
+                    install_checkpoint_frame(
+                        spec_dir, seq, envelope, counters=self.counters
+                    )
+                    is not None
+                ):
+                    installed += 1
+                    newest_local = max(newest_local, seq)
+                    if self.counters is not None:
+                        self.counters.ckpt_replica_fetches += 1
+        return installed
+
+
+def _read_envelope(path: Path) -> Dict[str, object]:
+    """A frame file's ``{"crc32", "payload"}`` envelope, CRC-verified.
+
+    :func:`read_checkpoint_file` raises on a torn local frame, so what
+    travels is always an envelope the receiver can verify again.
+    """
+    import json
+
+    read_checkpoint_file(path)  # raises CheckpointError on a torn frame
+    return json.loads(path.read_text(encoding="utf-8"))

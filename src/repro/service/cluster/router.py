@@ -28,10 +28,26 @@ Failure handling mirrors the repo's FaultTolerance ladder — retry,
 reroute, mark dead: a connection-refused forward marks the worker dead
 and tries the next eligible one (journaled as ``rerouted``); a worker
 that stops heartbeating is probed, suspected, then declared dead, and
-its in-flight jobs are re-placed.  Because workers share a checkpoint
-root, the replacement worker resumes each job from its newest
-checkpoint and produces a bit-identical result (the chaos tier proves
-this end to end).
+its in-flight jobs are re-placed.  Workers are shared-nothing: each
+keeps a private checkpoint root, and checkpoint frames are replicated
+peer-to-peer (see :mod:`~repro.service.cluster.replication`), so the
+replacement worker fetches the dead one's newest replicated frame and
+produces a bit-identical result (the chaos tier proves this end to
+end).  Completed results are likewise write-through-replicated to extra
+ring owners so a cached answer survives its producer's death.
+
+The router itself fails over: ``htp route --standby <primary>`` runs a
+warm standby that tails the primary's placement WAL (``GET
+/wal?since=<seq>``) into its own journal and takes over after
+``epoch_timeout`` seconds of failed polls.  Every forward is stamped
+with the router's **fencing epoch** (journaled, monotonically growing
+across recoveries); workers refuse forwards carrying an older epoch, so
+a zombie primary that lost a takeover race can never place work.
+
+All internal deadline arithmetic (heartbeats, monitor grace) runs on an
+injectable monotonic clock; only client-visible timestamps
+(``submitted_at``, ``deadline_epoch``) stay wall-clock because they are
+journaled and cross process boundaries.
 """
 
 from __future__ import annotations
@@ -51,7 +67,7 @@ from repro.errors import ServiceError
 from repro.service.cache import ResultCache
 from repro.service.client import ServiceClient, ServiceClientError
 from repro.service.cluster.journal import replay_cluster
-from repro.service.cluster.placement import make_policy
+from repro.service.cluster.placement import make_policy, replica_owners
 from repro.service.cluster.registry import WorkerInfo, WorkerRegistry
 from repro.service.jobs import JobSpec
 from repro.service.journal import Journal
@@ -172,6 +188,13 @@ class ClusterRouter:
     probe_timeout:
         HTTP timeout for liveness probes (short: a probe that hangs is
         a failure).
+    replicas:
+        Extra copies of results (and the checkpoint-replica count
+        announced to workers) past the primary owner; 0 turns
+        replication off.
+    clock:
+        Monotonic time source for the monitor's deadline arithmetic
+        (injectable so tests can freeze/step it).
     """
 
     def __init__(
@@ -184,13 +207,19 @@ class ClusterRouter:
         probe_retries: int = 2,
         worker_timeout: float = 30.0,
         probe_timeout: float = 2.0,
+        replicas: int = 1,
+        clock=time.monotonic,
     ) -> None:
+        if replicas < 0:
+            raise ServiceError("replicas must be non-negative")
         self.counters = PerfCounters()
         self.policy = make_policy(policy)
+        self._clock = clock
         self.registry = WorkerRegistry(
             heartbeat_interval=heartbeat_interval,
             max_missed=max_missed,
             probe_retries=probe_retries,
+            clock=clock,
         )
         self.cache = ResultCache(
             capacity=cache_capacity, counters=self.counters
@@ -202,11 +231,18 @@ class ClusterRouter:
         )
         self.worker_timeout = worker_timeout
         self.probe_timeout = probe_timeout
+        self.replicas = int(replicas)
+        #: Fencing epoch stamped into every forward; recovery (and a
+        #: standby takeover, which recovers over the tailed WAL) adopts
+        #: max(journaled) + 1, so successive incarnations never share
+        #: an epoch.
+        self.epoch = 1
+        self._standby_url: Optional[str] = None
         self._lock = threading.RLock()
         self._jobs: Dict[str, RouterJob] = {}
         self._clients: Dict[str, ServiceClient] = {}
         self._seq = 1
-        self._started_at = time.time()
+        self._started_at = self._clock()
 
     # ------------------------------------------------------------------
     # Membership (driven by worker agents)
@@ -242,11 +278,13 @@ class ClusterRouter:
         with self._lock:
             self.registry.register(info)
             alive = len(self.registry.alive())
-        return {
-            "worker_id": worker_id,
-            "heartbeat_interval": self.registry.heartbeat_interval,
-            "workers_alive": alive,
-        }
+            doc = {
+                "worker_id": worker_id,
+                "heartbeat_interval": self.registry.heartbeat_interval,
+                "workers_alive": alive,
+            }
+            doc.update(self._announce())
+        return doc
 
     def heartbeat(
         self, worker_id: str, payload: Dict[str, object]
@@ -266,11 +304,69 @@ class ClusterRouter:
             raise UnknownJobError(
                 f"worker {worker_id!r} is not a live member; re-register"
             )
-        return {"worker_id": worker_id, "known": True}
+        with self._lock:
+            doc = {"worker_id": worker_id, "known": True}
+            doc.update(self._announce())
+        return doc
 
     def workers(self) -> List[Dict[str, object]]:
         with self._lock:
             return [worker.status() for worker in self.registry.workers()]
+
+    def _announce(self) -> Dict[str, object]:
+        """Cluster state piggybacked on join/heartbeat responses.
+
+        Caller holds the lock.  This is how workers learn the fencing
+        epoch, their peer set (for checkpoint replication), the replica
+        count and where the standby router lives.
+        """
+        return {
+            "epoch": self.epoch,
+            "replicas": self.replicas,
+            "standby": self._standby_url,
+            "peers": [
+                {
+                    "worker_id": worker.worker_id,
+                    "url": worker.url,
+                    "weight": worker.weight,
+                }
+                for worker in self.registry.alive()
+            ],
+        }
+
+    def register_standby(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Record the warm standby's URL (``POST /standby``).
+
+        The standby announces itself on every WAL poll; the URL is
+        rebroadcast to workers so their agents know where to fail over
+        when this router stops answering.
+        """
+        url = payload.get("url")
+        if not isinstance(url, str) or not url.startswith("http"):
+            raise ServiceError("standby payload needs an http url")
+        with self._lock:
+            self._standby_url = url
+            return {"standby": url, "epoch": self.epoch}
+
+    def wal_records(self, since: int) -> Dict[str, object]:
+        """The journal's valid records from position ``since`` on.
+
+        Positional, not keyed: cluster records carry no sequence
+        numbers, so the standby's cursor is simply how many valid
+        records it already holds.  Torn lines are dropped by ``scan``
+        (counted on ``journal_torn_records``), which keeps both sides'
+        positions consistent — a torn tail is invisible to the cursor.
+        """
+        if since < 0:
+            raise ServiceError("since must be non-negative")
+        records = self.journal.scan() if self.journal is not None else []
+        with self._lock:
+            return {
+                "since": since,
+                "records": records[since:],
+                "total": len(records),
+                "epoch": self.epoch,
+            }
 
     # ------------------------------------------------------------------
     # The client-facing job API
@@ -415,6 +511,16 @@ class ClusterRouter:
                     "placements": self.counters.cluster_placements,
                     "reroutes": self.counters.cluster_reroutes,
                     "remote_cache_hits": self.counters.cluster_remote_hits,
+                    "epoch": self.epoch,
+                    "replicas": self.replicas,
+                    "standby": self._standby_url,
+                    "epoch_bumps": self.counters.router_epoch_bumps,
+                    "cache_replications": self.counters.cache_replications,
+                    "ckpt_replications": self.counters.ckpt_replications,
+                    "ckpt_replica_fetches": (
+                        self.counters.ckpt_replica_fetches
+                    ),
+                    "netfaults_injected": self.counters.netfaults_injected,
                 },
                 "jobs": self.state_counts(),
                 "journal": (
@@ -426,7 +532,14 @@ class ClusterRouter:
     # Recovery
     # ------------------------------------------------------------------
     def recover(self) -> Dict[str, int]:
-        """Replay the placement journal into the job table."""
+        """Replay the placement journal into the job table.
+
+        Also adopts the next fencing epoch: ``max(journaled) + 1``,
+        journaled immediately so the *next* incarnation (or a standby
+        tailing this WAL) moves past it in turn.  Counted on
+        ``router_epoch_bumps`` only when an earlier epoch existed — a
+        fresh journal starts at epoch 1 without a bump.
+        """
         summary = {"recovered": 0, "open": 0, "resolved": 0, "skipped": 0}
         if self.journal is None:
             return summary
@@ -434,6 +547,10 @@ class ClusterRouter:
         self.counters.journal_replayed += recovered.replayed
         summary["skipped"] = recovered.skipped
         with self._lock:
+            if recovered.epoch > 0:
+                self.epoch = recovered.epoch + 1
+                self.counters.router_epoch_bumps += 1
+            self._append({"type": "epoch", "epoch": self.epoch})
             for placement in recovered.in_order():
                 job = RouterJob(
                     job_id=placement.job_id,
@@ -459,7 +576,7 @@ class ClusterRouter:
                 match = _SEQ_RE.search(placement.job_id)
                 if match:
                     self._seq = max(self._seq, int(match.group(1)) + 1)
-            self._started_at = time.time()
+            self._started_at = self._clock()
         return summary
 
     def close(self) -> None:
@@ -475,7 +592,7 @@ class ClusterRouter:
         Called periodically by the HTTP front end; safe to call from
         tests directly.
         """
-        now = time.time()
+        now = self._clock()
         with self._lock:
             overdue = [
                 (worker.worker_id, worker.url)
@@ -682,6 +799,13 @@ class ClusterRouter:
                 job.worker = chosen
                 job.worker_job_id = None
                 deadline_epoch = job.deadline_epoch
+                forward_payload = dict(job.spec_payload)
+                # The fencing stamp: workers refuse forwards whose epoch
+                # is older than the newest they have seen, so a fenced
+                # zombie router cannot place work (its submissions fail
+                # here with 409 and the job resolves failed *at the
+                # zombie*, never reaching a worker queue).
+                forward_payload["router_epoch"] = self.epoch
             remaining: Optional[float] = None
             if deadline_epoch is not None:
                 remaining = deadline_epoch - time.time()
@@ -693,7 +817,7 @@ class ClusterRouter:
                     return False
             try:
                 response = self._client(url).submit(
-                    dict(job.spec_payload), deadline=remaining
+                    forward_payload, deadline=remaining
                 )
             except ServiceClientError as exc:
                 if exc.status == 0:
@@ -767,6 +891,7 @@ class ClusterRouter:
                     payload = self._client(url).result(worker_job_id)
                 except ServiceClientError:
                     payload = None
+            replicate_from: Optional[str] = None
             with self._lock:
                 if job.state not in _TERMINAL:
                     if payload is not None:
@@ -774,6 +899,8 @@ class ClusterRouter:
                             self.cache.put(job.spec_hash, payload)
                         except ServiceError:
                             pass  # quarantined-by-shape: keep the job doc
+                        else:
+                            replicate_from = job.worker
                         job.result_payload = payload
                         job.cached = bool(remote.get("cached", False))
                         if job.worker is not None:
@@ -781,7 +908,12 @@ class ClusterRouter:
                             if worker is not None:
                                 worker.cached_keys.add(job.spec_hash)
                     self._resolve(job, "done", error=None)
-                return job.status()
+                status = job.status()
+            if payload is not None and replicate_from is not None:
+                self._replicate_result(
+                    job.spec_hash, payload, exclude=replicate_from
+                )
+            return status
         error = remote.get("error")
         with self._lock:
             if job.state not in _TERMINAL:
@@ -791,6 +923,49 @@ class ClusterRouter:
                     error=error if isinstance(error, str) else None,
                 )
             return job.status()
+
+    def _replicate_result(
+        self,
+        spec_hash: str,
+        payload: Dict[str, object],
+        exclude: str,
+    ) -> int:
+        """Write-through-replicate a fresh result to extra ring owners.
+
+        Called outside the lock right after a ``done`` absorb: the
+        producing worker (``exclude``) already holds the result, so up
+        to ``replicas`` *other* owners named by the hash ring get a copy
+        via ``PUT /cache/<hash>``.  Their cache-index entries are
+        updated immediately, so the read-through tier can answer from a
+        replica the moment the producer dies.  Unreachable replicas are
+        skipped — replication is best-effort; the counter records what
+        actually landed.
+        """
+        if self.replicas < 1:
+            return 0
+        with self._lock:
+            workers = self.registry.alive()
+            owners = replica_owners(
+                spec_hash, workers, self.replicas, exclude=(exclude,)
+            )
+            targets = [
+                (worker.worker_id, worker.url)
+                for worker in workers
+                if worker.worker_id in owners
+            ]
+        landed = 0
+        for worker_id, url in targets:
+            try:
+                self._client(url).cache_push(spec_hash, payload)
+            except ServiceClientError:
+                continue
+            landed += 1
+            with self._lock:
+                self.counters.cache_replications += 1
+                peer = self.registry._workers.get(worker_id)
+                if peer is not None:
+                    peer.cached_keys.add(spec_hash)
+        return landed
 
     def _poll_failed(self, job: RouterJob, exc: ServiceClientError) -> None:
         """A status proxy failed: feed the death ladder or re-place."""
@@ -877,11 +1052,22 @@ class RouterServer(HttpServerBase):
     GET      ``/workers``                    membership table
     GET      ``/healthz``                    liveness + counts
     GET      ``/metricsz``                   perf + cache + cluster
+    GET      ``/wal?since=<n>``              journal tail (standby feed)
+    POST     ``/standby``                    standby self-announcement
     =======  ==============================  ==========================
 
     Blocking router work (worker HTTP calls) runs on the default
     executor so the event loop keeps accepting heartbeats while a
     forward is in flight.
+
+    With ``standby_of`` set the server starts as a **warm standby**: it
+    binds and answers health/metrics, but 503s every job and membership
+    endpoint while a tail loop copies the primary's WAL into its own
+    journal (and announces itself via ``POST /standby``).  After
+    ``epoch_timeout`` seconds of failed polls it takes over — recovers
+    from the tailed journal (adopting a higher fencing epoch), starts
+    the monitor, and serves everything a primary does.  Workers find it
+    through the standby URL their agents learned from the old primary.
     """
 
     def __init__(
@@ -889,26 +1075,58 @@ class RouterServer(HttpServerBase):
         router: ClusterRouter,
         host: str = "127.0.0.1",
         port: int = 0,
+        standby_of: Optional[str] = None,
+        epoch_timeout: Optional[float] = None,
     ) -> None:
         super().__init__(host=host, port=port)
         self.router = router
+        self.standby_of = standby_of
+        if epoch_timeout is None:
+            epoch_timeout = (
+                router.registry.heartbeat_interval * router.registry.max_missed
+            )
+        self.epoch_timeout = float(epoch_timeout)
         self.recovery_summary: Dict[str, int] = {}
+        self.took_over = False
+        self._active = standby_of is None
         self._monitor_task: Optional[asyncio.Task] = None
+        self._standby_task: Optional[asyncio.Task] = None
+        if standby_of is not None and router.journal is None:
+            raise ServiceError(
+                "a standby router needs --journal-dir: the tailed WAL is "
+                "what it takes over from"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether this server currently serves jobs (primary role)."""
+        return self._active
 
     async def start(self) -> None:
-        """Recover the journal, bind, start the monitor loop."""
-        self.recovery_summary = self.router.recover()
+        """Recover the journal, bind, start the monitor loop.
+
+        A standby defers recovery until takeover — it binds immediately
+        (so workers can find it) and runs the WAL tail loop instead of
+        the monitor.
+        """
+        if self._active:
+            self.recovery_summary = self.router.recover()
         await self._bind()
-        self._monitor_task = asyncio.ensure_future(self._monitor_loop())
+        if self._active:
+            self._monitor_task = asyncio.ensure_future(self._monitor_loop())
+        else:
+            self._standby_task = asyncio.ensure_future(self._standby_loop())
 
     async def stop(self) -> None:
-        if self._monitor_task is not None:
-            self._monitor_task.cancel()
-            try:
-                await self._monitor_task
-            except asyncio.CancelledError:
-                pass
-            self._monitor_task = None
+        for task_name in ("_monitor_task", "_standby_task"):
+            task = getattr(self, task_name)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                setattr(self, task_name, None)
         await self._unbind()
         self.router.close()
 
@@ -923,22 +1141,115 @@ class RouterServer(HttpServerBase):
                 pass  # the monitor must outlive any single bad sweep
 
     # ------------------------------------------------------------------
+    # Warm standby
+    # ------------------------------------------------------------------
+    async def _standby_loop(self) -> None:
+        """Tail the primary's WAL; take over when it stops answering.
+
+        Every poll appends the newly-served records verbatim into this
+        router's own journal, so the standby's copy is always a valid
+        prefix of the primary's history (a torn tail in *this* file is
+        self-healing: ``scan`` drops the torn line and the next poll
+        re-fetches from the shorter cursor).  ``epoch_timeout`` seconds
+        of consecutive failures triggers takeover.
+        """
+        loop = asyncio.get_running_loop()
+        interval = min(1.0, self.router.registry.heartbeat_interval)
+        cursor = len(self.router.journal.scan())
+        failing_since: Optional[float] = None
+        while True:
+            try:
+                fetched = await loop.run_in_executor(
+                    None, self._standby_poll, cursor
+                )
+            except ServiceClientError:
+                now = loop.time()
+                if failing_since is None:
+                    failing_since = now
+                elif now - failing_since >= self.epoch_timeout:
+                    await self._take_over()
+                    return
+            else:
+                failing_since = None
+                cursor += fetched
+            await asyncio.sleep(interval)
+
+    def _standby_poll(self, cursor: int) -> int:
+        """One WAL poll + self-announcement; returns records appended."""
+        client = ServiceClient(
+            self.standby_of,
+            timeout=self.router.probe_timeout,
+            tolerance=FaultTolerance(task_retries=0),
+        )
+        doc = client.wal_since(cursor)
+        records = doc.get("records", [])
+        appended = 0
+        if isinstance(records, list):
+            for record in records:
+                if isinstance(record, dict):
+                    self.router.journal.append(record)
+                    appended += 1
+        try:
+            client.register_standby(self.url)
+        except ServiceClientError:
+            pass  # announcement is best-effort; the tail is the contract
+        return appended
+
+    async def _take_over(self) -> None:
+        """Promote: recover from the tailed WAL and start serving."""
+        loop = asyncio.get_running_loop()
+        self.recovery_summary = await loop.run_in_executor(
+            None, self.router.recover
+        )
+        self.took_over = True
+        self._active = True
+        self._standby_task = None
+        self._monitor_task = asyncio.ensure_future(self._monitor_loop())
+
+    # ------------------------------------------------------------------
     async def _route(
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, Dict[str, object]]:
-        path = path.split("?", 1)[0].rstrip("/") or "/"
+        path, _, query = path.partition("?")
+        path = path.rstrip("/") or "/"
         router = self.router
         if path == "/healthz":
             self._require(method, "GET")
             return 200, {
                 "status": "ok",
-                "role": "router",
+                "role": "router" if self._active else "standby",
                 "workers": router.registry.state_counts(),
                 "jobs": router.state_counts(),
             }
         if path == "/metricsz":
             self._require(method, "GET")
             return 200, router.metrics()
+        if path == "/wal":
+            self._require(method, "GET")
+            since = 0
+            for param in query.split("&"):
+                name, sep, value = param.partition("=")
+                if name == "since" and sep:
+                    try:
+                        since = int(value)
+                    except ValueError as exc:
+                        raise _HttpError(
+                            400, f"bad since {value!r}: not an integer"
+                        ) from exc
+            return await self._call(router.wal_records, since)
+        if path == "/standby":
+            self._require(method, "POST")
+            return await self._call(
+                router.register_standby, self._json_body(body)
+            )
+        if not self._active:
+            # Warm standby: health, metrics and the WAL are served; the
+            # job and membership surface answers 503 so agents and
+            # clients keep retrying until takeover.
+            raise _HttpError(
+                503,
+                f"standing by for {self.standby_of}; not serving yet",
+            )
         if path == "/workers":
             if method == "POST":
                 raise _HttpError(405, "POST to /workers/join to register")
@@ -984,10 +1295,12 @@ class RouterServer(HttpServerBase):
         except NoCapacityError as exc:
             raise _HttpError(503, str(exc)) from exc
         except RouterBusyError as exc:
+            # ``:g`` keeps fractional hints intact on the wire — an
+            # ``int()`` here used to truncate a worker's 1.5s ask to 1s.
             raise _HttpError(
                 429,
                 str(exc),
-                headers={"Retry-After": f"{int(exc.retry_after)}"},
+                headers={"Retry-After": f"{exc.retry_after:g}"},
             ) from exc
         except ResultNotReady as exc:
             payload: Dict[str, object] = {
@@ -1030,6 +1343,8 @@ class RouterThread:
         router_kwargs: Optional[Dict[str, object]] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        standby_of: Optional[str] = None,
+        epoch_timeout: Optional[float] = None,
     ) -> None:
         self._started = threading.Event()
         self._stop_requested: Optional[asyncio.Event] = None
@@ -1038,6 +1353,8 @@ class RouterThread:
         self._router_kwargs = dict(router_kwargs or {})
         self._host = host
         self._requested_port = port
+        self._standby_of = standby_of
+        self._epoch_timeout = epoch_timeout
         self.server: Optional[RouterServer] = None
         self._thread = threading.Thread(
             target=self._run, name="repro-route", daemon=True
@@ -1056,7 +1373,11 @@ class RouterThread:
         try:
             router = ClusterRouter(**self._router_kwargs)
             self.server = RouterServer(
-                router, host=self._host, port=self._requested_port
+                router,
+                host=self._host,
+                port=self._requested_port,
+                standby_of=self._standby_of,
+                epoch_timeout=self._epoch_timeout,
             )
             await self.server.start()
         except BaseException as exc:
@@ -1103,12 +1424,20 @@ def route(
     port: int = 0,
     router_kwargs: Optional[Dict[str, object]] = None,
     announce=print,
+    standby_of: Optional[str] = None,
+    epoch_timeout: Optional[float] = None,
 ) -> int:
     """Run a router until SIGINT/SIGTERM — the entry behind ``htp route``."""
 
     async def _main() -> None:
         router = ClusterRouter(**(router_kwargs or {}))
-        server = RouterServer(router, host=host, port=port)
+        server = RouterServer(
+            router,
+            host=host,
+            port=port,
+            standby_of=standby_of,
+            epoch_timeout=epoch_timeout,
+        )
         await server.start()
         if server.recovery_summary.get("recovered"):
             announce(
@@ -1119,6 +1448,8 @@ def route(
                     if count
                 )
             )
+        if standby_of is not None:
+            announce(f"standing by for {standby_of} on {server.url}")
         announce(f"routing on {server.url}")
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()

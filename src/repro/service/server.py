@@ -16,6 +16,11 @@ GET      ``/jobs/<id>/result``    result payload (409 until ``done``)
 POST     ``/jobs/<id>/cancel``    cancel a queued/running job
 GET      ``/healthz``             liveness + per-state job counts
 GET      ``/metricsz``            merged PerfCounters + cache stats
+GET      ``/cache/<hash>``        durable-cache read-through (cluster)
+PUT      ``/cache/<hash>``        result replica install (cluster)
+GET      ``/ckpt/<hash>``         checkpoint frame listing (cluster)
+GET      ``/ckpt/<hash>/<seq>``   one CRC-stamped checkpoint frame
+PUT      ``/ckpt/<hash>/<seq>``   checkpoint frame replica install
 =======  =======================  ==========================================
 
 Error responses are ``{"error": ...}`` with conventional status codes:
@@ -44,9 +49,15 @@ import signal
 import threading
 from typing import Dict, Optional, Tuple
 
-from repro.core.checkpoint import newest_checkpoint_age
+from repro.core.checkpoint import (
+    install_checkpoint_frame,
+    list_checkpoint_frames,
+    newest_checkpoint_age,
+)
 from repro.errors import ServiceError
 from repro.service.jobs import AdmissionError, JobManager, JobSpec, JobState
+
+_HEX = frozenset("0123456789abcdef")
 
 #: Largest accepted request body (netlists are a few MB at paper scale).
 MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -223,7 +234,15 @@ class HttpServerBase:
 
 
 class PartitionServer(HttpServerBase):
-    """The asyncio HTTP server wrapping a :class:`JobManager`."""
+    """The asyncio HTTP server wrapping a :class:`JobManager`.
+
+    A clustered worker additionally carries ``cluster_view`` (the
+    :class:`~repro.service.cluster.replication.ClusterView` its agent
+    keeps current — used to fence forwards from zombie routers) and
+    ``replicator`` (the checkpoint replicator consulted before solving a
+    forwarded job this worker has nothing local for).  Both stay None on
+    a plain single-box ``htp serve``.
+    """
 
     def __init__(
         self,
@@ -233,6 +252,8 @@ class PartitionServer(HttpServerBase):
     ) -> None:
         super().__init__(host=host, port=port)
         self.manager = manager
+        self.cluster_view = None
+        self.replicator = None
         self.recovery_summary: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
@@ -314,9 +335,16 @@ class PartitionServer(HttpServerBase):
         if path.startswith("/cache/"):
             # The cluster read-through tier: the router answers a warm
             # submission from *any* worker's durable cache by asking the
-            # owner directly for the content address.
+            # owner directly for the content address.  PUT is the
+            # write-through half — the router replicating a fresh result
+            # here so it survives its producer's death.
+            spec_hash = path[len("/cache/"):]
+            if method == "PUT":
+                return self._cache_install(spec_hash, body)
             self._require(method, "GET")
-            return self._cache_lookup(path[len("/cache/"):])
+            return self._cache_lookup(spec_hash)
+        if path.startswith("/ckpt/"):
+            return self._ckpt_route(method, path[len("/ckpt/"):], body)
         raise _HttpError(404, f"no such endpoint {path!r}")
 
     def _cache_lookup(self, spec_hash: str) -> Tuple[int, Dict[str, object]]:
@@ -332,6 +360,77 @@ class PartitionServer(HttpServerBase):
                 404, f"no cached result for content address {spec_hash}"
             )
         return 200, dict(payload)
+
+    def _cache_install(
+        self, spec_hash: str, body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        cache = self.manager.cache
+        if cache is None:
+            raise _HttpError(404, "this worker runs without a result cache")
+        payload = self._json_body(body)
+        try:
+            # ``put`` validates the payload's own spec_hash matches the
+            # content address, so a replica can never poison the cache.
+            cache.put(spec_hash, payload)
+        except ServiceError as exc:
+            raise _HttpError(400, str(exc)) from exc
+        return 200, {"spec_hash": spec_hash, "stored": True}
+
+    # ------------------------------------------------------------------
+    # Checkpoint replication endpoints (cluster failover)
+    # ------------------------------------------------------------------
+    def _ckpt_route(
+        self, method: str, rest: str, body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        root = self.manager.checkpoint_root
+        if root is None:
+            raise _HttpError(
+                404, "this worker runs without a checkpoint root"
+            )
+        spec_hash, _, seq_text = rest.partition("/")
+        if not spec_hash or not set(spec_hash) <= _HEX:
+            # Content addresses are hex; anything else (notably path
+            # segments) never touches the filesystem.
+            raise _HttpError(400, f"bad content address {spec_hash!r}")
+        if not seq_text:
+            self._require(method, "GET")
+            frames = list_checkpoint_frames(root / spec_hash)
+            return 200, {
+                "spec_hash": spec_hash,
+                "frames": [seq for seq, _path in frames],
+            }
+        try:
+            seq = int(seq_text)
+        except ValueError as exc:
+            raise _HttpError(
+                400, f"bad frame sequence {seq_text!r}"
+            ) from exc
+        if method == "PUT":
+            envelope = self._json_body(body)
+            written = install_checkpoint_frame(
+                root / spec_hash, seq, envelope,
+                counters=self.manager.counters,
+            )
+            if written is None:
+                raise _HttpError(
+                    400,
+                    f"frame {spec_hash}/{seq} failed its CRC check; "
+                    "discarded",
+                )
+            return 200, {"spec_hash": spec_hash, "seq": seq, "stored": True}
+        self._require(method, "GET")
+        path = root / spec_hash / f"ckpt-{seq:08d}.json"
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise _HttpError(
+                404, f"no frame {seq} for content address {spec_hash}"
+            ) from exc
+        if not isinstance(envelope, dict):
+            raise _HttpError(
+                404, f"no frame {seq} for content address {spec_hash}"
+            )
+        return 200, envelope
 
     def _job(self, job_id: str):
         try:
@@ -360,14 +459,44 @@ class PartitionServer(HttpServerBase):
                 raise _HttpError(
                     400, f"bad deadline {deadline!r}: must be positive"
                 )
+        router_epoch = None
+        if isinstance(payload, dict) and "router_epoch" in payload:
+            # The router's fencing stamp rides beside the spec like the
+            # deadline does — never inside the content address.  A stamp
+            # older than the newest epoch this worker has seen means the
+            # sender is a fenced zombie: refuse with 409 so the job
+            # fails at the zombie instead of running twice.
+            router_epoch = payload.pop("router_epoch")
+            view = self.cluster_view
+            if view is not None and not view.admit_epoch(router_epoch):
+                raise _HttpError(
+                    409,
+                    f"stale router epoch {router_epoch!r}; this worker "
+                    f"has seen epoch {view.epoch}",
+                )
         spec = JobSpec.from_payload(payload)  # ServiceError -> 400
+        if self.replicator is not None and router_epoch is not None:
+            # Failover read path: a forwarded job this worker holds
+            # nothing for may have replicated checkpoint frames on its
+            # peers — pull them in before the solve so ``resume_from``
+            # continues the dead owner's run bit-identically.  Guarded
+            # by the cache: a result we already hold needs no frames.
+            spec_hash = spec.canonical_hash()
+            cache = self.manager.cache
+            if cache is None or spec_hash not in cache.keys():
+                try:
+                    self.replicator.fetch(spec_hash)
+                except Exception:  # pragma: no cover - defensive
+                    pass  # replication is best-effort; solve from scratch
         try:
             job = self.manager.submit(spec, deadline=deadline)
         except AdmissionError as exc:
+            # ``:g`` keeps fractional hints intact on the wire — an
+            # ``int()`` here used to truncate a 1.5s ask to 1s.
             raise _HttpError(
                 429,
                 str(exc),
-                headers={"Retry-After": f"{int(exc.retry_after)}"},
+                headers={"Retry-After": f"{exc.retry_after:g}"},
             ) from exc
         except ServiceError as exc:
             raise _HttpError(503, str(exc)) from exc
@@ -484,13 +613,21 @@ def make_worker_agent(
     and cached-keys callbacks are wired to the live manager; the
     advertised concurrency is the manager's own.  Imported lazily so a
     plain single-box ``htp serve`` never touches the cluster package.
+
+    When the manager keeps a checkpoint root, the agent also gets a
+    :class:`~repro.service.cluster.replication.CheckpointReplicator`
+    that pushes fresh frames to ring-chosen peers on every heartbeat;
+    wire the agent's ``view``/``replicator`` onto the
+    :class:`PartitionServer` (``serve`` does) to complete the worker's
+    fencing and failover-fetch paths.
     """
     from repro.service.cluster.agent import WorkerAgent
+    from repro.service.cluster.replication import CheckpointReplicator
 
     kwargs = dict(join_kwargs)
     router_url = kwargs.pop("router_url")
     cache = manager.cache
-    return WorkerAgent(
+    agent = WorkerAgent(
         router_url=router_url,
         worker_url=worker_url,
         max_concurrency=manager.max_concurrency,
@@ -498,6 +635,14 @@ def make_worker_agent(
         load=lambda: manager.in_flight,
         **kwargs,
     )
+    if manager.checkpoint_root is not None:
+        agent.replicator = CheckpointReplicator(
+            manager.checkpoint_root,
+            agent.worker_id,
+            agent.view,
+            counters=manager.counters,
+        )
+    return agent
 
 
 def serve(
@@ -535,6 +680,8 @@ def serve(
             kwargs = dict(join_kwargs)
             advertise_url = kwargs.pop("advertise_url", None) or server.url
             agent = make_worker_agent(manager, advertise_url, kwargs)
+            server.cluster_view = agent.view
+            server.replicator = agent.replicator
             agent.start()
             announce(
                 f"joining cluster at {kwargs['router_url']} "

@@ -5,6 +5,12 @@ chaos harness, property-based tests and any downstream consumer can
 import the same invariant checkers without path games.
 """
 
+from repro.testing.netfaults import (
+    NET_KINDS,
+    FaultProxy,
+    NetFaultPlan,
+    NetFaultSpec,
+)
 from repro.testing.invariants import (
     InvariantViolation,
     assert_cost_optimal,
@@ -18,6 +24,10 @@ from repro.testing.invariants import (
 )
 
 __all__ = [
+    "NET_KINDS",
+    "FaultProxy",
+    "NetFaultPlan",
+    "NetFaultSpec",
     "InvariantViolation",
     "assert_cost_optimal",
     "assert_gap_bounded",

@@ -1,0 +1,475 @@
+"""Deterministic network-fault injection between cluster processes.
+
+The cluster chaos drills need to say things like "two seconds in, the
+primary router loses the network" and have the statement be *replayable*
+— the same plan, seed and connection order must inject the same faults
+every run, because the drills assert bit-identical results on the far
+side of the failure.  Library-level mocks cannot prove that: the faults
+must hit real sockets carrying real HTTP traffic.
+
+:class:`FaultProxy` is a plain TCP relay for one named **link**
+(``router->w1``, ``client->router``, ...): it listens on a local port
+and forwards byte streams to one upstream address, consulting a
+:class:`NetFaultPlan` at every accept and every relayed chunk.  Cluster
+tests point a worker's ``--join`` URL, a client's base URL or a
+standby's ``--standby`` URL at the proxy's port instead of the real
+process, and the wire between them becomes scriptable.
+
+Plans reuse the compact fault DSL from :mod:`repro.core.faults`
+(``kind:site[@k=v,...];...`` — same splitter, same seeded uniform
+draws) with a network vocabulary::
+
+    latency:client->router@delay=0.2
+    drop:router->w1@p=0.5
+    half_close:client->router@after=1s
+    partition:router->w1@after=2s,duration=10s
+    reorder:client->router
+
+Kinds
+-----
+``latency``
+    Hold every relayed chunk for ``delay`` seconds before forwarding.
+``drop``
+    Black-hole the connection: bytes are read and discarded, nothing
+    reaches the upstream, the peer eventually times out or sees a
+    close.
+``half_close``
+    Forward the first chunk, then shut down that direction of the
+    stream (``SHUT_WR``) — the classic wedged-socket failure where one
+    side still looks connected.
+``partition``
+    While active, sever new connections at accept and live connections
+    at their next relayed chunk — the link is gone in both directions.
+``reorder``
+    Deliver chunks pairwise swapped (the second chunk overtakes the
+    first).  Visible only to peers that stream multiple chunks.
+
+Conditions
+----------
+``after=<seconds>`` (arm delay, default 0; a trailing ``s`` is
+accepted: ``after=2s``), ``duration=<seconds>`` (how long the fault
+stays armed, default forever), ``p=<probability>`` (per-connection
+deterministic draw, default 1), ``delay=<seconds>`` (latency hold,
+default 0.2).  The link site also accepts ``*`` to match every link.
+
+Every *applied* fault — one that touched live traffic, not one merely
+scheduled — appends to :attr:`FaultProxy.injected` and increments
+``netfaults_injected`` on the proxy's :class:`PerfCounters`, so drills
+can assert the partition actually happened rather than the test
+passing vacuously.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.faults import (
+    FaultPlanError,
+    deterministic_uniform,
+    split_plan,
+)
+from repro.core.perf import PerfCounters
+
+#: Network fault kinds a spec may request.
+NET_KINDS = ("latency", "drop", "half_close", "partition", "reorder")
+
+#: Relay chunk size (bytes) — large enough that an HTTP/1.0 request or
+#: response is usually one chunk, so ``reorder`` only bites peers that
+#: genuinely stream.
+_CHUNK = 65536
+
+
+def _seconds(value: str) -> float:
+    """Parse a seconds value, tolerating a trailing ``s`` (``2s``)."""
+    text = value.strip()
+    if text and text[-1] in ("s", "S"):
+        text = text[:-1]
+    return float(text)
+
+
+@dataclass(frozen=True)
+class NetFaultSpec:
+    """One scheduled network fault on one named link.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`NET_KINDS`.
+    link:
+        The link name this spec targets (``router->w1``), or ``*``.
+    after / duration:
+        The fault arms ``after`` seconds past proxy start and stays
+        armed for ``duration`` seconds (None = forever).
+    p:
+        Per-connection firing probability in (0, 1]; drawn
+        deterministically from the plan seed and connection ordinal.
+    delay:
+        Seconds each chunk is held (``latency`` only).
+    """
+
+    kind: str
+    link: str
+    after: float = 0.0
+    duration: Optional[float] = None
+    p: float = 1.0
+    delay: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.kind not in NET_KINDS:
+            raise FaultPlanError(
+                f"unknown net fault kind {self.kind!r} "
+                f"(choose from {NET_KINDS})"
+            )
+        if not self.link:
+            raise FaultPlanError("net fault link must be non-empty")
+        if self.after < 0:
+            raise FaultPlanError("after must be nonnegative")
+        if self.duration is not None and self.duration <= 0:
+            raise FaultPlanError("duration must be positive")
+        if not 0.0 < self.p <= 1.0:
+            raise FaultPlanError("p must be in (0, 1]")
+        if self.delay < 0:
+            raise FaultPlanError("delay must be nonnegative")
+
+    def active(self, elapsed: float) -> bool:
+        """True when the fault is armed ``elapsed`` seconds into the run."""
+        if elapsed < self.after:
+            return False
+        return self.duration is None or elapsed < self.after + self.duration
+
+    def describe(self) -> str:
+        """The spec back in plan syntax."""
+        conds = []
+        if self.after:
+            conds.append(f"after={self.after:g}")
+        if self.duration is not None:
+            conds.append(f"duration={self.duration:g}")
+        if self.p < 1.0:
+            conds.append(f"p={self.p:g}")
+        if self.kind == "latency":
+            conds.append(f"delay={self.delay:g}")
+        suffix = "@" + ",".join(conds) if conds else ""
+        return f"{self.kind}:{self.link}{suffix}"
+
+
+@dataclass(frozen=True)
+class NetFaultPlan:
+    """An immutable, seedable schedule of network faults.
+
+    Examples
+    --------
+    >>> plan = NetFaultPlan.parse("partition:router->w1@after=2s")
+    >>> plan.specs[0].kind, plan.specs[0].after
+    ('partition', 2.0)
+    >>> plan.specs[0].active(1.0), plan.specs[0].active(3.0)
+    (False, True)
+    """
+
+    specs: Tuple[NetFaultSpec, ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "NetFaultPlan":
+        """Parse ``kind:link[@k=v,...]`` specs joined by ``;``."""
+        specs = []
+        for kind, link, conditions in split_plan(text):
+            after, duration, p, delay = 0.0, None, 1.0, 0.2
+            for key, value in conditions.items():
+                try:
+                    if key == "after":
+                        after = _seconds(value)
+                    elif key == "duration":
+                        duration = _seconds(value)
+                    elif key == "p":
+                        p = float(value)
+                    elif key == "delay":
+                        delay = _seconds(value)
+                    else:
+                        raise FaultPlanError(
+                            f"unknown net fault condition {key!r} "
+                            "(choose from after/duration/p/delay)"
+                        )
+                except ValueError as exc:
+                    if isinstance(exc, FaultPlanError):
+                        raise
+                    raise FaultPlanError(
+                        f"bad value {value!r} for {key!r} in net fault plan"
+                    ) from exc
+            specs.append(
+                NetFaultSpec(
+                    kind=kind, link=link,
+                    after=after, duration=duration, p=p, delay=delay,
+                )
+            )
+        return cls(specs=tuple(specs), seed=seed)
+
+    def describe(self) -> str:
+        """The plan back in ``--plan`` syntax."""
+        return ";".join(spec.describe() for spec in self.specs)
+
+    def draw(
+        self, link: str, elapsed: float, ordinal: int
+    ) -> List[NetFaultSpec]:
+        """Specs applying to connection ``ordinal`` on ``link`` now.
+
+        Pure: the probabilistic part hashes ``(seed, spec index, link,
+        ordinal)``, so a replay with the same accept order injects the
+        same faults.
+        """
+        chosen = []
+        for index, spec in enumerate(self.specs):
+            if spec.link not in (link, "*"):
+                continue
+            if not spec.active(elapsed):
+                continue
+            if spec.p >= 1.0 or deterministic_uniform(
+                self.seed, index, link, (("conn", ordinal),)
+            ) < spec.p:
+                chosen.append(spec)
+        return chosen
+
+
+class FaultProxy:
+    """A TCP relay for one named link, applying a :class:`NetFaultPlan`.
+
+    Parameters
+    ----------
+    upstream_host / upstream_port:
+        The real endpoint traffic should reach when no fault is active.
+    link:
+        This proxy's link name, matched against spec sites.
+    plan:
+        The fault schedule (None = transparent relay).
+    counters:
+        Optional :class:`PerfCounters`; every applied fault increments
+        ``netfaults_injected``.
+    clock:
+        Injectable monotonic clock for arming arithmetic (tests freeze
+        and step it).
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        link: str,
+        plan: Optional[NetFaultPlan] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        counters: Optional[PerfCounters] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.link = link
+        self.plan = plan
+        self.counters = counters
+        self._clock = clock
+        self._upstream = (upstream_host, int(upstream_port))
+        self._lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._conns: List[socket.socket] = []
+        self._accepted = 0
+        self._injected: List[str] = []
+        self._closing = False
+        self._started = self._clock()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(32)
+        self._listener = listener
+        self.host = host
+        self.port = listener.getsockname()[1]
+
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        """HTTP base URL of the proxied endpoint."""
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def injected(self) -> List[str]:
+        """Descriptions of every fault applied to live traffic so far."""
+        with self._lock:
+            return list(self._injected)
+
+    def elapsed(self) -> float:
+        """Seconds since the proxy started (arming clock)."""
+        return self._clock() - self._started
+
+    def start(self) -> "FaultProxy":
+        """Begin accepting; the arming clock restarts now."""
+        self._started = self._clock()
+        thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"netfaults-{self.link}",
+            daemon=True,
+        )
+        thread.start()
+        self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting and sever every live connection."""
+        self._closing = True
+        # A blocked accept() does not reliably wake when the listener is
+        # closed from another thread; one throwaway self-connection does.
+        try:
+            socket.create_connection(
+                (self.host, self.port), timeout=1.0
+            ).close()
+        except OSError:
+            pass
+        self._close_quietly(self._listener)
+        with self._lock:
+            conns = list(self._conns)
+        for sock in conns:
+            self._close_quietly(sock)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "FaultProxy":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _draw(self, ordinal: int) -> List[NetFaultSpec]:
+        if self.plan is None:
+            return []
+        return self.plan.draw(self.link, self.elapsed(), ordinal)
+
+    def _count(self, spec: NetFaultSpec) -> None:
+        with self._lock:
+            self._injected.append(spec.describe())
+            if self.counters is not None:
+                self.counters.netfaults_injected += 1
+
+    @staticmethod
+    def _close_quietly(sock: socket.socket) -> None:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return
+            with self._lock:
+                ordinal = self._accepted
+                self._accepted += 1
+            thread = threading.Thread(
+                target=self._handle,
+                args=(client, ordinal),
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _handle(self, client: socket.socket, ordinal: int) -> None:
+        counted = set()
+
+        def applied(spec: NetFaultSpec) -> None:
+            # Count once per connection per spec: assertions want "the
+            # partition bit this connection", not a chunk count.
+            if id(spec) not in counted:
+                counted.add(id(spec))
+                self._count(spec)
+
+        specs = self._draw(ordinal)
+        partition = next(
+            (s for s in specs if s.kind == "partition"), None
+        )
+        if partition is not None:
+            applied(partition)
+            self._close_quietly(client)
+            return
+        drop = next((s for s in specs if s.kind == "drop"), None)
+        if drop is not None:
+            applied(drop)
+            self._blackhole(client)
+            return
+        try:
+            upstream = socket.create_connection(self._upstream, timeout=10.0)
+        except OSError:
+            self._close_quietly(client)
+            return
+        with self._lock:
+            self._conns.extend((client, upstream))
+        back = threading.Thread(
+            target=self._pump,
+            args=(upstream, client, ordinal, applied),
+            daemon=True,
+        )
+        back.start()
+        self._pump(client, upstream, ordinal, applied)
+        back.join()
+        self._close_quietly(client)
+        self._close_quietly(upstream)
+
+    def _blackhole(self, client: socket.socket) -> None:
+        """Read and discard until the peer gives up; forward nothing."""
+        client.settimeout(0.2)
+        while not self._closing:
+            try:
+                if not client.recv(_CHUNK):
+                    break
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+        self._close_quietly(client)
+
+    def _pump(self, source, dest, ordinal, applied) -> None:
+        """Relay one direction, consulting the plan at every chunk."""
+        held: Optional[bytes] = None  # reorder buffer
+        while True:
+            try:
+                chunk = source.recv(_CHUNK)
+            except OSError:
+                return
+            if not chunk:
+                break
+            specs = self._draw(ordinal)
+            partition = next(
+                (s for s in specs if s.kind == "partition"), None
+            )
+            if partition is not None:
+                applied(partition)
+                self._close_quietly(source)
+                self._close_quietly(dest)
+                return
+            for spec in specs:
+                if spec.kind == "latency":
+                    applied(spec)
+                    time.sleep(spec.delay)
+            reorder = next((s for s in specs if s.kind == "reorder"), None)
+            half = next((s for s in specs if s.kind == "half_close"), None)
+            try:
+                if reorder is not None:
+                    if held is None:
+                        held = chunk
+                        continue
+                    applied(reorder)
+                    dest.sendall(chunk)
+                    dest.sendall(held)
+                    held = None
+                else:
+                    dest.sendall(chunk)
+            except OSError:
+                return
+            if half is not None:
+                applied(half)
+                break
+        try:
+            if held is not None:
+                dest.sendall(held)
+            dest.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass

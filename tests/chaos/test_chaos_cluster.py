@@ -1,19 +1,27 @@
-"""SIGKILL a cluster worker mid-solve; the job finishes elsewhere.
+"""Cluster chaos drills: kill workers, kill routers, cut the network.
 
-The cluster-tier durability drill: a real ``htp route`` subprocess
-fronts two real ``htp serve --join`` workers (each its own interpreter
-and sockets, sharing a checkpoint directory as co-located workers
-would share a filesystem).  The worker that owns a slow job is killed
-with ``SIGKILL`` mid-solve.  The router must notice via its failure
-ladder, re-place the job on the survivor, and the survivor must resume
-from the victim's newest checkpoint — landing a result bit-identical
-to an undisturbed single-box solve of the same spec.
+Every drill runs real ``htp route`` / ``htp serve --join`` subprocesses
+(own interpreters, own sockets, **private** per-worker checkpoint and
+cache directories — no shared filesystem) and asserts the cluster's
+durability promises hold bit-identically:
+
+1. SIGKILL the worker that owns a slow job mid-solve: the router
+   re-places the job on the survivor, which resumes from the dead
+   worker's *replicated* checkpoint frames — not a shared directory —
+   and lands a result identical to an undisturbed solve.
+2. SIGKILL the router mid-solve: its WAL carries the placement across
+   a same-port restart.
+3. SIGKILL the PRIMARY router with a warm standby tailing its WAL: the
+   standby takes over (bumped fencing epoch), the worker's agent
+   retargets, and the job finishes with the same result hash.
+4. Partition the primary behind a network fault proxy: the standby
+   takes over, and the still-running zombie primary's forwards are
+   refused by epoch-fenced workers.
 """
 
 from __future__ import annotations
 
 import os
-import signal
 import socket
 import subprocess
 import sys
@@ -25,6 +33,7 @@ from repro.core.faults import FaultTolerance
 from repro.htp.hierarchy import binary_hierarchy
 from repro.hypergraph.generators import planted_hierarchy_hypergraph
 from repro.service import JobSpec, ServiceClient, ServiceClientError, run_spec
+from repro.testing import FaultProxy, NetFaultPlan
 
 pytestmark = pytest.mark.chaos
 
@@ -43,15 +52,9 @@ def _env():
     return env
 
 
-def _spawn_router(port, tmp_path):
+def _spawn(args):
     return subprocess.Popen(
-        [
-            sys.executable, "-m", "repro.cli", "route",
-            "--host", "127.0.0.1",
-            "--port", str(port),
-            "--journal", str(tmp_path / "router-wal"),
-            "--heartbeat-interval", "0.5",
-        ],
+        [sys.executable, "-m", "repro.cli", *args],
         env=_env(),
         cwd=REPO_ROOT,
         stdout=subprocess.DEVNULL,
@@ -59,12 +62,28 @@ def _spawn_router(port, tmp_path):
     )
 
 
+def _spawn_router(port, tmp_path, name="router", standby_of=None,
+                  epoch_timeout=None):
+    args = [
+        "route",
+        "--host", "127.0.0.1",
+        "--port", str(port),
+        "--journal", str(tmp_path / f"wal-{name}"),
+        "--heartbeat-interval", "0.5",
+    ]
+    if standby_of is not None:
+        args += ["--standby", standby_of]
+    if epoch_timeout is not None:
+        args += ["--epoch-timeout", str(epoch_timeout)]
+    return _spawn(args)
+
+
 def _spawn_worker(port, router_url, worker_id, tmp_path):
-    # Workers share the checkpoint directory (co-located scratch space),
-    # so a survivor can resume a dead peer's half-finished solve.
-    return subprocess.Popen(
+    # Every worker keeps PRIVATE scratch: checkpoint frames cross the
+    # wire via replication, never via a shared directory.
+    return _spawn(
         [
-            sys.executable, "-m", "repro.cli", "serve",
+            "serve",
             "--host", "127.0.0.1",
             "--port", str(port),
             "--max-concurrency", "1",
@@ -72,13 +91,9 @@ def _spawn_worker(port, router_url, worker_id, tmp_path):
             "--worker-id", worker_id,
             "--journal", str(tmp_path / f"wal-{worker_id}"),
             "--cache-dir", str(tmp_path / f"cache-{worker_id}"),
-            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--checkpoint-dir", str(tmp_path / f"ckpt-{worker_id}"),
             "--fsync", "always",
-        ],
-        env=_env(),
-        cwd=REPO_ROOT,
-        stdout=subprocess.DEVNULL,
-        stderr=subprocess.DEVNULL,
+        ]
     )
 
 
@@ -99,8 +114,12 @@ def _wait_healthy(client, process, timeout=30.0):
 
 def _wait_workers_alive(client, count, timeout=30.0):
     deadline = time.monotonic() + timeout
+    workers = []
     while time.monotonic() < deadline:
-        workers = client._request("GET", "/workers")["workers"]
+        try:
+            workers = client._request("GET", "/workers")["workers"]
+        except ServiceClientError:
+            workers = []
         alive = [w for w in workers if w["state"] == "alive"]
         if len(alive) >= count:
             return
@@ -108,11 +127,41 @@ def _wait_workers_alive(client, count, timeout=30.0):
     raise AssertionError(f"never saw {count} alive workers: {workers}")
 
 
+def _wait_role(client, role, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    seen = None
+    while time.monotonic() < deadline:
+        try:
+            seen = client.healthz()["role"]
+        except ServiceClientError:
+            seen = None
+        if seen == role:
+            return
+        time.sleep(0.1)
+    raise AssertionError(f"never saw role {role!r} (last: {seen!r})")
+
+
+def _wait_done(client, job_id, timeout=240.0):
+    """Like client.wait, but tolerant of 503s while a standby warms up."""
+    deadline = time.monotonic() + timeout
+    status = None
+    while time.monotonic() < deadline:
+        try:
+            status = client.status(job_id)
+        except ServiceClientError:
+            time.sleep(0.2)
+            continue
+        if status["state"] in ("done", "failed", "cancelled"):
+            return status
+        time.sleep(0.1)
+    raise AssertionError(f"job {job_id} never finished (last: {status})")
+
+
 def _slow_spec():
-    # Same recipe as the single-box chaos drill: the pure-python engine
-    # on 64 nodes runs long enough for a SIGKILL to land mid-solve,
-    # checkpointing every round.
-    netlist = planted_hierarchy_hypergraph(64, height=2, seed=2)
+    # The pure-python engine on 384 nodes runs for seconds (checkpointing
+    # every round) — long enough for a SIGKILL to land mid-solve AND for
+    # the heartbeat-cadence replication to ship frames to the peer first.
+    netlist = planted_hierarchy_hypergraph(384, height=2, seed=2)
     hierarchy = binary_hierarchy(netlist.total_size(), height=2)
     return JobSpec.from_parts(
         netlist,
@@ -128,35 +177,62 @@ def _slow_spec():
     )
 
 
+def _semantic(doc):
+    # Wall-clock and counters legitimately differ between a resumed and
+    # an undisturbed run; nothing the solver computed may.
+    return {
+        k: v for k, v in doc.items() if k not in ("runtime_seconds", "perf")
+    }
+
+
+def _tolerant_client(url):
+    return ServiceClient(
+        url,
+        timeout=10,
+        tolerance=FaultTolerance(task_retries=3, backoff_base=0.05),
+    )
+
+
 class TestKillWorkerMidSolve:
     def test_job_survives_its_worker(self, tmp_path):
         router_port = _free_port()
         router_url = f"http://127.0.0.1:{router_port}"
-        tolerance = FaultTolerance(task_retries=3, backoff_base=0.05)
-        client = ServiceClient(router_url, timeout=10, tolerance=tolerance)
+        client = _tolerant_client(router_url)
 
         slow = _slow_spec()
         router = _spawn_router(router_port, tmp_path)
-        workers = {}
+        workers, worker_ports = {}, {}
         try:
             _wait_healthy(client, router)
             for worker_id in ("w0", "w1"):
+                worker_ports[worker_id] = _free_port()
                 workers[worker_id] = _spawn_worker(
-                    _free_port(), router_url, worker_id, tmp_path
+                    worker_ports[worker_id], router_url, worker_id, tmp_path
                 )
             _wait_workers_alive(client, 2)
 
             submitted = client.submit_spec(slow)
             victim_id = submitted["worker"]
             assert victim_id in workers
+            survivor = ({"w0", "w1"} - {victim_id}).pop()
 
-            # Let the solve make journaled progress before pulling the
-            # plug: at least one checkpoint must exist to resume from.
-            ckpt_dir = tmp_path / "ckpt" / submitted["spec_hash"]
+            # The kill gate: the victim must have journaled progress AND
+            # the survivor must hold a replicated copy of at least one
+            # frame — its PRIVATE checkpoint root is all it can resume
+            # from, there is no shared scratch to lean on.
+            spec_hash = submitted["spec_hash"]
+            victim_ckpt = tmp_path / f"ckpt-{victim_id}" / spec_hash
+            survivor_ckpt = tmp_path / f"ckpt-{survivor}" / spec_hash
             kill_deadline = time.monotonic() + 60
-            while not list(ckpt_dir.glob("ckpt-*.json")):
+            while not (
+                list(victim_ckpt.glob("ckpt-*.json"))
+                and list(survivor_ckpt.glob("ckpt-*.json"))
+            ):
                 assert time.monotonic() < kill_deadline, (
-                    "no checkpoint appeared before the kill window closed"
+                    "no replicated checkpoint appeared before the kill "
+                    f"window closed (victim: "
+                    f"{list(victim_ckpt.glob('ckpt-*.json'))}, survivor: "
+                    f"{list(survivor_ckpt.glob('ckpt-*.json'))})"
                 )
                 status = client.status(submitted["job_id"])
                 assert status["state"] in ("queued", "running"), (
@@ -164,32 +240,26 @@ class TestKillWorkerMidSolve:
                 )
                 time.sleep(0.02)
 
+            # The pusher's own ledger: replication happened and was
+            # counted on the worker that shipped the frames.
+            victim_metrics = ServiceClient(
+                f"http://127.0.0.1:{worker_ports[victim_id]}", timeout=10
+            ).metricsz()
+            assert victim_metrics["perf"]["ckpt_replications"] >= 1
+
             workers[victim_id].kill()  # SIGKILL: no goodbye, no flush
             workers[victim_id].wait(timeout=10)
 
-            # The router's status-poll ladder plus heartbeat monitor must
-            # declare the victim dead and re-place the job; the survivor
-            # resumes from the newest checkpoint on the shared scratch.
+            # The router's failure ladder re-places the job; the
+            # survivor resumes from the frames replication pushed to it.
             finished = client.wait(submitted["job_id"], timeout=240)
             assert finished["state"] == "done", finished.get("error")
-            survivor = ({"w0", "w1"} - {victim_id}).pop()
             assert finished["worker"] == survivor
             assert finished["reroutes"] >= 1
 
             served = client.result(submitted["job_id"])
             reference = run_spec(slow)
-
-            # Wall-clock and counters legitimately differ between a
-            # resumed and an undisturbed run; nothing the solver computed
-            # may.
-            def semantic(doc):
-                return {
-                    k: v
-                    for k, v in doc.items()
-                    if k not in ("runtime_seconds", "perf")
-                }
-
-            assert semantic(served["result"]) == semantic(
+            assert _semantic(served["result"]) == _semantic(
                 reference.to_dict()
             )
 
@@ -208,8 +278,7 @@ class TestKillWorkerMidSolve:
         job without disturbing the worker still solving it."""
         router_port = _free_port()
         router_url = f"http://127.0.0.1:{router_port}"
-        tolerance = FaultTolerance(task_retries=3, backoff_base=0.05)
-        client = ServiceClient(router_url, timeout=10, tolerance=tolerance)
+        client = _tolerant_client(router_url)
 
         slow = _slow_spec()
         router = _spawn_router(router_port, tmp_path)
@@ -239,20 +308,160 @@ class TestKillWorkerMidSolve:
 
             served = client.result(submitted["job_id"])
             reference = run_spec(slow)
-
-            def semantic(doc):
-                return {
-                    k: v
-                    for k, v in doc.items()
-                    if k not in ("runtime_seconds", "perf")
-                }
-
-            assert semantic(served["result"]) == semantic(
+            assert _semantic(served["result"]) == _semantic(
                 reference.to_dict()
             )
         finally:
             processes = [router] + ([worker] if worker else [])
             for process in processes:
                 if process.poll() is None:
+                    process.kill()
+                    process.wait(timeout=10)
+
+
+class TestStandbyTakeover:
+    def test_sigkill_primary_promotes_the_standby(self, tmp_path):
+        """SIGKILL the primary router mid-solve: the warm standby tails
+        its WAL, takes over with a bumped fencing epoch, the worker's
+        agent retargets, and the job lands the same result hash."""
+        primary_port, standby_port = _free_port(), _free_port()
+        primary_url = f"http://127.0.0.1:{primary_port}"
+        standby_url = f"http://127.0.0.1:{standby_port}"
+        primary_client = _tolerant_client(primary_url)
+        standby_client = _tolerant_client(standby_url)
+
+        slow = _slow_spec()
+        primary = _spawn_router(primary_port, tmp_path, name="primary")
+        standby = worker = None
+        try:
+            _wait_healthy(primary_client, primary)
+            standby = _spawn_router(
+                standby_port, tmp_path, name="standby",
+                standby_of=primary_url, epoch_timeout=2.0,
+            )
+            _wait_role(standby_client, "standby")
+            worker = _spawn_worker(_free_port(), primary_url, "w0", tmp_path)
+            _wait_workers_alive(primary_client, 1)
+
+            # The standby must have announced itself (so the worker's
+            # agent learns where to fail over) before the primary dies.
+            deadline = time.monotonic() + 30
+            while (
+                primary_client.metricsz()["cluster"]["standby"]
+                != standby_url
+            ):
+                assert time.monotonic() < deadline, (
+                    "standby never announced itself to the primary"
+                )
+                time.sleep(0.1)
+            # One more heartbeat round-trip so the worker has heard it.
+            time.sleep(1.5)
+
+            submitted = primary_client.submit_spec(slow)
+            assert submitted["worker"] == "w0"
+            job_id = submitted["job_id"]
+
+            # Let the solve make journaled progress first.
+            ckpt_dir = tmp_path / "ckpt-w0" / submitted["spec_hash"]
+            kill_deadline = time.monotonic() + 60
+            while not list(ckpt_dir.glob("ckpt-*.json")):
+                assert time.monotonic() < kill_deadline
+                time.sleep(0.05)
+
+            primary.kill()  # SIGKILL: the WAL tail is all that survives
+            primary.wait(timeout=10)
+
+            _wait_role(standby_client, "router")
+            finished = _wait_done(standby_client, job_id)
+            assert finished["state"] == "done", finished.get("error")
+
+            served = standby_client.result(job_id)
+            reference = run_spec(slow)
+            assert _semantic(served["result"]) == _semantic(
+                reference.to_dict()
+            )
+            metrics = standby_client.metricsz()["cluster"]
+            assert metrics["epoch"] >= 2
+            assert metrics["epoch_bumps"] >= 1
+        finally:
+            for process in (primary, standby, worker):
+                if process is not None and process.poll() is None:
+                    process.kill()
+                    process.wait(timeout=10)
+
+
+class TestNetworkPartition:
+    def test_partitioned_primary_is_fenced(self, tmp_path):
+        """Cut the wire to the primary with the fault proxy: the standby
+        takes over and the zombie primary — alive, but fenced — has its
+        forwards refused by workers that adopted the newer epoch."""
+        primary_port = _free_port()
+        primary = _spawn_router(primary_port, tmp_path, name="primary")
+        proxy = FaultProxy(
+            "127.0.0.1", primary_port, link="cluster->primary"
+        ).start()
+        zombie_client = _tolerant_client(f"http://127.0.0.1:{primary_port}")
+        proxied_client = _tolerant_client(proxy.url)
+
+        standby_port = _free_port()
+        standby_url = f"http://127.0.0.1:{standby_port}"
+        standby_client = _tolerant_client(standby_url)
+
+        standby = worker = None
+        try:
+            _wait_healthy(proxied_client, primary)
+            # Everyone reaches the primary THROUGH the proxy, so the
+            # partition cuts them all off at once; the zombie keeps its
+            # direct port for the fencing probe below.
+            standby = _spawn_router(
+                standby_port, tmp_path, name="standby",
+                standby_of=proxy.url, epoch_timeout=2.0,
+            )
+            _wait_role(standby_client, "standby")
+            worker = _spawn_worker(_free_port(), proxy.url, "w0", tmp_path)
+            _wait_workers_alive(proxied_client, 1)
+
+            deadline = time.monotonic() + 30
+            while (
+                proxied_client.metricsz()["cluster"]["standby"]
+                != standby_url
+            ):
+                assert time.monotonic() < deadline
+                time.sleep(0.1)
+            time.sleep(1.5)  # one heartbeat so the worker hears it too
+
+            # Drop the partition on the live link.
+            proxy.plan = NetFaultPlan.parse("partition:cluster->primary")
+
+            _wait_role(standby_client, "router")
+            assert proxy.injected, "the partition never bit live traffic"
+            _wait_workers_alive(standby_client, 1, timeout=60)
+
+            # The cluster works under new management...
+            spec = _slow_spec()
+            submitted = standby_client.submit_spec(spec)
+            finished = _wait_done(standby_client, submitted["job_id"])
+            assert finished["state"] == "done", finished.get("error")
+            served = standby_client.result(submitted["job_id"])
+            assert _semantic(served["result"]) == _semantic(
+                run_spec(spec).to_dict()
+            )
+
+            # ...and the zombie primary, still running and still
+            # believing it owns the worker, is refused: its forwards
+            # carry the old fencing epoch.
+            netlist = planted_hierarchy_hypergraph(32, height=2, seed=5)
+            other = JobSpec.from_parts(
+                netlist,
+                binary_hierarchy(netlist.total_size(), height=2),
+                {"iterations": 1, "engine": "python", "seed": 5},
+            )
+            with pytest.raises(ServiceClientError) as excinfo:
+                zombie_client.submit_spec(other)
+            assert "stale router epoch" in str(excinfo.value)
+        finally:
+            proxy.stop()
+            for process in (primary, standby, worker):
+                if process is not None and process.poll() is None:
                     process.kill()
                     process.wait(timeout=10)

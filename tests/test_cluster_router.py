@@ -66,6 +66,10 @@ def _spawn_worker(tmp_path, router_url, worker_id, **manager_kwargs):
         worker.url,
         {"router_url": router_url, "worker_id": worker_id},
     )
+    # The same wiring serve() does: fencing + replica fetch on the
+    # worker's HTTP surface.
+    worker.server.cluster_view = agent.view
+    worker.server.replicator = agent.replicator
     agent.start()
     assert agent.wait_joined(10.0), f"{worker_id} never joined the router"
     return worker, agent
@@ -418,3 +422,138 @@ class TestSubmitRetryLoop:
                 sleep=lambda _s: pytest.fail("slept on a non-429"),
             )
         assert exc_info.value.status == 0
+
+    def test_fractional_retry_after_is_not_truncated(self):
+        """A 1.5s server hint must sleep 1.5s and announce '1.5s' —
+        the old int() path slept 1s and printed '1s'."""
+        from repro.cli import _submit_with_retry
+
+        client = self._BusyClient(failures=1, retry_after=1.5)
+        naps, notes = [], []
+        _submit_with_retry(
+            client, spec=None, deadline=None,
+            announce=notes.append, sleep=naps.append,
+        )
+        assert naps == [1.5]
+        assert "1.5s" in notes[0]
+
+    def test_max_wait_clips_the_last_sleep_and_then_raises(self):
+        from repro.cli import _submit_with_retry
+
+        client = self._BusyClient(failures=99, retry_after=0.4)
+        naps = []
+        with pytest.raises(ServiceClientError):
+            _submit_with_retry(
+                client, spec=None, deadline=None, limit=99, max_wait=1.0,
+                announce=lambda _m: None, sleep=naps.append,
+            )
+        # 0.4 + 0.4 fit the budget, the third sleep is clipped to the
+        # remaining 0.2, the fourth 429 finds the budget spent.
+        assert naps == [0.4, 0.4, pytest.approx(0.2)]
+        assert client.calls == 4
+
+    def test_max_wait_zero_fails_on_first_busy(self):
+        from repro.cli import _submit_with_retry
+
+        client = self._BusyClient(failures=1)
+        with pytest.raises(ServiceClientError):
+            _submit_with_retry(
+                client, spec=None, deadline=None, max_wait=0.0,
+                announce=lambda _m: None,
+                sleep=lambda _s: pytest.fail("slept with a zero budget"),
+            )
+        assert client.calls == 1
+
+    def test_generous_max_wait_changes_nothing(self):
+        from repro.cli import _submit_with_retry
+
+        client = self._BusyClient(failures=2)
+        naps = []
+        doc = _submit_with_retry(
+            client, spec=None, deadline=None, max_wait=60.0,
+            announce=lambda _m: None, sleep=naps.append,
+        )
+        assert doc["job_id"] == "j1"
+        assert naps == [0.25, 0.25]
+
+
+class TestEpochFencing:
+    """A worker that has seen a newer epoch refuses the old router."""
+
+    def test_zombie_forward_is_refused_with_409(
+        self, tmp_path, router, netlist, hierarchy
+    ):
+        worker, agent = _spawn_worker(tmp_path, router.url, "w0")
+        try:
+            # Some other router incarnation took over: this worker has
+            # seen a newer fencing epoch than the (now zombie) router
+            # under test will ever stamp.
+            assert worker.server.cluster_view.admit_epoch(99)
+            client = ServiceClient(router.url)
+            with pytest.raises(ServiceClientError) as excinfo:
+                client.submit_spec(_spec(netlist, hierarchy))
+            # The job fails *at the zombie*: its only worker answered
+            # 409, so the submission is rejected, never run twice.
+            assert "stale router epoch" in str(excinfo.value)
+        finally:
+            agent.stop()
+            worker.stop()
+
+
+class TestRoutedCancel:
+    """POST /jobs/<id>/cancel through the router reaches the worker."""
+
+    def test_cancel_in_flight_job_through_router(self, cluster):
+        router, _workers, _agents = cluster
+        client = ServiceClient(router.url)
+        big = planted_hierarchy_hypergraph(256, height=2, seed=3)
+        spec = JobSpec.from_parts(
+            big,
+            binary_hierarchy(big.total_size(), height=2),
+            {
+                "iterations": 2,
+                "constructions_per_metric": 2,
+                "engine": "python",
+                "seed": 3,
+            },
+        )
+        submitted = client.submit_spec(spec)
+        cancelled = client.cancel(submitted["job_id"])
+        # The solve may have been mid-flight or (rarely) just finished;
+        # either way the router answers with a terminal state and a
+        # second cancel is an idempotent no-op on that state.
+        assert cancelled["state"] in ("cancelled", "done")
+        again = client.cancel(submitted["job_id"])
+        assert again["state"] == cancelled["state"]
+
+    def test_cancel_unknown_job_is_404(self, router):
+        client = ServiceClient(router.url)
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.cancel("no-such-job")
+        assert excinfo.value.status == 404
+
+
+class TestAgentStandbyRetarget:
+    """An agent knocking on a dead router fails over to the standby."""
+
+    def test_agent_retargets_the_announced_standby(self, router):
+        # A port nothing listens on: every join attempt fails fast.
+        agent = WorkerAgent(
+            "http://127.0.0.1:9",
+            "http://127.0.0.1:9",  # never probed: the join itself fails
+            worker_id="wandering",
+            interval=0.05,
+            tolerance=FaultTolerance(task_retries=1, backoff_base=0.01),
+            client_timeout=0.2,
+            failover_after=2,
+        )
+        # The (now dead) primary gossiped the standby's URL while it
+        # was still alive.
+        agent.view.update({"epoch": 1, "standby": router.url})
+        agent.start()
+        try:
+            assert agent.wait_joined(10.0), "agent never reached the standby"
+            assert agent.router_url == router.url
+            assert agent.failovers == 1
+        finally:
+            agent.stop()

@@ -76,6 +76,16 @@ class TestHashRing:
         with pytest.raises(ServiceError):
             HashRing({"a": -1.0})
 
+    def test_arc_shares_sum_to_one_and_follow_weight(self):
+        ring = HashRing({"big": 3.0, "small": 1.0})
+        shares = ring.arc_shares()
+        assert set(shares) == {"big", "small"}
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["big"] > shares["small"]
+
+    def test_arc_shares_of_an_empty_ring(self):
+        assert HashRing({}).arc_shares() == {}
+
 
 def _worker(worker_id, weight=1.0, in_flight=0, engines=()):
     return WorkerInfo(

@@ -1,0 +1,212 @@
+"""The network fault proxy: plan parsing, determinism, live sockets.
+
+The proxy is the instrument behind the cluster partition drills, so its
+own behaviour must be beyond suspicion: a plan must parse the way the
+docs say, the seeded draws must replay, and the socket-level faults
+must actually bite live traffic (and be *counted* when they do).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.faults import FaultPlanError
+from repro.core.perf import PerfCounters
+from repro.testing import NET_KINDS, FaultProxy, NetFaultPlan, NetFaultSpec
+
+
+class TestPlanParsing:
+    def test_single_spec_round_trip(self):
+        plan = NetFaultPlan.parse("partition:router->w1@after=2s,duration=10s")
+        (spec,) = plan.specs
+        assert spec.kind == "partition"
+        assert spec.link == "router->w1"
+        assert spec.after == 2.0
+        assert spec.duration == 10.0
+        assert plan.describe() == "partition:router->w1@after=2,duration=10"
+
+    def test_multi_spec_plan(self):
+        plan = NetFaultPlan.parse(
+            "latency:client->router@delay=0.5;drop:router->w1@p=0.25"
+        )
+        assert [s.kind for s in plan.specs] == ["latency", "drop"]
+        assert plan.specs[0].delay == 0.5
+        assert plan.specs[1].p == 0.25
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown net fault kind"):
+            NetFaultPlan.parse("gremlin:router->w1")
+
+    def test_unknown_condition_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown net fault condition"):
+            NetFaultPlan.parse("drop:link@volume=11")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(FaultPlanError, match="bad value"):
+            NetFaultPlan.parse("latency:link@delay=soon")
+
+    def test_probability_bounds(self):
+        with pytest.raises(FaultPlanError, match="p must be"):
+            NetFaultSpec(kind="drop", link="l", p=0.0)
+        with pytest.raises(FaultPlanError, match="p must be"):
+            NetFaultSpec(kind="drop", link="l", p=1.5)
+
+    def test_arming_window(self):
+        spec = NetFaultSpec(kind="drop", link="l", after=2.0, duration=3.0)
+        assert not spec.active(1.9)
+        assert spec.active(2.0)
+        assert spec.active(4.9)
+        assert not spec.active(5.0)
+
+    def test_forever_fault_never_expires(self):
+        spec = NetFaultSpec(kind="drop", link="l")
+        assert spec.active(0.0) and spec.active(1e9)
+
+
+class TestDeterministicDraws:
+    def test_same_seed_same_picks(self):
+        plan_a = NetFaultPlan.parse("drop:l@p=0.5", seed=7)
+        plan_b = NetFaultPlan.parse("drop:l@p=0.5", seed=7)
+        picks_a = [bool(plan_a.draw("l", 0.0, n)) for n in range(64)]
+        picks_b = [bool(plan_b.draw("l", 0.0, n)) for n in range(64)]
+        assert picks_a == picks_b
+        # A p=0.5 draw over 64 connections should not be all-or-nothing.
+        assert 0 < sum(picks_a) < 64
+
+    def test_different_seed_differs(self):
+        picks = {
+            seed: tuple(
+                bool(NetFaultPlan.parse("drop:l@p=0.5", seed=seed).draw(
+                    "l", 0.0, n
+                ))
+                for n in range(64)
+            )
+            for seed in (1, 2)
+        }
+        assert picks[1] != picks[2]
+
+    def test_wildcard_link_matches_everything(self):
+        plan = NetFaultPlan.parse("drop:*")
+        assert plan.draw("router->w1", 0.0, 0)
+        assert plan.draw("anything", 0.0, 0)
+
+    def test_wrong_link_never_fires(self):
+        plan = NetFaultPlan.parse("drop:router->w1")
+        assert plan.draw("router->w2", 0.0, 0) == []
+
+
+# ----------------------------------------------------------------------
+# Live-socket proxy behaviour against a tiny echo upstream
+# ----------------------------------------------------------------------
+class _EchoUpstream:
+    """Accepts one chunk per connection and answers ``ack:<chunk>``."""
+
+    def __init__(self):
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.port = self._listener.getsockname()[1]
+        self._closing = False
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while not self._closing:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            try:
+                data = conn.recv(65536)
+                if data:
+                    conn.sendall(b"ack:" + data)
+            except OSError:
+                pass
+            finally:
+                conn.close()
+
+    def close(self):
+        self._closing = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture
+def upstream():
+    server = _EchoUpstream()
+    yield server
+    server.close()
+
+
+def _exchange(port, payload=b"ping", timeout=5.0):
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as s:
+        s.sendall(payload)
+        s.settimeout(timeout)
+        return s.recv(65536)
+
+
+class TestFaultProxy:
+    def test_transparent_relay_without_plan(self, upstream):
+        with FaultProxy("127.0.0.1", upstream.port, link="t") as proxy:
+            assert _exchange(proxy.port) == b"ack:ping"
+            assert proxy.injected == []
+
+    def test_partition_severs_and_counts(self, upstream):
+        counters = PerfCounters()
+        plan = NetFaultPlan.parse("partition:t")
+        with FaultProxy(
+            "127.0.0.1", upstream.port, link="t", plan=plan,
+            counters=counters,
+        ) as proxy:
+            with pytest.raises(OSError):
+                data = _exchange(proxy.port, timeout=2.0)
+                if not data:  # a clean FIN surfaces as empty bytes
+                    raise ConnectionResetError("severed")
+            assert proxy.injected == ["partition:t"]
+            assert counters.netfaults_injected == 1
+
+    def test_partition_arms_late(self, upstream):
+        # Not yet armed: traffic flows; the injected ledger stays empty.
+        plan = NetFaultPlan.parse("partition:t@after=60s")
+        with FaultProxy(
+            "127.0.0.1", upstream.port, link="t", plan=plan
+        ) as proxy:
+            assert _exchange(proxy.port) == b"ack:ping"
+            assert proxy.injected == []
+
+    def test_latency_holds_chunks(self, upstream):
+        plan = NetFaultPlan.parse("latency:t@delay=0.3")
+        with FaultProxy(
+            "127.0.0.1", upstream.port, link="t", plan=plan
+        ) as proxy:
+            started = time.monotonic()
+            assert _exchange(proxy.port) == b"ack:ping"
+            assert time.monotonic() - started >= 0.3
+            assert "latency:t@delay=0.3" in proxy.injected
+
+    def test_drop_blackholes(self, upstream):
+        plan = NetFaultPlan.parse("drop:t")
+        with FaultProxy(
+            "127.0.0.1", upstream.port, link="t", plan=plan
+        ) as proxy:
+            with socket.create_connection(
+                ("127.0.0.1", proxy.port), timeout=2.0
+            ) as s:
+                s.sendall(b"ping")
+                s.settimeout(0.5)
+                with pytest.raises(OSError):
+                    data = s.recv(65536)
+                    if not data:
+                        raise ConnectionResetError("closed, nothing served")
+            assert proxy.injected == ["drop:t"]
+
+    def test_kind_catalogue_is_pinned(self):
+        assert NET_KINDS == (
+            "latency", "drop", "half_close", "partition", "reorder"
+        )
